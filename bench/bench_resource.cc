@@ -1,0 +1,66 @@
+// Reproduces Table 2: FPGA resource (LUT/FF) comparison of the PISA and
+// IPSA prototypes (8 stage processors each), from the calibrated component
+// model in hw/models.h — plus scaling sweeps the paper's discussion implies
+// (crossbar growth with ports; clustered-crossbar savings).
+#include <cstdio>
+
+#include "hw/models.h"
+
+namespace ipsa::hw {
+namespace {
+
+int Main() {
+  std::printf("Table 2: FPGA resource comparison (%% of Alveo U280 fabric), "
+              "8 stage processors\n\n");
+  PisaHwConfig pisa_cfg;
+  IpsaHwConfig ipsa_cfg;
+  ResourceReport pisa = PisaResources(pisa_cfg);
+  ResourceReport ipsa = IpsaResources(ipsa_cfg);
+
+  std::printf("%-14s | %8s %8s | %8s %8s\n", "Resource (%)", "PISA LUT",
+              "PISA FF", "IPSA LUT", "IPSA FF");
+  std::printf("%-14s | %7.2f%% %7.2f%% | %8s %8s\n", "Front parser",
+              pisa.front_parser.lut_pct, pisa.front_parser.ff_pct, "-", "-");
+  std::printf("%-14s | %7.2f%% %7.2f%% | %7.2f%% %7.2f%%\n", "Processors",
+              pisa.processors.lut_pct, pisa.processors.ff_pct,
+              ipsa.processors.lut_pct, ipsa.processors.ff_pct);
+  std::printf("%-14s | %8s %8s | %7.2f%% %7.2f%%\n", "Crossbar", "-", "-",
+              ipsa.crossbar.lut_pct, ipsa.crossbar.ff_pct);
+  std::printf("%-14s | %7.2f%% %7.2f%% | %7.2f%% %7.2f%%\n", "Total",
+              pisa.total.lut_pct, pisa.total.ff_pct, ipsa.total.lut_pct,
+              ipsa.total.ff_pct);
+  std::printf("\nIPSA overhead: +%.2f%% LUT, +%.2f%% FF "
+              "(paper: +14.84%% LUT, +61.40%% FF)\n",
+              (ipsa.total.lut_pct / pisa.total.lut_pct - 1) * 100,
+              (ipsa.total.ff_pct / pisa.total.ff_pct - 1) * 100);
+
+  // Scaling sweep: how the crossbar cost grows with processor count, and
+  // what clustering saves (the §2.4 flexibility/cost tradeoff).
+  std::printf("\nCrossbar scaling (LUT %%):\n%-8s %10s %12s %12s\n", "ports",
+              "full", "2 clusters", "4 clusters");
+  for (uint32_t ports : {4u, 8u, 16u, 32u}) {
+    IpsaHwConfig full{ports, ports, 1};
+    IpsaHwConfig c2{ports, ports, 2};
+    IpsaHwConfig c4{ports, ports, 4};
+    std::printf("%-8u %9.2f%% %11.2f%% %11.2f%%\n", ports,
+                IpsaResources(full).crossbar.lut_pct,
+                IpsaResources(c2).crossbar.lut_pct,
+                IpsaResources(c4).crossbar.lut_pct);
+  }
+
+  std::printf("\nTotal LUT vs stage processors:\n%-8s %10s %10s\n", "stages",
+              "PISA", "IPSA");
+  for (uint32_t stages : {4u, 8u, 12u, 16u}) {
+    PisaHwConfig p{stages, 6};
+    IpsaHwConfig s{stages, stages, 1};
+    std::printf("%-8u %9.2f%% %9.2f%%\n", stages,
+                PisaResources(p).total.lut_pct,
+                IpsaResources(s).total.lut_pct);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipsa::hw
+
+int main() { return ipsa::hw::Main(); }

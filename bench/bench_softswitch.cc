@@ -1,0 +1,69 @@
+// Supplementary: software-switch forwarding rate, pbm (bmv2 stand-in) vs
+// ipbm, on the base design and each use case. Uses google-benchmark for
+// stable measurement. This complements Table 1 (which times the *control*
+// plane); here we measure the data plane of the two behavioral models.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace ipsa::bench {
+namespace {
+
+template <typename Setup>
+void RunPackets(benchmark::State& state, Setup& setup, UseCase uc) {
+  net::WorkloadConfig wcfg = WorkloadFor(uc);
+  net::Workload workload(wcfg);
+  std::vector<net::Packet> packets;
+  packets.reserve(256);
+  for (int i = 0; i < 256; ++i) packets.push_back(workload.NextPacket());
+  size_t i = 0;
+  for (auto _ : state) {
+    net::Packet p = packets[i % packets.size()];
+    auto result = setup.device->Process(p, 1);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->egress_port);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_PbmForwarding(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  auto setup = MakePisaSetup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  state.SetLabel(UseCaseName(uc));
+  RunPackets(state, *setup, uc);
+}
+
+void BM_IpbmForwarding(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  auto setup = MakeRp4Setup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  state.SetLabel(UseCaseName(uc));
+  RunPackets(state, *setup, uc);
+}
+
+BENCHMARK(BM_PbmForwarding)
+    ->Arg(static_cast<int>(UseCase::kBase))
+    ->Arg(static_cast<int>(UseCase::kEcmp))
+    ->Arg(static_cast<int>(UseCase::kSrv6))
+    ->Arg(static_cast<int>(UseCase::kProbe));
+BENCHMARK(BM_IpbmForwarding)
+    ->Arg(static_cast<int>(UseCase::kBase))
+    ->Arg(static_cast<int>(UseCase::kEcmp))
+    ->Arg(static_cast<int>(UseCase::kSrv6))
+    ->Arg(static_cast<int>(UseCase::kProbe));
+
+}  // namespace
+}  // namespace ipsa::bench
+
+BENCHMARK_MAIN();

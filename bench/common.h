@@ -1,0 +1,171 @@
+// Shared setup for the evaluation benchmarks: brings up either device with
+// the base design plus one of the §4.2 use cases, fully populated, and
+// builds the per-use-case workloads.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "controller/baseline.h"
+#include "controller/controller.h"
+#include "controller/designs.h"
+#include "net/workload.h"
+#include "util/status.h"
+
+namespace ipsa::bench {
+
+enum class UseCase { kBase, kEcmp, kSrv6, kProbe };
+
+inline const char* UseCaseName(UseCase uc) {
+  switch (uc) {
+    case UseCase::kBase:
+      return "base";
+    case UseCase::kEcmp:
+      return "C1-ECMP";
+    case UseCase::kSrv6:
+      return "C2-SRv6";
+    case UseCase::kProbe:
+      return "C3-Probe";
+  }
+  return "?";
+}
+
+inline const std::string& FullP4For(UseCase uc) {
+  switch (uc) {
+    case UseCase::kBase:
+      return controller::designs::BaseP4();
+    case UseCase::kEcmp:
+      return controller::designs::BasePlusEcmpP4();
+    case UseCase::kSrv6:
+      return controller::designs::BasePlusSrv6P4();
+    case UseCase::kProbe:
+      return controller::designs::BasePlusProbeP4();
+  }
+  return controller::designs::BaseP4();
+}
+
+inline const std::string& ScriptFor(UseCase uc) {
+  static const std::string kEmpty;
+  switch (uc) {
+    case UseCase::kBase:
+      return kEmpty;
+    case UseCase::kEcmp:
+      return controller::designs::EcmpScript();
+    case UseCase::kSrv6:
+      return controller::designs::Srv6Script();
+    case UseCase::kProbe:
+      return controller::designs::ProbeScript();
+  }
+  return kEmpty;
+}
+
+struct Rp4Setup {
+  std::unique_ptr<ipbm::IpbmSwitch> device;
+  std::unique_ptr<controller::Rp4FlowController> controller;
+  controller::BaselineConfig config;
+};
+
+// ipbm + rP4 flow: base design loaded, use case applied in-situ, all
+// tables populated.
+inline Result<Rp4Setup> MakeRp4Setup(UseCase uc,
+                                     const net::Workload* workload = nullptr,
+                                     compiler::Rp4bcOptions options = {}) {
+  Rp4Setup setup;
+  setup.device = std::make_unique<ipbm::IpbmSwitch>();
+  setup.controller = std::make_unique<controller::Rp4FlowController>(
+      *setup.device, options);
+  IPSA_RETURN_IF_ERROR(
+      setup.controller->LoadBaseFromP4(controller::designs::BaseP4())
+          .status());
+  if (uc != UseCase::kBase) {
+    IPSA_RETURN_IF_ERROR(
+        setup.controller
+            ->ApplyScript(ScriptFor(uc), controller::designs::ResolveSnippet)
+            .status());
+  }
+  auto add = [&setup](const std::string& t, const table::Entry& e) {
+    return setup.controller->AddEntry(t, e);
+  };
+  IPSA_RETURN_IF_ERROR(controller::PopulateBaseline(setup.controller->api(),
+                                                    add, setup.config));
+  if (uc == UseCase::kEcmp) {
+    IPSA_RETURN_IF_ERROR(
+        controller::PopulateEcmp(setup.controller->api(), add, setup.config));
+  }
+  if (uc == UseCase::kSrv6) {
+    IPSA_RETURN_IF_ERROR(
+        controller::PopulateSrv6(setup.controller->api(), add, setup.config));
+  }
+  if (uc == UseCase::kProbe && workload != nullptr) {
+    IPSA_RETURN_IF_ERROR(controller::PopulateProbe(
+        setup.controller->api(), add, *workload, 16, 100));
+  }
+  return setup;
+}
+
+struct PisaSetup {
+  std::unique_ptr<pisa::PisaSwitch> device;
+  std::unique_ptr<controller::PisaFlowController> controller;
+  controller::BaselineConfig config;
+};
+
+// pbm + P4 flow: the full program for the use case, compiled and loaded
+// monolithically, then populated.
+inline Result<PisaSetup> MakePisaSetup(UseCase uc,
+                                       const net::Workload* workload =
+                                           nullptr) {
+  PisaSetup setup;
+  setup.device = std::make_unique<pisa::PisaSwitch>();
+  setup.controller = std::make_unique<controller::PisaFlowController>(
+      *setup.device, compiler::PisaBackendOptions{});
+  IPSA_RETURN_IF_ERROR(
+      setup.controller->CompileAndLoad(FullP4For(uc)).status());
+  auto add = [&setup](const std::string& t, const table::Entry& e) {
+    return setup.controller->AddEntry(t, e);
+  };
+  IPSA_RETURN_IF_ERROR(controller::PopulateBaseline(setup.controller->api(),
+                                                    add, setup.config));
+  if (uc == UseCase::kEcmp) {
+    IPSA_RETURN_IF_ERROR(
+        controller::PopulateEcmp(setup.controller->api(), add, setup.config));
+  }
+  if (uc == UseCase::kSrv6) {
+    IPSA_RETURN_IF_ERROR(
+        controller::PopulateSrv6(setup.controller->api(), add, setup.config));
+  }
+  if (uc == UseCase::kProbe && workload != nullptr) {
+    IPSA_RETURN_IF_ERROR(controller::PopulateProbe(
+        setup.controller->api(), add, *workload, 16, 100));
+  }
+  return setup;
+}
+
+// Per-use-case traffic mixes (§5's throughput differences are partly
+// workload-driven: C2 carries SRH-encapsulated traffic, C1 a v4/v6 mix,
+// C3 IPv4-only probe traffic).
+inline net::WorkloadConfig WorkloadFor(UseCase uc) {
+  net::WorkloadConfig cfg;
+  cfg.seed = 20211110;  // HotNets'21 ;-)
+  cfg.flow_count = 128;
+  switch (uc) {
+    case UseCase::kBase:
+      cfg.ipv6_fraction = 0.2;
+      break;
+    case UseCase::kEcmp:
+      cfg.ipv6_fraction = 0.25;
+      break;
+    case UseCase::kSrv6:
+      cfg.ipv6_fraction = 0.5;
+      break;
+    case UseCase::kProbe:
+      cfg.ipv6_fraction = 0.0;
+      cfg.skew = 0.8;  // hot flows for the probe
+      break;
+  }
+  return cfg;
+}
+
+// Fraction of C2 traffic that is SRv6-encapsulated.
+inline constexpr double kSrv6TrafficFraction = 0.3;
+
+}  // namespace ipsa::bench

@@ -1,0 +1,115 @@
+#include "arch/catalog.h"
+
+namespace ipsa::arch {
+
+mem::BitString ConcatBits(const std::vector<mem::BitString>& values) {
+  size_t total = 0;
+  for (const auto& v : values) total += v.bit_width();
+  mem::BitString out(total);
+  size_t offset = 0;
+  for (const auto& v : values) {
+    for (size_t i = 0; i < v.bit_width(); ++i) {
+      out.SetBit(offset + i, v.GetBit(i));
+    }
+    offset += v.bit_width();
+  }
+  return out;
+}
+
+Status TableCatalog::CreateTable(const table::TableSpec& spec,
+                                 TableBinding binding,
+                                 std::optional<uint32_t> cluster) {
+  if (Has(spec.name)) {
+    return AlreadyExists("table '" + spec.name + "' already exists");
+  }
+  uint32_t id = next_table_id_++;
+  IPSA_ASSIGN_OR_RETURN(std::unique_ptr<table::MatchTable> t,
+                        table::CreateTable(spec, *pool_, id, cluster));
+  tables_.emplace(spec.name,
+                  Slot{std::move(t), std::move(binding), id});
+  return OkStatus();
+}
+
+Status TableCatalog::DestroyTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFound("table '" + name + "' does not exist");
+  }
+  it->second.table->FreeStorage();
+  tables_.erase(it);
+  return OkStatus();
+}
+
+Result<table::MatchTable*> TableCatalog::Get(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  if (it == tables_.end()) {
+    return NotFound("table '" + std::string(name) + "' does not exist");
+  }
+  return it->second.table.get();
+}
+
+Result<const TableBinding*> TableCatalog::GetBinding(
+    std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  if (it == tables_.end()) {
+    return NotFound("table '" + std::string(name) + "' does not exist");
+  }
+  return &it->second.binding;
+}
+
+Result<mem::BitString> TableCatalog::BuildKey(std::string_view table,
+                                              const PacketContext& ctx) const {
+  IPSA_ASSIGN_OR_RETURN(const TableBinding* binding, GetBinding(table));
+  std::vector<mem::BitString> parts;
+  parts.reserve(binding->key_fields.size());
+  for (const FieldRef& ref : binding->key_fields) {
+    IPSA_ASSIGN_OR_RETURN(mem::BitString v, ctx.ReadField(ref));
+    parts.push_back(std::move(v));
+  }
+  return ConcatBits(parts);
+}
+
+std::vector<std::string> TableCatalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, slot] : tables_) out.push_back(name);
+  return out;
+}
+
+Status ActionStore::Add(ActionDef def) {
+  auto [it, inserted] = actions_.emplace(def.name, std::move(def));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists("action already defined");
+  }
+  return OkStatus();
+}
+
+Status ActionStore::Remove(const std::string& name) {
+  if (actions_.erase(name) == 0) {
+    return NotFound("action '" + name + "' not defined");
+  }
+  return OkStatus();
+}
+
+Result<const ActionDef*> ActionStore::Get(std::string_view name) const {
+  if (name == "NoAction" || name.empty()) return &NoAction();
+  auto it = actions_.find(std::string(name));
+  if (it == actions_.end()) {
+    return NotFound("action '" + std::string(name) + "' not defined");
+  }
+  return &it->second;
+}
+
+bool ActionStore::Has(std::string_view name) const {
+  return name == "NoAction" || actions_.count(std::string(name)) > 0;
+}
+
+std::vector<std::string> ActionStore::ActionNames() const {
+  std::vector<std::string> out;
+  out.reserve(actions_.size());
+  for (const auto& [name, def] : actions_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ipsa::arch

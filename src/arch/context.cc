@@ -1,0 +1,133 @@
+#include "arch/context.h"
+
+namespace ipsa::arch {
+
+Status RegisterFile::Create(const std::string& name, size_t size) {
+  auto [it, inserted] = arrays_.emplace(name, std::vector<uint64_t>(size, 0));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists("register array '" + name + "' already exists");
+  }
+  return OkStatus();
+}
+
+Status RegisterFile::Destroy(const std::string& name) {
+  if (arrays_.erase(name) == 0) {
+    return NotFound("register array '" + name + "' does not exist");
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> RegisterFile::Read(std::string_view name,
+                                    size_t index) const {
+  auto it = arrays_.find(std::string(name));
+  if (it == arrays_.end()) {
+    return NotFound("register array '" + std::string(name) + "'");
+  }
+  if (index >= it->second.size()) {
+    return OutOfRange("register index out of range");
+  }
+  return it->second[index];
+}
+
+Status RegisterFile::Write(std::string_view name, size_t index,
+                           uint64_t value) {
+  auto it = arrays_.find(std::string(name));
+  if (it == arrays_.end()) {
+    return NotFound("register array '" + std::string(name) + "'");
+  }
+  if (index >= it->second.size()) {
+    return OutOfRange("register index out of range");
+  }
+  it->second[index] = value;
+  return OkStatus();
+}
+
+mem::BitString ReadWireBits(std::span<const uint8_t> bytes, size_t bit_offset,
+                            size_t width) {
+  mem::BitString out(width);
+  // Wire bit i (MSB-first within the field) maps to value bit width-1-i.
+  for (size_t i = 0; i < width; ++i) {
+    size_t abs = bit_offset + i;
+    bool bit = (bytes[abs / 8] >> (7 - abs % 8)) & 1;
+    out.SetBit(width - 1 - i, bit);
+  }
+  return out;
+}
+
+void WriteWireBits(std::span<uint8_t> bytes, size_t bit_offset, size_t width,
+                   const mem::BitString& value) {
+  for (size_t i = 0; i < width; ++i) {
+    size_t abs = bit_offset + i;
+    bool bit = width - 1 - i < value.bit_width() &&
+               value.GetBit(width - 1 - i);
+    uint8_t mask = static_cast<uint8_t>(1u << (7 - abs % 8));
+    if (bit) {
+      bytes[abs / 8] |= mask;
+    } else {
+      bytes[abs / 8] &= static_cast<uint8_t>(~mask);
+    }
+  }
+}
+
+Result<const HeaderInstance*> PacketContext::ValidInstance(
+    std::string_view name) const {
+  const HeaderInstance* h = phv_.Find(name);
+  if (h == nullptr || !h->valid) {
+    return FailedPrecondition("header instance '" + std::string(name) +
+                              "' is not valid in this packet");
+  }
+  return h;
+}
+
+Result<mem::BitString> PacketContext::ReadField(const FieldRef& ref) const {
+  if (ref.space == FieldRef::Space::kMeta) {
+    return metadata_.Read(ref.field);
+  }
+  IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, ValidInstance(ref.instance));
+  IPSA_ASSIGN_OR_RETURN(const HeaderTypeDef* type,
+                        registry_->Get(h->type_name));
+  IPSA_ASSIGN_OR_RETURN(uint32_t off, type->FieldOffsetBits(ref.field));
+  IPSA_ASSIGN_OR_RETURN(uint32_t width, type->FieldWidthBits(ref.field));
+  return ReadWireBits(packet_->bytes(),
+                      static_cast<size_t>(h->byte_offset) * 8 + off, width);
+}
+
+Status PacketContext::WriteField(const FieldRef& ref,
+                                 const mem::BitString& value) {
+  if (ref.space == FieldRef::Space::kMeta) {
+    return metadata_.Write(ref.field, value);
+  }
+  IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, ValidInstance(ref.instance));
+  IPSA_ASSIGN_OR_RETURN(const HeaderTypeDef* type,
+                        registry_->Get(h->type_name));
+  IPSA_ASSIGN_OR_RETURN(uint32_t off, type->FieldOffsetBits(ref.field));
+  IPSA_ASSIGN_OR_RETURN(uint32_t width, type->FieldWidthBits(ref.field));
+  WriteWireBits(packet_->bytes(),
+                static_cast<size_t>(h->byte_offset) * 8 + off, width, value);
+  return OkStatus();
+}
+
+Result<mem::BitString> PacketContext::ReadRaw(std::string_view instance,
+                                              uint32_t bit_offset,
+                                              uint32_t width) const {
+  IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, ValidInstance(instance));
+  size_t abs = static_cast<size_t>(h->byte_offset) * 8 + bit_offset;
+  if (abs + width > packet_->size() * 8) {
+    return OutOfRange("raw read beyond packet end");
+  }
+  return ReadWireBits(packet_->bytes(), abs, width);
+}
+
+Status PacketContext::WriteRaw(std::string_view instance, uint32_t bit_offset,
+                               uint32_t width, const mem::BitString& value) {
+  IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, ValidInstance(instance));
+  size_t abs = static_cast<size_t>(h->byte_offset) * 8 + bit_offset;
+  if (abs + width > packet_->size() * 8) {
+    return OutOfRange("raw write beyond packet end");
+  }
+  WriteWireBits(packet_->bytes(), abs, width, value);
+  return OkStatus();
+}
+
+}  // namespace ipsa::arch

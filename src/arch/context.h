@@ -1,0 +1,106 @@
+// Per-packet processing context: the packet, its PHV, metadata, and the
+// verdict the pipeline accumulates. Field reads/writes translate between
+// wire order (big-endian bit ranges) and BitString values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/header_types.h"
+#include "arch/phv.h"
+#include "mem/block.h"
+#include "net/packet.h"
+#include "util/status.h"
+
+namespace ipsa::arch {
+
+// Stateful register arrays shared by packets (e.g. the C3 flow-probe
+// counters). Owned by the switch, referenced from action programs.
+class RegisterFile {
+ public:
+  Status Create(const std::string& name, size_t size);
+  Status Destroy(const std::string& name);
+  bool Has(std::string_view name) const {
+    return arrays_.count(std::string(name)) > 0;
+  }
+  Result<uint64_t> Read(std::string_view name, size_t index) const;
+  Status Write(std::string_view name, size_t index, uint64_t value);
+
+ private:
+  std::map<std::string, std::vector<uint64_t>> arrays_;
+};
+
+// A reference to a header field or metadata field.
+struct FieldRef {
+  enum class Space { kHeader, kMeta };
+  Space space = Space::kMeta;
+  std::string instance;  // header instance (kHeader only)
+  std::string field;     // field name / metadata name
+
+  static FieldRef Header(std::string instance, std::string field) {
+    return {Space::kHeader, std::move(instance), std::move(field)};
+  }
+  static FieldRef Meta(std::string field) {
+    return {Space::kMeta, "", std::move(field)};
+  }
+  std::string ToString() const {
+    return space == Space::kHeader ? instance + "." + field : "meta." + field;
+  }
+  bool operator==(const FieldRef&) const = default;
+};
+
+class PacketContext {
+ public:
+  PacketContext(net::Packet& packet, const HeaderRegistry& registry,
+                Metadata metadata)
+      : packet_(&packet), registry_(&registry), metadata_(std::move(metadata)) {}
+
+  net::Packet& packet() { return *packet_; }
+  const net::Packet& packet() const { return *packet_; }
+  Phv& phv() { return phv_; }
+  const Phv& phv() const { return phv_; }
+  Metadata& metadata() { return metadata_; }
+  const Metadata& metadata() const { return metadata_; }
+  const HeaderRegistry& registry() const { return *registry_; }
+
+  bool dropped() const { return metadata_.ReadUint("drop") != 0; }
+  bool marked() const { return metadata_.ReadUint("mark") != 0; }
+  uint32_t egress_spec() const {
+    return static_cast<uint32_t>(metadata_.ReadUint("egress_spec"));
+  }
+
+  // Reads/writes a named field (header or metadata) as a BitString whose
+  // numeric value equals the big-endian field value on the wire.
+  Result<mem::BitString> ReadField(const FieldRef& ref) const;
+  Status WriteField(const FieldRef& ref, const mem::BitString& value);
+
+  // Raw bit-range access within a header instance, for dynamic offsets such
+  // as SRH segment[i] (offset beyond the fixed fields).
+  Result<mem::BitString> ReadRaw(std::string_view instance,
+                                 uint32_t bit_offset, uint32_t width) const;
+  Status WriteRaw(std::string_view instance, uint32_t bit_offset,
+                  uint32_t width, const mem::BitString& value);
+
+  // Cycle accounting for the hardware model.
+  void ChargeCycles(uint64_t n) { cycles_ += n; }
+  uint64_t cycles() const { return cycles_; }
+
+ private:
+  Result<const HeaderInstance*> ValidInstance(std::string_view name) const;
+
+  net::Packet* packet_;
+  const HeaderRegistry* registry_;
+  Phv phv_;
+  Metadata metadata_;
+  uint64_t cycles_ = 0;
+};
+
+// Wire <-> value conversion helpers (MSB-first bit ranges).
+mem::BitString ReadWireBits(std::span<const uint8_t> bytes, size_t bit_offset,
+                            size_t width);
+void WriteWireBits(std::span<uint8_t> bytes, size_t bit_offset, size_t width,
+                   const mem::BitString& value);
+
+}  // namespace ipsa::arch

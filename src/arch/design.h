@@ -1,0 +1,77 @@
+// A complete data-plane design: the unit the compilers emit and devices load.
+//
+// For the PISA flow this is the monolithic "binary" — any change means
+// regenerating and reloading the whole thing (and repopulating tables).
+// For the IPSA flow rp4bc emits a DesignConfig for the base design once, and
+// afterwards only *deltas*: new TSP templates, new tables, header linkage
+// and selector changes. That asymmetry is exactly what Table 1 measures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/catalog.h"
+#include "arch/header_types.h"
+#include "arch/stage.h"
+#include "table/table.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace ipsa::arch {
+
+struct TableDecl {
+  table::TableSpec spec;
+  TableBinding binding;
+};
+
+struct RegisterDecl {
+  std::string name;
+  uint32_t size = 0;
+};
+
+struct MetadataDecl {
+  std::string name;
+  uint32_t width_bits = 0;
+};
+
+struct DesignConfig {
+  std::string name;
+  HeaderRegistry headers;
+  std::vector<MetadataDecl> metadata;
+  std::vector<ActionDef> actions;
+  std::vector<TableDecl> tables;
+  std::vector<RegisterDecl> registers;
+  std::vector<StageProgram> ingress_stages;
+  std::vector<StageProgram> egress_stages;
+
+  // Serialization (the interchange format between compilers, controller and
+  // devices; see serde.cc for the schema).
+  util::Json ToJson() const;
+  static Result<DesignConfig> FromJson(const util::Json& json);
+
+  // Config volume in 32-bit words for device-load accounting: headers,
+  // actions, table shapes and stage templates all have to be written to the
+  // device on a full load.
+  uint64_t TotalConfigWords() const;
+
+  const StageProgram* FindStage(std::string_view name) const;
+  std::vector<std::string> StageNames() const;
+};
+
+// Piecewise serde used by both DesignConfig and the rp4bc template output.
+util::Json ExprToJson(const ExprPtr& expr);
+Result<ExprPtr> ExprFromJson(const util::Json& json);
+util::Json ActionOpToJson(const ActionOp& op);
+Result<ActionOp> ActionOpFromJson(const util::Json& json);
+util::Json ActionDefToJson(const ActionDef& def);
+Result<ActionDef> ActionDefFromJson(const util::Json& json);
+util::Json StageProgramToJson(const StageProgram& stage);
+Result<StageProgram> StageProgramFromJson(const util::Json& json);
+util::Json HeaderTypeToJson(const HeaderTypeDef& def);
+Result<HeaderTypeDef> HeaderTypeFromJson(const util::Json& json);
+util::Json TableDeclToJson(const TableDecl& decl);
+Result<TableDecl> TableDeclFromJson(const util::Json& json);
+util::Json FieldRefToJson(const FieldRef& ref);
+Result<FieldRef> FieldRefFromJson(const util::Json& json);
+
+}  // namespace ipsa::arch

@@ -1,0 +1,297 @@
+#include "arch/expr.h"
+
+#include <algorithm>
+
+namespace ipsa::arch {
+
+int CompareBits(const mem::BitString& a, const mem::BitString& b) {
+  size_t n = std::max(a.bit_width(), b.bit_width());
+  for (size_t i = n; i > 0; --i) {
+    bool ba = i - 1 < a.bit_width() && a.GetBit(i - 1);
+    bool bb = i - 1 < b.bit_width() && b.GetBit(i - 1);
+    if (ba != bb) return ba ? 1 : -1;
+  }
+  return 0;
+}
+
+ExprPtr Expr::Const(mem::BitString v) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kConst));
+  e->const_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::ConstU(uint64_t v, uint32_t width_bits) {
+  return Const(mem::BitString(width_bits, v));
+}
+
+ExprPtr Expr::Field(FieldRef ref) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kField));
+  e->field_ = std::move(ref);
+  return e;
+}
+
+ExprPtr Expr::Raw(std::string instance, ExprPtr bit_offset,
+                  uint32_t width_bits) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kRaw));
+  e->name_ = std::move(instance);
+  e->lhs_ = std::move(bit_offset);
+  e->width_ = width_bits;
+  return e;
+}
+
+ExprPtr Expr::Param(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kParam));
+  e->name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Register(std::string name, ExprPtr index) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kRegister));
+  e->name_ = std::move(name);
+  e->lhs_ = std::move(index);
+  return e;
+}
+
+ExprPtr Expr::IsValid(std::string instance) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kIsValid));
+  e->name_ = std::move(instance);
+  return e;
+}
+
+ExprPtr Expr::Unary(Op op, ExprPtr a) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kUnary));
+  e->op_ = op;
+  e->lhs_ = std::move(a);
+  return e;
+}
+
+ExprPtr Expr::Binary(Op op, ExprPtr a, ExprPtr b) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kBinary));
+  e->op_ = op;
+  e->lhs_ = std::move(a);
+  e->rhs_ = std::move(b);
+  return e;
+}
+
+namespace {
+
+mem::BitString MakeBool(bool v) { return mem::BitString(1, v ? 1 : 0); }
+
+bool Truthy(const mem::BitString& v) {
+  for (uint8_t b : v.bytes()) {
+    if (b != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<mem::BitString> Expr::Eval(const EvalEnv& env) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return const_;
+    case Kind::kField:
+      return env.ctx->ReadField(field_);
+    case Kind::kRaw: {
+      IPSA_ASSIGN_OR_RETURN(mem::BitString off, lhs_->Eval(env));
+      return env.ctx->ReadRaw(name_, static_cast<uint32_t>(off.ToUint64()),
+                              width_);
+    }
+    case Kind::kParam: {
+      if (env.args == nullptr) {
+        return FailedPrecondition("no action arguments bound");
+      }
+      auto it = env.args->find(name_);
+      if (it == env.args->end()) {
+        return NotFound("action parameter '" + name_ + "' not bound");
+      }
+      return it->second;
+    }
+    case Kind::kRegister: {
+      if (env.regs == nullptr) {
+        return FailedPrecondition("no register file available");
+      }
+      IPSA_ASSIGN_OR_RETURN(mem::BitString idx, lhs_->Eval(env));
+      IPSA_ASSIGN_OR_RETURN(
+          uint64_t v, env.regs->Read(name_, static_cast<size_t>(idx.ToUint64())));
+      return mem::BitString(64, v);
+    }
+    case Kind::kIsValid:
+      return MakeBool(env.ctx->phv().IsValid(name_));
+    case Kind::kUnary: {
+      IPSA_ASSIGN_OR_RETURN(mem::BitString a, lhs_->Eval(env));
+      switch (op_) {
+        case Op::kNot:
+          return MakeBool(!Truthy(a));
+        case Op::kBitNot: {
+          mem::BitString out(a.bit_width());
+          for (size_t i = 0; i < a.bit_width(); ++i) {
+            out.SetBit(i, !a.GetBit(i));
+          }
+          return out;
+        }
+        default:
+          return InternalError("bad unary op");
+      }
+    }
+    case Kind::kBinary: {
+      // Short-circuit the boolean connectives.
+      if (op_ == Op::kAnd || op_ == Op::kOr) {
+        IPSA_ASSIGN_OR_RETURN(mem::BitString a, lhs_->Eval(env));
+        bool ta = Truthy(a);
+        if (op_ == Op::kAnd && !ta) return MakeBool(false);
+        if (op_ == Op::kOr && ta) return MakeBool(true);
+        IPSA_ASSIGN_OR_RETURN(mem::BitString b, rhs_->Eval(env));
+        return MakeBool(Truthy(b));
+      }
+      IPSA_ASSIGN_OR_RETURN(mem::BitString a, lhs_->Eval(env));
+      IPSA_ASSIGN_OR_RETURN(mem::BitString b, rhs_->Eval(env));
+      switch (op_) {
+        case Op::kEq:
+          return MakeBool(CompareBits(a, b) == 0);
+        case Op::kNe:
+          return MakeBool(CompareBits(a, b) != 0);
+        case Op::kLt:
+          return MakeBool(CompareBits(a, b) < 0);
+        case Op::kLe:
+          return MakeBool(CompareBits(a, b) <= 0);
+        case Op::kGt:
+          return MakeBool(CompareBits(a, b) > 0);
+        case Op::kGe:
+          return MakeBool(CompareBits(a, b) >= 0);
+        default:
+          break;
+      }
+      // Arithmetic/bitwise: modular over the low 64 bits, result as wide as
+      // the wider operand (capped at 64).
+      uint32_t width = static_cast<uint32_t>(
+          std::min<size_t>(64, std::max(a.bit_width(), b.bit_width())));
+      uint64_t va = a.ToUint64();
+      uint64_t vb = b.ToUint64();
+      uint64_t r = 0;
+      switch (op_) {
+        case Op::kAdd:
+          r = va + vb;
+          break;
+        case Op::kSub:
+          r = va - vb;
+          break;
+        case Op::kMul:
+          r = va * vb;
+          break;
+        case Op::kBitAnd:
+          r = va & vb;
+          break;
+        case Op::kBitOr:
+          r = va | vb;
+          break;
+        case Op::kBitXor:
+          r = va ^ vb;
+          break;
+        case Op::kShl:
+          r = vb >= 64 ? 0 : va << vb;
+          break;
+        case Op::kShr:
+          r = vb >= 64 ? 0 : va >> vb;
+          break;
+        default:
+          return InternalError("bad binary op");
+      }
+      return mem::BitString(width, r);
+    }
+  }
+  return InternalError("bad expression kind");
+}
+
+Result<bool> Expr::EvalBool(const EvalEnv& env) const {
+  IPSA_ASSIGN_OR_RETURN(mem::BitString v, Eval(env));
+  return Truthy(v);
+}
+
+void Expr::CollectHeaderDeps(std::vector<std::string>& out) const {
+  switch (kind_) {
+    case Kind::kField:
+      if (field_.space == FieldRef::Space::kHeader) {
+        out.push_back(field_.instance);
+      }
+      break;
+    case Kind::kRaw:
+    case Kind::kIsValid:
+      out.push_back(name_);
+      break;
+    default:
+      break;
+  }
+  if (lhs_) lhs_->CollectHeaderDeps(out);
+  if (rhs_) rhs_->CollectHeaderDeps(out);
+}
+
+std::string_view OpName(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kNone:
+      return "?";
+    case Expr::Op::kNot:
+      return "!";
+    case Expr::Op::kBitNot:
+      return "~";
+    case Expr::Op::kEq:
+      return "==";
+    case Expr::Op::kNe:
+      return "!=";
+    case Expr::Op::kLt:
+      return "<";
+    case Expr::Op::kLe:
+      return "<=";
+    case Expr::Op::kGt:
+      return ">";
+    case Expr::Op::kGe:
+      return ">=";
+    case Expr::Op::kAnd:
+      return "&&";
+    case Expr::Op::kOr:
+      return "||";
+    case Expr::Op::kAdd:
+      return "+";
+    case Expr::Op::kSub:
+      return "-";
+    case Expr::Op::kMul:
+      return "*";
+    case Expr::Op::kBitAnd:
+      return "&";
+    case Expr::Op::kBitOr:
+      return "|";
+    case Expr::Op::kBitXor:
+      return "^";
+    case Expr::Op::kShl:
+      return "<<";
+    case Expr::Op::kShr:
+      return ">>";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kConst:
+      return std::to_string(const_.ToUint64());
+    case Kind::kField:
+      return field_.ToString();
+    case Kind::kRaw:
+      return name_ + ".raw[" + lhs_->ToString() + " +: " +
+             std::to_string(width_) + "]";
+    case Kind::kParam:
+      return name_;
+    case Kind::kRegister:
+      return name_ + "[" + lhs_->ToString() + "]";
+    case Kind::kIsValid:
+      return name_ + ".isValid()";
+    case Kind::kUnary:
+      return std::string(OpName(op_)) + "(" + lhs_->ToString() + ")";
+    case Kind::kBinary:
+      return "(" + lhs_->ToString() + " " + std::string(OpName(op_)) + " " +
+             rhs_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace ipsa::arch

@@ -1,0 +1,115 @@
+// Expression trees used by matcher predicates and action bodies.
+//
+// rP4's matcher blocks (`if (ipv4.isValid()) ecmp_ipv4.apply(); ...`) and
+// action bodies compile into these trees; the behavioral switches interpret
+// them per packet. Values are BitStrings so 128-bit IPv6 fields work;
+// arithmetic is modular over the low 64 bits, comparisons are full-width.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/context.h"
+#include "mem/block.h"
+#include "util/status.h"
+
+namespace ipsa::arch {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// Evaluation environment: the packet, bound action parameters, registers.
+struct EvalEnv {
+  PacketContext* ctx = nullptr;
+  const std::map<std::string, mem::BitString>* args = nullptr;
+  RegisterFile* regs = nullptr;
+};
+
+// Numeric comparison of two BitStrings (unsigned, any widths): -1, 0, 1.
+int CompareBits(const mem::BitString& a, const mem::BitString& b);
+
+class Expr {
+ public:
+  enum class Kind {
+    kConst,
+    kField,     // header/metadata field
+    kRaw,       // dynamic bit-range inside a header instance
+    kParam,     // action parameter
+    kRegister,  // register array element
+    kIsValid,   // header validity test
+    kUnary,
+    kBinary,
+  };
+
+  enum class Op {
+    kNone,
+    // unary
+    kNot,
+    kBitNot,
+    // binary
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kAdd,
+    kSub,
+    kMul,
+    kBitAnd,
+    kBitOr,
+    kBitXor,
+    kShl,
+    kShr,
+  };
+
+  static ExprPtr Const(mem::BitString v);
+  static ExprPtr ConstU(uint64_t v, uint32_t width_bits = 64);
+  static ExprPtr Field(FieldRef ref);
+  static ExprPtr Raw(std::string instance, ExprPtr bit_offset,
+                     uint32_t width_bits);
+  static ExprPtr Param(std::string name);
+  static ExprPtr Register(std::string name, ExprPtr index);
+  static ExprPtr IsValid(std::string instance);
+  static ExprPtr Unary(Op op, ExprPtr a);
+  static ExprPtr Binary(Op op, ExprPtr a, ExprPtr b);
+
+  Result<mem::BitString> Eval(const EvalEnv& env) const;
+  // Convenience: nonzero result == true.
+  Result<bool> EvalBool(const EvalEnv& env) const;
+
+  Kind kind() const { return kind_; }
+  Op op() const { return op_; }
+  const FieldRef& field() const { return field_; }
+  const std::string& name() const { return name_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+  const mem::BitString& constant() const { return const_; }
+  uint32_t raw_width() const { return width_; }
+
+  // Header instances this expression touches (for parse-dependency
+  // analysis in rp4bc).
+  void CollectHeaderDeps(std::vector<std::string>& out) const;
+
+  std::string ToString() const;
+
+ private:
+  Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Op op_ = Op::kNone;
+  mem::BitString const_;
+  FieldRef field_;
+  std::string name_;     // instance (kRaw/kIsValid), param, or register name
+  uint32_t width_ = 0;   // kRaw width
+  ExprPtr lhs_;          // kRaw offset / kRegister index / unary & binary lhs
+  ExprPtr rhs_;
+};
+
+std::string_view OpName(Expr::Op op);
+
+}  // namespace ipsa::arch

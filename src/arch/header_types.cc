@@ -1,0 +1,183 @@
+#include "arch/header_types.h"
+
+namespace ipsa::arch {
+
+Result<uint32_t> HeaderTypeDef::FieldOffsetBits(std::string_view field) const {
+  auto it = offsets_.find(std::string(field));
+  if (it == offsets_.end()) {
+    return NotFound("header '" + name_ + "' has no field '" +
+                    std::string(field) + "'");
+  }
+  return it->second;
+}
+
+Result<uint32_t> HeaderTypeDef::FieldWidthBits(std::string_view field) const {
+  auto it = widths_.find(std::string(field));
+  if (it == widths_.end()) {
+    return NotFound("header '" + name_ + "' has no field '" +
+                    std::string(field) + "'");
+  }
+  return it->second;
+}
+
+Status HeaderTypeDef::RemoveLink(uint64_t tag) {
+  if (links_.erase(tag) == 0) {
+    return NotFound("header '" + name_ + "' has no link for tag " +
+                    std::to_string(tag));
+  }
+  return OkStatus();
+}
+
+std::optional<std::string> HeaderTypeDef::NextFor(uint64_t tag) const {
+  auto it = links_.find(tag);
+  if (it == links_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status HeaderRegistry::Add(HeaderTypeDef def) {
+  auto [it, inserted] = types_.emplace(def.name(), std::move(def));
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists("header type already registered");
+  }
+  return OkStatus();
+}
+
+Status HeaderRegistry::Remove(std::string_view name) {
+  if (types_.erase(std::string(name)) == 0) {
+    return NotFound("header type '" + std::string(name) + "' not registered");
+  }
+  return OkStatus();
+}
+
+Result<const HeaderTypeDef*> HeaderRegistry::Get(std::string_view name) const {
+  auto it = types_.find(std::string(name));
+  if (it == types_.end()) {
+    return NotFound("header type '" + std::string(name) + "' not registered");
+  }
+  return &it->second;
+}
+
+Result<HeaderTypeDef*> HeaderRegistry::GetMutable(std::string_view name) {
+  auto it = types_.find(std::string(name));
+  if (it == types_.end()) {
+    return NotFound("header type '" + std::string(name) + "' not registered");
+  }
+  return &it->second;
+}
+
+Status HeaderRegistry::LinkHeader(std::string_view pre, std::string_view next,
+                                  uint64_t tag) {
+  if (!Has(next)) {
+    return NotFound("link target '" + std::string(next) + "' not registered");
+  }
+  IPSA_ASSIGN_OR_RETURN(HeaderTypeDef * def, GetMutable(pre));
+  def->SetLink(tag, std::string(next));
+  return OkStatus();
+}
+
+Status HeaderRegistry::UnlinkHeader(std::string_view pre, uint64_t tag) {
+  IPSA_ASSIGN_OR_RETURN(HeaderTypeDef * def, GetMutable(pre));
+  return def->RemoveLink(tag);
+}
+
+std::vector<std::string> HeaderRegistry::TypeNames() const {
+  std::vector<std::string> out;
+  out.reserve(types_.size());
+  for (const auto& [name, def] : types_) out.push_back(name);
+  return out;
+}
+
+HeaderRegistry HeaderRegistry::StandardL2L3() {
+  HeaderRegistry reg;
+
+  HeaderTypeDef ethernet("ethernet", {{"dst_addr", 48},
+                                      {"src_addr", 48},
+                                      {"ether_type", 16}});
+  ethernet.SetSelectorField("ether_type");
+  ethernet.SetLink(0x0800, "ipv4");
+  ethernet.SetLink(0x86DD, "ipv6");
+  ethernet.SetLink(0x8100, "vlan");
+  (void)reg.Add(std::move(ethernet));
+
+  HeaderTypeDef vlan("vlan", {{"pcp", 3},
+                              {"dei", 1},
+                              {"vid", 12},
+                              {"ether_type", 16}});
+  vlan.SetSelectorField("ether_type");
+  vlan.SetLink(0x0800, "ipv4");
+  vlan.SetLink(0x86DD, "ipv6");
+  (void)reg.Add(std::move(vlan));
+
+  HeaderTypeDef ipv4("ipv4", {{"version", 4},
+                              {"ihl", 4},
+                              {"dscp", 6},
+                              {"ecn", 2},
+                              {"total_len", 16},
+                              {"identification", 16},
+                              {"flags", 3},
+                              {"frag_offset", 13},
+                              {"ttl", 8},
+                              {"protocol", 8},
+                              {"hdr_checksum", 16},
+                              {"src_addr", 32},
+                              {"dst_addr", 32}});
+  ipv4.SetSelectorField("protocol");
+  ipv4.SetLink(6, "tcp");
+  ipv4.SetLink(17, "udp");
+  (void)reg.Add(std::move(ipv4));
+
+  HeaderTypeDef ipv6("ipv6", {{"version", 4},
+                              {"traffic_class", 8},
+                              {"flow_label", 20},
+                              {"payload_len", 16},
+                              {"next_hdr", 8},
+                              {"hop_limit", 8},
+                              {"src_addr", 128},
+                              {"dst_addr", 128}});
+  ipv6.SetSelectorField("next_hdr");
+  ipv6.SetLink(6, "tcp");
+  ipv6.SetLink(17, "udp");
+  (void)reg.Add(std::move(ipv6));
+
+  HeaderTypeDef tcp("tcp", {{"src_port", 16},
+                            {"dst_port", 16},
+                            {"seq_no", 32},
+                            {"ack_no", 32},
+                            {"data_offset", 4},
+                            {"res", 4},
+                            {"flags", 8},
+                            {"window", 16},
+                            {"checksum", 16},
+                            {"urgent_ptr", 16}});
+  (void)reg.Add(std::move(tcp));
+
+  HeaderTypeDef udp("udp", {{"src_port", 16},
+                            {"dst_port", 16},
+                            {"length", 16},
+                            {"checksum", 16}});
+  (void)reg.Add(std::move(udp));
+
+  reg.SetEntryType("ethernet");
+  return reg;
+}
+
+HeaderTypeDef HeaderRegistry::SrhType() {
+  // Fixed part of RFC 8754's SRH; the segment list is covered by the
+  // variable-size rule so later segments stay in the (unparsed) payload view
+  // while segment[0..] are addressed via byte offsets by the SRv6 actions.
+  HeaderTypeDef srh("srh", {{"next_hdr", 8},
+                            {"hdr_ext_len", 8},
+                            {"routing_type", 8},
+                            {"segments_left", 8},
+                            {"last_entry", 8},
+                            {"flags", 8},
+                            {"tag", 16}});
+  srh.SetSelectorField("next_hdr");
+  srh.SetVarSize(VarSizeRule{.len_field = "hdr_ext_len",
+                             .add = 1,
+                             .multiplier = 8});
+  return srh;
+}
+
+}  // namespace ipsa::arch

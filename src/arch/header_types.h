@@ -1,0 +1,122 @@
+// Generic header type system.
+//
+// Both switch models parse packets from *descriptors*, not hard-coded code:
+// a HeaderTypeDef lists ordered fields (big-endian bit ranges) plus the
+// rP4 "implicit parser" linkage — which field selects the next header and
+// which tag values map to which successor types (Fig. 2 <parser_def>).
+//
+// The linkage is mutable at runtime: the controller's
+// `link_header --pre IPv6 --next SRH --tag 43` command (Fig. 5c) edits this
+// registry on the live device, which is what lets SRv6 be loaded in-situ.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ipsa::arch {
+
+struct FieldDef {
+  std::string name;
+  uint32_t width_bits = 0;
+};
+
+// Variable-size rule: size_bytes = (value(len_field) + add) * multiplier.
+// E.g. the SRH: (hdr_ext_len + 1) * 8.
+struct VarSizeRule {
+  std::string len_field;
+  uint32_t add = 0;
+  uint32_t multiplier = 1;
+};
+
+class HeaderTypeDef {
+ public:
+  HeaderTypeDef() = default;
+  HeaderTypeDef(std::string name, std::vector<FieldDef> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {
+    uint32_t off = 0;
+    for (const FieldDef& f : fields_) {
+      offsets_[f.name] = off;
+      widths_[f.name] = f.width_bits;
+      off += f.width_bits;
+    }
+    total_bits_ = off;
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<FieldDef>& fields() const { return fields_; }
+  uint32_t total_bits() const { return total_bits_; }
+  uint32_t fixed_size_bytes() const { return (total_bits_ + 7) / 8; }
+
+  bool HasField(std::string_view field) const {
+    return offsets_.count(std::string(field)) > 0;
+  }
+  // Bit offset of `field` from the start of the header, MSB-first.
+  Result<uint32_t> FieldOffsetBits(std::string_view field) const;
+  Result<uint32_t> FieldWidthBits(std::string_view field) const;
+
+  // Parser linkage.
+  void SetSelectorField(std::string field) { selector_field_ = std::move(field); }
+  const std::optional<std::string>& selector_field() const {
+    return selector_field_;
+  }
+  void SetLink(uint64_t tag, std::string next_header) {
+    links_[tag] = std::move(next_header);
+  }
+  Status RemoveLink(uint64_t tag);
+  std::optional<std::string> NextFor(uint64_t tag) const;
+  const std::map<uint64_t, std::string>& links() const { return links_; }
+
+  // Variable size.
+  void SetVarSize(VarSizeRule rule) { var_size_ = std::move(rule); }
+  const std::optional<VarSizeRule>& var_size() const { return var_size_; }
+
+ private:
+  std::string name_;
+  std::vector<FieldDef> fields_;
+  std::map<std::string, uint32_t> offsets_;
+  std::map<std::string, uint32_t> widths_;
+  uint32_t total_bits_ = 0;
+  std::optional<std::string> selector_field_;
+  std::map<uint64_t, std::string> links_;
+  std::optional<VarSizeRule> var_size_;
+};
+
+// Registry of header types for one device, plus the parse entry point.
+class HeaderRegistry {
+ public:
+  Status Add(HeaderTypeDef def);
+  Status Remove(std::string_view name);
+  bool Has(std::string_view name) const {
+    return types_.count(std::string(name)) > 0;
+  }
+  Result<const HeaderTypeDef*> Get(std::string_view name) const;
+  Result<HeaderTypeDef*> GetMutable(std::string_view name);
+
+  void SetEntryType(std::string name) { entry_type_ = std::move(name); }
+  const std::string& entry_type() const { return entry_type_; }
+
+  // Runtime linkage edits (controller `link_header` / `unlink_header`).
+  Status LinkHeader(std::string_view pre, std::string_view next, uint64_t tag);
+  Status UnlinkHeader(std::string_view pre, uint64_t tag);
+
+  std::vector<std::string> TypeNames() const;
+
+  // Installs Ethernet/VLAN/IPv4/IPv6/TCP/UDP with their standard linkage;
+  // the base L2/L3 design and tests start from this. SRH is intentionally
+  // NOT pre-installed: loading it at runtime is use case C2.
+  static HeaderRegistry StandardL2L3();
+
+  // The SRH type definition used by the SRv6 use case.
+  static HeaderTypeDef SrhType();
+
+ private:
+  std::map<std::string, HeaderTypeDef> types_;
+  std::string entry_type_ = "ethernet";
+};
+
+}  // namespace ipsa::arch

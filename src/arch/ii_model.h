@@ -1,0 +1,66 @@
+// Per-packet pipeline initiation-interval (II) model.
+//
+// Throughput of a pipelined switch is set by its slowest element per packet,
+// not by end-to-end latency: Mpps = f_clk / E[II]. The behavioral devices
+// compute a per-packet II from the structural quantities the paper's §5
+// identifies:
+//
+//  PISA  — match stages run one packet per cycle from local, full-width
+//          SRAM; the front-end parser is the bottleneck when a packet's
+//          header volume exceeds the parser's per-cycle extraction width.
+//  IPSA  — each TSP additionally (a) loads its per-packet template
+//          parameters, (b) parses just-in-time, and (c) reaches memory via
+//          the crossbar with a bounded data-bus width, costing extra beats
+//          when the table row is wider than the bus (§5 Throughput: "the
+//          declined throughput for IPSA is mainly due to the memory access,
+//          especially when the table entry size exceeds the data bus width,
+//          and the extra time for loading the per-packet configuration
+//          parameters").
+//
+// Constants are calibration parameters of the reproduction (see
+// EXPERIMENTS.md for paper-vs-model numbers).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace ipsa::arch {
+
+// --- PISA ------------------------------------------------------------------
+
+// Front parser extraction width per cycle, bytes.
+inline constexpr double kPisaParserBytesPerCycle = 64.0;
+
+inline double PisaParserIi(uint64_t parsed_bytes) {
+  return std::max(1.0, std::ceil(static_cast<double>(parsed_bytes) /
+                                 kPisaParserBytesPerCycle));
+}
+
+// Local prorated SRAM is full-row width: one packet per cycle per MAU.
+inline double PisaStageIi() { return 1.0; }
+
+// --- IPSA ------------------------------------------------------------------
+
+inline constexpr double kIpsaTspBaseIi = 1.0;
+// Per-packet template-parameter load (eliminable by pipelining the TSP
+// internals, which the prototype does not do — §5).
+inline constexpr double kIpsaTemplateLoadIi = 1.5;
+// Just-in-time parse cost per 32-byte extraction word in this TSP (the
+// distributed parsers are narrower than PISA's front parser).
+inline constexpr double kIpsaParseBytesPerWord = 32.0;
+inline constexpr double kIpsaParseWordIi = 0.5;
+// Each extra data-bus beat beyond the first (row wider than the bus).
+inline constexpr double kIpsaBusBeatIi = 1.0;
+
+// `access_cycles` as charged by the tables: 1 (crossbar) + bus beats.
+inline double IpsaTspIi(uint64_t parse_bytes, uint64_t access_cycles) {
+  double beats_extra =
+      access_cycles > 2 ? static_cast<double>(access_cycles - 2) : 0.0;
+  return kIpsaTspBaseIi + kIpsaTemplateLoadIi +
+         kIpsaParseWordIi *
+             (static_cast<double>(parse_bytes) / kIpsaParseBytesPerWord) +
+         kIpsaBusBeatIi * beats_extra;
+}
+
+}  // namespace ipsa::arch

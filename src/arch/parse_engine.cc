@@ -1,0 +1,97 @@
+#include "arch/parse_engine.h"
+
+#include <algorithm>
+
+namespace ipsa::arch {
+
+namespace {
+
+// Computes the size in bytes of header `type` located at `byte_offset`.
+Result<uint32_t> HeaderSize(const PacketContext& ctx,
+                            const HeaderTypeDef& type, uint32_t byte_offset) {
+  if (!type.var_size().has_value()) return type.fixed_size_bytes();
+  const VarSizeRule& rule = *type.var_size();
+  IPSA_ASSIGN_OR_RETURN(uint32_t field_off,
+                        type.FieldOffsetBits(rule.len_field));
+  IPSA_ASSIGN_OR_RETURN(uint32_t field_width,
+                        type.FieldWidthBits(rule.len_field));
+  size_t abs = static_cast<size_t>(byte_offset) * 8 + field_off;
+  if (abs + field_width > ctx.packet().size() * 8) {
+    return OutOfRange("variable-size length field beyond packet end");
+  }
+  mem::BitString len =
+      ReadWireBits(ctx.packet().bytes(), abs, field_width);
+  return static_cast<uint32_t>((len.ToUint64() + rule.add) * rule.multiplier);
+}
+
+}  // namespace
+
+Result<bool> ParseEngine::ParseNext(PacketContext& ctx, ParseStats& stats) {
+  const HeaderRegistry& reg = ctx.registry();
+  std::string next_type;
+  uint32_t next_offset = 0;
+
+  const HeaderInstance* last = ctx.phv().Last();
+  if (last == nullptr) {
+    next_type = reg.entry_type();
+    next_offset = 0;
+  } else {
+    IPSA_ASSIGN_OR_RETURN(const HeaderTypeDef* last_def,
+                          reg.Get(last->type_name));
+    if (!last_def->selector_field().has_value()) return false;
+    IPSA_ASSIGN_OR_RETURN(
+        mem::BitString tag,
+        ctx.ReadField(FieldRef::Header(last->name,
+                                       *last_def->selector_field())));
+    auto next = last_def->NextFor(tag.ToUint64());
+    if (!next.has_value()) return false;  // unknown tag: chain ends (payload)
+    next_type = *next;
+    next_offset = last->byte_offset + last->size_bytes;
+  }
+
+  IPSA_ASSIGN_OR_RETURN(const HeaderTypeDef* def, reg.Get(next_type));
+  if (static_cast<size_t>(next_offset) + def->fixed_size_bytes() >
+      ctx.packet().size()) {
+    return false;  // truncated packet: stop parsing
+  }
+  IPSA_ASSIGN_OR_RETURN(uint32_t size, HeaderSize(ctx, *def, next_offset));
+  if (static_cast<size_t>(next_offset) + size > ctx.packet().size()) {
+    return false;
+  }
+  ctx.phv().Add(HeaderInstance{.type_name = next_type,
+                               .name = next_type,
+                               .byte_offset = next_offset,
+                               .size_bytes = size,
+                               .valid = true});
+  ++stats.headers_parsed;
+  stats.bytes_parsed += size;
+  stats.cycles += kCyclesPerHeader;
+  ctx.ChargeCycles(kCyclesPerHeader);
+  return true;
+}
+
+Result<ParseStats> ParseEngine::ParseUntil(
+    PacketContext& ctx, const std::vector<std::string>& wanted) {
+  ParseStats stats;
+  auto all_present = [&] {
+    return std::all_of(wanted.begin(), wanted.end(), [&](const auto& name) {
+      return ctx.phv().IsValid(name);
+    });
+  };
+  while (!all_present()) {
+    IPSA_ASSIGN_OR_RETURN(bool more, ParseNext(ctx, stats));
+    if (!more) break;
+  }
+  return stats;
+}
+
+Result<ParseStats> ParseEngine::ParseAll(PacketContext& ctx) {
+  ParseStats stats;
+  while (true) {
+    IPSA_ASSIGN_OR_RETURN(bool more, ParseNext(ctx, stats));
+    if (!more) break;
+  }
+  return stats;
+}
+
+}  // namespace ipsa::arch

@@ -1,0 +1,118 @@
+#include "arch/phv.h"
+
+namespace ipsa::arch {
+
+const HeaderInstance* Phv::Find(std::string_view name) const {
+  for (const auto& h : instances_) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+HeaderInstance* Phv::FindMutable(std::string_view name) {
+  for (auto& h : instances_) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+void Phv::ShiftOffsets(uint32_t from_offset, int32_t delta) {
+  for (auto& h : instances_) {
+    if (h.byte_offset >= from_offset) {
+      h.byte_offset = static_cast<uint32_t>(
+          static_cast<int64_t>(h.byte_offset) + delta);
+    }
+  }
+}
+
+Status Phv::RemoveInstance(std::string_view name) {
+  for (auto it = instances_.begin(); it != instances_.end(); ++it) {
+    if (it->name == name) {
+      instances_.erase(it);
+      return OkStatus();
+    }
+  }
+  return NotFound("PHV has no instance '" + std::string(name) + "'");
+}
+
+Status Metadata::Declare(const std::string& name, uint32_t width_bits) {
+  auto it = fields_.find(name);
+  if (it != fields_.end()) {
+    if (it->second.bit_width() != width_bits) {
+      return AlreadyExists("metadata field '" + name +
+                           "' redeclared with different width");
+    }
+    return OkStatus();
+  }
+  fields_.emplace(name, mem::BitString(width_bits));
+  return OkStatus();
+}
+
+uint32_t Metadata::WidthOf(std::string_view name) const {
+  auto it = fields_.find(std::string(name));
+  return it == fields_.end() ? 0
+                             : static_cast<uint32_t>(it->second.bit_width());
+}
+
+Result<mem::BitString> Metadata::Read(std::string_view name) const {
+  auto it = fields_.find(std::string(name));
+  if (it == fields_.end()) {
+    return NotFound("metadata field '" + std::string(name) + "' not declared");
+  }
+  return it->second;
+}
+
+Status Metadata::Write(std::string_view name, const mem::BitString& value) {
+  auto it = fields_.find(std::string(name));
+  if (it == fields_.end()) {
+    return NotFound("metadata field '" + std::string(name) + "' not declared");
+  }
+  it->second = mem::BitString::FromBytes(value.bytes(), it->second.bit_width());
+  return OkStatus();
+}
+
+uint64_t Metadata::ReadUint(std::string_view name) const {
+  auto it = fields_.find(std::string(name));
+  return it == fields_.end() ? 0 : it->second.ToUint64();
+}
+
+Status Metadata::WriteUint(std::string_view name, uint64_t value) {
+  auto it = fields_.find(std::string(name));
+  if (it == fields_.end()) {
+    return NotFound("metadata field '" + std::string(name) + "' not declared");
+  }
+  mem::BitString v(it->second.bit_width());
+  v.SetBits(0, std::min<size_t>(64, v.bit_width()), value);
+  it->second = std::move(v);
+  return OkStatus();
+}
+
+void Metadata::Reset() {
+  for (auto& [name, value] : fields_) {
+    value = mem::BitString(value.bit_width());
+  }
+}
+
+Metadata Metadata::Standard() {
+  Metadata m;
+  (void)m.Declare("ingress_port", 9);
+  (void)m.Declare("egress_spec", 9);
+  (void)m.Declare("drop", 1);
+  (void)m.Declare("mark", 1);
+  // The base L2/L3 design's user metadata (Fig. 4 stages A-J).
+  (void)m.Declare("if_index", 16);
+  (void)m.Declare("bd", 16);
+  (void)m.Declare("vrf", 16);
+  (void)m.Declare("l3", 1);        // 1 = route, 0 = bridge
+  (void)m.Declare("nexthop", 16);
+  return m;
+}
+
+std::vector<std::string> Metadata::FieldNames() const {
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const auto& [name, value] : fields_) out.push_back(name);
+  return out;
+}
+
+}  // namespace ipsa::arch

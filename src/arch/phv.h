@@ -1,0 +1,95 @@
+// Parsed-header vector (PHV) and metadata.
+//
+// The PHV records which header instances have been located in the packet,
+// at what byte offset and size. In IPSA it is *accumulated* across stages —
+// a stage parses only what it needs and later stages reuse the result
+// (paper §2.1, "parsed headers are passed to later pipeline stages to avoid
+// unnecessary re-parsing"). In PISA the front parser fills it completely
+// before the pipeline.
+//
+// Metadata is a bag of named BitString fields: user metadata comes from the
+// rP4 <struct_def>s, standard metadata (ingress_port, egress_spec, drop,
+// mark, ...) is predeclared.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/block.h"
+#include "util/status.h"
+
+namespace ipsa::arch {
+
+struct HeaderInstance {
+  std::string type_name;   // header type in the registry
+  std::string name;        // instance name (== type name in our programs)
+  uint32_t byte_offset = 0;
+  uint32_t size_bytes = 0;
+  bool valid = false;
+};
+
+class Phv {
+ public:
+  void Clear() { instances_.clear(); }
+
+  // Appends a parsed instance (parse order == wire order).
+  void Add(HeaderInstance instance) {
+    instances_.push_back(std::move(instance));
+  }
+
+  const HeaderInstance* Find(std::string_view name) const;
+  HeaderInstance* FindMutable(std::string_view name);
+  bool IsValid(std::string_view name) const {
+    const HeaderInstance* h = Find(name);
+    return h != nullptr && h->valid;
+  }
+
+  const std::vector<HeaderInstance>& instances() const { return instances_; }
+
+  // Last instance in wire order (where parsing resumes from).
+  const HeaderInstance* Last() const {
+    return instances_.empty() ? nullptr : &instances_.back();
+  }
+
+  // Shifts the byte offsets of every instance at or beyond `from_offset` by
+  // `delta` (after header insertion/removal in the packet).
+  void ShiftOffsets(uint32_t from_offset, int32_t delta);
+
+  // Drops an instance (header removed from the packet).
+  Status RemoveInstance(std::string_view name);
+
+ private:
+  std::vector<HeaderInstance> instances_;
+};
+
+// Named metadata fields with declared widths.
+class Metadata {
+ public:
+  // Declares a field (idempotent if same width).
+  Status Declare(const std::string& name, uint32_t width_bits);
+  bool Has(std::string_view name) const {
+    return fields_.count(std::string(name)) > 0;
+  }
+  uint32_t WidthOf(std::string_view name) const;
+
+  Result<mem::BitString> Read(std::string_view name) const;
+  Status Write(std::string_view name, const mem::BitString& value);
+  // Convenience for narrow fields.
+  uint64_t ReadUint(std::string_view name) const;
+  Status WriteUint(std::string_view name, uint64_t value);
+
+  void Reset();  // zeroes all fields, keeps declarations
+
+  // The standard metadata every packet context carries.
+  static Metadata Standard();
+
+  std::vector<std::string> FieldNames() const;
+
+ private:
+  std::map<std::string, mem::BitString> fields_;
+};
+
+}  // namespace ipsa::arch

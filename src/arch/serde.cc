@@ -1,0 +1,667 @@
+// JSON (de)serialization for designs, stage templates, actions, and
+// expressions — the interchange format between p4lite/rp4fc/rp4bc, the
+// controller, and the two behavioral devices.
+#include <cctype>
+
+#include "arch/design.h"
+#include "util/strings.h"
+
+namespace ipsa::arch {
+
+namespace {
+
+using util::Json;
+using util::JsonArray;
+
+Json BitStringToJson(const mem::BitString& v) {
+  Json j = Json::Object();
+  j["width"] = v.bit_width();
+  j["hex"] = v.ToHex();
+  return j;
+}
+
+Result<mem::BitString> BitStringFromJson(const Json& j) {
+  if (!j.is_object()) return InvalidArgument("bitstring: expected object");
+  size_t width = static_cast<size_t>(j.GetInt("width"));
+  std::string hex = j.GetString("hex", "0x0");
+  if (util::StartsWith(hex, "0x") || util::StartsWith(hex, "0X")) {
+    hex = hex.substr(2);
+  }
+  mem::BitString out(width);
+  // Hex digits are most-significant-first.
+  size_t nibble_count = hex.size();
+  for (size_t i = 0; i < nibble_count; ++i) {
+    char c = hex[nibble_count - 1 - i];  // LSB-first processing
+    uint8_t v;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<uint8_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<uint8_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v = static_cast<uint8_t>(c - 'A' + 10);
+    } else {
+      return InvalidArgument("bitstring: bad hex digit");
+    }
+    for (int b = 0; b < 4; ++b) {
+      size_t bit = i * 4 + static_cast<size_t>(b);
+      if (bit < width && ((v >> b) & 1)) out.SetBit(bit, true);
+    }
+  }
+  return out;
+}
+
+struct OpNamePair {
+  Expr::Op op;
+  std::string_view name;
+  bool unary;
+};
+
+constexpr OpNamePair kOps[] = {
+    {Expr::Op::kNot, "!", true},      {Expr::Op::kBitNot, "~", true},
+    {Expr::Op::kEq, "==", false},     {Expr::Op::kNe, "!=", false},
+    {Expr::Op::kLt, "<", false},      {Expr::Op::kLe, "<=", false},
+    {Expr::Op::kGt, ">", false},      {Expr::Op::kGe, ">=", false},
+    {Expr::Op::kAnd, "&&", false},    {Expr::Op::kOr, "||", false},
+    {Expr::Op::kAdd, "+", false},     {Expr::Op::kSub, "-", false},
+    {Expr::Op::kMul, "*", false},     {Expr::Op::kBitAnd, "&", false},
+    {Expr::Op::kBitOr, "|", false},   {Expr::Op::kBitXor, "^", false},
+    {Expr::Op::kShl, "<<", false},    {Expr::Op::kShr, ">>", false},
+};
+
+Result<OpNamePair> OpFromName(std::string_view name) {
+  for (const auto& p : kOps) {
+    if (p.name == name) return p;
+  }
+  return InvalidArgument("unknown operator '" + std::string(name) + "'");
+}
+
+}  // namespace
+
+Json FieldRefToJson(const FieldRef& ref) { return Json(ref.ToString()); }
+
+Result<FieldRef> FieldRefFromJson(const Json& json) {
+  if (!json.is_string()) return InvalidArgument("field ref: expected string");
+  const std::string& s = json.as_string();
+  size_t dot = s.find('.');
+  if (dot == std::string::npos) {
+    return InvalidArgument("field ref '" + s + "': missing '.'");
+  }
+  std::string scope = s.substr(0, dot);
+  std::string field = s.substr(dot + 1);
+  if (scope == "meta") return FieldRef::Meta(field);
+  return FieldRef::Header(scope, field);
+}
+
+Json ExprToJson(const ExprPtr& expr) {
+  if (expr == nullptr) return Json(nullptr);
+  Json j = Json::Object();
+  switch (expr->kind()) {
+    case Expr::Kind::kConst:
+      j["const"] = BitStringToJson(expr->constant());
+      break;
+    case Expr::Kind::kField:
+      j["field"] = FieldRefToJson(expr->field());
+      break;
+    case Expr::Kind::kRaw:
+      j["raw"] = expr->name();
+      j["offset"] = ExprToJson(expr->lhs());
+      j["width"] = expr->raw_width();
+      break;
+    case Expr::Kind::kParam:
+      j["param"] = expr->name();
+      break;
+    case Expr::Kind::kRegister:
+      j["reg"] = expr->name();
+      j["index"] = ExprToJson(expr->lhs());
+      break;
+    case Expr::Kind::kIsValid:
+      j["valid"] = expr->name();
+      break;
+    case Expr::Kind::kUnary: {
+      j["op"] = std::string(OpName(expr->op()));
+      Json args = Json::Array();
+      args.push_back(ExprToJson(expr->lhs()));
+      j["args"] = std::move(args);
+      break;
+    }
+    case Expr::Kind::kBinary: {
+      j["op"] = std::string(OpName(expr->op()));
+      Json args = Json::Array();
+      args.push_back(ExprToJson(expr->lhs()));
+      args.push_back(ExprToJson(expr->rhs()));
+      j["args"] = std::move(args);
+      break;
+    }
+  }
+  return j;
+}
+
+Result<ExprPtr> ExprFromJson(const Json& json) {
+  if (json.is_null()) return ExprPtr(nullptr);
+  if (!json.is_object()) return InvalidArgument("expr: expected object");
+  if (const Json* c = json.Find("const")) {
+    IPSA_ASSIGN_OR_RETURN(mem::BitString v, BitStringFromJson(*c));
+    return Expr::Const(std::move(v));
+  }
+  if (const Json* f = json.Find("field")) {
+    IPSA_ASSIGN_OR_RETURN(FieldRef ref, FieldRefFromJson(*f));
+    return Expr::Field(std::move(ref));
+  }
+  if (const Json* r = json.Find("raw")) {
+    const Json* off = json.Find("offset");
+    if (off == nullptr) return InvalidArgument("raw expr: missing offset");
+    IPSA_ASSIGN_OR_RETURN(ExprPtr offset, ExprFromJson(*off));
+    uint32_t width = static_cast<uint32_t>(json.GetInt("width", 8));
+    return Expr::Raw(r->as_string(), std::move(offset), width);
+  }
+  if (const Json* p = json.Find("param")) {
+    return Expr::Param(p->as_string());
+  }
+  if (const Json* r = json.Find("reg")) {
+    const Json* idx = json.Find("index");
+    if (idx == nullptr) return InvalidArgument("reg expr: missing index");
+    IPSA_ASSIGN_OR_RETURN(ExprPtr index, ExprFromJson(*idx));
+    return Expr::Register(r->as_string(), std::move(index));
+  }
+  if (const Json* v = json.Find("valid")) {
+    return Expr::IsValid(v->as_string());
+  }
+  if (const Json* op = json.Find("op")) {
+    IPSA_ASSIGN_OR_RETURN(OpNamePair pair, OpFromName(op->as_string()));
+    const Json* args = json.Find("args");
+    if (args == nullptr || !args->is_array()) {
+      return InvalidArgument("operator expr: missing args");
+    }
+    const JsonArray& arr = args->as_array();
+    if (pair.unary) {
+      if (arr.size() != 1) return InvalidArgument("unary op needs 1 arg");
+      IPSA_ASSIGN_OR_RETURN(ExprPtr a, ExprFromJson(arr[0]));
+      return Expr::Unary(pair.op, std::move(a));
+    }
+    if (arr.size() != 2) return InvalidArgument("binary op needs 2 args");
+    IPSA_ASSIGN_OR_RETURN(ExprPtr a, ExprFromJson(arr[0]));
+    IPSA_ASSIGN_OR_RETURN(ExprPtr b, ExprFromJson(arr[1]));
+    return Expr::Binary(pair.op, std::move(a), std::move(b));
+  }
+  return InvalidArgument("expr: unrecognized form");
+}
+
+Json ActionOpToJson(const ActionOp& op) {
+  Json j = Json::Object();
+  switch (op.kind) {
+    case ActionOp::Kind::kNoop:
+      j["op"] = "noop";
+      break;
+    case ActionOp::Kind::kAssign:
+      j["op"] = "assign";
+      j["dest"] = FieldRefToJson(op.dest);
+      j["value"] = ExprToJson(op.value);
+      break;
+    case ActionOp::Kind::kAssignRaw:
+      j["op"] = "assign_raw";
+      j["instance"] = op.instance;
+      j["offset"] = ExprToJson(op.raw_offset);
+      j["width"] = op.raw_width;
+      j["value"] = ExprToJson(op.value);
+      break;
+    case ActionOp::Kind::kPushHeader:
+      j["op"] = "push_header";
+      j["header"] = op.instance;
+      j["after"] = op.after_instance;
+      if (op.push_size_bytes != nullptr) {
+        j["size"] = ExprToJson(op.push_size_bytes);
+      }
+      break;
+    case ActionOp::Kind::kPopHeader:
+      j["op"] = "pop_header";
+      j["header"] = op.instance;
+      break;
+    case ActionOp::Kind::kDrop:
+      j["op"] = "drop";
+      break;
+    case ActionOp::Kind::kMark:
+      j["op"] = "mark";
+      break;
+    case ActionOp::Kind::kForward:
+      j["op"] = "forward";
+      j["value"] = ExprToJson(op.value);
+      break;
+    case ActionOp::Kind::kRegWrite:
+      j["op"] = "reg_write";
+      j["reg"] = op.reg;
+      j["index"] = ExprToJson(op.index);
+      j["value"] = ExprToJson(op.value);
+      break;
+    case ActionOp::Kind::kUpdateChecksum:
+      j["op"] = "update_checksum";
+      j["header"] = op.instance;
+      j["field"] = op.checksum_field;
+      break;
+    case ActionOp::Kind::kIf: {
+      j["op"] = "if";
+      j["cond"] = ExprToJson(op.cond);
+      Json then_arr = Json::Array();
+      for (const auto& o : op.then_ops) then_arr.push_back(ActionOpToJson(o));
+      j["then"] = std::move(then_arr);
+      Json else_arr = Json::Array();
+      for (const auto& o : op.else_ops) else_arr.push_back(ActionOpToJson(o));
+      j["else"] = std::move(else_arr);
+      break;
+    }
+  }
+  return j;
+}
+
+namespace {
+
+Result<std::vector<ActionOp>> OpsFromJson(const Json& arr) {
+  if (!arr.is_array()) return InvalidArgument("ops: expected array");
+  std::vector<ActionOp> out;
+  out.reserve(arr.as_array().size());
+  for (const Json& j : arr.as_array()) {
+    IPSA_ASSIGN_OR_RETURN(ActionOp op, ActionOpFromJson(j));
+    out.push_back(std::move(op));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ActionOp> ActionOpFromJson(const Json& json) {
+  if (!json.is_object()) return InvalidArgument("action op: expected object");
+  std::string kind = json.GetString("op");
+  if (kind == "noop") return ActionOp::Noop();
+  if (kind == "assign") {
+    const Json* dest = json.Find("dest");
+    const Json* value = json.Find("value");
+    if (dest == nullptr || value == nullptr) {
+      return InvalidArgument("assign: missing dest/value");
+    }
+    IPSA_ASSIGN_OR_RETURN(FieldRef ref, FieldRefFromJson(*dest));
+    IPSA_ASSIGN_OR_RETURN(ExprPtr v, ExprFromJson(*value));
+    return ActionOp::Assign(std::move(ref), std::move(v));
+  }
+  if (kind == "assign_raw") {
+    const Json* off = json.Find("offset");
+    const Json* value = json.Find("value");
+    if (off == nullptr || value == nullptr) {
+      return InvalidArgument("assign_raw: missing offset/value");
+    }
+    IPSA_ASSIGN_OR_RETURN(ExprPtr offset, ExprFromJson(*off));
+    IPSA_ASSIGN_OR_RETURN(ExprPtr v, ExprFromJson(*value));
+    return ActionOp::AssignRaw(json.GetString("instance"), std::move(offset),
+                               static_cast<uint32_t>(json.GetInt("width")),
+                               std::move(v));
+  }
+  if (kind == "push_header") {
+    ExprPtr size;
+    if (const Json* s = json.Find("size"); s != nullptr && !s->is_null()) {
+      IPSA_ASSIGN_OR_RETURN(size, ExprFromJson(*s));
+    }
+    return ActionOp::PushHeader(json.GetString("header"),
+                                json.GetString("after"), std::move(size));
+  }
+  if (kind == "pop_header") {
+    return ActionOp::PopHeader(json.GetString("header"));
+  }
+  if (kind == "drop") return ActionOp::Drop();
+  if (kind == "mark") return ActionOp::Mark();
+  if (kind == "forward") {
+    const Json* value = json.Find("value");
+    if (value == nullptr) return InvalidArgument("forward: missing value");
+    IPSA_ASSIGN_OR_RETURN(ExprPtr v, ExprFromJson(*value));
+    return ActionOp::Forward(std::move(v));
+  }
+  if (kind == "reg_write") {
+    const Json* idx = json.Find("index");
+    const Json* value = json.Find("value");
+    if (idx == nullptr || value == nullptr) {
+      return InvalidArgument("reg_write: missing index/value");
+    }
+    IPSA_ASSIGN_OR_RETURN(ExprPtr i, ExprFromJson(*idx));
+    IPSA_ASSIGN_OR_RETURN(ExprPtr v, ExprFromJson(*value));
+    return ActionOp::RegWrite(json.GetString("reg"), std::move(i),
+                              std::move(v));
+  }
+  if (kind == "update_checksum") {
+    return ActionOp::UpdateChecksum(json.GetString("header"),
+                                    json.GetString("field", "hdr_checksum"));
+  }
+  if (kind == "if") {
+    const Json* cond = json.Find("cond");
+    if (cond == nullptr) return InvalidArgument("if: missing cond");
+    IPSA_ASSIGN_OR_RETURN(ExprPtr c, ExprFromJson(*cond));
+    std::vector<ActionOp> then_ops, else_ops;
+    if (const Json* t = json.Find("then")) {
+      IPSA_ASSIGN_OR_RETURN(then_ops, OpsFromJson(*t));
+    }
+    if (const Json* e = json.Find("else")) {
+      IPSA_ASSIGN_OR_RETURN(else_ops, OpsFromJson(*e));
+    }
+    return ActionOp::If(std::move(c), std::move(then_ops),
+                        std::move(else_ops));
+  }
+  return InvalidArgument("action op: unknown kind '" + kind + "'");
+}
+
+Json ActionDefToJson(const ActionDef& def) {
+  Json j = Json::Object();
+  j["name"] = def.name;
+  Json params = Json::Array();
+  for (const auto& p : def.params) {
+    Json pj = Json::Object();
+    pj["name"] = p.name;
+    pj["width"] = p.width_bits;
+    params.push_back(std::move(pj));
+  }
+  j["params"] = std::move(params);
+  Json body = Json::Array();
+  for (const auto& op : def.body) body.push_back(ActionOpToJson(op));
+  j["body"] = std::move(body);
+  return j;
+}
+
+Result<ActionDef> ActionDefFromJson(const Json& json) {
+  if (!json.is_object()) return InvalidArgument("action: expected object");
+  ActionDef def;
+  def.name = json.GetString("name");
+  if (const Json* params = json.Find("params"); params && params->is_array()) {
+    for (const Json& pj : params->as_array()) {
+      def.params.push_back(ActionParam{
+          pj.GetString("name"), static_cast<uint32_t>(pj.GetInt("width"))});
+    }
+  }
+  if (const Json* body = json.Find("body")) {
+    IPSA_ASSIGN_OR_RETURN(def.body, OpsFromJson(*body));
+  }
+  return def;
+}
+
+Json StageProgramToJson(const StageProgram& stage) {
+  Json j = Json::Object();
+  j["name"] = stage.name;
+  Json parser = Json::Array();
+  for (const auto& h : stage.parse_set) parser.push_back(h);
+  j["parser"] = std::move(parser);
+  Json matcher = Json::Array();
+  for (const auto& rule : stage.matcher) {
+    Json rj = Json::Object();
+    rj["guard"] = ExprToJson(rule.guard);
+    rj["table"] = rule.table;
+    matcher.push_back(std::move(rj));
+  }
+  j["matcher"] = std::move(matcher);
+  Json executor = Json::Object();
+  for (const auto& [tag, action] : stage.executor) {
+    executor[std::to_string(tag)] = action;
+  }
+  executor["default"] = stage.miss_action;
+  j["executor"] = std::move(executor);
+  return j;
+}
+
+Result<StageProgram> StageProgramFromJson(const Json& json) {
+  if (!json.is_object()) return InvalidArgument("stage: expected object");
+  StageProgram stage;
+  stage.name = json.GetString("name");
+  if (const Json* parser = json.Find("parser"); parser && parser->is_array()) {
+    for (const Json& h : parser->as_array()) {
+      stage.parse_set.push_back(h.as_string());
+    }
+  }
+  if (const Json* matcher = json.Find("matcher");
+      matcher && matcher->is_array()) {
+    for (const Json& rj : matcher->as_array()) {
+      MatchRule rule;
+      if (const Json* g = rj.Find("guard"); g != nullptr && !g->is_null()) {
+        IPSA_ASSIGN_OR_RETURN(rule.guard, ExprFromJson(*g));
+      }
+      rule.table = rj.GetString("table");
+      stage.matcher.push_back(std::move(rule));
+    }
+  }
+  if (const Json* executor = json.Find("executor");
+      executor && executor->is_object()) {
+    for (const auto& [key, value] : executor->as_object()) {
+      if (key == "default") {
+        stage.miss_action = value.as_string();
+      } else {
+        auto tag = util::ParseUint(key);
+        if (!tag) return InvalidArgument("executor: bad tag '" + key + "'");
+        stage.executor[static_cast<uint32_t>(*tag)] = value.as_string();
+      }
+    }
+  }
+  return stage;
+}
+
+Json HeaderTypeToJson(const HeaderTypeDef& def) {
+  Json j = Json::Object();
+  j["name"] = def.name();
+  Json fields = Json::Array();
+  for (const auto& f : def.fields()) {
+    Json fj = Json::Object();
+    fj["name"] = f.name;
+    fj["width"] = f.width_bits;
+    fields.push_back(std::move(fj));
+  }
+  j["fields"] = std::move(fields);
+  if (def.selector_field().has_value()) {
+    j["selector"] = *def.selector_field();
+  }
+  Json links = Json::Object();
+  for (const auto& [tag, next] : def.links()) {
+    links[std::to_string(tag)] = next;
+  }
+  j["links"] = std::move(links);
+  if (def.var_size().has_value()) {
+    Json vs = Json::Object();
+    vs["len_field"] = def.var_size()->len_field;
+    vs["add"] = def.var_size()->add;
+    vs["multiplier"] = def.var_size()->multiplier;
+    j["var_size"] = std::move(vs);
+  }
+  return j;
+}
+
+Result<HeaderTypeDef> HeaderTypeFromJson(const Json& json) {
+  if (!json.is_object()) return InvalidArgument("header: expected object");
+  std::vector<FieldDef> fields;
+  if (const Json* fs = json.Find("fields"); fs && fs->is_array()) {
+    for (const Json& fj : fs->as_array()) {
+      fields.push_back(FieldDef{fj.GetString("name"),
+                                static_cast<uint32_t>(fj.GetInt("width"))});
+    }
+  }
+  HeaderTypeDef def(json.GetString("name"), std::move(fields));
+  if (const Json* sel = json.Find("selector"); sel && sel->is_string()) {
+    def.SetSelectorField(sel->as_string());
+  }
+  if (const Json* links = json.Find("links"); links && links->is_object()) {
+    for (const auto& [tag, next] : links->as_object()) {
+      auto t = util::ParseUint(tag);
+      if (!t) return InvalidArgument("header link: bad tag '" + tag + "'");
+      def.SetLink(*t, next.as_string());
+    }
+  }
+  if (const Json* vs = json.Find("var_size"); vs && vs->is_object()) {
+    def.SetVarSize(VarSizeRule{
+        .len_field = vs->GetString("len_field"),
+        .add = static_cast<uint32_t>(vs->GetInt("add")),
+        .multiplier = static_cast<uint32_t>(vs->GetInt("multiplier", 1))});
+  }
+  return def;
+}
+
+Json TableDeclToJson(const TableDecl& decl) {
+  Json j = Json::Object();
+  j["name"] = decl.spec.name;
+  j["match"] = std::string(table::MatchKindName(decl.spec.match_kind));
+  j["key_width"] = decl.spec.key_width_bits;
+  j["action_data_width"] = decl.spec.action_data_width_bits;
+  j["size"] = decl.spec.size;
+  j["default_action_id"] = decl.spec.default_action_id;
+  if (decl.spec.default_action_data.bit_width() > 0) {
+    j["default_action_data"] = BitStringToJson(decl.spec.default_action_data);
+  }
+  Json key = Json::Array();
+  for (const auto& f : decl.binding.key_fields) {
+    key.push_back(FieldRefToJson(f));
+  }
+  j["key"] = std::move(key);
+  return j;
+}
+
+Result<TableDecl> TableDeclFromJson(const Json& json) {
+  if (!json.is_object()) return InvalidArgument("table: expected object");
+  TableDecl decl;
+  decl.spec.name = json.GetString("name");
+  IPSA_ASSIGN_OR_RETURN(decl.spec.match_kind,
+                        table::MatchKindFromName(json.GetString("match")));
+  decl.spec.key_width_bits = static_cast<uint32_t>(json.GetInt("key_width"));
+  decl.spec.action_data_width_bits =
+      static_cast<uint32_t>(json.GetInt("action_data_width"));
+  decl.spec.size = static_cast<uint32_t>(json.GetInt("size", 1024));
+  decl.spec.default_action_id =
+      static_cast<uint32_t>(json.GetInt("default_action_id"));
+  if (const Json* d = json.Find("default_action_data")) {
+    IPSA_ASSIGN_OR_RETURN(decl.spec.default_action_data,
+                          BitStringFromJson(*d));
+  }
+  if (const Json* key = json.Find("key"); key && key->is_array()) {
+    for (const Json& fj : key->as_array()) {
+      IPSA_ASSIGN_OR_RETURN(FieldRef ref, FieldRefFromJson(fj));
+      decl.binding.key_fields.push_back(std::move(ref));
+    }
+  }
+  return decl;
+}
+
+Json DesignConfig::ToJson() const {
+  Json j = Json::Object();
+  j["name"] = name;
+  j["entry_header"] = headers.entry_type();
+  Json hdrs = Json::Array();
+  for (const auto& type_name : headers.TypeNames()) {
+    auto def = headers.Get(type_name);
+    if (def.ok()) hdrs.push_back(HeaderTypeToJson(**def));
+  }
+  j["headers"] = std::move(hdrs);
+  Json meta = Json::Array();
+  for (const auto& m : metadata) {
+    Json mj = Json::Object();
+    mj["name"] = m.name;
+    mj["width"] = m.width_bits;
+    meta.push_back(std::move(mj));
+  }
+  j["metadata"] = std::move(meta);
+  Json acts = Json::Array();
+  for (const auto& a : actions) acts.push_back(ActionDefToJson(a));
+  j["actions"] = std::move(acts);
+  Json tbls = Json::Array();
+  for (const auto& t : tables) tbls.push_back(TableDeclToJson(t));
+  j["tables"] = std::move(tbls);
+  Json regs = Json::Array();
+  for (const auto& r : registers) {
+    Json rj = Json::Object();
+    rj["name"] = r.name;
+    rj["size"] = r.size;
+    regs.push_back(std::move(rj));
+  }
+  j["registers"] = std::move(regs);
+  Json ing = Json::Array();
+  for (const auto& s : ingress_stages) ing.push_back(StageProgramToJson(s));
+  j["ingress"] = std::move(ing);
+  Json eg = Json::Array();
+  for (const auto& s : egress_stages) eg.push_back(StageProgramToJson(s));
+  j["egress"] = std::move(eg);
+  return j;
+}
+
+Result<DesignConfig> DesignConfig::FromJson(const Json& json) {
+  if (!json.is_object()) return InvalidArgument("design: expected object");
+  DesignConfig d;
+  d.name = json.GetString("name");
+  if (const Json* hdrs = json.Find("headers"); hdrs && hdrs->is_array()) {
+    for (const Json& hj : hdrs->as_array()) {
+      IPSA_ASSIGN_OR_RETURN(HeaderTypeDef def, HeaderTypeFromJson(hj));
+      IPSA_RETURN_IF_ERROR(d.headers.Add(std::move(def)));
+    }
+  }
+  d.headers.SetEntryType(json.GetString("entry_header", "ethernet"));
+  if (const Json* meta = json.Find("metadata"); meta && meta->is_array()) {
+    for (const Json& mj : meta->as_array()) {
+      d.metadata.push_back(MetadataDecl{
+          mj.GetString("name"), static_cast<uint32_t>(mj.GetInt("width"))});
+    }
+  }
+  if (const Json* acts = json.Find("actions"); acts && acts->is_array()) {
+    for (const Json& aj : acts->as_array()) {
+      IPSA_ASSIGN_OR_RETURN(ActionDef def, ActionDefFromJson(aj));
+      d.actions.push_back(std::move(def));
+    }
+  }
+  if (const Json* tbls = json.Find("tables"); tbls && tbls->is_array()) {
+    for (const Json& tj : tbls->as_array()) {
+      IPSA_ASSIGN_OR_RETURN(TableDecl decl, TableDeclFromJson(tj));
+      d.tables.push_back(std::move(decl));
+    }
+  }
+  if (const Json* regs = json.Find("registers"); regs && regs->is_array()) {
+    for (const Json& rj : regs->as_array()) {
+      d.registers.push_back(RegisterDecl{
+          rj.GetString("name"), static_cast<uint32_t>(rj.GetInt("size"))});
+    }
+  }
+  if (const Json* ing = json.Find("ingress"); ing && ing->is_array()) {
+    for (const Json& sj : ing->as_array()) {
+      IPSA_ASSIGN_OR_RETURN(StageProgram s, StageProgramFromJson(sj));
+      d.ingress_stages.push_back(std::move(s));
+    }
+  }
+  if (const Json* eg = json.Find("egress"); eg && eg->is_array()) {
+    for (const Json& sj : eg->as_array()) {
+      IPSA_ASSIGN_OR_RETURN(StageProgram s, StageProgramFromJson(sj));
+      d.egress_stages.push_back(std::move(s));
+    }
+  }
+  return d;
+}
+
+uint64_t DesignConfig::TotalConfigWords() const {
+  uint64_t words = 4;  // design header
+  for (const auto& type_name : headers.TypeNames()) {
+    auto def = headers.Get(type_name);
+    if (def.ok()) {
+      words += 2 + (*def)->fields().size() + (*def)->links().size();
+    }
+  }
+  words += metadata.size();
+  for (const auto& a : actions) {
+    words += 2 + a.params.size() + a.body.size() * 2;
+  }
+  words += tables.size() * 4;
+  words += registers.size();
+  for (const auto& s : ingress_stages) words += s.ConfigWords();
+  for (const auto& s : egress_stages) words += s.ConfigWords();
+  return words;
+}
+
+const StageProgram* DesignConfig::FindStage(std::string_view name) const {
+  for (const auto& s : ingress_stages) {
+    if (s.name == name) return &s;
+  }
+  for (const auto& s : egress_stages) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> DesignConfig::StageNames() const {
+  std::vector<std::string> out;
+  for (const auto& s : ingress_stages) out.push_back(s.name);
+  for (const auto& s : egress_stages) out.push_back(s.name);
+  return out;
+}
+
+}  // namespace ipsa::arch

@@ -1,0 +1,119 @@
+#include "compiler/layout.h"
+
+namespace ipsa::compiler {
+
+namespace {
+
+LayoutResult BuildResult(const std::vector<LayoutGroup>& groups,
+                         const std::vector<uint32_t>& slots,
+                         uint64_t work_units) {
+  LayoutResult result;
+  result.work_units = work_units;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    ipbm::TspAssignment assign;
+    assign.tsp_id = slots[i];
+    assign.role = groups[i].role;
+    assign.stage_names = groups[i].stages;
+    if (groups[i].old_tsp < 0 ||
+        static_cast<uint32_t>(groups[i].old_tsp) != slots[i]) {
+      ++result.relocations;
+    }
+    result.assignments.push_back(std::move(assign));
+  }
+  return result;
+}
+
+Result<LayoutResult> PlaceGreedy(const std::vector<LayoutGroup>& groups,
+                                 uint32_t tsp_count) {
+  std::vector<uint32_t> slots(groups.size(), 0);
+  int64_t prev = -1;
+  uint64_t work = 0;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    ++work;
+    int64_t candidate;
+    if (groups[i].old_tsp > prev) {
+      candidate = groups[i].old_tsp;  // stay put
+    } else {
+      candidate = prev + 1;  // first free slot to the right
+    }
+    if (candidate >= static_cast<int64_t>(tsp_count)) {
+      return ResourceExhausted("layout: not enough TSPs for all groups");
+    }
+    slots[i] = static_cast<uint32_t>(candidate);
+    prev = candidate;
+  }
+  return BuildResult(groups, slots, work);
+}
+
+Result<LayoutResult> PlaceDp(const std::vector<LayoutGroup>& groups,
+                             uint32_t tsp_count) {
+  size_t n = groups.size();
+  if (n > tsp_count) {
+    return ResourceExhausted("layout: not enough TSPs for all groups");
+  }
+  // dp[i][j]: min relocations placing the first i groups within the first j
+  // TSP slots. Placement of group i on slot j costs 0 iff old_tsp == j-1.
+  constexpr uint32_t kInf = UINT32_MAX / 2;
+  std::vector<std::vector<uint32_t>> dp(n + 1,
+                                        std::vector<uint32_t>(tsp_count + 1,
+                                                              kInf));
+  std::vector<std::vector<uint8_t>> placed(
+      n + 1, std::vector<uint8_t>(tsp_count + 1, 0));
+  for (uint32_t j = 0; j <= tsp_count; ++j) dp[0][j] = 0;
+  uint64_t work = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    for (uint32_t j = 1; j <= tsp_count; ++j) {
+      ++work;
+      uint32_t skip = dp[i][j - 1];
+      uint32_t cost =
+          (groups[i - 1].old_tsp >= 0 &&
+           static_cast<uint32_t>(groups[i - 1].old_tsp) == j - 1)
+              ? 0
+              : 1;
+      uint32_t take = dp[i - 1][j - 1] == kInf ? kInf
+                                               : dp[i - 1][j - 1] + cost;
+      if (take < skip) {
+        dp[i][j] = take;
+        placed[i][j] = 1;
+      } else {
+        dp[i][j] = skip;
+      }
+    }
+  }
+  if (dp[n][tsp_count] >= kInf) {
+    return ResourceExhausted("layout: DP found no feasible placement");
+  }
+  // Reconstruct.
+  std::vector<uint32_t> slots(n, 0);
+  size_t i = n;
+  uint32_t j = tsp_count;
+  while (i > 0) {
+    if (placed[i][j]) {
+      slots[i - 1] = j - 1;
+      --i;
+      --j;
+    } else {
+      --j;
+    }
+  }
+  return BuildResult(groups, slots, work);
+}
+
+}  // namespace
+
+Result<LayoutResult> PlaceGroups(const std::vector<LayoutGroup>& groups,
+                                 uint32_t tsp_count, LayoutMode mode) {
+  // Validate role monotonicity (ingress strictly before egress).
+  bool seen_egress = false;
+  for (const auto& g : groups) {
+    if (g.role == ipbm::TspRole::kEgress) {
+      seen_egress = true;
+    } else if (seen_egress) {
+      return InvalidArgument("layout: ingress group after an egress group");
+    }
+  }
+  return mode == LayoutMode::kGreedy ? PlaceGreedy(groups, tsp_count)
+                                     : PlaceDp(groups, tsp_count);
+}
+
+}  // namespace ipsa::compiler

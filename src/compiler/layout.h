@@ -1,0 +1,45 @@
+// Incremental layout optimization (paper §3.2, "Algorithms in rP4
+// Compiler", item 2).
+//
+// After an update edits the logical stage order, each stage *group* (the
+// merged stages that share one TSP) must be placed on a TSP such that group
+// order matches TSP order (the elastic pipeline flows left to right).
+// Every group placed on a TSP other than its current one costs a template
+// rewrite (and a table re-route), so the optimizer minimizes relocations.
+//
+// Two modes, the tradeoff the paper describes:
+//  * kGreedy — first fit: keep a group on its old TSP when still legal,
+//    otherwise take the next free slot. O(groups). Fast, may relocate more.
+//  * kDp — sequence-alignment DP over (group, TSP) minimizing total
+//    relocations; optimal but O(groups x TSPs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ipsa/ipbm.h"
+#include "util/status.h"
+
+namespace ipsa::compiler {
+
+enum class LayoutMode { kGreedy, kDp };
+
+struct LayoutGroup {
+  std::vector<std::string> stages;  // merged logical stages, in order
+  ipbm::TspRole role = ipbm::TspRole::kIngress;
+  int32_t old_tsp = -1;  // current TSP, -1 for a new group
+};
+
+struct LayoutResult {
+  std::vector<ipbm::TspAssignment> assignments;
+  uint32_t relocations = 0;   // groups that moved (or are new)
+  uint64_t work_units = 0;    // search effort (DP cells / greedy steps)
+};
+
+// Groups must already be in pipeline order with all ingress groups before
+// all egress groups.
+Result<LayoutResult> PlaceGroups(const std::vector<LayoutGroup>& groups,
+                                 uint32_t tsp_count, LayoutMode mode);
+
+}  // namespace ipsa::compiler

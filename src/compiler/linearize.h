@@ -1,0 +1,50 @@
+// Lowers an HLIR control's apply tree into an ordered list of logical
+// stages (parse-match-action triads). Shared by rp4fc (which then prints
+// rP4) and the PISA backend (which maps stages onto physical MAUs).
+//
+// Shape rules:
+//  * a bare `t.apply()` becomes one stage with an unconditional rule;
+//  * an if/else-if chain whose branches each contain a single apply becomes
+//    ONE stage whose matcher is the guard chain (this is exactly rP4's
+//    matcher block, and how ECMP's v4/v6 tables share a stage);
+//  * anything nested deeper recurses, conjoining the path condition.
+//
+// Executor tags: each applied table contributes its action list; action ids
+// are assigned per-stage, 1-based, in first-appearance order (0 stays
+// NoAction). The controller's runtime API uses the same assignment.
+#pragma once
+
+#include <vector>
+
+#include "arch/design.h"
+#include "arch/stage.h"
+#include "p4lite/hlir.h"
+#include "util/status.h"
+
+namespace ipsa::compiler {
+
+// Linearizes one control. Stage names are "<prefix><n>_<table>".
+Result<std::vector<arch::StageProgram>> LinearizeControl(
+    const p4lite::HlirControl& control, const std::string& prefix);
+
+// Computes the parse set of a stage: every header instance its guards, key
+// fields, and executor actions touch.
+std::vector<std::string> ComputeParseSet(
+    const arch::StageProgram& stage,
+    const std::vector<arch::TableDecl>& tables,
+    const std::vector<arch::ActionDef>& actions);
+
+// Header instances an action body touches.
+void CollectActionHeaderDeps(const arch::ActionDef& action,
+                             std::vector<std::string>& out);
+
+// Fields an action body writes (for stage dependency analysis).
+void CollectActionWrites(const arch::ActionDef& action,
+                         std::vector<arch::FieldRef>& out);
+
+// Fields a stage reads (guards + keys) given the table/action environment.
+std::vector<arch::FieldRef> CollectStageReads(
+    const arch::StageProgram& stage,
+    const std::vector<arch::TableDecl>& tables);
+
+}  // namespace ipsa::compiler

@@ -1,0 +1,139 @@
+#include "compiler/pisa_backend.h"
+
+#include "compiler/linearize.h"
+#include "compiler/rp4fc.h"
+#include "rp4/ast.h"
+
+namespace ipsa::compiler {
+
+uint64_t RefinePlacement(const arch::DesignConfig& design, uint32_t rounds) {
+  // Cost model: sum over stages of (parse-set pressure + matcher depth +
+  // executor fan-out) weighted by a placement permutation; local search
+  // swaps placement slots to minimize it. This stands in for the
+  // whole-program optimization passes (PHV allocation, table placement)
+  // that dominate a hardware P4 compiler's runtime — and that rerun on
+  // EVERY full recompile, while the incremental rP4 flow never pays them.
+  std::vector<const arch::StageProgram*> stages;
+  for (const auto& s : design.ingress_stages) stages.push_back(&s);
+  for (const auto& s : design.egress_stages) stages.push_back(&s);
+  if (stages.empty()) return 0;
+
+  auto stage_weight = [&](size_t i) -> uint64_t {
+    const arch::StageProgram* s = stages[i];
+    return 1 + s->parse_set.size() * 3 + s->matcher.size() * 5 +
+           s->executor.size() * 2;
+  };
+  std::vector<size_t> placement(stages.size());
+  for (size_t i = 0; i < placement.size(); ++i) placement[i] = i;
+
+  auto cost = [&]() {
+    uint64_t c = 0;
+    for (size_t i = 0; i < placement.size(); ++i) {
+      // Deeper physical slots are more expensive for heavy stages (models
+      // wiring/congestion pressure).
+      c += stage_weight(placement[i]) * (i + 1);
+    }
+    return c;
+  };
+
+  uint64_t best = cost();
+  uint64_t seed = 0x9E3779B97F4A7C15ull;
+  uint64_t per_round = stages.size() * stages.size() *
+                       (design.tables.size() + design.actions.size() + 1);
+  for (uint32_t round = 0; round < rounds; ++round) {
+    for (uint64_t step = 0; step < per_round; ++step) {
+      seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+      size_t a = static_cast<size_t>(seed >> 33) % placement.size();
+      size_t b = static_cast<size_t>(seed >> 13) % placement.size();
+      std::swap(placement[a], placement[b]);
+      uint64_t c = cost();
+      if (c <= best) {
+        best = c;
+      } else {
+        std::swap(placement[a], placement[b]);  // reject
+      }
+    }
+  }
+  return best;
+}
+
+Result<PisaBackendResult> RunPisaBackend(const p4lite::Hlir& hlir,
+                                         const PisaBackendOptions& options) {
+  // Front half is shared with rp4fc: linearize controls and resolve widths.
+  IPSA_ASSIGN_OR_RETURN(Rp4fcResult fc, RunRp4fc(hlir));
+  IPSA_ASSIGN_OR_RETURN(arch::DesignConfig design,
+                        rp4::LowerToDesign(fc.program));
+  design.name = hlir.program_name;
+
+  if (design.ingress_stages.size() > options.physical_ingress_stages) {
+    return ResourceExhausted("design needs " +
+                             std::to_string(design.ingress_stages.size()) +
+                             " ingress stages; chip has " +
+                             std::to_string(options.physical_ingress_stages));
+  }
+  if (design.egress_stages.size() > options.physical_egress_stages) {
+    return ResourceExhausted("design needs more egress stages than the chip");
+  }
+
+  // PISA's prorated memory: one cluster per physical stage; a logical
+  // stage's tables are pinned to the stage's cluster.
+  uint32_t stage_count =
+      options.physical_ingress_stages + options.physical_egress_stages;
+  std::vector<ClusterCapacity> clusters(
+      stage_count, ClusterCapacity{options.sram_blocks_per_stage,
+                                   options.tcam_blocks_per_stage});
+
+  std::vector<AllocRequest> requests;
+  auto blocks_for = [&options](const arch::TableDecl& t) {
+    bool tcam = t.spec.match_kind == table::MatchKind::kTernary;
+    uint32_t w = tcam ? options.tcam_width_bits : options.sram_width_bits;
+    uint32_t d = tcam ? options.tcam_depth : options.sram_depth;
+    uint32_t row_width =
+        t.spec.key_width_bits + 8 + 16 + t.spec.action_data_width_bits;
+    uint32_t cols = (row_width + w - 1) / w;
+    uint32_t rows = (t.spec.size + d - 1) / d;
+    return cols * rows;
+  };
+  auto stage_of_table = [&design, &options](
+                            const std::string& table) -> std::optional<uint32_t> {
+    for (size_t i = 0; i < design.ingress_stages.size(); ++i) {
+      for (const auto& rule : design.ingress_stages[i].matcher) {
+        if (rule.table == table) return static_cast<uint32_t>(i);
+      }
+    }
+    for (size_t i = 0; i < design.egress_stages.size(); ++i) {
+      for (const auto& rule : design.egress_stages[i].matcher) {
+        if (rule.table == table) {
+          return options.physical_ingress_stages + static_cast<uint32_t>(i);
+        }
+      }
+    }
+    return std::nullopt;
+  };
+  for (const auto& t : design.tables) {
+    AllocRequest req;
+    req.table = t.spec.name;
+    req.kind = t.spec.match_kind == table::MatchKind::kTernary
+                   ? mem::BlockKind::kTcam
+                   : mem::BlockKind::kSram;
+    req.blocks_needed = blocks_for(t);
+    req.required_cluster = stage_of_table(t.spec.name);
+    requests.push_back(std::move(req));
+  }
+
+  IPSA_ASSIGN_OR_RETURN(
+      AllocPlan plan,
+      SolveTableAllocation(requests, clusters, options.solver,
+                           options.solver_node_budget));
+
+  if (options.refine_rounds > 0) {
+    RefinePlacement(design, options.refine_rounds);
+  }
+
+  PisaBackendResult result;
+  result.design = std::move(design);
+  result.alloc = std::move(plan);
+  return result;
+}
+
+}  // namespace ipsa::compiler

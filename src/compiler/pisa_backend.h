@@ -1,0 +1,50 @@
+// The PISA back-end compiler: HLIR -> monolithic device design for pbm.
+//
+// This is the baseline ("P4 design flow") of Table 1: EVERY functional
+// change recompiles the whole program through this path and produces a new
+// monolithic DesignConfig that the device must fully reload. The backend
+// runs the complete pipeline every time: linearize both controls, map
+// logical stages onto the fixed physical stages, and run the exact-mode
+// table allocator over the entire design (PISA's prorated memory: one
+// cluster per physical stage).
+#pragma once
+
+#include "arch/design.h"
+#include "compiler/table_alloc.h"
+#include "p4lite/hlir.h"
+#include "util/status.h"
+
+namespace ipsa::compiler {
+
+struct PisaBackendOptions {
+  uint32_t physical_ingress_stages = 8;
+  uint32_t physical_egress_stages = 8;
+  uint32_t sram_blocks_per_stage = 8;
+  uint32_t tcam_blocks_per_stage = 2;
+  uint32_t sram_width_bits = 256;
+  uint32_t sram_depth = 2048;
+  uint32_t tcam_width_bits = 256;
+  uint32_t tcam_depth = 512;
+  SolveMode solver = SolveMode::kExact;
+  uint64_t solver_node_budget = 2'000'000;
+  // Whole-program placement refinement (models the expensive backend
+  // optimization a hardware P4 compiler runs on every full recompile —
+  // PHV allocation, table placement, action scheduling). Iterations scale
+  // with design size; 0 disables (bmv2-class software backend).
+  uint32_t refine_rounds = 400;
+};
+
+// Deterministic local-search refinement over a stage->resource placement
+// cost; returns the final cost (exposed for ablation benches).
+uint64_t RefinePlacement(const arch::DesignConfig& design,
+                         uint32_t rounds);
+
+struct PisaBackendResult {
+  arch::DesignConfig design;
+  AllocPlan alloc;  // table -> physical-stage cluster
+};
+
+Result<PisaBackendResult> RunPisaBackend(const p4lite::Hlir& hlir,
+                                         const PisaBackendOptions& options);
+
+}  // namespace ipsa::compiler

@@ -1,0 +1,146 @@
+// rp4bc — the rP4 back-end compiler (paper §3.2).
+//
+// Base mode: takes an rP4 program, analyzes logical-stage dependencies,
+// merges independent stages into TSPs, allocates tables in the memory pool
+// (set packing, table_alloc.h), computes the stage->TSP layout, and emits
+// the TSP template parameters as JSON for device configuration.
+//
+// Incremental mode: takes the current base design + layout and an update
+// request (an rP4 snippet plus the script commands of Fig. 5b/5c) and emits
+// only the *delta*: an ordered list of device operations (create tables,
+// add headers/links, write the affected TSP templates, reconfigure the
+// selector) plus the updated base design for the next round. Function
+// removal works the same way in reverse.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/design.h"
+#include "compiler/layout.h"
+#include "compiler/table_alloc.h"
+#include "ipsa/ipbm.h"
+#include "rp4/ast.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace ipsa::compiler {
+
+struct Rp4bcOptions {
+  uint32_t tsp_count = 12;
+  uint32_t max_stages_per_tsp = 2;
+  // Memory pool geometry (must match the target ipbm instance).
+  uint32_t clusters = 1;
+  uint32_t sram_blocks = 128;
+  uint32_t tcam_blocks = 32;
+  uint32_t sram_width_bits = 256;
+  uint32_t sram_depth = 2048;
+  uint32_t tcam_width_bits = 256;
+  uint32_t tcam_depth = 512;
+  SolveMode solver = SolveMode::kExact;
+  uint64_t solver_node_budget = 2'000'000;
+  LayoutMode layout_mode = LayoutMode::kDp;
+  bool merge_stages = true;  // ablation knob
+};
+
+struct TspLayout {
+  std::vector<ipbm::TspAssignment> assignments;
+  std::map<std::string, uint32_t> table_cluster;
+};
+
+struct Rp4bcResult {
+  arch::DesignConfig design;
+  TspLayout layout;
+  AllocPlan alloc;
+  util::Json templates_json;  // TSP template parameters (§3.2 output)
+};
+
+Result<Rp4bcResult> CompileBase(const rp4::Rp4Program& program,
+                                const Rp4bcOptions& options);
+
+// --- incremental updates ---------------------------------------------------
+
+struct HeaderLinkCmd {
+  std::string pre;
+  std::string next;
+  uint64_t tag = 0;
+};
+
+struct UpdateRequest {
+  std::string func_name;
+  // `load`: the parsed rP4 snippet defining the function.
+  std::optional<rp4::Rp4Program> snippet;
+  // Pipeline-graph edits (Fig. 5b): stage adjacency to add/remove.
+  std::vector<std::pair<std::string, std::string>> add_links;
+  std::vector<std::pair<std::string, std::string>> del_links;
+  // Header-graph edits (Fig. 5c).
+  std::vector<HeaderLinkCmd> link_headers;
+  // `remove`: offload the named function instead of loading one.
+  bool remove = false;
+  // `update`: replace a loaded function's logic IN PLACE (§4.2: updates
+  // "require less compiling time and data-plane modifications"). The
+  // snippet's stages must be a subset of the function's existing stages;
+  // the pipeline graph, the layout and all table contents (including
+  // registers) are untouched — only the affected TSP templates and changed
+  // actions are rewritten.
+  bool update = false;
+};
+
+struct DeviceOp {
+  enum class Kind {
+    kAddHeader,
+    kRemoveHeader,
+    kLinkHeader,
+    kUnlinkHeader,
+    kDeclareMetadata,
+    kAddAction,
+    kRemoveAction,
+    kCreateRegister,
+    kDestroyRegister,
+    kCreateTable,
+    kDestroyTable,
+    kWriteTemplate,
+    kClearTsp,
+  };
+  Kind kind;
+  arch::HeaderTypeDef header;    // kAddHeader
+  std::string name;              // remove/destroy ops
+  HeaderLinkCmd link;            // k(Un)LinkHeader
+  arch::MetadataDecl metadata;   // kDeclareMetadata
+  arch::ActionDef action;        // kAddAction
+  arch::TableDecl table;         // kCreateTable
+  arch::RegisterDecl reg;        // kCreateRegister
+  uint32_t tsp_id = 0;           // kWriteTemplate / kClearTsp
+  ipbm::TspRole role = ipbm::TspRole::kIngress;
+  std::vector<arch::StageProgram> programs;  // kWriteTemplate
+
+  std::string ToString() const;
+};
+
+struct UpdatePlan {
+  std::vector<DeviceOp> ops;
+  rp4::Rp4Program updated_program;
+  arch::DesignConfig updated_design;
+  TspLayout updated_layout;
+  uint32_t relocations = 0;       // template rewrites beyond new/removed TSPs
+  uint64_t layout_work_units = 0;
+};
+
+Result<UpdatePlan> CompileUpdate(const rp4::Rp4Program& base,
+                                 const TspLayout& layout,
+                                 const UpdateRequest& request,
+                                 const Rp4bcOptions& options);
+
+// Applies an UpdatePlan's device operations to an ipbm switch, in order.
+Status ApplyPlanToDevice(const UpdatePlan& plan, ipbm::IpbmSwitch& device);
+
+// Whether two logical stages are independent (mergeable into one TSP):
+// neither writes a field the other reads, and neither edits the packet's
+// header structure.
+bool StagesIndependent(const arch::DesignConfig& design,
+                       const arch::StageProgram& a,
+                       const arch::StageProgram& b);
+
+}  // namespace ipsa::compiler

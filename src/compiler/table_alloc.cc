@@ -1,0 +1,160 @@
+#include "compiler/table_alloc.h"
+
+#include <algorithm>
+
+namespace ipsa::compiler {
+
+namespace {
+
+struct SearchState {
+  const std::vector<AllocRequest>* requests;
+  std::vector<ClusterCapacity> remaining;
+  std::vector<ClusterCapacity> totals;
+  std::vector<uint32_t> assignment;  // per-request cluster
+  std::vector<uint32_t> best_assignment;
+  uint32_t best_metric = UINT32_MAX;
+  uint64_t nodes = 0;
+  uint64_t budget = 0;
+
+  uint32_t& Free(uint32_t cluster, mem::BlockKind kind) {
+    return kind == mem::BlockKind::kSram ? remaining[cluster].sram_blocks
+                                         : remaining[cluster].tcam_blocks;
+  }
+
+  uint32_t MetricNow() const {
+    uint32_t worst = 0;
+    for (size_t c = 0; c < remaining.size(); ++c) {
+      auto pct = [](uint32_t total, uint32_t rem) -> uint32_t {
+        if (total == 0) return 0;
+        return (total - rem) * 100 / total;
+      };
+      worst = std::max(worst, pct(totals[c].sram_blocks,
+                                  remaining[c].sram_blocks));
+      worst = std::max(worst, pct(totals[c].tcam_blocks,
+                                  remaining[c].tcam_blocks));
+    }
+    return worst;
+  }
+
+  void Search(size_t i) {
+    if (nodes >= budget) return;
+    ++nodes;
+    if (MetricNow() >= best_metric) return;  // bound
+    if (i == requests->size()) {
+      best_metric = MetricNow();
+      best_assignment = assignment;
+      return;
+    }
+    const AllocRequest& req = (*requests)[i];
+    for (uint32_t c = 0; c < remaining.size(); ++c) {
+      if (req.required_cluster.has_value() && *req.required_cluster != c) {
+        continue;
+      }
+      uint32_t& free_blocks = Free(c, req.kind);
+      if (free_blocks < req.blocks_needed) continue;
+      free_blocks -= req.blocks_needed;
+      assignment[i] = c;
+      Search(i + 1);
+      free_blocks += req.blocks_needed;
+    }
+  }
+};
+
+Result<AllocPlan> SolveGreedy(const std::vector<AllocRequest>& requests,
+                              std::vector<ClusterCapacity> remaining) {
+  AllocPlan plan;
+  std::vector<ClusterCapacity> totals = remaining;
+  // First-fit decreasing: biggest requests first, each into the cluster
+  // with the most free space of its kind (or its required cluster).
+  std::vector<size_t> order(requests.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return requests[a].blocks_needed > requests[b].blocks_needed;
+  });
+  for (size_t i : order) {
+    const AllocRequest& req = requests[i];
+    ++plan.nodes_explored;
+    int32_t chosen = -1;
+    uint32_t best_free = 0;
+    for (uint32_t c = 0; c < remaining.size(); ++c) {
+      if (req.required_cluster.has_value() && *req.required_cluster != c) {
+        continue;
+      }
+      uint32_t free_blocks = req.kind == mem::BlockKind::kSram
+                                 ? remaining[c].sram_blocks
+                                 : remaining[c].tcam_blocks;
+      if (free_blocks >= req.blocks_needed && free_blocks >= best_free) {
+        best_free = free_blocks;
+        chosen = static_cast<int32_t>(c);
+      }
+    }
+    if (chosen < 0) {
+      return ResourceExhausted("table '" + req.table +
+                               "' does not fit in the memory pool");
+    }
+    uint32_t c = static_cast<uint32_t>(chosen);
+    if (req.kind == mem::BlockKind::kSram) {
+      remaining[c].sram_blocks -= req.blocks_needed;
+    } else {
+      remaining[c].tcam_blocks -= req.blocks_needed;
+    }
+    plan.table_cluster[req.table] = c;
+  }
+  plan.feasible = true;
+  uint32_t worst = 0;
+  for (size_t c = 0; c < remaining.size(); ++c) {
+    auto pct = [](uint32_t total, uint32_t rem) -> uint32_t {
+      return total == 0 ? 0 : (total - rem) * 100 / total;
+    };
+    worst = std::max(worst,
+                     pct(totals[c].sram_blocks, remaining[c].sram_blocks));
+    worst = std::max(worst,
+                     pct(totals[c].tcam_blocks, remaining[c].tcam_blocks));
+  }
+  plan.max_utilization_pct = worst;
+  return plan;
+}
+
+}  // namespace
+
+Result<AllocPlan> SolveTableAllocation(
+    const std::vector<AllocRequest>& requests,
+    const std::vector<ClusterCapacity>& clusters, SolveMode mode,
+    uint64_t node_budget) {
+  if (clusters.empty()) return InvalidArgument("no memory clusters");
+  if (mode == SolveMode::kGreedy) {
+    return SolveGreedy(requests, clusters);
+  }
+
+  // Exact: branch and bound, largest-first ordering for tighter bounds.
+  std::vector<AllocRequest> ordered = requests;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const AllocRequest& a, const AllocRequest& b) {
+              return a.blocks_needed > b.blocks_needed;
+            });
+  SearchState state;
+  state.requests = &ordered;
+  state.remaining = clusters;
+  state.totals = clusters;
+  state.assignment.resize(ordered.size(), 0);
+  state.budget = node_budget;
+  state.Search(0);
+
+  AllocPlan plan;
+  plan.nodes_explored = state.nodes;
+  if (state.best_metric == UINT32_MAX) {
+    // No complete assignment found within budget; fall back to greedy.
+    auto greedy = SolveGreedy(requests, clusters);
+    if (!greedy.ok()) return greedy.status();
+    greedy->nodes_explored += state.nodes;
+    return greedy;
+  }
+  plan.feasible = true;
+  plan.max_utilization_pct = state.best_metric;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    plan.table_cluster[ordered[i].table] = state.best_assignment[i];
+  }
+  return plan;
+}
+
+}  // namespace ipsa::compiler

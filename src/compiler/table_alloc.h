@@ -1,0 +1,55 @@
+// Memory-pool table allocation — the set-packing problem of §3.2.
+//
+// Each table needs ceil(W/w) x ceil(D/d) blocks of its kind; clustered
+// crossbars restrict which cluster a table may live in (it must be
+// reachable from its TSP). The paper embeds an integer-programming solver
+// (YALMIP) in rp4bc for a heuristic solution; here the exact mode is a
+// branch-and-bound search over cluster assignments (objective: minimize the
+// maximum cluster utilization, i.e. balance the pool) with a node budget,
+// and the greedy mode is first-fit-decreasing. The full P4 flow runs exact
+// mode over the whole design; the incremental rP4 flow greedily places only
+// the new tables — one of the reasons t_C diverges in Table 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/block.h"
+#include "util/status.h"
+
+namespace ipsa::compiler {
+
+struct AllocRequest {
+  std::string table;
+  mem::BlockKind kind = mem::BlockKind::kSram;
+  uint32_t blocks_needed = 1;
+  // Fixed cluster (clustered crossbar: the TSP's cluster), or free choice.
+  std::optional<uint32_t> required_cluster;
+};
+
+struct ClusterCapacity {
+  uint32_t sram_blocks = 0;
+  uint32_t tcam_blocks = 0;
+};
+
+enum class SolveMode { kExact, kGreedy };
+
+struct AllocPlan {
+  bool feasible = false;
+  std::map<std::string, uint32_t> table_cluster;
+  // Balance metric: max over clusters of used/capacity, in percent.
+  uint32_t max_utilization_pct = 0;
+  uint64_t nodes_explored = 0;
+};
+
+// Solves the packing instance. Exact mode explores up to `node_budget`
+// branch-and-bound nodes, then falls back to the best found (or greedy).
+Result<AllocPlan> SolveTableAllocation(
+    const std::vector<AllocRequest>& requests,
+    const std::vector<ClusterCapacity>& clusters, SolveMode mode,
+    uint64_t node_budget = 2'000'000);
+
+}  // namespace ipsa::compiler

@@ -1,0 +1,224 @@
+#include "controller/baseline.h"
+
+#include "controller/runtime_api.h"
+#include "net/headers.h"
+
+namespace ipsa::controller {
+
+namespace {
+
+mem::BitString V6Bits(const net::Ipv6Addr& addr) {
+  return Ipv6Bits(addr.bytes);
+}
+
+}  // namespace
+
+net::Ipv6Addr Srv6Sid(uint16_t index) {
+  return net::Ipv6Addr::FromGroups(
+      {0x2001, 0x0db8, 0x00aa, 0, 0, 0, 0, index});
+}
+
+Status PopulateBaseline(const compiler::ApiSpec& api, const AddEntryFn& add,
+                        const BaselineConfig& config) {
+  EntryBuilder builder(api);
+
+  // (A) port mapping: port p -> interface index p+1.
+  for (uint32_t p = 0; p < config.port_count; ++p) {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("port_map", "set_if_index", {KeyValue(p)},
+                      {Bits(16, p + 1)}));
+    IPSA_RETURN_IF_ERROR(add("port_map", e));
+  }
+
+  // (B) bridge/VRF binding.
+  for (uint32_t i = 1; i <= config.port_count; ++i) {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("bridge_vrf", "set_bd_vrf", {KeyValue(i)},
+                      {Bits(16, config.l2_bd), Bits(16, 1)}));
+    IPSA_RETURN_IF_ERROR(add("bridge_vrf", e));
+  }
+
+  // (C) L2/L3 decision: router MACs route.
+  for (uint32_t m = 0; m < 16; ++m) {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("l2_l3", "set_l3",
+                      {KeyValue(MacBits(config.router_mac_base + m))}, {}));
+    IPSA_RETURN_IF_ERROR(add("l2_l3", e));
+  }
+
+  // (D/F) host routes: a handful of /32s and exact v6 hosts.
+  for (uint32_t k = 0; k < 4; ++k) {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("ipv4_host", "set_nexthop",
+                      {KeyValue(Ipv4Bits(config.v4_dst_base + k))},
+                      {Bits(16, config.NexthopOf(k))}));
+    IPSA_RETURN_IF_ERROR(add("ipv4_host", e));
+  }
+
+  // (E) IPv4 LPM: one /32 per destination plus a covering /8.
+  for (uint32_t k = 0; k < config.v4_dst_count; ++k) {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("ipv4_lpm", "set_nexthop",
+                      {KeyValue(Ipv4Bits(config.v4_dst_base + k))},
+                      {Bits(16, config.NexthopOf(k))}, /*prefix_len=*/32));
+    IPSA_RETURN_IF_ERROR(add("ipv4_lpm", e));
+  }
+  {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("ipv4_lpm", "set_nexthop",
+                      {KeyValue(Ipv4Bits(config.v4_dst_base))},
+                      {Bits(16, config.NexthopOf(0))}, /*prefix_len=*/8));
+    IPSA_RETURN_IF_ERROR(add("ipv4_lpm", e));
+  }
+
+  // (F/G) IPv6: exact hosts for the workload pool plus a covering /48.
+  for (uint32_t k = 0; k < config.v6_dst_count; ++k) {
+    net::Ipv6Addr dst = net::Ipv6Addr::FromGroups(
+        {0x2001, 0x0db8, 0x00ff, 0, 0, 0, 0, static_cast<uint16_t>(k + 1)});
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("ipv6_host", "set_nexthop", {KeyValue(V6Bits(dst))},
+                      {Bits(16, config.NexthopOf(k))}));
+    IPSA_RETURN_IF_ERROR(add("ipv6_host", e));
+  }
+  // Per-destination /128s (the LPM stage runs after the host stage, so its
+  // result must agree with the host entries) plus a covering /48.
+  for (uint32_t k = 0; k < config.v6_dst_count; ++k) {
+    net::Ipv6Addr dst = net::Ipv6Addr::FromGroups(
+        {0x2001, 0x0db8, 0x00ff, 0, 0, 0, 0, static_cast<uint16_t>(k + 1)});
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("ipv6_lpm", "set_nexthop", {KeyValue(V6Bits(dst))},
+                      {Bits(16, config.NexthopOf(k))}, /*prefix_len=*/128));
+    IPSA_RETURN_IF_ERROR(add("ipv6_lpm", e));
+  }
+  {
+    net::Ipv6Addr prefix =
+        net::Ipv6Addr::FromGroups({0x2001, 0x0db8, 0x00ff, 0, 0, 0, 0, 0});
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("ipv6_lpm", "set_nexthop", {KeyValue(V6Bits(prefix))},
+                      {Bits(16, config.NexthopOf(0))}, /*prefix_len=*/48));
+    IPSA_RETURN_IF_ERROR(add("ipv6_lpm", e));
+  }
+
+  // (H) nexthop -> egress bridge + DMAC. Skipped silently when the design
+  // no longer has a nexthop stage (after C1 replaces it with ECMP).
+  if (api.Find("nexthop") != nullptr) {
+    for (uint32_t i = 0; i < config.nexthop_count; ++i) {
+      uint32_t nh = 100 + i;
+      IPSA_ASSIGN_OR_RETURN(
+          table::Entry e,
+          builder.Build("nexthop", "set_nh_bd_dmac", {KeyValue(nh)},
+                        {Bits(16, config.l3_bd),
+                         MacBits(config.nh_dmac_base + nh)}));
+      IPSA_RETURN_IF_ERROR(add("nexthop", e));
+    }
+  }
+
+  // (I) L3 rewrite (SMAC + TTL/hop-limit decrement).
+  {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("l2_l3_rewrite", "rewrite_v4",
+                      {KeyValue(config.l3_bd)}, {MacBits(config.smac)}));
+    IPSA_RETURN_IF_ERROR(add("l2_l3_rewrite", e));
+  }
+  {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("l2_l3_rewrite_v6", "rewrite_v6",
+                      {KeyValue(config.l3_bd)}, {MacBits(config.smac)}));
+    IPSA_RETURN_IF_ERROR(add("l2_l3_rewrite_v6", e));
+  }
+
+  // (J) egress DMAC -> port, for both routed and bridged traffic.
+  for (uint32_t i = 0; i < config.nexthop_count; ++i) {
+    uint32_t nh = 100 + i;
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("dmac", "set_port",
+                      {KeyValue(config.l3_bd),
+                       KeyValue(MacBits(config.nh_dmac_base + nh))},
+                      {Bits(9, config.PortOfNexthop(nh))}));
+    IPSA_RETURN_IF_ERROR(add("dmac", e));
+  }
+  // Bridged (L2) stations on bd 1.
+  for (uint32_t j = 0; j < 8; ++j) {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("dmac", "set_port",
+                      {KeyValue(config.l2_bd),
+                       KeyValue(MacBits(0x022222220000ull + j))},
+                      {Bits(9, j)}));
+    IPSA_RETURN_IF_ERROR(add("dmac", e));
+  }
+  return OkStatus();
+}
+
+Status PopulateEcmp(const compiler::ApiSpec& api, const AddEntryFn& add,
+                    const BaselineConfig& config, uint32_t buckets) {
+  EntryBuilder builder(api);
+  for (const char* table : {"ecmp_ipv4", "ecmp_ipv6"}) {
+    for (uint32_t b = 0; b < buckets; ++b) {
+      uint32_t nh = 100 + b % config.nexthop_count;
+      IPSA_ASSIGN_OR_RETURN(
+          table::Entry e,
+          builder.BuildSelectorMember(
+              table, b, "set_bd_dmac",
+              {Bits(16, config.l3_bd), MacBits(config.nh_dmac_base + nh)}));
+      IPSA_RETURN_IF_ERROR(add(table, e));
+    }
+  }
+  return OkStatus();
+}
+
+Status PopulateSrv6(const compiler::ApiSpec& api, const AddEntryFn& add,
+                    const BaselineConfig& config, uint32_t sid_count) {
+  EntryBuilder builder(api);
+  for (uint16_t i = 0; i < sid_count; ++i) {
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("local_sid", "srv6_end",
+                      {KeyValue(V6Bits(Srv6Sid(i)))}, {}));
+    IPSA_RETURN_IF_ERROR(add("local_sid", e));
+  }
+  // Transit: any 2001:db8:ff::/48 destination picks nexthop 100.
+  net::Ipv6Addr prefix =
+      net::Ipv6Addr::FromGroups({0x2001, 0x0db8, 0x00ff, 0, 0, 0, 0, 0});
+  IPSA_ASSIGN_OR_RETURN(
+      table::Entry e,
+      builder.Build("end_transit", "srv6_transit",
+                    {KeyValue(V6Bits(prefix))}, {Bits(16, 100)},
+                    /*prefix_len=*/48));
+  IPSA_RETURN_IF_ERROR(add("end_transit", e));
+  return OkStatus();
+}
+
+Status PopulateProbe(const compiler::ApiSpec& api, const AddEntryFn& add,
+                     const net::Workload& workload, uint32_t flow_count,
+                     uint32_t threshold) {
+  EntryBuilder builder(api);
+  uint32_t installed = 0;
+  for (const net::FlowSpec& flow : workload.flows()) {
+    if (installed >= flow_count) break;
+    if (flow.is_ipv6) continue;
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry e,
+        builder.Build("flow_probe", "probe_count",
+                      {KeyValue(Ipv4Bits(flow.v4_src.value)),
+                       KeyValue(Ipv4Bits(flow.v4_dst.value))},
+                      {Bits(16, installed), Bits(32, threshold)}));
+    IPSA_RETURN_IF_ERROR(add("flow_probe", e));
+    ++installed;
+  }
+  return OkStatus();
+}
+
+}  // namespace ipsa::controller

@@ -1,0 +1,63 @@
+// Table population for the base design and the three use cases.
+//
+// The same entries are installed through either flow controller (both just
+// expose AddEntry), so pbm and ipbm process identical traffic identically —
+// the equivalence tests depend on this module.
+#pragma once
+
+#include <functional>
+
+#include "compiler/rp4fc.h"
+#include "net/workload.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace ipsa::controller {
+
+using AddEntryFn =
+    std::function<Status(const std::string& table, const table::Entry& entry)>;
+
+struct BaselineConfig {
+  uint32_t port_count = 16;
+  // IPv4 destination pool; must match the workload generator's.
+  uint32_t v4_dst_base = 0x0A000000;  // 10.0.0.0
+  uint32_t v4_dst_count = 256;
+  // Nexthop ids 100 .. 100+nexthop_count-1.
+  uint32_t nexthop_count = 8;
+  uint16_t l2_bd = 1;
+  uint16_t l3_bd = 2;
+  uint64_t router_mac_base = 0x021111110000ull;  // 16 router MACs
+  uint64_t nh_dmac_base = 0x02AABBCC0000ull;
+  uint64_t smac = 0x02DDDDDD0001ull;
+  // IPv6 pool: 2001:db8:ff::/48 with low group 1..v6_dst_count.
+  uint32_t v6_dst_count = 256;
+
+  uint32_t NexthopOf(uint32_t dst_index) const {
+    return 100 + dst_index % nexthop_count;
+  }
+  uint32_t PortOfNexthop(uint32_t nh) const { return nh % 8; }
+};
+
+// Fills port_map, bridge_vrf, l2_l3, the v4/v6 FIBs, nexthop, rewrite and
+// dmac tables so the workload generator's traffic is fully routable.
+Status PopulateBaseline(const compiler::ApiSpec& api, const AddEntryFn& add,
+                        const BaselineConfig& config);
+
+// C1: fills the ECMP selector buckets (replaces nexthop's role).
+Status PopulateEcmp(const compiler::ApiSpec& api, const AddEntryFn& add,
+                    const BaselineConfig& config, uint32_t buckets = 64);
+
+// C2: fills local_sid (SR endpoint SIDs) and end_transit.
+Status PopulateSrv6(const compiler::ApiSpec& api, const AddEntryFn& add,
+                    const BaselineConfig& config, uint32_t sid_count = 16);
+
+// C3: installs probe entries for the first `flow_count` IPv4 flows of the
+// workload, with the given threshold.
+Status PopulateProbe(const compiler::ApiSpec& api, const AddEntryFn& add,
+                     const net::Workload& workload, uint32_t flow_count,
+                     uint32_t threshold);
+
+// The SID used by tests/examples for SR-endpoint traffic: 2001:db8:aa::<i>.
+net::Ipv6Addr Srv6Sid(uint16_t index);
+
+}  // namespace ipsa::controller

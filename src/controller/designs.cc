@@ -1,0 +1,684 @@
+#include "controller/designs.h"
+
+namespace ipsa::controller::designs {
+
+namespace {
+
+// Shared declarations (headers, metadata, parser) of every P4 variant.
+constexpr const char kP4Prologue[] = R"p4(
+header ethernet_t {
+  bit<48> dst_addr;
+  bit<48> src_addr;
+  bit<16> ether_type;
+}
+header ipv4_t {
+  bit<4> version;
+  bit<4> ihl;
+  bit<6> dscp;
+  bit<2> ecn;
+  bit<16> total_len;
+  bit<16> identification;
+  bit<3> flags;
+  bit<13> frag_offset;
+  bit<8> ttl;
+  bit<8> protocol;
+  bit<16> hdr_checksum;
+  bit<32> src_addr;
+  bit<32> dst_addr;
+}
+header ipv6_t {
+  bit<4> version;
+  bit<8> traffic_class;
+  bit<20> flow_label;
+  bit<16> payload_len;
+  bit<8> next_hdr;
+  bit<8> hop_limit;
+  bit<128> src_addr;
+  bit<128> dst_addr;
+}
+header tcp_t {
+  bit<16> src_port;
+  bit<16> dst_port;
+  bit<32> seq_no;
+  bit<32> ack_no;
+  bit<4> data_offset;
+  bit<4> res;
+  bit<8> flags;
+  bit<16> window;
+  bit<16> checksum;
+  bit<16> urgent_ptr;
+}
+header udp_t {
+  bit<16> src_port;
+  bit<16> dst_port;
+  bit<16> length;
+  bit<16> checksum;
+}
+struct metadata_t {
+  bit<16> if_index;
+  bit<16> bd;
+  bit<16> vrf;
+  bit<1> l3;
+  bit<16> nexthop;
+}
+)p4";
+
+constexpr const char kP4HeadersStructBase[] = R"p4(
+struct headers_t {
+  ethernet_t ethernet;
+  ipv4_t ipv4;
+  ipv6_t ipv6;
+  tcp_t tcp;
+  udp_t udp;
+}
+)p4";
+
+constexpr const char kP4ParserBase[] = R"p4(
+parser MainParser(packet_in pkt, out headers_t hdr, inout metadata_t meta) {
+  state start {
+    pkt.extract(hdr.ethernet);
+    transition select(hdr.ethernet.ether_type) {
+      0x0800: parse_ipv4;
+      0x86DD: parse_ipv6;
+      default: accept;
+    }
+  }
+  state parse_ipv4 {
+    pkt.extract(hdr.ipv4);
+    transition select(hdr.ipv4.protocol) {
+      6: parse_tcp;
+      17: parse_udp;
+      default: accept;
+    }
+  }
+  state parse_ipv6 {
+    pkt.extract(hdr.ipv6);
+    transition select(hdr.ipv6.next_hdr) {
+      6: parse_tcp;
+      17: parse_udp;
+      default: accept;
+    }
+  }
+  state parse_tcp { pkt.extract(hdr.tcp); transition accept; }
+  state parse_udp { pkt.extract(hdr.udp); transition accept; }
+}
+)p4";
+
+// Ingress actions + tables shared by all variants.
+constexpr const char kP4IngressDecls[] = R"p4(
+  action set_if_index(bit<16> if_index) { meta.if_index = if_index; }
+  action set_bd_vrf(bit<16> bd, bit<16> vrf) { meta.bd = bd; meta.vrf = vrf; }
+  action set_l3() { meta.l3 = 1; }
+  action set_nexthop(bit<16> nexthop) { meta.nexthop = nexthop; }
+  action set_nh_bd_dmac(bit<16> bd, bit<48> dmac) {
+    meta.bd = bd;
+    hdr.ethernet.dst_addr = dmac;
+  }
+
+  table port_map {
+    key = { meta.ingress_port: exact; }
+    actions = { set_if_index; NoAction; }
+    size = 64;
+  }
+  table bridge_vrf {
+    key = { meta.if_index: exact; }
+    actions = { set_bd_vrf; NoAction; }
+    size = 256;
+  }
+  table l2_l3 {
+    key = { hdr.ethernet.dst_addr: exact; }
+    actions = { set_l3; NoAction; }
+    size = 64;
+  }
+  table ipv4_host {
+    key = { hdr.ipv4.dst_addr: exact; }
+    actions = { set_nexthop; NoAction; }
+    size = 4096;
+  }
+  table ipv6_host {
+    key = { hdr.ipv6.dst_addr: exact; }
+    actions = { set_nexthop; NoAction; }
+    size = 4096;
+  }
+  table ipv4_lpm {
+    key = { hdr.ipv4.dst_addr: lpm; }
+    actions = { set_nexthop; NoAction; }
+    size = 8192;
+  }
+  table ipv6_lpm {
+    key = { hdr.ipv6.dst_addr: lpm; }
+    actions = { set_nexthop; NoAction; }
+    size = 8192;
+  }
+  table nexthop {
+    key = { meta.nexthop: exact; }
+    actions = { set_nh_bd_dmac; NoAction; }
+    size = 1024;
+  }
+)p4";
+
+constexpr const char kP4Egress[] = R"p4(
+control MainEgress(inout headers_t hdr, inout metadata_t meta) {
+  action rewrite_v4(bit<48> smac) {
+    hdr.ethernet.src_addr = smac;
+    hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+    update_checksum(hdr.ipv4, hdr_checksum);
+  }
+  action rewrite_v6(bit<48> smac) {
+    hdr.ethernet.src_addr = smac;
+    hdr.ipv6.hop_limit = hdr.ipv6.hop_limit - 1;
+  }
+  action set_port(bit<9> port) { forward(port); }
+
+  table l2_l3_rewrite {
+    key = { meta.bd: exact; }
+    actions = { rewrite_v4; NoAction; }
+    size = 256;
+  }
+  table l2_l3_rewrite_v6 {
+    key = { meta.bd: exact; }
+    actions = { rewrite_v6; NoAction; }
+    size = 256;
+  }
+  table dmac {
+    key = { meta.bd: exact; hdr.ethernet.dst_addr: exact; }
+    actions = { set_port; NoAction; }
+    size = 4096;
+  }
+
+  apply {
+    if (meta.l3 == 1) {
+      if (hdr.ipv4.isValid()) { l2_l3_rewrite.apply(); }
+      else if (hdr.ipv6.isValid()) { l2_l3_rewrite_v6.apply(); }
+    }
+    dmac.apply();
+  }
+}
+)p4";
+
+std::string BuildP4(const std::string& headers_struct,
+                    const std::string& parser,
+                    const std::string& extra_ingress_decls,
+                    const std::string& ingress_apply) {
+  std::string out = kP4Prologue;
+  out += headers_struct;
+  out += parser;
+  out += "control MainIngress(inout headers_t hdr, inout metadata_t meta) "
+         "{\n";
+  out += kP4IngressDecls;
+  out += extra_ingress_decls;
+  out += "  apply {\n";
+  out += ingress_apply;
+  out += "  }\n}\n";
+  out += kP4Egress;
+  return out;
+}
+
+constexpr const char kBaseIngressApply[] = R"p4(
+    port_map.apply();
+    bridge_vrf.apply();
+    l2_l3.apply();
+    if (meta.l3 == 1) {
+      if (hdr.ipv4.isValid()) { ipv4_host.apply(); }
+      else if (hdr.ipv6.isValid()) { ipv6_host.apply(); }
+      if (hdr.ipv4.isValid()) { ipv4_lpm.apply(); }
+      else if (hdr.ipv6.isValid()) { ipv6_lpm.apply(); }
+      nexthop.apply();
+    }
+)p4";
+
+}  // namespace
+
+const std::string& BaseP4() {
+  static const std::string kSource =
+      BuildP4(kP4HeadersStructBase, kP4ParserBase, "", kBaseIngressApply);
+  return kSource;
+}
+
+// --- C1: ECMP ---------------------------------------------------------------
+
+const std::string& EcmpRp4Snippet() {
+  // The rP4 of Fig. 5(a): two hash (selector) tables and one stage hosting
+  // both, replacing the nexthop stage (H -> K,L in Fig. 4).
+  static const std::string kSource = R"rp4(
+table ecmp_ipv4 {
+  key = {
+    meta.nexthop: hash;
+    ipv4.dst_addr: hash;  // similar with P4's selector
+  }
+  size = 4096;
+}
+table ecmp_ipv6 {
+  key = {
+    meta.nexthop: hash;
+    ipv6.dst_addr: hash;
+  }
+  size = 4096;
+}
+// set egress bridge and dmac
+action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+  meta.bd = bd;
+  ethernet.dst_addr = dmac;
+}
+// parse ipv4 or ipv6, match table
+stage ecmp { /*** parser-matcher-executor ***/
+  parser { ipv4; ipv6; }
+  matcher {
+    if (ipv4.isValid()) ecmp_ipv4.apply();
+    else if (ipv6.isValid()) ecmp_ipv6.apply();
+    else;
+  }
+  executor {
+    1: set_bd_dmac;
+    default: NoAction;
+  }
+}
+)rp4";
+  return kSource;
+}
+
+const std::string& EcmpScript() {
+  static const std::string kSource = R"(
+load ecmp.rp4 --func_name ecmp
+add_link ipv4_lpm ecmp
+del_link ipv4_lpm nexthop
+add_link ecmp l2_l3_rewrite
+del_link nexthop l2_l3_rewrite
+)";
+  return kSource;
+}
+
+const std::string& BasePlusEcmpP4() {
+  static const std::string kEcmpDecls = R"p4(
+  action set_bd_dmac(bit<16> bd, bit<48> dmac) {
+    meta.bd = bd;
+    hdr.ethernet.dst_addr = dmac;
+  }
+  table ecmp_ipv4 {
+    key = { meta.nexthop: hash; hdr.ipv4.dst_addr: hash; }
+    actions = { set_bd_dmac; NoAction; }
+    size = 4096;
+  }
+  table ecmp_ipv6 {
+    key = { meta.nexthop: hash; hdr.ipv6.dst_addr: hash; }
+    actions = { set_bd_dmac; NoAction; }
+    size = 4096;
+  }
+)p4";
+  static const std::string kApply = R"p4(
+    port_map.apply();
+    bridge_vrf.apply();
+    l2_l3.apply();
+    if (meta.l3 == 1) {
+      if (hdr.ipv4.isValid()) { ipv4_host.apply(); }
+      else if (hdr.ipv6.isValid()) { ipv6_host.apply(); }
+      if (hdr.ipv4.isValid()) { ipv4_lpm.apply(); }
+      else if (hdr.ipv6.isValid()) { ipv6_lpm.apply(); }
+      if (hdr.ipv4.isValid()) { ecmp_ipv4.apply(); }
+      else if (hdr.ipv6.isValid()) { ecmp_ipv6.apply(); }
+    }
+)p4";
+  static const std::string kSource =
+      BuildP4(kP4HeadersStructBase, kP4ParserBase, kEcmpDecls, kApply);
+  return kSource;
+}
+
+const std::string& EcmpRemoveScript() {
+  // Offloading restores the nexthop stage's links; the controller reloads
+  // the nexthop stage via the base design (function removal flow).
+  static const std::string kSource = R"(
+remove --func_name ecmp
+)";
+  return kSource;
+}
+
+// --- C2: SRv6 ----------------------------------------------------------------
+
+const std::string& Srv6Rp4Snippet() {
+  // New protocol header (SRH), two tables (local_sid for SR endpoints,
+  // end_transit for transit nodes), one stage after the L2/L3 decision.
+  static const std::string kSource = R"rp4(
+header srh {
+  bit<8> next_hdr;
+  bit<8> hdr_ext_len;
+  bit<8> routing_type;
+  bit<8> segments_left;
+  bit<8> last_entry;
+  bit<8> flags;
+  bit<16> tag;
+  varsize(hdr_ext_len, 1, 8);
+  implicit parser(next_hdr) { }
+}
+table local_sid {
+  key = { ipv6.dst_addr: exact; }
+  size = 1024;
+}
+table end_transit {
+  key = { ipv6.dst_addr: lpm; }
+  size = 1024;
+}
+// SRH "End" behaviour (RFC 8754): SL -= 1; dst = SegmentList[SL].
+action srv6_end() {
+  srh.segments_left = srh.segments_left - 1;
+  ipv6.dst_addr = get_raw(srh, 64 + (srh.segments_left << 7), 128);
+}
+action srv6_transit(bit<16> nexthop) {
+  meta.nexthop = nexthop;
+}
+stage srv6 {
+  parser { ipv6; srh; }
+  matcher {
+    if (srh.isValid() && srh.segments_left > 0) local_sid.apply();
+    else if (ipv6.isValid()) end_transit.apply();
+    else;
+  }
+  executor {
+    1: srv6_end;
+    2: srv6_transit;
+    default: NoAction;
+  }
+}
+)rp4";
+  return kSource;
+}
+
+const std::string& Srv6Script() {
+  // Fig. 5(c): load the function, splice the stage after the L2/L3
+  // decision, and link the new header into the parse graph. The linkage
+  // between routable headers is preserved so plain L3 still works.
+  static const std::string kSource = R"(
+load srv6.rp4 --func_name srv6
+del_link l2_l3 ipv4_host
+add_link l2_l3 srv6
+add_link srv6 ipv4_host
+link_header --pre ipv6 --next srh --tag 43
+link_header --pre srh --next ipv6 --tag 41   // inner IPv6
+link_header --pre srh --next ipv4 --tag 4    // inner IPv4
+)";
+  return kSource;
+}
+
+const std::string& BasePlusSrv6P4() {
+  static const std::string kHeadersStruct = R"p4(
+struct headers_t {
+  ethernet_t ethernet;
+  ipv4_t ipv4;
+  ipv6_t ipv6;
+  srh_t srh;
+  tcp_t tcp;
+  udp_t udp;
+}
+)p4";
+  static const std::string kSrhHeader = R"p4(
+header srh_t {
+  bit<8> next_hdr;
+  bit<8> hdr_ext_len;
+  bit<8> routing_type;
+  bit<8> segments_left;
+  bit<8> last_entry;
+  bit<8> flags;
+  bit<16> tag;
+  varsize(hdr_ext_len, 1, 8);
+}
+)p4";
+  static const std::string kParser = R"p4(
+parser MainParser(packet_in pkt, out headers_t hdr, inout metadata_t meta) {
+  state start {
+    pkt.extract(hdr.ethernet);
+    transition select(hdr.ethernet.ether_type) {
+      0x0800: parse_ipv4;
+      0x86DD: parse_ipv6;
+      default: accept;
+    }
+  }
+  state parse_ipv4 {
+    pkt.extract(hdr.ipv4);
+    transition select(hdr.ipv4.protocol) {
+      6: parse_tcp;
+      17: parse_udp;
+      default: accept;
+    }
+  }
+  state parse_ipv6 {
+    pkt.extract(hdr.ipv6);
+    transition select(hdr.ipv6.next_hdr) {
+      43: parse_srh;
+      6: parse_tcp;
+      17: parse_udp;
+      default: accept;
+    }
+  }
+  state parse_srh { pkt.extract(hdr.srh); transition accept; }
+  state parse_tcp { pkt.extract(hdr.tcp); transition accept; }
+  state parse_udp { pkt.extract(hdr.udp); transition accept; }
+}
+)p4";
+  static const std::string kSrv6Decls = R"p4(
+  action srv6_end() {
+    hdr.srh.segments_left = hdr.srh.segments_left - 1;
+    hdr.ipv6.dst_addr = get_raw(hdr.srh, 64 + (hdr.srh.segments_left << 7), 128);
+  }
+  action srv6_transit(bit<16> nexthop) { meta.nexthop = nexthop; }
+  table local_sid {
+    key = { hdr.ipv6.dst_addr: exact; }
+    actions = { srv6_end; NoAction; }
+    size = 1024;
+  }
+  table end_transit {
+    key = { hdr.ipv6.dst_addr: lpm; }
+    actions = { srv6_transit; NoAction; }
+    size = 1024;
+  }
+)p4";
+  static const std::string kApply = R"p4(
+    port_map.apply();
+    bridge_vrf.apply();
+    l2_l3.apply();
+    if (hdr.srh.isValid()) { local_sid.apply(); }
+    else if (hdr.ipv6.isValid()) { end_transit.apply(); }
+    if (meta.l3 == 1) {
+      if (hdr.ipv4.isValid()) { ipv4_host.apply(); }
+      else if (hdr.ipv6.isValid()) { ipv6_host.apply(); }
+      if (hdr.ipv4.isValid()) { ipv4_lpm.apply(); }
+      else if (hdr.ipv6.isValid()) { ipv6_lpm.apply(); }
+      nexthop.apply();
+    }
+)p4";
+  static const std::string kSource =
+      BuildP4(kSrhHeader + kHeadersStruct, kParser, kSrv6Decls, kApply);
+  return kSource;
+}
+
+// --- C3: flow probe -----------------------------------------------------------
+
+const std::string& ProbeRp4Snippet() {
+  static const std::string kSource = R"rp4(
+register<bit<64>> probe_cnt[1024];
+table flow_probe {
+  key = {
+    ipv4.src_addr: exact;
+    ipv4.dst_addr: exact;
+  }
+  size = 1024;
+}
+// Count packets of the flow; mark once the threshold is exceeded so the
+// controller can apply ACL/QoS to it.
+action probe_count(bit<16> idx, bit<32> threshold) {
+  probe_cnt[idx] = probe_cnt[idx] + 1;
+  if (probe_cnt[idx] > threshold) {
+    mark();
+  }
+}
+stage flow_probe {
+  parser { ipv4; }
+  matcher {
+    if (ipv4.isValid()) flow_probe.apply();
+    else;
+  }
+  executor {
+    1: probe_count;
+    default: NoAction;
+  }
+}
+)rp4";
+  return kSource;
+}
+
+const std::string& ProbeScript() {
+  static const std::string kSource = R"(
+load probe.rp4 --func_name probe
+add_link ipv4_lpm flow_probe
+add_link flow_probe nexthop
+del_link ipv4_lpm nexthop
+)";
+  return kSource;
+}
+
+const std::string& ProbeV2Rp4Snippet() {
+  // Identical structure to ProbeRp4Snippet — same stage name, table shape,
+  // and register — but the executor logic escalates to dropping.
+  static const std::string kSource = R"rp4(
+register<bit<64>> probe_cnt[1024];
+table flow_probe {
+  key = {
+    ipv4.src_addr: exact;
+    ipv4.dst_addr: exact;
+  }
+  size = 1024;
+}
+action probe_count(bit<16> idx, bit<32> threshold) {
+  probe_cnt[idx] = probe_cnt[idx] + 1;
+  if (probe_cnt[idx] > threshold) {
+    drop();
+  }
+}
+stage flow_probe {
+  parser { ipv4; }
+  matcher {
+    if (ipv4.isValid()) flow_probe.apply();
+    else;
+  }
+  executor {
+    1: probe_count;
+    default: NoAction;
+  }
+}
+)rp4";
+  return kSource;
+}
+
+const std::string& ProbeUpdateScript() {
+  static const std::string kSource = R"(
+update probe_v2.rp4 --func_name probe
+)";
+  return kSource;
+}
+
+const std::string& ProbeRemoveScript() {
+  static const std::string kSource = R"(
+remove --func_name probe
+)";
+  return kSource;
+}
+
+const std::string& BasePlusProbeP4() {
+  static const std::string kProbeDecls = R"p4(
+  action probe_count(bit<16> idx, bit<32> threshold) {
+    probe_cnt[idx] = probe_cnt[idx] + 1;
+    if (probe_cnt[idx] > threshold) {
+      mark();
+    }
+  }
+  table flow_probe {
+    key = { hdr.ipv4.src_addr: exact; hdr.ipv4.dst_addr: exact; }
+    actions = { probe_count; NoAction; }
+    size = 1024;
+  }
+)p4";
+  static const std::string kApply = R"p4(
+    port_map.apply();
+    bridge_vrf.apply();
+    l2_l3.apply();
+    if (meta.l3 == 1) {
+      if (hdr.ipv4.isValid()) { ipv4_host.apply(); }
+      else if (hdr.ipv6.isValid()) { ipv6_host.apply(); }
+      if (hdr.ipv4.isValid()) { ipv4_lpm.apply(); }
+      else if (hdr.ipv6.isValid()) { ipv6_lpm.apply(); }
+      if (hdr.ipv4.isValid()) { flow_probe.apply(); }
+      nexthop.apply();
+    }
+)p4";
+  static const std::string kSource = BuildP4(
+      std::string("register<bit<64>> probe_cnt[1024];\n") +
+          kP4HeadersStructBase,
+      kP4ParserBase, kProbeDecls, kApply);
+  return kSource;
+}
+
+const std::string& TelemetryRp4Snippet() {
+  // EtherType 0x88B5 is the IEEE "local experimental" value. The pushed
+  // header preserves the original EtherType in next_type so a downstream
+  // collector can decapsulate.
+  static const std::string kSource = R"rp4(
+header tlm {
+  bit<16> next_type;
+  bit<16> ingress_port;
+  bit<32> hop_count;
+  implicit parser(next_type) { }
+}
+register<bit<64>> tlm_seq[1];
+table tlm_filter {
+  key = { ipv4.dst_addr: lpm; }
+  size = 256;
+}
+action tlm_push() {
+  push_header(tlm, ethernet);
+  tlm.next_type = ethernet.ether_type;
+  tlm.ingress_port = meta.ingress_port;
+  tlm_seq[0] = tlm_seq[0] + 1;
+  tlm.hop_count = tlm_seq[0];
+  ethernet.ether_type = 0x88B5;
+}
+stage telemetry {
+  parser { ipv4; }
+  matcher {
+    if (ipv4.isValid()) tlm_filter.apply();
+    else;
+  }
+  executor {
+    1: tlm_push;
+    default: NoAction;
+  }
+}
+)rp4";
+  return kSource;
+}
+
+const std::string& TelemetryScript() {
+  // Runs at egress, after the L3 rewrite and before the DMAC lookup.
+  static const std::string kSource = R"(
+load telemetry.rp4 --func_name telemetry
+add_link l2_l3_rewrite telemetry
+add_link telemetry dmac
+del_link l2_l3_rewrite dmac
+)";
+  return kSource;
+}
+
+const std::string& TelemetryRemoveScript() {
+  static const std::string kSource = R"(
+remove --func_name telemetry
+)";
+  return kSource;
+}
+
+Result<std::string> ResolveSnippet(const std::string& file) {
+  if (file == "ecmp.rp4") return EcmpRp4Snippet();
+  if (file == "srv6.rp4") return Srv6Rp4Snippet();
+  if (file == "probe.rp4") return ProbeRp4Snippet();
+  if (file == "probe_v2.rp4") return ProbeV2Rp4Snippet();
+  if (file == "telemetry.rp4") return TelemetryRp4Snippet();
+  return NotFound("unknown snippet file '" + file + "'");
+}
+
+}  // namespace ipsa::controller::designs

@@ -1,0 +1,63 @@
+// The paper's tested designs (§4.2), as in-memory sources.
+//
+// Base design: the L2/L3 switch of Fig. 4 — port mapping (A), bridge/VRF
+// binding (B), L2-vs-L3 decision (C), IPv4/IPv6 host+LPM FIB (D-G), nexthop
+// (H), L2/L3 rewrite + SMAC (I), and egress DMAC lookup (J).
+//
+// For each use case there are TWO artifacts, matching the two design flows
+// of Table 1:
+//  * a complete P4 program (base + the function) — the PISA flow recompiles
+//    and reloads this whole thing;
+//  * an rP4 snippet + controller script (Fig. 5) — the rP4 flow compiles
+//    only the increment.
+#pragma once
+
+#include <string>
+
+#include "util/status.h"
+
+namespace ipsa::controller::designs {
+
+// --- base design -----------------------------------------------------------
+const std::string& BaseP4();
+
+// --- C1: ECMP (Fig. 5a/5b) --------------------------------------------------
+const std::string& EcmpRp4Snippet();
+const std::string& EcmpScript();
+const std::string& BasePlusEcmpP4();  // full program for the PISA flow
+
+// --- C2: SRv6 (Fig. 5c) ------------------------------------------------------
+const std::string& Srv6Rp4Snippet();
+const std::string& Srv6Script();
+const std::string& BasePlusSrv6P4();
+
+// --- C3: event-triggered flow probe ------------------------------------------
+const std::string& ProbeRp4Snippet();
+const std::string& ProbeScript();
+const std::string& BasePlusProbeP4();
+
+// In-place function update (§4.2 mentions update flows): probe v2 keeps the
+// same stage/tables/register but escalates from marking to dropping once
+// the threshold is exceeded. Counters survive the update.
+const std::string& ProbeV2Rp4Snippet();
+const std::string& ProbeUpdateScript();
+
+// --- C4 (extension): INT-lite in-band telemetry --------------------------------
+// Not in the paper's evaluation, but squarely its motivation #1 ("dynamic
+// network visibility"): a runtime-loaded function that encapsulates matching
+// flows with a new telemetry header (ingress port + hop sequence number)
+// pushed after Ethernet, retagging the EtherType. Exercises push_header with
+// a header type that did not exist at design time.
+const std::string& TelemetryRp4Snippet();
+const std::string& TelemetryScript();
+const std::string& TelemetryRemoveScript();
+
+// Removal scripts (the paper mentions removal/update flows; §4.2 end).
+const std::string& EcmpRemoveScript();
+const std::string& ProbeRemoveScript();
+
+// Resolves the snippet file names used inside the scripts
+// (ecmp.rp4 / srv6.rp4 / probe.rp4).
+Result<std::string> ResolveSnippet(const std::string& file);
+
+}  // namespace ipsa::controller::designs

@@ -1,0 +1,110 @@
+#include "controller/script.h"
+
+#include "rp4/parser.h"
+#include "util/strings.h"
+
+namespace ipsa::controller {
+
+namespace {
+
+// Extracts `--flag value` pairs from tokens[start..].
+Result<std::map<std::string, std::string>> ParseFlags(
+    const std::vector<std::string>& tokens, size_t start) {
+  std::map<std::string, std::string> flags;
+  for (size_t i = start; i < tokens.size(); i += 2) {
+    if (!util::StartsWith(tokens[i], "--")) {
+      return InvalidArgument("expected --flag, got '" + tokens[i] + "'");
+    }
+    if (i + 1 >= tokens.size()) {
+      return InvalidArgument("flag '" + tokens[i] + "' needs a value");
+    }
+    flags[tokens[i].substr(2)] = tokens[i + 1];
+  }
+  return flags;
+}
+
+}  // namespace
+
+Result<compiler::UpdateRequest> ParseScript(const std::string& script_text,
+                                            const SnippetResolver& resolver) {
+  compiler::UpdateRequest request;
+  bool have_load = false;
+
+  for (const std::string& raw_line : util::Split(script_text, '\n')) {
+    std::string line = util::Trim(raw_line);
+    if (auto pos = line.find("//"); pos != std::string::npos) {
+      line = util::Trim(line.substr(0, pos));
+    }
+    if (auto pos = line.find('#'); pos != std::string::npos) {
+      line = util::Trim(line.substr(0, pos));
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> tokens = util::SplitWhitespace(line);
+    const std::string& cmd = tokens[0];
+
+    if (cmd == "load" || cmd == "update") {
+      if (tokens.size() < 2) return InvalidArgument(cmd + ": missing file");
+      IPSA_ASSIGN_OR_RETURN(auto flags, ParseFlags(tokens, 2));
+      auto it = flags.find("func_name");
+      if (it == flags.end()) {
+        return InvalidArgument(cmd + ": missing --func_name");
+      }
+      request.func_name = it->second;
+      if (resolver == nullptr) {
+        return FailedPrecondition(cmd + ": no snippet resolver provided");
+      }
+      IPSA_ASSIGN_OR_RETURN(std::string source, resolver(tokens[1]));
+      IPSA_ASSIGN_OR_RETURN(rp4::Rp4Program snippet,
+                            rp4::ParseRp4Snippet(source));
+      request.snippet = std::move(snippet);
+      request.update = cmd == "update";
+      have_load = true;
+    } else if (cmd == "remove") {
+      IPSA_ASSIGN_OR_RETURN(auto flags, ParseFlags(tokens, 1));
+      auto it = flags.find("func_name");
+      if (it == flags.end()) {
+        return InvalidArgument("remove: missing --func_name");
+      }
+      request.func_name = it->second;
+      request.remove = true;
+    } else if (cmd == "add_link") {
+      if (tokens.size() != 3) {
+        return InvalidArgument("add_link: expected two stage names");
+      }
+      request.add_links.emplace_back(tokens[1], tokens[2]);
+    } else if (cmd == "del_link") {
+      if (tokens.size() != 3) {
+        return InvalidArgument("del_link: expected two stage names");
+      }
+      request.del_links.emplace_back(tokens[1], tokens[2]);
+    } else if (cmd == "link_header") {
+      IPSA_ASSIGN_OR_RETURN(auto flags, ParseFlags(tokens, 1));
+      if (!flags.count("pre") || !flags.count("next") || !flags.count("tag")) {
+        return InvalidArgument("link_header: need --pre --next --tag");
+      }
+      auto tag = util::ParseUint(flags["tag"]);
+      if (!tag) return InvalidArgument("link_header: bad tag");
+      request.link_headers.push_back(
+          compiler::HeaderLinkCmd{flags["pre"], flags["next"], *tag});
+    } else if (cmd == "unlink_header") {
+      IPSA_ASSIGN_OR_RETURN(auto flags, ParseFlags(tokens, 1));
+      if (!flags.count("pre") || !flags.count("tag")) {
+        return InvalidArgument("unlink_header: need --pre --tag");
+      }
+      auto tag = util::ParseUint(flags["tag"]);
+      if (!tag) return InvalidArgument("unlink_header: bad tag");
+      // Unlink is expressed as a link command with empty `next`.
+      request.link_headers.push_back(
+          compiler::HeaderLinkCmd{flags["pre"], "", *tag});
+    } else {
+      return InvalidArgument("unknown script command '" + cmd + "'");
+    }
+  }
+
+  if (!have_load && !request.remove) {
+    return InvalidArgument("script has neither a load nor a remove command");
+  }
+  return request;
+}
+
+}  // namespace ipsa::controller

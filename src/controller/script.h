@@ -1,0 +1,31 @@
+// Parser for the controller's runtime-programming scripts (Fig. 5b/5c).
+//
+// Grammar, one command per line ('#' or '//' start comments):
+//   load <file.rp4> --func_name <name>
+//   update <file.rp4> --func_name <name>    (in-place logic update)
+//   remove --func_name <name>
+//   add_link <stage_a> <stage_b>
+//   del_link <stage_a> <stage_b>
+//   link_header --pre <hdr> --next <hdr> --tag <n>
+//   unlink_header --pre <hdr> --tag <n>
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "compiler/rp4bc.h"
+#include "util/status.h"
+
+namespace ipsa::controller {
+
+// Resolves a `load` command's file name to rP4 snippet source text. Scripts
+// in this repo reference in-memory sources; a CLI would read from disk.
+using SnippetResolver =
+    std::function<Result<std::string>(const std::string& file)>;
+
+// Parses the script and the referenced snippet into an rp4bc UpdateRequest.
+Result<compiler::UpdateRequest> ParseScript(const std::string& script_text,
+                                            const SnippetResolver& resolver);
+
+}  // namespace ipsa::controller

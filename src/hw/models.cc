@@ -1,0 +1,87 @@
+#include "hw/models.h"
+
+namespace ipsa::hw {
+
+namespace {
+
+double ParserLut(const Calibration& cal, uint32_t headers, uint32_t base) {
+  double delta = static_cast<double>(headers) - static_cast<double>(base);
+  return cal.pisa_parser_lut_pct + delta * cal.parser_lut_pct_per_header;
+}
+
+double ParserFf(const Calibration& cal, uint32_t headers, uint32_t base) {
+  double delta = static_cast<double>(headers) - static_cast<double>(base);
+  return cal.pisa_parser_ff_pct + delta * cal.parser_ff_pct_per_header;
+}
+
+}  // namespace
+
+ResourceReport PisaResources(const PisaHwConfig& config,
+                             const Calibration& cal) {
+  ResourceReport r;
+  r.front_parser.lut_pct = ParserLut(cal, config.parse_graph_headers, 6);
+  r.front_parser.ff_pct = ParserFf(cal, config.parse_graph_headers, 6);
+  r.processors.lut_pct = cal.mau_lut_pct * config.stage_processors;
+  r.processors.ff_pct = cal.mau_ff_pct * config.stage_processors;
+  r.total.lut_pct = r.front_parser.lut_pct + r.processors.lut_pct;
+  r.total.ff_pct = r.front_parser.ff_pct + r.processors.ff_pct;
+  return r;
+}
+
+ResourceReport IpsaResources(const IpsaHwConfig& config,
+                             const Calibration& cal) {
+  ResourceReport r;
+  // No front parser: parsing is distributed into the TSPs (§2.1), which is
+  // why each TSP costs a little more than a PISA MAU.
+  r.processors.lut_pct =
+      (cal.mau_lut_pct + cal.tsp_extra_lut_pct) * config.stage_processors;
+  r.processors.ff_pct =
+      (cal.mau_ff_pct + cal.tsp_extra_ff_pct) * config.stage_processors;
+  // A clustered crossbar partitions the ports, shrinking fan-out linearly.
+  double port_cost_scale =
+      config.crossbar_clusters > 1
+          ? 1.0 / static_cast<double>(config.crossbar_clusters)
+          : 1.0;
+  r.crossbar.lut_pct =
+      cal.xbar_lut_pct_per_port * config.crossbar_ports * port_cost_scale;
+  r.crossbar.ff_pct =
+      cal.xbar_ff_pct_per_port * config.crossbar_ports * port_cost_scale;
+  r.total.lut_pct = r.processors.lut_pct + r.crossbar.lut_pct;
+  r.total.ff_pct = r.processors.ff_pct + r.crossbar.ff_pct;
+  return r;
+}
+
+PowerReport PisaPower(uint32_t physical_stages, uint32_t effective_stages,
+                      const Calibration& cal) {
+  (void)effective_stages;  // non-functional stages stay powered (§2.3)
+  PowerReport p;
+  p.static_w = cal.static_power_w;
+  p.dynamic_w =
+      cal.pisa_parser_power_w + cal.mau_dynamic_w * physical_stages;
+  p.total_w = p.static_w + p.dynamic_w;
+  return p;
+}
+
+PowerReport IpsaPower(uint32_t active_tsps, const Calibration& cal) {
+  PowerReport p;
+  p.static_w = cal.static_power_w;
+  p.dynamic_w = cal.xbar_power_w + cal.tsp_dynamic_w * active_tsps;
+  p.total_w = p.static_w + p.dynamic_w;
+  return p;
+}
+
+ThroughputReport ThroughputAccumulator::Report() const {
+  ThroughputReport r;
+  r.packets = packets_;
+  r.mean_ii = packets_ == 0 ? 1.0 : sum_ii_ / static_cast<double>(packets_);
+  r.mpps = cal_.clock_hz / r.mean_ii / 1e6;
+  return r;
+}
+
+double LoadTimeMs(uint64_t config_words, const Calibration& cal) {
+  return (cal.load_fixed_us +
+          static_cast<double>(config_words) * cal.config_word_us) /
+         1000.0;
+}
+
+}  // namespace ipsa::hw

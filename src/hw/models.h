@@ -1,0 +1,92 @@
+// Hardware cost models for the §5 analysis: FPGA resource utilization
+// (Table 2), power (Table 3, Fig. 6), throughput (§5 "Throughput"), and
+// config-plane load time (Table 1's hardware rows).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/calibration.h"
+#include "util/status.h"
+
+namespace ipsa::hw {
+
+// --- resources (Table 2) -----------------------------------------------------
+
+struct ResourceRow {
+  double lut_pct = 0;
+  double ff_pct = 0;
+};
+
+struct ResourceReport {
+  ResourceRow front_parser;  // PISA only
+  ResourceRow processors;
+  ResourceRow crossbar;      // IPSA only
+  ResourceRow total;
+};
+
+struct PisaHwConfig {
+  uint32_t stage_processors = 8;
+  uint32_t parse_graph_headers = 6;  // header types in the front parser
+};
+
+struct IpsaHwConfig {
+  uint32_t stage_processors = 8;
+  uint32_t crossbar_ports = 8;
+  uint32_t crossbar_clusters = 1;  // >1 shrinks the crossbar
+};
+
+ResourceReport PisaResources(const PisaHwConfig& config,
+                             const Calibration& cal = DefaultCalibration());
+ResourceReport IpsaResources(const IpsaHwConfig& config,
+                             const Calibration& cal = DefaultCalibration());
+
+// --- power (Table 3, Fig. 6) ---------------------------------------------------
+
+struct PowerReport {
+  double static_w = 0;
+  double dynamic_w = 0;
+  double total_w = 0;
+};
+
+// PISA: all physical stages burn dynamic power whether or not they hold a
+// program (they stay in the pipeline). IPSA: only active (non-bypassed)
+// TSPs burn dynamic power; idle TSPs are power-gated (§2.3).
+PowerReport PisaPower(uint32_t physical_stages, uint32_t effective_stages,
+                      const Calibration& cal = DefaultCalibration());
+PowerReport IpsaPower(uint32_t active_tsps,
+                      const Calibration& cal = DefaultCalibration());
+
+// --- throughput (§5) -------------------------------------------------------------
+
+struct ThroughputReport {
+  double mean_ii = 1.0;   // expected initiation interval, cycles/packet
+  double mpps = 0;        // cal.clock_hz / mean_ii / 1e6
+  uint64_t packets = 0;
+};
+
+// Folds per-packet IIs (ProcessResult::pipeline_ii) into a report.
+class ThroughputAccumulator {
+ public:
+  explicit ThroughputAccumulator(const Calibration& cal = DefaultCalibration())
+      : cal_(cal) {}
+  void Add(double pipeline_ii) {
+    sum_ii_ += pipeline_ii;
+    ++packets_;
+  }
+  ThroughputReport Report() const;
+
+ private:
+  Calibration cal_;
+  double sum_ii_ = 0;
+  uint64_t packets_ = 0;
+};
+
+// --- config-plane load time (Table 1 hardware rows) ----------------------------
+
+// Converts config-bus traffic (device stats deltas) to milliseconds.
+double LoadTimeMs(uint64_t config_words,
+                  const Calibration& cal = DefaultCalibration());
+
+}  // namespace ipsa::hw

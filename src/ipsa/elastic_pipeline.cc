@@ -1,0 +1,87 @@
+#include "ipsa/elastic_pipeline.h"
+
+#include "util/strings.h"
+
+namespace ipsa::ipbm {
+
+std::string_view TspRoleName(TspRole role) {
+  switch (role) {
+    case TspRole::kBypass:
+      return "bypass";
+    case TspRole::kIngress:
+      return "ingress";
+    case TspRole::kEgress:
+      return "egress";
+  }
+  return "?";
+}
+
+ElasticPipeline::ElasticPipeline(uint32_t tsp_count) {
+  tsps_.reserve(tsp_count);
+  for (uint32_t i = 0; i < tsp_count; ++i) tsps_.emplace_back(i);
+}
+
+bool ElasticPipeline::RolesValid() const {
+  // No ingress TSP may appear to the right of any egress TSP.
+  int32_t last_ingress = -1;
+  int32_t first_egress = -1;
+  for (uint32_t i = 0; i < tsps_.size(); ++i) {
+    if (tsps_[i].role() == TspRole::kIngress) {
+      last_ingress = static_cast<int32_t>(i);
+    } else if (tsps_[i].role() == TspRole::kEgress &&
+               first_egress < 0) {
+      first_egress = static_cast<int32_t>(i);
+    }
+  }
+  return first_egress < 0 || last_ingress < first_egress;
+}
+
+Status ElasticPipeline::SetRole(uint32_t tsp_id, TspRole role) {
+  if (tsp_id >= tsps_.size()) return OutOfRange("bad TSP id");
+  TspRole old = tsps_[tsp_id].role();
+  if (old == role) return OkStatus();
+  tsps_[tsp_id].SetRole(role);
+  if (!RolesValid()) {
+    tsps_[tsp_id].SetRole(old);
+    return FailedPrecondition(
+        "selector: ingress TSPs must all precede egress TSPs");
+  }
+  ++selector_words_;
+  return OkStatus();
+}
+
+std::vector<uint32_t> ElasticPipeline::IdsWithRole(TspRole role) const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < tsps_.size(); ++i) {
+    if (tsps_[i].role() == role) out.push_back(i);
+  }
+  return out;
+}
+
+uint32_t ElasticPipeline::ActiveCount() const {
+  uint32_t n = 0;
+  for (const auto& t : tsps_) {
+    if (t.powered()) ++n;
+  }
+  return n;
+}
+
+uint64_t ElasticPipeline::Drain() {
+  uint64_t cost = ActiveCount();
+  ++drain_events_;
+  drain_cycles_ += cost;
+  return cost;
+}
+
+std::string ElasticPipeline::MappingToString() const {
+  std::string out;
+  for (const auto& t : tsps_) {
+    std::string stages = util::Join(t.StageNames(), ",");
+    out += util::Format("TSP%-2u [%-7s] %s\n", t.id(),
+                        std::string(TspRoleName(t.role())).c_str(),
+                        stages.empty() ? "-" : stages.c_str());
+  }
+  return out;
+}
+
+}  // namespace ipsa::ipbm

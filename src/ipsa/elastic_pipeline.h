@@ -1,0 +1,61 @@
+// Elastic pipeline (paper §2.3).
+//
+// All TSPs are chained left to right. A selector picks which TSP feeds the
+// Traffic Manager (the last ingress TSP) and which receives from it (the
+// first egress TSP); middle TSPs can belong to either side or be bypassed
+// and power-gated. Validity invariant: every ingress TSP lies left of every
+// egress TSP, and bypassed TSPs may appear anywhere.
+//
+// Stage insertion/deletion drains the pipeline through backpressure first
+// (charged in cycles), then rewrites the affected templates and the selector
+// configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ipsa/tsp.h"
+#include "util/status.h"
+
+namespace ipsa::ipbm {
+
+class ElasticPipeline {
+ public:
+  explicit ElasticPipeline(uint32_t tsp_count);
+
+  uint32_t tsp_count() const { return static_cast<uint32_t>(tsps_.size()); }
+  Tsp& tsp(uint32_t id) { return tsps_.at(id); }
+  const Tsp& tsp(uint32_t id) const { return tsps_.at(id); }
+
+  // Reassigns a TSP's side; validates the ingress-left-of-egress invariant.
+  // Each role change is one selector config word.
+  Status SetRole(uint32_t tsp_id, TspRole role);
+
+  // TSP ids on each side, in pipeline order.
+  std::vector<uint32_t> IngressIds() const { return IdsWithRole(TspRole::kIngress); }
+  std::vector<uint32_t> EgressIds() const { return IdsWithRole(TspRole::kEgress); }
+  uint32_t ActiveCount() const;
+
+  // Backpressure drain before reconfiguration: costs the current pipeline
+  // occupancy in cycles (one per active TSP — each in-flight packet must
+  // leave its stage).
+  uint64_t Drain();
+
+  uint64_t drain_events() const { return drain_events_; }
+  uint64_t drain_cycles() const { return drain_cycles_; }
+  uint64_t selector_words() const { return selector_words_; }
+
+  // Human-readable mapping table (Fig. 4 style) for examples/benches.
+  std::string MappingToString() const;
+
+ private:
+  std::vector<uint32_t> IdsWithRole(TspRole role) const;
+  bool RolesValid() const;
+
+  std::vector<Tsp> tsps_;
+  uint64_t drain_events_ = 0;
+  uint64_t drain_cycles_ = 0;
+  uint64_t selector_words_ = 0;
+};
+
+}  // namespace ipsa::ipbm

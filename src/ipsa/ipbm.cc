@@ -1,0 +1,304 @@
+#include "ipsa/ipbm.h"
+
+#include "arch/ii_model.h"
+#include "arch/parse_engine.h"
+#include "util/logging.h"
+
+namespace ipsa::ipbm {
+
+namespace {
+
+mem::PoolConfig MakePoolConfig(const IpbmOptions& o) {
+  mem::PoolConfig cfg;
+  cfg.sram_blocks = o.sram_blocks;
+  cfg.tcam_blocks = o.tcam_blocks;
+  cfg.sram_width_bits = o.sram_width_bits;
+  cfg.sram_depth = o.sram_depth;
+  cfg.tcam_width_bits = o.tcam_width_bits;
+  cfg.tcam_depth = o.tcam_depth;
+  cfg.clusters = o.clusters;
+  return cfg;
+}
+
+}  // namespace
+
+IpbmSwitch::IpbmSwitch(const IpbmOptions& options)
+    : options_(options),
+      pool_(MakePoolConfig(options)),
+      xbar_(options.crossbar, options.tsp_count, options.clusters),
+      catalog_(pool_),
+      metadata_proto_(arch::Metadata::Standard()),
+      pipeline_(options.tsp_count),
+      ports_(options.port_count) {}
+
+Status IpbmSwitch::AddHeaderType(const arch::HeaderTypeDef& def) {
+  IPSA_RETURN_IF_ERROR(registry_.Add(def));
+  ChargeConfigWords(2 + def.fields().size() + def.links().size());
+  return OkStatus();
+}
+
+Status IpbmSwitch::RemoveHeaderType(const std::string& name) {
+  IPSA_RETURN_IF_ERROR(registry_.Remove(name));
+  ChargeConfigWords(1);
+  return OkStatus();
+}
+
+Status IpbmSwitch::LinkHeader(const std::string& pre, const std::string& next,
+                              uint64_t tag) {
+  IPSA_RETURN_IF_ERROR(registry_.LinkHeader(pre, next, tag));
+  ChargeConfigWords(1);
+  return OkStatus();
+}
+
+Status IpbmSwitch::UnlinkHeader(const std::string& pre, uint64_t tag) {
+  IPSA_RETURN_IF_ERROR(registry_.UnlinkHeader(pre, tag));
+  ChargeConfigWords(1);
+  return OkStatus();
+}
+
+Status IpbmSwitch::DeclareMetadata(const std::string& name,
+                                   uint32_t width_bits) {
+  IPSA_RETURN_IF_ERROR(metadata_proto_.Declare(name, width_bits));
+  ChargeConfigWords(1);
+  return OkStatus();
+}
+
+Status IpbmSwitch::AddAction(const arch::ActionDef& def) {
+  IPSA_RETURN_IF_ERROR(actions_.Add(def));
+  ChargeConfigWords(2 + def.params.size() + def.body.size() * 2);
+  return OkStatus();
+}
+
+Status IpbmSwitch::RemoveAction(const std::string& name) {
+  IPSA_RETURN_IF_ERROR(actions_.Remove(name));
+  ChargeConfigWords(1);
+  return OkStatus();
+}
+
+Status IpbmSwitch::CreateRegister(const std::string& name, uint32_t size) {
+  IPSA_RETURN_IF_ERROR(regs_.Create(name, size));
+  ChargeConfigWords(1);
+  return OkStatus();
+}
+
+Status IpbmSwitch::DestroyRegister(const std::string& name) {
+  IPSA_RETURN_IF_ERROR(regs_.Destroy(name));
+  ChargeConfigWords(1);
+  return OkStatus();
+}
+
+Status IpbmSwitch::CreateTable(const arch::TableDecl& decl) {
+  IPSA_RETURN_IF_ERROR(catalog_.CreateTable(decl.spec, decl.binding));
+  ChargeConfigWords(4);
+  return OkStatus();
+}
+
+Status IpbmSwitch::DestroyTable(const std::string& name) {
+  // Recycles the table's pool blocks (§2.4) and any crossbar routes pointing
+  // at them are stale; re-routing happens on the next template write of the
+  // affected TSPs.
+  IPSA_RETURN_IF_ERROR(catalog_.DestroyTable(name));
+  ChargeConfigWords(1);
+  return OkStatus();
+}
+
+Status IpbmSwitch::RouteCrossbarFor(uint32_t tsp_id) {
+  xbar_.DisconnectProc(tsp_id);
+  for (const std::string& table : pipeline_.tsp(tsp_id).ReferencedTables()) {
+    IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
+    IPSA_RETURN_IF_ERROR(t->ConnectTo(xbar_, tsp_id));
+  }
+  return OkStatus();
+}
+
+Status IpbmSwitch::WriteTspTemplate(uint32_t tsp_id, TspRole role,
+                                    std::vector<arch::StageProgram> programs) {
+  if (tsp_id >= pipeline_.tsp_count()) return OutOfRange("bad TSP id");
+  // Validate referenced tables and actions exist *before* draining.
+  for (const auto& p : programs) {
+    for (const auto& rule : p.matcher) {
+      if (!rule.table.empty() && !catalog_.Has(rule.table)) {
+        return FailedPrecondition("template references missing table '" +
+                                  rule.table + "'");
+      }
+    }
+    for (const auto& [tag, action] : p.executor) {
+      if (!actions_.Has(action)) {
+        return FailedPrecondition("template references missing action '" +
+                                  action + "'");
+      }
+    }
+  }
+  // Drain through backpressure, then rewrite (paper §2.3).
+  pipeline_.Drain();
+  uint32_t words = pipeline_.tsp(tsp_id).WriteTemplate(std::move(programs));
+  IPSA_RETURN_IF_ERROR(pipeline_.SetRole(tsp_id, role));
+  IPSA_RETURN_IF_ERROR(RouteCrossbarFor(tsp_id));
+  ChargeConfigWords(words + 1);  // template + selector word
+  ++stats_.template_writes;
+  return OkStatus();
+}
+
+Status IpbmSwitch::ClearTsp(uint32_t tsp_id) {
+  if (tsp_id >= pipeline_.tsp_count()) return OutOfRange("bad TSP id");
+  pipeline_.Drain();
+  pipeline_.tsp(tsp_id).ClearTemplate();
+  IPSA_RETURN_IF_ERROR(pipeline_.SetRole(tsp_id, TspRole::kBypass));
+  xbar_.DisconnectProc(tsp_id);
+  ChargeConfigWords(2);
+  ++stats_.template_writes;
+  return OkStatus();
+}
+
+Status IpbmSwitch::AddEntry(const std::string& table,
+                            const table::Entry& entry) {
+  IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
+  ++stats_.table_ops;
+  ChargeConfigWords(1);
+  return t->Insert(entry);
+}
+
+Status IpbmSwitch::EraseEntry(const std::string& table,
+                              const table::Entry& entry) {
+  IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
+  ++stats_.table_ops;
+  ChargeConfigWords(1);
+  return t->Erase(entry);
+}
+
+Status IpbmSwitch::LoadBaseDesign(const arch::DesignConfig& design,
+                                  const std::vector<TspAssignment>& assignments) {
+  for (const auto& name : design.headers.TypeNames()) {
+    IPSA_ASSIGN_OR_RETURN(const arch::HeaderTypeDef* def,
+                          design.headers.Get(name));
+    IPSA_RETURN_IF_ERROR(AddHeaderType(*def));
+  }
+  registry_.SetEntryType(design.headers.entry_type());
+  for (const auto& m : design.metadata) {
+    IPSA_RETURN_IF_ERROR(DeclareMetadata(m.name, m.width_bits));
+  }
+  for (const auto& a : design.actions) {
+    IPSA_RETURN_IF_ERROR(AddAction(a));
+  }
+  for (const auto& r : design.registers) {
+    IPSA_RETURN_IF_ERROR(CreateRegister(r.name, r.size));
+  }
+  for (const auto& t : design.tables) {
+    IPSA_RETURN_IF_ERROR(CreateTable(t));
+  }
+  for (const auto& assign : assignments) {
+    std::vector<arch::StageProgram> programs;
+    programs.reserve(assign.stage_names.size());
+    for (const auto& stage_name : assign.stage_names) {
+      const arch::StageProgram* stage = design.FindStage(stage_name);
+      if (stage == nullptr) {
+        return NotFound("assignment references unknown stage '" + stage_name +
+                        "'");
+      }
+      programs.push_back(*stage);
+    }
+    IPSA_RETURN_IF_ERROR(
+        WriteTspTemplate(assign.tsp_id, assign.role, std::move(programs)));
+  }
+  IPSA_LOG(kInfo) << "ipbm: base design '" << design.name << "' loaded onto "
+                  << assignments.size() << " TSPs";
+  return OkStatus();
+}
+
+Result<pisa::ProcessResult> IpbmSwitch::Process(net::Packet& packet,
+                                                uint32_t in_port,
+                                                pisa::ProcessTrace* trace) {
+  ++stats_.packets_in;
+  arch::PacketContext ctx(packet, registry_, metadata_proto_);
+  ctx.metadata().Reset();
+  IPSA_RETURN_IF_ERROR(ctx.metadata().WriteUint("ingress_port", in_port));
+
+  pisa::ProcessResult result;
+
+  // Bypassed TSPs are excluded from the physical pipeline entirely — no
+  // latency, no power (§2.3). Each active TSP charges one extra cycle for
+  // loading its per-packet template parameters (§5 Throughput). The packet's
+  // pipeline II is the slowest TSP it traverses (arch/ii_model.h).
+  double worst_ii = 1.0;
+  auto run_tsp = [&](uint32_t id) -> Status {
+    ctx.ChargeCycles(1 + 1);  // stage traversal + template-parameter load
+    uint64_t tsp_parse_bytes = 0;
+    uint64_t tsp_access = 0;
+    for (const auto& program : pipeline_.tsp(id).programs()) {
+      IPSA_ASSIGN_OR_RETURN(
+          arch::StageRunStats stats,
+          RunStage(program, ctx, catalog_, actions_, &regs_,
+                   /*jit_parse=*/true));
+      tsp_parse_bytes += stats.parse_bytes;
+      tsp_access = std::max(tsp_access, stats.access_cycles);
+      if (trace != nullptr) {
+        trace->steps.push_back(pisa::TraceStep{
+            .unit = id,
+            .stage = program.name,
+            .table = stats.applied_table,
+            .hit = stats.hit,
+            .action = stats.executed_action,
+            .parse_bytes = stats.parse_bytes});
+      }
+      if (ctx.dropped()) break;
+    }
+    worst_ii =
+        std::max(worst_ii, arch::IpsaTspIi(tsp_parse_bytes, tsp_access));
+    return OkStatus();
+  };
+  for (uint32_t id : pipeline_.IngressIds()) {
+    IPSA_RETURN_IF_ERROR(run_tsp(id));
+    if (ctx.dropped()) break;
+  }
+  if (!ctx.dropped()) {
+    // Traffic manager: one cycle of queueing model.
+    ctx.ChargeCycles(1);
+    for (uint32_t id : pipeline_.EgressIds()) {
+      IPSA_RETURN_IF_ERROR(run_tsp(id));
+      if (ctx.dropped()) break;
+    }
+  }
+  result.pipeline_ii = worst_ii;
+
+  result.dropped = ctx.dropped();
+  result.marked = ctx.marked();
+  result.egress_port = ctx.egress_spec();
+  result.cycles = ctx.cycles();
+  for (const auto& h : ctx.phv().instances()) {
+    if (h.valid) ++result.headers_parsed;
+    if (trace != nullptr && h.valid) trace->parsed_headers.push_back(h.name);
+  }
+  stats_.total_cycles += ctx.cycles();
+  if (result.dropped) {
+    ++stats_.packets_dropped;
+  } else {
+    ++stats_.packets_out;
+  }
+  if (result.marked) ++stats_.packets_marked;
+  return result;
+}
+
+Result<uint32_t> IpbmSwitch::RunToCompletion() {
+  uint32_t processed = 0;
+  for (uint32_t p = 0; p < ports_.count(); ++p) {
+    while (auto packet = ports_.port(p).rx().Pop()) {
+      IPSA_ASSIGN_OR_RETURN(pisa::ProcessResult r, Process(*packet, p));
+      if (!r.dropped && r.egress_port < ports_.count()) {
+        ports_.port(r.egress_port).tx().Push(std::move(*packet));
+      }
+      ++processed;
+    }
+  }
+  return processed;
+}
+
+int32_t IpbmSwitch::TspOfStage(std::string_view stage_name) const {
+  for (uint32_t i = 0; i < pipeline_.tsp_count(); ++i) {
+    for (const auto& p : pipeline_.tsp(i).programs()) {
+      if (p.name == stage_name) return static_cast<int32_t>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace ipsa::ipbm

@@ -1,0 +1,129 @@
+// ipbm — the IPSA behavioral model (paper §4.1).
+//
+// Four modules, as in the paper:
+//  * CM  (Communication Module): packet I/O — in-memory ports here.
+//  * PM  (Pipeline Module): the TSPs in an elastic pipeline.
+//  * CCM (Control Channel Module): the runtime configuration surface the
+//    controller drives; every operation below is a CCM command.
+//  * SM  (Storage Module): the disaggregated memory pool, crossbar, table
+//    catalog, header registry and register file.
+//
+// The defining property: there is NO monolithic load. The base design and
+// all later updates go through the same incremental commands — write a TSP
+// template, create/destroy a table, link a header, flip the selector. Each
+// charges only its own config words, which is why t_L stays milliseconds
+// while PISA reloads everything (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/design.h"
+#include "ipsa/elastic_pipeline.h"
+#include "mem/crossbar.h"
+#include "net/ports.h"
+#include "pisa/device_stats.h"
+#include "util/status.h"
+
+namespace ipsa::ipbm {
+
+struct IpbmOptions {
+  uint32_t tsp_count = 12;
+  uint32_t port_count = 16;
+  mem::CrossbarKind crossbar = mem::CrossbarKind::kFull;
+  // Shared disaggregated pool (contrast with pbm's per-stage proration).
+  uint32_t sram_blocks = 128;
+  uint32_t tcam_blocks = 32;
+  uint32_t sram_width_bits = 256;
+  uint32_t sram_depth = 2048;
+  uint32_t tcam_width_bits = 256;
+  uint32_t tcam_depth = 512;
+  uint32_t clusters = 1;  // >1 exercises the clustered-crossbar tradeoff
+};
+
+// rp4bc's placement of logical stages onto a TSP.
+struct TspAssignment {
+  uint32_t tsp_id = 0;
+  TspRole role = TspRole::kIngress;
+  std::vector<std::string> stage_names;  // merged stages, in order
+};
+
+class IpbmSwitch {
+ public:
+  explicit IpbmSwitch(const IpbmOptions& options = {});
+
+  // --- CCM: header plane -------------------------------------------------
+  Status AddHeaderType(const arch::HeaderTypeDef& def);
+  Status RemoveHeaderType(const std::string& name);
+  Status LinkHeader(const std::string& pre, const std::string& next,
+                    uint64_t tag);
+  Status UnlinkHeader(const std::string& pre, uint64_t tag);
+
+  // --- CCM: program plane ------------------------------------------------
+  Status DeclareMetadata(const std::string& name, uint32_t width_bits);
+  Status AddAction(const arch::ActionDef& def);
+  Status RemoveAction(const std::string& name);
+  Status CreateRegister(const std::string& name, uint32_t size);
+  Status DestroyRegister(const std::string& name);
+  Status CreateTable(const arch::TableDecl& decl);
+  Status DestroyTable(const std::string& name);
+
+  // --- CCM: pipeline plane (drains first) ---------------------------------
+  // Writes a TSP's template (the merged stage programs), assigns its side,
+  // and routes the crossbar to every table the template references.
+  Status WriteTspTemplate(uint32_t tsp_id, TspRole role,
+                          std::vector<arch::StageProgram> programs);
+  // Clears a TSP back to bypassed/idle and tears down its crossbar routes.
+  Status ClearTsp(uint32_t tsp_id);
+
+  // --- CCM: runtime table API ---------------------------------------------
+  Status AddEntry(const std::string& table, const table::Entry& entry);
+  Status EraseEntry(const std::string& table, const table::Entry& entry);
+
+  // Applies a full base design through the incremental commands above.
+  // `assignments` is rp4bc's stage->TSP layout.
+  Status LoadBaseDesign(const arch::DesignConfig& design,
+                        const std::vector<TspAssignment>& assignments);
+
+  // --- CM / data plane -----------------------------------------------------
+  // When `trace` is non-null, every stage execution is recorded into it.
+  Result<pisa::ProcessResult> Process(net::Packet& packet, uint32_t in_port,
+                                      pisa::ProcessTrace* trace = nullptr);
+  net::PortSet& ports() { return ports_; }
+  Result<uint32_t> RunToCompletion();
+
+  // --- introspection -------------------------------------------------------
+  ElasticPipeline& pipeline() { return pipeline_; }
+  const ElasticPipeline& pipeline() const { return pipeline_; }
+  mem::Pool& pool() { return pool_; }
+  mem::Crossbar& crossbar() { return xbar_; }
+  arch::HeaderRegistry& headers() { return registry_; }
+  arch::RegisterFile& registers() { return regs_; }
+  const arch::TableCatalog& catalog() const { return catalog_; }
+  pisa::DeviceStats& stats() { return stats_; }
+  const pisa::DeviceStats& stats() const { return stats_; }
+
+  // Finds the TSP currently hosting a logical stage, or -1.
+  int32_t TspOfStage(std::string_view stage_name) const;
+
+ private:
+  Status RouteCrossbarFor(uint32_t tsp_id);
+  void ChargeConfigWords(uint64_t words) {
+    stats_.config_words_written += words;
+  }
+
+  IpbmOptions options_;
+  mem::Pool pool_;
+  mem::Crossbar xbar_;
+  arch::TableCatalog catalog_;
+  arch::ActionStore actions_;
+  arch::RegisterFile regs_;
+  arch::HeaderRegistry registry_;
+  arch::Metadata metadata_proto_;
+  ElasticPipeline pipeline_;
+  net::PortSet ports_;
+  pisa::DeviceStats stats_;
+};
+
+}  // namespace ipsa::ipbm

@@ -1,0 +1,84 @@
+// Templated Stage Processor (paper §2.2).
+//
+// A TSP is a container: its behaviour is entirely determined by downloaded
+// template parameters (header indicators, match predicates + table pointers,
+// action primitives). Programming a TSP means writing those words — a few
+// clock cycles — never synthesizing logic. One TSP can host multiple merged
+// independent logical stages (§3.1), so the template is a list of
+// StagePrograms executed in order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/stage.h"
+
+namespace ipsa::ipbm {
+
+enum class TspRole { kBypass, kIngress, kEgress };
+
+std::string_view TspRoleName(TspRole role);
+
+class Tsp {
+ public:
+  explicit Tsp(uint32_t id) : id_(id) {}
+
+  uint32_t id() const { return id_; }
+  TspRole role() const { return role_; }
+  void SetRole(TspRole role) { role_ = role; }
+
+  // Bypassed TSPs are held in a low-power idle state (§2.3); the power model
+  // reads this flag.
+  bool powered() const { return role_ != TspRole::kBypass; }
+
+  bool HasTemplate() const { return !programs_.empty(); }
+  const std::vector<arch::StageProgram>& programs() const { return programs_; }
+
+  // Overwrites the template; returns the config words written.
+  uint32_t WriteTemplate(std::vector<arch::StageProgram> programs) {
+    programs_ = std::move(programs);
+    uint32_t words = 1;  // template header word
+    for (const auto& p : programs_) words += p.ConfigWords();
+    template_writes_ += 1;
+    config_words_ += words;
+    return words;
+  }
+
+  uint32_t ClearTemplate() {
+    programs_.clear();
+    config_words_ += 1;
+    return 1;
+  }
+
+  // Names of all logical stages hosted here (Fig. 4's mapping display).
+  std::vector<std::string> StageNames() const {
+    std::vector<std::string> out;
+    out.reserve(programs_.size());
+    for (const auto& p : programs_) out.push_back(p.name);
+    return out;
+  }
+
+  // All tables referenced by the template (for crossbar routing).
+  std::vector<std::string> ReferencedTables() const {
+    std::vector<std::string> out;
+    for (const auto& p : programs_) {
+      for (const auto& rule : p.matcher) {
+        if (!rule.table.empty()) out.push_back(rule.table);
+      }
+    }
+    return out;
+  }
+
+  uint64_t config_words() const { return config_words_; }
+  uint64_t template_writes() const { return template_writes_; }
+
+ private:
+  uint32_t id_;
+  TspRole role_ = TspRole::kBypass;
+  std::vector<arch::StageProgram> programs_;
+  uint64_t config_words_ = 0;
+  uint64_t template_writes_ = 0;
+};
+
+}  // namespace ipsa::ipbm

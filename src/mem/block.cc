@@ -1,0 +1,102 @@
+#include "mem/block.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ipsa::mem {
+
+BitString::BitString(size_t bit_width, uint64_t value) : BitString(bit_width) {
+  SetBits(0, bit_width < 64 ? bit_width : 64, value);
+}
+
+BitString BitString::FromBytes(std::span<const uint8_t> bytes,
+                               size_t bit_width) {
+  BitString s(bit_width);
+  size_t n = std::min(bytes.size(), s.bytes_.size());
+  std::copy(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(n),
+            s.bytes_.begin());
+  // Clear any bits beyond bit_width in the last byte.
+  if (bit_width % 8 != 0 && !s.bytes_.empty()) {
+    s.bytes_.back() &= static_cast<uint8_t>((1u << (bit_width % 8)) - 1);
+  }
+  return s;
+}
+
+uint64_t BitString::GetBits(size_t offset, size_t width) const {
+  uint64_t v = 0;
+  for (size_t i = 0; i < width; ++i) {
+    if (GetBit(offset + i)) v |= uint64_t{1} << i;
+  }
+  return v;
+}
+
+void BitString::SetBits(size_t offset, size_t width, uint64_t value) {
+  for (size_t i = 0; i < width; ++i) {
+    SetBit(offset + i, (value >> i) & 1);
+  }
+}
+
+BitString BitString::Slice(size_t offset, size_t width) const {
+  BitString out(width);
+  for (size_t i = 0; i < width; ++i) {
+    out.SetBit(i, GetBit(offset + i));
+  }
+  return out;
+}
+
+bool BitString::MatchesUnderMask(const BitString& other,
+                                 const BitString& mask) const {
+  size_t n = std::min({byte_size(), other.byte_size(), mask.byte_size()});
+  for (size_t i = 0; i < n; ++i) {
+    if ((bytes_[i] & mask.bytes()[i]) !=
+        (other.bytes()[i] & mask.bytes()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string BitString::ToHex() const {
+  std::string out = "0x";
+  for (size_t i = bytes_.size(); i > 0; --i) {
+    out += util::Format("%02x", bytes_[i - 1]);
+  }
+  return out;
+}
+
+void Block::Release() {
+  owner_ = kNoOwner;
+  std::fill(valid_.begin(), valid_.end(), false);
+  for (auto& row : rows_) row = BitString(width_);
+  for (auto& mask : masks_) mask = BitString(width_);
+}
+
+Status Block::WriteRow(uint32_t row, const BitString& value) {
+  if (row >= depth_) return OutOfRange("block row out of range");
+  if (value.bit_width() > width_) {
+    return InvalidArgument("row value wider than block");
+  }
+  rows_[row] = BitString::FromBytes(value.bytes(), width_);
+  valid_[row] = true;
+  ++writes_;
+  return OkStatus();
+}
+
+Status Block::WriteMask(uint32_t row, const BitString& mask) {
+  if (kind_ != BlockKind::kTcam) {
+    return FailedPrecondition("mask write on SRAM block");
+  }
+  if (row >= depth_) return OutOfRange("block row out of range");
+  masks_[row] = BitString::FromBytes(mask.bytes(), width_);
+  ++writes_;
+  return OkStatus();
+}
+
+Result<BitString> Block::ReadRow(uint32_t row) const {
+  if (row >= depth_) return OutOfRange("block row out of range");
+  CountRead();
+  return rows_[row];
+}
+
+}  // namespace ipsa::mem

@@ -1,0 +1,120 @@
+// Physical memory blocks of the disaggregated memory pool (paper §2.4).
+//
+// Each block stores `depth` entries of `width` bits. SRAM blocks back exact
+// and LPM tables; TCAM blocks additionally store a per-entry mask and support
+// priority-ordered ternary search within the block. A logical table of size
+// W x D occupies ceil(W/w) x ceil(D/d) blocks (RMT-style virtualization).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ipsa::mem {
+
+enum class BlockKind { kSram, kTcam };
+
+// An arbitrary-width bit string stored LSB-first in bytes. Used for table
+// keys, masks, and entry payloads throughout the memory subsystem.
+class BitString {
+ public:
+  BitString() = default;
+  explicit BitString(size_t bit_width)
+      : bits_(bit_width), bytes_((bit_width + 7) / 8, 0) {}
+  BitString(size_t bit_width, uint64_t value);
+  static BitString FromBytes(std::span<const uint8_t> bytes, size_t bit_width);
+
+  size_t bit_width() const { return bits_; }
+  size_t byte_size() const { return bytes_.size(); }
+  std::span<const uint8_t> bytes() const { return bytes_; }
+  std::span<uint8_t> bytes() { return bytes_; }
+
+  bool GetBit(size_t i) const { return (bytes_[i / 8] >> (i % 8)) & 1; }
+  void SetBit(size_t i, bool v) {
+    uint8_t mask = static_cast<uint8_t>(1u << (i % 8));
+    if (v) {
+      bytes_[i / 8] |= mask;
+    } else {
+      bytes_[i / 8] &= static_cast<uint8_t>(~mask);
+    }
+  }
+
+  // Reads/writes up to 64 bits at [offset, offset+width).
+  uint64_t GetBits(size_t offset, size_t width) const;
+  void SetBits(size_t offset, size_t width, uint64_t value);
+
+  // Low 64 bits as an integer (convenience for narrow values).
+  uint64_t ToUint64() const { return GetBits(0, bits_ < 64 ? bits_ : 64); }
+
+  // Returns a slice [offset, offset+width) as a new BitString.
+  BitString Slice(size_t offset, size_t width) const;
+
+  // True if (this & mask) == (other & mask) over the common width.
+  bool MatchesUnderMask(const BitString& other, const BitString& mask) const;
+
+  bool operator==(const BitString& other) const {
+    return bits_ == other.bits_ && bytes_ == other.bytes_;
+  }
+
+  std::string ToHex() const;
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint8_t> bytes_;
+};
+
+// One physical block.
+class Block {
+ public:
+  Block(uint32_t id, BlockKind kind, uint32_t width_bits, uint32_t depth)
+      : id_(id),
+        kind_(kind),
+        width_(width_bits),
+        depth_(depth),
+        rows_(depth, BitString(width_bits)),
+        masks_(kind == BlockKind::kTcam
+                   ? std::vector<BitString>(depth, BitString(width_bits))
+                   : std::vector<BitString>{}),
+        valid_(depth, false) {}
+
+  uint32_t id() const { return id_; }
+  BlockKind kind() const { return kind_; }
+  uint32_t width_bits() const { return width_; }
+  uint32_t depth() const { return depth_; }
+
+  // Ownership bookkeeping (which logical table holds this block).
+  bool allocated() const { return owner_ != kNoOwner; }
+  uint32_t owner() const { return owner_; }
+  void Allocate(uint32_t owner) { owner_ = owner; }
+  void Release();
+
+  Status WriteRow(uint32_t row, const BitString& value);
+  Status WriteMask(uint32_t row, const BitString& mask);  // TCAM only
+  Result<BitString> ReadRow(uint32_t row) const;
+  const BitString& mask(uint32_t row) const { return masks_.at(row); }
+  bool row_valid(uint32_t row) const { return valid_.at(row); }
+  void SetRowValid(uint32_t row, bool v) { valid_.at(row) = v; }
+
+  // Access statistics feed the hardware throughput model.
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  void CountRead() const { ++reads_; }
+
+  static constexpr uint32_t kNoOwner = 0xFFFFFFFF;
+
+ private:
+  uint32_t id_;
+  BlockKind kind_;
+  uint32_t width_;
+  uint32_t depth_;
+  std::vector<BitString> rows_;
+  std::vector<BitString> masks_;
+  std::vector<bool> valid_;
+  uint32_t owner_ = kNoOwner;
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace ipsa::mem

@@ -1,0 +1,87 @@
+#include "mem/pool.h"
+
+namespace ipsa::mem {
+
+Pool::Pool(const PoolConfig& config) : config_(config) {
+  blocks_.reserve(config.sram_blocks + config.tcam_blocks);
+  uint32_t id = 0;
+  for (uint32_t i = 0; i < config.sram_blocks; ++i) {
+    blocks_.emplace_back(id++, BlockKind::kSram, config.sram_width_bits,
+                         config.sram_depth);
+  }
+  for (uint32_t i = 0; i < config.tcam_blocks; ++i) {
+    blocks_.emplace_back(id++, BlockKind::kTcam, config.tcam_width_bits,
+                         config.tcam_depth);
+  }
+}
+
+uint32_t Pool::ClusterOf(uint32_t block_id) const {
+  if (config_.clusters <= 1) return 0;
+  // Stripe within each kind so clusters stay balanced per kind.
+  const Block& b = blocks_.at(block_id);
+  uint32_t index_in_kind = b.kind() == BlockKind::kSram
+                               ? block_id
+                               : block_id - config_.sram_blocks;
+  return index_in_kind % config_.clusters;
+}
+
+Result<std::vector<uint32_t>> Pool::AllocateBlocks(
+    BlockKind kind, uint32_t count, uint32_t owner,
+    std::optional<uint32_t> cluster) {
+  std::vector<uint32_t> picked;
+  picked.reserve(count);
+  for (uint32_t id = 0; id < blocks_.size() && picked.size() < count; ++id) {
+    Block& b = blocks_[id];
+    if (b.kind() != kind || b.allocated()) continue;
+    if (cluster.has_value() && ClusterOf(id) != *cluster) continue;
+    picked.push_back(id);
+  }
+  if (picked.size() < count) {
+    return ResourceExhausted(
+        "memory pool: not enough free blocks of requested kind");
+  }
+  for (uint32_t id : picked) blocks_[id].Allocate(owner);
+  return picked;
+}
+
+uint32_t Pool::ReleaseOwner(uint32_t owner) {
+  uint32_t released = 0;
+  for (Block& b : blocks_) {
+    if (b.allocated() && b.owner() == owner) {
+      b.Release();
+      ++released;
+    }
+  }
+  return released;
+}
+
+uint32_t Pool::FreeBlocks(BlockKind kind,
+                          std::optional<uint32_t> cluster) const {
+  uint32_t n = 0;
+  for (uint32_t id = 0; id < blocks_.size(); ++id) {
+    const Block& b = blocks_[id];
+    if (b.kind() != kind || b.allocated()) continue;
+    if (cluster.has_value() && ClusterOf(id) != *cluster) continue;
+    ++n;
+  }
+  return n;
+}
+
+uint32_t Pool::UsedBlocks(BlockKind kind) const {
+  uint32_t n = 0;
+  for (const Block& b : blocks_) {
+    if (b.kind() == kind && b.allocated()) ++n;
+  }
+  return n;
+}
+
+uint32_t Pool::BlocksFor(BlockKind kind, uint32_t table_width_bits,
+                         uint32_t table_depth) const {
+  uint32_t w = WidthOf(kind);
+  uint32_t d = DepthOf(kind);
+  uint32_t cols = (table_width_bits + w - 1) / w;
+  uint32_t rows = (table_depth + d - 1) / d;
+  return cols * rows;
+}
+
+}  // namespace ipsa::mem

@@ -1,0 +1,74 @@
+// The disaggregated memory pool (paper §2.4, modeled after dRMT).
+//
+// All table memory — SRAM and TCAM — lives in one pool of fixed-size blocks.
+// Processors reach blocks through a crossbar (crossbar.h). Logical tables
+// claim ceil(W/w) x ceil(D/d) blocks; blocks are recycled when the owning
+// logical stage is deleted. Blocks are grouped into clusters so clustered
+// crossbars can restrict reachability (the flexibility/cost tradeoff the
+// paper describes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/block.h"
+#include "util/status.h"
+
+namespace ipsa::mem {
+
+struct PoolConfig {
+  uint32_t sram_blocks = 64;
+  uint32_t sram_width_bits = 128;  // w
+  uint32_t sram_depth = 1024;      // d
+  uint32_t tcam_blocks = 16;
+  uint32_t tcam_width_bits = 64;
+  uint32_t tcam_depth = 512;
+  uint32_t clusters = 1;  // memory clusters (1 = monolithic pool)
+};
+
+class Pool {
+ public:
+  explicit Pool(const PoolConfig& config);
+
+  const PoolConfig& config() const { return config_; }
+  uint32_t block_count() const { return static_cast<uint32_t>(blocks_.size()); }
+  Block& block(uint32_t id) { return blocks_.at(id); }
+  const Block& block(uint32_t id) const { return blocks_.at(id); }
+
+  // Cluster index of a block; blocks of each kind are striped round-robin
+  // over clusters so every cluster has both SRAM and TCAM capacity.
+  uint32_t ClusterOf(uint32_t block_id) const;
+
+  // Allocates `count` free blocks of `kind` for logical-table `owner`.
+  // When `cluster` is set, only blocks of that cluster are eligible.
+  Result<std::vector<uint32_t>> AllocateBlocks(
+      BlockKind kind, uint32_t count, uint32_t owner,
+      std::optional<uint32_t> cluster = std::nullopt);
+
+  // Recycles every block owned by `owner` (stage deletion, §2.4).
+  uint32_t ReleaseOwner(uint32_t owner);
+
+  uint32_t FreeBlocks(BlockKind kind,
+                      std::optional<uint32_t> cluster = std::nullopt) const;
+  uint32_t UsedBlocks(BlockKind kind) const;
+
+  // Geometry of a kind.
+  uint32_t WidthOf(BlockKind kind) const {
+    return kind == BlockKind::kSram ? config_.sram_width_bits
+                                    : config_.tcam_width_bits;
+  }
+  uint32_t DepthOf(BlockKind kind) const {
+    return kind == BlockKind::kSram ? config_.sram_depth : config_.tcam_depth;
+  }
+
+  // Blocks needed for a W x D logical table: ceil(W/w) * ceil(D/d).
+  uint32_t BlocksFor(BlockKind kind, uint32_t table_width_bits,
+                     uint32_t table_depth) const;
+
+ private:
+  PoolConfig config_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace ipsa::mem

@@ -1,0 +1,32 @@
+#include "net/checksum.h"
+
+namespace ipsa::net {
+
+uint16_t InternetChecksum(std::span<const uint8_t> data) {
+  uint32_t sum = 0;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+uint16_t ChecksumIncrementalUpdate(uint16_t old_checksum, uint16_t old_word,
+                                   uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  uint32_t sum = static_cast<uint16_t>(~old_checksum);
+  sum += static_cast<uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+}  // namespace ipsa::net

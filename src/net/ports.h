@@ -1,0 +1,93 @@
+// In-memory switch ports.
+//
+// The paper's ipbm Communication Module bypasses the OS protocol stack for
+// direct packet I/O. In this reproduction ports are bounded FIFO queues that
+// workload generators push into and collectors drain from, which keeps every
+// experiment deterministic and privilege-free (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace ipsa::net {
+
+// A unidirectional bounded packet queue.
+class PortQueue {
+ public:
+  explicit PortQueue(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Returns false (drops) when the queue is full.
+  bool Push(Packet packet) {
+    if (queue_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    queue_.push_back(std::move(packet));
+    return true;
+  }
+
+  std::optional<Packet> Pop() {
+    if (queue_.empty()) return std::nullopt;
+    Packet p = std::move(queue_.front());
+    queue_.pop_front();
+    return p;
+  }
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  uint64_t drops() const { return drops_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::deque<Packet> queue_;
+  uint64_t drops_ = 0;
+};
+
+// A full-duplex port: an RX queue (towards the switch) and a TX queue
+// (towards the wire/collector).
+class Port {
+ public:
+  explicit Port(uint32_t id, size_t capacity = 4096)
+      : id_(id), rx_(capacity), tx_(capacity) {}
+
+  uint32_t id() const { return id_; }
+  PortQueue& rx() { return rx_; }
+  PortQueue& tx() { return tx_; }
+  const PortQueue& rx() const { return rx_; }
+  const PortQueue& tx() const { return tx_; }
+
+ private:
+  uint32_t id_;
+  PortQueue rx_;
+  PortQueue tx_;
+};
+
+// The set of ports of one device.
+class PortSet {
+ public:
+  explicit PortSet(uint32_t count, size_t capacity = 4096) {
+    ports_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) ports_.emplace_back(i, capacity);
+  }
+
+  uint32_t count() const { return static_cast<uint32_t>(ports_.size()); }
+  Port& port(uint32_t id) { return ports_.at(id); }
+  const Port& port(uint32_t id) const { return ports_.at(id); }
+
+  // Total packets waiting across all RX queues.
+  size_t PendingRx() const {
+    size_t n = 0;
+    for (const auto& p : ports_) n += p.rx().size();
+    return n;
+  }
+
+ private:
+  std::vector<Port> ports_;
+};
+
+}  // namespace ipsa::net

@@ -1,0 +1,97 @@
+#include "net/workload.h"
+
+#include <cmath>
+
+#include "net/packet_builder.h"
+
+namespace ipsa::net {
+
+Workload::Workload(const WorkloadConfig& config)
+    : config_(config), rng_(config.seed) {
+  flows_.reserve(config_.flow_count);
+  for (uint32_t i = 0; i < config_.flow_count; ++i) {
+    FlowSpec f;
+    f.is_ipv6 = rng_.NextDouble() < config_.ipv6_fraction;
+    f.mac_src = MacAddr::FromUint64(0x02'00'00'00'0000ull + i);
+    f.mac_dst = MacAddr::FromUint64(0x02'11'11'11'0000ull + (i % 16));
+    f.v4_src = {0xC0A80000u + static_cast<uint32_t>(rng_.Next() & 0xFFFF)};  // 192.168.x.x
+    f.v4_dst = {config_.v4_dst_base +
+                static_cast<uint32_t>(rng_.NextBelow(config_.v4_dst_count))};
+    std::array<uint16_t, 8> src_groups = {0x2001, 0x0db8, 0, 0, 0, 0, 0,
+                                          static_cast<uint16_t>(i + 1)};
+    std::array<uint16_t, 8> dst_groups = {
+        0x2001, 0x0db8, 0xFF, 0, 0, 0, 0,
+        static_cast<uint16_t>(rng_.NextBelow(config_.v4_dst_count) + 1)};
+    f.v6_src = Ipv6Addr::FromGroups(src_groups);
+    f.v6_dst = Ipv6Addr::FromGroups(dst_groups);
+    f.src_port = static_cast<uint16_t>(1024 + rng_.NextBelow(60000));
+    f.dst_port = static_cast<uint16_t>(rng_.NextBool() ? 80 : 443);
+    f.protocol = rng_.NextBool(0.7) ? kIpProtoUdp : kIpProtoTcp;
+    flows_.push_back(f);
+  }
+
+  // Zipf(skew) popularity over flows, precomputed as a CDF.
+  cdf_.resize(flows_.size());
+  double total = 0;
+  for (size_t i = 0; i < flows_.size(); ++i) {
+    double w = config_.skew <= 0.0
+                   ? 1.0
+                   : 1.0 / std::pow(static_cast<double>(i + 1), config_.skew);
+    total += w;
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+size_t Workload::DrawFlowIndex() {
+  double u = rng_.NextDouble();
+  // Binary search the CDF.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Packet Workload::NextPacket() { return PacketForFlow(DrawFlowIndex()); }
+
+Packet Workload::PacketForFlow(size_t flow_index) const {
+  const FlowSpec& f = flows_.at(flow_index);
+  PacketBuilder b;
+  if (f.is_ipv6) {
+    b.Ethernet(f.mac_dst, f.mac_src, kEtherTypeIpv6)
+        .Ipv6(f.v6_src, f.v6_dst,
+              f.protocol == kIpProtoTcp ? kIpProtoTcp : kIpProtoUdp);
+  } else {
+    b.Ethernet(f.mac_dst, f.mac_src, kEtherTypeIpv4)
+        .Ipv4(f.v4_src, f.v4_dst, f.protocol);
+  }
+  if (f.protocol == kIpProtoTcp) {
+    b.Tcp(f.src_port, f.dst_port);
+  } else {
+    b.Udp(f.src_port, f.dst_port);
+  }
+  b.Payload(config_.payload_size);
+  return b.Build();
+}
+
+Packet Workload::Srv6Packet(const Ipv6Addr& active_segment,
+                            const std::vector<Ipv6Addr>& segments,
+                            uint8_t segments_left) const {
+  const FlowSpec& f = flows_.front();
+  PacketBuilder b;
+  b.Ethernet(f.mac_dst, f.mac_src, kEtherTypeIpv6)
+      .Ipv6(f.v6_src, active_segment, kIpProtoRouting)
+      .Srh(segments, segments_left, kIpProtoIpv4)
+      .Ipv4(f.v4_src, f.v4_dst, kIpProtoUdp)
+      .Udp(f.src_port, f.dst_port)
+      .Payload(config_.payload_size);
+  return b.Build();
+}
+
+}  // namespace ipsa::net

@@ -1,0 +1,67 @@
+// Workload generation for the evaluation benchmarks.
+//
+// The paper's use cases process L2/L3 unicast traffic (base design), ECMP'd
+// IPv4/IPv6 flows (C1), SRv6-encapsulated traffic (C2), and a hot IPv4 flow
+// for the event-triggered probe (C3). These generators produce deterministic
+// packet streams with controllable flow counts and v4/v6 mix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/packet.h"
+#include "util/rng.h"
+
+namespace ipsa::net {
+
+// A 5-tuple-ish flow identity the generators draw packets from.
+struct FlowSpec {
+  bool is_ipv6 = false;
+  Ipv4Addr v4_src, v4_dst;
+  Ipv6Addr v6_src, v6_dst;
+  uint16_t src_port = 0, dst_port = 0;
+  uint8_t protocol = kIpProtoUdp;
+  MacAddr mac_src, mac_dst;
+};
+
+struct WorkloadConfig {
+  uint64_t seed = 42;
+  uint32_t flow_count = 64;
+  double ipv6_fraction = 0.0;  // fraction of flows that are IPv6
+  size_t payload_size = 64;
+  // Zipf-ish skew: 0 = uniform; larger concentrates traffic on few flows.
+  double skew = 0.0;
+  // Destination prefix pool the v4 FIB entries are drawn from, so generated
+  // packets actually hit installed routes.
+  uint32_t v4_dst_base = 0x0A000000;  // 10.0.0.0
+  uint32_t v4_dst_count = 256;        // distinct /32 destinations
+};
+
+class Workload {
+ public:
+  explicit Workload(const WorkloadConfig& config);
+
+  const std::vector<FlowSpec>& flows() const { return flows_; }
+
+  // Draws the next flow (respecting skew) and builds one packet for it.
+  Packet NextPacket();
+
+  // Builds a packet for a specific flow index.
+  Packet PacketForFlow(size_t flow_index) const;
+
+  // SRv6 traffic: IPv6 + SRH(list of segments) + inner IPv4/UDP.
+  Packet Srv6Packet(const Ipv6Addr& active_segment,
+                    const std::vector<Ipv6Addr>& segments,
+                    uint8_t segments_left) const;
+
+ private:
+  size_t DrawFlowIndex();
+
+  WorkloadConfig config_;
+  mutable util::Rng rng_;
+  std::vector<FlowSpec> flows_;
+  std::vector<double> cdf_;  // cumulative flow-popularity distribution
+};
+
+}  // namespace ipsa::net

@@ -1,0 +1,27 @@
+// p4lite — a P4-16 subset front end (stand-in for p4c; see DESIGN.md).
+//
+// Supported surface:
+//   header <name>_t { bit<N> f; ... [varsize(f, add, mult);] }
+//   struct metadata_t { bit<N> f; ... }          (any struct not headers_t)
+//   struct headers_t { <type> <instance>; ... }  (the header layout)
+//   register<bit<N>> name[size];                 (dialect: array registers)
+//   parser <name>(...) { state ... }             (extract + select/transition)
+//   control <name>(...) { action... table... apply {...} }
+//
+// The first control is ingress, the second (if present) egress. Statements
+// and expressions share the rP4 surface (drop(), mark(), forward(e),
+// push_header, pop_header, set_raw/get_raw, if/else, assignment).
+// Field references are `hdr.<instance>.<field>`, `meta.<field>`, or
+// `standard_metadata.<field>`.
+#pragma once
+
+#include <string_view>
+
+#include "p4lite/hlir.h"
+#include "util/status.h"
+
+namespace ipsa::p4lite {
+
+Result<Hlir> ParseP4(std::string_view source);
+
+}  // namespace ipsa::p4lite

@@ -1,0 +1,248 @@
+#include "pisa/pisa_switch.h"
+
+#include "arch/ii_model.h"
+#include "arch/parse_engine.h"
+#include "util/logging.h"
+
+namespace ipsa::pisa {
+
+namespace {
+
+mem::PoolConfig MakePoolConfig(const PisaOptions& o) {
+  uint32_t stages = o.physical_ingress_stages + o.physical_egress_stages;
+  mem::PoolConfig cfg;
+  cfg.sram_blocks = o.sram_blocks_per_stage * stages;
+  cfg.sram_width_bits = o.sram_width_bits;
+  cfg.sram_depth = o.sram_depth;
+  cfg.tcam_blocks = o.tcam_blocks_per_stage * stages;
+  cfg.tcam_width_bits = o.tcam_width_bits;
+  cfg.tcam_depth = o.tcam_depth;
+  // One cluster per physical stage: PISA prorates memory among stages.
+  cfg.clusters = stages;
+  return cfg;
+}
+
+}  // namespace
+
+PisaSwitch::PisaSwitch(const PisaOptions& options)
+    : options_(options),
+      pool_(MakePoolConfig(options)),
+      catalog_(pool_),
+      metadata_proto_(arch::Metadata::Standard()),
+      ingress_(options.physical_ingress_stages),
+      egress_(options.physical_egress_stages),
+      ports_(options.port_count) {}
+
+void PisaSwitch::Reset() {
+  // Destroy all tables (their entries are lost — the controller must
+  // repopulate after a reload, the cost Table 1's note points out).
+  for (const std::string& name : catalog_.TableNames()) {
+    (void)catalog_.DestroyTable(name);
+  }
+  for (const std::string& name : actions_.ActionNames()) {
+    (void)actions_.Remove(name);
+  }
+  for (const auto& reg : design_.registers) {
+    (void)regs_.Destroy(reg.name);
+  }
+  ingress_.assign(options_.physical_ingress_stages, std::nullopt);
+  egress_.assign(options_.physical_egress_stages, std::nullopt);
+  metadata_proto_ = arch::Metadata::Standard();
+  design_ = arch::DesignConfig{};
+  loaded_ = false;
+}
+
+Status PisaSwitch::LoadDesign(const arch::DesignConfig& design) {
+  if (design.ingress_stages.size() > options_.physical_ingress_stages) {
+    return ResourceExhausted(
+        "design needs more ingress stages than the chip has");
+  }
+  if (design.egress_stages.size() > options_.physical_egress_stages) {
+    return ResourceExhausted(
+        "design needs more egress stages than the chip has");
+  }
+  Reset();
+
+  // Rebuild the whole device from the monolithic config.
+  for (const auto& m : design.metadata) {
+    IPSA_RETURN_IF_ERROR(metadata_proto_.Declare(m.name, m.width_bits));
+  }
+  for (const auto& a : design.actions) {
+    IPSA_RETURN_IF_ERROR(actions_.Add(a));
+  }
+  for (const auto& r : design.registers) {
+    IPSA_RETURN_IF_ERROR(regs_.Create(r.name, r.size));
+  }
+
+  // Tables are prorated: a logical stage's tables live in the cluster of
+  // the physical stage it maps to. Build a table -> stage index first.
+  std::map<std::string, uint32_t> table_stage;
+  for (size_t i = 0; i < design.ingress_stages.size(); ++i) {
+    for (const auto& rule : design.ingress_stages[i].matcher) {
+      if (!rule.table.empty()) {
+        table_stage[rule.table] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+  for (size_t i = 0; i < design.egress_stages.size(); ++i) {
+    for (const auto& rule : design.egress_stages[i].matcher) {
+      if (!rule.table.empty()) {
+        table_stage[rule.table] =
+            options_.physical_ingress_stages + static_cast<uint32_t>(i);
+      }
+    }
+  }
+  for (const auto& t : design.tables) {
+    auto it = table_stage.find(t.spec.name);
+    std::optional<uint32_t> cluster;
+    if (it != table_stage.end()) cluster = it->second;
+    Status s = catalog_.CreateTable(t.spec, t.binding, cluster);
+    if (!s.ok()) {
+      Reset();
+      return s;
+    }
+  }
+
+  for (size_t i = 0; i < design.ingress_stages.size(); ++i) {
+    ingress_[i] = design.ingress_stages[i];
+  }
+  for (size_t i = 0; i < design.egress_stages.size(); ++i) {
+    egress_[i] = design.egress_stages[i];
+  }
+
+  design_ = design;
+  loaded_ = true;
+  stats_.full_loads += 1;
+  stats_.config_words_written += design.TotalConfigWords();
+  IPSA_LOG(kInfo) << "pbm: loaded design '" << design.name << "' ("
+                  << design.TotalConfigWords() << " config words)";
+  return OkStatus();
+}
+
+Status PisaSwitch::LoadDesignJson(std::string_view json_text) {
+  IPSA_ASSIGN_OR_RETURN(util::Json json, util::Json::Parse(json_text));
+  IPSA_ASSIGN_OR_RETURN(arch::DesignConfig design,
+                        arch::DesignConfig::FromJson(json));
+  return LoadDesign(design);
+}
+
+Status PisaSwitch::AddEntry(const std::string& table,
+                            const table::Entry& entry) {
+  IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
+  ++stats_.table_ops;
+  ++stats_.config_words_written;  // one control-channel write per entry op
+  return t->Insert(entry);
+}
+
+Status PisaSwitch::EraseEntry(const std::string& table,
+                              const table::Entry& entry) {
+  IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
+  ++stats_.table_ops;
+  ++stats_.config_words_written;
+  return t->Erase(entry);
+}
+
+Result<ProcessResult> PisaSwitch::Process(net::Packet& packet,
+                                          uint32_t in_port,
+                                          ProcessTrace* trace) {
+  if (!loaded_) return FailedPrecondition("pbm: no design loaded");
+  ++stats_.packets_in;
+
+  arch::PacketContext ctx(packet, design_.headers, metadata_proto_);
+  ctx.metadata().Reset();
+  IPSA_RETURN_IF_ERROR(ctx.metadata().WriteUint("ingress_port", in_port));
+
+  // Standalone front-end parser: extract everything up front (§2.1 contrast).
+  IPSA_ASSIGN_OR_RETURN(arch::ParseStats ps, arch::ParseEngine::ParseAll(ctx));
+
+  ProcessResult result;
+  result.headers_parsed = ps.headers_parsed;
+  uint64_t parsed_bytes = 0;
+  for (const auto& h : ctx.phv().instances()) {
+    if (h.valid) parsed_bytes += h.size_bytes;
+  }
+  result.pipeline_ii =
+      std::max(arch::PisaParserIi(parsed_bytes), arch::PisaStageIi());
+
+  if (trace != nullptr) {
+    for (const auto& h : ctx.phv().instances()) {
+      if (h.valid) trace->parsed_headers.push_back(h.name);
+    }
+  }
+
+  // All physical ingress stages are traversed in order whether or not they
+  // hold a program — non-functional stages still cost a cycle of latency
+  // (the elastic-pipeline motivation in §2.3).
+  auto run_side = [&](std::vector<std::optional<arch::StageProgram>>& side,
+                      uint32_t base_index) -> Status {
+    for (size_t i = 0; i < side.size(); ++i) {
+      ctx.ChargeCycles(1);
+      if (!side[i].has_value()) continue;
+      IPSA_ASSIGN_OR_RETURN(
+          arch::StageRunStats stats,
+          RunStage(*side[i], ctx, catalog_, actions_, &regs_,
+                   /*jit_parse=*/false));
+      if (trace != nullptr) {
+        trace->steps.push_back(TraceStep{
+            .unit = base_index + static_cast<uint32_t>(i),
+            .stage = side[i]->name,
+            .table = stats.applied_table,
+            .hit = stats.hit,
+            .action = stats.executed_action,
+            .parse_bytes = 0});
+      }
+      if (ctx.dropped()) break;
+    }
+    return OkStatus();
+  };
+  IPSA_RETURN_IF_ERROR(run_side(ingress_, 0));
+  if (!ctx.dropped()) {
+    IPSA_RETURN_IF_ERROR(
+        run_side(egress_, options_.physical_ingress_stages));
+  }
+
+  result.dropped = ctx.dropped();
+  result.marked = ctx.marked();
+  result.egress_port = ctx.egress_spec();
+  result.cycles = ctx.cycles();
+  stats_.total_cycles += ctx.cycles();
+  if (result.dropped) {
+    ++stats_.packets_dropped;
+  } else {
+    ++stats_.packets_out;
+  }
+  if (result.marked) ++stats_.packets_marked;
+  return result;
+}
+
+Result<uint32_t> PisaSwitch::RunToCompletion() {
+  uint32_t processed = 0;
+  for (uint32_t p = 0; p < ports_.count(); ++p) {
+    while (auto packet = ports_.port(p).rx().Pop()) {
+      IPSA_ASSIGN_OR_RETURN(ProcessResult r, Process(*packet, p));
+      if (!r.dropped && r.egress_port < ports_.count()) {
+        ports_.port(r.egress_port).tx().Push(std::move(*packet));
+      }
+      ++processed;
+    }
+  }
+  return processed;
+}
+
+uint32_t PisaSwitch::ActiveIngressStages() const {
+  uint32_t n = 0;
+  for (const auto& s : ingress_) {
+    if (s.has_value()) ++n;
+  }
+  return n;
+}
+
+uint32_t PisaSwitch::ActiveEgressStages() const {
+  uint32_t n = 0;
+  for (const auto& s : egress_) {
+    if (s.has_value()) ++n;
+  }
+  return n;
+}
+
+}  // namespace ipsa::pisa

@@ -1,0 +1,101 @@
+// pbm — PISA behavioral model (the baseline, standing in for bmv2).
+//
+// Architecture per the paper's PISA description (§1, §2): a standalone
+// front-end parser that extracts *all* headers, a fixed number of physical
+// match-action stages for ingress and egress, and a deparser (a no-op here
+// because headers are edited in place). Memory is prorated: the pool is
+// clustered per physical stage and a stage's tables must fit its cluster.
+//
+// The crucial property for the evaluation: the device only accepts a
+// *monolithic* design. Any functional change requires LoadDesign() with a
+// full new configuration — every table is destroyed (losing its entries,
+// which the controller must repopulate) and every config word is rewritten.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/design.h"
+#include "net/ports.h"
+#include "pisa/device_stats.h"
+#include "util/status.h"
+
+namespace ipsa::pisa {
+
+struct PisaOptions {
+  uint32_t physical_ingress_stages = 8;
+  uint32_t physical_egress_stages = 8;
+  uint32_t port_count = 16;
+  // Per-stage memory proration: each physical stage owns one pool cluster.
+  uint32_t sram_blocks_per_stage = 8;
+  uint32_t tcam_blocks_per_stage = 2;
+  uint32_t sram_width_bits = 256;
+  uint32_t sram_depth = 2048;
+  uint32_t tcam_width_bits = 256;
+  uint32_t tcam_depth = 512;
+};
+
+class PisaSwitch {
+ public:
+  explicit PisaSwitch(const PisaOptions& options = {});
+
+  // Full design load: tear-down + rebuild. This is the ONLY way to change
+  // functionality on PISA. Charges every config word to the device bus and
+  // destroys all table contents.
+  Status LoadDesign(const arch::DesignConfig& design);
+  // Convenience: parse the monolithic JSON first (what a real device's
+  // driver does), then load.
+  Status LoadDesignJson(std::string_view json_text);
+
+  bool HasDesign() const { return loaded_; }
+  const arch::DesignConfig& design() const { return design_; }
+
+  // Runtime table API (valid between loads; cleared by LoadDesign).
+  Status AddEntry(const std::string& table, const table::Entry& entry);
+  Status EraseEntry(const std::string& table, const table::Entry& entry);
+
+  // Processes one packet through parser -> ingress -> TM -> egress.
+  // When `trace` is non-null, every stage execution is recorded into it.
+  Result<ProcessResult> Process(net::Packet& packet, uint32_t in_port,
+                                ProcessTrace* trace = nullptr);
+
+  // Port-level API: inject to RX, run, collect TX.
+  net::PortSet& ports() { return ports_; }
+  // Drains all RX queues through the pipeline; returns packets processed.
+  Result<uint32_t> RunToCompletion();
+
+  DeviceStats& stats() { return stats_; }
+  const DeviceStats& stats() const { return stats_; }
+
+  arch::RegisterFile& registers() { return regs_; }
+
+  uint32_t physical_ingress_stages() const {
+    return options_.physical_ingress_stages;
+  }
+  // Number of physical stages with a program mapped.
+  uint32_t ActiveIngressStages() const;
+  uint32_t ActiveEgressStages() const;
+
+ private:
+  void Reset();
+
+  PisaOptions options_;
+  mem::Pool pool_;
+  arch::TableCatalog catalog_;
+  arch::ActionStore actions_;
+  arch::RegisterFile regs_;
+  arch::Metadata metadata_proto_;
+  arch::DesignConfig design_;
+  bool loaded_ = false;
+
+  // Physical stage slots (index = physical position).
+  std::vector<std::optional<arch::StageProgram>> ingress_;
+  std::vector<std::optional<arch::StageProgram>> egress_;
+
+  net::PortSet ports_;
+  DeviceStats stats_;
+};
+
+}  // namespace ipsa::pisa

@@ -1,0 +1,249 @@
+#include "rp4/printer.h"
+
+#include "util/strings.h"
+
+namespace ipsa::rp4 {
+
+namespace {
+
+using arch::ActionOp;
+using arch::Expr;
+
+std::string Ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+std::string PrintOps(const std::vector<ActionOp>& ops, int indent);
+
+std::string PrintOp(const ActionOp& op, int indent) {
+  std::string pad = Ind(indent);
+  switch (op.kind) {
+    case ActionOp::Kind::kNoop:
+      return pad + "no_op();\n";
+    case ActionOp::Kind::kAssign:
+      return pad + op.dest.ToString() + " = " + PrintExpr(op.value) + ";\n";
+    case ActionOp::Kind::kAssignRaw:
+      return pad + "set_raw(" + op.instance + ", " +
+             PrintExpr(op.raw_offset) + ", " + std::to_string(op.raw_width) +
+             ", " + PrintExpr(op.value) + ");\n";
+    case ActionOp::Kind::kPushHeader: {
+      std::string out = pad + "push_header(" + op.instance;
+      if (!op.after_instance.empty() || op.push_size_bytes != nullptr) {
+        out += ", " + op.after_instance;
+      }
+      if (op.push_size_bytes != nullptr) {
+        out += ", " + PrintExpr(op.push_size_bytes);
+      }
+      return out + ");\n";
+    }
+    case ActionOp::Kind::kPopHeader:
+      return pad + "pop_header(" + op.instance + ");\n";
+    case ActionOp::Kind::kDrop:
+      return pad + "drop();\n";
+    case ActionOp::Kind::kMark:
+      return pad + "mark();\n";
+    case ActionOp::Kind::kForward:
+      return pad + "forward(" + PrintExpr(op.value) + ");\n";
+    case ActionOp::Kind::kRegWrite:
+      return pad + op.reg + "[" + PrintExpr(op.index) + "] = " +
+             PrintExpr(op.value) + ";\n";
+    case ActionOp::Kind::kUpdateChecksum:
+      return pad + "update_checksum(" + op.instance + ", " +
+             op.checksum_field + ");\n";
+    case ActionOp::Kind::kIf: {
+      std::string out =
+          pad + "if (" + PrintExpr(op.cond) + ") {\n" +
+          PrintOps(op.then_ops, indent + 1) + pad + "}";
+      if (!op.else_ops.empty()) {
+        out += " else {\n" + PrintOps(op.else_ops, indent + 1) + pad + "}";
+      }
+      return out + "\n";
+    }
+  }
+  return pad + "no_op();\n";
+}
+
+std::string PrintOps(const std::vector<ActionOp>& ops, int indent) {
+  std::string out;
+  for (const auto& op : ops) out += PrintOp(op, indent);
+  return out;
+}
+
+}  // namespace
+
+std::string PrintExpr(const arch::ExprPtr& expr) {
+  if (expr == nullptr) return "true";
+  switch (expr->kind()) {
+    case Expr::Kind::kConst: {
+      const mem::BitString& v = expr->constant();
+      if (v.bit_width() <= 64) return std::to_string(v.ToUint64());
+      return v.ToHex();
+    }
+    case Expr::Kind::kField:
+      return expr->field().ToString();
+    case Expr::Kind::kRaw:
+      return "get_raw(" + expr->name() + ", " + PrintExpr(expr->lhs()) +
+             ", " + std::to_string(expr->raw_width()) + ")";
+    case Expr::Kind::kParam:
+      return expr->name();
+    case Expr::Kind::kRegister:
+      return expr->name() + "[" + PrintExpr(expr->lhs()) + "]";
+    case Expr::Kind::kIsValid:
+      return expr->name() + ".isValid()";
+    case Expr::Kind::kUnary:
+      return std::string(OpName(expr->op())) + "(" + PrintExpr(expr->lhs()) +
+             ")";
+    case Expr::Kind::kBinary:
+      return "(" + PrintExpr(expr->lhs()) + " " +
+             std::string(OpName(expr->op())) + " " + PrintExpr(expr->rhs()) +
+             ")";
+  }
+  return "0";
+}
+
+std::string PrintHeader(const Rp4HeaderDecl& header, int indent) {
+  std::string pad = Ind(indent);
+  std::string out = pad + "header " + header.name + " {\n";
+  for (const auto& f : header.fields) {
+    out += Ind(indent + 1) + "bit<" + std::to_string(f.width_bits) + "> " +
+           f.name + ";\n";
+  }
+  if (header.varsize.has_value()) {
+    out += Ind(indent + 1) + "varsize(" + header.varsize->len_field + ", " +
+           std::to_string(header.varsize->add) + ", " +
+           std::to_string(header.varsize->multiplier) + ");\n";
+  }
+  if (header.parser.has_value()) {
+    out += Ind(indent + 1) + "implicit parser(" +
+           header.parser->selector_field + ") {\n";
+    for (const auto& [tag, next] : header.parser->links) {
+      out += Ind(indent + 2) + std::to_string(tag) + ": " + next + ";\n";
+    }
+    out += Ind(indent + 1) + "}\n";
+  }
+  out += pad + "}\n";
+  return out;
+}
+
+std::string PrintActionDef(const arch::ActionDef& def, int indent) {
+  std::string pad = Ind(indent);
+  std::string out = pad + "action " + def.name + "(";
+  for (size_t i = 0; i < def.params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "bit<" + std::to_string(def.params[i].width_bits) + "> " +
+           def.params[i].name;
+  }
+  out += ") {\n" + PrintOps(def.body, indent + 1) + pad + "}\n";
+  return out;
+}
+
+std::string PrintTable(const Rp4TableDecl& table, int indent) {
+  std::string pad = Ind(indent);
+  std::string out = pad + "table " + table.name + " {\n";
+  out += Ind(indent + 1) + "key = {\n";
+  for (const auto& kf : table.key) {
+    out += Ind(indent + 2) + kf.field.ToString() + ": " + kf.match_type +
+           ";\n";
+  }
+  out += Ind(indent + 1) + "}\n";
+  if (!table.actions.empty()) {
+    out += Ind(indent + 1) + "actions = { ";
+    for (const auto& a : table.actions) out += a + "; ";
+    out += "}\n";
+  }
+  out += Ind(indent + 1) + "size = " + std::to_string(table.size) + ";\n";
+  if (table.default_action != "NoAction") {
+    out += Ind(indent + 1) + "default_action = " + table.default_action +
+           ";\n";
+  }
+  out += pad + "}\n";
+  return out;
+}
+
+std::string PrintStage(const arch::StageProgram& stage, int indent) {
+  std::string pad = Ind(indent);
+  std::string out = pad + "stage " + stage.name + " {\n";
+  out += Ind(indent + 1) + "parser { ";
+  for (const auto& h : stage.parse_set) out += h + "; ";
+  out += "}\n";
+  out += Ind(indent + 1) + "matcher {\n";
+  for (size_t i = 0; i < stage.matcher.size(); ++i) {
+    const auto& rule = stage.matcher[i];
+    std::string line = Ind(indent + 2);
+    if (rule.guard != nullptr) {
+      line += (i == 0 ? "if (" : "else if (") + PrintExpr(rule.guard) + ") ";
+    } else if (i > 0) {
+      line += "else ";
+    }
+    if (rule.table.empty()) {
+      line += ";";
+    } else {
+      line += rule.table + ".apply();";
+    }
+    out += line + "\n";
+  }
+  out += Ind(indent + 1) + "}\n";
+  out += Ind(indent + 1) + "executor {\n";
+  for (const auto& [tag, action] : stage.executor) {
+    out += Ind(indent + 2) + std::to_string(tag) + ": " + action + ";\n";
+  }
+  out += Ind(indent + 2) + "default: " + stage.miss_action + ";\n";
+  out += Ind(indent + 1) + "}\n";
+  out += pad + "}\n";
+  return out;
+}
+
+std::string PrintRp4(const Rp4Program& program) {
+  std::string out;
+  if (!program.headers.empty()) {
+    out += "headers {\n";
+    for (const auto& h : program.headers) out += PrintHeader(h, 1);
+    out += "}\n";
+  }
+  out += "entry_header = " + program.entry_header + ";\n";
+  if (!program.structs.empty()) {
+    out += "structs {\n";
+    for (const auto& s : program.structs) {
+      out += Ind(1) + "struct " + s.name + " {\n";
+      for (const auto& m : s.members) {
+        out += Ind(2) + "bit<" + std::to_string(m.width_bits) + "> " +
+               m.name + ";\n";
+      }
+      out += Ind(1) + "}" + (s.alias.empty() ? "" : " " + s.alias) + ";\n";
+    }
+    out += "}\n";
+  }
+  for (const auto& r : program.registers) {
+    out += "register<bit<" + std::to_string(r.width_bits) + ">> " + r.name +
+           "[" + std::to_string(r.size) + "];\n";
+  }
+  for (const auto& a : program.actions) out += PrintActionDef(a);
+  for (const auto& t : program.tables) out += PrintTable(t);
+  if (!program.ingress_stages.empty()) {
+    out += "control rP4_Ingress {\n";
+    for (const auto& s : program.ingress_stages) out += PrintStage(s, 1);
+    out += "}\n";
+  }
+  if (!program.egress_stages.empty()) {
+    out += "control rP4_Egress {\n";
+    for (const auto& s : program.egress_stages) out += PrintStage(s, 1);
+    out += "}\n";
+  }
+  if (!program.funcs.empty() || !program.ingress_entry.empty() ||
+      !program.egress_entry.empty()) {
+    out += "user_funcs {\n";
+    for (const auto& f : program.funcs) {
+      out += Ind(1) + "func " + f.name + " { ";
+      for (const auto& s : f.stages) out += s + "; ";
+      out += "}\n";
+    }
+    if (!program.ingress_entry.empty()) {
+      out += Ind(1) + "ingress_entry: " + program.ingress_entry + ";\n";
+    }
+    if (!program.egress_entry.empty()) {
+      out += Ind(1) + "egress_entry: " + program.egress_entry + ";\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace ipsa::rp4

@@ -1,0 +1,23 @@
+// rP4 pretty-printer: Rp4Program -> rP4 source text.
+//
+// rp4fc's output *is* rP4 code (the paper's design flow, Fig. 3), so the
+// printer must emit text the rP4 parser accepts; the round-trip
+// parse(print(p)) == p is property-tested.
+#pragma once
+
+#include <string>
+
+#include "rp4/ast.h"
+
+namespace ipsa::rp4 {
+
+std::string PrintRp4(const Rp4Program& program);
+
+// Individual pieces (used when emitting incremental snippets).
+std::string PrintExpr(const arch::ExprPtr& expr);
+std::string PrintActionDef(const arch::ActionDef& def, int indent = 0);
+std::string PrintStage(const arch::StageProgram& stage, int indent = 0);
+std::string PrintTable(const Rp4TableDecl& table, int indent = 0);
+std::string PrintHeader(const Rp4HeaderDecl& header, int indent = 0);
+
+}  // namespace ipsa::rp4

@@ -1,0 +1,59 @@
+#include "table/exact_table.h"
+
+namespace ipsa::table {
+
+ExactTable::ExactTable(TableSpec spec, mem::Pool& pool,
+                       mem::LogicalTable storage)
+    : MatchTable(std::move(spec), pool, std::move(storage)) {
+  free_rows_.reserve(spec_.size);
+  for (uint32_t r = spec_.size; r > 0; --r) free_rows_.push_back(r - 1);
+}
+
+Status ExactTable::Insert(const Entry& entry) {
+  if (entry.key.bit_width() != spec_.key_width_bits) {
+    return InvalidArgument("exact table '" + spec_.name +
+                           "': key width mismatch");
+  }
+  std::string k = KeyOf(entry.key);
+  if (auto it = index_.find(k); it != index_.end()) {
+    // Update in place (modify semantics).
+    return storage_.WriteRow(*pool_, it->second, PackRow(entry));
+  }
+  if (free_rows_.empty()) {
+    return ResourceExhausted("exact table '" + spec_.name + "' is full");
+  }
+  uint32_t row = free_rows_.back();
+  IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
+  free_rows_.pop_back();
+  index_.emplace(std::move(k), row);
+  ++entry_count_;
+  return OkStatus();
+}
+
+Status ExactTable::Erase(const Entry& entry) {
+  auto it = index_.find(KeyOf(entry.key));
+  if (it == index_.end()) {
+    return NotFound("exact table '" + spec_.name + "': key not present");
+  }
+  IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, it->second));
+  free_rows_.push_back(it->second);
+  index_.erase(it);
+  --entry_count_;
+  return OkStatus();
+}
+
+LookupResult ExactTable::Lookup(const mem::BitString& key) const {
+  auto it = index_.find(KeyOf(key));
+  if (it == index_.end()) return Miss();
+  auto row = storage_.ReadRow(*pool_, it->second);
+  if (!row.ok()) return Miss();
+  Entry e = UnpackRow(*row);
+  LookupResult r;
+  r.hit = true;
+  r.action_id = e.action_id;
+  r.action_data = std::move(e.action_data);
+  r.access_cycles = storage_.AccessCycles(kBusWidthBits);
+  return r;
+}
+
+}  // namespace ipsa::table

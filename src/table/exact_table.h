@@ -1,0 +1,34 @@
+// Exact-match table: a hash index over pool-backed rows.
+//
+// The behavioral model keeps an unordered_map from key bytes to the storage
+// row (bmv2 does the same); hardware would use cuckoo/d-left hashing over the
+// identical SRAM rows. Lookup charges one logical-row fetch through the bus.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+
+namespace ipsa::table {
+
+class ExactTable : public MatchTable {
+ public:
+  ExactTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage);
+
+  Status Insert(const Entry& entry) override;
+  Status Erase(const Entry& entry) override;
+  LookupResult Lookup(const mem::BitString& key) const override;
+
+ private:
+  static std::string KeyOf(const mem::BitString& key) {
+    return std::string(reinterpret_cast<const char*>(key.bytes().data()),
+                       key.byte_size());
+  }
+
+  std::unordered_map<std::string, uint32_t> index_;  // key bytes -> row
+  std::vector<uint32_t> free_rows_;                  // LIFO free list
+};
+
+}  // namespace ipsa::table

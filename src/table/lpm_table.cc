@@ -1,0 +1,92 @@
+#include "table/lpm_table.h"
+
+namespace ipsa::table {
+
+LpmTable::LpmTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage)
+    : MatchTable(std::move(spec), pool, std::move(storage)),
+      root_(std::make_unique<Node>()) {
+  free_rows_.reserve(spec_.size);
+  for (uint32_t r = spec_.size; r > 0; --r) free_rows_.push_back(r - 1);
+}
+
+LpmTable::~LpmTable() {
+  // Free the trie iteratively; recursive destruction of a deep chain of
+  // unique_ptrs can overflow the stack for adversarial prefix sets.
+  std::vector<std::unique_ptr<Node>> stack;
+  stack.push_back(std::move(root_));
+  while (!stack.empty()) {
+    std::unique_ptr<Node> n = std::move(stack.back());
+    stack.pop_back();
+    if (!n) continue;
+    stack.push_back(std::move(n->child[0]));
+    stack.push_back(std::move(n->child[1]));
+  }
+}
+
+Status LpmTable::Insert(const Entry& entry) {
+  if (entry.key.bit_width() != spec_.key_width_bits) {
+    return InvalidArgument("lpm table '" + spec_.name +
+                           "': key width mismatch");
+  }
+  if (entry.prefix_len > spec_.key_width_bits) {
+    return InvalidArgument("lpm table '" + spec_.name +
+                           "': prefix length exceeds key width");
+  }
+  Node* node = root_.get();
+  for (uint32_t i = 0; i < entry.prefix_len; ++i) {
+    int b = KeyBitMsb(entry.key, i) ? 1 : 0;
+    if (!node->child[b]) node->child[b] = std::make_unique<Node>();
+    node = node->child[b].get();
+  }
+  if (node->row >= 0) {
+    // Update in place.
+    return storage_.WriteRow(*pool_, static_cast<uint32_t>(node->row),
+                             PackRow(entry));
+  }
+  if (free_rows_.empty()) {
+    return ResourceExhausted("lpm table '" + spec_.name + "' is full");
+  }
+  uint32_t row = free_rows_.back();
+  IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
+  free_rows_.pop_back();
+  node->row = static_cast<int32_t>(row);
+  ++entry_count_;
+  return OkStatus();
+}
+
+Status LpmTable::Erase(const Entry& entry) {
+  Node* node = root_.get();
+  for (uint32_t i = 0; i < entry.prefix_len && node != nullptr; ++i) {
+    node = node->child[KeyBitMsb(entry.key, i) ? 1 : 0].get();
+  }
+  if (node == nullptr || node->row < 0) {
+    return NotFound("lpm table '" + spec_.name + "': prefix not present");
+  }
+  uint32_t row = static_cast<uint32_t>(node->row);
+  IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, row));
+  free_rows_.push_back(row);
+  node->row = -1;
+  --entry_count_;
+  return OkStatus();
+}
+
+LookupResult LpmTable::Lookup(const mem::BitString& key) const {
+  const Node* node = root_.get();
+  int32_t best_row = node->row;
+  for (uint32_t i = 0; i < spec_.key_width_bits && node != nullptr; ++i) {
+    node = node->child[KeyBitMsb(key, i) ? 1 : 0].get();
+    if (node != nullptr && node->row >= 0) best_row = node->row;
+  }
+  if (best_row < 0) return Miss();
+  auto row = storage_.ReadRow(*pool_, static_cast<uint32_t>(best_row));
+  if (!row.ok()) return Miss();
+  Entry e = UnpackRow(*row);
+  LookupResult r;
+  r.hit = true;
+  r.action_id = e.action_id;
+  r.action_data = std::move(e.action_data);
+  r.access_cycles = storage_.AccessCycles(kBusWidthBits);
+  return r;
+}
+
+}  // namespace ipsa::table

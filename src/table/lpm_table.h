@@ -1,0 +1,41 @@
+// Longest-prefix-match table over pool-backed rows.
+//
+// Index: a binary trie keyed MSB-first over the prefix bits, as in
+// algorithmic LPM engines. Each populated trie node records the storage row
+// of its entry; lookup walks at most key_width levels and remembers the
+// deepest populated node. Storage rows additionally record the prefix length
+// so entries round-trip through the pool.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "table/table.h"
+
+namespace ipsa::table {
+
+class LpmTable : public MatchTable {
+ public:
+  LpmTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage);
+  ~LpmTable() override;
+
+  Status Insert(const Entry& entry) override;
+  Status Erase(const Entry& entry) override;
+  LookupResult Lookup(const mem::BitString& key) const override;
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    int32_t row = -1;  // storage row, -1 when no entry terminates here
+  };
+
+  // MSB-first bit `i` of a key (bit 0 = most significant bit of the key).
+  bool KeyBitMsb(const mem::BitString& key, uint32_t i) const {
+    return key.GetBit(spec_.key_width_bits - 1 - i);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::vector<uint32_t> free_rows_;
+};
+
+}  // namespace ipsa::table

@@ -1,0 +1,57 @@
+#include "table/selector_table.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace ipsa::table {
+
+SelectorTable::SelectorTable(TableSpec spec, mem::Pool& pool,
+                             mem::LogicalTable storage)
+    : MatchTable(std::move(spec), pool, std::move(storage)) {}
+
+Status SelectorTable::Insert(const Entry& entry) {
+  uint64_t bucket = entry.key.ToUint64();
+  if (bucket >= spec_.size) {
+    return OutOfRange("selector table '" + spec_.name +
+                      "': bucket index beyond table size");
+  }
+  uint32_t row = static_cast<uint32_t>(bucket);
+  IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
+  auto it = std::lower_bound(populated_.begin(), populated_.end(), row);
+  if (it == populated_.end() || *it != row) {
+    populated_.insert(it, row);
+    ++entry_count_;
+  }
+  return OkStatus();
+}
+
+Status SelectorTable::Erase(const Entry& entry) {
+  uint32_t row = static_cast<uint32_t>(entry.key.ToUint64());
+  auto it = std::lower_bound(populated_.begin(), populated_.end(), row);
+  if (it == populated_.end() || *it != row) {
+    return NotFound("selector table '" + spec_.name +
+                    "': bucket not populated");
+  }
+  IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, row));
+  populated_.erase(it);
+  --entry_count_;
+  return OkStatus();
+}
+
+LookupResult SelectorTable::Lookup(const mem::BitString& key) const {
+  if (populated_.empty()) return Miss();
+  uint32_t h = util::Crc32(key.bytes());
+  uint32_t row = populated_[h % populated_.size()];
+  auto row_value = storage_.ReadRow(*pool_, row);
+  if (!row_value.ok()) return Miss();
+  Entry e = UnpackRow(*row_value);
+  LookupResult r;
+  r.hit = true;
+  r.action_id = e.action_id;
+  r.action_data = std::move(e.action_data);
+  r.access_cycles = storage_.AccessCycles(kBusWidthBits);
+  return r;
+}
+
+}  // namespace ipsa::table

@@ -1,0 +1,35 @@
+// Hash/selector table — the mechanism behind the paper's ECMP use case
+// (Fig. 5a: `key = { meta.nexthop: hash; ipv4.dst_addr: hash; }`).
+//
+// All key fields are hash inputs: lookup CRC-hashes the key and indexes one
+// of the populated buckets, so packets of one flow always pick the same
+// bucket while distinct flows spread across them. The controller programs
+// buckets with `Entry.key` = bucket index.
+#pragma once
+
+#include <vector>
+
+#include "table/table.h"
+
+namespace ipsa::table {
+
+class SelectorTable : public MatchTable {
+ public:
+  SelectorTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage);
+
+  // entry.key holds the bucket index (low bits); overwrites are allowed.
+  Status Insert(const Entry& entry) override;
+  Status Erase(const Entry& entry) override;
+  // Hashes `key` over the populated buckets.
+  LookupResult Lookup(const mem::BitString& key) const override;
+
+  uint32_t BucketCount() const {
+    return static_cast<uint32_t>(populated_.size());
+  }
+
+ private:
+  // Rows that currently hold a member, in ascending bucket order.
+  std::vector<uint32_t> populated_;
+};
+
+}  // namespace ipsa::table

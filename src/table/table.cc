@@ -1,0 +1,99 @@
+#include "table/table.h"
+
+#include "table/exact_table.h"
+#include "table/lpm_table.h"
+#include "table/selector_table.h"
+#include "table/ternary_table.h"
+
+namespace ipsa::table {
+
+std::string_view MatchKindName(MatchKind kind) {
+  switch (kind) {
+    case MatchKind::kExact:
+      return "exact";
+    case MatchKind::kLpm:
+      return "lpm";
+    case MatchKind::kTernary:
+      return "ternary";
+    case MatchKind::kSelector:
+      return "selector";
+  }
+  return "?";
+}
+
+Result<MatchKind> MatchKindFromName(std::string_view name) {
+  if (name == "exact") return MatchKind::kExact;
+  if (name == "lpm") return MatchKind::kLpm;
+  if (name == "ternary") return MatchKind::kTernary;
+  if (name == "selector" || name == "hash") return MatchKind::kSelector;
+  return InvalidArgument("unknown match kind '" + std::string(name) + "'");
+}
+
+// Common row layout: key | aux(8, LPM prefix length) | action_id(16) | args.
+uint32_t MatchTable::RowWidthBits() const {
+  return spec_.key_width_bits + 8 + 16 + spec_.action_data_width_bits;
+}
+
+mem::BitString MatchTable::PackRow(const Entry& e) const {
+  mem::BitString row(RowWidthBits());
+  for (size_t i = 0; i < spec_.key_width_bits && i < e.key.bit_width(); ++i) {
+    row.SetBit(i, e.key.GetBit(i));
+  }
+  row.SetBits(spec_.key_width_bits, 8, e.prefix_len);
+  row.SetBits(spec_.key_width_bits + 8, 16, e.action_id);
+  size_t base = spec_.key_width_bits + 8 + 16;
+  for (size_t i = 0;
+       i < spec_.action_data_width_bits && i < e.action_data.bit_width();
+       ++i) {
+    row.SetBit(base + i, e.action_data.GetBit(i));
+  }
+  return row;
+}
+
+Entry MatchTable::UnpackRow(const mem::BitString& row) const {
+  Entry e;
+  e.key = row.Slice(0, spec_.key_width_bits);
+  e.prefix_len = static_cast<uint32_t>(row.GetBits(spec_.key_width_bits, 8));
+  e.action_id =
+      static_cast<uint32_t>(row.GetBits(spec_.key_width_bits + 8, 16));
+  e.action_data = row.Slice(spec_.key_width_bits + 8 + 16,
+                            spec_.action_data_width_bits);
+  return e;
+}
+
+Result<std::unique_ptr<MatchTable>> CreateTable(
+    const TableSpec& spec, mem::Pool& pool, uint32_t table_id,
+    std::optional<uint32_t> cluster) {
+  if (spec.key_width_bits == 0) {
+    return InvalidArgument("table '" + spec.name + "': zero key width");
+  }
+  if (spec.size == 0) {
+    return InvalidArgument("table '" + spec.name + "': zero size");
+  }
+  mem::BlockKind block_kind = spec.match_kind == MatchKind::kTernary
+                                  ? mem::BlockKind::kTcam
+                                  : mem::BlockKind::kSram;
+  uint32_t row_width =
+      spec.key_width_bits + 8 + 16 + spec.action_data_width_bits;
+  auto storage = mem::LogicalTable::Create(pool, block_kind, table_id,
+                                           row_width, spec.size, cluster);
+  if (!storage.ok()) return storage.status();
+
+  switch (spec.match_kind) {
+    case MatchKind::kExact:
+      return std::unique_ptr<MatchTable>(
+          new ExactTable(spec, pool, std::move(storage).value()));
+    case MatchKind::kLpm:
+      return std::unique_ptr<MatchTable>(
+          new LpmTable(spec, pool, std::move(storage).value()));
+    case MatchKind::kTernary:
+      return std::unique_ptr<MatchTable>(
+          new TernaryTable(spec, pool, std::move(storage).value()));
+    case MatchKind::kSelector:
+      return std::unique_ptr<MatchTable>(
+          new SelectorTable(spec, pool, std::move(storage).value()));
+  }
+  return InvalidArgument("bad match kind");
+}
+
+}  // namespace ipsa::table

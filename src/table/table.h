@@ -1,0 +1,127 @@
+// Match-action table abstractions shared by both switch architectures.
+//
+// Every table is backed by a mem::LogicalTable in the disaggregated pool, so
+// memory accounting (blocks used, access cycles) is uniform whether the
+// table belongs to a PISA stage or an IPSA TSP. Rows hold
+// [key (+mask for ternary) | action_id | action_args]; a software index
+// (hash map / trie / priority list) accelerates the behavioral-model lookup
+// exactly like bmv2 does, while reads are still charged against the pool
+// for the throughput model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/crossbar.h"
+#include "mem/logical_table.h"
+#include "mem/pool.h"
+#include "util/status.h"
+
+namespace ipsa::table {
+
+enum class MatchKind { kExact, kLpm, kTernary, kSelector };
+
+std::string_view MatchKindName(MatchKind kind);
+Result<MatchKind> MatchKindFromName(std::string_view name);
+
+// Static shape of a table, produced by the compilers.
+struct TableSpec {
+  std::string name;
+  MatchKind match_kind = MatchKind::kExact;
+  uint32_t key_width_bits = 32;
+  uint32_t action_data_width_bits = 64;
+  uint32_t size = 1024;  // max entries (depth)
+  // Default action when lookup misses (0 = NoAction by convention).
+  uint32_t default_action_id = 0;
+  mem::BitString default_action_data;
+};
+
+struct LookupResult {
+  bool hit = false;
+  uint32_t action_id = 0;
+  mem::BitString action_data;
+  uint32_t access_cycles = 0;  // charged pool/bus cycles for this lookup
+};
+
+// A populated table entry as seen by the runtime API.
+struct Entry {
+  mem::BitString key;
+  mem::BitString mask;      // ternary only
+  uint32_t prefix_len = 0;  // lpm only
+  uint32_t priority = 0;    // ternary only (higher wins)
+  uint32_t action_id = 0;
+  mem::BitString action_data;
+};
+
+class MatchTable {
+ public:
+  virtual ~MatchTable() = default;
+
+  const TableSpec& spec() const { return spec_; }
+  const mem::LogicalTable& storage() const { return storage_; }
+  uint32_t entry_count() const { return entry_count_; }
+
+  // Lookup statistics (read by the controller for visibility).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void CountLookup(bool hit) const {
+    if (hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+  }
+
+  virtual Status Insert(const Entry& entry) = 0;
+  virtual Status Erase(const Entry& entry) = 0;
+  virtual LookupResult Lookup(const mem::BitString& key) const = 0;
+
+  // Tears down pool storage; the table is unusable afterwards.
+  void FreeStorage() { storage_.Free(*pool_); }
+
+  Status ConnectTo(mem::Crossbar& xbar, uint32_t proc) const {
+    return storage_.ConnectTo(xbar, proc, *pool_);
+  }
+
+  // Total rows the runtime API can still fill.
+  uint32_t FreeRows() const { return spec_.size - entry_count_; }
+
+ protected:
+  MatchTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage)
+      : spec_(std::move(spec)), pool_(&pool), storage_(std::move(storage)) {}
+
+  LookupResult Miss() const {
+    LookupResult r;
+    r.hit = false;
+    r.action_id = spec_.default_action_id;
+    r.action_data = spec_.default_action_data;
+    r.access_cycles = storage_.AccessCycles(kBusWidthBits);
+    return r;
+  }
+
+  // Row layout: key [| mask] | action_id(16) | action_data.
+  uint32_t RowWidthBits() const;
+  mem::BitString PackRow(const Entry& e) const;
+  Entry UnpackRow(const mem::BitString& row) const;
+
+  // Data-bus width between processors and the pool; §5 notes IPSA throughput
+  // suffers when an entry exceeds this width.
+  static constexpr uint32_t kBusWidthBits = 256;
+
+  TableSpec spec_;
+  mem::Pool* pool_;
+  mem::LogicalTable storage_;
+  uint32_t entry_count_ = 0;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t misses_ = 0;
+};
+
+// Factory: allocates pool storage and builds the right subclass.
+Result<std::unique_ptr<MatchTable>> CreateTable(
+    const TableSpec& spec, mem::Pool& pool, uint32_t table_id,
+    std::optional<uint32_t> cluster = std::nullopt);
+
+}  // namespace ipsa::table

@@ -1,0 +1,83 @@
+#include "table/ternary_table.h"
+
+#include <algorithm>
+
+namespace ipsa::table {
+
+TernaryTable::TernaryTable(TableSpec spec, mem::Pool& pool,
+                           mem::LogicalTable storage)
+    : MatchTable(std::move(spec), pool, std::move(storage)) {
+  free_rows_.reserve(spec_.size);
+  for (uint32_t r = spec_.size; r > 0; --r) free_rows_.push_back(r - 1);
+}
+
+Status TernaryTable::Insert(const Entry& entry) {
+  if (entry.key.bit_width() != spec_.key_width_bits ||
+      entry.mask.bit_width() != spec_.key_width_bits) {
+    return InvalidArgument("ternary table '" + spec_.name +
+                           "': key/mask width mismatch");
+  }
+  // Same (key&mask, mask) identity updates in place.
+  for (IndexEntry& ie : index_) {
+    if (ie.mask == entry.mask &&
+        ie.key.MatchesUnderMask(entry.key, entry.mask)) {
+      IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, ie.row, PackRow(entry)));
+      return OkStatus();
+    }
+  }
+  if (free_rows_.empty()) {
+    return ResourceExhausted("ternary table '" + spec_.name + "' is full");
+  }
+  uint32_t row = free_rows_.back();
+  IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
+  // The mask plane covers the key bits only; aux/action bits are don't-care.
+  mem::BitString full_mask(RowWidthBits());
+  for (uint32_t i = 0; i < spec_.key_width_bits; ++i) {
+    full_mask.SetBit(i, entry.mask.GetBit(i));
+  }
+  IPSA_RETURN_IF_ERROR(storage_.WriteMask(*pool_, row, full_mask));
+  free_rows_.pop_back();
+
+  IndexEntry ie{entry.priority, row, entry.key, entry.mask};
+  auto pos = std::upper_bound(
+      index_.begin(), index_.end(), ie,
+      [](const IndexEntry& a, const IndexEntry& b) {
+        return a.priority > b.priority;
+      });
+  index_.insert(pos, std::move(ie));
+  ++entry_count_;
+  return OkStatus();
+}
+
+Status TernaryTable::Erase(const Entry& entry) {
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    if (it->mask == entry.mask &&
+        it->key.MatchesUnderMask(entry.key, entry.mask)) {
+      IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, it->row));
+      free_rows_.push_back(it->row);
+      index_.erase(it);
+      --entry_count_;
+      return OkStatus();
+    }
+  }
+  return NotFound("ternary table '" + spec_.name + "': entry not present");
+}
+
+LookupResult TernaryTable::Lookup(const mem::BitString& key) const {
+  for (const IndexEntry& ie : index_) {
+    if (key.MatchesUnderMask(ie.key, ie.mask)) {
+      auto row = storage_.ReadRow(*pool_, ie.row);
+      if (!row.ok()) break;
+      Entry e = UnpackRow(*row);
+      LookupResult r;
+      r.hit = true;
+      r.action_id = e.action_id;
+      r.action_data = std::move(e.action_data);
+      r.access_cycles = storage_.AccessCycles(kBusWidthBits);
+      return r;
+    }
+  }
+  return Miss();
+}
+
+}  // namespace ipsa::table

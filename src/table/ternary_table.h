@@ -1,0 +1,35 @@
+// Ternary (TCAM) table with per-entry masks and priorities.
+//
+// Hardware searches all rows in parallel and a priority encoder picks the
+// winner; the behavioral model keeps entries sorted by descending priority
+// and takes the first match. Masks live in the TCAM blocks' mask planes.
+#pragma once
+
+#include <vector>
+
+#include "table/table.h"
+
+namespace ipsa::table {
+
+class TernaryTable : public MatchTable {
+ public:
+  TernaryTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage);
+
+  Status Insert(const Entry& entry) override;
+  Status Erase(const Entry& entry) override;
+  LookupResult Lookup(const mem::BitString& key) const override;
+
+ private:
+  struct IndexEntry {
+    uint32_t priority;
+    uint32_t row;
+    mem::BitString key;   // masked key bits for erase identity
+    mem::BitString mask;
+  };
+
+  // Sorted by descending priority (ties: insertion order).
+  std::vector<IndexEntry> index_;
+  std::vector<uint32_t> free_rows_;
+};
+
+}  // namespace ipsa::table

@@ -1,0 +1,50 @@
+// Timing utilities.
+//
+// Two clocks matter in this code base:
+//  * Wall time (Stopwatch) — used by the Table 1 benchmarks to measure real
+//    compile/load latencies of our tool chain, matching the paper's t_C/t_L.
+//  * Simulated device time (SimClock) — a cycle counter the behavioral
+//    switches and the hardware model advance explicitly, so per-packet cycle
+//    costs are deterministic and independent of host load.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ipsa::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Explicitly advanced cycle counter for device simulation.
+class SimClock {
+ public:
+  uint64_t cycles() const { return cycles_; }
+  void Advance(uint64_t n) { cycles_ += n; }
+  void Reset() { cycles_ = 0; }
+
+  // Seconds at the given core frequency.
+  double SecondsAt(double hz) const {
+    return static_cast<double>(cycles_) / hz;
+  }
+
+ private:
+  uint64_t cycles_ = 0;
+};
+
+}  // namespace ipsa::util

@@ -1,0 +1,24 @@
+// Deterministic hash functions used by hash/selector tables (ECMP member
+// selection) and exact-match tables. Seeded variants let a table pick an
+// independent hash family member.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace ipsa::util {
+
+// FNV-1a, 64-bit. Stable across platforms; used for exact-match bucketing.
+uint64_t Fnv1a64(std::span<const uint8_t> data, uint64_t seed = 0);
+uint64_t Fnv1a64(std::string_view s, uint64_t seed = 0);
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). ECMP-style flow hashing in real
+// switch ASICs is CRC-based, so the selector tables use this.
+uint32_t Crc32(std::span<const uint8_t> data, uint32_t seed = 0);
+
+// A 64->64 bit finalizer (splitmix64) for integer key mixing.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace ipsa::util

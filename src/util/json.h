@@ -1,0 +1,123 @@
+// Minimal self-contained JSON value, parser, and serializer.
+//
+// rp4bc emits TSP template parameters as JSON (paper §3.2) and the PISA
+// behavioral switch consumes a monolithic JSON device configuration, so JSON
+// is a first-class interchange format in this code base. Object key order is
+// preserved (insertion order) so emitted configs are deterministic and
+// diffable in tests.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ipsa::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+
+// Insertion-ordered string->Json map.
+class JsonObject {
+ public:
+  Json& operator[](const std::string& key);
+  const Json* Find(std::string_view key) const;
+  bool contains(std::string_view key) const { return Find(key) != nullptr; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+  auto begin() { return items_.begin(); }
+  auto end() { return items_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, Json>> items_;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}              // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  Json(int v) : type_(Type::kInt), int_(v) {}               // NOLINT
+  Json(int64_t v) : type_(Type::kInt), int_(v) {}           // NOLINT
+  // Accept any other integral type (uint64_t, size_t, uint32_t, ...).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, int> && !std::is_same_v<T, int64_t>)
+  Json(T v) : type_(Type::kInt), int_(static_cast<int64_t>(v)) {}  // NOLINT
+  Json(double v) : type_(Type::kDouble), double_(v) {}      // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}      // NOLINT
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}   // NOLINT
+
+  static Json Array() { return Json(JsonArray{}); }
+  static Json Object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  int64_t as_int() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double as_double() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+  const JsonArray& as_array() const { return array_; }
+  JsonArray& as_array() { return array_; }
+  const JsonObject& as_object() const { return object_; }
+  JsonObject& as_object() { return object_; }
+
+  // Object access; operator[] creates missing keys (object only).
+  Json& operator[](const std::string& key) { return object_[key]; }
+  // Null-safe lookup: returns nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const {
+    return is_object() ? object_.Find(key) : nullptr;
+  }
+  // Convenience typed getters with defaults, for config-reading code.
+  int64_t GetInt(std::string_view key, int64_t fallback = 0) const;
+  std::string GetString(std::string_view key, std::string fallback = "") const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+
+  void push_back(Json v) { array_.push_back(std::move(v)); }
+
+  // Serialize. indent == 0 produces compact single-line output.
+  std::string Dump(int indent = 0) const;
+
+  // Parse a complete JSON document (trailing whitespace allowed).
+  static Result<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace ipsa::util

@@ -1,0 +1,43 @@
+// Leveled logging with a process-global threshold.
+//
+// The behavioral switches log state transitions (pipeline drain, template
+// writes) at kDebug; the controller logs applied commands at kInfo. Tests
+// raise the threshold to keep output quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ipsa::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits a formatted line to stderr if `level` passes the threshold.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ipsa::util
+
+#define IPSA_LOG(level) \
+  ::ipsa::util::internal::LogMessage(::ipsa::util::LogLevel::level)

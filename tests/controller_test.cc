@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "controller/baseline.h"
+#include "controller/controller.h"
+#include "controller/designs.h"
+#include "controller/runtime_api.h"
+#include "controller/script.h"
+#include "rp4/parser.h"
+
+namespace ipsa::controller {
+namespace {
+
+// --- script parsing -----------------------------------------------------------
+
+TEST(ScriptTest, ParsesEcmpScript) {
+  auto request =
+      ParseScript(designs::EcmpScript(), designs::ResolveSnippet);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->func_name, "ecmp");
+  ASSERT_TRUE(request->snippet.has_value());
+  EXPECT_EQ(request->snippet->tables.size(), 2u);
+  EXPECT_EQ(request->add_links.size(), 2u);
+  EXPECT_EQ(request->del_links.size(), 2u);
+  EXPECT_FALSE(request->remove);
+}
+
+TEST(ScriptTest, ParsesSrv6HeaderLinks) {
+  auto request =
+      ParseScript(designs::Srv6Script(), designs::ResolveSnippet);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  ASSERT_EQ(request->link_headers.size(), 3u);
+  EXPECT_EQ(request->link_headers[0].pre, "ipv6");
+  EXPECT_EQ(request->link_headers[0].next, "srh");
+  EXPECT_EQ(request->link_headers[0].tag, 43u);
+  EXPECT_EQ(request->link_headers[2].next, "ipv4");
+  EXPECT_EQ(request->link_headers[2].tag, 4u);
+}
+
+TEST(ScriptTest, ParsesRemove) {
+  auto request =
+      ParseScript("remove --func_name ecmp\n", designs::ResolveSnippet);
+  ASSERT_TRUE(request.ok());
+  EXPECT_TRUE(request->remove);
+  EXPECT_EQ(request->func_name, "ecmp");
+}
+
+TEST(ScriptTest, CommentsIgnored) {
+  auto request = ParseScript(
+      "# full line comment\n"
+      "load ecmp.rp4 --func_name ecmp  // trailing\n",
+      designs::ResolveSnippet);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+}
+
+TEST(ScriptTest, RejectsBadCommands) {
+  EXPECT_FALSE(ParseScript("explode now", designs::ResolveSnippet).ok());
+  EXPECT_FALSE(ParseScript("load x.rp4", designs::ResolveSnippet).ok());
+  EXPECT_FALSE(
+      ParseScript("add_link only_one\nload ecmp.rp4 --func_name e",
+                  designs::ResolveSnippet)
+          .ok());
+  EXPECT_FALSE(ParseScript("link_header --pre a --next b",
+                           designs::ResolveSnippet)
+                   .ok());  // missing tag
+  EXPECT_FALSE(ParseScript("", designs::ResolveSnippet).ok());
+  EXPECT_FALSE(ParseScript("load nonexistent.rp4 --func_name x",
+                           designs::ResolveSnippet)
+                   .ok());
+}
+
+// --- entry builder --------------------------------------------------------------
+
+class EntryBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_ = std::make_unique<ipbm::IpbmSwitch>();
+    controller_ = std::make_unique<Rp4FlowController>(
+        *device_, compiler::Rp4bcOptions{});
+    ASSERT_TRUE(controller_->LoadBaseFromP4(designs::BaseP4()).ok());
+  }
+  std::unique_ptr<ipbm::IpbmSwitch> device_;
+  std::unique_ptr<Rp4FlowController> controller_;
+};
+
+TEST_F(EntryBuilderTest, PacksMultiFieldKey) {
+  EntryBuilder builder(controller_->api());
+  auto entry = builder.Build("dmac", "set_port",
+                             {KeyValue(0x2), KeyValue(MacBits(0xA0B0C0D0E0Full))},
+                             {Bits(9, 5)});
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  // bd at bits [0,16), dmac at [16,64).
+  EXPECT_EQ(entry->key.bit_width(), 64u);
+  EXPECT_EQ(entry->key.GetBits(0, 16), 0x2u);
+  EXPECT_EQ(entry->key.GetBits(16, 48), 0xA0B0C0D0E0Full);
+  EXPECT_EQ(entry->action_id, 1u);
+  EXPECT_EQ(entry->action_data.GetBits(0, 9), 5u);
+}
+
+TEST_F(EntryBuilderTest, RejectsWrongArity) {
+  EntryBuilder builder(controller_->api());
+  EXPECT_FALSE(builder.Build("dmac", "set_port", {KeyValue(1)}, {Bits(9, 5)})
+                   .ok());
+  EXPECT_FALSE(builder
+                   .Build("dmac", "set_port",
+                          {KeyValue(1), KeyValue(MacBits(2))}, {})
+                   .ok());
+  EXPECT_FALSE(builder
+                   .Build("dmac", "bogus_action",
+                          {KeyValue(1), KeyValue(MacBits(2))}, {})
+                   .ok());
+  EXPECT_FALSE(builder.Build("no_table", "a", {}, {}).ok());
+}
+
+TEST_F(EntryBuilderTest, Ipv6BitsMatchesWireOrder) {
+  net::Ipv6Addr addr =
+      net::Ipv6Addr::FromGroups({0x2001, 0xdb8, 0, 0, 0, 0, 0, 0x42});
+  mem::BitString bits = Ipv6Bits(addr.bytes);
+  EXPECT_EQ(bits.bit_width(), 128u);
+  EXPECT_EQ(bits.GetBits(0, 16), 0x42u);        // low group at low bits
+  EXPECT_EQ(bits.GetBits(112, 16), 0x2001u);    // high group at high bits
+}
+
+// --- controllers ------------------------------------------------------------------
+
+TEST_F(EntryBuilderTest, CurrentRp4SourceReflectsUpdates) {
+  std::string before = controller_->CurrentRp4Source();
+  EXPECT_NE(before.find("stage nexthop"), std::string::npos);
+  EXPECT_EQ(before.find("stage ecmp"), std::string::npos);
+  ASSERT_TRUE(controller_
+                  ->ApplyScript(designs::EcmpScript(),
+                                designs::ResolveSnippet)
+                  .ok());
+  std::string after = controller_->CurrentRp4Source();
+  EXPECT_NE(after.find("stage ecmp"), std::string::npos);
+  EXPECT_EQ(after.find("stage nexthop"), std::string::npos);
+  // The updated base design is itself valid rP4 (design-flow invariant:
+  // rp4bc's first output is the updated base design).
+  EXPECT_TRUE(rp4::ParseRp4(after).ok());
+}
+
+TEST_F(EntryBuilderTest, TimingsArePositive) {
+  auto timing = controller_->ApplyScript(designs::ProbeScript(),
+                                         designs::ResolveSnippet);
+  ASSERT_TRUE(timing.ok());
+  EXPECT_GT(timing->compile_ms, 0.0);
+  EXPECT_GE(timing->load_ms, 0.0);
+}
+
+TEST(PisaControllerTest, ShadowStoreSurvivesReload) {
+  pisa::PisaSwitch device;
+  PisaFlowController controller(device, compiler::PisaBackendOptions{});
+  ASSERT_TRUE(controller.CompileAndLoad(designs::BaseP4()).ok());
+  BaselineConfig config;
+  ASSERT_TRUE(PopulateBaseline(
+                  controller.api(),
+                  [&](const std::string& t, const table::Entry& e) {
+                    return controller.AddEntry(t, e);
+                  },
+                  config)
+                  .ok());
+  uint64_t shadow = controller.shadow_entry_count();
+  EXPECT_GT(shadow, 0u);
+  // Reload with the probe variant: the device is wiped, then repopulated.
+  ASSERT_TRUE(controller.CompileAndLoad(designs::BasePlusProbeP4()).ok());
+  EXPECT_EQ(controller.shadow_entry_count(), shadow);
+  EXPECT_GT(device.stats().table_ops, shadow);  // initial + repopulation
+}
+
+}  // namespace
+}  // namespace ipsa::controller

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "hw/models.h"
+
+namespace ipsa::hw {
+namespace {
+
+// Table 2's published values; the calibrated model must land on the PISA
+// column (the calibration source) and close to the IPSA column (produced by
+// the model, see DESIGN.md).
+TEST(ResourceModelTest, Table2PisaColumn) {
+  ResourceReport r = PisaResources(PisaHwConfig{});
+  EXPECT_NEAR(r.front_parser.lut_pct, 0.88, 1e-9);
+  EXPECT_NEAR(r.front_parser.ff_pct, 0.10, 1e-9);
+  EXPECT_NEAR(r.processors.lut_pct, 5.32, 1e-9);
+  EXPECT_NEAR(r.processors.ff_pct, 0.47, 1e-9);
+  EXPECT_NEAR(r.total.lut_pct, 6.20, 1e-9);
+  EXPECT_NEAR(r.total.ff_pct, 0.57, 1e-9);
+}
+
+TEST(ResourceModelTest, Table2IpsaColumn) {
+  ResourceReport r = IpsaResources(IpsaHwConfig{});
+  EXPECT_NEAR(r.processors.lut_pct, 5.83, 0.01);
+  EXPECT_NEAR(r.processors.ff_pct, 0.85, 0.01);
+  EXPECT_NEAR(r.crossbar.lut_pct, 1.29, 0.01);
+  EXPECT_NEAR(r.crossbar.ff_pct, 0.07, 0.01);
+  EXPECT_NEAR(r.total.lut_pct, 7.12, 0.02);
+  EXPECT_NEAR(r.total.ff_pct, 0.92, 0.02);
+}
+
+TEST(ResourceModelTest, IpsaOverheadRatiosMatchPaper) {
+  ResourceReport pisa = PisaResources(PisaHwConfig{});
+  ResourceReport ipsa = IpsaResources(IpsaHwConfig{});
+  // §5: IPSA uses 14.84% more LUT and 61.40% more FF than PISA.
+  double lut_overhead = (ipsa.total.lut_pct / pisa.total.lut_pct - 1) * 100;
+  double ff_overhead = (ipsa.total.ff_pct / pisa.total.ff_pct - 1) * 100;
+  EXPECT_NEAR(lut_overhead, 14.84, 1.0);
+  EXPECT_NEAR(ff_overhead, 61.40, 2.0);
+}
+
+TEST(ResourceModelTest, ClusteredCrossbarIsCheaper) {
+  IpsaHwConfig full;
+  IpsaHwConfig clustered;
+  clustered.crossbar_clusters = 4;
+  EXPECT_LT(IpsaResources(clustered).crossbar.lut_pct,
+            IpsaResources(full).crossbar.lut_pct);
+}
+
+TEST(ResourceModelTest, ParserScalesWithParseGraph) {
+  PisaHwConfig small;
+  small.parse_graph_headers = 4;
+  PisaHwConfig big;
+  big.parse_graph_headers = 10;
+  EXPECT_LT(PisaResources(small).front_parser.lut_pct,
+            PisaResources(big).front_parser.lut_pct);
+}
+
+// --- power -----------------------------------------------------------------------
+
+TEST(PowerModelTest, IpsaAboutTenPercentMoreAtFullPipeline) {
+  PowerReport pisa = PisaPower(8, 8);
+  PowerReport ipsa = IpsaPower(8);
+  double overhead = (ipsa.total_w / pisa.total_w - 1) * 100;
+  EXPECT_NEAR(overhead, 10.0, 2.0);  // "about 10% more power" (§5)
+  EXPECT_NEAR(ipsa.static_w, 0.77, 1e-9);
+}
+
+TEST(PowerModelTest, Fig6ShapePisaFlatIpsaScales) {
+  // PISA: power independent of effective stages (unused stages stay in the
+  // pipeline). IPSA: linear in active TSPs.
+  double pisa_1 = PisaPower(8, 1).total_w;
+  double pisa_8 = PisaPower(8, 8).total_w;
+  EXPECT_DOUBLE_EQ(pisa_1, pisa_8);
+  double prev = 0;
+  for (uint32_t n = 1; n <= 8; ++n) {
+    double p = IpsaPower(n).total_w;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  // Crossover: with few active stages IPSA is cheaper than PISA.
+  EXPECT_LT(IpsaPower(1).total_w, PisaPower(8, 1).total_w);
+  EXPECT_GT(IpsaPower(8).total_w, PisaPower(8, 8).total_w);
+}
+
+// --- throughput -----------------------------------------------------------------
+
+TEST(ThroughputModelTest, AccumulatorAverages) {
+  ThroughputAccumulator acc;
+  acc.Add(1.0);
+  acc.Add(3.0);
+  ThroughputReport r = acc.Report();
+  EXPECT_DOUBLE_EQ(r.mean_ii, 2.0);
+  EXPECT_DOUBLE_EQ(r.mpps, 100.0);  // 200 MHz / 2
+  EXPECT_EQ(r.packets, 2u);
+}
+
+TEST(ThroughputModelTest, EmptyReportsSafe) {
+  ThroughputAccumulator acc;
+  ThroughputReport r = acc.Report();
+  EXPECT_DOUBLE_EQ(r.mean_ii, 1.0);
+  EXPECT_EQ(r.packets, 0u);
+}
+
+// --- load time -------------------------------------------------------------------
+
+TEST(LoadModelTest, ScalesWithConfigWords) {
+  double small = LoadTimeMs(10);
+  double big = LoadTimeMs(10000);
+  EXPECT_LT(small, big);
+  // 10k words at 250us + 2ms fixed = 2502ms.
+  EXPECT_NEAR(big, 2502.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ipsa::hw

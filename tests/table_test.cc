@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include "table/exact_table.h"
+#include "table/lpm_table.h"
+#include "table/selector_table.h"
+#include "table/table.h"
+#include "table/ternary_table.h"
+#include "util/rng.h"
+
+namespace ipsa::table {
+namespace {
+
+mem::PoolConfig TestPool() {
+  mem::PoolConfig cfg;
+  cfg.sram_blocks = 64;
+  cfg.sram_width_bits = 128;
+  cfg.sram_depth = 256;
+  cfg.tcam_blocks = 16;
+  cfg.tcam_width_bits = 128;
+  cfg.tcam_depth = 64;
+  return cfg;
+}
+
+TableSpec Spec(const std::string& name, MatchKind kind, uint32_t key_width,
+               uint32_t size = 64) {
+  TableSpec spec;
+  spec.name = name;
+  spec.match_kind = kind;
+  spec.key_width_bits = key_width;
+  spec.action_data_width_bits = 32;
+  spec.size = size;
+  return spec;
+}
+
+Entry MakeEntry(uint64_t key, uint32_t key_width, uint32_t action_id,
+                uint64_t data) {
+  Entry e;
+  e.key = mem::BitString(key_width, key);
+  e.action_id = action_id;
+  e.action_data = mem::BitString(32, data);
+  return e;
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : pool_(TestPool()) {}
+  mem::Pool pool_;
+};
+
+// --- exact ---------------------------------------------------------------------
+
+TEST_F(TableTest, ExactInsertLookupErase) {
+  auto t = CreateTable(Spec("t", MatchKind::kExact, 32), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE((*t)->Insert(MakeEntry(0xAABB, 32, 2, 77)).ok());
+
+  LookupResult hit = (*t)->Lookup(mem::BitString(32, 0xAABB));
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.action_id, 2u);
+  EXPECT_EQ(hit.action_data.ToUint64(), 77u);
+  EXPECT_GT(hit.access_cycles, 0u);
+
+  LookupResult miss = (*t)->Lookup(mem::BitString(32, 0xAABC));
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.action_id, 0u);  // default action
+
+  ASSERT_TRUE((*t)->Erase(MakeEntry(0xAABB, 32, 0, 0)).ok());
+  EXPECT_FALSE((*t)->Lookup(mem::BitString(32, 0xAABB)).hit);
+  EXPECT_EQ((*t)->entry_count(), 0u);
+}
+
+TEST_F(TableTest, ExactUpdateInPlace) {
+  auto t = CreateTable(Spec("t", MatchKind::kExact, 16), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE((*t)->Insert(MakeEntry(5, 16, 1, 10)).ok());
+  ASSERT_TRUE((*t)->Insert(MakeEntry(5, 16, 1, 20)).ok());  // overwrite
+  EXPECT_EQ((*t)->entry_count(), 1u);
+  EXPECT_EQ((*t)->Lookup(mem::BitString(16, 5)).action_data.ToUint64(), 20u);
+}
+
+TEST_F(TableTest, ExactCapacityEnforced) {
+  auto t = CreateTable(Spec("t", MatchKind::kExact, 16, /*size=*/4), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  for (uint64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE((*t)->Insert(MakeEntry(k, 16, 1, k)).ok());
+  }
+  EXPECT_EQ((*t)->Insert(MakeEntry(99, 16, 1, 0)).code(),
+            StatusCode::kResourceExhausted);
+  // Freeing one slot re-enables insertion.
+  ASSERT_TRUE((*t)->Erase(MakeEntry(2, 16, 0, 0)).ok());
+  EXPECT_TRUE((*t)->Insert(MakeEntry(99, 16, 1, 0)).ok());
+}
+
+TEST_F(TableTest, ExactRejectsWrongKeyWidth) {
+  auto t = CreateTable(Spec("t", MatchKind::kExact, 32), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE((*t)->Insert(MakeEntry(1, 16, 1, 0)).ok());
+  EXPECT_FALSE((*t)->Erase(MakeEntry(123, 32, 0, 0)).ok());  // not present
+}
+
+// --- lpm ------------------------------------------------------------------------
+
+TEST_F(TableTest, LpmLongestPrefixWins) {
+  auto t = CreateTable(Spec("fib", MatchKind::kLpm, 32), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  Entry def = MakeEntry(0x0A000000, 32, 1, 8);
+  def.prefix_len = 8;
+  Entry mid = MakeEntry(0x0A0B0000, 32, 1, 16);
+  mid.prefix_len = 16;
+  Entry host = MakeEntry(0x0A0B0C0D, 32, 1, 32);
+  host.prefix_len = 32;
+  ASSERT_TRUE((*t)->Insert(def).ok());
+  ASSERT_TRUE((*t)->Insert(mid).ok());
+  ASSERT_TRUE((*t)->Insert(host).ok());
+
+  EXPECT_EQ((*t)->Lookup(mem::BitString(32, 0x0A0B0C0D)).action_data
+                .ToUint64(),
+            32u);
+  EXPECT_EQ((*t)->Lookup(mem::BitString(32, 0x0A0B0C0E)).action_data
+                .ToUint64(),
+            16u);
+  EXPECT_EQ((*t)->Lookup(mem::BitString(32, 0x0AFFFFFF)).action_data
+                .ToUint64(),
+            8u);
+  EXPECT_FALSE((*t)->Lookup(mem::BitString(32, 0x0B000000)).hit);
+}
+
+TEST_F(TableTest, LpmZeroLengthPrefixIsDefaultRoute) {
+  auto t = CreateTable(Spec("fib", MatchKind::kLpm, 32), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  Entry def = MakeEntry(0, 32, 1, 99);
+  def.prefix_len = 0;
+  ASSERT_TRUE((*t)->Insert(def).ok());
+  EXPECT_TRUE((*t)->Lookup(mem::BitString(32, 0x12345678)).hit);
+}
+
+TEST_F(TableTest, LpmEraseRestoresShorterMatch) {
+  auto t = CreateTable(Spec("fib", MatchKind::kLpm, 32), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  Entry base = MakeEntry(0x0A000000, 32, 1, 8);
+  base.prefix_len = 8;
+  Entry specific = MakeEntry(0x0A0B0000, 32, 1, 16);
+  specific.prefix_len = 16;
+  ASSERT_TRUE((*t)->Insert(base).ok());
+  ASSERT_TRUE((*t)->Insert(specific).ok());
+  ASSERT_TRUE((*t)->Erase(specific).ok());
+  EXPECT_EQ((*t)->Lookup(mem::BitString(32, 0x0A0B0001)).action_data
+                .ToUint64(),
+            8u);
+}
+
+TEST_F(TableTest, LpmRejectsOverlongPrefix) {
+  auto t = CreateTable(Spec("fib", MatchKind::kLpm, 32), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  Entry e = MakeEntry(1, 32, 1, 0);
+  e.prefix_len = 33;
+  EXPECT_FALSE((*t)->Insert(e).ok());
+}
+
+TEST_F(TableTest, LpmHandles128BitKeys) {
+  // IPv6 FIB shape: 128-bit keys, /48 and /128 prefixes.
+  auto t = CreateTable(Spec("fib6", MatchKind::kLpm, 128), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  // 2001:db8:ff::/48.
+  mem::BitString prefix48(128);
+  prefix48.SetBits(112, 16, 0x2001);
+  prefix48.SetBits(96, 16, 0x0db8);
+  prefix48.SetBits(80, 16, 0x00ff);
+  Entry wide;
+  wide.key = prefix48;
+  wide.prefix_len = 48;
+  wide.action_id = 1;
+  wide.action_data = mem::BitString(32, 48);
+  ASSERT_TRUE((*t)->Insert(wide).ok());
+  // Exact host within it.
+  mem::BitString host = prefix48;
+  host.SetBits(0, 16, 0x0042);
+  Entry exact;
+  exact.key = host;
+  exact.prefix_len = 128;
+  exact.action_id = 1;
+  exact.action_data = mem::BitString(32, 128);
+  ASSERT_TRUE((*t)->Insert(exact).ok());
+
+  EXPECT_EQ((*t)->Lookup(host).action_data.ToUint64(), 128u);
+  mem::BitString other = prefix48;
+  other.SetBits(0, 16, 0x0043);
+  EXPECT_EQ((*t)->Lookup(other).action_data.ToUint64(), 48u);
+  mem::BitString outside(128);
+  outside.SetBits(112, 16, 0x2001);
+  outside.SetBits(96, 16, 0x0db9);  // different /32
+  EXPECT_FALSE((*t)->Lookup(outside).hit);
+}
+
+// Randomized sweep: trie result must equal a linear reference scan.
+struct LpmSweepParam {
+  uint64_t seed;
+  uint32_t entries;
+};
+
+class LpmSweepTest : public ::testing::TestWithParam<LpmSweepParam> {};
+
+TEST_P(LpmSweepTest, MatchesLinearReference) {
+  mem::Pool pool(TestPool());
+  auto t = CreateTable(Spec("fib", MatchKind::kLpm, 32, 512), pool, 1);
+  ASSERT_TRUE(t.ok());
+  util::Rng rng(GetParam().seed);
+
+  struct RefEntry {
+    uint32_t prefix;
+    uint32_t len;
+    uint64_t data;
+  };
+  std::vector<RefEntry> ref;
+  for (uint32_t i = 0; i < GetParam().entries; ++i) {
+    uint32_t len = static_cast<uint32_t>(rng.NextInRange(0, 32));
+    uint32_t prefix = static_cast<uint32_t>(rng.Next());
+    if (len < 32) prefix &= ~((1u << (32 - len)) - 1);
+    Entry e = MakeEntry(prefix, 32, 1, i + 1);
+    e.prefix_len = len;
+    ASSERT_TRUE((*t)->Insert(e).ok());
+    // Reference keeps the last data for duplicate prefixes (update-in-place).
+    bool updated = false;
+    for (auto& r : ref) {
+      if (r.prefix == prefix && r.len == len) {
+        r.data = i + 1;
+        updated = true;
+      }
+    }
+    if (!updated) ref.push_back({prefix, len, i + 1});
+  }
+
+  for (int q = 0; q < 500; ++q) {
+    uint32_t addr = static_cast<uint32_t>(rng.Next());
+    // Linear reference: longest matching prefix, latest data.
+    int32_t best_len = -1;
+    uint64_t best_data = 0;
+    for (const auto& r : ref) {
+      uint32_t mask = r.len == 0 ? 0 : ~((r.len == 32 ? 0 : (1u << (32 - r.len)) - 1));
+      if ((addr & mask) == (r.prefix & mask) &&
+          static_cast<int32_t>(r.len) > best_len) {
+        best_len = static_cast<int32_t>(r.len);
+        best_data = r.data;
+      }
+    }
+    LookupResult got = (*t)->Lookup(mem::BitString(32, addr));
+    if (best_len < 0) {
+      EXPECT_FALSE(got.hit) << "addr=" << addr;
+    } else {
+      ASSERT_TRUE(got.hit) << "addr=" << addr;
+      EXPECT_EQ(got.action_data.ToUint64(), best_data) << "addr=" << addr;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTries, LpmSweepTest,
+                         ::testing::Values(LpmSweepParam{1, 16},
+                                           LpmSweepParam{2, 64},
+                                           LpmSweepParam{3, 200},
+                                           LpmSweepParam{4, 400}));
+
+// --- ternary ---------------------------------------------------------------------
+
+TEST_F(TableTest, TernaryPriorityOrder) {
+  auto t = CreateTable(Spec("acl", MatchKind::kTernary, 16), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  Entry broad = MakeEntry(0x1200, 16, 1, 1);
+  broad.mask = mem::BitString(16, 0xFF00);
+  broad.priority = 10;
+  Entry narrow = MakeEntry(0x1234, 16, 1, 2);
+  narrow.mask = mem::BitString(16, 0xFFFF);
+  narrow.priority = 20;
+  ASSERT_TRUE((*t)->Insert(broad).ok());
+  ASSERT_TRUE((*t)->Insert(narrow).ok());
+
+  EXPECT_EQ((*t)->Lookup(mem::BitString(16, 0x1234)).action_data.ToUint64(),
+            2u);
+  EXPECT_EQ((*t)->Lookup(mem::BitString(16, 0x1299)).action_data.ToUint64(),
+            1u);
+  EXPECT_FALSE((*t)->Lookup(mem::BitString(16, 0x2000)).hit);
+}
+
+TEST_F(TableTest, TernaryWildcardEntry) {
+  auto t = CreateTable(Spec("acl", MatchKind::kTernary, 16), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  Entry any = MakeEntry(0, 16, 1, 42);
+  any.mask = mem::BitString(16, 0);  // match everything
+  any.priority = 1;
+  ASSERT_TRUE((*t)->Insert(any).ok());
+  EXPECT_TRUE((*t)->Lookup(mem::BitString(16, 0xFFFF)).hit);
+  EXPECT_TRUE((*t)->Lookup(mem::BitString(16, 0x0000)).hit);
+}
+
+TEST_F(TableTest, TernaryEraseByIdentity) {
+  auto t = CreateTable(Spec("acl", MatchKind::kTernary, 16), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  Entry e = MakeEntry(0xAB00, 16, 1, 1);
+  e.mask = mem::BitString(16, 0xFF00);
+  e.priority = 5;
+  ASSERT_TRUE((*t)->Insert(e).ok());
+  ASSERT_TRUE((*t)->Erase(e).ok());
+  EXPECT_FALSE((*t)->Lookup(mem::BitString(16, 0xAB12)).hit);
+  EXPECT_FALSE((*t)->Erase(e).ok());
+}
+
+// --- selector ---------------------------------------------------------------------
+
+TEST_F(TableTest, SelectorFlowStability) {
+  auto t = CreateTable(Spec("ecmp", MatchKind::kSelector, 48, 128), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  for (uint32_t b = 0; b < 8; ++b) {
+    Entry e;
+    e.key = mem::BitString(48, b);  // bucket index
+    e.action_id = 1;
+    e.action_data = mem::BitString(32, 100 + b);
+    ASSERT_TRUE((*t)->Insert(e).ok());
+  }
+  mem::BitString flow_key(48, 0xDEADBEEF);
+  uint64_t first = (*t)->Lookup(flow_key).action_data.ToUint64();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*t)->Lookup(flow_key).action_data.ToUint64(), first);
+  }
+}
+
+TEST_F(TableTest, SelectorSpreadsAcrossBuckets) {
+  auto t = CreateTable(Spec("ecmp", MatchKind::kSelector, 48, 128), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  for (uint32_t b = 0; b < 8; ++b) {
+    Entry e;
+    e.key = mem::BitString(48, b);
+    e.action_id = 1;
+    e.action_data = mem::BitString(32, b);
+    ASSERT_TRUE((*t)->Insert(e).ok());
+  }
+  std::set<uint64_t> picked;
+  std::map<uint64_t, int> histogram;
+  for (uint64_t f = 0; f < 1000; ++f) {
+    uint64_t member =
+        (*t)->Lookup(mem::BitString(48, f * 0x9E3779B9)).action_data
+            .ToUint64();
+    picked.insert(member);
+    histogram[member]++;
+  }
+  EXPECT_EQ(picked.size(), 8u) << "all members should receive traffic";
+  // No member should carry more than ~3x its fair share.
+  for (const auto& [member, count] : histogram) {
+    EXPECT_LT(count, 3 * 1000 / 8) << "member " << member;
+  }
+}
+
+TEST_F(TableTest, SelectorMemberRemovalRebalances) {
+  auto t = CreateTable(Spec("ecmp", MatchKind::kSelector, 48, 128), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  for (uint32_t b = 0; b < 4; ++b) {
+    Entry e;
+    e.key = mem::BitString(48, b);
+    e.action_id = 1;
+    e.action_data = mem::BitString(32, b);
+    ASSERT_TRUE((*t)->Insert(e).ok());
+  }
+  Entry gone;
+  gone.key = mem::BitString(48, 2);
+  ASSERT_TRUE((*t)->Erase(gone).ok());
+  for (uint64_t f = 0; f < 200; ++f) {
+    uint64_t member =
+        (*t)->Lookup(mem::BitString(48, f)).action_data.ToUint64();
+    EXPECT_NE(member, 2u);
+  }
+}
+
+TEST_F(TableTest, SelectorEmptyMisses) {
+  auto t = CreateTable(Spec("ecmp", MatchKind::kSelector, 48, 128), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE((*t)->Lookup(mem::BitString(48, 1)).hit);
+}
+
+// --- common ---------------------------------------------------------------------
+
+TEST_F(TableTest, CreateRejectsBadSpecs) {
+  EXPECT_FALSE(CreateTable(Spec("t", MatchKind::kExact, 0), pool_, 1).ok());
+  TableSpec zero_size = Spec("t", MatchKind::kExact, 16);
+  zero_size.size = 0;
+  EXPECT_FALSE(CreateTable(zero_size, pool_, 1).ok());
+}
+
+TEST_F(TableTest, TernaryUsesTcamBlocks) {
+  uint32_t tcam_before = pool_.UsedBlocks(mem::BlockKind::kTcam);
+  auto t = CreateTable(Spec("acl", MatchKind::kTernary, 16), pool_, 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(pool_.UsedBlocks(mem::BlockKind::kTcam), tcam_before);
+}
+
+TEST_F(TableTest, FreeStorageRecyclesPool) {
+  uint32_t before = pool_.UsedBlocks(mem::BlockKind::kSram);
+  auto t = CreateTable(Spec("t", MatchKind::kExact, 32, 2048), pool_, 7);
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(pool_.UsedBlocks(mem::BlockKind::kSram), before);
+  (*t)->FreeStorage();
+  EXPECT_EQ(pool_.UsedBlocks(mem::BlockKind::kSram), before);
+}
+
+}  // namespace
+}  // namespace ipsa::table

@@ -1,0 +1,281 @@
+// rp4c — the rP4 compiler driver (paper §4.1: "rp4c is implemented with
+// 3,772 lines of C++ code").
+//
+// Subcommands:
+//   rp4c fc <in.p4>  [-o out.rp4] [--api api.json]
+//       Front end: P4 -> HLIR -> rP4 text + runtime table API spec.
+//   rp4c bc <in.rp4> [--templates out.json] [--design design.json]
+//           [--tsps N] [--no-merge] [--greedy]
+//       Back end, base mode: dependency analysis, stage merging, table
+//       packing, TSP layout; emits template parameters as JSON.
+//   rp4c update <base.rp4> <script.txt> [--snippet-dir DIR]
+//           [--out-base new.rp4]
+//       Back end, incremental mode: compiles a runtime-update script
+//       (Fig. 5b/5c) against the base design and prints the device ops.
+//   rp4c pisa <in.p4> [--design design.json]
+//       Baseline backend: monolithic PISA device configuration.
+//
+// Snippet files referenced by scripts are resolved from --snippet-dir, with
+// the built-in ecmp.rp4 / srv6.rp4 / probe.rp4 as fallback.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/pisa_backend.h"
+#include "compiler/rp4bc.h"
+#include "compiler/rp4fc.h"
+#include "controller/designs.h"
+#include "controller/script.h"
+#include "p4lite/parser.h"
+#include "rp4/parser.h"
+#include "rp4/printer.h"
+
+namespace ipsa::tools {
+namespace {
+
+// `builtin:<name>` resolves the repository's built-in sources, so the tool
+// is usable without extracting them first: builtin:base, builtin:base+ecmp,
+// builtin:base+srv6, builtin:base+probe (P4), and the three snippets.
+Result<std::string> ReadFile(const std::string& path) {
+  if (path.rfind("builtin:", 0) == 0) {
+    std::string name = path.substr(8);
+    if (name == "base") return controller::designs::BaseP4();
+    if (name == "base+ecmp") return controller::designs::BasePlusEcmpP4();
+    if (name == "base+srv6") return controller::designs::BasePlusSrv6P4();
+    if (name == "base+probe") return controller::designs::BasePlusProbeP4();
+    return controller::designs::ResolveSnippet(name);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return InternalError("cannot write '" + path + "'");
+  out << content;
+  return OkStatus();
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+  bool Has(const std::string& f) const { return flags.count(f) > 0; }
+  std::string Get(const std::string& f, const std::string& fallback = "") const {
+    auto it = flags.find(f);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string key = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "1";
+      }
+    } else if (a == "-o" && i + 1 < argc) {
+      args.flags["o"] = argv[++i];
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "rp4c: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+int CmdFc(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: rp4c fc <in.p4> [-o out.rp4] [--api a.json]\n");
+    return 2;
+  }
+  auto source = ReadFile(args.positional[0]);
+  if (!source.ok()) return Fail(source.status());
+  auto hlir = p4lite::ParseP4(*source);
+  if (!hlir.ok()) return Fail(hlir.status());
+  auto fc = compiler::RunRp4fc(*hlir);
+  if (!fc.ok()) return Fail(fc.status());
+  std::string text = rp4::PrintRp4(fc->program);
+  if (args.Has("o")) {
+    if (Status s = WriteFile(args.Get("o"), text); !s.ok()) return Fail(s);
+    std::printf("wrote %s (%zu bytes)\n", args.Get("o").c_str(), text.size());
+  } else {
+    std::fputs(text.c_str(), stdout);
+  }
+  if (args.Has("api")) {
+    if (Status s = WriteFile(args.Get("api"), fc->api.ToJson().Dump(2));
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s\n", args.Get("api").c_str());
+  }
+  return 0;
+}
+
+compiler::Rp4bcOptions OptionsFrom(const Args& args) {
+  compiler::Rp4bcOptions options;
+  if (args.Has("tsps")) {
+    options.tsp_count = static_cast<uint32_t>(std::stoul(args.Get("tsps")));
+  }
+  if (args.Has("no-merge")) options.merge_stages = false;
+  if (args.Has("greedy")) {
+    options.layout_mode = compiler::LayoutMode::kGreedy;
+    options.solver = compiler::SolveMode::kGreedy;
+  }
+  return options;
+}
+
+int CmdBc(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: rp4c bc <in.rp4> [--templates t.json] "
+                 "[--design d.json] [--tsps N] [--no-merge] [--greedy]\n");
+    return 2;
+  }
+  auto source = ReadFile(args.positional[0]);
+  if (!source.ok()) return Fail(source.status());
+  auto program = rp4::ParseRp4(*source);
+  if (!program.ok()) return Fail(program.status());
+  auto compiled = compiler::CompileBase(*program, OptionsFrom(args));
+  if (!compiled.ok()) return Fail(compiled.status());
+
+  std::printf("stages: %zu logical -> %zu TSPs; pool utilization %u%%\n",
+              compiled->design.StageNames().size(),
+              compiled->layout.assignments.size(),
+              compiled->alloc.max_utilization_pct);
+  for (const auto& a : compiled->layout.assignments) {
+    std::string stages;
+    for (const auto& s : a.stage_names) stages += s + " ";
+    std::printf("  TSP%-3u %-8s %s\n", a.tsp_id,
+                std::string(TspRoleName(a.role)).c_str(), stages.c_str());
+  }
+  if (args.Has("templates")) {
+    if (Status s = WriteFile(args.Get("templates"),
+                             compiled->templates_json.Dump(2));
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s\n", args.Get("templates").c_str());
+  }
+  if (args.Has("design")) {
+    if (Status s = WriteFile(args.Get("design"),
+                             compiled->design.ToJson().Dump(2));
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s\n", args.Get("design").c_str());
+  }
+  return 0;
+}
+
+int CmdUpdate(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: rp4c update <base.rp4> <script.txt> "
+                 "[--snippet-dir DIR] [--out-base new.rp4]\n");
+    return 2;
+  }
+  auto base_source = ReadFile(args.positional[0]);
+  if (!base_source.ok()) return Fail(base_source.status());
+  auto program = rp4::ParseRp4(*base_source);
+  if (!program.ok()) return Fail(program.status());
+  auto script = ReadFile(args.positional[1]);
+  if (!script.ok()) return Fail(script.status());
+
+  std::string snippet_dir = args.Get("snippet-dir");
+  auto resolver = [&snippet_dir](const std::string& file)
+      -> Result<std::string> {
+    if (!snippet_dir.empty()) {
+      auto from_dir = ReadFile(snippet_dir + "/" + file);
+      if (from_dir.ok()) return from_dir;
+    }
+    return controller::designs::ResolveSnippet(file);
+  };
+
+  auto request = controller::ParseScript(*script, resolver);
+  if (!request.ok()) return Fail(request.status());
+  compiler::Rp4bcOptions options = OptionsFrom(args);
+  auto compiled = compiler::CompileBase(*program, options);
+  if (!compiled.ok()) return Fail(compiled.status());
+  auto plan = compiler::CompileUpdate(*program, compiled->layout, *request,
+                                      options);
+  if (!plan.ok()) return Fail(plan.status());
+
+  std::printf("device operations (%zu, %u relocations):\n", plan->ops.size(),
+              plan->relocations);
+  for (const auto& op : plan->ops) {
+    std::printf("  %s\n", op.ToString().c_str());
+  }
+  if (args.Has("out-base")) {
+    if (Status s = WriteFile(args.Get("out-base"),
+                             rp4::PrintRp4(plan->updated_program));
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s\n", args.Get("out-base").c_str());
+  }
+  return 0;
+}
+
+int CmdPisa(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: rp4c pisa <in.p4> [--design d.json]\n");
+    return 2;
+  }
+  auto source = ReadFile(args.positional[0]);
+  if (!source.ok()) return Fail(source.status());
+  auto hlir = p4lite::ParseP4(*source);
+  if (!hlir.ok()) return Fail(hlir.status());
+  auto compiled =
+      compiler::RunPisaBackend(*hlir, compiler::PisaBackendOptions{});
+  if (!compiled.ok()) return Fail(compiled.status());
+  std::printf("ingress stages: %zu, egress stages: %zu, config words: %llu\n",
+              compiled->design.ingress_stages.size(),
+              compiled->design.egress_stages.size(),
+              static_cast<unsigned long long>(
+                  compiled->design.TotalConfigWords()));
+  if (args.Has("design")) {
+    if (Status s = WriteFile(args.Get("design"),
+                             compiled->design.ToJson().Dump(2));
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("wrote %s\n", args.Get("design").c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "rp4c — rP4 compiler driver\n"
+                 "subcommands: fc | bc | update | pisa\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  Args args = ParseArgs(argc, argv, 2);
+  if (cmd == "fc") return CmdFc(args);
+  if (cmd == "bc") return CmdBc(args);
+  if (cmd == "update") return CmdUpdate(args);
+  if (cmd == "pisa") return CmdPisa(args);
+  std::fprintf(stderr, "rp4c: unknown subcommand '%s'\n", cmd.c_str());
+  return 2;
+}
+
+}  // namespace
+}  // namespace ipsa::tools
+
+int main(int argc, char** argv) { return ipsa::tools::Main(argc, argv); }
