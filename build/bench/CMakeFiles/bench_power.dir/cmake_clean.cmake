@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power.dir/bench_power.cc.o"
+  "CMakeFiles/bench_power.dir/bench_power.cc.o.d"
+  "bench_power"
+  "bench_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

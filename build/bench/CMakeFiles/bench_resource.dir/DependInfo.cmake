@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_resource.cc" "bench/CMakeFiles/bench_resource.dir/bench_resource.cc.o" "gcc" "bench/CMakeFiles/bench_resource.dir/bench_resource.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controller/CMakeFiles/ipsa_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ipsa_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/ipsa_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4lite/CMakeFiles/ipsa_p4lite.dir/DependInfo.cmake"
+  "/root/repo/build/src/rp4/CMakeFiles/ipsa_rp4.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipsa/CMakeFiles/ipsa_ipsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/pisa/CMakeFiles/ipsa_pisa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/ipsa_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ipsa_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ipsa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ipsa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resource.dir/bench_resource.cc.o"
+  "CMakeFiles/bench_resource.dir/bench_resource.cc.o.d"
+  "bench_resource"
+  "bench_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_softswitch.dir/bench_softswitch.cc.o"
+  "CMakeFiles/bench_softswitch.dir/bench_softswitch.cc.o.d"
+  "bench_softswitch"
+  "bench_softswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_softswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

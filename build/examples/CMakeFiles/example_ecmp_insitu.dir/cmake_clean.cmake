@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ecmp_insitu.dir/ecmp_insitu.cpp.o"
+  "CMakeFiles/example_ecmp_insitu.dir/ecmp_insitu.cpp.o.d"
+  "example_ecmp_insitu"
+  "example_ecmp_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ecmp_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flow_probe.dir/flow_probe.cpp.o"
+  "CMakeFiles/example_flow_probe.dir/flow_probe.cpp.o.d"
+  "example_flow_probe"
+  "example_flow_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flow_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pisa_vs_ipsa.dir/pisa_vs_ipsa.cpp.o"
+  "CMakeFiles/example_pisa_vs_ipsa.dir/pisa_vs_ipsa.cpp.o.d"
+  "example_pisa_vs_ipsa"
+  "example_pisa_vs_ipsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pisa_vs_ipsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_pisa_vs_ipsa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_pisa_vs_ipsa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_srv6_insitu.dir/srv6_insitu.cpp.o"
+  "CMakeFiles/example_srv6_insitu.dir/srv6_insitu.cpp.o.d"
+  "example_srv6_insitu"
+  "example_srv6_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_srv6_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

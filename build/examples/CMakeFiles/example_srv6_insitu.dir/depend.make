@@ -1,0 +1,2 @@
+# Empty dependencies file for example_srv6_insitu.
+# This may be replaced when dependencies are built.

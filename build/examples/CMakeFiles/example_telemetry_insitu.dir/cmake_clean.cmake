@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_telemetry_insitu.dir/telemetry_insitu.cpp.o"
+  "CMakeFiles/example_telemetry_insitu.dir/telemetry_insitu.cpp.o.d"
+  "example_telemetry_insitu"
+  "example_telemetry_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_telemetry_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_example_quickstart "/root/repo/build/examples/example_quickstart")
+set_tests_properties(smoke_example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_ecmp_insitu "/root/repo/build/examples/example_ecmp_insitu")
+set_tests_properties(smoke_example_ecmp_insitu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_srv6_insitu "/root/repo/build/examples/example_srv6_insitu")
+set_tests_properties(smoke_example_srv6_insitu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_flow_probe "/root/repo/build/examples/example_flow_probe")
+set_tests_properties(smoke_example_flow_probe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_telemetry_insitu "/root/repo/build/examples/example_telemetry_insitu")
+set_tests_properties(smoke_example_telemetry_insitu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_example_pisa_vs_ipsa "/root/repo/build/examples/example_pisa_vs_ipsa")
+set_tests_properties(smoke_example_pisa_vs_ipsa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

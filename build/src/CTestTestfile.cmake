@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("mem")
+subdirs("table")
+subdirs("arch")
+subdirs("pisa")
+subdirs("ipsa")
+subdirs("rp4")
+subdirs("p4lite")
+subdirs("compiler")
+subdirs("controller")
+subdirs("hw")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/actions.cc" "src/arch/CMakeFiles/ipsa_arch.dir/actions.cc.o" "gcc" "src/arch/CMakeFiles/ipsa_arch.dir/actions.cc.o.d"
+  "/root/repo/src/arch/catalog.cc" "src/arch/CMakeFiles/ipsa_arch.dir/catalog.cc.o" "gcc" "src/arch/CMakeFiles/ipsa_arch.dir/catalog.cc.o.d"
+  "/root/repo/src/arch/context.cc" "src/arch/CMakeFiles/ipsa_arch.dir/context.cc.o" "gcc" "src/arch/CMakeFiles/ipsa_arch.dir/context.cc.o.d"
+  "/root/repo/src/arch/expr.cc" "src/arch/CMakeFiles/ipsa_arch.dir/expr.cc.o" "gcc" "src/arch/CMakeFiles/ipsa_arch.dir/expr.cc.o.d"
+  "/root/repo/src/arch/header_types.cc" "src/arch/CMakeFiles/ipsa_arch.dir/header_types.cc.o" "gcc" "src/arch/CMakeFiles/ipsa_arch.dir/header_types.cc.o.d"
+  "/root/repo/src/arch/parse_engine.cc" "src/arch/CMakeFiles/ipsa_arch.dir/parse_engine.cc.o" "gcc" "src/arch/CMakeFiles/ipsa_arch.dir/parse_engine.cc.o.d"
+  "/root/repo/src/arch/phv.cc" "src/arch/CMakeFiles/ipsa_arch.dir/phv.cc.o" "gcc" "src/arch/CMakeFiles/ipsa_arch.dir/phv.cc.o.d"
+  "/root/repo/src/arch/serde.cc" "src/arch/CMakeFiles/ipsa_arch.dir/serde.cc.o" "gcc" "src/arch/CMakeFiles/ipsa_arch.dir/serde.cc.o.d"
+  "/root/repo/src/arch/stage.cc" "src/arch/CMakeFiles/ipsa_arch.dir/stage.cc.o" "gcc" "src/arch/CMakeFiles/ipsa_arch.dir/stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/ipsa_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ipsa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ipsa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_arch.dir/actions.cc.o"
+  "CMakeFiles/ipsa_arch.dir/actions.cc.o.d"
+  "CMakeFiles/ipsa_arch.dir/catalog.cc.o"
+  "CMakeFiles/ipsa_arch.dir/catalog.cc.o.d"
+  "CMakeFiles/ipsa_arch.dir/context.cc.o"
+  "CMakeFiles/ipsa_arch.dir/context.cc.o.d"
+  "CMakeFiles/ipsa_arch.dir/expr.cc.o"
+  "CMakeFiles/ipsa_arch.dir/expr.cc.o.d"
+  "CMakeFiles/ipsa_arch.dir/header_types.cc.o"
+  "CMakeFiles/ipsa_arch.dir/header_types.cc.o.d"
+  "CMakeFiles/ipsa_arch.dir/parse_engine.cc.o"
+  "CMakeFiles/ipsa_arch.dir/parse_engine.cc.o.d"
+  "CMakeFiles/ipsa_arch.dir/phv.cc.o"
+  "CMakeFiles/ipsa_arch.dir/phv.cc.o.d"
+  "CMakeFiles/ipsa_arch.dir/serde.cc.o"
+  "CMakeFiles/ipsa_arch.dir/serde.cc.o.d"
+  "CMakeFiles/ipsa_arch.dir/stage.cc.o"
+  "CMakeFiles/ipsa_arch.dir/stage.cc.o.d"
+  "libipsa_arch.a"
+  "libipsa_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

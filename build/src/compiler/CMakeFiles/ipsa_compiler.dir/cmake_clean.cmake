@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_compiler.dir/layout.cc.o"
+  "CMakeFiles/ipsa_compiler.dir/layout.cc.o.d"
+  "CMakeFiles/ipsa_compiler.dir/linearize.cc.o"
+  "CMakeFiles/ipsa_compiler.dir/linearize.cc.o.d"
+  "CMakeFiles/ipsa_compiler.dir/pisa_backend.cc.o"
+  "CMakeFiles/ipsa_compiler.dir/pisa_backend.cc.o.d"
+  "CMakeFiles/ipsa_compiler.dir/rp4bc.cc.o"
+  "CMakeFiles/ipsa_compiler.dir/rp4bc.cc.o.d"
+  "CMakeFiles/ipsa_compiler.dir/rp4fc.cc.o"
+  "CMakeFiles/ipsa_compiler.dir/rp4fc.cc.o.d"
+  "CMakeFiles/ipsa_compiler.dir/table_alloc.cc.o"
+  "CMakeFiles/ipsa_compiler.dir/table_alloc.cc.o.d"
+  "libipsa_compiler.a"
+  "libipsa_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_controller.dir/baseline.cc.o"
+  "CMakeFiles/ipsa_controller.dir/baseline.cc.o.d"
+  "CMakeFiles/ipsa_controller.dir/controller.cc.o"
+  "CMakeFiles/ipsa_controller.dir/controller.cc.o.d"
+  "CMakeFiles/ipsa_controller.dir/designs.cc.o"
+  "CMakeFiles/ipsa_controller.dir/designs.cc.o.d"
+  "CMakeFiles/ipsa_controller.dir/runtime_api.cc.o"
+  "CMakeFiles/ipsa_controller.dir/runtime_api.cc.o.d"
+  "CMakeFiles/ipsa_controller.dir/script.cc.o"
+  "CMakeFiles/ipsa_controller.dir/script.cc.o.d"
+  "libipsa_controller.a"
+  "libipsa_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

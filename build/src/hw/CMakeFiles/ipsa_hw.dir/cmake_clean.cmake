@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_hw.dir/models.cc.o"
+  "CMakeFiles/ipsa_hw.dir/models.cc.o.d"
+  "libipsa_hw.a"
+  "libipsa_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

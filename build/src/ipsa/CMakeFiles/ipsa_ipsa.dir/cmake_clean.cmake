@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_ipsa.dir/elastic_pipeline.cc.o"
+  "CMakeFiles/ipsa_ipsa.dir/elastic_pipeline.cc.o.d"
+  "CMakeFiles/ipsa_ipsa.dir/ipbm.cc.o"
+  "CMakeFiles/ipsa_ipsa.dir/ipbm.cc.o.d"
+  "libipsa_ipsa.a"
+  "libipsa_ipsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_ipsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipsa_ipsa.a"
+)

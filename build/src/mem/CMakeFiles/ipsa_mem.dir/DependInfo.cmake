@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/block.cc" "src/mem/CMakeFiles/ipsa_mem.dir/block.cc.o" "gcc" "src/mem/CMakeFiles/ipsa_mem.dir/block.cc.o.d"
+  "/root/repo/src/mem/crossbar.cc" "src/mem/CMakeFiles/ipsa_mem.dir/crossbar.cc.o" "gcc" "src/mem/CMakeFiles/ipsa_mem.dir/crossbar.cc.o.d"
+  "/root/repo/src/mem/logical_table.cc" "src/mem/CMakeFiles/ipsa_mem.dir/logical_table.cc.o" "gcc" "src/mem/CMakeFiles/ipsa_mem.dir/logical_table.cc.o.d"
+  "/root/repo/src/mem/pool.cc" "src/mem/CMakeFiles/ipsa_mem.dir/pool.cc.o" "gcc" "src/mem/CMakeFiles/ipsa_mem.dir/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ipsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

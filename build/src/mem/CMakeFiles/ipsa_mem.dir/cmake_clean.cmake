@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_mem.dir/block.cc.o"
+  "CMakeFiles/ipsa_mem.dir/block.cc.o.d"
+  "CMakeFiles/ipsa_mem.dir/crossbar.cc.o"
+  "CMakeFiles/ipsa_mem.dir/crossbar.cc.o.d"
+  "CMakeFiles/ipsa_mem.dir/logical_table.cc.o"
+  "CMakeFiles/ipsa_mem.dir/logical_table.cc.o.d"
+  "CMakeFiles/ipsa_mem.dir/pool.cc.o"
+  "CMakeFiles/ipsa_mem.dir/pool.cc.o.d"
+  "libipsa_mem.a"
+  "libipsa_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/ipsa_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/ipsa_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/ipsa_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/ipsa_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/ipsa_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/ipsa_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/packet_builder.cc" "src/net/CMakeFiles/ipsa_net.dir/packet_builder.cc.o" "gcc" "src/net/CMakeFiles/ipsa_net.dir/packet_builder.cc.o.d"
+  "/root/repo/src/net/workload.cc" "src/net/CMakeFiles/ipsa_net.dir/workload.cc.o" "gcc" "src/net/CMakeFiles/ipsa_net.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ipsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_net.dir/checksum.cc.o"
+  "CMakeFiles/ipsa_net.dir/checksum.cc.o.d"
+  "CMakeFiles/ipsa_net.dir/headers.cc.o"
+  "CMakeFiles/ipsa_net.dir/headers.cc.o.d"
+  "CMakeFiles/ipsa_net.dir/packet.cc.o"
+  "CMakeFiles/ipsa_net.dir/packet.cc.o.d"
+  "CMakeFiles/ipsa_net.dir/packet_builder.cc.o"
+  "CMakeFiles/ipsa_net.dir/packet_builder.cc.o.d"
+  "CMakeFiles/ipsa_net.dir/workload.cc.o"
+  "CMakeFiles/ipsa_net.dir/workload.cc.o.d"
+  "libipsa_net.a"
+  "libipsa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

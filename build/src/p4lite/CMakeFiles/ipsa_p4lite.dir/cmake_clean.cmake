@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_p4lite.dir/hlir.cc.o"
+  "CMakeFiles/ipsa_p4lite.dir/hlir.cc.o.d"
+  "CMakeFiles/ipsa_p4lite.dir/parser.cc.o"
+  "CMakeFiles/ipsa_p4lite.dir/parser.cc.o.d"
+  "libipsa_p4lite.a"
+  "libipsa_p4lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_p4lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

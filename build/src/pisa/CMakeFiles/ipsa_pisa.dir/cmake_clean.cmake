@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_pisa.dir/pisa_switch.cc.o"
+  "CMakeFiles/ipsa_pisa.dir/pisa_switch.cc.o.d"
+  "libipsa_pisa.a"
+  "libipsa_pisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_pisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rp4/ast.cc" "src/rp4/CMakeFiles/ipsa_rp4.dir/ast.cc.o" "gcc" "src/rp4/CMakeFiles/ipsa_rp4.dir/ast.cc.o.d"
+  "/root/repo/src/rp4/lexer.cc" "src/rp4/CMakeFiles/ipsa_rp4.dir/lexer.cc.o" "gcc" "src/rp4/CMakeFiles/ipsa_rp4.dir/lexer.cc.o.d"
+  "/root/repo/src/rp4/parser.cc" "src/rp4/CMakeFiles/ipsa_rp4.dir/parser.cc.o" "gcc" "src/rp4/CMakeFiles/ipsa_rp4.dir/parser.cc.o.d"
+  "/root/repo/src/rp4/printer.cc" "src/rp4/CMakeFiles/ipsa_rp4.dir/printer.cc.o" "gcc" "src/rp4/CMakeFiles/ipsa_rp4.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ipsa_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ipsa_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ipsa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ipsa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

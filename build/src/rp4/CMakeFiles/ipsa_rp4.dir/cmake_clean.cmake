@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_rp4.dir/ast.cc.o"
+  "CMakeFiles/ipsa_rp4.dir/ast.cc.o.d"
+  "CMakeFiles/ipsa_rp4.dir/lexer.cc.o"
+  "CMakeFiles/ipsa_rp4.dir/lexer.cc.o.d"
+  "CMakeFiles/ipsa_rp4.dir/parser.cc.o"
+  "CMakeFiles/ipsa_rp4.dir/parser.cc.o.d"
+  "CMakeFiles/ipsa_rp4.dir/printer.cc.o"
+  "CMakeFiles/ipsa_rp4.dir/printer.cc.o.d"
+  "libipsa_rp4.a"
+  "libipsa_rp4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_rp4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/exact_table.cc" "src/table/CMakeFiles/ipsa_table.dir/exact_table.cc.o" "gcc" "src/table/CMakeFiles/ipsa_table.dir/exact_table.cc.o.d"
+  "/root/repo/src/table/lpm_table.cc" "src/table/CMakeFiles/ipsa_table.dir/lpm_table.cc.o" "gcc" "src/table/CMakeFiles/ipsa_table.dir/lpm_table.cc.o.d"
+  "/root/repo/src/table/selector_table.cc" "src/table/CMakeFiles/ipsa_table.dir/selector_table.cc.o" "gcc" "src/table/CMakeFiles/ipsa_table.dir/selector_table.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/table/CMakeFiles/ipsa_table.dir/table.cc.o" "gcc" "src/table/CMakeFiles/ipsa_table.dir/table.cc.o.d"
+  "/root/repo/src/table/ternary_table.cc" "src/table/CMakeFiles/ipsa_table.dir/ternary_table.cc.o" "gcc" "src/table/CMakeFiles/ipsa_table.dir/ternary_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/ipsa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_table.dir/exact_table.cc.o"
+  "CMakeFiles/ipsa_table.dir/exact_table.cc.o.d"
+  "CMakeFiles/ipsa_table.dir/lpm_table.cc.o"
+  "CMakeFiles/ipsa_table.dir/lpm_table.cc.o.d"
+  "CMakeFiles/ipsa_table.dir/selector_table.cc.o"
+  "CMakeFiles/ipsa_table.dir/selector_table.cc.o.d"
+  "CMakeFiles/ipsa_table.dir/table.cc.o"
+  "CMakeFiles/ipsa_table.dir/table.cc.o.d"
+  "CMakeFiles/ipsa_table.dir/ternary_table.cc.o"
+  "CMakeFiles/ipsa_table.dir/ternary_table.cc.o.d"
+  "libipsa_table.a"
+  "libipsa_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

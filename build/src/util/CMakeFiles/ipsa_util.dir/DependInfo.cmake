@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitops.cc" "src/util/CMakeFiles/ipsa_util.dir/bitops.cc.o" "gcc" "src/util/CMakeFiles/ipsa_util.dir/bitops.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/util/CMakeFiles/ipsa_util.dir/hash.cc.o" "gcc" "src/util/CMakeFiles/ipsa_util.dir/hash.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/util/CMakeFiles/ipsa_util.dir/json.cc.o" "gcc" "src/util/CMakeFiles/ipsa_util.dir/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/ipsa_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/ipsa_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/ipsa_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/ipsa_util.dir/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/ipsa_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/ipsa_util.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_util.dir/bitops.cc.o"
+  "CMakeFiles/ipsa_util.dir/bitops.cc.o.d"
+  "CMakeFiles/ipsa_util.dir/hash.cc.o"
+  "CMakeFiles/ipsa_util.dir/hash.cc.o.d"
+  "CMakeFiles/ipsa_util.dir/json.cc.o"
+  "CMakeFiles/ipsa_util.dir/json.cc.o.d"
+  "CMakeFiles/ipsa_util.dir/logging.cc.o"
+  "CMakeFiles/ipsa_util.dir/logging.cc.o.d"
+  "CMakeFiles/ipsa_util.dir/status.cc.o"
+  "CMakeFiles/ipsa_util.dir/status.cc.o.d"
+  "CMakeFiles/ipsa_util.dir/strings.cc.o"
+  "CMakeFiles/ipsa_util.dir/strings.cc.o.d"
+  "libipsa_util.a"
+  "libipsa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

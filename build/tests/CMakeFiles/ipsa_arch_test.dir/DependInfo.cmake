@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch_test.cc" "tests/CMakeFiles/ipsa_arch_test.dir/arch_test.cc.o" "gcc" "tests/CMakeFiles/ipsa_arch_test.dir/arch_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/ipsa_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ipsa_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ipsa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ipsa_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

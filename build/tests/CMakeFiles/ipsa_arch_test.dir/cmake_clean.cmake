@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_arch_test.dir/arch_test.cc.o"
+  "CMakeFiles/ipsa_arch_test.dir/arch_test.cc.o.d"
+  "ipsa_arch_test"
+  "ipsa_arch_test.pdb"
+  "ipsa_arch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_arch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

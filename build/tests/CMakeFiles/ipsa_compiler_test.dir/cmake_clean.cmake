@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_compiler_test.dir/compiler_test.cc.o"
+  "CMakeFiles/ipsa_compiler_test.dir/compiler_test.cc.o.d"
+  "ipsa_compiler_test"
+  "ipsa_compiler_test.pdb"
+  "ipsa_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_controller_test.dir/controller_test.cc.o"
+  "CMakeFiles/ipsa_controller_test.dir/controller_test.cc.o.d"
+  "ipsa_controller_test"
+  "ipsa_controller_test.pdb"
+  "ipsa_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_hw_test.dir/hw_test.cc.o"
+  "CMakeFiles/ipsa_hw_test.dir/hw_test.cc.o.d"
+  "ipsa_hw_test"
+  "ipsa_hw_test.pdb"
+  "ipsa_hw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

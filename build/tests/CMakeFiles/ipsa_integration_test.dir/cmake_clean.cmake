@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_integration_test.dir/integration_test.cc.o"
+  "CMakeFiles/ipsa_integration_test.dir/integration_test.cc.o.d"
+  "ipsa_integration_test"
+  "ipsa_integration_test.pdb"
+  "ipsa_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

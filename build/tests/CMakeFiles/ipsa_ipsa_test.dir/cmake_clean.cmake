@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_ipsa_test.dir/ipsa_test.cc.o"
+  "CMakeFiles/ipsa_ipsa_test.dir/ipsa_test.cc.o.d"
+  "ipsa_ipsa_test"
+  "ipsa_ipsa_test.pdb"
+  "ipsa_ipsa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_ipsa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

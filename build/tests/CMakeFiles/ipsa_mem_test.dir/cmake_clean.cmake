@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_mem_test.dir/mem_test.cc.o"
+  "CMakeFiles/ipsa_mem_test.dir/mem_test.cc.o.d"
+  "ipsa_mem_test"
+  "ipsa_mem_test.pdb"
+  "ipsa_mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_net_test.dir/net_test.cc.o"
+  "CMakeFiles/ipsa_net_test.dir/net_test.cc.o.d"
+  "ipsa_net_test"
+  "ipsa_net_test.pdb"
+  "ipsa_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_p4lite_test.dir/p4lite_test.cc.o"
+  "CMakeFiles/ipsa_p4lite_test.dir/p4lite_test.cc.o.d"
+  "ipsa_p4lite_test"
+  "ipsa_p4lite_test.pdb"
+  "ipsa_p4lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_p4lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

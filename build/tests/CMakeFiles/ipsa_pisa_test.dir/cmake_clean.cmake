@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_pisa_test.dir/pisa_test.cc.o"
+  "CMakeFiles/ipsa_pisa_test.dir/pisa_test.cc.o.d"
+  "ipsa_pisa_test"
+  "ipsa_pisa_test.pdb"
+  "ipsa_pisa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_pisa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

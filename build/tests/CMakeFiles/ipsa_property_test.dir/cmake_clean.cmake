@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_property_test.dir/property_test.cc.o"
+  "CMakeFiles/ipsa_property_test.dir/property_test.cc.o.d"
+  "ipsa_property_test"
+  "ipsa_property_test.pdb"
+  "ipsa_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

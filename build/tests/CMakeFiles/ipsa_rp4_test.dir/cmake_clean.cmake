@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_rp4_test.dir/rp4_test.cc.o"
+  "CMakeFiles/ipsa_rp4_test.dir/rp4_test.cc.o.d"
+  "ipsa_rp4_test"
+  "ipsa_rp4_test.pdb"
+  "ipsa_rp4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_rp4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

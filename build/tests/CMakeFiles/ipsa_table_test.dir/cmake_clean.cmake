@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_table_test.dir/table_test.cc.o"
+  "CMakeFiles/ipsa_table_test.dir/table_test.cc.o.d"
+  "ipsa_table_test"
+  "ipsa_table_test.pdb"
+  "ipsa_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

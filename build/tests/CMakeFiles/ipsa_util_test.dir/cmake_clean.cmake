@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsa_util_test.dir/util_test.cc.o"
+  "CMakeFiles/ipsa_util_test.dir/util_test.cc.o.d"
+  "ipsa_util_test"
+  "ipsa_util_test.pdb"
+  "ipsa_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsa_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ipsa_util_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_net_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_table_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_arch_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_pisa_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_ipsa_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_rp4_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_p4lite_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_controller_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_hw_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ipsa_property_test[1]_include.cmake")

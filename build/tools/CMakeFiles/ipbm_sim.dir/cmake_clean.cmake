@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipbm_sim.dir/ipbm_sim.cc.o"
+  "CMakeFiles/ipbm_sim.dir/ipbm_sim.cc.o.d"
+  "ipbm_sim"
+  "ipbm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipbm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

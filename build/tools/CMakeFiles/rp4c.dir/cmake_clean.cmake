@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp4c.dir/rp4c.cc.o"
+  "CMakeFiles/rp4c.dir/rp4c.cc.o.d"
+  "rp4c"
+  "rp4c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp4c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rp4c.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rp4c.
+# This may be replaced when dependencies are built.

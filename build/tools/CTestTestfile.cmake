@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_rp4c_fc "/root/repo/build/tools/rp4c" "fc" "builtin:base" "-o" "/root/repo/build/smoke_base.rp4")
+set_tests_properties(smoke_rp4c_fc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_rp4c_bc "/root/repo/build/tools/rp4c" "bc" "/root/repo/build/smoke_base.rp4" "--templates" "/root/repo/build/smoke_templates.json")
+set_tests_properties(smoke_rp4c_bc PROPERTIES  DEPENDS "smoke_rp4c_fc" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_rp4c_pisa "/root/repo/build/tools/rp4c" "pisa" "builtin:base+srv6")
+set_tests_properties(smoke_rp4c_pisa PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_ipbm_sim "/root/repo/build/tools/ipbm_sim" "/root/repo/build/smoke_sim_commands.txt")
+set_tests_properties(smoke_ipbm_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
