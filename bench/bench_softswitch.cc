@@ -2,20 +2,43 @@
 // ipbm, on the base design and each use case. Uses google-benchmark for
 // stable measurement. This complements Table 1 (which times the *control*
 // plane); here we measure the data plane of the two behavioral models.
+//
+// Variants per device:
+//   * Forwarding:  one packet at a time through Process() (the compiled
+//                  fast path with a reused scratch context).
+//   * Batch:       ProcessBatch() over 256 packets on one port.
+//   * Drain/N:     RunToCompletion(N) draining all RX queues with N worker
+//                  threads (N = 1, 2, 4, 8). Scaling needs a multi-core
+//                  host; register-touching designs serialize to one worker.
+//
+// Besides the console table, results are written to BENCH_softswitch.json
+// (google-benchmark's JSON schema) for the evaluation scripts.
 #include <benchmark/benchmark.h>
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "bench/common.h"
 
 namespace ipsa::bench {
 namespace {
 
+constexpr int kBatchSize = 256;
+
+template <typename Setup>
+std::vector<net::Packet> MakePackets(UseCase uc) {
+  net::Workload workload(WorkloadFor(uc));
+  std::vector<net::Packet> packets;
+  packets.reserve(kBatchSize);
+  for (int i = 0; i < kBatchSize; ++i) packets.push_back(workload.NextPacket());
+  return packets;
+}
+
 template <typename Setup>
 void RunPackets(benchmark::State& state, Setup& setup, UseCase uc) {
-  net::WorkloadConfig wcfg = WorkloadFor(uc);
-  net::Workload workload(wcfg);
-  std::vector<net::Packet> packets;
-  packets.reserve(256);
-  for (int i = 0; i < 256; ++i) packets.push_back(workload.NextPacket());
+  std::vector<net::Packet> packets = MakePackets<Setup>(uc);
   size_t i = 0;
   for (auto _ : state) {
     net::Packet p = packets[i % packets.size()];
@@ -28,6 +51,57 @@ void RunPackets(benchmark::State& state, Setup& setup, UseCase uc) {
     ++i;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+template <typename Setup>
+void RunBatch(benchmark::State& state, Setup& setup, UseCase uc) {
+  std::vector<net::Packet> packets = MakePackets<Setup>(uc);
+  std::vector<net::Packet> scratch;
+  int64_t items = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    scratch = packets;  // processing edits headers in place
+    state.ResumeTiming();
+    auto result = setup.device->ProcessBatch(std::span(scratch), 1);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+    items += static_cast<int64_t>(scratch.size());
+  }
+  state.SetItemsProcessed(items);
+}
+
+template <typename Setup>
+void RunDrain(benchmark::State& state, Setup& setup, UseCase uc,
+              uint32_t workers) {
+  std::vector<net::Packet> packets = MakePackets<Setup>(uc);
+  net::PortSet& ports = setup.device->ports();
+  const uint32_t port_count = ports.count();
+  int64_t items = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < kBatchSize; ++i) {
+      ports.port(static_cast<uint32_t>(i) % port_count)
+          .rx()
+          .Push(packets[static_cast<size_t>(i)]);
+    }
+    state.ResumeTiming();
+    auto result = setup.device->RunToCompletion(workers);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    items += static_cast<int64_t>(*result);
+    state.PauseTiming();
+    for (uint32_t p = 0; p < port_count; ++p) {
+      while (ports.port(p).tx().Pop()) {
+      }
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(items);
 }
 
 void BM_PbmForwarding(benchmark::State& state) {
@@ -52,18 +126,101 @@ void BM_IpbmForwarding(benchmark::State& state) {
   RunPackets(state, *setup, uc);
 }
 
-BENCHMARK(BM_PbmForwarding)
-    ->Arg(static_cast<int>(UseCase::kBase))
-    ->Arg(static_cast<int>(UseCase::kEcmp))
-    ->Arg(static_cast<int>(UseCase::kSrv6))
-    ->Arg(static_cast<int>(UseCase::kProbe));
-BENCHMARK(BM_IpbmForwarding)
-    ->Arg(static_cast<int>(UseCase::kBase))
-    ->Arg(static_cast<int>(UseCase::kEcmp))
-    ->Arg(static_cast<int>(UseCase::kSrv6))
-    ->Arg(static_cast<int>(UseCase::kProbe));
+void BM_PbmBatch(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  auto setup = MakePisaSetup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  state.SetLabel(UseCaseName(uc));
+  RunBatch(state, *setup, uc);
+}
+
+void BM_IpbmBatch(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  auto setup = MakeRp4Setup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  state.SetLabel(UseCaseName(uc));
+  RunBatch(state, *setup, uc);
+}
+
+void BM_PbmDrain(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  uint32_t workers = static_cast<uint32_t>(state.range(1));
+  auto setup = MakePisaSetup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  state.SetLabel(std::string(UseCaseName(uc)) + " workers=" +
+                 std::to_string(workers));
+  RunDrain(state, *setup, uc, workers);
+}
+
+void BM_IpbmDrain(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  uint32_t workers = static_cast<uint32_t>(state.range(1));
+  auto setup = MakeRp4Setup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  state.SetLabel(std::string(UseCaseName(uc)) + " workers=" +
+                 std::to_string(workers));
+  RunDrain(state, *setup, uc, workers);
+}
+
+void UseCaseArgs(benchmark::internal::Benchmark* b) {
+  b->Arg(static_cast<int>(UseCase::kBase))
+      ->Arg(static_cast<int>(UseCase::kEcmp))
+      ->Arg(static_cast<int>(UseCase::kSrv6))
+      ->Arg(static_cast<int>(UseCase::kProbe));
+}
+
+void DrainArgs(benchmark::internal::Benchmark* b) {
+  for (int uc : {static_cast<int>(UseCase::kBase),
+                 static_cast<int>(UseCase::kSrv6)}) {
+    for (int workers : {1, 2, 4, 8}) b->Args({uc, workers});
+  }
+}
+
+BENCHMARK(BM_PbmForwarding)->Apply(UseCaseArgs);
+BENCHMARK(BM_IpbmForwarding)->Apply(UseCaseArgs);
+BENCHMARK(BM_PbmBatch)->Apply(UseCaseArgs);
+BENCHMARK(BM_IpbmBatch)->Apply(UseCaseArgs);
+// Wall-clock time: the workers run off the main thread, so CPU time of the
+// calling thread would under-count multi-worker runs.
+BENCHMARK(BM_PbmDrain)->Apply(DrainArgs)->UseRealTime();
+BENCHMARK(BM_IpbmDrain)->Apply(DrainArgs)->UseRealTime();
 
 }  // namespace
 }  // namespace ipsa::bench
 
-BENCHMARK_MAIN();
+// Custom main: besides the console table, always dump the JSON report to
+// BENCH_softswitch.json (overridable with an explicit --benchmark_out=).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_softswitch.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -223,8 +223,13 @@ Status ExecuteOps(const std::vector<ActionOp>& ops, const EvalEnv& env) {
 
 Status ExecuteAction(const ActionDef& action, const mem::BitString& args_data,
                      PacketContext& ctx, RegisterFile* regs) {
-  auto bound = BindActionArgs(action, args_data);
-  EvalEnv env{.ctx = &ctx, .args = &bound, .regs = regs};
+  // Zero-copy parameter binding: kParam slices args_data on demand instead
+  // of materialising a name->value map per packet.
+  EvalEnv env{.ctx = &ctx,
+              .args = nullptr,
+              .regs = regs,
+              .param_defs = &action.params,
+              .args_data = &args_data};
   return ExecuteOps(action.body, env);
 }
 

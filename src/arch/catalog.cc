@@ -1,5 +1,7 @@
 #include "arch/catalog.h"
 
+#include <algorithm>
+
 namespace ipsa::arch {
 
 mem::BitString ConcatBits(const std::vector<mem::BitString>& values) {
@@ -27,6 +29,7 @@ Status TableCatalog::CreateTable(const table::TableSpec& spec,
                         table::CreateTable(spec, *pool_, id, cluster));
   tables_.emplace(spec.name,
                   Slot{std::move(t), std::move(binding), id});
+  ++version_;
   return OkStatus();
 }
 
@@ -37,11 +40,12 @@ Status TableCatalog::DestroyTable(const std::string& name) {
   }
   it->second.table->FreeStorage();
   tables_.erase(it);
+  ++version_;
   return OkStatus();
 }
 
 Result<table::MatchTable*> TableCatalog::Get(std::string_view name) const {
-  auto it = tables_.find(std::string(name));
+  auto it = tables_.find(name);
   if (it == tables_.end()) {
     return NotFound("table '" + std::string(name) + "' does not exist");
   }
@@ -50,7 +54,7 @@ Result<table::MatchTable*> TableCatalog::Get(std::string_view name) const {
 
 Result<const TableBinding*> TableCatalog::GetBinding(
     std::string_view name) const {
-  auto it = tables_.find(std::string(name));
+  auto it = tables_.find(name);
   if (it == tables_.end()) {
     return NotFound("table '" + std::string(name) + "' does not exist");
   }
@@ -73,6 +77,7 @@ std::vector<std::string> TableCatalog::TableNames() const {
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, slot] : tables_) out.push_back(name);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -82,6 +87,7 @@ Status ActionStore::Add(ActionDef def) {
   if (!inserted) {
     return AlreadyExists("action already defined");
   }
+  ++version_;
   return OkStatus();
 }
 
@@ -89,12 +95,13 @@ Status ActionStore::Remove(const std::string& name) {
   if (actions_.erase(name) == 0) {
     return NotFound("action '" + name + "' not defined");
   }
+  ++version_;
   return OkStatus();
 }
 
 Result<const ActionDef*> ActionStore::Get(std::string_view name) const {
   if (name == "NoAction" || name.empty()) return &NoAction();
-  auto it = actions_.find(std::string(name));
+  auto it = actions_.find(name);
   if (it == actions_.end()) {
     return NotFound("action '" + std::string(name) + "' not defined");
   }
@@ -102,13 +109,14 @@ Result<const ActionDef*> ActionStore::Get(std::string_view name) const {
 }
 
 bool ActionStore::Has(std::string_view name) const {
-  return name == "NoAction" || actions_.count(std::string(name)) > 0;
+  return name == "NoAction" || actions_.find(name) != actions_.end();
 }
 
 std::vector<std::string> ActionStore::ActionNames() const {
   std::vector<std::string> out;
   out.reserve(actions_.size());
   for (const auto& [name, def] : actions_) out.push_back(name);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -4,16 +4,17 @@
 // stages.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/actions.h"
 #include "arch/context.h"
 #include "mem/pool.h"
 #include "table/table.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace ipsa::arch {
@@ -40,7 +41,7 @@ class TableCatalog {
   Status DestroyTable(const std::string& name);
 
   bool Has(std::string_view name) const {
-    return tables_.count(std::string(name)) > 0;
+    return tables_.find(name) != tables_.end();
   }
   Result<table::MatchTable*> Get(std::string_view name) const;
   Result<const TableBinding*> GetBinding(std::string_view name) const;
@@ -49,8 +50,13 @@ class TableCatalog {
   Result<mem::BitString> BuildKey(std::string_view table,
                                   const PacketContext& ctx) const;
 
+  // Sorted, for deterministic enumeration (serde, device reset).
   std::vector<std::string> TableNames() const;
   mem::Pool& pool() { return *pool_; }
+
+  // Bumped on CreateTable/DestroyTable; compiled fast paths holding
+  // MatchTable pointers revalidate against this.
+  uint64_t version() const { return version_; }
 
  private:
   struct Slot {
@@ -60,8 +66,10 @@ class TableCatalog {
   };
 
   mem::Pool* pool_;
-  std::map<std::string, Slot> tables_;
+  std::unordered_map<std::string, Slot, util::StringHash, std::equal_to<>>
+      tables_;
   uint32_t next_table_id_ = 1;
+  uint64_t version_ = 0;
 };
 
 // Named action definitions; "NoAction" is implicitly present.
@@ -71,10 +79,18 @@ class ActionStore {
   Status Remove(const std::string& name);
   Result<const ActionDef*> Get(std::string_view name) const;
   bool Has(std::string_view name) const;
+  // Sorted, for deterministic enumeration.
   std::vector<std::string> ActionNames() const;
 
+  // Bumped on Add/Remove; compiled fast paths holding ActionDef pointers
+  // revalidate against this.
+  uint64_t version() const { return version_; }
+
  private:
-  std::map<std::string, ActionDef> actions_;
+  std::unordered_map<std::string, ActionDef, util::StringHash,
+                     std::equal_to<>>
+      actions_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace ipsa::arch

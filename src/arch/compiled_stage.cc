@@ -1,0 +1,587 @@
+#include "arch/compiled_stage.h"
+
+#include <algorithm>
+
+#include "arch/parse_engine.h"
+#include "net/checksum.h"
+
+namespace ipsa::arch {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+// Carries the resolution context through the recursive compile and records
+// whether anything touched the register file.
+struct Compiler {
+  const TableCatalog* catalog;
+  const ActionStore* actions;
+  const HeaderRegistry* registry;
+  const Metadata* metadata;
+  bool uses_registers = false;
+
+  Result<CompiledField> Field(const FieldRef& ref) const {
+    CompiledField out;
+    if (ref.space == FieldRef::Space::kMeta) {
+      out.is_meta = true;
+      out.meta_slot = metadata->SlotOf(ref.field);
+      if (out.meta_slot == Metadata::kInvalidSlot) {
+        return NotFound("metadata field '" + ref.field + "' not declared");
+      }
+      out.width_bits = metadata->WidthOf(ref.field);
+      return out;
+    }
+    // Instance name == type name throughout (the parse engine and push ops
+    // both create instances named after their type), so the field's bit
+    // range can be fixed now. A registry mutation bumps the config epoch and
+    // forces a recompile, so the span cannot go stale.
+    out.is_meta = false;
+    out.instance = ref.instance;
+    IPSA_ASSIGN_OR_RETURN(const HeaderTypeDef* type,
+                          registry->Get(ref.instance));
+    IPSA_ASSIGN_OR_RETURN(HeaderTypeDef::FieldSpan span,
+                          type->FieldSpanOf(ref.field));
+    out.offset_bits = span.offset_bits;
+    out.width_bits = span.width_bits;
+    return out;
+  }
+
+  // `params` is the enclosing action's parameter list (null for guards).
+  Result<CompiledExprPtr> Compile(const Expr& e, const ActionDef* action) {
+    auto out = std::make_unique<CompiledExpr>();
+    out->kind = e.kind();
+    out->op = e.op();
+    switch (e.kind()) {
+      case Expr::Kind::kConst:
+        out->constant = e.constant();
+        break;
+      case Expr::Kind::kField: {
+        IPSA_ASSIGN_OR_RETURN(out->field, Field(e.field()));
+        break;
+      }
+      case Expr::Kind::kRaw: {
+        out->name = e.name();
+        out->raw_width = e.raw_width();
+        IPSA_ASSIGN_OR_RETURN(out->lhs, Compile(*e.lhs(), action));
+        break;
+      }
+      case Expr::Kind::kParam: {
+        if (action == nullptr) {
+          return FailedPrecondition("parameter reference outside an action");
+        }
+        uint32_t offset = 0;
+        bool found = false;
+        for (const ActionParam& p : action->params) {
+          if (p.name == e.name()) {
+            out->param_offset = offset;
+            out->param_width = p.width_bits;
+            found = true;
+            break;
+          }
+          offset += p.width_bits;
+        }
+        if (!found) {
+          return NotFound("action parameter '" + e.name() + "' not bound");
+        }
+        break;
+      }
+      case Expr::Kind::kRegister: {
+        uses_registers = true;
+        out->name = e.name();
+        IPSA_ASSIGN_OR_RETURN(out->lhs, Compile(*e.lhs(), action));
+        break;
+      }
+      case Expr::Kind::kIsValid:
+        out->name = e.name();
+        break;
+      case Expr::Kind::kUnary: {
+        IPSA_ASSIGN_OR_RETURN(out->lhs, Compile(*e.lhs(), action));
+        break;
+      }
+      case Expr::Kind::kBinary: {
+        IPSA_ASSIGN_OR_RETURN(out->lhs, Compile(*e.lhs(), action));
+        IPSA_ASSIGN_OR_RETURN(out->rhs, Compile(*e.rhs(), action));
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<std::vector<CompiledOp>> CompileOps(const std::vector<ActionOp>& ops,
+                                             const ActionDef* action) {
+    std::vector<CompiledOp> out;
+    out.reserve(ops.size());
+    for (const ActionOp& op : ops) {
+      CompiledOp c;
+      c.kind = op.kind;
+      switch (op.kind) {
+        case ActionOp::Kind::kNoop:
+          break;
+        case ActionOp::Kind::kAssign: {
+          IPSA_ASSIGN_OR_RETURN(c.dest, Field(op.dest));
+          IPSA_ASSIGN_OR_RETURN(c.value, Compile(*op.value, action));
+          break;
+        }
+        case ActionOp::Kind::kAssignRaw: {
+          c.instance = op.instance;
+          c.raw_width = op.raw_width;
+          IPSA_ASSIGN_OR_RETURN(c.offset, Compile(*op.raw_offset, action));
+          IPSA_ASSIGN_OR_RETURN(c.value, Compile(*op.value, action));
+          break;
+        }
+        case ActionOp::Kind::kPushHeader: {
+          c.instance = op.instance;
+          c.after_instance = op.after_instance;
+          IPSA_ASSIGN_OR_RETURN(const HeaderTypeDef* type,
+                                registry->Get(op.instance));
+          c.push_fixed_size = type->fixed_size_bytes();
+          if (op.push_size_bytes != nullptr) {
+            IPSA_ASSIGN_OR_RETURN(c.push_size,
+                                  Compile(*op.push_size_bytes, action));
+          }
+          break;
+        }
+        case ActionOp::Kind::kPopHeader:
+          c.instance = op.instance;
+          break;
+        case ActionOp::Kind::kDrop: {
+          IPSA_ASSIGN_OR_RETURN(c.dest, Field(FieldRef::Meta("drop")));
+          break;
+        }
+        case ActionOp::Kind::kMark: {
+          IPSA_ASSIGN_OR_RETURN(c.dest, Field(FieldRef::Meta("mark")));
+          break;
+        }
+        case ActionOp::Kind::kForward: {
+          IPSA_ASSIGN_OR_RETURN(c.dest, Field(FieldRef::Meta("egress_spec")));
+          IPSA_ASSIGN_OR_RETURN(c.value, Compile(*op.value, action));
+          break;
+        }
+        case ActionOp::Kind::kRegWrite: {
+          uses_registers = true;
+          c.reg = op.reg;
+          IPSA_ASSIGN_OR_RETURN(c.index, Compile(*op.index, action));
+          IPSA_ASSIGN_OR_RETURN(c.value, Compile(*op.value, action));
+          break;
+        }
+        case ActionOp::Kind::kIf: {
+          IPSA_ASSIGN_OR_RETURN(c.cond, Compile(*op.cond, action));
+          IPSA_ASSIGN_OR_RETURN(c.then_ops, CompileOps(op.then_ops, action));
+          IPSA_ASSIGN_OR_RETURN(c.else_ops, CompileOps(op.else_ops, action));
+          break;
+        }
+        case ActionOp::Kind::kUpdateChecksum: {
+          c.instance = op.instance;
+          IPSA_ASSIGN_OR_RETURN(
+              c.dest, Field(FieldRef::Header(op.instance, op.checksum_field)));
+          break;
+        }
+      }
+      out.push_back(std::move(c));
+    }
+    return out;
+  }
+
+  Result<CompiledAction> Action(std::string_view name) {
+    IPSA_ASSIGN_OR_RETURN(const ActionDef* def, actions->Get(name));
+    CompiledAction out;
+    out.def = def;
+    IPSA_ASSIGN_OR_RETURN(out.body, CompileOps(def->body, def));
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+mem::BitString MakeBool(bool v) { return mem::BitString(1, v ? 1 : 0); }
+
+Status InvalidInstance(const std::string& name) {
+  return FailedPrecondition("header instance '" + name +
+                            "' is not valid in this packet");
+}
+
+Result<const HeaderInstance*> FindValid(PacketContext& ctx,
+                                        const std::string& name) {
+  const HeaderInstance* h = ctx.phv().Find(name);
+  if (h == nullptr || !h->valid) return InvalidInstance(name);
+  return h;
+}
+
+Result<mem::BitString> ReadCompiledField(const CompiledField& f,
+                                         PacketContext& ctx) {
+  if (f.is_meta) {
+    return ctx.metadata().SlotRead(f.meta_slot);
+  }
+  IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, FindValid(ctx, f.instance));
+  return ReadWireBits(ctx.packet().bytes(),
+                      static_cast<size_t>(h->byte_offset) * 8 + f.offset_bits,
+                      f.width_bits);
+}
+
+Status WriteCompiledField(const CompiledField& f, PacketContext& ctx,
+                          const mem::BitString& v) {
+  if (f.is_meta) {
+    ctx.metadata().SlotWrite(f.meta_slot, v);
+    return OkStatus();
+  }
+  IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, FindValid(ctx, f.instance));
+  WriteWireBits(ctx.packet().bytes(),
+                static_cast<size_t>(h->byte_offset) * 8 + f.offset_bits,
+                f.width_bits, v);
+  return OkStatus();
+}
+
+// Mirrors EvalEnv for the compiled tree: raw action data instead of a bound
+// parameter map.
+struct CompiledEnv {
+  PacketContext* ctx = nullptr;
+  const mem::BitString* args = nullptr;
+  RegisterFile* regs = nullptr;
+};
+
+Result<mem::BitString> EvalCompiled(const CompiledExpr& e,
+                                    const CompiledEnv& env) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return e.constant;
+    case Expr::Kind::kField:
+      return ReadCompiledField(e.field, *env.ctx);
+    case Expr::Kind::kRaw: {
+      IPSA_ASSIGN_OR_RETURN(mem::BitString off, EvalCompiled(*e.lhs, env));
+      return env.ctx->ReadRaw(e.name, static_cast<uint32_t>(off.ToUint64()),
+                              e.raw_width);
+    }
+    case Expr::Kind::kParam: {
+      if (env.args == nullptr) {
+        return FailedPrecondition("no action arguments bound");
+      }
+      // Zero-fill when the entry's action_data is too short for the
+      // parameter (same as BindActionArgs).
+      if (e.param_offset + e.param_width <= env.args->bit_width()) {
+        return env.args->Slice(e.param_offset, e.param_width);
+      }
+      return mem::BitString(e.param_width);
+    }
+    case Expr::Kind::kRegister: {
+      if (env.regs == nullptr) {
+        return FailedPrecondition("no register file available");
+      }
+      IPSA_ASSIGN_OR_RETURN(mem::BitString idx, EvalCompiled(*e.lhs, env));
+      IPSA_ASSIGN_OR_RETURN(
+          uint64_t v,
+          env.regs->Read(e.name, static_cast<size_t>(idx.ToUint64())));
+      return mem::BitString(64, v);
+    }
+    case Expr::Kind::kIsValid:
+      return MakeBool(env.ctx->phv().IsValid(e.name));
+    case Expr::Kind::kUnary: {
+      IPSA_ASSIGN_OR_RETURN(mem::BitString a, EvalCompiled(*e.lhs, env));
+      return EvalUnaryKernel(e.op, a);
+    }
+    case Expr::Kind::kBinary: {
+      if (e.op == Expr::Op::kAnd || e.op == Expr::Op::kOr) {
+        IPSA_ASSIGN_OR_RETURN(mem::BitString a, EvalCompiled(*e.lhs, env));
+        bool ta = BitsTruthy(a);
+        if (e.op == Expr::Op::kAnd && !ta) return MakeBool(false);
+        if (e.op == Expr::Op::kOr && ta) return MakeBool(true);
+        IPSA_ASSIGN_OR_RETURN(mem::BitString b, EvalCompiled(*e.rhs, env));
+        return MakeBool(BitsTruthy(b));
+      }
+      IPSA_ASSIGN_OR_RETURN(mem::BitString a, EvalCompiled(*e.lhs, env));
+      IPSA_ASSIGN_OR_RETURN(mem::BitString b, EvalCompiled(*e.rhs, env));
+      return EvalBinaryKernel(e.op, a, b);
+    }
+  }
+  return InternalError("bad expression kind");
+}
+
+Result<bool> EvalCompiledBool(const CompiledExpr& e, const CompiledEnv& env) {
+  IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(e, env));
+  return BitsTruthy(v);
+}
+
+Status RunCompiledOps(const std::vector<CompiledOp>& ops,
+                      const CompiledEnv& env);
+
+Status RunCompiledOp(const CompiledOp& op, const CompiledEnv& env) {
+  PacketContext& ctx = *env.ctx;
+  ctx.ChargeCycles(1);
+  switch (op.kind) {
+    case ActionOp::Kind::kNoop:
+      return OkStatus();
+    case ActionOp::Kind::kAssign: {
+      IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(*op.value, env));
+      return WriteCompiledField(op.dest, ctx, v);
+    }
+    case ActionOp::Kind::kAssignRaw: {
+      IPSA_ASSIGN_OR_RETURN(mem::BitString off, EvalCompiled(*op.offset, env));
+      IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(*op.value, env));
+      return ctx.WriteRaw(op.instance, static_cast<uint32_t>(off.ToUint64()),
+                          op.raw_width, v);
+    }
+    case ActionOp::Kind::kPushHeader: {
+      uint32_t size = op.push_fixed_size;
+      if (op.push_size != nullptr) {
+        IPSA_ASSIGN_OR_RETURN(mem::BitString s, EvalCompiled(*op.push_size, env));
+        size = static_cast<uint32_t>(s.ToUint64());
+      }
+      uint32_t at = 0;
+      if (!op.after_instance.empty()) {
+        const HeaderInstance* after = ctx.phv().Find(op.after_instance);
+        if (after == nullptr || !after->valid) {
+          return FailedPrecondition("push after invalid instance '" +
+                                    op.after_instance + "'");
+        }
+        at = after->byte_offset + after->size_bytes;
+      }
+      IPSA_RETURN_IF_ERROR(ctx.packet().InsertBytes(at, size));
+      ctx.phv().ShiftOffsets(at, static_cast<int32_t>(size));
+      ctx.phv().Add(HeaderInstance{.type_name = op.instance,
+                                   .name = op.instance,
+                                   .byte_offset = at,
+                                   .size_bytes = size,
+                                   .valid = true});
+      return OkStatus();
+    }
+    case ActionOp::Kind::kPopHeader: {
+      const HeaderInstance* h = ctx.phv().Find(op.instance);
+      if (h == nullptr || !h->valid) {
+        return FailedPrecondition("pop of invalid instance '" + op.instance +
+                                  "'");
+      }
+      uint32_t at = h->byte_offset;
+      uint32_t size = h->size_bytes;
+      IPSA_RETURN_IF_ERROR(ctx.packet().RemoveBytes(at, size));
+      IPSA_RETURN_IF_ERROR(ctx.phv().RemoveInstance(op.instance));
+      ctx.phv().ShiftOffsets(at + 1, -static_cast<int32_t>(size));
+      return OkStatus();
+    }
+    case ActionOp::Kind::kDrop:
+      ctx.metadata().SlotWriteUint(op.dest.meta_slot, 1);
+      return OkStatus();
+    case ActionOp::Kind::kMark:
+      ctx.metadata().SlotWriteUint(op.dest.meta_slot, 1);
+      return OkStatus();
+    case ActionOp::Kind::kForward: {
+      IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(*op.value, env));
+      ctx.metadata().SlotWriteUint(op.dest.meta_slot, v.ToUint64());
+      return OkStatus();
+    }
+    case ActionOp::Kind::kRegWrite: {
+      if (env.regs == nullptr) {
+        return FailedPrecondition("no register file for RegWrite");
+      }
+      IPSA_ASSIGN_OR_RETURN(mem::BitString idx, EvalCompiled(*op.index, env));
+      IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(*op.value, env));
+      return env.regs->Write(op.reg, static_cast<size_t>(idx.ToUint64()),
+                             v.ToUint64());
+    }
+    case ActionOp::Kind::kIf: {
+      IPSA_ASSIGN_OR_RETURN(bool taken, EvalCompiledBool(*op.cond, env));
+      return RunCompiledOps(taken ? op.then_ops : op.else_ops, env);
+    }
+    case ActionOp::Kind::kUpdateChecksum: {
+      const HeaderInstance* h = ctx.phv().Find(op.instance);
+      if (h == nullptr || !h->valid) {
+        return FailedPrecondition("update_checksum on invalid instance '" +
+                                  op.instance + "'");
+      }
+      IPSA_RETURN_IF_ERROR(
+          WriteCompiledField(op.dest, ctx, mem::BitString(16, 0)));
+      uint16_t sum = net::InternetChecksum(
+          ctx.packet().bytes().subspan(h->byte_offset, h->size_bytes));
+      return WriteCompiledField(op.dest, ctx, mem::BitString(16, sum));
+    }
+  }
+  return InternalError("bad action op kind");
+}
+
+Status RunCompiledOps(const std::vector<CompiledOp>& ops,
+                      const CompiledEnv& env) {
+  for (const CompiledOp& op : ops) {
+    IPSA_RETURN_IF_ERROR(RunCompiledOp(op, env));
+  }
+  return OkStatus();
+}
+
+// Extracts the rule's lookup key into `key` (pre-sized to key_width_bits),
+// fields concatenated low-bits-first exactly like TableCatalog::BuildKey.
+Status BuildCompiledKey(const CompiledRule& rule, PacketContext& ctx,
+                        mem::BitString& key) {
+  size_t at = 0;
+  for (const CompiledField& f : rule.key) {
+    size_t w = f.width_bits;
+    if (f.is_meta) {
+      const mem::BitString& v = ctx.metadata().SlotRead(f.meta_slot);
+      for (size_t i = 0; i < w; i += 64) {
+        size_t c = std::min<size_t>(64, w - i);
+        key.SetBits(at + i, c, v.GetBits(i, c));
+      }
+    } else {
+      IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h,
+                            FindValid(ctx, f.instance));
+      size_t base = static_cast<size_t>(h->byte_offset) * 8 + f.offset_bits;
+      // Wire bits land MSB-first within the field's value, so chunk i of the
+      // wire maps to value (= key) bits [w-i-c, w-i).
+      for (size_t i = 0; i < w; i += 64) {
+        size_t c = std::min<size_t>(64, w - i);
+        key.SetBits(at + w - i - c, c,
+                    ReadWire64(ctx.packet().bytes(), base + i, c));
+      }
+    }
+    at += w;
+  }
+  return OkStatus();
+}
+
+// Register scan over an uncompiled expression tree.
+bool ExprUsesRegisters(const Expr& e) {
+  if (e.kind() == Expr::Kind::kRegister) return true;
+  if (e.lhs() != nullptr && ExprUsesRegisters(*e.lhs())) return true;
+  if (e.rhs() != nullptr && ExprUsesRegisters(*e.rhs())) return true;
+  return false;
+}
+
+bool OpsUseRegisters(const std::vector<ActionOp>& ops) {
+  for (const ActionOp& op : ops) {
+    if (op.kind == ActionOp::Kind::kRegWrite) return true;
+    for (const ExprPtr& e :
+         {op.value, op.raw_offset, op.push_size_bytes, op.index, op.cond}) {
+      if (e != nullptr && ExprUsesRegisters(*e)) return true;
+    }
+    if (OpsUseRegisters(op.then_ops) || OpsUseRegisters(op.else_ops)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<CompiledStage> CompileStage(const StageProgram& stage,
+                                   const TableCatalog& catalog,
+                                   const ActionStore& actions,
+                                   const HeaderRegistry& registry,
+                                   const Metadata& metadata_proto) {
+  Compiler c{&catalog, &actions, &registry, &metadata_proto};
+  CompiledStage out;
+  out.source = &stage;
+
+  for (const MatchRule& rule : stage.matcher) {
+    CompiledRule cr;
+    if (rule.guard != nullptr) {
+      IPSA_ASSIGN_OR_RETURN(cr.guard, c.Compile(*rule.guard, nullptr));
+    }
+    if (!rule.table.empty()) {
+      cr.has_table = true;
+      IPSA_ASSIGN_OR_RETURN(cr.table, catalog.Get(rule.table));
+      IPSA_ASSIGN_OR_RETURN(const TableBinding* binding,
+                            catalog.GetBinding(rule.table));
+      cr.key.reserve(binding->key_fields.size());
+      for (const FieldRef& ref : binding->key_fields) {
+        IPSA_ASSIGN_OR_RETURN(CompiledField f, c.Field(ref));
+        cr.key.push_back(std::move(f));
+        cr.key_width_bits += cr.key.back().width_bits;
+      }
+    }
+    out.rules.push_back(std::move(cr));
+  }
+
+  for (const auto& [tag, name] : stage.executor) {
+    IPSA_ASSIGN_OR_RETURN(CompiledAction a, c.Action(name));
+    out.branch_tags.push_back(tag);  // std::map iterates tags ascending
+    out.branch_actions.push_back(std::move(a));
+  }
+  IPSA_ASSIGN_OR_RETURN(out.miss, c.Action(stage.miss_action));
+
+  out.uses_registers = c.uses_registers;
+  return out;
+}
+
+Result<StageRunStats> RunCompiledStage(const CompiledStage& stage,
+                                       PacketContext& ctx, RegisterFile* regs,
+                                       bool jit_parse, bool fill_names) {
+  StageRunStats stats;
+  const StageProgram& src = *stage.source;
+
+  // 1. Parser sub-module (same engine as the interpreter).
+  if (jit_parse && !src.parse_set.empty()) {
+    IPSA_ASSIGN_OR_RETURN(ParseStats ps,
+                          ParseEngine::ParseUntil(ctx, src.parse_set));
+    stats.parse_cycles = ps.cycles;
+    stats.parse_bytes = ps.bytes_parsed;
+  }
+
+  // 2. Matcher sub-module.
+  CompiledEnv env{&ctx, nullptr, regs};
+  const CompiledRule* chosen = nullptr;
+  for (const CompiledRule& rule : stage.rules) {
+    ctx.ChargeCycles(1);
+    ++stats.match_cycles;
+    if (rule.guard != nullptr) {
+      IPSA_ASSIGN_OR_RETURN(bool taken, EvalCompiledBool(*rule.guard, env));
+      if (!taken) continue;
+    }
+    if (!rule.has_table) break;  // explicit "else: no table" branch
+    chosen = &rule;
+    break;
+  }
+
+  uint32_t tag = 0;
+  mem::BitString action_data;
+  bool run_executor = false;
+  if (chosen != nullptr) {
+    mem::BitString key(chosen->key_width_bits);
+    IPSA_RETURN_IF_ERROR(BuildCompiledKey(*chosen, ctx, key));
+    table::LookupResult result = chosen->table->Lookup(key);
+    chosen->table->CountLookup(result.hit);
+    ctx.ChargeCycles(result.access_cycles);
+    stats.match_cycles += result.access_cycles;
+    stats.access_cycles = result.access_cycles;
+    stats.table_applied = true;
+    if (fill_names) stats.applied_table = chosen->table->spec().name;
+    stats.hit = result.hit;
+    tag = result.action_id;
+    action_data = std::move(result.action_data);
+    run_executor = true;
+  }
+
+  // 3. Executor sub-module.
+  const CompiledAction* action = &stage.miss;
+  if (run_executor) {
+    auto it = std::lower_bound(stage.branch_tags.begin(),
+                               stage.branch_tags.end(), tag);
+    if (it != stage.branch_tags.end() && *it == tag) {
+      action = &stage.branch_actions[static_cast<size_t>(
+          it - stage.branch_tags.begin())];
+    }
+  }
+  env.args = &action_data;
+  uint64_t before = ctx.cycles();
+  IPSA_RETURN_IF_ERROR(RunCompiledOps(action->body, env));
+  stats.action_cycles = ctx.cycles() - before;
+  if (fill_names) stats.executed_action = action->def->name;
+  return stats;
+}
+
+bool StageMayUseRegisters(const StageProgram& stage,
+                          const ActionStore& actions) {
+  for (const MatchRule& rule : stage.matcher) {
+    if (rule.guard != nullptr && ExprUsesRegisters(*rule.guard)) return true;
+  }
+  auto action_uses = [&actions](const std::string& name) {
+    auto def = actions.Get(name);
+    if (!def.ok()) return true;  // unknown action: be conservative
+    return OpsUseRegisters((*def)->body);
+  };
+  for (const auto& [tag, name] : stage.executor) {
+    if (action_uses(name)) return true;
+  }
+  return action_uses(stage.miss_action);
+}
+
+}  // namespace ipsa::arch

@@ -1,0 +1,134 @@
+// Compiled fast path for StagePrograms.
+//
+// A StageProgram is pure data: every table, action, header field and
+// metadata field is referenced by name, and the interpreter (RunStage)
+// resolves those names per packet. CompileStage resolves them ONCE — at
+// template-write / design-load time, mirroring how a real TSP's template
+// download binds table pointers and action primitives into hardware — so the
+// per-packet path does no string hashing and no map lookups:
+//
+//   * table names        -> table::MatchTable* + a key-extraction plan
+//   * action names       -> const ActionDef* + a compiled op list
+//   * metadata fields    -> interned slot indices (Metadata::SlotOf)
+//   * header fields      -> (instance, bit offset, width) triples
+//   * action parameters  -> bit ranges within the entry's action_data
+//
+// RunCompiledStage charges exactly the cycles RunStage charges and produces
+// bit-identical results; the fastpath regression tests assert this.
+//
+// Compiled state dangles when the device mutates (a table destroyed, an
+// action replaced, a header relinked): the owning switch tracks a config
+// epoch, bumps it on every CCM mutation, and lazily recompiles before the
+// next packet. CompileStage fails cleanly when a reference cannot be
+// resolved; the caller then falls back to the interpreter for that stage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/catalog.h"
+#include "arch/stage.h"
+#include "table/table.h"
+
+namespace ipsa::arch {
+
+// A FieldRef resolved to its physical location. Header instances are still
+// found by name in the PHV (a linear scan over the few parsed headers — the
+// instance's byte offset is per-packet state), but the field's bit range
+// within the header is fixed here.
+struct CompiledField {
+  bool is_meta = false;
+  int meta_slot = -1;       // metadata slot (is_meta)
+  std::string instance;     // header instance name (!is_meta)
+  uint32_t offset_bits = 0; // bit offset within the header (!is_meta)
+  uint32_t width_bits = 0;
+};
+
+struct CompiledExpr;
+using CompiledExprPtr = std::unique_ptr<CompiledExpr>;
+
+// An Expr with every name reference resolved. Same node kinds and operator
+// semantics as Expr (the operator kernels are shared, see expr.h).
+struct CompiledExpr {
+  Expr::Kind kind = Expr::Kind::kConst;
+  Expr::Op op = Expr::Op::kNone;
+  mem::BitString constant;    // kConst
+  CompiledField field;        // kField
+  std::string name;           // kRaw / kIsValid instance, kRegister array
+  uint32_t raw_width = 0;     // kRaw
+  uint32_t param_offset = 0;  // kParam: bit range within action_data
+  uint32_t param_width = 0;
+  CompiledExprPtr lhs;        // kRaw offset / kRegister index / operands
+  CompiledExprPtr rhs;
+};
+
+// An ActionOp with destinations and operands resolved.
+struct CompiledOp {
+  ActionOp::Kind kind = ActionOp::Kind::kNoop;
+  CompiledField dest;            // kAssign / kDrop / kMark / kForward /
+                                 // kUpdateChecksum (the written field)
+  std::string instance;          // kAssignRaw/kPush/kPop/kUpdateChecksum
+  std::string after_instance;    // kPushHeader
+  std::string reg;               // kRegWrite
+  uint32_t raw_width = 0;        // kAssignRaw
+  uint32_t push_fixed_size = 0;  // kPushHeader: the type's fixed byte size
+  CompiledExprPtr value;         // kAssign/kAssignRaw/kForward/kRegWrite
+  CompiledExprPtr offset;        // kAssignRaw
+  CompiledExprPtr index;         // kRegWrite
+  CompiledExprPtr cond;          // kIf
+  CompiledExprPtr push_size;     // kPushHeader size override
+  std::vector<CompiledOp> then_ops;
+  std::vector<CompiledOp> else_ops;
+};
+
+struct CompiledAction {
+  const ActionDef* def = nullptr;  // stats/trace names
+  std::vector<CompiledOp> body;
+};
+
+struct CompiledRule {
+  CompiledExprPtr guard;           // null = unconditional
+  bool has_table = false;          // false = explicit "no table" branch
+  table::MatchTable* table = nullptr;
+  std::vector<CompiledField> key;  // key extraction plan, low-bits-first
+  uint32_t key_width_bits = 0;
+};
+
+struct CompiledStage {
+  const StageProgram* source = nullptr;  // parse_set + trace names
+  std::vector<CompiledRule> rules;
+  std::vector<uint32_t> branch_tags;           // sorted ascending
+  std::vector<CompiledAction> branch_actions;  // parallel to branch_tags
+  CompiledAction miss;
+  // True when any guard or reachable action body touches the register file;
+  // the parallel executor serialises such pipelines to stay deterministic.
+  bool uses_registers = false;
+};
+
+// Resolves `stage` against the device stores. `stage` must outlive the
+// result (the compiled stage keeps pointers into it). Fails when any
+// referenced table/action/header/metadata field cannot be resolved; the
+// caller should then fall back to RunStage for this stage.
+Result<CompiledStage> CompileStage(const StageProgram& stage,
+                                   const TableCatalog& catalog,
+                                   const ActionStore& actions,
+                                   const HeaderRegistry& registry,
+                                   const Metadata& metadata_proto);
+
+// Executes a compiled stage. Semantics and cycle accounting are identical
+// to RunStage on the source program. `fill_names` controls whether the
+// stats' applied_table / executed_action strings are populated (they
+// allocate; pass true only when tracing).
+Result<StageRunStats> RunCompiledStage(const CompiledStage& stage,
+                                       PacketContext& ctx, RegisterFile* regs,
+                                       bool jit_parse, bool fill_names);
+
+// Conservative register-usage scan of an uncompiled program (used when
+// compilation fails and the interpreter fallback must still be classified
+// for the parallel executor). Actions missing from the store count as using
+// registers.
+bool StageMayUseRegisters(const StageProgram& stage, const ActionStore& actions);
+
+}  // namespace ipsa::arch

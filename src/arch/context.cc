@@ -1,5 +1,7 @@
 #include "arch/context.h"
 
+#include <algorithm>
+
 namespace ipsa::arch {
 
 Status RegisterFile::Create(const std::string& name, size_t size) {
@@ -20,7 +22,7 @@ Status RegisterFile::Destroy(const std::string& name) {
 
 Result<uint64_t> RegisterFile::Read(std::string_view name,
                                     size_t index) const {
-  auto it = arrays_.find(std::string(name));
+  auto it = arrays_.find(name);
   if (it == arrays_.end()) {
     return NotFound("register array '" + std::string(name) + "'");
   }
@@ -32,7 +34,7 @@ Result<uint64_t> RegisterFile::Read(std::string_view name,
 
 Status RegisterFile::Write(std::string_view name, size_t index,
                            uint64_t value) {
-  auto it = arrays_.find(std::string(name));
+  auto it = arrays_.find(name);
   if (it == arrays_.end()) {
     return NotFound("register array '" + std::string(name) + "'");
   }
@@ -43,30 +45,64 @@ Status RegisterFile::Write(std::string_view name, size_t index,
   return OkStatus();
 }
 
+uint64_t ReadWire64(std::span<const uint8_t> bytes, size_t bit_offset,
+                    size_t width) {
+  if (width == 0) return 0;
+  // Load the covered bytes (at most 9 for width <= 64) big-endian, then
+  // shift the field's trailing bits away. The first wire bit ends up as the
+  // value's MSB, matching the MSB-first field convention.
+  size_t first = bit_offset / 8;
+  size_t last = (bit_offset + width - 1) / 8;
+  unsigned __int128 acc = 0;
+  for (size_t b = first; b <= last; ++b) {
+    acc = (acc << 8) | bytes[b];
+  }
+  size_t tail = (last + 1) * 8 - (bit_offset + width);
+  uint64_t v = static_cast<uint64_t>(acc >> tail);
+  return width >= 64 ? v : v & ((uint64_t{1} << width) - 1);
+}
+
+void WriteWire64(std::span<uint8_t> bytes, size_t bit_offset, size_t width,
+                 uint64_t value) {
+  if (width == 0) return;
+  size_t first = bit_offset / 8;
+  size_t last = (bit_offset + width - 1) / 8;
+  size_t tail = (last + 1) * 8 - (bit_offset + width);
+  unsigned __int128 mask = width >= 64
+                               ? (unsigned __int128){~uint64_t{0}}
+                               : (unsigned __int128){(uint64_t{1} << width) - 1};
+  unsigned __int128 acc = 0;
+  for (size_t b = first; b <= last; ++b) {
+    acc = (acc << 8) | bytes[b];
+  }
+  acc = (acc & ~(mask << tail)) |
+        (((unsigned __int128){value} & mask) << tail);
+  for (size_t b = last + 1; b > first; --b) {
+    bytes[b - 1] = static_cast<uint8_t>(acc & 0xFF);
+    acc >>= 8;
+  }
+}
+
 mem::BitString ReadWireBits(std::span<const uint8_t> bytes, size_t bit_offset,
                             size_t width) {
   mem::BitString out(width);
   // Wire bit i (MSB-first within the field) maps to value bit width-1-i.
-  for (size_t i = 0; i < width; ++i) {
-    size_t abs = bit_offset + i;
-    bool bit = (bytes[abs / 8] >> (7 - abs % 8)) & 1;
-    out.SetBit(width - 1 - i, bit);
+  // Chunked 64-bit reads: wire bits [i, i+c) land at value bits
+  // [width-i-c, width-i), earliest wire bit most significant.
+  for (size_t i = 0; i < width; i += 64) {
+    size_t c = std::min<size_t>(64, width - i);
+    out.SetBits(width - i - c, c, ReadWire64(bytes, bit_offset + i, c));
   }
   return out;
 }
 
 void WriteWireBits(std::span<uint8_t> bytes, size_t bit_offset, size_t width,
                    const mem::BitString& value) {
-  for (size_t i = 0; i < width; ++i) {
-    size_t abs = bit_offset + i;
-    bool bit = width - 1 - i < value.bit_width() &&
-               value.GetBit(width - 1 - i);
-    uint8_t mask = static_cast<uint8_t>(1u << (7 - abs % 8));
-    if (bit) {
-      bytes[abs / 8] |= mask;
-    } else {
-      bytes[abs / 8] &= static_cast<uint8_t>(~mask);
-    }
+  // Value bits beyond value.bit_width() write as zero (GetBits reads them
+  // as zero), matching the bit-by-bit semantics.
+  for (size_t i = 0; i < width; i += 64) {
+    size_t c = std::min<size_t>(64, width - i);
+    WriteWire64(bytes, bit_offset + i, c, value.GetBits(width - i - c, c));
   }
 }
 
@@ -87,10 +123,11 @@ Result<mem::BitString> PacketContext::ReadField(const FieldRef& ref) const {
   IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, ValidInstance(ref.instance));
   IPSA_ASSIGN_OR_RETURN(const HeaderTypeDef* type,
                         registry_->Get(h->type_name));
-  IPSA_ASSIGN_OR_RETURN(uint32_t off, type->FieldOffsetBits(ref.field));
-  IPSA_ASSIGN_OR_RETURN(uint32_t width, type->FieldWidthBits(ref.field));
+  IPSA_ASSIGN_OR_RETURN(HeaderTypeDef::FieldSpan span,
+                        type->FieldSpanOf(ref.field));
   return ReadWireBits(packet_->bytes(),
-                      static_cast<size_t>(h->byte_offset) * 8 + off, width);
+                      static_cast<size_t>(h->byte_offset) * 8 + span.offset_bits,
+                      span.width_bits);
 }
 
 Status PacketContext::WriteField(const FieldRef& ref,
@@ -101,10 +138,11 @@ Status PacketContext::WriteField(const FieldRef& ref,
   IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, ValidInstance(ref.instance));
   IPSA_ASSIGN_OR_RETURN(const HeaderTypeDef* type,
                         registry_->Get(h->type_name));
-  IPSA_ASSIGN_OR_RETURN(uint32_t off, type->FieldOffsetBits(ref.field));
-  IPSA_ASSIGN_OR_RETURN(uint32_t width, type->FieldWidthBits(ref.field));
+  IPSA_ASSIGN_OR_RETURN(HeaderTypeDef::FieldSpan span,
+                        type->FieldSpanOf(ref.field));
   WriteWireBits(packet_->bytes(),
-                static_cast<size_t>(h->byte_offset) * 8 + off, width, value);
+                static_cast<size_t>(h->byte_offset) * 8 + span.offset_bits,
+                span.width_bits, value);
   return OkStatus();
 }
 

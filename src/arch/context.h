@@ -4,14 +4,15 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/header_types.h"
 #include "arch/phv.h"
 #include "mem/block.h"
 #include "net/packet.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace ipsa::arch {
@@ -23,13 +24,17 @@ class RegisterFile {
   Status Create(const std::string& name, size_t size);
   Status Destroy(const std::string& name);
   bool Has(std::string_view name) const {
-    return arrays_.count(std::string(name)) > 0;
+    return arrays_.find(name) != arrays_.end();
   }
   Result<uint64_t> Read(std::string_view name, size_t index) const;
   Status Write(std::string_view name, size_t index, uint64_t value);
 
  private:
-  std::map<std::string, std::vector<uint64_t>> arrays_;
+  // Transparent hashing: hot-path Read/Write probe with the string_view
+  // register name, no per-access std::string allocation.
+  std::unordered_map<std::string, std::vector<uint64_t>, util::StringHash,
+                     std::equal_to<>>
+      arrays_;
 };
 
 // A reference to a header field or metadata field.
@@ -56,6 +61,21 @@ class PacketContext {
   PacketContext(net::Packet& packet, const HeaderRegistry& registry,
                 Metadata metadata)
       : packet_(&packet), registry_(&registry), metadata_(std::move(metadata)) {}
+
+  // Unbound scratch context: call Rebind() before use. Lets batch executors
+  // reuse one context (and its metadata/PHV buffers) across packets with no
+  // per-packet allocation.
+  PacketContext() = default;
+
+  // Points this context at a new packet and resets per-packet state (PHV,
+  // cycles). Metadata values are NOT touched — refresh them separately, e.g.
+  // metadata().CopyValuesFrom(proto).
+  void Rebind(net::Packet& packet, const HeaderRegistry& registry) {
+    packet_ = &packet;
+    registry_ = &registry;
+    phv_.Clear();
+    cycles_ = 0;
+  }
 
   net::Packet& packet() { return *packet_; }
   const net::Packet& packet() const { return *packet_; }
@@ -90,8 +110,8 @@ class PacketContext {
  private:
   Result<const HeaderInstance*> ValidInstance(std::string_view name) const;
 
-  net::Packet* packet_;
-  const HeaderRegistry* registry_;
+  net::Packet* packet_ = nullptr;
+  const HeaderRegistry* registry_ = nullptr;
   Phv phv_;
   Metadata metadata_;
   uint64_t cycles_ = 0;
@@ -102,5 +122,13 @@ mem::BitString ReadWireBits(std::span<const uint8_t> bytes, size_t bit_offset,
                             size_t width);
 void WriteWireBits(std::span<uint8_t> bytes, size_t bit_offset, size_t width,
                    const mem::BitString& value);
+
+// Fast scalar variants for ranges up to 64 bits: the earliest wire bit is the
+// most significant bit of the returned/written value. Byte-aligned fields of
+// any width <= 64 take the chunked load path with no per-bit work.
+uint64_t ReadWire64(std::span<const uint8_t> bytes, size_t bit_offset,
+                    size_t width);
+void WriteWire64(std::span<uint8_t> bytes, size_t bit_offset, size_t width,
+                 uint64_t value);
 
 }  // namespace ipsa::arch

@@ -2,14 +2,30 @@
 
 #include <algorithm>
 
+#include "arch/actions.h"
+
 namespace ipsa::arch {
 
+namespace {
+
+// Byte `i` of `v` with any padding bits above bit_width() masked away, so
+// the comparison never depends on unused storage bits.
+inline uint8_t MaskedByte(const mem::BitString& v, size_t i) {
+  if (i >= v.byte_size()) return 0;
+  uint8_t b = v.bytes()[i];
+  size_t rem = v.bit_width() - i * 8;
+  if (rem < 8) b &= static_cast<uint8_t>((1u << rem) - 1);
+  return b;
+}
+
+}  // namespace
+
 int CompareBits(const mem::BitString& a, const mem::BitString& b) {
-  size_t n = std::max(a.bit_width(), b.bit_width());
+  size_t n = std::max(a.byte_size(), b.byte_size());
   for (size_t i = n; i > 0; --i) {
-    bool ba = i - 1 < a.bit_width() && a.GetBit(i - 1);
-    bool bb = i - 1 < b.bit_width() && b.GetBit(i - 1);
-    if (ba != bb) return ba ? 1 : -1;
+    uint8_t ba = MaskedByte(a, i - 1);
+    uint8_t bb = MaskedByte(b, i - 1);
+    if (ba != bb) return ba < bb ? -1 : 1;
   }
   return 0;
 }
@@ -77,14 +93,105 @@ namespace {
 
 mem::BitString MakeBool(bool v) { return mem::BitString(1, v ? 1 : 0); }
 
-bool Truthy(const mem::BitString& v) {
+}  // namespace
+
+bool BitsTruthy(const mem::BitString& v) {
   for (uint8_t b : v.bytes()) {
     if (b != 0) return true;
   }
   return false;
 }
 
-}  // namespace
+Result<mem::BitString> EvalUnaryKernel(Expr::Op op, const mem::BitString& a) {
+  switch (op) {
+    case Expr::Op::kNot:
+      return MakeBool(!BitsTruthy(a));
+    case Expr::Op::kBitNot: {
+      mem::BitString out(a.bit_width());
+      for (size_t i = 0; i < a.bit_width(); ++i) {
+        out.SetBit(i, !a.GetBit(i));
+      }
+      return out;
+    }
+    default:
+      return InternalError("bad unary op");
+  }
+}
+
+Result<mem::BitString> EvalBinaryKernel(Expr::Op op, const mem::BitString& a,
+                                        const mem::BitString& b) {
+  switch (op) {
+    case Expr::Op::kEq:
+      return MakeBool(CompareBits(a, b) == 0);
+    case Expr::Op::kNe:
+      return MakeBool(CompareBits(a, b) != 0);
+    case Expr::Op::kLt:
+      return MakeBool(CompareBits(a, b) < 0);
+    case Expr::Op::kLe:
+      return MakeBool(CompareBits(a, b) <= 0);
+    case Expr::Op::kGt:
+      return MakeBool(CompareBits(a, b) > 0);
+    case Expr::Op::kGe:
+      return MakeBool(CompareBits(a, b) >= 0);
+    default:
+      break;
+  }
+  // Arithmetic/bitwise: modular over the low 64 bits, result as wide as
+  // the wider operand (capped at 64).
+  uint32_t width = static_cast<uint32_t>(
+      std::min<size_t>(64, std::max(a.bit_width(), b.bit_width())));
+  uint64_t va = a.ToUint64();
+  uint64_t vb = b.ToUint64();
+  uint64_t r = 0;
+  switch (op) {
+    case Expr::Op::kAdd:
+      r = va + vb;
+      break;
+    case Expr::Op::kSub:
+      r = va - vb;
+      break;
+    case Expr::Op::kMul:
+      r = va * vb;
+      break;
+    case Expr::Op::kBitAnd:
+      r = va & vb;
+      break;
+    case Expr::Op::kBitOr:
+      r = va | vb;
+      break;
+    case Expr::Op::kBitXor:
+      r = va ^ vb;
+      break;
+    case Expr::Op::kShl:
+      r = vb >= 64 ? 0 : va << vb;
+      break;
+    case Expr::Op::kShr:
+      r = vb >= 64 ? 0 : va >> vb;
+      break;
+    default:
+      return InternalError("bad binary op");
+  }
+  return mem::BitString(width, r);
+}
+
+// Slices `name`'s bits out of `args_data` per `params`' declaration-order
+// layout; zero-fills a parameter that does not fully fit (matching
+// BindActionArgs).
+static Result<mem::BitString> SliceParam(const std::vector<ActionParam>& params,
+                                         const mem::BitString& args_data,
+                                         const std::string& name) {
+  size_t offset = 0;
+  for (const ActionParam& p : params) {
+    if (p.name == name) {
+      if (offset + p.width_bits <= args_data.bit_width()) {
+        return args_data.Slice(offset, p.width_bits);
+      }
+      return mem::BitString(p.width_bits);
+    }
+    offset += p.width_bits;
+  }
+  return NotFound("action parameter '" + name + "' not bound");
+}
 
 Result<mem::BitString> Expr::Eval(const EvalEnv& env) const {
   switch (kind_) {
@@ -98,14 +205,17 @@ Result<mem::BitString> Expr::Eval(const EvalEnv& env) const {
                               width_);
     }
     case Kind::kParam: {
-      if (env.args == nullptr) {
-        return FailedPrecondition("no action arguments bound");
+      if (env.args != nullptr) {
+        auto it = env.args->find(name_);
+        if (it == env.args->end()) {
+          return NotFound("action parameter '" + name_ + "' not bound");
+        }
+        return it->second;
       }
-      auto it = env.args->find(name_);
-      if (it == env.args->end()) {
-        return NotFound("action parameter '" + name_ + "' not bound");
+      if (env.param_defs != nullptr && env.args_data != nullptr) {
+        return SliceParam(*env.param_defs, *env.args_data, name_);
       }
-      return it->second;
+      return FailedPrecondition("no action arguments bound");
     }
     case Kind::kRegister: {
       if (env.regs == nullptr) {
@@ -120,84 +230,21 @@ Result<mem::BitString> Expr::Eval(const EvalEnv& env) const {
       return MakeBool(env.ctx->phv().IsValid(name_));
     case Kind::kUnary: {
       IPSA_ASSIGN_OR_RETURN(mem::BitString a, lhs_->Eval(env));
-      switch (op_) {
-        case Op::kNot:
-          return MakeBool(!Truthy(a));
-        case Op::kBitNot: {
-          mem::BitString out(a.bit_width());
-          for (size_t i = 0; i < a.bit_width(); ++i) {
-            out.SetBit(i, !a.GetBit(i));
-          }
-          return out;
-        }
-        default:
-          return InternalError("bad unary op");
-      }
+      return EvalUnaryKernel(op_, a);
     }
     case Kind::kBinary: {
       // Short-circuit the boolean connectives.
       if (op_ == Op::kAnd || op_ == Op::kOr) {
         IPSA_ASSIGN_OR_RETURN(mem::BitString a, lhs_->Eval(env));
-        bool ta = Truthy(a);
+        bool ta = BitsTruthy(a);
         if (op_ == Op::kAnd && !ta) return MakeBool(false);
         if (op_ == Op::kOr && ta) return MakeBool(true);
         IPSA_ASSIGN_OR_RETURN(mem::BitString b, rhs_->Eval(env));
-        return MakeBool(Truthy(b));
+        return MakeBool(BitsTruthy(b));
       }
       IPSA_ASSIGN_OR_RETURN(mem::BitString a, lhs_->Eval(env));
       IPSA_ASSIGN_OR_RETURN(mem::BitString b, rhs_->Eval(env));
-      switch (op_) {
-        case Op::kEq:
-          return MakeBool(CompareBits(a, b) == 0);
-        case Op::kNe:
-          return MakeBool(CompareBits(a, b) != 0);
-        case Op::kLt:
-          return MakeBool(CompareBits(a, b) < 0);
-        case Op::kLe:
-          return MakeBool(CompareBits(a, b) <= 0);
-        case Op::kGt:
-          return MakeBool(CompareBits(a, b) > 0);
-        case Op::kGe:
-          return MakeBool(CompareBits(a, b) >= 0);
-        default:
-          break;
-      }
-      // Arithmetic/bitwise: modular over the low 64 bits, result as wide as
-      // the wider operand (capped at 64).
-      uint32_t width = static_cast<uint32_t>(
-          std::min<size_t>(64, std::max(a.bit_width(), b.bit_width())));
-      uint64_t va = a.ToUint64();
-      uint64_t vb = b.ToUint64();
-      uint64_t r = 0;
-      switch (op_) {
-        case Op::kAdd:
-          r = va + vb;
-          break;
-        case Op::kSub:
-          r = va - vb;
-          break;
-        case Op::kMul:
-          r = va * vb;
-          break;
-        case Op::kBitAnd:
-          r = va & vb;
-          break;
-        case Op::kBitOr:
-          r = va | vb;
-          break;
-        case Op::kBitXor:
-          r = va ^ vb;
-          break;
-        case Op::kShl:
-          r = vb >= 64 ? 0 : va << vb;
-          break;
-        case Op::kShr:
-          r = vb >= 64 ? 0 : va >> vb;
-          break;
-        default:
-          return InternalError("bad binary op");
-      }
-      return mem::BitString(width, r);
+      return EvalBinaryKernel(op_, a, b);
     }
   }
   return InternalError("bad expression kind");
@@ -205,7 +252,7 @@ Result<mem::BitString> Expr::Eval(const EvalEnv& env) const {
 
 Result<bool> Expr::EvalBool(const EvalEnv& env) const {
   IPSA_ASSIGN_OR_RETURN(mem::BitString v, Eval(env));
-  return Truthy(v);
+  return BitsTruthy(v);
 }
 
 void Expr::CollectHeaderDeps(std::vector<std::string>& out) const {

@@ -20,15 +20,26 @@ namespace ipsa::arch {
 class Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
+struct ActionParam;
+
 // Evaluation environment: the packet, bound action parameters, registers.
+// Parameters bind one of two ways: `args` (a prebuilt name->value map), or
+// the zero-copy pair `param_defs` + `args_data` — the declaration-order
+// layout over the raw entry action_data, sliced on demand with no per-packet
+// map construction. When both are null, parameter references fail.
 struct EvalEnv {
   PacketContext* ctx = nullptr;
   const std::map<std::string, mem::BitString>* args = nullptr;
   RegisterFile* regs = nullptr;
+  const std::vector<ActionParam>* param_defs = nullptr;
+  const mem::BitString* args_data = nullptr;
 };
 
 // Numeric comparison of two BitStrings (unsigned, any widths): -1, 0, 1.
 int CompareBits(const mem::BitString& a, const mem::BitString& b);
+
+// True if any bit is set.
+bool BitsTruthy(const mem::BitString& v);
 
 class Expr {
  public:
@@ -111,5 +122,12 @@ class Expr {
 };
 
 std::string_view OpName(Expr::Op op);
+
+// Operator kernels shared by the interpreter (Expr::Eval) and the compiled
+// stage, so the two paths cannot drift semantically. kAnd/kOr are NOT
+// handled here — they short-circuit, which needs lazy operand evaluation.
+Result<mem::BitString> EvalUnaryKernel(Expr::Op op, const mem::BitString& a);
+Result<mem::BitString> EvalBinaryKernel(Expr::Op op, const mem::BitString& a,
+                                        const mem::BitString& b);
 
 }  // namespace ipsa::arch

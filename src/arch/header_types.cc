@@ -1,19 +1,23 @@
 #include "arch/header_types.h"
 
+#include <algorithm>
+
 namespace ipsa::arch {
 
 Result<uint32_t> HeaderTypeDef::FieldOffsetBits(std::string_view field) const {
-  auto it = offsets_.find(std::string(field));
-  if (it == offsets_.end()) {
-    return NotFound("header '" + name_ + "' has no field '" +
-                    std::string(field) + "'");
-  }
-  return it->second;
+  IPSA_ASSIGN_OR_RETURN(FieldSpan span, FieldSpanOf(field));
+  return span.offset_bits;
 }
 
 Result<uint32_t> HeaderTypeDef::FieldWidthBits(std::string_view field) const {
-  auto it = widths_.find(std::string(field));
-  if (it == widths_.end()) {
+  IPSA_ASSIGN_OR_RETURN(FieldSpan span, FieldSpanOf(field));
+  return span.width_bits;
+}
+
+Result<HeaderTypeDef::FieldSpan> HeaderTypeDef::FieldSpanOf(
+    std::string_view field) const {
+  auto it = spans_.find(field);
+  if (it == spans_.end()) {
     return NotFound("header '" + name_ + "' has no field '" +
                     std::string(field) + "'");
   }
@@ -40,18 +44,22 @@ Status HeaderRegistry::Add(HeaderTypeDef def) {
   if (!inserted) {
     return AlreadyExists("header type already registered");
   }
+  ++version_;
   return OkStatus();
 }
 
 Status HeaderRegistry::Remove(std::string_view name) {
-  if (types_.erase(std::string(name)) == 0) {
+  auto it = types_.find(name);
+  if (it == types_.end()) {
     return NotFound("header type '" + std::string(name) + "' not registered");
   }
+  types_.erase(it);
+  ++version_;
   return OkStatus();
 }
 
 Result<const HeaderTypeDef*> HeaderRegistry::Get(std::string_view name) const {
-  auto it = types_.find(std::string(name));
+  auto it = types_.find(name);
   if (it == types_.end()) {
     return NotFound("header type '" + std::string(name) + "' not registered");
   }
@@ -59,7 +67,7 @@ Result<const HeaderTypeDef*> HeaderRegistry::Get(std::string_view name) const {
 }
 
 Result<HeaderTypeDef*> HeaderRegistry::GetMutable(std::string_view name) {
-  auto it = types_.find(std::string(name));
+  auto it = types_.find(name);
   if (it == types_.end()) {
     return NotFound("header type '" + std::string(name) + "' not registered");
   }
@@ -73,18 +81,22 @@ Status HeaderRegistry::LinkHeader(std::string_view pre, std::string_view next,
   }
   IPSA_ASSIGN_OR_RETURN(HeaderTypeDef * def, GetMutable(pre));
   def->SetLink(tag, std::string(next));
+  ++version_;
   return OkStatus();
 }
 
 Status HeaderRegistry::UnlinkHeader(std::string_view pre, uint64_t tag) {
   IPSA_ASSIGN_OR_RETURN(HeaderTypeDef * def, GetMutable(pre));
-  return def->RemoveLink(tag);
+  IPSA_RETURN_IF_ERROR(def->RemoveLink(tag));
+  ++version_;
+  return OkStatus();
 }
 
 std::vector<std::string> HeaderRegistry::TypeNames() const {
   std::vector<std::string> out;
   out.reserve(types_.size());
   for (const auto& [name, def] : types_) out.push_back(name);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -14,8 +14,10 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace ipsa::arch {
@@ -35,13 +37,18 @@ struct VarSizeRule {
 
 class HeaderTypeDef {
  public:
+  // Bit range of one field within the header, MSB-first.
+  struct FieldSpan {
+    uint32_t offset_bits = 0;
+    uint32_t width_bits = 0;
+  };
+
   HeaderTypeDef() = default;
   HeaderTypeDef(std::string name, std::vector<FieldDef> fields)
       : name_(std::move(name)), fields_(std::move(fields)) {
     uint32_t off = 0;
     for (const FieldDef& f : fields_) {
-      offsets_[f.name] = off;
-      widths_[f.name] = f.width_bits;
+      spans_[f.name] = FieldSpan{off, f.width_bits};
       off += f.width_bits;
     }
     total_bits_ = off;
@@ -53,11 +60,13 @@ class HeaderTypeDef {
   uint32_t fixed_size_bytes() const { return (total_bits_ + 7) / 8; }
 
   bool HasField(std::string_view field) const {
-    return offsets_.count(std::string(field)) > 0;
+    return spans_.find(field) != spans_.end();
   }
   // Bit offset of `field` from the start of the header, MSB-first.
   Result<uint32_t> FieldOffsetBits(std::string_view field) const;
   Result<uint32_t> FieldWidthBits(std::string_view field) const;
+  // Offset + width in one probe (the per-packet field-access path).
+  Result<FieldSpan> FieldSpanOf(std::string_view field) const;
 
   // Parser linkage.
   void SetSelectorField(std::string field) { selector_field_ = std::move(field); }
@@ -78,8 +87,9 @@ class HeaderTypeDef {
  private:
   std::string name_;
   std::vector<FieldDef> fields_;
-  std::map<std::string, uint32_t> offsets_;
-  std::map<std::string, uint32_t> widths_;
+  std::unordered_map<std::string, FieldSpan, util::StringHash,
+                     std::equal_to<>>
+      spans_;
   uint32_t total_bits_ = 0;
   std::optional<std::string> selector_field_;
   std::map<uint64_t, std::string> links_;
@@ -92,7 +102,7 @@ class HeaderRegistry {
   Status Add(HeaderTypeDef def);
   Status Remove(std::string_view name);
   bool Has(std::string_view name) const {
-    return types_.count(std::string(name)) > 0;
+    return types_.find(name) != types_.end();
   }
   Result<const HeaderTypeDef*> Get(std::string_view name) const;
   Result<HeaderTypeDef*> GetMutable(std::string_view name);
@@ -104,7 +114,12 @@ class HeaderRegistry {
   Status LinkHeader(std::string_view pre, std::string_view next, uint64_t tag);
   Status UnlinkHeader(std::string_view pre, uint64_t tag);
 
+  // Sorted, for deterministic enumeration (serde golden output).
   std::vector<std::string> TypeNames() const;
+
+  // Bumped on any type/linkage mutation; compiled fast paths holding
+  // HeaderTypeDef-derived offsets revalidate against this.
+  uint64_t version() const { return version_; }
 
   // Installs Ethernet/VLAN/IPv4/IPv6/TCP/UDP with their standard linkage;
   // the base L2/L3 design and tests start from this. SRH is intentionally
@@ -115,8 +130,11 @@ class HeaderRegistry {
   static HeaderTypeDef SrhType();
 
  private:
-  std::map<std::string, HeaderTypeDef> types_;
+  std::unordered_map<std::string, HeaderTypeDef, util::StringHash,
+                     std::equal_to<>>
+      types_;
   std::string entry_type_ = "ethernet";
+  uint64_t version_ = 0;
 };
 
 }  // namespace ipsa::arch

@@ -1,5 +1,7 @@
 #include "arch/phv.h"
 
+#include <algorithm>
+
 namespace ipsa::arch {
 
 const HeaderInstance* Phv::Find(std::string_view name) const {
@@ -36,60 +38,73 @@ Status Phv::RemoveInstance(std::string_view name) {
 }
 
 Status Metadata::Declare(const std::string& name, uint32_t width_bits) {
-  auto it = fields_.find(name);
-  if (it != fields_.end()) {
-    if (it->second.bit_width() != width_bits) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    if (values_[static_cast<size_t>(it->second)].bit_width() != width_bits) {
       return AlreadyExists("metadata field '" + name +
                            "' redeclared with different width");
     }
     return OkStatus();
   }
-  fields_.emplace(name, mem::BitString(width_bits));
+  int slot = static_cast<int>(values_.size());
+  values_.emplace_back(width_bits);
+  names_.push_back(name);
+  index_.emplace(name, slot);
   return OkStatus();
 }
 
 uint32_t Metadata::WidthOf(std::string_view name) const {
-  auto it = fields_.find(std::string(name));
-  return it == fields_.end() ? 0
-                             : static_cast<uint32_t>(it->second.bit_width());
+  int slot = SlotOf(name);
+  return slot == kInvalidSlot
+             ? 0
+             : static_cast<uint32_t>(
+                   values_[static_cast<size_t>(slot)].bit_width());
 }
 
 Result<mem::BitString> Metadata::Read(std::string_view name) const {
-  auto it = fields_.find(std::string(name));
-  if (it == fields_.end()) {
+  int slot = SlotOf(name);
+  if (slot == kInvalidSlot) {
     return NotFound("metadata field '" + std::string(name) + "' not declared");
   }
-  return it->second;
+  return values_[static_cast<size_t>(slot)];
 }
 
 Status Metadata::Write(std::string_view name, const mem::BitString& value) {
-  auto it = fields_.find(std::string(name));
-  if (it == fields_.end()) {
+  int slot = SlotOf(name);
+  if (slot == kInvalidSlot) {
     return NotFound("metadata field '" + std::string(name) + "' not declared");
   }
-  it->second = mem::BitString::FromBytes(value.bytes(), it->second.bit_width());
+  SlotWrite(slot, value);
   return OkStatus();
 }
 
 uint64_t Metadata::ReadUint(std::string_view name) const {
-  auto it = fields_.find(std::string(name));
-  return it == fields_.end() ? 0 : it->second.ToUint64();
+  int slot = SlotOf(name);
+  return slot == kInvalidSlot ? 0 : SlotReadUint(slot);
 }
 
 Status Metadata::WriteUint(std::string_view name, uint64_t value) {
-  auto it = fields_.find(std::string(name));
-  if (it == fields_.end()) {
+  int slot = SlotOf(name);
+  if (slot == kInvalidSlot) {
     return NotFound("metadata field '" + std::string(name) + "' not declared");
   }
-  mem::BitString v(it->second.bit_width());
-  v.SetBits(0, std::min<size_t>(64, v.bit_width()), value);
-  it->second = std::move(v);
+  SlotWriteUint(slot, value);
   return OkStatus();
 }
 
+void Metadata::SlotWriteUint(int slot, uint64_t value) {
+  mem::BitString& v = values_[static_cast<size_t>(slot)];
+  v.Zero();
+  v.SetBits(0, std::min<size_t>(64, v.bit_width()), value);
+}
+
 void Metadata::Reset() {
-  for (auto& [name, value] : fields_) {
-    value = mem::BitString(value.bit_width());
+  for (auto& value : values_) value.Zero();
+}
+
+void Metadata::CopyValuesFrom(const Metadata& other) {
+  for (size_t i = 0; i < values_.size(); ++i) {
+    values_[i].Assign(other.values_[i]);
   }
 }
 
@@ -109,9 +124,8 @@ Metadata Metadata::Standard() {
 }
 
 std::vector<std::string> Metadata::FieldNames() const {
-  std::vector<std::string> out;
-  out.reserve(fields_.size());
-  for (const auto& [name, value] : fields_) out.push_back(name);
+  std::vector<std::string> out(names_.begin(), names_.end());
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -16,9 +16,11 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/block.h"
+#include "util/hash.h"
 #include "util/status.h"
 
 namespace ipsa::arch {
@@ -66,12 +68,20 @@ class Phv {
 };
 
 // Named metadata fields with declared widths.
+//
+// Values live in a slot vector; the name index maps to a slot. Slots are
+// append-only, so a slot resolved once (e.g. by the compiled stage) stays
+// valid as long as no field is declared out from under it — callers guard
+// with the device config epoch. All name-based accessors probe the index
+// transparently (no std::string temporaries).
 class Metadata {
  public:
+  static constexpr int kInvalidSlot = -1;
+
   // Declares a field (idempotent if same width).
   Status Declare(const std::string& name, uint32_t width_bits);
   bool Has(std::string_view name) const {
-    return fields_.count(std::string(name)) > 0;
+    return index_.find(name) != index_.end();
   }
   uint32_t WidthOf(std::string_view name) const;
 
@@ -81,15 +91,40 @@ class Metadata {
   uint64_t ReadUint(std::string_view name) const;
   Status WriteUint(std::string_view name, uint64_t value);
 
-  void Reset();  // zeroes all fields, keeps declarations
+  // Slot interface: resolve the name once, then access with no hashing.
+  int SlotOf(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? kInvalidSlot : it->second;
+  }
+  size_t slot_count() const { return values_.size(); }
+  const mem::BitString& SlotRead(int slot) const {
+    return values_[static_cast<size_t>(slot)];
+  }
+  void SlotWrite(int slot, const mem::BitString& value) {
+    values_[static_cast<size_t>(slot)].Assign(value);
+  }
+  uint64_t SlotReadUint(int slot) const {
+    return values_[static_cast<size_t>(slot)].ToUint64();
+  }
+  void SlotWriteUint(int slot, uint64_t value);
+
+  void Reset();  // zeroes all fields in place, keeps declarations
+
+  // Copies every slot value from `other` in place (no allocation). Both
+  // objects must have been built by the same declaration sequence.
+  void CopyValuesFrom(const Metadata& other);
 
   // The standard metadata every packet context carries.
   static Metadata Standard();
 
+  // Sorted, for deterministic enumeration.
   std::vector<std::string> FieldNames() const;
 
  private:
-  std::map<std::string, mem::BitString> fields_;
+  std::vector<mem::BitString> values_;  // slot -> value
+  std::vector<std::string> names_;      // slot -> name
+  std::unordered_map<std::string, int, util::StringHash, std::equal_to<>>
+      index_;
 };
 
 }  // namespace ipsa::arch

@@ -2,6 +2,7 @@
 
 #include "arch/ii_model.h"
 #include "arch/parse_engine.h"
+#include "pisa/executor.h"
 #include "util/logging.h"
 
 namespace ipsa::ipbm {
@@ -34,12 +35,14 @@ IpbmSwitch::IpbmSwitch(const IpbmOptions& options)
 Status IpbmSwitch::AddHeaderType(const arch::HeaderTypeDef& def) {
   IPSA_RETURN_IF_ERROR(registry_.Add(def));
   ChargeConfigWords(2 + def.fields().size() + def.links().size());
+  ++config_epoch_;
   return OkStatus();
 }
 
 Status IpbmSwitch::RemoveHeaderType(const std::string& name) {
   IPSA_RETURN_IF_ERROR(registry_.Remove(name));
   ChargeConfigWords(1);
+  ++config_epoch_;
   return OkStatus();
 }
 
@@ -47,12 +50,14 @@ Status IpbmSwitch::LinkHeader(const std::string& pre, const std::string& next,
                               uint64_t tag) {
   IPSA_RETURN_IF_ERROR(registry_.LinkHeader(pre, next, tag));
   ChargeConfigWords(1);
+  ++config_epoch_;
   return OkStatus();
 }
 
 Status IpbmSwitch::UnlinkHeader(const std::string& pre, uint64_t tag) {
   IPSA_RETURN_IF_ERROR(registry_.UnlinkHeader(pre, tag));
   ChargeConfigWords(1);
+  ++config_epoch_;
   return OkStatus();
 }
 
@@ -60,36 +65,42 @@ Status IpbmSwitch::DeclareMetadata(const std::string& name,
                                    uint32_t width_bits) {
   IPSA_RETURN_IF_ERROR(metadata_proto_.Declare(name, width_bits));
   ChargeConfigWords(1);
+  ++config_epoch_;
   return OkStatus();
 }
 
 Status IpbmSwitch::AddAction(const arch::ActionDef& def) {
   IPSA_RETURN_IF_ERROR(actions_.Add(def));
   ChargeConfigWords(2 + def.params.size() + def.body.size() * 2);
+  ++config_epoch_;
   return OkStatus();
 }
 
 Status IpbmSwitch::RemoveAction(const std::string& name) {
   IPSA_RETURN_IF_ERROR(actions_.Remove(name));
   ChargeConfigWords(1);
+  ++config_epoch_;
   return OkStatus();
 }
 
 Status IpbmSwitch::CreateRegister(const std::string& name, uint32_t size) {
   IPSA_RETURN_IF_ERROR(regs_.Create(name, size));
   ChargeConfigWords(1);
+  ++config_epoch_;
   return OkStatus();
 }
 
 Status IpbmSwitch::DestroyRegister(const std::string& name) {
   IPSA_RETURN_IF_ERROR(regs_.Destroy(name));
   ChargeConfigWords(1);
+  ++config_epoch_;
   return OkStatus();
 }
 
 Status IpbmSwitch::CreateTable(const arch::TableDecl& decl) {
   IPSA_RETURN_IF_ERROR(catalog_.CreateTable(decl.spec, decl.binding));
   ChargeConfigWords(4);
+  ++config_epoch_;
   return OkStatus();
 }
 
@@ -99,6 +110,7 @@ Status IpbmSwitch::DestroyTable(const std::string& name) {
   // affected TSPs.
   IPSA_RETURN_IF_ERROR(catalog_.DestroyTable(name));
   ChargeConfigWords(1);
+  ++config_epoch_;
   return OkStatus();
 }
 
@@ -136,6 +148,7 @@ Status IpbmSwitch::WriteTspTemplate(uint32_t tsp_id, TspRole role,
   IPSA_RETURN_IF_ERROR(RouteCrossbarFor(tsp_id));
   ChargeConfigWords(words + 1);  // template + selector word
   ++stats_.template_writes;
+  ++config_epoch_;
   return OkStatus();
 }
 
@@ -147,6 +160,7 @@ Status IpbmSwitch::ClearTsp(uint32_t tsp_id) {
   xbar_.DisconnectProc(tsp_id);
   ChargeConfigWords(2);
   ++stats_.template_writes;
+  ++config_epoch_;
   return OkStatus();
 }
 
@@ -205,13 +219,65 @@ Status IpbmSwitch::LoadBaseDesign(const arch::DesignConfig& design,
   return OkStatus();
 }
 
-Result<pisa::ProcessResult> IpbmSwitch::Process(net::Packet& packet,
-                                                uint32_t in_port,
-                                                pisa::ProcessTrace* trace) {
-  ++stats_.packets_in;
-  arch::PacketContext ctx(packet, registry_, metadata_proto_);
+IpbmSwitch::CompiledKey IpbmSwitch::CurrentKey() const {
+  uint64_t pipeline_version = 0;
+  for (uint32_t i = 0; i < pipeline_.tsp_count(); ++i) {
+    pipeline_version += pipeline_.tsp(i).config_version();
+  }
+  return CompiledKey{.epoch = config_epoch_,
+                     .registry = registry_.version(),
+                     .catalog = catalog_.version(),
+                     .actions = actions_.version(),
+                     .pipeline = pipeline_version};
+}
+
+void IpbmSwitch::EnsureCompiled() {
+  CompiledKey key = CurrentKey();
+  if (key == compiled_key_) return;
+
+  compiled_tsps_.clear();
+  compiled_tsps_.resize(pipeline_.tsp_count());
+  for (uint32_t id = 0; id < pipeline_.tsp_count(); ++id) {
+    for (const arch::StageProgram& program : pipeline_.tsp(id).programs()) {
+      CompiledProgram cp;
+      cp.source = &program;
+      auto compiled = arch::CompileStage(program, catalog_, actions_,
+                                         registry_, metadata_proto_);
+      if (compiled.ok()) {
+        cp.uses_registers = compiled->uses_registers;
+        cp.compiled = std::move(compiled).value();
+      } else {
+        cp.uses_registers = arch::StageMayUseRegisters(program, actions_);
+      }
+      compiled_tsps_[id].push_back(std::move(cp));
+    }
+  }
+
+  ingress_ids_ = pipeline_.IngressIds();
+  egress_ids_ = pipeline_.EgressIds();
+  pipeline_uses_registers_ = false;
+  for (const std::vector<uint32_t>* side : {&ingress_ids_, &egress_ids_}) {
+    for (uint32_t id : *side) {
+      for (const CompiledProgram& cp : compiled_tsps_[id]) {
+        pipeline_uses_registers_ |= cp.uses_registers;
+      }
+    }
+  }
+
+  ingress_port_slot_ = metadata_proto_.SlotOf("ingress_port");
+  scratch_ctx_.metadata() = metadata_proto_;
+  compiled_key_ = key;
+}
+
+Result<pisa::ProcessResult> IpbmSwitch::ProcessCore(net::Packet& packet,
+                                                    uint32_t in_port,
+                                                    arch::PacketContext& ctx,
+                                                    pisa::DeviceStats& stats,
+                                                    pisa::ProcessTrace* trace) {
+  ++stats.packets_in;
+  ctx.Rebind(packet, registry_);
   ctx.metadata().Reset();
-  IPSA_RETURN_IF_ERROR(ctx.metadata().WriteUint("ingress_port", in_port));
+  ctx.metadata().SlotWriteUint(ingress_port_slot_, in_port);
 
   pisa::ProcessResult result;
 
@@ -224,21 +290,29 @@ Result<pisa::ProcessResult> IpbmSwitch::Process(net::Packet& packet,
     ctx.ChargeCycles(1 + 1);  // stage traversal + template-parameter load
     uint64_t tsp_parse_bytes = 0;
     uint64_t tsp_access = 0;
-    for (const auto& program : pipeline_.tsp(id).programs()) {
-      IPSA_ASSIGN_OR_RETURN(
-          arch::StageRunStats stats,
-          RunStage(program, ctx, catalog_, actions_, &regs_,
-                   /*jit_parse=*/true));
-      tsp_parse_bytes += stats.parse_bytes;
-      tsp_access = std::max(tsp_access, stats.access_cycles);
+    for (const CompiledProgram& cp : compiled_tsps_[id]) {
+      arch::StageRunStats run_stats;
+      if (cp.compiled.has_value()) {
+        IPSA_ASSIGN_OR_RETURN(
+            run_stats,
+            RunCompiledStage(*cp.compiled, ctx, &regs_, /*jit_parse=*/true,
+                             /*fill_names=*/trace != nullptr));
+      } else {
+        // Unresolvable references at compile time: interpreter fallback.
+        IPSA_ASSIGN_OR_RETURN(run_stats,
+                              RunStage(*cp.source, ctx, catalog_, actions_,
+                                       &regs_, /*jit_parse=*/true));
+      }
+      tsp_parse_bytes += run_stats.parse_bytes;
+      tsp_access = std::max(tsp_access, run_stats.access_cycles);
       if (trace != nullptr) {
         trace->steps.push_back(pisa::TraceStep{
             .unit = id,
-            .stage = program.name,
-            .table = stats.applied_table,
-            .hit = stats.hit,
-            .action = stats.executed_action,
-            .parse_bytes = stats.parse_bytes});
+            .stage = cp.source->name,
+            .table = run_stats.applied_table,
+            .hit = run_stats.hit,
+            .action = run_stats.executed_action,
+            .parse_bytes = run_stats.parse_bytes});
       }
       if (ctx.dropped()) break;
     }
@@ -246,14 +320,14 @@ Result<pisa::ProcessResult> IpbmSwitch::Process(net::Packet& packet,
         std::max(worst_ii, arch::IpsaTspIi(tsp_parse_bytes, tsp_access));
     return OkStatus();
   };
-  for (uint32_t id : pipeline_.IngressIds()) {
+  for (uint32_t id : ingress_ids_) {
     IPSA_RETURN_IF_ERROR(run_tsp(id));
     if (ctx.dropped()) break;
   }
   if (!ctx.dropped()) {
     // Traffic manager: one cycle of queueing model.
     ctx.ChargeCycles(1);
-    for (uint32_t id : pipeline_.EgressIds()) {
+    for (uint32_t id : egress_ids_) {
       IPSA_RETURN_IF_ERROR(run_tsp(id));
       if (ctx.dropped()) break;
     }
@@ -268,27 +342,71 @@ Result<pisa::ProcessResult> IpbmSwitch::Process(net::Packet& packet,
     if (h.valid) ++result.headers_parsed;
     if (trace != nullptr && h.valid) trace->parsed_headers.push_back(h.name);
   }
-  stats_.total_cycles += ctx.cycles();
+  stats.total_cycles += ctx.cycles();
   if (result.dropped) {
-    ++stats_.packets_dropped;
+    ++stats.packets_dropped;
   } else {
-    ++stats_.packets_out;
+    ++stats.packets_out;
   }
-  if (result.marked) ++stats_.packets_marked;
+  if (result.marked) ++stats.packets_marked;
   return result;
 }
 
-Result<uint32_t> IpbmSwitch::RunToCompletion() {
-  uint32_t processed = 0;
-  for (uint32_t p = 0; p < ports_.count(); ++p) {
-    while (auto packet = ports_.port(p).rx().Pop()) {
-      IPSA_ASSIGN_OR_RETURN(pisa::ProcessResult r, Process(*packet, p));
-      if (!r.dropped && r.egress_port < ports_.count()) {
-        ports_.port(r.egress_port).tx().Push(std::move(*packet));
-      }
-      ++processed;
-    }
+Result<pisa::ProcessResult> IpbmSwitch::Process(net::Packet& packet,
+                                                uint32_t in_port,
+                                                pisa::ProcessTrace* trace) {
+  EnsureCompiled();
+  return ProcessCore(packet, in_port, scratch_ctx_, stats_, trace);
+}
+
+Result<std::vector<pisa::ProcessResult>> IpbmSwitch::ProcessBatch(
+    std::span<net::Packet> packets, uint32_t in_port) {
+  EnsureCompiled();
+  std::vector<pisa::ProcessResult> out;
+  out.reserve(packets.size());
+  for (net::Packet& packet : packets) {
+    IPSA_ASSIGN_OR_RETURN(
+        pisa::ProcessResult r,
+        ProcessCore(packet, in_port, scratch_ctx_, stats_, nullptr));
+    out.push_back(r);
   }
+  return out;
+}
+
+Result<uint32_t> IpbmSwitch::RunToCompletion(uint32_t workers) {
+  EnsureCompiled();
+  // Register read-modify-write order across packets is observable (e.g. the
+  // flow-probe counters); a register-touching pipeline runs single-worker so
+  // results stay identical to the serial drain.
+  if (pipeline_uses_registers_) workers = 1;
+  if (workers <= 1) {
+    uint32_t processed = 0;
+    for (uint32_t p = 0; p < ports_.count(); ++p) {
+      while (auto packet = ports_.port(p).rx().Pop()) {
+        IPSA_ASSIGN_OR_RETURN(
+            pisa::ProcessResult r,
+            ProcessCore(*packet, p, scratch_ctx_, stats_, nullptr));
+        if (!r.dropped && r.egress_port < ports_.count()) {
+          ports_.port(r.egress_port).tx().Push(std::move(*packet));
+        }
+        ++processed;
+      }
+    }
+    return processed;
+  }
+
+  std::vector<arch::PacketContext> ctxs(workers);
+  std::vector<pisa::DeviceStats> worker_stats(workers);
+  for (arch::PacketContext& c : ctxs) c.metadata() = metadata_proto_;
+  IPSA_ASSIGN_OR_RETURN(
+      uint32_t processed,
+      pisa::DrainPortsSharded(
+          ports_, workers,
+          [&](net::Packet& packet, uint32_t in_port, uint32_t worker) {
+            return ProcessCore(packet, in_port, ctxs[worker],
+                               worker_stats[worker], nullptr);
+          }));
+  for (const pisa::DeviceStats& s : worker_stats) stats_.MergeFrom(s);
   return processed;
 }
 

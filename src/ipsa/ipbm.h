@@ -16,9 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "arch/compiled_stage.h"
 #include "arch/design.h"
 #include "ipsa/elastic_pipeline.h"
 #include "mem/crossbar.h"
@@ -90,8 +93,17 @@ class IpbmSwitch {
   // When `trace` is non-null, every stage execution is recorded into it.
   Result<pisa::ProcessResult> Process(net::Packet& packet, uint32_t in_port,
                                       pisa::ProcessTrace* trace = nullptr);
+  // Processes a batch of packets arriving on one port through the compiled
+  // fast path, reusing one scratch context across the whole batch. Results
+  // are identical to calling Process per packet in order.
+  Result<std::vector<pisa::ProcessResult>> ProcessBatch(
+      std::span<net::Packet> packets, uint32_t in_port);
   net::PortSet& ports() { return ports_; }
-  Result<uint32_t> RunToCompletion();
+  // Drains all RX queues; with workers > 1 ports are sharded across that
+  // many threads (output is bit-identical to the serial drain; pipelines
+  // whose programs touch the register file are serialized to one worker to
+  // keep read-modify-write order deterministic).
+  Result<uint32_t> RunToCompletion(uint32_t workers = 1);
 
   // --- introspection -------------------------------------------------------
   ElasticPipeline& pipeline() { return pipeline_; }
@@ -108,10 +120,41 @@ class IpbmSwitch {
   int32_t TspOfStage(std::string_view stage_name) const;
 
  private:
+  // One stage program of one TSP, pre-resolved where possible. A program
+  // whose references cannot all be resolved (compiled == nullopt) falls back
+  // to the interpreter — never an error at compile time.
+  struct CompiledProgram {
+    const arch::StageProgram* source = nullptr;
+    std::optional<arch::CompiledStage> compiled;
+    bool uses_registers = false;
+  };
+  // Everything the compiled state depends on. The epoch covers CCM commands
+  // (including metadata declarations, which have no own version counter);
+  // the component versions cover direct mutations through the mutable
+  // headers()/pipeline() accessors.
+  struct CompiledKey {
+    uint64_t epoch = 0;
+    uint64_t registry = 0;
+    uint64_t catalog = 0;
+    uint64_t actions = 0;
+    uint64_t pipeline = 0;
+    bool operator==(const CompiledKey&) const = default;
+  };
+
   Status RouteCrossbarFor(uint32_t tsp_id);
   void ChargeConfigWords(uint64_t words) {
     stats_.config_words_written += words;
   }
+  CompiledKey CurrentKey() const;
+  // Recompiles every TSP's template if anything changed since the last call.
+  void EnsureCompiled();
+  // The per-packet pipeline walk. `ctx` is a reusable scratch context and
+  // `stats` the counter shard to charge (worker-local when parallel).
+  // EnsureCompiled() must have run since the last configuration change.
+  Result<pisa::ProcessResult> ProcessCore(net::Packet& packet, uint32_t in_port,
+                                          arch::PacketContext& ctx,
+                                          pisa::DeviceStats& stats,
+                                          pisa::ProcessTrace* trace);
 
   IpbmOptions options_;
   mem::Pool pool_;
@@ -124,6 +167,16 @@ class IpbmSwitch {
   ElasticPipeline pipeline_;
   net::PortSet ports_;
   pisa::DeviceStats stats_;
+
+  // Compiled fast-path state (rebuilt lazily by EnsureCompiled).
+  uint64_t config_epoch_ = 1;
+  CompiledKey compiled_key_;  // all-zero: never matches the first CurrentKey
+  std::vector<std::vector<CompiledProgram>> compiled_tsps_;
+  std::vector<uint32_t> ingress_ids_;
+  std::vector<uint32_t> egress_ids_;
+  bool pipeline_uses_registers_ = false;
+  int ingress_port_slot_ = arch::Metadata::kInvalidSlot;
+  arch::PacketContext scratch_ctx_;
 };
 
 }  // namespace ipsa::ipbm

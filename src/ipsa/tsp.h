@@ -26,7 +26,10 @@ class Tsp {
 
   uint32_t id() const { return id_; }
   TspRole role() const { return role_; }
-  void SetRole(TspRole role) { role_ = role; }
+  void SetRole(TspRole role) {
+    role_ = role;
+    ++config_version_;
+  }
 
   // Bypassed TSPs are held in a low-power idle state (§2.3); the power model
   // reads this flag.
@@ -42,12 +45,14 @@ class Tsp {
     for (const auto& p : programs_) words += p.ConfigWords();
     template_writes_ += 1;
     config_words_ += words;
+    ++config_version_;
     return words;
   }
 
   uint32_t ClearTemplate() {
     programs_.clear();
     config_words_ += 1;
+    ++config_version_;
     return 1;
   }
 
@@ -73,12 +78,18 @@ class Tsp {
   uint64_t config_words() const { return config_words_; }
   uint64_t template_writes() const { return template_writes_; }
 
+  // Bumped on every role/template mutation; the switch's compiled fast path
+  // revalidates against the sum over all TSPs, so direct pipeline edits
+  // (bypassing the CCM surface) still invalidate compiled state.
+  uint64_t config_version() const { return config_version_; }
+
  private:
   uint32_t id_;
   TspRole role_ = TspRole::kBypass;
   std::vector<arch::StageProgram> programs_;
   uint64_t config_words_ = 0;
   uint64_t template_writes_ = 0;
+  uint64_t config_version_ = 0;
 };
 
 }  // namespace ipsa::ipbm

@@ -24,25 +24,61 @@ BitString BitString::FromBytes(std::span<const uint8_t> bytes,
 }
 
 uint64_t BitString::GetBits(size_t offset, size_t width) const {
-  uint64_t v = 0;
-  for (size_t i = 0; i < width; ++i) {
-    if (GetBit(offset + i)) v |= uint64_t{1} << i;
+  if (width == 0 || offset >= bits_) return 0;
+  // Accumulate the (at most 9) covered bytes LSB-first, then shift the
+  // range into place. Bits beyond bit_width() read as zero.
+  size_t first = offset / 8;
+  size_t last = std::min((offset + width - 1) / 8, bytes_.size() - 1);
+  unsigned __int128 acc = 0;
+  for (size_t b = last + 1; b > first; --b) {
+    acc = (acc << 8) | bytes_[b - 1];
   }
-  return v;
+  uint64_t v = static_cast<uint64_t>(acc >> (offset % 8));
+  return width >= 64 ? v : v & ((uint64_t{1} << width) - 1);
 }
 
 void BitString::SetBits(size_t offset, size_t width, uint64_t value) {
-  for (size_t i = 0; i < width; ++i) {
-    SetBit(offset + i, (value >> i) & 1);
+  if (width == 0 || offset >= bits_) return;
+  width = std::min(width, bits_ - offset);  // bits beyond bit_width() ignored
+  size_t first = offset / 8;
+  size_t last = (offset + width - 1) / 8;
+  size_t shift = offset % 8;
+  unsigned __int128 mask = width >= 64
+                               ? (unsigned __int128){~uint64_t{0}}
+                               : (unsigned __int128){(uint64_t{1} << width) - 1};
+  unsigned __int128 acc = 0;
+  for (size_t b = last + 1; b > first; --b) {
+    acc = (acc << 8) | bytes_[b - 1];
+  }
+  acc = (acc & ~(mask << shift)) |
+        (((unsigned __int128){value} & mask) << shift);
+  for (size_t b = first; b <= last; ++b) {
+    bytes_[b] = static_cast<uint8_t>(acc & 0xFF);
+    acc >>= 8;
   }
 }
 
 BitString BitString::Slice(size_t offset, size_t width) const {
   BitString out(width);
-  for (size_t i = 0; i < width; ++i) {
-    out.SetBit(i, GetBit(offset + i));
+  for (size_t i = 0; i < width; i += 64) {
+    size_t chunk = std::min<size_t>(64, width - i);
+    out.SetBits(i, chunk, GetBits(offset + i, chunk));
   }
   return out;
+}
+
+void BitString::Zero() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+void BitString::Assign(const BitString& src) {
+  size_t n = std::min(src.bytes_.size(), bytes_.size());
+  std::copy(src.bytes_.begin(),
+            src.bytes_.begin() + static_cast<std::ptrdiff_t>(n),
+            bytes_.begin());
+  std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(n), bytes_.end(),
+            uint8_t{0});
+  if (bits_ % 8 != 0 && !bytes_.empty()) {
+    bytes_.back() &= static_cast<uint8_t>((1u << (bits_ % 8)) - 1);
+  }
 }
 
 bool BitString::MatchesUnderMask(const BitString& other,

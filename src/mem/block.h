@@ -6,6 +6,7 @@
 // W x D occupies ceil(W/w) x ceil(D/d) blocks (RMT-style virtualization).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -50,6 +51,12 @@ class BitString {
 
   // Returns a slice [offset, offset+width) as a new BitString.
   BitString Slice(size_t offset, size_t width) const;
+
+  // Zeroes every bit, keeping the width. No reallocation.
+  void Zero();
+  // In-place equivalent of `*this = FromBytes(src.bytes(), bit_width())`:
+  // copies src's bytes truncated/zero-extended to this width, no realloc.
+  void Assign(const BitString& src);
 
   // True if (this & mask) == (other & mask) over the common width.
   bool MatchesUnderMask(const BitString& other, const BitString& mask) const;
@@ -97,10 +104,26 @@ class Block {
   bool row_valid(uint32_t row) const { return valid_.at(row); }
   void SetRowValid(uint32_t row, bool v) { valid_.at(row) = v; }
 
-  // Access statistics feed the hardware throughput model.
-  uint64_t reads() const { return reads_; }
+  // The atomic read counter deletes the implicit move operations the pool's
+  // vector<Block> needs; restore them (blocks only move during pool setup,
+  // never while packets are in flight).
+  Block(Block&& other) noexcept
+      : id_(other.id_),
+        kind_(other.kind_),
+        width_(other.width_),
+        depth_(other.depth_),
+        rows_(std::move(other.rows_)),
+        masks_(std::move(other.masks_)),
+        valid_(std::move(other.valid_)),
+        owner_(other.owner_),
+        reads_(other.reads_.load(std::memory_order_relaxed)),
+        writes_(other.writes_) {}
+
+  // Access statistics feed the hardware throughput model. Reads are counted
+  // from concurrent lookup workers, hence atomic.
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t writes() const { return writes_; }
-  void CountRead() const { ++reads_; }
+  void CountRead() const { reads_.fetch_add(1, std::memory_order_relaxed); }
 
   static constexpr uint32_t kNoOwner = 0xFFFFFFFF;
 
@@ -113,7 +136,7 @@ class Block {
   std::vector<BitString> masks_;
   std::vector<bool> valid_;
   uint32_t owner_ = kNoOwner;
-  mutable uint64_t reads_ = 0;
+  mutable std::atomic<uint64_t> reads_{0};
   uint64_t writes_ = 0;
 };
 

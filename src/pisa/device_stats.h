@@ -23,6 +23,20 @@ struct DeviceStats {
   uint64_t total_cycles = 0;
 
   void Reset() { *this = DeviceStats{}; }
+
+  // Accumulates another shard's counters (parallel workers keep per-worker
+  // stats and merge them after the join).
+  void MergeFrom(const DeviceStats& o) {
+    config_words_written += o.config_words_written;
+    full_loads += o.full_loads;
+    template_writes += o.template_writes;
+    table_ops += o.table_ops;
+    packets_in += o.packets_in;
+    packets_out += o.packets_out;
+    packets_dropped += o.packets_dropped;
+    packets_marked += o.packets_marked;
+    total_cycles += o.total_cycles;
+  }
 };
 
 // One stage execution in a packet trace.

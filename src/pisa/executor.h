@@ -1,0 +1,36 @@
+// Multi-worker run-to-completion over a port set.
+//
+// Both behavioral devices drain their RX queues the same way; this executor
+// shards the ports across N worker threads (port p -> worker p % N) and
+// buffers every TX push until all workers have joined, then replays the
+// pushes in ascending ingress-port FIFO order — exactly the order a serial
+// drain produces. Output queues, including overflow drops, are therefore
+// bit-identical to a single-threaded drain as long as per-packet processing
+// is independent (the switches serialize register-touching pipelines to one
+// worker before calling this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/ports.h"
+#include "pisa/device_stats.h"
+#include "util/status.h"
+
+namespace ipsa::pisa {
+
+// Processes one packet on behalf of worker `worker` (0-based, stable for the
+// whole drain). Implementations must touch only worker-local scratch state
+// (context, stats shard) and thread-safe shared state.
+using ProcessFn =
+    std::function<Result<ProcessResult>(net::Packet& packet, uint32_t in_port,
+                                        uint32_t worker)>;
+
+// Drains every RX queue through `process` with `workers` threads and returns
+// the number of packets processed. With workers <= 1 everything runs on the
+// calling thread (no spawn). If any packet fails, the error from the lowest
+// ingress port is returned and no TX replay happens.
+Result<uint32_t> DrainPortsSharded(net::PortSet& ports, uint32_t workers,
+                                   const ProcessFn& process);
+
+}  // namespace ipsa::pisa

@@ -2,6 +2,7 @@
 
 #include "arch/ii_model.h"
 #include "arch/parse_engine.h"
+#include "pisa/executor.h"
 #include "util/logging.h"
 
 namespace ipsa::pisa {
@@ -50,6 +51,7 @@ void PisaSwitch::Reset() {
   metadata_proto_ = arch::Metadata::Standard();
   design_ = arch::DesignConfig{};
   loaded_ = false;
+  ++config_epoch_;
 }
 
 Status PisaSwitch::LoadDesign(const arch::DesignConfig& design) {
@@ -142,15 +144,51 @@ Status PisaSwitch::EraseEntry(const std::string& table,
   return t->Erase(entry);
 }
 
-Result<ProcessResult> PisaSwitch::Process(net::Packet& packet,
-                                          uint32_t in_port,
-                                          ProcessTrace* trace) {
-  if (!loaded_) return FailedPrecondition("pbm: no design loaded");
-  ++stats_.packets_in;
+void PisaSwitch::EnsureCompiled() {
+  CompiledKey key{.epoch = config_epoch_,
+                  .catalog = catalog_.version(),
+                  .actions = actions_.version()};
+  if (key == compiled_key_) return;
 
-  arch::PacketContext ctx(packet, design_.headers, metadata_proto_);
+  design_uses_registers_ = false;
+  auto compile_side =
+      [this](const std::vector<std::optional<arch::StageProgram>>& side,
+             std::vector<std::optional<arch::CompiledStage>>& out) {
+        out.clear();
+        out.resize(side.size());
+        for (size_t i = 0; i < side.size(); ++i) {
+          if (!side[i].has_value()) continue;
+          auto compiled = arch::CompileStage(*side[i], catalog_, actions_,
+                                             design_.headers, metadata_proto_);
+          if (compiled.ok()) {
+            design_uses_registers_ |= compiled->uses_registers;
+            out[i] = std::move(compiled).value();
+          } else {
+            // Interpreter fallback for this stage.
+            design_uses_registers_ |=
+                arch::StageMayUseRegisters(*side[i], actions_);
+          }
+        }
+      };
+  compile_side(ingress_, compiled_ingress_);
+  compile_side(egress_, compiled_egress_);
+
+  ingress_port_slot_ = metadata_proto_.SlotOf("ingress_port");
+  scratch_ctx_.metadata() = metadata_proto_;
+  compiled_key_ = key;
+}
+
+Result<ProcessResult> PisaSwitch::ProcessCore(net::Packet& packet,
+                                              uint32_t in_port,
+                                              arch::PacketContext& ctx,
+                                              DeviceStats& stats,
+                                              ProcessTrace* trace) {
+  if (!loaded_) return FailedPrecondition("pbm: no design loaded");
+  ++stats.packets_in;
+
+  ctx.Rebind(packet, design_.headers);
   ctx.metadata().Reset();
-  IPSA_RETURN_IF_ERROR(ctx.metadata().WriteUint("ingress_port", in_port));
+  ctx.metadata().SlotWriteUint(ingress_port_slot_, in_port);
 
   // Standalone front-end parser: extract everything up front (§2.1 contrast).
   IPSA_ASSIGN_OR_RETURN(arch::ParseStats ps, arch::ParseEngine::ParseAll(ctx));
@@ -174,58 +212,110 @@ Result<ProcessResult> PisaSwitch::Process(net::Packet& packet,
   // hold a program — non-functional stages still cost a cycle of latency
   // (the elastic-pipeline motivation in §2.3).
   auto run_side = [&](std::vector<std::optional<arch::StageProgram>>& side,
+                      std::vector<std::optional<arch::CompiledStage>>& compiled,
                       uint32_t base_index) -> Status {
     for (size_t i = 0; i < side.size(); ++i) {
       ctx.ChargeCycles(1);
       if (!side[i].has_value()) continue;
-      IPSA_ASSIGN_OR_RETURN(
-          arch::StageRunStats stats,
-          RunStage(*side[i], ctx, catalog_, actions_, &regs_,
-                   /*jit_parse=*/false));
+      arch::StageRunStats run_stats;
+      if (compiled[i].has_value()) {
+        IPSA_ASSIGN_OR_RETURN(
+            run_stats,
+            RunCompiledStage(*compiled[i], ctx, &regs_, /*jit_parse=*/false,
+                             /*fill_names=*/trace != nullptr));
+      } else {
+        IPSA_ASSIGN_OR_RETURN(run_stats,
+                              RunStage(*side[i], ctx, catalog_, actions_,
+                                       &regs_, /*jit_parse=*/false));
+      }
       if (trace != nullptr) {
         trace->steps.push_back(TraceStep{
             .unit = base_index + static_cast<uint32_t>(i),
             .stage = side[i]->name,
-            .table = stats.applied_table,
-            .hit = stats.hit,
-            .action = stats.executed_action,
+            .table = run_stats.applied_table,
+            .hit = run_stats.hit,
+            .action = run_stats.executed_action,
             .parse_bytes = 0});
       }
       if (ctx.dropped()) break;
     }
     return OkStatus();
   };
-  IPSA_RETURN_IF_ERROR(run_side(ingress_, 0));
+  IPSA_RETURN_IF_ERROR(run_side(ingress_, compiled_ingress_, 0));
   if (!ctx.dropped()) {
-    IPSA_RETURN_IF_ERROR(
-        run_side(egress_, options_.physical_ingress_stages));
+    IPSA_RETURN_IF_ERROR(run_side(egress_, compiled_egress_,
+                                  options_.physical_ingress_stages));
   }
 
   result.dropped = ctx.dropped();
   result.marked = ctx.marked();
   result.egress_port = ctx.egress_spec();
   result.cycles = ctx.cycles();
-  stats_.total_cycles += ctx.cycles();
+  stats.total_cycles += ctx.cycles();
   if (result.dropped) {
-    ++stats_.packets_dropped;
+    ++stats.packets_dropped;
   } else {
-    ++stats_.packets_out;
+    ++stats.packets_out;
   }
-  if (result.marked) ++stats_.packets_marked;
+  if (result.marked) ++stats.packets_marked;
   return result;
 }
 
-Result<uint32_t> PisaSwitch::RunToCompletion() {
-  uint32_t processed = 0;
-  for (uint32_t p = 0; p < ports_.count(); ++p) {
-    while (auto packet = ports_.port(p).rx().Pop()) {
-      IPSA_ASSIGN_OR_RETURN(ProcessResult r, Process(*packet, p));
-      if (!r.dropped && r.egress_port < ports_.count()) {
-        ports_.port(r.egress_port).tx().Push(std::move(*packet));
-      }
-      ++processed;
-    }
+Result<ProcessResult> PisaSwitch::Process(net::Packet& packet,
+                                          uint32_t in_port,
+                                          ProcessTrace* trace) {
+  EnsureCompiled();
+  return ProcessCore(packet, in_port, scratch_ctx_, stats_, trace);
+}
+
+Result<std::vector<ProcessResult>> PisaSwitch::ProcessBatch(
+    std::span<net::Packet> packets, uint32_t in_port) {
+  EnsureCompiled();
+  std::vector<ProcessResult> out;
+  out.reserve(packets.size());
+  for (net::Packet& packet : packets) {
+    IPSA_ASSIGN_OR_RETURN(
+        ProcessResult r,
+        ProcessCore(packet, in_port, scratch_ctx_, stats_, nullptr));
+    out.push_back(r);
   }
+  return out;
+}
+
+Result<uint32_t> PisaSwitch::RunToCompletion(uint32_t workers) {
+  EnsureCompiled();
+  // Register read-modify-write order across packets is observable; designs
+  // that touch the register file run single-worker so results stay identical
+  // to the serial drain.
+  if (design_uses_registers_) workers = 1;
+  if (workers <= 1) {
+    uint32_t processed = 0;
+    for (uint32_t p = 0; p < ports_.count(); ++p) {
+      while (auto packet = ports_.port(p).rx().Pop()) {
+        IPSA_ASSIGN_OR_RETURN(
+            ProcessResult r,
+            ProcessCore(*packet, p, scratch_ctx_, stats_, nullptr));
+        if (!r.dropped && r.egress_port < ports_.count()) {
+          ports_.port(r.egress_port).tx().Push(std::move(*packet));
+        }
+        ++processed;
+      }
+    }
+    return processed;
+  }
+
+  std::vector<arch::PacketContext> ctxs(workers);
+  std::vector<DeviceStats> worker_stats(workers);
+  for (arch::PacketContext& c : ctxs) c.metadata() = metadata_proto_;
+  IPSA_ASSIGN_OR_RETURN(
+      uint32_t processed,
+      DrainPortsSharded(ports_, workers,
+                        [&](net::Packet& packet, uint32_t in_port,
+                            uint32_t worker) {
+                          return ProcessCore(packet, in_port, ctxs[worker],
+                                             worker_stats[worker], nullptr);
+                        }));
+  for (const DeviceStats& s : worker_stats) stats_.MergeFrom(s);
   return processed;
 }
 

@@ -14,9 +14,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "arch/compiled_stage.h"
 #include "arch/design.h"
 #include "net/ports.h"
 #include "pisa/device_stats.h"
@@ -60,11 +62,19 @@ class PisaSwitch {
   // When `trace` is non-null, every stage execution is recorded into it.
   Result<ProcessResult> Process(net::Packet& packet, uint32_t in_port,
                                 ProcessTrace* trace = nullptr);
+  // Processes a batch of packets arriving on one port through the compiled
+  // fast path, reusing one scratch context across the whole batch. Results
+  // are identical to calling Process per packet in order.
+  Result<std::vector<ProcessResult>> ProcessBatch(
+      std::span<net::Packet> packets, uint32_t in_port);
 
   // Port-level API: inject to RX, run, collect TX.
   net::PortSet& ports() { return ports_; }
   // Drains all RX queues through the pipeline; returns packets processed.
-  Result<uint32_t> RunToCompletion();
+  // With workers > 1 ports are sharded across that many threads (output is
+  // bit-identical to the serial drain; register-touching designs are
+  // serialized to one worker to keep read-modify-write order deterministic).
+  Result<uint32_t> RunToCompletion(uint32_t workers = 1);
 
   DeviceStats& stats() { return stats_; }
   const DeviceStats& stats() const { return stats_; }
@@ -80,6 +90,15 @@ class PisaSwitch {
 
  private:
   void Reset();
+  // Recompiles the mapped stage programs if the configuration changed (the
+  // only mutator is LoadDesign, tracked by config_epoch_; catalog/action
+  // versions are included for belt and braces).
+  void EnsureCompiled();
+  // The per-packet pipeline walk; `ctx` is a reusable scratch context and
+  // `stats` the counter shard to charge (worker-local when parallel).
+  Result<ProcessResult> ProcessCore(net::Packet& packet, uint32_t in_port,
+                                    arch::PacketContext& ctx,
+                                    DeviceStats& stats, ProcessTrace* trace);
 
   PisaOptions options_;
   mem::Pool pool_;
@@ -96,6 +115,23 @@ class PisaSwitch {
 
   net::PortSet ports_;
   DeviceStats stats_;
+
+  // Compiled fast-path state (rebuilt lazily by EnsureCompiled). A slot is
+  // nullopt when the physical stage is empty or its program could not be
+  // compiled (interpreter fallback).
+  struct CompiledKey {
+    uint64_t epoch = 0;
+    uint64_t catalog = 0;
+    uint64_t actions = 0;
+    bool operator==(const CompiledKey&) const = default;
+  };
+  uint64_t config_epoch_ = 1;
+  CompiledKey compiled_key_;  // all-zero: never matches the first key
+  std::vector<std::optional<arch::CompiledStage>> compiled_ingress_;
+  std::vector<std::optional<arch::CompiledStage>> compiled_egress_;
+  bool design_uses_registers_ = false;
+  int ingress_port_slot_ = arch::Metadata::kInvalidSlot;
+  arch::PacketContext scratch_ctx_;
 };
 
 }  // namespace ipsa::pisa

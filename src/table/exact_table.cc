@@ -14,7 +14,7 @@ Status ExactTable::Insert(const Entry& entry) {
     return InvalidArgument("exact table '" + spec_.name +
                            "': key width mismatch");
   }
-  std::string k = KeyOf(entry.key);
+  std::string_view k = KeyOf(entry.key);
   if (auto it = index_.find(k); it != index_.end()) {
     // Update in place (modify semantics).
     return storage_.WriteRow(*pool_, it->second, PackRow(entry));
@@ -25,7 +25,7 @@ Status ExactTable::Insert(const Entry& entry) {
   uint32_t row = free_rows_.back();
   IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
   free_rows_.pop_back();
-  index_.emplace(std::move(k), row);
+  index_.emplace(std::string(k), row);
   ++entry_count_;
   return OkStatus();
 }

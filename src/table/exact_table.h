@@ -6,10 +6,12 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "table/table.h"
+#include "util/hash.h"
 
 namespace ipsa::table {
 
@@ -22,13 +24,17 @@ class ExactTable : public MatchTable {
   LookupResult Lookup(const mem::BitString& key) const override;
 
  private:
-  static std::string KeyOf(const mem::BitString& key) {
-    return std::string(reinterpret_cast<const char*>(key.bytes().data()),
-                       key.byte_size());
+  // View over the key bytes; the index is probed transparently so the
+  // per-packet Lookup never materialises a std::string.
+  static std::string_view KeyOf(const mem::BitString& key) {
+    return std::string_view(reinterpret_cast<const char*>(key.bytes().data()),
+                            key.byte_size());
   }
 
-  std::unordered_map<std::string, uint32_t> index_;  // key bytes -> row
-  std::vector<uint32_t> free_rows_;                  // LIFO free list
+  // key bytes -> row
+  std::unordered_map<std::string, uint32_t, util::StringHash, std::equal_to<>>
+      index_;
+  std::vector<uint32_t> free_rows_;  // LIFO free list
 };
 
 }  // namespace ipsa::table

@@ -9,6 +9,7 @@
 // for the throughput model.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -64,15 +65,12 @@ class MatchTable {
   const mem::LogicalTable& storage() const { return storage_; }
   uint32_t entry_count() const { return entry_count_; }
 
-  // Lookup statistics (read by the controller for visibility).
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  // Lookup statistics (read by the controller for visibility). Atomic so
+  // parallel run-to-completion workers can count concurrently.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   void CountLookup(bool hit) const {
-    if (hit) {
-      ++hits_;
-    } else {
-      ++misses_;
-    }
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
   }
 
   virtual Status Insert(const Entry& entry) = 0;
@@ -115,8 +113,8 @@ class MatchTable {
   mem::Pool* pool_;
   mem::LogicalTable storage_;
   uint32_t entry_count_ = 0;
-  mutable uint64_t hits_ = 0;
-  mutable uint64_t misses_ = 0;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
 };
 
 // Factory: allocates pool storage and builds the right subclass.

@@ -21,4 +21,14 @@ uint32_t Crc32(std::span<const uint8_t> data, uint32_t seed = 0);
 // A 64->64 bit finalizer (splitmix64) for integer key mixing.
 uint64_t Mix64(uint64_t x);
 
+// Transparent (heterogeneous) string hasher for unordered containers keyed
+// by std::string: lets hot paths probe with a string_view and never
+// materialize a temporary std::string. Pair with std::equal_to<>.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return static_cast<size_t>(Fnv1a64(s));
+  }
+};
+
 }  // namespace ipsa::util

@@ -1,0 +1,298 @@
+// Fast-path regression tests.
+//
+// The compiled stage path (arch/compiled_stage.h), the batched entry points
+// and the multi-worker executor all promise bit-identical results to the
+// straightforward serial interpreter. These tests pin that promise:
+//
+//   * ReadWireBits/WriteWireBits (chunked) and ReadWire64/WriteWire64 against
+//     a bit-by-bit reference on randomized offsets/widths.
+//   * ProcessResult equality between per-packet Process, ProcessBatch and
+//     multi-worker RunToCompletion on all four use-case workloads, for both
+//     devices.
+//   * ProcessResult equality across a mid-run template rewrite (which drains
+//     the pipeline and forces a full recompile of the TSP fast path).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "arch/context.h"
+#include "bench/common.h"
+#include "ipsa/ipbm.h"
+#include "net/workload.h"
+
+namespace ipsa {
+namespace {
+
+using bench::MakePisaSetup;
+using bench::MakeRp4Setup;
+using bench::UseCase;
+using bench::UseCaseName;
+using bench::WorkloadFor;
+
+// ---------------------------------------------------------------------------
+// Wire-bits fast path vs bit-by-bit reference
+// ---------------------------------------------------------------------------
+
+// Wire bit i of the field (MSB-first on the wire) maps to value bit
+// width-1-i. This is the original one-bit-at-a-time implementation the
+// chunked versions replaced.
+mem::BitString RefReadWireBits(std::span<const uint8_t> bytes, size_t offset,
+                               size_t width) {
+  mem::BitString out(width);
+  for (size_t i = 0; i < width; ++i) {
+    size_t pos = offset + i;
+    bool bit = (bytes[pos / 8] >> (7 - pos % 8)) & 1;
+    out.SetBit(width - 1 - i, bit);
+  }
+  return out;
+}
+
+void RefWriteWireBits(std::span<uint8_t> bytes, size_t offset, size_t width,
+                      const mem::BitString& value) {
+  for (size_t i = 0; i < width; ++i) {
+    size_t pos = offset + i;
+    size_t vbit = width - 1 - i;
+    bool bit = vbit < value.bit_width() && value.GetBit(vbit);
+    uint8_t mask = static_cast<uint8_t>(1u << (7 - pos % 8));
+    if (bit) {
+      bytes[pos / 8] |= mask;
+    } else {
+      bytes[pos / 8] &= static_cast<uint8_t>(~mask);
+    }
+  }
+}
+
+TEST(WireBitsFastPath, RandomizedEquivalence) {
+  std::mt19937_64 rng(20211110);
+  std::vector<uint8_t> buf(64);
+  for (int trial = 0; trial < 3000; ++trial) {
+    for (uint8_t& b : buf) b = static_cast<uint8_t>(rng());
+    size_t width = 1 + rng() % 128;
+    size_t offset = rng() % (buf.size() * 8 - width);
+
+    mem::BitString ref = RefReadWireBits(buf, offset, width);
+    mem::BitString fast = arch::ReadWireBits(buf, offset, width);
+    ASSERT_EQ(ref.ToHex(), fast.ToHex())
+        << "read offset=" << offset << " width=" << width;
+    if (width <= 64) {
+      ASSERT_EQ(ref.ToUint64(), arch::ReadWire64(buf, offset, width))
+          << "scalar read offset=" << offset << " width=" << width;
+    }
+
+    // Random value, sometimes narrower than the field (the bit-by-bit
+    // semantics zero-fill the missing high bits).
+    size_t vwidth = (trial % 3 == 0 && width > 1) ? width / 2 : width;
+    mem::BitString value(vwidth);
+    for (size_t i = 0; i < vwidth; ++i) value.SetBit(i, rng() & 1);
+
+    std::vector<uint8_t> ref_buf = buf;
+    std::vector<uint8_t> fast_buf = buf;
+    RefWriteWireBits(ref_buf, offset, width, value);
+    arch::WriteWireBits(fast_buf, offset, width, value);
+    ASSERT_EQ(ref_buf, fast_buf)
+        << "write offset=" << offset << " width=" << width
+        << " vwidth=" << vwidth;
+    if (width <= 64 && vwidth == width) {
+      std::vector<uint8_t> scalar_buf = buf;
+      arch::WriteWire64(scalar_buf, offset, width, value.ToUint64());
+      ASSERT_EQ(ref_buf, scalar_buf)
+          << "scalar write offset=" << offset << " width=" << width;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial / batch / parallel determinism
+// ---------------------------------------------------------------------------
+
+constexpr UseCase kAllUseCases[] = {UseCase::kBase, UseCase::kEcmp,
+                                    UseCase::kSrv6, UseCase::kProbe};
+constexpr int kPacketCount = 64;
+
+std::vector<net::Packet> MakeWorkloadPackets(UseCase uc) {
+  net::Workload workload(WorkloadFor(uc));
+  std::vector<net::Packet> packets;
+  packets.reserve(kPacketCount);
+  for (int i = 0; i < kPacketCount; ++i) {
+    packets.push_back(workload.NextPacket());
+  }
+  return packets;
+}
+
+void ExpectSameResult(const pisa::ProcessResult& a, const pisa::ProcessResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.dropped, b.dropped) << what;
+  EXPECT_EQ(a.marked, b.marked) << what;
+  EXPECT_EQ(a.egress_port, b.egress_port) << what;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.headers_parsed, b.headers_parsed) << what;
+  EXPECT_DOUBLE_EQ(a.pipeline_ii, b.pipeline_ii) << what;
+}
+
+// Process() one at a time on device A vs one ProcessBatch() on device B:
+// identical results and identical final packet bytes.
+template <typename MakeSetup>
+void CheckSerialVsBatch(MakeSetup make, UseCase uc) {
+  SCOPED_TRACE(UseCaseName(uc));
+  net::Workload populate_workload(WorkloadFor(uc));
+  auto serial = make(uc, &populate_workload);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  net::Workload populate_workload2(WorkloadFor(uc));
+  auto batch = make(uc, &populate_workload2);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+
+  std::vector<net::Packet> serial_pkts = MakeWorkloadPackets(uc);
+  std::vector<net::Packet> batch_pkts = MakeWorkloadPackets(uc);
+
+  std::vector<pisa::ProcessResult> serial_results;
+  for (net::Packet& p : serial_pkts) {
+    auto r = serial->device->Process(p, 1);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    serial_results.push_back(*r);
+  }
+  auto batch_results = batch->device->ProcessBatch(std::span(batch_pkts), 1);
+  ASSERT_TRUE(batch_results.ok()) << batch_results.status().ToString();
+
+  ASSERT_EQ(serial_results.size(), batch_results->size());
+  for (size_t i = 0; i < serial_results.size(); ++i) {
+    ExpectSameResult(serial_results[i], (*batch_results)[i],
+                     "packet " + std::to_string(i));
+    EXPECT_TRUE(serial_pkts[i] == batch_pkts[i])
+        << "packet bytes diverged at " << i;
+  }
+}
+
+// RunToCompletion(1) vs RunToCompletion(4) on identically-filled ports:
+// identical TX queues and identical device counters.
+template <typename MakeSetup>
+void CheckSerialVsParallel(MakeSetup make, UseCase uc) {
+  SCOPED_TRACE(UseCaseName(uc));
+  net::Workload populate_workload(WorkloadFor(uc));
+  auto serial = make(uc, &populate_workload);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  net::Workload populate_workload2(WorkloadFor(uc));
+  auto parallel = make(uc, &populate_workload2);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  std::vector<net::Packet> packets = MakeWorkloadPackets(uc);
+  uint32_t port_count = serial->device->ports().count();
+  for (size_t i = 0; i < packets.size(); ++i) {
+    uint32_t p = static_cast<uint32_t>(i) % port_count;
+    serial->device->ports().port(p).rx().Push(packets[i]);
+    parallel->device->ports().port(p).rx().Push(packets[i]);
+  }
+
+  auto n_serial = serial->device->RunToCompletion(1);
+  ASSERT_TRUE(n_serial.ok()) << n_serial.status().ToString();
+  auto n_parallel = parallel->device->RunToCompletion(4);
+  ASSERT_TRUE(n_parallel.ok()) << n_parallel.status().ToString();
+  EXPECT_EQ(*n_serial, *n_parallel);
+
+  for (uint32_t p = 0; p < port_count; ++p) {
+    auto& stx = serial->device->ports().port(p).tx();
+    auto& ptx = parallel->device->ports().port(p).tx();
+    ASSERT_EQ(stx.size(), ptx.size()) << "tx depth differs on port " << p;
+    while (auto sp = stx.Pop()) {
+      auto pp = ptx.Pop();
+      ASSERT_TRUE(pp.has_value());
+      EXPECT_TRUE(*sp == *pp) << "tx bytes differ on port " << p;
+    }
+  }
+
+  const pisa::DeviceStats& ss = serial->device->stats();
+  const pisa::DeviceStats& ps = parallel->device->stats();
+  EXPECT_EQ(ss.packets_in, ps.packets_in);
+  EXPECT_EQ(ss.packets_out, ps.packets_out);
+  EXPECT_EQ(ss.packets_dropped, ps.packets_dropped);
+  EXPECT_EQ(ss.packets_marked, ps.packets_marked);
+  EXPECT_EQ(ss.total_cycles, ps.total_cycles);
+}
+
+TEST(FastPathDeterminism, IpbmSerialVsBatch) {
+  for (UseCase uc : kAllUseCases) {
+    CheckSerialVsBatch(
+        [](UseCase u, const net::Workload* w) { return MakeRp4Setup(u, w); },
+        uc);
+  }
+}
+
+TEST(FastPathDeterminism, PbmSerialVsBatch) {
+  for (UseCase uc : kAllUseCases) {
+    CheckSerialVsBatch(
+        [](UseCase u, const net::Workload* w) { return MakePisaSetup(u, w); },
+        uc);
+  }
+}
+
+TEST(FastPathDeterminism, IpbmSerialVsParallel) {
+  for (UseCase uc : kAllUseCases) {
+    CheckSerialVsParallel(
+        [](UseCase u, const net::Workload* w) { return MakeRp4Setup(u, w); },
+        uc);
+  }
+}
+
+TEST(FastPathDeterminism, PbmSerialVsParallel) {
+  for (UseCase uc : kAllUseCases) {
+    CheckSerialVsParallel(
+        [](UseCase u, const net::Workload* w) { return MakePisaSetup(u, w); },
+        uc);
+  }
+}
+
+// A template rewrite mid-run (same content) drains the pipeline, bumps the
+// config epoch and forces a full recompile; packet results must not change.
+TEST(FastPathDeterminism, IpbmRecompileAcrossTemplateWrite) {
+  for (UseCase uc : kAllUseCases) {
+    SCOPED_TRACE(UseCaseName(uc));
+    net::Workload populate_workload(WorkloadFor(uc));
+    auto plain = MakeRp4Setup(uc, &populate_workload);
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    net::Workload populate_workload2(WorkloadFor(uc));
+    auto rewritten = MakeRp4Setup(uc, &populate_workload2);
+    ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+
+    std::vector<net::Packet> plain_pkts = MakeWorkloadPackets(uc);
+    std::vector<net::Packet> rewr_pkts = MakeWorkloadPackets(uc);
+
+    auto process_range = [](auto& setup, std::vector<net::Packet>& pkts,
+                            size_t from, size_t to,
+                            std::vector<pisa::ProcessResult>& out) {
+      for (size_t i = from; i < to; ++i) {
+        auto r = setup->device->Process(pkts[i], 1);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        out.push_back(*r);
+      }
+    };
+
+    std::vector<pisa::ProcessResult> plain_results;
+    std::vector<pisa::ProcessResult> rewr_results;
+    size_t half = plain_pkts.size() / 2;
+    process_range(plain, plain_pkts, 0, plain_pkts.size(), plain_results);
+    process_range(rewritten, rewr_pkts, 0, half, rewr_results);
+
+    // Rewrite every populated TSP's template with identical content.
+    ipbm::IpbmSwitch& dev = *rewritten->device;
+    for (uint32_t id = 0; id < dev.pipeline().tsp_count(); ++id) {
+      const ipbm::Tsp& tsp = dev.pipeline().tsp(id);
+      if (!tsp.HasTemplate()) continue;
+      std::vector<arch::StageProgram> programs = tsp.programs();
+      ASSERT_TRUE(dev.WriteTspTemplate(id, tsp.role(), std::move(programs)).ok());
+    }
+
+    process_range(rewritten, rewr_pkts, half, rewr_pkts.size(), rewr_results);
+
+    ASSERT_EQ(plain_results.size(), rewr_results.size());
+    for (size_t i = 0; i < plain_results.size(); ++i) {
+      ExpectSameResult(plain_results[i], rewr_results[i],
+                       "packet " + std::to_string(i));
+      EXPECT_TRUE(plain_pkts[i] == rewr_pkts[i])
+          << "packet bytes diverged at " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipsa

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Configure, build and run the full test suite under ASan + UBSan.
+#
+# Usage: tools/run_sanitized.sh [ctest args...]
+# Uses a separate build tree (build-asan/) so the regular build stays fast.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build-asan -DIPSA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j"$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --test-dir build-asan --output-on-failure "$@"
