@@ -1,0 +1,222 @@
+// Control-channel performance: table-insert throughput over the wire,
+// single-call vs batched, plus UDP packet-in -> packet-out round-trip time
+// through a live switchd. The batched/single ratio is the headline number:
+// batching amortizes one TCP round-trip per kTableOpReq over thousands of
+// pre-packed entries in a single kTableBatchReq.
+//
+// Everything runs over loopback against an in-process daemon, so the
+// numbers measure the protocol stack (frame codec + dispatcher + event
+// loop), not a NIC.
+//
+// Besides the console table, results are written to BENCH_control.json.
+#include <benchmark/benchmark.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "controller/baseline.h"
+#include "controller/designs.h"
+#include "controller/runtime_api.h"
+#include "daemon/switchd.h"
+#include "net/packet_builder.h"
+#include "rpc/client.h"
+#include "wire/socket.h"
+
+namespace ipsa::bench {
+namespace {
+
+// One daemon + connected client shared by all benchmarks (starting a
+// switchd per iteration would measure process setup, not the protocol).
+struct ControlSetup {
+  std::unique_ptr<daemon::Switchd> switchd;
+  std::unique_ptr<rpc::Client> client;
+  compiler::ApiSpec api;
+
+  static ControlSetup& Get() {
+    static ControlSetup setup = [] {
+      ControlSetup s;
+      daemon::SwitchdOptions options;
+      options.arch = daemon::ArchKind::kIpsa;
+      options.udp_ports = 8;
+      s.switchd = std::make_unique<daemon::Switchd>(options);
+      if (!s.switchd->Start().ok()) std::abort();
+
+      rpc::ClientOptions copts;
+      copts.port = s.switchd->control_port();
+      copts.client_name = "bench_control";
+      s.client = std::make_unique<rpc::Client>(copts);
+      if (!s.client
+               ->Install(rpc::InstallKind::kBaseP4,
+                         controller::designs::BaseP4())
+               .ok()) {
+        std::abort();
+      }
+      auto api = s.client->FetchApi();
+      if (!api.ok()) std::abort();
+      s.api = std::move(*api);
+      return s;
+    }();
+    return setup;
+  }
+};
+
+// Host entries cycling through a small key pool: ExactTable::Insert
+// overwrites in place on a duplicate key, so the table never fills and
+// every op costs the same table work — only the transport differs between
+// the single and batched variants.
+table::Entry HostEntry(const compiler::ApiSpec& api, uint32_t i) {
+  controller::EntryBuilder builder(api);
+  auto e = builder.Build(
+      "ipv4_host", "set_nexthop",
+      {controller::KeyValue(controller::Ipv4Bits(0x0A000000 + (i % 1024)))},
+      {controller::Bits(16, 100 + (i % 8))});
+  if (!e.ok()) std::abort();
+  return *e;
+}
+
+// One RPC per insert: each op pays a full request/response round-trip
+// through the event loop.
+void BM_TableInsertSingle(benchmark::State& state) {
+  ControlSetup& setup = ControlSetup::Get();
+  uint32_t i = 0;
+  for (auto _ : state) {
+    Status s = setup.client->ModifyEntry("ipv4_host", HostEntry(setup.api, i));
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      return;
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TableInsertSingle)->UseRealTime();
+
+// N inserts per kTableBatchReq: one round-trip amortized over the batch.
+void BM_TableInsertBatched(benchmark::State& state) {
+  ControlSetup& setup = ControlSetup::Get();
+  const uint32_t batch_size = static_cast<uint32_t>(state.range(0));
+  uint32_t i = 0;
+  for (auto _ : state) {
+    std::vector<rpc::TableOp> ops;
+    ops.reserve(batch_size);
+    for (uint32_t k = 0; k < batch_size; ++k) {
+      rpc::TableOp op;
+      op.op = rpc::TableOpKind::kModify;
+      op.table = "ipv4_host";
+      op.entry = HostEntry(setup.api, i++);
+      ops.push_back(std::move(op));
+    }
+    auto resp = setup.client->ApplyBatch(ops);
+    if (!resp.ok()) {
+      state.SkipWithError(resp.status().ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          batch_size);
+}
+BENCHMARK(BM_TableInsertBatched)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->UseRealTime();
+
+// UDP packet-in -> packet-out round trip: inject on port 0, wait for the
+// forwarded frame on its egress port. Measures the full datapath hop:
+// socket in, RX push, run-to-completion, TX collect, socket out.
+void BM_PacketRtt(benchmark::State& state) {
+  ControlSetup& setup = ControlSetup::Get();
+
+  // The FIB must route the workload (idempotent across runs).
+  auto api = setup.api;
+  std::vector<rpc::TableOp> ops;
+  controller::AddEntryFn collect = [&ops](const std::string& table,
+                                          const table::Entry& entry) {
+    rpc::TableOp op;
+    op.op = rpc::TableOpKind::kModify;
+    op.table = table;
+    op.entry = entry;
+    ops.push_back(std::move(op));
+    return OkStatus();
+  };
+  controller::BaselineConfig config;
+  if (!controller::PopulateBaseline(api, collect, config).ok() ||
+      !setup.client->ApplyBatch(ops).ok()) {
+    state.SkipWithError("populate failed");
+    return;
+  }
+
+  // dst 10.0.0.4 resolves to nexthop 104 -> egress port 0.
+  net::Packet pkt = net::PacketBuilder()
+                        .Ethernet(net::MacAddr::FromUint64(
+                                      config.router_mac_base),
+                                  net::MacAddr::FromUint64(0x020000000001ull),
+                                  net::kEtherTypeIpv4)
+                        .Ipv4(net::Ipv4Addr::FromString("192.168.0.1"),
+                              net::Ipv4Addr{0x0A000004}, net::kIpProtoUdp)
+                        .Udp(4000, 80)
+                        .Payload(32)
+                        .Build();
+  std::vector<uint8_t> bytes(pkt.bytes().begin(), pkt.bytes().end());
+
+  auto sock = wire::UdpBind("127.0.0.1", 0);
+  if (!sock.ok()) {
+    state.SkipWithError("udp bind failed");
+    return;
+  }
+  sockaddr_in in_addr{};
+  in_addr.sin_family = AF_INET;
+  in_addr.sin_port = htons(setup.switchd->udp_port(0));
+  in_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  std::vector<uint8_t> buf(64 * 1024);
+  for (auto _ : state) {
+    if (::sendto(sock->fd(), bytes.data(), bytes.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&in_addr),
+                 sizeof(in_addr)) < 0) {
+      state.SkipWithError("sendto failed");
+      return;
+    }
+    auto n = wire::RecvSome(sock->fd(), buf, 5000);
+    if (!n.ok() || *n == 0) {
+      state.SkipWithError("no packet-out");
+      return;
+    }
+    benchmark::DoNotOptimize(buf[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketRtt)->UseRealTime();
+
+}  // namespace
+}  // namespace ipsa::bench
+
+// Custom main: besides the console table, always dump the JSON report to
+// BENCH_control.json (overridable with an explicit --benchmark_out=).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_out")) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_control.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,226 @@
+#include "daemon/backends.h"
+
+#include "controller/designs.h"
+
+namespace ipsa::daemon {
+
+namespace {
+
+// Shared between both backends: device counters + per-table stats.
+rpc::StatsResponse StatsFrom(const pisa::DeviceStats& st,
+                             const arch::TableCatalog& catalog) {
+  rpc::StatsResponse resp;
+  resp.packets_in = st.packets_in;
+  resp.packets_out = st.packets_out;
+  resp.packets_dropped = st.packets_dropped;
+  resp.packets_marked = st.packets_marked;
+  resp.config_words_written = st.config_words_written;
+  resp.full_loads = st.full_loads;
+  resp.template_writes = st.template_writes;
+  resp.table_ops = st.table_ops;
+  for (const std::string& name : catalog.TableNames()) {
+    auto t = catalog.Get(name);
+    if (!t.ok()) continue;
+    rpc::TableStatsRow row;
+    row.table = name;
+    row.match_kind = static_cast<uint8_t>((*t)->spec().match_kind);
+    row.entries = (*t)->entry_count();
+    row.size = (*t)->spec().size;
+    row.hits = (*t)->hits();
+    row.misses = (*t)->misses();
+    resp.tables.push_back(std::move(row));
+  }
+  return resp;
+}
+
+}  // namespace
+
+std::string_view ArchName(ArchKind arch) {
+  return arch == ArchKind::kPisa ? "pisa" : "ipsa";
+}
+
+Result<ArchKind> ArchFromName(std::string_view name) {
+  if (name == "pisa" || name == "pbm") return ArchKind::kPisa;
+  if (name == "ipsa" || name == "ipbm") return ArchKind::kIpsa;
+  return InvalidArgument("unknown arch '" + std::string(name) +
+                         "' (expected pisa|ipsa)");
+}
+
+std::vector<TxPacket> CollectTx(net::PortSet& ports) {
+  std::vector<TxPacket> out;
+  for (uint32_t p = 0; p < ports.count(); ++p) {
+    while (auto pkt = ports.port(p).tx().Pop()) {
+      out.push_back(TxPacket{p, std::move(*pkt)});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<TxPacket>> InjectAndDrain(DeviceBackend& dev,
+                                             net::Packet packet,
+                                             uint32_t in_port,
+                                             uint32_t workers) {
+  if (in_port >= dev.ports().count()) {
+    return InvalidArgument("no such port " + std::to_string(in_port));
+  }
+  if (!dev.ports().port(in_port).rx().Push(std::move(packet))) {
+    return ResourceExhausted("port " + std::to_string(in_port) +
+                             " RX queue is full");
+  }
+  IPSA_RETURN_IF_ERROR(dev.RunToCompletion(workers).status());
+  return CollectTx(dev.ports());
+}
+
+// --- IpsaBackend -------------------------------------------------------------
+
+IpsaBackend::IpsaBackend(ipbm::IpbmOptions options,
+                         compiler::Rp4bcOptions compiler_options)
+    : device_(options), controller_(device_, std::move(compiler_options)) {}
+
+rpc::BackendInfo IpsaBackend::Info() {
+  rpc::BackendInfo info;
+  info.arch = std::string(ArchName(ArchKind::kIpsa));
+  info.port_count = device_.ports().count();
+  info.has_design = has_design_;
+  info.epoch = epoch_;
+  return info;
+}
+
+Result<rpc::InstallOutcome> IpsaBackend::Install(rpc::InstallKind kind,
+                                                 const std::string& source) {
+  Result<controller::FlowTiming> timing = InvalidArgument("unset");
+  switch (kind) {
+    case rpc::InstallKind::kBaseP4:
+      timing = controller_.LoadBaseFromP4(source);
+      break;
+    case rpc::InstallKind::kBaseRp4:
+      timing = controller_.LoadBaseFromRp4(source);
+      break;
+    case rpc::InstallKind::kScript:
+      if (!has_design_) {
+        return FailedPrecondition("no base design to update");
+      }
+      // Snippet file names inside the script resolve against the built-in
+      // designs (ecmp.rp4 / srv6.rp4 / probe.rp4 / ...).
+      timing = controller_.ApplyScript(source,
+                                       controller::designs::ResolveSnippet);
+      break;
+  }
+  IPSA_RETURN_IF_ERROR(timing.status());
+  has_design_ = true;
+  ++epoch_;
+  rpc::InstallOutcome out;
+  out.compile_ms = timing->compile_ms;
+  out.load_ms = timing->load_ms;
+  out.epoch = epoch_;
+  return out;
+}
+
+Status IpsaBackend::ApplyTableOp(const rpc::TableOp& op) {
+  if (!has_design_) return FailedPrecondition("no design installed");
+  switch (op.op) {
+    case rpc::TableOpKind::kAdd:
+      return controller_.AddEntry(op.table, op.entry);
+    case rpc::TableOpKind::kModify: {
+      Status erased = device_.EraseEntry(op.table, op.entry);
+      if (!erased.ok() && erased.code() != StatusCode::kNotFound) {
+        return erased;
+      }
+      return controller_.AddEntry(op.table, op.entry);
+    }
+    case rpc::TableOpKind::kDelete:
+      return device_.EraseEntry(op.table, op.entry);
+  }
+  return InvalidArgument("bad table op");
+}
+
+Result<compiler::ApiSpec> IpsaBackend::Api() {
+  if (!has_design_) return FailedPrecondition("no design installed");
+  return controller_.api();
+}
+
+Result<rpc::StatsResponse> IpsaBackend::QueryStats() {
+  return StatsFrom(device_.stats(), device_.catalog());
+}
+
+Result<uint32_t> IpsaBackend::Drain(uint32_t workers) {
+  return device_.RunToCompletion(workers);
+}
+
+// --- PisaBackend -------------------------------------------------------------
+
+PisaBackend::PisaBackend(pisa::PisaOptions options,
+                         compiler::PisaBackendOptions compiler_options)
+    : device_(options), controller_(device_, std::move(compiler_options)) {}
+
+rpc::BackendInfo PisaBackend::Info() {
+  rpc::BackendInfo info;
+  info.arch = std::string(ArchName(ArchKind::kPisa));
+  info.port_count = device_.ports().count();
+  info.has_design = has_design_;
+  info.epoch = epoch_;
+  return info;
+}
+
+Result<rpc::InstallOutcome> PisaBackend::Install(rpc::InstallKind kind,
+                                                 const std::string& source) {
+  if (kind != rpc::InstallKind::kBaseP4) {
+    // The whole point of the baseline: no incremental surface. A "runtime
+    // update" on PISA is a full recompile+reload of the complete program.
+    return Unimplemented(
+        "pisa accepts only full P4 programs (kBaseP4); recompile the whole "
+        "design to change it");
+  }
+  IPSA_ASSIGN_OR_RETURN(controller::FlowTiming timing,
+                        controller_.CompileAndLoad(source));
+  has_design_ = true;
+  ++epoch_;
+  rpc::InstallOutcome out;
+  out.compile_ms = timing.compile_ms;
+  out.load_ms = timing.load_ms;
+  out.epoch = epoch_;
+  return out;
+}
+
+Status PisaBackend::ApplyTableOp(const rpc::TableOp& op) {
+  if (!has_design_) return FailedPrecondition("no design installed");
+  switch (op.op) {
+    case rpc::TableOpKind::kAdd:
+      // Goes through the flow controller so the shadow store keeps a copy
+      // for repopulation after the next full reload.
+      return controller_.AddEntry(op.table, op.entry);
+    case rpc::TableOpKind::kModify: {
+      Status erased = device_.EraseEntry(op.table, op.entry);
+      if (!erased.ok() && erased.code() != StatusCode::kNotFound) {
+        return erased;
+      }
+      return controller_.AddEntry(op.table, op.entry);
+    }
+    case rpc::TableOpKind::kDelete:
+      // Device-only: the shadow keeps the entry and restores it on the next
+      // reload, mirroring how a real driver's delete bypasses the
+      // controller's repopulation snapshot unless the controller is told.
+      return device_.EraseEntry(op.table, op.entry);
+  }
+  return InvalidArgument("bad table op");
+}
+
+Result<compiler::ApiSpec> PisaBackend::Api() {
+  if (!has_design_) return FailedPrecondition("no design installed");
+  return controller_.api();
+}
+
+Result<rpc::StatsResponse> PisaBackend::QueryStats() {
+  return StatsFrom(device_.stats(), device_.catalog());
+}
+
+Result<uint32_t> PisaBackend::Drain(uint32_t workers) {
+  return device_.RunToCompletion(workers);
+}
+
+std::unique_ptr<DeviceBackend> MakeBackend(ArchKind arch) {
+  if (arch == ArchKind::kPisa) return std::make_unique<PisaBackend>();
+  return std::make_unique<IpsaBackend>();
+}
+
+}  // namespace ipsa::daemon

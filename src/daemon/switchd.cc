@@ -1,0 +1,243 @@
+#include "daemon/switchd.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace ipsa::daemon {
+
+namespace {
+
+// A full-size Ethernet jumbo frame fits with room to spare.
+constexpr size_t kUdpBufBytes = 64 * 1024;
+
+bool SameAddr(const sockaddr_in& a, const sockaddr_in& b) {
+  return a.sin_addr.s_addr == b.sin_addr.s_addr && a.sin_port == b.sin_port;
+}
+
+}  // namespace
+
+Switchd::Switchd(SwitchdOptions options)
+    : options_(std::move(options)), backend_(MakeBackend(options_.arch)) {}
+
+Switchd::~Switchd() {
+  Stop();
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+Status Switchd::Bind() {
+  IPSA_ASSIGN_OR_RETURN(listen_,
+                        wire::TcpListen(options_.bind, options_.control_port));
+  IPSA_ASSIGN_OR_RETURN(control_port_, wire::LocalPort(listen_));
+  IPSA_RETURN_IF_ERROR(wire::SetNonBlocking(listen_.fd(), true));
+
+  uint32_t device_ports = backend_->ports().count();
+  if (options_.udp_ports > device_ports) {
+    return InvalidArgument("cannot expose " +
+                           std::to_string(options_.udp_ports) +
+                           " UDP ports; the device has " +
+                           std::to_string(device_ports));
+  }
+  for (uint32_t i = 0; i < options_.udp_ports; ++i) {
+    uint16_t want = options_.udp_port_base == 0
+                        ? 0
+                        : static_cast<uint16_t>(options_.udp_port_base + i);
+    IPSA_ASSIGN_OR_RETURN(wire::Socket sock,
+                          wire::UdpBind(options_.bind, want));
+    IPSA_ASSIGN_OR_RETURN(uint16_t bound, wire::LocalPort(sock));
+    IPSA_RETURN_IF_ERROR(wire::SetNonBlocking(sock.fd(), true));
+    udp_socks_.push_back(std::move(sock));
+    udp_ports_.push_back(bound);
+    udp_peers_.emplace_back();
+  }
+
+  if (::pipe(wake_pipe_) < 0) {
+    return InternalError(std::string("pipe: ") + ::strerror(errno));
+  }
+  IPSA_RETURN_IF_ERROR(wire::SetNonBlocking(wake_pipe_[0], true));
+  return OkStatus();
+}
+
+Status Switchd::Start() {
+  if (running()) return FailedPrecondition("already running");
+  IPSA_RETURN_IF_ERROR(Bind());
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return OkStatus();
+}
+
+void Switchd::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    uint8_t byte = 0;
+    // A full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Switchd::Stop() {
+  RequestStop();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Switchd::AcceptAll() {
+  while (true) {
+    int fd = ::accept(listen_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; the listener stays registered
+    }
+    wire::Socket sock(fd);
+    if (!wire::SetNonBlocking(fd, true).ok()) continue;
+    conns_.emplace_back(std::move(sock), *backend_);
+    ++counters_.control_accepts;
+  }
+}
+
+bool Switchd::ServiceConn(Conn& conn) {
+  uint8_t buf[kUdpBufBytes];
+  while (true) {
+    ssize_t n = ::recv(conn.sock.fd(), buf, sizeof(buf), 0);
+    if (n == 0) return false;  // orderly shutdown (mid-frame or not)
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.decoder.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+  }
+  while (true) {
+    auto next = conn.decoder.Next();
+    if (!next.ok()) {
+      // Corrupt framing: the stream cannot be re-synchronized. Drop the
+      // session; the daemon and every other session keep running.
+      ++counters_.framing_errors;
+      if (options_.verbose) {
+        std::fprintf(stderr, "switchd: dropping session: %s\n",
+                     next.status().ToString().c_str());
+      }
+      return false;
+    }
+    if (!next->has_value()) return true;
+    ++counters_.control_frames;
+    wire::Frame resp = conn.dispatcher.Handle(**next);
+    Status sent = wire::SendAll(conn.sock.fd(), wire::EncodeFrame(resp),
+                                options_.send_timeout_ms);
+    if (!sent.ok()) return false;
+  }
+}
+
+void Switchd::ServiceUdp(uint32_t port_index) {
+  uint8_t buf[kUdpBufBytes];
+  while (true) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    ssize_t n = ::recvfrom(udp_socks_[port_index].fd(), buf, sizeof(buf), 0,
+                           reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained
+    }
+    // Learn (or refresh) the port's packet-out peer from every datagram.
+    if (!udp_peers_[port_index].has_value() ||
+        !SameAddr(*udp_peers_[port_index], from)) {
+      udp_peers_[port_index] = from;
+    }
+    if (n == 0) continue;  // registration-only datagram
+    net::Packet packet(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+    if (backend_->ports().port(port_index).rx().Push(std::move(packet))) {
+      ++counters_.udp_rx;
+    }
+  }
+}
+
+void Switchd::PumpDataPlane() {
+  if (backend_->ports().PendingRx() == 0) return;
+  auto processed = backend_->RunToCompletion(options_.drain_workers);
+  if (!processed.ok() && options_.verbose) {
+    std::fprintf(stderr, "switchd: drain failed: %s\n",
+                 processed.status().ToString().c_str());
+  }
+  for (TxPacket& tx : CollectTx(backend_->ports())) {
+    if (tx.port >= udp_socks_.size()) {
+      ++counters_.udp_unmapped;
+      continue;
+    }
+    if (!udp_peers_[tx.port].has_value()) {
+      ++counters_.udp_no_peer;
+      continue;
+    }
+    const sockaddr_in& peer = *udp_peers_[tx.port];
+    auto bytes = tx.packet.bytes();
+    ssize_t n = ::sendto(udp_socks_[tx.port].fd(), bytes.data(), bytes.size(),
+                         0, reinterpret_cast<const sockaddr*>(&peer),
+                         sizeof(peer));
+    if (n == static_cast<ssize_t>(bytes.size())) {
+      ++counters_.udp_tx;
+    }
+  }
+}
+
+void Switchd::Loop() {
+  std::vector<pollfd> pfds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    pfds.push_back(pollfd{listen_.fd(), POLLIN, 0});
+    for (const wire::Socket& s : udp_socks_) {
+      pfds.push_back(pollfd{s.fd(), POLLIN, 0});
+    }
+    // Connections accepted during this iteration are appended after
+    // `polled_conns`, so the event walk below must not run past it.
+    const size_t polled_conns = conns_.size();
+    for (const Conn& c : conns_) {
+      pfds.push_back(pollfd{c.sock.fd(), POLLIN, 0});
+    }
+
+    int n = ::poll(pfds.data(), pfds.size(), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (pfds[0].revents & POLLIN) {
+      uint8_t drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (pfds[1].revents & POLLIN) AcceptAll();
+    for (size_t i = 0; i < udp_socks_.size(); ++i) {
+      if (pfds[2 + i].revents & (POLLIN | POLLERR)) {
+        ServiceUdp(static_cast<uint32_t>(i));
+      }
+    }
+    {
+      size_t idx = 2 + udp_socks_.size();
+      auto it = conns_.begin();
+      for (size_t c = 0; c < polled_conns; ++c, ++idx) {
+        bool keep = true;
+        if (pfds[idx].revents & (POLLIN | POLLHUP | POLLERR)) {
+          keep = ServiceConn(*it);
+        }
+        if (keep) {
+          ++it;
+        } else {
+          ++counters_.control_disconnects;
+          it = conns_.erase(it);
+        }
+      }
+    }
+    PumpDataPlane();
+  }
+  conns_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace ipsa::daemon

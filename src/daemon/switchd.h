@@ -1,0 +1,121 @@
+// switchd — the networked switch daemon.
+//
+// One poll(2) event loop hosts:
+//  * a TCP listener for the control channel (wire frames -> rpc::Dispatcher,
+//    one dispatcher per connection so each session handshakes on its own);
+//  * one UDP socket per exposed device port for packet-in/packet-out: a
+//    datagram's payload is a raw Ethernet frame injected into that port's RX
+//    queue; after the pipeline drains, TX queues replay to each port's peer
+//    (the last address that sent to the port — a zero-length datagram
+//    registers the sender without injecting anything).
+//
+// Control and data plane share the loop thread, so CCM commands and packet
+// processing are serialized exactly like the in-process tests — no locks,
+// and the forwarding output is bit-identical to RunToCompletion.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/backends.h"
+#include "rpc/server.h"
+#include "wire/socket.h"
+#include "wire/wire.h"
+
+namespace ipsa::daemon {
+
+struct SwitchdOptions {
+  ArchKind arch = ArchKind::kIpsa;
+  std::string bind = "127.0.0.1";
+  uint16_t control_port = 0;   // 0 = kernel-assigned
+  uint16_t udp_port_base = 0;  // 0 = ephemeral per port; else base+i for port i
+  uint32_t udp_ports = 4;      // device ports exposed over UDP (0..n-1)
+  uint32_t drain_workers = 1;  // workers for the RX drain after packet-in
+  int send_timeout_ms = 2000;  // control-channel response write deadline
+  bool verbose = false;
+};
+
+// Daemon-side counters (the device's own stats travel via the stats RPC).
+struct SwitchdCounters {
+  uint64_t udp_rx = 0;            // datagrams injected
+  uint64_t udp_tx = 0;            // datagrams replayed out
+  uint64_t udp_no_peer = 0;       // TX dropped: egress port has no peer yet
+  uint64_t udp_unmapped = 0;      // TX dropped: egress port has no UDP socket
+  uint64_t control_accepts = 0;
+  uint64_t control_disconnects = 0;
+  uint64_t control_frames = 0;
+  uint64_t framing_errors = 0;    // sessions killed by corrupt framing
+};
+
+class Switchd {
+ public:
+  explicit Switchd(SwitchdOptions options);
+  ~Switchd();
+
+  Switchd(const Switchd&) = delete;
+  Switchd& operator=(const Switchd&) = delete;
+
+  // Binds all sockets (resolving ephemeral ports) and spawns the loop
+  // thread. After Start() returns OK the daemon is serving.
+  Status Start();
+  // Signal-safe stop request (atomic flag + self-pipe write).
+  void RequestStop();
+  // RequestStop + join. Idempotent.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  uint16_t control_port() const { return control_port_; }
+  // The UDP port bound for device port `device_port`.
+  uint16_t udp_port(uint32_t device_port) const {
+    return udp_ports_.at(device_port);
+  }
+
+  DeviceBackend& backend() { return *backend_; }
+  const SwitchdCounters& counters() const { return counters_; }
+
+ private:
+  struct Conn {
+    wire::Socket sock;
+    wire::FrameDecoder decoder;
+    rpc::Dispatcher dispatcher;
+
+    explicit Conn(wire::Socket s, rpc::Backend& backend)
+        : sock(std::move(s)), dispatcher(backend) {}
+  };
+
+  Status Bind();
+  void Loop();
+  void AcceptAll();
+  // Returns false when the connection must be closed.
+  bool ServiceConn(Conn& conn);
+  void ServiceUdp(uint32_t port_index);
+  // Drains pending RX through the device and replays TX over UDP.
+  void PumpDataPlane();
+
+  SwitchdOptions options_;
+  std::unique_ptr<DeviceBackend> backend_;
+
+  wire::Socket listen_;
+  std::vector<wire::Socket> udp_socks_;
+  std::vector<std::optional<sockaddr_in>> udp_peers_;
+  std::vector<uint16_t> udp_ports_;
+  uint16_t control_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::list<Conn> conns_;
+  SwitchdCounters counters_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace ipsa::daemon

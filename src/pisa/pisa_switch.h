@@ -81,6 +81,8 @@ class PisaSwitch {
 
   arch::RegisterFile& registers() { return regs_; }
 
+  const arch::TableCatalog& catalog() const { return catalog_; }
+
   uint32_t physical_ingress_stages() const {
     return options_.physical_ingress_stages;
   }

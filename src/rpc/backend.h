@@ -1,0 +1,42 @@
+// What a control-channel server serves: the Backend interface decouples the
+// protocol dispatcher from the device behind it (pbm or ipbm with their flow
+// controllers — see daemon/backends.h — or a fake in tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rpc/protocol.h"
+#include "util/status.h"
+
+namespace ipsa::rpc {
+
+struct BackendInfo {
+  std::string arch;
+  uint32_t port_count = 0;
+  bool has_design = false;
+  uint64_t epoch = 0;
+};
+
+struct InstallOutcome {
+  double compile_ms = 0;
+  double load_ms = 0;
+  uint64_t epoch = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual BackendInfo Info() = 0;
+  virtual Result<InstallOutcome> Install(InstallKind kind,
+                                         const std::string& source) = 0;
+  virtual Status ApplyTableOp(const TableOp& op) = 0;
+  virtual Result<compiler::ApiSpec> Api() = 0;
+  virtual Result<StatsResponse> QueryStats() = 0;
+  // Drains all pending RX through the pipeline (quiesce); returns the
+  // number of packets processed.
+  virtual Result<uint32_t> Drain(uint32_t workers) = 0;
+};
+
+}  // namespace ipsa::rpc

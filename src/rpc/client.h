@@ -1,0 +1,83 @@
+// Blocking control-channel client.
+//
+// Failure model (the part the robustness tests pin down):
+//  * Every call has a deadline (ClientOptions::call_timeout_ms). A call that
+//    times out fails with kDeadlineExceeded and the connection is dropped —
+//    the byte stream can no longer be trusted to be frame-aligned once a
+//    response may arrive for an abandoned call.
+//  * A dropped or never-established connection is re-dialed transparently on
+//    the next call, with exponential backoff between attempts. Only the call
+//    that hit the failure reports it; the client object stays usable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/protocol.h"
+#include "wire/socket.h"
+#include "wire/wire.h"
+
+namespace ipsa::rpc {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string client_name = "client";
+  int connect_timeout_ms = 2000;
+  int call_timeout_ms = 5000;
+  // Reconnect-with-backoff: attempts per call before giving up; the delay
+  // doubles from backoff_initial_ms up to backoff_max_ms.
+  int max_connect_attempts = 4;
+  int backoff_initial_ms = 20;
+  int backoff_max_ms = 1000;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options) : options_(std::move(options)) {}
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Dial + handshake now (otherwise the first call does it lazily).
+  Status Connect();
+  void Close();
+  bool connected() const { return sock_.valid(); }
+
+  // Handshake result of the current connection.
+  const HelloResponse& server_info() const { return info_; }
+
+  Result<InstallResponse> Install(InstallKind kind, const std::string& source);
+  Status AddEntry(const std::string& table, const table::Entry& entry);
+  Status ModifyEntry(const std::string& table, const table::Entry& entry);
+  Status DeleteEntry(const std::string& table, const table::Entry& entry);
+  Result<TableBatchResponse> ApplyBatch(const std::vector<TableOp>& ops);
+  Result<compiler::ApiSpec> FetchApi();
+  Result<StatsResponse> QueryStats();
+  Result<EpochResponse> QueryEpoch();
+  Result<DrainResponse> Drain(uint32_t workers = 1);
+
+  // Test hook: severs the TCP connection without telling the client state
+  // machine, so the next call exercises the transparent-reconnect path.
+  void SeverConnectionForTest();
+
+ private:
+  // One request/response exchange; returns the response *body* reader input
+  // (payload after the status prefix was checked OK).
+  Result<std::vector<uint8_t>> Call(MsgType type,
+                                    std::vector<uint8_t> payload);
+  Status EnsureConnected();
+  Status DialOnce();
+  Status TableCall(TableOpKind op, const std::string& table,
+                   const table::Entry& entry);
+
+  ClientOptions options_;
+  wire::Socket sock_;
+  wire::FrameDecoder decoder_;
+  HelloResponse info_;
+  uint32_t next_seq_ = 1;
+};
+
+}  // namespace ipsa::rpc

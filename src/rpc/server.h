@@ -1,0 +1,33 @@
+// Protocol-level server: turns one request frame into one response frame
+// against a Backend. Transport-free so it is testable without sockets; the
+// daemon owns the connections and pumps frames through one Dispatcher per
+// session (the handshake is per-session state).
+#pragma once
+
+#include "rpc/backend.h"
+#include "rpc/protocol.h"
+#include "wire/wire.h"
+
+namespace ipsa::rpc {
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(Backend& backend) : backend_(&backend) {}
+
+  // Never fails: protocol-level problems (unknown tag, bad payload, a call
+  // before the handshake, version mismatch) come back as error-status
+  // responses, so one bad call never kills the session.
+  wire::Frame Handle(const wire::Frame& request);
+
+  bool handshaken() const { return hello_done_; }
+
+ private:
+  // Builds the response payload for `request`; returns the error to embed
+  // instead when the call fails.
+  Status Dispatch(const wire::Frame& request, wire::Writer& body);
+
+  Backend* backend_;
+  bool hello_done_ = false;
+};
+
+}  // namespace ipsa::rpc

@@ -23,6 +23,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kUnavailable,         // transport down / peer unreachable (retryable)
+  kDeadlineExceeded,    // per-call timeout expired
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -76,6 +78,12 @@ inline Status Unimplemented(std::string msg) {
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 // A value or an error status. Accessing the value of an error result is a

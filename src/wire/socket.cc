@@ -1,0 +1,161 @@
+#include "wire/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ipsa::wire {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Unavailable(what + ": " + ::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgument("not an IPv4 address: '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return OkStatus();
+}
+
+Result<Socket> TcpListen(const std::string& bind_addr, uint16_t port,
+                         int backlog) {
+  IPSA_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(bind_addr, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind " + bind_addr + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) < 0) return Errno("listen");
+  return sock;
+}
+
+Result<Socket> TcpConnect(const std::string& host, uint16_t port,
+                          int timeout_ms) {
+  IPSA_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(host, port));
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  IPSA_RETURN_IF_ERROR(SetNonBlocking(sock.fd(), true));
+  int rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  if (rc < 0) {
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    int n = ::poll(&pfd, 1, timeout_ms);
+    if (n == 0) {
+      return DeadlineExceeded("connect " + host + ":" + std::to_string(port) +
+                              " timed out after " + std::to_string(timeout_ms) +
+                              " ms");
+    }
+    if (n < 0) return Errno("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Unavailable("connect " + host + ":" + std::to_string(port) +
+                         ": " + ::strerror(err));
+    }
+  }
+  IPSA_RETURN_IF_ERROR(SetNonBlocking(sock.fd(), false));
+  int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<Socket> UdpBind(const std::string& bind_addr, uint16_t port) {
+  IPSA_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddr(bind_addr, port));
+  Socket sock(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!sock.valid()) return Errno("socket(udp)");
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind udp " + bind_addr + ":" + std::to_string(port));
+  }
+  return sock;
+}
+
+Result<uint16_t> LocalPort(const Socket& sock) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status SendAll(int fd, std::span<const uint8_t> data, int timeout_ms) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int p = ::poll(&pfd, 1, timeout_ms);
+      if (p == 0) return DeadlineExceeded("send timed out");
+      if (p < 0 && errno != EINTR) return Errno("poll(send)");
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return OkStatus();
+}
+
+Result<size_t> RecvSome(int fd, std::span<uint8_t> buf, int timeout_ms) {
+  while (true) {
+    pollfd pfd{fd, POLLIN, 0};
+    int p = ::poll(&pfd, 1, timeout_ms);
+    if (p == 0) return DeadlineExceeded("recv timed out");
+    if (p < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll(recv)");
+    }
+    ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+}  // namespace ipsa::wire

@@ -1,0 +1,73 @@
+// Thin POSIX socket layer shared by the rpc client and the switchd daemon:
+// an RAII fd wrapper plus the handful of blocking-with-deadline primitives
+// the control channel needs. Everything is IPv4 loopback-friendly; binds
+// default to 127.0.0.1 so a test daemon never exposes a port.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace ipsa::wire {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  // Relinquishes ownership.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// TCP listener on `bind_addr:port` (port 0 = kernel-assigned ephemeral).
+Result<Socket> TcpListen(const std::string& bind_addr, uint16_t port,
+                         int backlog = 16);
+
+// Blocking-ish connect with a deadline (non-blocking connect + poll).
+// The returned socket is in blocking mode.
+Result<Socket> TcpConnect(const std::string& host, uint16_t port,
+                          int timeout_ms);
+
+// Bound UDP socket (port 0 = ephemeral).
+Result<Socket> UdpBind(const std::string& bind_addr, uint16_t port);
+
+// The locally bound port of a socket (resolves ephemeral binds).
+Result<uint16_t> LocalPort(const Socket& sock);
+
+Status SetNonBlocking(int fd, bool nonblocking);
+
+// Writes the whole buffer, polling for writability up to `timeout_ms` per
+// chunk. SIGPIPE is suppressed (MSG_NOSIGNAL).
+Status SendAll(int fd, std::span<const uint8_t> data, int timeout_ms);
+
+// Waits up to `timeout_ms` for readability, then does one recv. Returns the
+// byte count; 0 means the peer closed the stream. kDeadlineExceeded on
+// timeout, kUnavailable on connection errors.
+Result<size_t> RecvSome(int fd, std::span<uint8_t> buf, int timeout_ms);
+
+}  // namespace ipsa::wire

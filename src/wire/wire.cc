@@ -1,0 +1,184 @@
+#include "wire/wire.h"
+
+#include <cstring>
+
+namespace ipsa::wire {
+
+namespace {
+
+uint64_t LoadLe(const uint8_t* p, size_t n) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void StoreLe(std::vector<uint8_t>& out, uint64_t v, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+void Writer::U16(uint16_t v) { StoreLe(out_, v, 2); }
+void Writer::U32(uint32_t v) { StoreLe(out_, v, 4); }
+void Writer::U64(uint64_t v) { StoreLe(out_, v, 8); }
+
+void Writer::F64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void Writer::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void Writer::Bits(const mem::BitString& b) {
+  U32(static_cast<uint32_t>(b.bit_width()));
+  auto bytes = b.bytes();
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void Writer::Raw(std::span<const uint8_t> bytes) {
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+Status Reader::Need(size_t n) const {
+  if (data_.size() - pos_ < n) {
+    return InvalidArgument("wire: truncated payload (need " +
+                           std::to_string(n) + " bytes, have " +
+                           std::to_string(data_.size() - pos_) + ")");
+  }
+  return OkStatus();
+}
+
+Result<uint8_t> Reader::U8() {
+  IPSA_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint16_t> Reader::U16() {
+  IPSA_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(LoadLe(data_.data() + pos_, 2));
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> Reader::U32() {
+  IPSA_RETURN_IF_ERROR(Need(4));
+  uint32_t v = static_cast<uint32_t>(LoadLe(data_.data() + pos_, 4));
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Reader::U64() {
+  IPSA_RETURN_IF_ERROR(Need(8));
+  uint64_t v = LoadLe(data_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<double> Reader::F64() {
+  IPSA_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<bool> Reader::Bool() {
+  IPSA_ASSIGN_OR_RETURN(uint8_t v, U8());
+  if (v > 1) return InvalidArgument("wire: bool byte out of range");
+  return v == 1;
+}
+
+Result<std::string> Reader::Str() {
+  IPSA_ASSIGN_OR_RETURN(uint32_t len, U32());
+  if (len > kMaxStringBytes) {
+    return InvalidArgument("wire: string length " + std::to_string(len) +
+                           " exceeds bound");
+  }
+  IPSA_RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<mem::BitString> Reader::Bits() {
+  IPSA_ASSIGN_OR_RETURN(uint32_t width, U32());
+  if (width > kMaxBitStringBits) {
+    return InvalidArgument("wire: bit string width " + std::to_string(width) +
+                           " exceeds bound");
+  }
+  size_t bytes = (width + 7) / 8;
+  IPSA_RETURN_IF_ERROR(Need(bytes));
+  mem::BitString b = mem::BitString::FromBytes(
+      data_.subspan(pos_, bytes), width);
+  pos_ += bytes;
+  return b;
+}
+
+std::vector<uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  StoreLe(out, kFrameMagic, 4);
+  StoreLe(out, frame.type, 2);
+  StoreLe(out, 0, 2);  // flags
+  StoreLe(out, frame.seq, 4);
+  StoreLe(out, static_cast<uint32_t>(frame.payload.size()), 4);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+void FrameDecoder::Feed(std::span<const uint8_t> bytes) {
+  if (corrupt_) return;  // no point buffering a dead stream
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void FrameDecoder::Reset() {
+  buf_.clear();
+  read_pos_ = 0;
+  corrupt_ = false;
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (corrupt_) return InvalidArgument("wire: frame stream is corrupt");
+  if (buffered() < kFrameHeaderBytes) return std::optional<Frame>{};
+  const uint8_t* h = buf_.data() + read_pos_;
+  uint32_t magic = static_cast<uint32_t>(LoadLe(h, 4));
+  uint16_t type = static_cast<uint16_t>(LoadLe(h + 4, 2));
+  uint16_t flags = static_cast<uint16_t>(LoadLe(h + 6, 2));
+  uint32_t seq = static_cast<uint32_t>(LoadLe(h + 8, 4));
+  uint32_t length = static_cast<uint32_t>(LoadLe(h + 12, 4));
+  if (magic != kFrameMagic) {
+    corrupt_ = true;
+    return InvalidArgument("wire: bad frame magic");
+  }
+  if (flags != 0) {
+    corrupt_ = true;
+    return InvalidArgument("wire: non-zero frame flags");
+  }
+  if (length > kMaxPayloadBytes) {
+    corrupt_ = true;
+    return InvalidArgument("wire: frame payload of " + std::to_string(length) +
+                           " bytes exceeds the " +
+                           std::to_string(kMaxPayloadBytes) + " byte bound");
+  }
+  if (buffered() < kFrameHeaderBytes + length) return std::optional<Frame>{};
+  Frame f;
+  f.type = type;
+  f.seq = seq;
+  const uint8_t* p = h + kFrameHeaderBytes;
+  f.payload.assign(p, p + length);
+  read_pos_ += kFrameHeaderBytes + length;
+  // Compact once the consumed prefix dominates the buffer.
+  if (read_pos_ > 4096 && read_pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(read_pos_));
+    read_pos_ = 0;
+  }
+  return std::optional<Frame>(std::move(f));
+}
+
+}  // namespace ipsa::wire

@@ -1,0 +1,116 @@
+// Wire format for the switchd control channel: a little-endian payload
+// serializer (Writer/Reader) and a length-prefixed frame codec.
+//
+// Frame layout (all fields little-endian):
+//   magic   u32   0x72503443 ("C4Pr" when read as bytes)
+//   type    u16   message tag (rpc::MsgType)
+//   flags   u16   reserved, must be zero
+//   seq     u32   request/response correlation id
+//   length  u32   payload byte count, <= kMaxPayloadBytes
+//   payload length bytes
+//
+// Decoding is strict: a bad magic, a non-zero flags word or an oversized
+// length poisons the stream (there is no way to resynchronize a byte
+// stream after corrupt framing), and the decoder reports an error from
+// every subsequent Next() call. Payload-level decode errors are the
+// receiver's business and do NOT poison the stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mem/block.h"
+#include "util/status.h"
+
+namespace ipsa::wire {
+
+inline constexpr uint32_t kFrameMagic = 0x72503443;  // "rP4C"
+inline constexpr size_t kFrameHeaderBytes = 16;
+inline constexpr uint32_t kMaxPayloadBytes = 8u << 20;
+// Bounds inside payloads; both are far below kMaxPayloadBytes so a strict
+// reader rejects absurd lengths before trying to allocate them.
+inline constexpr uint32_t kMaxStringBytes = 4u << 20;
+inline constexpr uint32_t kMaxBitStringBits = 1u << 20;
+
+// Appends little-endian primitives to a byte buffer.
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F64(double v);  // IEEE-754 bits as u64
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  // u32 byte length + raw bytes.
+  void Str(std::string_view s);
+  // u32 bit width + ceil(width/8) bytes, LSB-first (BitString layout).
+  void Bits(const mem::BitString& b);
+  void Raw(std::span<const uint8_t> bytes);
+
+  size_t size() const { return out_.size(); }
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+// Strict sequential reader over a payload. Every accessor fails with
+// kInvalidArgument on truncation or bound violations; the reader never
+// reads past the end of the span.
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint16_t> U16();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<double> F64();
+  Result<bool> Bool();
+  Result<std::string> Str();
+  Result<mem::BitString> Bits();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n) const;
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+struct Frame {
+  uint16_t type = 0;
+  uint32_t seq = 0;
+  std::vector<uint8_t> payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+// Serializes header + payload into one contiguous buffer.
+std::vector<uint8_t> EncodeFrame(const Frame& frame);
+
+// Incremental frame decoder for a byte stream. Feed() whatever arrived;
+// Next() yields completed frames until it returns nullopt (need more bytes)
+// or an error (corrupt framing — the stream is dead, close the connection).
+class FrameDecoder {
+ public:
+  void Feed(std::span<const uint8_t> bytes);
+  Result<std::optional<Frame>> Next();
+
+  bool corrupt() const { return corrupt_; }
+  size_t buffered() const { return buf_.size() - read_pos_; }
+  void Reset();
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t read_pos_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace ipsa::wire

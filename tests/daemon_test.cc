@@ -1,0 +1,375 @@
+// switchd end-to-end over loopback: the daemon's UDP packet path must be
+// bit-identical to the in-process device, and the control channel must
+// survive every kind of client misbehavior (garbage frames, mid-frame
+// disconnects, oversized lengths, timeouts) failing only the guilty call
+// or session — never the daemon.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <vector>
+
+#include "controller/baseline.h"
+#include "controller/designs.h"
+#include "daemon/switchd.h"
+#include "net/packet_builder.h"
+#include "rpc/client.h"
+#include "wire/socket.h"
+
+namespace ipsa::daemon {
+namespace {
+
+constexpr uint32_t kUdpPorts = 8;
+
+rpc::ClientOptions MakeClientOptions(uint16_t port) {
+  rpc::ClientOptions options;
+  options.port = port;
+  options.client_name = "daemon_test";
+  options.call_timeout_ms = 10000;  // generous: CI machines can stall
+  return options;
+}
+
+// Collects PopulateBaseline/Ecmp output as batched wire ops instead of
+// installing directly.
+std::vector<rpc::TableOp> CollectOps(
+    const compiler::ApiSpec& api,
+    Status (*populate)(const compiler::ApiSpec&, const controller::AddEntryFn&,
+                       const controller::BaselineConfig&)) {
+  std::vector<rpc::TableOp> ops;
+  controller::AddEntryFn collect = [&ops](const std::string& table,
+                                          const table::Entry& entry) {
+    rpc::TableOp op;
+    op.op = rpc::TableOpKind::kAdd;
+    op.table = table;
+    op.entry = entry;
+    ops.push_back(std::move(op));
+    return OkStatus();
+  };
+  controller::BaselineConfig config;
+  EXPECT_TRUE(populate(api, collect, config).ok());
+  return ops;
+}
+
+Status PopulateEcmpDefault(const compiler::ApiSpec& api,
+                           const controller::AddEntryFn& add,
+                           const controller::BaselineConfig& config) {
+  return controller::PopulateEcmp(api, add, config);
+}
+
+net::Packet V4Packet(uint32_t dst_low, uint16_t sport) {
+  controller::BaselineConfig config;
+  return net::PacketBuilder()
+      .Ethernet(net::MacAddr::FromUint64(config.router_mac_base),
+                net::MacAddr::FromUint64(0x020000000001ull),
+                net::kEtherTypeIpv4)
+      .Ipv4(net::Ipv4Addr::FromString("192.168.0.1"),
+            net::Ipv4Addr{0x0A000000 + dst_low}, net::kIpProtoUdp)
+      .Udp(sport, 80)
+      .Payload(32)
+      .Build();
+}
+
+Result<std::vector<uint8_t>> RecvDatagram(const wire::Socket& sock,
+                                          int timeout_ms) {
+  std::vector<uint8_t> buf(64 * 1024);
+  IPSA_ASSIGN_OR_RETURN(size_t n,
+                        wire::RecvSome(sock.fd(), buf, timeout_ms));
+  buf.resize(n);
+  return buf;
+}
+
+class SwitchdTest : public ::testing::Test {
+ protected:
+  void StartDaemon(ArchKind arch = ArchKind::kIpsa) {
+    SwitchdOptions options;
+    options.arch = arch;
+    options.udp_ports = kUdpPorts;
+    switchd_ = std::make_unique<Switchd>(options);
+    ASSERT_TRUE(switchd_->Start().ok());
+  }
+
+  // One client UDP socket per daemon port; a zero-length datagram registers
+  // each socket as its port's packet-out peer without injecting anything.
+  void RegisterPeers() {
+    for (uint32_t p = 0; p < kUdpPorts; ++p) {
+      auto sock = wire::UdpBind("127.0.0.1", 0);
+      ASSERT_TRUE(sock.ok());
+      peers_.push_back(std::move(*sock));
+      SendToPort(p, {});
+    }
+  }
+
+  void SendToPort(uint32_t port, std::span<const uint8_t> bytes) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(switchd_->udp_port(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_GE(::sendto(peers_[port].fd(), bytes.data(), bytes.size(), 0,
+                       reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+              0);
+  }
+
+  // Sends `packet` into device port 0 over UDP and asserts the daemon's
+  // output datagrams are bit-identical to the reference device's TX.
+  void AssertForwardsLikeReference(IpsaBackend& ref, uint32_t dst_low,
+                                   uint16_t sport) {
+    net::Packet pkt = V4Packet(dst_low, sport);
+    std::vector<uint8_t> bytes(pkt.bytes().begin(), pkt.bytes().end());
+
+    net::Packet ref_pkt = V4Packet(dst_low, sport);
+    auto expected = InjectAndDrain(ref, std::move(ref_pkt), 0);
+    ASSERT_TRUE(expected.ok());
+
+    SendToPort(0, bytes);
+    for (const TxPacket& want : *expected) {
+      ASSERT_LT(want.port, kUdpPorts);
+      auto got = RecvDatagram(peers_[want.port], 10000);
+      ASSERT_TRUE(got.ok()) << "no packet-out on port " << want.port << ": "
+                            << got.status().ToString();
+      std::vector<uint8_t> want_bytes(want.packet.bytes().begin(),
+                                      want.packet.bytes().end());
+      EXPECT_EQ(*got, want_bytes)
+          << "divergence on port " << want.port << " dst_low " << dst_low;
+    }
+    if (expected->empty()) {
+      // Dropped in-process must mean dropped over UDP too.
+      auto got = RecvDatagram(peers_[0], 100);
+      EXPECT_FALSE(got.ok());
+    }
+  }
+
+  std::unique_ptr<Switchd> switchd_;
+  std::vector<wire::Socket> peers_;
+};
+
+// --- the acceptance-criteria test -------------------------------------------
+
+TEST_F(SwitchdTest, LoopbackForwardingMatchesInProcessDevice) {
+  StartDaemon(ArchKind::kIpsa);
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+
+  // Install + populate entirely over the wire (batched).
+  auto installed = client.Install(rpc::InstallKind::kBaseP4,
+                                  controller::designs::BaseP4());
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  EXPECT_EQ(installed->epoch, 1u);
+  auto api = client.FetchApi();
+  ASSERT_TRUE(api.ok());
+  std::vector<rpc::TableOp> ops =
+      CollectOps(*api, &controller::PopulateBaseline);
+  auto batch = client.ApplyBatch(ops);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->applied, ops.size());
+
+  // Reference device: same install, same pre-packed entries.
+  IpsaBackend ref;
+  ASSERT_TRUE(
+      ref.Install(rpc::InstallKind::kBaseP4, controller::designs::BaseP4())
+          .ok());
+  for (const rpc::TableOp& op : ops) {
+    ASSERT_TRUE(ref.ApplyTableOp(op).ok());
+  }
+
+  RegisterPeers();
+  for (uint32_t i = 0; i < 16; ++i) {
+    AssertForwardsLikeReference(ref, i, static_cast<uint16_t>(4000 + i));
+  }
+
+  // Live reconfiguration: load the ECMP use case over the control channel
+  // while the data plane keeps forwarding, then re-check equivalence.
+  auto script = client.Install(rpc::InstallKind::kScript,
+                               controller::designs::EcmpScript());
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  auto api2 = client.FetchApi();
+  ASSERT_TRUE(api2.ok());
+  std::vector<rpc::TableOp> ecmp_ops = CollectOps(*api2, &PopulateEcmpDefault);
+  auto batch2 = client.ApplyBatch(ecmp_ops);
+  ASSERT_TRUE(batch2.ok()) << batch2.status().ToString();
+
+  ASSERT_TRUE(
+      ref.Install(rpc::InstallKind::kScript, controller::designs::EcmpScript())
+          .ok());
+  for (const rpc::TableOp& op : ecmp_ops) {
+    ASSERT_TRUE(ref.ApplyTableOp(op).ok());
+  }
+
+  for (uint32_t i = 0; i < 16; ++i) {
+    AssertForwardsLikeReference(ref, i, static_cast<uint16_t>(5000 + i));
+  }
+
+  // Device-level counters went through the same path on both sides.
+  auto stats = client.QueryStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->packets_in, 32u);
+  EXPECT_GT(switchd_->counters().udp_rx, 0u);
+  EXPECT_GT(switchd_->counters().udp_tx, 0u);
+}
+
+// --- control-channel robustness ----------------------------------------------
+
+TEST_F(SwitchdTest, GarbageFramesKillOnlyTheGuiltySession) {
+  StartDaemon();
+  auto sock = wire::TcpConnect("127.0.0.1", switchd_->control_port(), 2000);
+  ASSERT_TRUE(sock.ok());
+  std::vector<uint8_t> garbage(256, 0x5A);
+  ASSERT_TRUE(wire::SendAll(sock->fd(), garbage, 2000).ok());
+  // The daemon drops the corrupt session: recv sees EOF, not a hang.
+  std::vector<uint8_t> buf(64);
+  auto n = wire::RecvSome(sock->fd(), buf, 5000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+
+  // The daemon itself is fine — a fresh client works.
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.server_info().arch, "ipsa");
+  EXPECT_GE(switchd_->counters().framing_errors, 1u);
+}
+
+TEST_F(SwitchdTest, MidFrameDisconnectIsHarmless) {
+  StartDaemon();
+  {
+    auto sock = wire::TcpConnect("127.0.0.1", switchd_->control_port(), 2000);
+    ASSERT_TRUE(sock.ok());
+    // First half of a valid frame, then the socket vanishes.
+    wire::Frame f{static_cast<uint16_t>(rpc::MsgType::kHelloReq), 1,
+                  std::vector<uint8_t>(64, 0)};
+    std::vector<uint8_t> bytes = wire::EncodeFrame(f);
+    bytes.resize(bytes.size() / 2);
+    ASSERT_TRUE(wire::SendAll(sock->fd(), bytes, 2000).ok());
+  }  // ~Socket closes mid-frame
+
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  ASSERT_TRUE(client.Connect().ok());
+  auto epoch = client.QueryEpoch();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch->arch, "ipsa");
+}
+
+TEST_F(SwitchdTest, OversizedFrameDropsSessionNotDaemon) {
+  StartDaemon();
+  auto sock = wire::TcpConnect("127.0.0.1", switchd_->control_port(), 2000);
+  ASSERT_TRUE(sock.ok());
+  // Header claiming a payload over the 8 MiB cap.
+  wire::Writer w;
+  w.U32(wire::kFrameMagic);
+  w.U16(1);
+  w.U16(0);
+  w.U32(1);
+  w.U32(wire::kMaxPayloadBytes + 1);
+  ASSERT_TRUE(wire::SendAll(sock->fd(), w.Take(), 2000).ok());
+  std::vector<uint8_t> buf(64);
+  auto n = wire::RecvSome(sock->fd(), buf, 5000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);  // dropped
+
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  EXPECT_TRUE(client.Connect().ok());
+}
+
+TEST(ClientTimeout, SilentServerFailsTheCallWithDeadlineExceeded) {
+  // A listener that accepts (via the kernel backlog) but never answers.
+  auto listener = wire::TcpListen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  auto port = wire::LocalPort(*listener);
+  ASSERT_TRUE(port.ok());
+
+  rpc::ClientOptions options = MakeClientOptions(*port);
+  options.call_timeout_ms = 200;
+  options.max_connect_attempts = 1;
+  rpc::Client client(options);
+  Status s = client.Connect();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+}
+
+TEST(ClientReconnect, DeadPortFailsFastWithUnavailable) {
+  // Grab an ephemeral port, then close it so nothing listens there.
+  uint16_t dead_port = 0;
+  {
+    auto listener = wire::TcpListen("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = *wire::LocalPort(*listener);
+  }
+  rpc::ClientOptions options = MakeClientOptions(dead_port);
+  options.max_connect_attempts = 2;
+  options.backoff_initial_ms = 1;
+  rpc::Client client(options);
+  Status s = client.Connect();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.ToString();
+}
+
+TEST_F(SwitchdTest, SeveredConnectionReconnectsTransparently) {
+  StartDaemon();
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.QueryEpoch().ok());
+
+  client.SeverConnectionForTest();
+  // The next call redials and re-handshakes without the caller noticing.
+  auto epoch = client.QueryEpoch();
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(epoch->arch, "ipsa");
+  EXPECT_GE(switchd_->counters().control_accepts, 2u);
+}
+
+// --- pisa arch behind the same daemon ---------------------------------------
+
+TEST_F(SwitchdTest, PisaArchServesInstallAndTables) {
+  StartDaemon(ArchKind::kPisa);
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.server_info().arch, "pisa");
+
+  auto installed = client.Install(rpc::InstallKind::kBaseP4,
+                                  controller::designs::BaseP4());
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+
+  // The monolithic baseline has no incremental surface: a script install
+  // must fail the call but keep the session healthy.
+  auto script = client.Install(rpc::InstallKind::kScript,
+                               controller::designs::EcmpScript());
+  EXPECT_FALSE(script.ok());
+  EXPECT_EQ(script.status().code(), StatusCode::kUnimplemented);
+
+  auto api = client.FetchApi();
+  ASSERT_TRUE(api.ok());
+  std::vector<rpc::TableOp> ops =
+      CollectOps(*api, &controller::PopulateBaseline);
+  auto batch = client.ApplyBatch(ops);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->applied, ops.size());
+
+  auto stats = client.QueryStats();
+  ASSERT_TRUE(stats.ok());
+  uint64_t entries = 0;
+  for (const auto& row : stats->tables) entries += row.entries;
+  EXPECT_EQ(entries, ops.size());
+}
+
+TEST_F(SwitchdTest, DrainAndEpochRpcs) {
+  StartDaemon();
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  auto epoch0 = client.QueryEpoch();
+  ASSERT_TRUE(epoch0.ok());
+  EXPECT_EQ(epoch0->epoch, 0u);
+  EXPECT_FALSE(epoch0->has_design);
+
+  ASSERT_TRUE(client
+                  .Install(rpc::InstallKind::kBaseP4,
+                           controller::designs::BaseP4())
+                  .ok());
+  auto epoch1 = client.QueryEpoch();
+  ASSERT_TRUE(epoch1.ok());
+  EXPECT_EQ(epoch1->epoch, 1u);
+  EXPECT_TRUE(epoch1->has_design);
+
+  // Nothing queued: drain is a no-op quiesce.
+  auto drained = client.Drain(2);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->processed, 0u);
+}
+
+}  // namespace
+}  // namespace ipsa::daemon

@@ -215,7 +215,7 @@ TEST_P(LpmSweepTest, MatchesLinearReference) {
   for (uint32_t i = 0; i < GetParam().entries; ++i) {
     uint32_t len = static_cast<uint32_t>(rng.NextInRange(0, 32));
     uint32_t prefix = static_cast<uint32_t>(rng.Next());
-    if (len < 32) prefix &= ~((1u << (32 - len)) - 1);
+    if (len != 0 && len < 32) prefix &= ~((1u << (32 - len)) - 1);
     Entry e = MakeEntry(prefix, 32, 1, i + 1);
     e.prefix_len = len;
     ASSERT_TRUE((*t)->Insert(e).ok());

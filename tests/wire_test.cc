@@ -1,0 +1,417 @@
+// Wire codec and protocol robustness: roundtrips, strict-decode failures,
+// frame-stream corruption, and the dispatcher's never-crash guarantees.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "rpc/protocol.h"
+#include "rpc/server.h"
+#include "wire/wire.h"
+
+namespace ipsa::wire {
+namespace {
+
+TEST(Writer, LittleEndianLayout) {
+  Writer w;
+  w.U8(0xAB);
+  w.U16(0x1234);
+  w.U32(0xDEADBEEF);
+  std::vector<uint8_t> bytes = w.Take();
+  ASSERT_EQ(bytes.size(), 7u);
+  EXPECT_EQ(bytes[0], 0xAB);
+  EXPECT_EQ(bytes[1], 0x34);  // u16 LSB first
+  EXPECT_EQ(bytes[2], 0x12);
+  EXPECT_EQ(bytes[3], 0xEF);  // u32 LSB first
+  EXPECT_EQ(bytes[6], 0xDE);
+}
+
+TEST(ReaderWriter, PrimitiveRoundtrip) {
+  Writer w;
+  w.U8(7);
+  w.U16(65535);
+  w.U32(0x01020304);
+  w.U64(0x1122334455667788ull);
+  w.F64(3.25);
+  w.Bool(true);
+  w.Str("hello rP4");
+  w.Bits(mem::BitString(48, 0x02AABBCCDDEEull));
+  std::vector<uint8_t> bytes = w.Take();
+
+  Reader r(bytes);
+  EXPECT_EQ(*r.U8(), 7);
+  EXPECT_EQ(*r.U16(), 65535);
+  EXPECT_EQ(*r.U32(), 0x01020304u);
+  EXPECT_EQ(*r.U64(), 0x1122334455667788ull);
+  EXPECT_EQ(*r.F64(), 3.25);
+  EXPECT_EQ(*r.Bool(), true);
+  EXPECT_EQ(*r.Str(), "hello rP4");
+  mem::BitString bits = *r.Bits();
+  EXPECT_EQ(bits.bit_width(), 48u);
+  EXPECT_EQ(bits.ToUint64(), 0x02AABBCCDDEEull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Reader, TruncationFailsEveryAccessor) {
+  std::vector<uint8_t> one{0x42};
+  EXPECT_FALSE(Reader(one).U16().ok());
+  EXPECT_FALSE(Reader(one).U32().ok());
+  EXPECT_FALSE(Reader(one).U64().ok());
+  EXPECT_FALSE(Reader(one).Str().ok());
+  EXPECT_FALSE(Reader(one).Bits().ok());
+  EXPECT_TRUE(Reader(one).U8().ok());
+}
+
+TEST(Reader, StringLengthPastEndFails) {
+  Writer w;
+  w.U32(1000);  // claims 1000 bytes, provides 2
+  w.U8('h');
+  w.U8('i');
+  std::vector<uint8_t> bytes = w.Take();
+  Reader r(bytes);
+  EXPECT_FALSE(r.Str().ok());
+}
+
+TEST(Reader, OversizedStringBoundFails) {
+  Writer w;
+  w.U32(kMaxStringBytes + 1);
+  std::vector<uint8_t> bytes = w.Take();
+  Reader r(bytes);
+  // Rejected on the bound before any attempt to read/allocate the body.
+  EXPECT_FALSE(r.Str().ok());
+}
+
+TEST(Reader, OversizedBitStringBoundFails) {
+  Writer w;
+  w.U32(kMaxBitStringBits + 1);
+  std::vector<uint8_t> bytes = w.Take();
+  Reader r(bytes);
+  EXPECT_FALSE(r.Bits().ok());
+}
+
+TEST(FrameCodec, RoundtripSingleFrame) {
+  Frame in{.type = 5, .seq = 99, .payload = {1, 2, 3, 4, 5}};
+  FrameDecoder dec;
+  dec.Feed(EncodeFrame(in));
+  auto out = dec.Next();
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ(**out, in);
+  auto end = dec.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+}
+
+TEST(FrameCodec, ByteByByteFeed) {
+  Frame in{.type = 7, .seq = 3, .payload = std::vector<uint8_t>(100, 0xCD)};
+  std::vector<uint8_t> bytes = EncodeFrame(in);
+  FrameDecoder dec;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    dec.Feed(std::span<const uint8_t>(&bytes[i], 1));
+    auto out = dec.Next();
+    ASSERT_TRUE(out.ok());
+    EXPECT_FALSE(out->has_value()) << "frame complete too early at byte " << i;
+  }
+  dec.Feed(std::span<const uint8_t>(&bytes.back(), 1));
+  auto out = dec.Next();
+  ASSERT_TRUE(out.ok());
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ(**out, in);
+}
+
+TEST(FrameCodec, MultipleFramesInOneFeed) {
+  Frame a{.type = 1, .seq = 1, .payload = {0xAA}};
+  Frame b{.type = 3, .seq = 2, .payload = {}};
+  Frame c{.type = 5, .seq = 3, .payload = std::vector<uint8_t>(9000, 1)};
+  std::vector<uint8_t> bytes;
+  for (const Frame* f : {&a, &b, &c}) {
+    std::vector<uint8_t> enc = EncodeFrame(*f);
+    bytes.insert(bytes.end(), enc.begin(), enc.end());
+  }
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  EXPECT_EQ(**dec.Next(), a);
+  EXPECT_EQ(**dec.Next(), b);
+  EXPECT_EQ(**dec.Next(), c);
+  EXPECT_FALSE((*dec.Next()).has_value());
+}
+
+TEST(FrameCodec, BadMagicPoisonsStream) {
+  std::vector<uint8_t> bytes = EncodeFrame(Frame{.type = 1, .seq = 1});
+  bytes[0] ^= 0xFF;
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  EXPECT_FALSE(dec.Next().ok());
+  EXPECT_TRUE(dec.corrupt());
+  // Poisoned for good: even valid bytes afterwards don't revive it.
+  dec.Feed(EncodeFrame(Frame{.type = 1, .seq = 2}));
+  EXPECT_FALSE(dec.Next().ok());
+}
+
+TEST(FrameCodec, NonZeroFlagsPoisonStream) {
+  std::vector<uint8_t> bytes = EncodeFrame(Frame{.type = 1, .seq = 1});
+  bytes[6] = 1;  // flags live at offset 6..7
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  EXPECT_FALSE(dec.Next().ok());
+  EXPECT_TRUE(dec.corrupt());
+}
+
+TEST(FrameCodec, OversizedLengthPoisonsStream) {
+  std::vector<uint8_t> bytes = EncodeFrame(Frame{.type = 1, .seq = 1});
+  uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(&bytes[12], &huge, sizeof(huge));
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  EXPECT_FALSE(dec.Next().ok());
+  EXPECT_TRUE(dec.corrupt());
+}
+
+TEST(FrameCodec, GarbageIsRejectedNotCrashed) {
+  std::vector<uint8_t> garbage(1024);
+  uint32_t x = 0x9E3779B9;
+  for (auto& byte : garbage) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    byte = static_cast<uint8_t>(x);
+  }
+  FrameDecoder dec;
+  dec.Feed(garbage);
+  EXPECT_FALSE(dec.Next().ok());
+  EXPECT_TRUE(dec.corrupt());
+}
+
+TEST(FrameCodec, ResetClearsCorruption) {
+  FrameDecoder dec;
+  dec.Feed(std::vector<uint8_t>(kFrameHeaderBytes, 0));
+  EXPECT_FALSE(dec.Next().ok());
+  dec.Reset();
+  EXPECT_FALSE(dec.corrupt());
+  Frame f{.type = 2, .seq = 9, .payload = {7}};
+  dec.Feed(EncodeFrame(f));
+  EXPECT_EQ(**dec.Next(), f);
+}
+
+}  // namespace
+}  // namespace ipsa::wire
+
+namespace ipsa::rpc {
+namespace {
+
+table::Entry TestEntry() {
+  table::Entry e;
+  e.key = mem::BitString(32, 0x0A000001);
+  e.mask = mem::BitString(32, 0xFFFFFF00);
+  e.prefix_len = 24;
+  e.priority = 5;
+  e.action_id = 3;
+  e.action_data = mem::BitString(16, 100);
+  return e;
+}
+
+TEST(Protocol, StatusPrefixRoundtrip) {
+  for (const Status& s :
+       {OkStatus(), NotFound("no such table 'x'"), DeadlineExceeded("late"),
+        Unavailable("down")}) {
+    wire::Writer w;
+    PutStatus(w, s);
+    std::vector<uint8_t> bytes = w.Take();
+    wire::Reader r(bytes);
+    Status out = OkStatus();
+    ASSERT_TRUE(GetStatus(r, out).ok());
+    EXPECT_EQ(out.code(), s.code());
+    EXPECT_EQ(out.message(), s.message());
+  }
+}
+
+TEST(Protocol, UnknownStatusCodeRejected) {
+  wire::Writer w;
+  w.U16(999);
+  w.Str("???");
+  std::vector<uint8_t> bytes = w.Take();
+  wire::Reader r(bytes);
+  Status out = OkStatus();
+  EXPECT_FALSE(GetStatus(r, out).ok());
+}
+
+TEST(Protocol, TableOpRoundtrip) {
+  TableOp in;
+  in.op = TableOpKind::kModify;
+  in.table = "ipv4_lpm";
+  in.entry = TestEntry();
+  wire::Writer w;
+  in.Encode(w);
+  std::vector<uint8_t> bytes = w.Take();
+  wire::Reader r(bytes);
+  auto out = TableOp::Decode(r);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->op, TableOpKind::kModify);
+  EXPECT_EQ(out->table, "ipv4_lpm");
+  EXPECT_EQ(out->entry.key.ToUint64(), in.entry.key.ToUint64());
+  EXPECT_EQ(out->entry.mask.ToUint64(), in.entry.mask.ToUint64());
+  EXPECT_EQ(out->entry.prefix_len, 24u);
+  EXPECT_EQ(out->entry.priority, 5u);
+  EXPECT_EQ(out->entry.action_id, 3u);
+  EXPECT_EQ(out->entry.action_data.ToUint64(), 100u);
+}
+
+TEST(Protocol, BatchSizeBoundEnforced) {
+  wire::Writer w;
+  w.U32(kMaxBatchOps + 1);  // claimed op count
+  std::vector<uint8_t> bytes = w.Take();
+  wire::Reader r(bytes);
+  EXPECT_FALSE(TableBatchRequest::Decode(r).ok());
+}
+
+TEST(Protocol, ApiSpecRoundtrip) {
+  compiler::ApiSpec in;
+  compiler::TableApi t;
+  t.table = "nexthop";
+  t.match_kind = table::MatchKind::kExact;
+  t.key_field_widths = {16};
+  t.actions["set_port"] = {2, {9, 48}};
+  t.actions["drop"] = {1, {}};
+  in.tables["nexthop"] = t;
+
+  wire::Writer w;
+  PutApiSpec(w, in);
+  std::vector<uint8_t> bytes = w.Take();
+  wire::Reader r(bytes);
+  auto out = GetApiSpec(r);
+  ASSERT_TRUE(out.ok());
+  const compiler::TableApi* got = out->Find("nexthop");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->match_kind, table::MatchKind::kExact);
+  EXPECT_EQ(got->key_field_widths, std::vector<uint32_t>{16});
+  ASSERT_EQ(got->actions.size(), 2u);
+  EXPECT_EQ(got->actions.at("set_port").first, 2u);
+  EXPECT_EQ(got->actions.at("set_port").second, (std::vector<uint32_t>{9, 48}));
+  EXPECT_TRUE(got->actions.at("drop").second.empty());
+}
+
+// --- dispatcher robustness ---------------------------------------------------
+
+class FakeBackend : public Backend {
+ public:
+  BackendInfo Info() override {
+    return BackendInfo{"ipsa", 16, installed_, epoch_};
+  }
+  Result<InstallOutcome> Install(InstallKind, const std::string&) override {
+    installed_ = true;
+    return InstallOutcome{1.0, 2.0, ++epoch_};
+  }
+  Status ApplyTableOp(const TableOp& op) override {
+    if (op.table == "bad") return NotFound("no such table 'bad'");
+    ++ops_applied_;
+    return OkStatus();
+  }
+  Result<compiler::ApiSpec> Api() override { return compiler::ApiSpec{}; }
+  Result<StatsResponse> QueryStats() override { return StatsResponse{}; }
+  Result<uint32_t> Drain(uint32_t) override { return 0u; }
+
+  int ops_applied() const { return ops_applied_; }
+
+ private:
+  bool installed_ = false;
+  uint64_t epoch_ = 0;
+  int ops_applied_ = 0;
+};
+
+wire::Frame MakeHello(uint32_t seq = 1,
+                      uint32_t version = kProtocolVersion) {
+  HelloRequest hello;
+  hello.version = version;
+  hello.client = "test";
+  wire::Writer w;
+  hello.Encode(w);
+  return wire::Frame{static_cast<uint16_t>(MsgType::kHelloReq), seq,
+                     w.Take()};
+}
+
+Status RespStatus(const wire::Frame& resp) {
+  wire::Reader r(resp.payload);
+  Status out = OkStatus();
+  EXPECT_TRUE(GetStatus(r, out).ok());
+  return out;
+}
+
+TEST(Dispatcher, CallBeforeHandshakeFailsTheCallOnly) {
+  FakeBackend backend;
+  Dispatcher d(backend);
+  wire::Frame req{static_cast<uint16_t>(MsgType::kStatsReq), 7, {}};
+  wire::Frame resp = d.Handle(req);
+  EXPECT_EQ(resp.type, static_cast<uint16_t>(MsgType::kStatsResp));
+  EXPECT_EQ(resp.seq, 7u);
+  EXPECT_EQ(RespStatus(resp).code(), StatusCode::kFailedPrecondition);
+  // The session is still alive: handshake then call works.
+  EXPECT_EQ(RespStatus(d.Handle(MakeHello())).code(), StatusCode::kOk);
+  EXPECT_EQ(RespStatus(d.Handle(req)).code(), StatusCode::kOk);
+}
+
+TEST(Dispatcher, VersionMismatchRejected) {
+  FakeBackend backend;
+  Dispatcher d(backend);
+  wire::Frame resp = d.Handle(MakeHello(1, kProtocolVersion + 1));
+  EXPECT_NE(RespStatus(resp).code(), StatusCode::kOk);
+  EXPECT_FALSE(d.handshaken());
+}
+
+TEST(Dispatcher, UnknownTagGetsErrorResponse) {
+  FakeBackend backend;
+  Dispatcher d(backend);
+  d.Handle(MakeHello());
+  wire::Frame req{999, 4, {}};
+  wire::Frame resp = d.Handle(req);
+  EXPECT_EQ(resp.seq, 4u);
+  EXPECT_NE(RespStatus(resp).code(), StatusCode::kOk);
+}
+
+TEST(Dispatcher, ResponseTagsToRequestsGetErrorResponse) {
+  FakeBackend backend;
+  Dispatcher d(backend);
+  d.Handle(MakeHello());
+  // A client must never send a response tag; the dispatcher answers with an
+  // error rather than crashing or echoing.
+  wire::Frame req{static_cast<uint16_t>(MsgType::kStatsResp), 5, {}};
+  EXPECT_NE(RespStatus(d.Handle(req)).code(), StatusCode::kOk);
+}
+
+TEST(Dispatcher, GarbagePayloadFailsTheCallOnly) {
+  FakeBackend backend;
+  Dispatcher d(backend);
+  d.Handle(MakeHello());
+  wire::Frame req{static_cast<uint16_t>(MsgType::kInstallReq), 8,
+                  {0xFF, 0xFF, 0xFF}};
+  wire::Frame resp = d.Handle(req);
+  EXPECT_EQ(resp.type, static_cast<uint16_t>(MsgType::kInstallResp));
+  EXPECT_NE(RespStatus(resp).code(), StatusCode::kOk);
+  // Next well-formed call still succeeds.
+  wire::Frame stats{static_cast<uint16_t>(MsgType::kStatsReq), 9, {}};
+  EXPECT_EQ(RespStatus(d.Handle(stats)).code(), StatusCode::kOk);
+}
+
+TEST(Dispatcher, BatchStopsAtFirstFailureAndReportsIndex) {
+  FakeBackend backend;
+  Dispatcher d(backend);
+  d.Handle(MakeHello());
+
+  TableBatchRequest batch;
+  for (const char* table : {"ok1", "ok2", "bad", "ok3"}) {
+    TableOp op;
+    op.table = table;
+    op.entry = TestEntry();
+    batch.ops.push_back(op);
+  }
+  wire::Writer w;
+  batch.Encode(w);
+  wire::Frame req{static_cast<uint16_t>(MsgType::kTableBatchReq), 10,
+                  w.Take()};
+  wire::Frame resp = d.Handle(req);
+  Status s = RespStatus(resp);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("batch op 2"), std::string::npos) << s.message();
+  EXPECT_EQ(backend.ops_applied(), 2);  // ok1, ok2 applied; bad stopped it
+}
+
+}  // namespace
+}  // namespace ipsa::rpc

@@ -18,10 +18,15 @@
 //   $ ./build/tools/ipbm_sim
 //   > populate
 //   > v4 192.168.0.1 10.0.0.7
-//   port 3  ttl 63  ii 2.94
+//   port 3  ttl 63
 //   > script ecmp
 //   > populate ecmp
 //   > v4 192.168.0.1 10.0.0.7
+//
+// Packets flow through daemon::InjectAndDrain — the same RX-push +
+// run-to-completion + TX-collect path switchd uses for UDP packet-in — so
+// this tool and the networked daemon cannot diverge. `trace` keeps the
+// single-packet Process path because tracing needs per-stage hooks.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -30,6 +35,7 @@
 #include "controller/baseline.h"
 #include "controller/controller.h"
 #include "controller/designs.h"
+#include "daemon/backends.h"
 #include "net/packet_builder.h"
 #include "util/strings.h"
 
@@ -46,8 +52,7 @@ Result<std::string> ReadFile(const std::string& path) {
 
 class Session {
  public:
-  Session()
-      : controller_(device_, compiler::Rp4bcOptions{}) {}
+  Session() = default;
 
   Status Boot(const std::string& p4_path) {
     std::string source;
@@ -57,7 +62,7 @@ class Session {
       IPSA_ASSIGN_OR_RETURN(source, ReadFile(p4_path));
     }
     IPSA_ASSIGN_OR_RETURN(controller::FlowTiming timing,
-                          controller_.LoadBaseFromP4(source));
+                          fc().LoadBaseFromP4(source));
     std::printf("base design up (compile %.2f ms, load %.2f ms); type "
                 "'populate' to install entries\n",
                 timing.compile_ms, timing.load_ms);
@@ -72,9 +77,9 @@ class Session {
     Status s = OkStatus();
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "map") {
-      std::printf("%s", device_.pipeline().MappingToString().c_str());
+      std::printf("%s", dev().pipeline().MappingToString().c_str());
     } else if (cmd == "stats") {
-      const auto& st = device_.stats();
+      const auto& st = dev().stats();
       std::printf("packets in/out/drop: %llu/%llu/%llu  marked: %llu\n"
                   "config words: %llu  template writes: %llu  "
                   "table ops: %llu  drains: %llu\n",
@@ -85,14 +90,14 @@ class Session {
                   (unsigned long long)st.config_words_written,
                   (unsigned long long)st.template_writes,
                   (unsigned long long)st.table_ops,
-                  (unsigned long long)device_.pipeline().drain_events());
+                  (unsigned long long)dev().pipeline().drain_events());
     } else if (cmd == "source") {
-      std::printf("%s", controller_.CurrentRp4Source().c_str());
+      std::printf("%s", fc().CurrentRp4Source().c_str());
     } else if (cmd == "tables") {
       std::printf("%-18s %-9s %8s %8s %8s %8s\n", "table", "match",
                   "entries", "size", "hits", "misses");
-      for (const auto& name : device_.catalog().TableNames()) {
-        auto t = device_.catalog().Get(name);
+      for (const auto& name : dev().catalog().TableNames()) {
+        auto t = dev().catalog().Get(name);
         if (!t.ok()) continue;
         std::printf("%-18s %-9s %8u %8u %8llu %8llu\n", name.c_str(),
                     std::string(table::MatchKindName((*t)->spec().match_kind))
@@ -134,7 +139,7 @@ class Session {
     }
     IPSA_ASSIGN_OR_RETURN(
         controller::FlowTiming timing,
-        controller_.ApplyScript(text, controller::designs::ResolveSnippet));
+        fc().ApplyScript(text, controller::designs::ResolveSnippet));
     std::printf("update applied (compile %.2f ms, load %.2f ms)\n",
                 timing.compile_ms, timing.load_ms);
     return OkStatus();
@@ -142,15 +147,15 @@ class Session {
 
   Status Populate(const std::string& which) {
     auto add = [this](const std::string& t, const table::Entry& e) {
-      return controller_.AddEntry(t, e);
+      return fc().AddEntry(t, e);
     };
     if (which == "ecmp") {
-      return controller::PopulateEcmp(controller_.api(), add, config_);
+      return controller::PopulateEcmp(fc().api(), add, config_);
     }
     if (which == "srv6") {
-      return controller::PopulateSrv6(controller_.api(), add, config_);
+      return controller::PopulateSrv6(fc().api(), add, config_);
     }
-    return controller::PopulateBaseline(controller_.api(), add, config_);
+    return controller::PopulateBaseline(fc().api(), add, config_);
   }
 
   Status SendV4(const std::string& src, const std::string& dst, int count) {
@@ -165,11 +170,16 @@ class Session {
               .Udp(static_cast<uint16_t>(4000 + i), 80)
               .Payload(32)
               .Build();
-      IPSA_ASSIGN_OR_RETURN(pisa::ProcessResult r, device_.Process(p, 0));
-      net::Ipv4View ip(p.bytes().subspan(14));
-      std::printf("port %u  ttl %u  ii %.2f%s%s\n", r.egress_port, ip.ttl(),
-                  r.pipeline_ii, r.dropped ? "  DROPPED" : "",
-                  r.marked ? "  MARKED" : "");
+      IPSA_ASSIGN_OR_RETURN(std::vector<daemon::TxPacket> out,
+                            daemon::InjectAndDrain(backend_, std::move(p), 0));
+      if (out.empty()) {
+        std::printf("DROPPED\n");
+        continue;
+      }
+      for (daemon::TxPacket& tx : out) {
+        net::Ipv4View ip(tx.packet.bytes().subspan(14));
+        std::printf("port %u  ttl %u\n", tx.port, ip.ttl());
+      }
     }
     return OkStatus();
   }
@@ -188,7 +198,7 @@ class Session {
             .Build();
     pisa::ProcessTrace trace;
     IPSA_ASSIGN_OR_RETURN(pisa::ProcessResult r,
-                          device_.Process(p, 0, &trace));
+                          backend_.ProcessOne(p, 0, &trace));
     for (const auto& step : trace.steps) {
       std::printf("  TSP%-3u %-16s", step.unit, step.stage.c_str());
       if (step.table.empty()) {
@@ -226,27 +236,60 @@ class Session {
               .Udp(static_cast<uint16_t>(4000 + i), 80)
               .Payload(32)
               .Build();
-      IPSA_ASSIGN_OR_RETURN(pisa::ProcessResult r, device_.Process(p, 0));
-      net::Ipv6View ip(p.bytes().subspan(14));
-      std::printf("port %u  hop_limit %u  ii %.2f%s\n", r.egress_port,
-                  ip.hop_limit(), r.pipeline_ii,
-                  r.dropped ? "  DROPPED" : "");
+      IPSA_ASSIGN_OR_RETURN(std::vector<daemon::TxPacket> out,
+                            daemon::InjectAndDrain(backend_, std::move(p), 0));
+      if (out.empty()) {
+        std::printf("DROPPED\n");
+        continue;
+      }
+      for (daemon::TxPacket& tx : out) {
+        net::Ipv6View ip(tx.packet.bytes().subspan(14));
+        std::printf("port %u  hop_limit %u\n", tx.port, ip.hop_limit());
+      }
     }
     return OkStatus();
   }
 
-  ipbm::IpbmSwitch device_;
-  controller::Rp4FlowController controller_;
+  ipbm::IpbmSwitch& dev() { return backend_.device(); }
+  controller::Rp4FlowController& fc() { return backend_.controller(); }
+
+  daemon::IpsaBackend backend_;
   controller::BaselineConfig config_;
 };
+
+constexpr char kUsage[] =
+    "usage: ipbm_sim [--p4 FILE] [command-file...]\n"
+    "\n"
+    "Interactive driver for the IPSA behavioral switch. Boots the built-in\n"
+    "base L2/L3 design (or FILE), then executes commands from stdin or the\n"
+    "given command files. Commands:\n"
+    "  script <file|ecmp|srv6|probe>    apply a runtime-update script\n"
+    "  populate [ecmp|srv6]             install baseline/use-case entries\n"
+    "  v4 <src-ip> <dst-ip> [count]     inject IPv4/UDP packet(s)\n"
+    "  v6 <low-group> [count]           inject IPv6 packet(s)\n"
+    "  trace <src-ip> <dst-ip>          per-stage trace of one packet\n"
+    "  map | tables | stats | source    inspect the device\n"
+    "  quit\n";
 
 int Main(int argc, char** argv) {
   std::string p4_path;
   std::vector<std::string> command_files;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    if (a == "--p4" && i + 1 < argc) {
+    if (a == "-h" || a == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (a == "--p4") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ipbm_sim: --p4 needs a value\n\n%s", kUsage);
+        return 2;
+      }
       p4_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "ipbm_sim: unknown option '%s'\n\n%s", a.c_str(),
+                   kUsage);
+      return 2;
     } else {
       command_files.push_back(a);
     }

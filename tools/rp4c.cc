@@ -258,11 +258,28 @@ int CmdPisa(const Args& args) {
   return 0;
 }
 
+constexpr char kUsage[] =
+    "rp4c — rP4 compiler driver\n"
+    "\n"
+    "usage: rp4c <subcommand> [args]\n"
+    "\n"
+    "subcommands:\n"
+    "  fc <in.p4> [-o out.rp4] [--api a.json]    front-end: P4 -> rP4\n"
+    "  bc <in.rp4> [--templates t.json]          back-end: rP4 -> TSP\n"
+    "  update <base.rp4> <script.txt>            incremental update compile\n"
+    "  pisa <in.p4> [--design d.json]            monolithic PISA compile\n"
+    "\n"
+    "Input files named 'builtin:base', 'builtin:base+ecmp', etc. resolve to\n"
+    "the built-in designs. Pass -h/--help for this message.\n";
+
 int Main(int argc, char** argv) {
+  if (argc >= 2 && (std::string(argv[1]) == "-h" ||
+                    std::string(argv[1]) == "--help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "rp4c — rP4 compiler driver\n"
-                 "subcommands: fc | bc | update | pisa\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
   std::string cmd = argv[1];

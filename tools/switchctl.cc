@@ -1,0 +1,368 @@
+// switchctl — command-line controller for a running switchd.
+//
+// Speaks the rp4 wire protocol through rpc::Client: installs designs,
+// applies runtime-update scripts, populates tables (batched), executes
+// table-op script files, and queries stats — the paper's Table 1 scenario
+// driven over a socket instead of in-process.
+//
+//   $ switchctl --port 9090 install-p4 base
+//   $ switchctl --port 9090 populate
+//   $ switchctl --port 9090 script ecmp
+//   $ switchctl --port 9090 populate ecmp
+//   $ switchctl --port 9090 stats
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "controller/baseline.h"
+#include "controller/designs.h"
+#include "controller/runtime_api.h"
+#include "rpc/client.h"
+#include "util/strings.h"
+
+namespace ipsa::tools {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: switchctl [--host H] [--port P] [--timeout MS] <command> [args]\n"
+    "\n"
+    "commands:\n"
+    "  info                      server architecture, ports, epoch\n"
+    "  install-p4 <src>          install a full P4 program; <src> is a file\n"
+    "                            or a builtin: base, base+ecmp, base+srv6,\n"
+    "                            base+probe\n"
+    "  install-rp4 <file>        install a base design from rP4 text\n"
+    "  script <src>              apply a runtime-update script (ipsa arch\n"
+    "                            only); <src> is a file or a builtin: ecmp,\n"
+    "                            srv6, probe, probe-update, ecmp-remove,\n"
+    "                            probe-remove, telemetry, telemetry-remove\n"
+    "  populate [which]          batch-install entries: base (default),\n"
+    "                            ecmp, srv6\n"
+    "  ops <file>                apply table ops from a script file, batched\n"
+    "  stats                     device counters and per-table stats\n"
+    "  epoch                     current design epoch\n"
+    "  drain [workers]           run queued packets to completion\n"
+    "  -h, --help                print this help and exit\n"
+    "\n"
+    "ops file format (one op per line, '#' comments):\n"
+    "  add|mod|del <table> <action> [key=V]... [arg=V]... \\\n"
+    "      [prefix=N] [priority=N]\n"
+    "  V is decimal, 0xHEX, a dotted IPv4 address, or a ':'-separated MAC.\n";
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Decimal, 0x-hex, dotted-quad IPv4, or colon-separated MAC.
+Result<uint64_t> ParseValue(const std::string& text) {
+  if (text.find('.') != std::string::npos) {
+    unsigned a, b, c, d;
+    if (std::sscanf(text.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4 ||
+        a > 255 || b > 255 || c > 255 || d > 255) {
+      return InvalidArgument("bad IPv4 address '" + text + "'");
+    }
+    return (uint64_t(a) << 24) | (b << 16) | (c << 8) | d;
+  }
+  if (text.find(':') != std::string::npos) {
+    unsigned b[6];
+    if (std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &b[0], &b[1], &b[2],
+                    &b[3], &b[4], &b[5]) != 6) {
+      return InvalidArgument("bad MAC address '" + text + "'");
+    }
+    uint64_t v = 0;
+    for (unsigned byte : b) {
+      if (byte > 255) return InvalidArgument("bad MAC address '" + text + "'");
+      v = (v << 8) | byte;
+    }
+    return v;
+  }
+  char* end = nullptr;
+  uint64_t v = std::strtoull(text.c_str(), &end, 0);
+  if (end == text.c_str() || *end != '\0') {
+    return InvalidArgument("bad value '" + text + "'");
+  }
+  return v;
+}
+
+Result<std::string> ResolveP4(const std::string& src) {
+  if (src == "base") return controller::designs::BaseP4();
+  if (src == "base+ecmp") return controller::designs::BasePlusEcmpP4();
+  if (src == "base+srv6") return controller::designs::BasePlusSrv6P4();
+  if (src == "base+probe") return controller::designs::BasePlusProbeP4();
+  return ReadFile(src);
+}
+
+Result<std::string> ResolveScript(const std::string& src) {
+  using namespace controller::designs;
+  if (src == "ecmp") return EcmpScript();
+  if (src == "srv6") return Srv6Script();
+  if (src == "probe") return ProbeScript();
+  if (src == "probe-update") return ProbeUpdateScript();
+  if (src == "ecmp-remove") return EcmpRemoveScript();
+  if (src == "probe-remove") return ProbeRemoveScript();
+  if (src == "telemetry") return TelemetryScript();
+  if (src == "telemetry-remove") return TelemetryRemoveScript();
+  return ReadFile(src);
+}
+
+Status DoInstall(rpc::Client& client, rpc::InstallKind kind,
+                 const std::string& source) {
+  IPSA_ASSIGN_OR_RETURN(rpc::InstallResponse resp,
+                        client.Install(kind, source));
+  std::printf("installed: compile %.2f ms  load %.2f ms  epoch %llu\n",
+              resp.compile_ms, resp.load_ms,
+              (unsigned long long)resp.epoch);
+  return OkStatus();
+}
+
+Status DoPopulate(rpc::Client& client, const std::string& which) {
+  IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api, client.FetchApi());
+  std::vector<rpc::TableOp> ops;
+  controller::AddEntryFn collect = [&ops](const std::string& table,
+                                          const table::Entry& entry) {
+    rpc::TableOp op;
+    op.op = rpc::TableOpKind::kAdd;
+    op.table = table;
+    op.entry = entry;
+    ops.push_back(std::move(op));
+    return OkStatus();
+  };
+  controller::BaselineConfig config;
+  if (which.empty() || which == "base") {
+    IPSA_RETURN_IF_ERROR(controller::PopulateBaseline(api, collect, config));
+  } else if (which == "ecmp") {
+    IPSA_RETURN_IF_ERROR(controller::PopulateEcmp(api, collect, config));
+  } else if (which == "srv6") {
+    IPSA_RETURN_IF_ERROR(controller::PopulateSrv6(api, collect, config));
+  } else {
+    return InvalidArgument("populate: unknown set '" + which +
+                           "' (expected base|ecmp|srv6)");
+  }
+  IPSA_ASSIGN_OR_RETURN(rpc::TableBatchResponse resp,
+                        client.ApplyBatch(ops));
+  std::printf("populated %s: %u entries installed\n",
+              which.empty() ? "base" : which.c_str(), resp.applied);
+  return OkStatus();
+}
+
+// Parses one ops-file line into a TableOp using the server's API spec.
+Result<rpc::TableOp> ParseOp(const controller::EntryBuilder& builder,
+                             const compiler::ApiSpec& api,
+                             const std::vector<std::string>& tokens) {
+  if (tokens.size() < 3) {
+    return InvalidArgument("expected: add|mod|del <table> <action> ...");
+  }
+  rpc::TableOp op;
+  if (tokens[0] == "add") {
+    op.op = rpc::TableOpKind::kAdd;
+  } else if (tokens[0] == "mod") {
+    op.op = rpc::TableOpKind::kModify;
+  } else if (tokens[0] == "del") {
+    op.op = rpc::TableOpKind::kDelete;
+  } else {
+    return InvalidArgument("unknown op '" + tokens[0] + "'");
+  }
+  op.table = tokens[1];
+  const std::string& action = tokens[2];
+  const compiler::TableApi* table_api = api.Find(op.table);
+  if (!table_api) return NotFound("no such table '" + op.table + "'");
+  auto action_it = table_api->actions.find(action);
+  if (action_it == table_api->actions.end()) {
+    return NotFound("table '" + op.table + "' has no action '" + action + "'");
+  }
+  const std::vector<uint32_t>& arg_widths = action_it->second.second;
+
+  std::vector<controller::KeyValue> keys;
+  std::vector<mem::BitString> args;
+  uint32_t prefix_len = 0;
+  uint32_t priority = 0;
+  for (size_t i = 3; i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      return InvalidArgument("expected name=value, got '" + t + "'");
+    }
+    std::string name = t.substr(0, eq);
+    IPSA_ASSIGN_OR_RETURN(uint64_t value, ParseValue(t.substr(eq + 1)));
+    if (name == "key") {
+      keys.emplace_back(value);
+    } else if (name == "arg") {
+      if (args.size() >= arg_widths.size()) {
+        return InvalidArgument("action '" + action + "' takes " +
+                               std::to_string(arg_widths.size()) +
+                               " argument(s)");
+      }
+      args.push_back(controller::Bits(arg_widths[args.size()], value));
+    } else if (name == "prefix") {
+      prefix_len = static_cast<uint32_t>(value);
+    } else if (name == "priority") {
+      priority = static_cast<uint32_t>(value);
+    } else {
+      return InvalidArgument("unknown field '" + name + "'");
+    }
+  }
+  IPSA_ASSIGN_OR_RETURN(
+      op.entry, builder.Build(op.table, action, keys, args, prefix_len,
+                              priority));
+  return op;
+}
+
+Status DoOps(rpc::Client& client, const std::string& path) {
+  IPSA_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api, client.FetchApi());
+  controller::EntryBuilder builder(api);
+
+  std::vector<rpc::TableOp> ops;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = util::SplitWhitespace(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    Result<rpc::TableOp> op = ParseOp(builder, api, tokens);
+    if (!op.ok()) {
+      return InvalidArgument(path + ":" + std::to_string(line_no) + ": " +
+                             op.status().message());
+    }
+    ops.push_back(std::move(*op));
+  }
+  if (ops.empty()) return InvalidArgument(path + ": no ops");
+  IPSA_ASSIGN_OR_RETURN(rpc::TableBatchResponse resp, client.ApplyBatch(ops));
+  std::printf("applied %u op(s) from %s\n", resp.applied, path.c_str());
+  return OkStatus();
+}
+
+Status DoStats(rpc::Client& client) {
+  IPSA_ASSIGN_OR_RETURN(rpc::StatsResponse st, client.QueryStats());
+  std::printf("packets in/out/drop: %llu/%llu/%llu  marked: %llu\n"
+              "config words: %llu  full loads: %llu  template writes: %llu  "
+              "table ops: %llu\n",
+              (unsigned long long)st.packets_in,
+              (unsigned long long)st.packets_out,
+              (unsigned long long)st.packets_dropped,
+              (unsigned long long)st.packets_marked,
+              (unsigned long long)st.config_words_written,
+              (unsigned long long)st.full_loads,
+              (unsigned long long)st.template_writes,
+              (unsigned long long)st.table_ops);
+  std::printf("%-18s %-9s %8s %8s %8s %8s\n", "table", "match", "entries",
+              "size", "hits", "misses");
+  for (const rpc::TableStatsRow& row : st.tables) {
+    std::printf("%-18s %-9s %8u %8u %8llu %8llu\n", row.table.c_str(),
+                std::string(table::MatchKindName(
+                                static_cast<table::MatchKind>(row.match_kind)))
+                    .c_str(),
+                row.entries, row.size, (unsigned long long)row.hits,
+                (unsigned long long)row.misses);
+  }
+  return OkStatus();
+}
+
+int Main(int argc, char** argv) {
+  rpc::ClientOptions options;
+  options.client_name = "switchctl";
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "-h" || a == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (a == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (a == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--timeout" && i + 1 < argc) {
+      options.call_timeout_ms = std::atoi(argv[++i]);
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "switchctl: unknown option '%s'\n\n%s", a.c_str(),
+                   kUsage);
+      return 2;
+    } else {
+      break;  // first non-flag token is the command
+    }
+  }
+  if (i >= argc) {
+    std::fprintf(stderr, "switchctl: missing command\n\n%s", kUsage);
+    return 2;
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "switchctl: --port is required\n");
+    return 2;
+  }
+  std::string cmd = argv[i++];
+  std::vector<std::string> args(argv + i, argv + argc);
+
+  rpc::Client client(options);
+  Status s = OkStatus();
+  if (cmd == "info") {
+    s = client.Connect();
+    if (s.ok()) {
+      const rpc::HelloResponse& info = client.server_info();
+      std::printf("arch %s  ports %u  epoch %llu  design %s\n",
+                  info.arch.c_str(), info.port_count,
+                  (unsigned long long)info.epoch,
+                  info.has_design ? "installed" : "none");
+    }
+  } else if (cmd == "install-p4" && args.size() == 1) {
+    auto src = ResolveP4(args[0]);
+    s = src.ok() ? DoInstall(client, rpc::InstallKind::kBaseP4, *src)
+                 : src.status();
+  } else if (cmd == "install-rp4" && args.size() == 1) {
+    auto src = ReadFile(args[0]);
+    s = src.ok() ? DoInstall(client, rpc::InstallKind::kBaseRp4, *src)
+                 : src.status();
+  } else if (cmd == "script" && args.size() == 1) {
+    auto src = ResolveScript(args[0]);
+    s = src.ok() ? DoInstall(client, rpc::InstallKind::kScript, *src)
+                 : src.status();
+  } else if (cmd == "populate" && args.size() <= 1) {
+    s = DoPopulate(client, args.empty() ? "" : args[0]);
+  } else if (cmd == "ops" && args.size() == 1) {
+    s = DoOps(client, args[0]);
+  } else if (cmd == "stats" && args.empty()) {
+    s = DoStats(client);
+  } else if (cmd == "epoch" && args.empty()) {
+    auto e = client.QueryEpoch();
+    if (e.ok()) {
+      std::printf("arch %s  epoch %llu  design %s\n", e->arch.c_str(),
+                  (unsigned long long)e->epoch,
+                  e->has_design ? "installed" : "none");
+    }
+    s = e.status();
+  } else if (cmd == "drain" && args.size() <= 1) {
+    uint32_t workers = args.empty()
+                           ? 1
+                           : static_cast<uint32_t>(std::atoi(args[0].c_str()));
+    auto d = client.Drain(workers);
+    if (d.ok()) {
+      std::printf("drained %u packet(s)\n", d->processed);
+    }
+    s = d.status();
+  } else {
+    std::fprintf(stderr, "switchctl: unknown command '%s'\n\n%s", cmd.c_str(),
+                 kUsage);
+    return 2;
+  }
+
+  if (!s.ok()) {
+    std::fprintf(stderr, "switchctl: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipsa::tools
+
+int main(int argc, char** argv) { return ipsa::tools::Main(argc, argv); }

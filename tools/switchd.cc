@@ -1,0 +1,195 @@
+// switchd — the networked switch daemon.
+//
+// Hosts either behavioral device (--arch pisa|ipsa) behind a TCP control
+// channel (the rp4 wire protocol; see docs/control_plane.md) and one UDP
+// socket per exposed device port for packet-in/packet-out. Pair it with
+// switchctl for installs and table programming.
+//
+//   $ switchd --arch ipsa --control-port 9090 --udp-base 9190 --ports 4
+//   control 127.0.0.1:9090
+//   udp port 0 9190
+//   ...
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "controller/designs.h"
+#include "daemon/switchd.h"
+
+namespace ipsa::tools {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: switchd [options]\n"
+    "\n"
+    "Serve a behavioral switch over a TCP control channel plus one UDP\n"
+    "socket per device port for packet-in/packet-out.\n"
+    "\n"
+    "options:\n"
+    "  --arch pisa|ipsa     device architecture (default ipsa)\n"
+    "  --bind ADDR          IPv4 address to bind (default 127.0.0.1)\n"
+    "  --control-port N     control channel TCP port (default 0 = ephemeral)\n"
+    "  --udp-base N         first UDP port; port i binds N+i (default\n"
+    "                       0 = ephemeral per port)\n"
+    "  --ports N            device ports exposed over UDP (default 4)\n"
+    "  --workers N          workers for the RX drain (default 1)\n"
+    "  --base               boot with the built-in base L2/L3 design\n"
+    "                       installed (tables still need populating)\n"
+    "  --verbose            log dropped sessions and drain failures\n"
+    "  -h, --help           print this help and exit\n"
+    "\n"
+    "Bound ports are printed one per line ('control HOST:PORT', then\n"
+    "'udp port I PORT' per device port) before serving begins.\n";
+
+std::atomic<daemon::Switchd*> g_switchd{nullptr};
+
+void HandleSignal(int) {
+  if (auto* d = g_switchd.load(std::memory_order_acquire)) d->RequestStop();
+}
+
+Result<uint32_t> ParseUint(const std::string& value, const char* flag,
+                           uint32_t max) {
+  char* end = nullptr;
+  unsigned long v = std::strtoul(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || v > max) {
+    return InvalidArgument(std::string(flag) + ": bad value '" + value + "'");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+int Main(int argc, char** argv) {
+  daemon::SwitchdOptions options;
+  bool boot_base = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "-h" || a == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    Status s = OkStatus();
+    if (a == "--arch") {
+      const char* v = value();
+      if (!v) {
+        s = InvalidArgument("--arch needs a value");
+      } else {
+        auto arch = daemon::ArchFromName(v);
+        if (arch.ok()) {
+          options.arch = *arch;
+        } else {
+          s = arch.status();
+        }
+      }
+    } else if (a == "--bind") {
+      const char* v = value();
+      if (!v) {
+        s = InvalidArgument("--bind needs a value");
+      } else {
+        options.bind = v;
+      }
+    } else if (a == "--control-port") {
+      const char* v = value();
+      auto p = ParseUint(v ? v : "", "--control-port", 65535);
+      if (p.ok()) {
+        options.control_port = static_cast<uint16_t>(*p);
+      } else {
+        s = p.status();
+      }
+    } else if (a == "--udp-base") {
+      const char* v = value();
+      auto p = ParseUint(v ? v : "", "--udp-base", 65535);
+      if (p.ok()) {
+        options.udp_port_base = static_cast<uint16_t>(*p);
+      } else {
+        s = p.status();
+      }
+    } else if (a == "--ports") {
+      const char* v = value();
+      auto p = ParseUint(v ? v : "", "--ports", 4096);
+      if (p.ok()) {
+        options.udp_ports = *p;
+      } else {
+        s = p.status();
+      }
+    } else if (a == "--workers") {
+      const char* v = value();
+      auto p = ParseUint(v ? v : "", "--workers", 64);
+      if (p.ok() && *p > 0) {
+        options.drain_workers = *p;
+      } else {
+        s = p.ok() ? InvalidArgument("--workers must be >= 1") : p.status();
+      }
+    } else if (a == "--base") {
+      boot_base = true;
+    } else if (a == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr, "switchd: unknown option '%s'\n\n%s", a.c_str(),
+                   kUsage);
+      return 2;
+    }
+    if (!s.ok()) {
+      std::fprintf(stderr, "switchd: %s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  daemon::Switchd switchd(options);
+
+  if (boot_base) {
+    auto installed = switchd.backend().Install(
+        rpc::InstallKind::kBaseP4, controller::designs::BaseP4());
+    if (!installed.ok()) {
+      std::fprintf(stderr, "switchd: --base install failed: %s\n",
+                   installed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("base design installed (compile %.2f ms, load %.2f ms)\n",
+                installed->compile_ms, installed->load_ms);
+  }
+
+  if (Status s = switchd.Start(); !s.ok()) {
+    std::fprintf(stderr, "switchd: start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("control %s:%u\n", options.bind.c_str(),
+              switchd.control_port());
+  for (uint32_t p = 0; p < options.udp_ports; ++p) {
+    std::printf("udp port %u %u\n", p, switchd.udp_port(p));
+  }
+  std::fflush(stdout);
+
+  g_switchd.store(&switchd, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  // The loop thread owns all sockets; this thread just waits for a signal
+  // (or a fatal loop exit) to be reflected in running().
+  while (switchd.running()) {
+    ::usleep(50 * 1000);
+  }
+  g_switchd.store(nullptr, std::memory_order_release);
+  switchd.Stop();
+
+  const auto& c = switchd.counters();
+  std::printf("switchd: stopped  udp rx/tx %llu/%llu  control frames %llu\n",
+              (unsigned long long)c.udp_rx, (unsigned long long)c.udp_tx,
+              (unsigned long long)c.control_frames);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ipsa::tools
+
+int main(int argc, char** argv) { return ipsa::tools::Main(argc, argv); }
