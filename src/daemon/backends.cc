@@ -33,6 +33,24 @@ rpc::StatsResponse StatsFrom(const pisa::DeviceStats& st,
   return resp;
 }
 
+// Per-table telemetry rows come from the catalog's own hit/miss counters,
+// keeping the telemetry layer table-agnostic.
+void FillTableRows(const arch::TableCatalog& catalog,
+                   telemetry::MetricsSnapshot& snap) {
+  for (const std::string& name : catalog.TableNames()) {
+    auto t = catalog.Get(name);
+    if (!t.ok()) continue;
+    telemetry::TableRow row;
+    row.table = name;
+    row.match_kind = static_cast<uint8_t>((*t)->spec().match_kind);
+    row.entries = (*t)->entry_count();
+    row.size = (*t)->spec().size;
+    row.hits = (*t)->hits();
+    row.misses = (*t)->misses();
+    snap.tables.push_back(std::move(row));
+  }
+}
+
 }  // namespace
 
 std::string_view ArchName(ArchKind arch) {
@@ -147,6 +165,27 @@ Result<uint32_t> IpsaBackend::Drain(uint32_t workers) {
   return device_.RunToCompletion(workers);
 }
 
+Result<rpc::MetricsResponse> IpsaBackend::QueryMetrics() {
+  rpc::MetricsResponse resp;
+  resp.arch = std::string(ArchName(ArchKind::kIpsa));
+  resp.snapshot =
+      device_.telemetry().Snapshot(device_.config_epoch(), device_.stats());
+  FillTableRows(device_.catalog(), resp.snapshot);
+  return resp;
+}
+
+Result<rpc::TracesResponse> IpsaBackend::DrainTraces(uint32_t max) {
+  if (max == 0 || max > rpc::kMaxTraceRecords) max = rpc::kMaxTraceRecords;
+  rpc::TracesResponse resp;
+  resp.traces = device_.telemetry().DrainTraces(max);
+  return resp;
+}
+
+Status IpsaBackend::ResetMetrics() {
+  device_.telemetry().Reset();
+  return OkStatus();
+}
+
 // --- PisaBackend -------------------------------------------------------------
 
 PisaBackend::PisaBackend(pisa::PisaOptions options,
@@ -216,6 +255,27 @@ Result<rpc::StatsResponse> PisaBackend::QueryStats() {
 
 Result<uint32_t> PisaBackend::Drain(uint32_t workers) {
   return device_.RunToCompletion(workers);
+}
+
+Result<rpc::MetricsResponse> PisaBackend::QueryMetrics() {
+  rpc::MetricsResponse resp;
+  resp.arch = std::string(ArchName(ArchKind::kPisa));
+  resp.snapshot =
+      device_.telemetry().Snapshot(device_.config_epoch(), device_.stats());
+  FillTableRows(device_.catalog(), resp.snapshot);
+  return resp;
+}
+
+Result<rpc::TracesResponse> PisaBackend::DrainTraces(uint32_t max) {
+  if (max == 0 || max > rpc::kMaxTraceRecords) max = rpc::kMaxTraceRecords;
+  rpc::TracesResponse resp;
+  resp.traces = device_.telemetry().DrainTraces(max);
+  return resp;
+}
+
+Status PisaBackend::ResetMetrics() {
+  device_.telemetry().Reset();
+  return OkStatus();
 }
 
 std::unique_ptr<DeviceBackend> MakeBackend(ArchKind arch) {

@@ -14,8 +14,9 @@
 #include "controller/controller.h"
 #include "net/packet.h"
 #include "net/ports.h"
-#include "pisa/device_stats.h"
 #include "rpc/backend.h"
+#include "telemetry/collector.h"
+#include "telemetry/device_stats.h"
 #include "util/status.h"
 
 namespace ipsa::daemon {
@@ -31,10 +32,14 @@ class DeviceBackend : public rpc::Backend {
   virtual net::PortSet& ports() = 0;
   virtual Result<uint32_t> RunToCompletion(uint32_t workers) = 0;
   // Single-packet path with optional tracing (ipbm_sim's `trace` command).
-  virtual Result<pisa::ProcessResult> ProcessOne(
+  virtual Result<telemetry::ProcessResult> ProcessOne(
       net::Packet& packet, uint32_t in_port,
-      pisa::ProcessTrace* trace = nullptr) = 0;
+      telemetry::ProcessTrace* trace = nullptr) = 0;
   virtual const arch::TableCatalog& catalog() const = 0;
+  // Configures the device's telemetry collector (the daemon enables it at
+  // startup unless --no-telemetry); a disabled collector costs one branch
+  // per packet.
+  virtual void ConfigureTelemetry(const telemetry::TelemetryConfig& config) = 0;
 };
 
 // One packet leaving the device: which port it egressed and its bytes.
@@ -67,18 +72,24 @@ class IpsaBackend : public DeviceBackend {
   Result<compiler::ApiSpec> Api() override;
   Result<rpc::StatsResponse> QueryStats() override;
   Result<uint32_t> Drain(uint32_t workers) override;
+  Result<rpc::MetricsResponse> QueryMetrics() override;
+  Result<rpc::TracesResponse> DrainTraces(uint32_t max) override;
+  Status ResetMetrics() override;
 
   // DeviceBackend
   net::PortSet& ports() override { return device_.ports(); }
   Result<uint32_t> RunToCompletion(uint32_t workers) override {
     return device_.RunToCompletion(workers);
   }
-  Result<pisa::ProcessResult> ProcessOne(net::Packet& packet, uint32_t in_port,
-                                         pisa::ProcessTrace* trace) override {
+  Result<telemetry::ProcessResult> ProcessOne(net::Packet& packet, uint32_t in_port,
+                                         telemetry::ProcessTrace* trace) override {
     return device_.Process(packet, in_port, trace);
   }
   const arch::TableCatalog& catalog() const override {
     return device_.catalog();
+  }
+  void ConfigureTelemetry(const telemetry::TelemetryConfig& config) override {
+    device_.ConfigureTelemetry(config);
   }
 
   ipbm::IpbmSwitch& device() { return device_; }
@@ -103,17 +114,23 @@ class PisaBackend : public DeviceBackend {
   Result<compiler::ApiSpec> Api() override;
   Result<rpc::StatsResponse> QueryStats() override;
   Result<uint32_t> Drain(uint32_t workers) override;
+  Result<rpc::MetricsResponse> QueryMetrics() override;
+  Result<rpc::TracesResponse> DrainTraces(uint32_t max) override;
+  Status ResetMetrics() override;
 
   net::PortSet& ports() override { return device_.ports(); }
   Result<uint32_t> RunToCompletion(uint32_t workers) override {
     return device_.RunToCompletion(workers);
   }
-  Result<pisa::ProcessResult> ProcessOne(net::Packet& packet, uint32_t in_port,
-                                         pisa::ProcessTrace* trace) override {
+  Result<telemetry::ProcessResult> ProcessOne(net::Packet& packet, uint32_t in_port,
+                                         telemetry::ProcessTrace* trace) override {
     return device_.Process(packet, in_port, trace);
   }
   const arch::TableCatalog& catalog() const override {
     return device_.catalog();
+  }
+  void ConfigureTelemetry(const telemetry::TelemetryConfig& config) override {
+    device_.ConfigureTelemetry(config);
   }
 
   pisa::PisaSwitch& device() { return device_; }

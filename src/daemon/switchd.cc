@@ -8,6 +8,8 @@
 
 #include <cstdio>
 
+#include "telemetry/export.h"
+
 namespace ipsa::daemon {
 
 namespace {
@@ -22,7 +24,12 @@ bool SameAddr(const sockaddr_in& a, const sockaddr_in& b) {
 }  // namespace
 
 Switchd::Switchd(SwitchdOptions options)
-    : options_(std::move(options)), backend_(MakeBackend(options_.arch)) {}
+    : options_(std::move(options)), backend_(MakeBackend(options_.arch)) {
+  telemetry::TelemetryConfig tcfg;
+  tcfg.enabled = options_.telemetry;
+  tcfg.trace.sample_every = options_.trace_sample_every;
+  backend_->ConfigureTelemetry(tcfg);
+}
 
 Switchd::~Switchd() {
   Stop();
@@ -35,6 +42,11 @@ Status Switchd::Bind() {
                         wire::TcpListen(options_.bind, options_.control_port));
   IPSA_ASSIGN_OR_RETURN(control_port_, wire::LocalPort(listen_));
   IPSA_RETURN_IF_ERROR(wire::SetNonBlocking(listen_.fd(), true));
+
+  IPSA_ASSIGN_OR_RETURN(metrics_listen_,
+                        wire::TcpListen(options_.bind, options_.metrics_port));
+  IPSA_ASSIGN_OR_RETURN(metrics_port_, wire::LocalPort(metrics_listen_));
+  IPSA_RETURN_IF_ERROR(wire::SetNonBlocking(metrics_listen_.fd(), true));
 
   uint32_t device_ports = backend_->ports().count();
   if (options_.udp_ports > device_ports) {
@@ -158,6 +170,62 @@ void Switchd::ServiceUdp(uint32_t port_index) {
   }
 }
 
+void Switchd::AcceptMetrics() {
+  while (true) {
+    int fd = ::accept(metrics_listen_.fd(), nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient failure; listener stays
+    wire::Socket sock(fd);
+    if (!wire::SetNonBlocking(fd, true).ok()) continue;
+    http_conns_.emplace_back(std::move(sock));
+  }
+}
+
+std::string Switchd::RenderMetricsBody() {
+  auto metrics = backend_->QueryMetrics();
+  if (!metrics.ok()) return std::string();
+  return telemetry::RenderPrometheus(metrics->snapshot, metrics->arch);
+}
+
+bool Switchd::ServiceHttp(HttpConn& conn) {
+  char buf[4096];
+  while (true) {
+    ssize_t n = ::recv(conn.sock.fd(), buf, sizeof(buf), 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.request.append(buf, static_cast<size_t>(n));
+    if (conn.request.size() > 64 * 1024) return false;  // header bound
+  }
+  // Wait for the end of the request head; the body (none expected) is
+  // ignored. HTTP/1.0 one-shot: respond and close.
+  if (conn.request.find("\r\n\r\n") == std::string::npos &&
+      conn.request.find("\n\n") == std::string::npos) {
+    return true;
+  }
+  bool get_metrics = conn.request.rfind("GET /metrics", 0) == 0 ||
+                     conn.request.rfind("GET / ", 0) == 0;
+  std::string body;
+  std::string head;
+  if (get_metrics) {
+    body = RenderMetricsBody();
+    head = "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; "
+           "charset=utf-8\r\n";
+    ++counters_.metrics_scrapes;
+  } else {
+    body = "not found\n";
+    head = "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\n";
+  }
+  head += "Content-Length: " + std::to_string(body.size()) +
+          "\r\nConnection: close\r\n\r\n";
+  std::string response = head + body;
+  std::vector<uint8_t> bytes(response.begin(), response.end());
+  (void)wire::SendAll(conn.sock.fd(), bytes, options_.send_timeout_ms);
+  return false;
+}
+
 void Switchd::PumpDataPlane() {
   if (backend_->ports().PendingRx() == 0) return;
   auto processed = backend_->RunToCompletion(options_.drain_workers);
@@ -191,6 +259,7 @@ void Switchd::Loop() {
     pfds.clear();
     pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
     pfds.push_back(pollfd{listen_.fd(), POLLIN, 0});
+    pfds.push_back(pollfd{metrics_listen_.fd(), POLLIN, 0});
     for (const wire::Socket& s : udp_socks_) {
       pfds.push_back(pollfd{s.fd(), POLLIN, 0});
     }
@@ -198,6 +267,10 @@ void Switchd::Loop() {
     // `polled_conns`, so the event walk below must not run past it.
     const size_t polled_conns = conns_.size();
     for (const Conn& c : conns_) {
+      pfds.push_back(pollfd{c.sock.fd(), POLLIN, 0});
+    }
+    const size_t polled_http = http_conns_.size();
+    for (const HttpConn& c : http_conns_) {
       pfds.push_back(pollfd{c.sock.fd(), POLLIN, 0});
     }
 
@@ -213,13 +286,14 @@ void Switchd::Loop() {
       }
     }
     if (pfds[1].revents & POLLIN) AcceptAll();
+    if (pfds[2].revents & POLLIN) AcceptMetrics();
     for (size_t i = 0; i < udp_socks_.size(); ++i) {
-      if (pfds[2 + i].revents & (POLLIN | POLLERR)) {
+      if (pfds[3 + i].revents & (POLLIN | POLLERR)) {
         ServiceUdp(static_cast<uint32_t>(i));
       }
     }
+    size_t idx = 3 + udp_socks_.size();
     {
-      size_t idx = 2 + udp_socks_.size();
       auto it = conns_.begin();
       for (size_t c = 0; c < polled_conns; ++c, ++idx) {
         bool keep = true;
@@ -234,9 +308,24 @@ void Switchd::Loop() {
         }
       }
     }
+    {
+      auto it = http_conns_.begin();
+      for (size_t c = 0; c < polled_http; ++c, ++idx) {
+        bool keep = true;
+        if (pfds[idx].revents & (POLLIN | POLLHUP | POLLERR)) {
+          keep = ServiceHttp(*it);
+        }
+        if (keep) {
+          ++it;
+        } else {
+          it = http_conns_.erase(it);
+        }
+      }
+    }
     PumpDataPlane();
   }
   conns_.clear();
+  http_conns_.clear();
   running_.store(false, std::memory_order_release);
 }
 

@@ -12,6 +12,11 @@
 // Control and data plane share the loop thread, so CCM commands and packet
 // processing are serialized exactly like the in-process tests — no locks,
 // and the forwarding output is bit-identical to RunToCompletion.
+//
+// A third listener serves the device's telemetry snapshot in Prometheus
+// text-exposition format over minimal HTTP (GET /metrics). It lives in the
+// same poll loop, so a scrape observes a self-consistent, epoch-tagged
+// snapshot — never a half-applied in-situ update.
 #pragma once
 
 #include <netinet/in.h>
@@ -41,6 +46,11 @@ struct SwitchdOptions {
   uint32_t drain_workers = 1;  // workers for the RX drain after packet-in
   int send_timeout_ms = 2000;  // control-channel response write deadline
   bool verbose = false;
+  // Telemetry: enabled by default in the daemon (a disabled collector would
+  // still cost its one branch, and an operator-facing daemon wants metrics).
+  bool telemetry = true;
+  uint32_t trace_sample_every = 0;  // 0 = packet tracing off; N = 1-in-N
+  uint16_t metrics_port = 0;        // Prometheus endpoint; 0 = kernel-assigned
 };
 
 // Daemon-side counters (the device's own stats travel via the stats RPC).
@@ -53,6 +63,7 @@ struct SwitchdCounters {
   uint64_t control_disconnects = 0;
   uint64_t control_frames = 0;
   uint64_t framing_errors = 0;    // sessions killed by corrupt framing
+  uint64_t metrics_scrapes = 0;   // HTTP requests answered on the metrics port
 };
 
 class Switchd {
@@ -73,6 +84,8 @@ class Switchd {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   uint16_t control_port() const { return control_port_; }
+  // The Prometheus text-exposition endpoint (GET /metrics).
+  uint16_t metrics_port() const { return metrics_port_; }
   // The UDP port bound for device port `device_port`.
   uint16_t udp_port(uint32_t device_port) const {
     return udp_ports_.at(device_port);
@@ -91,12 +104,26 @@ class Switchd {
         : sock(std::move(s)), dispatcher(backend) {}
   };
 
+  // One in-flight HTTP scrape on the metrics port (request bytes buffered
+  // until the header terminator arrives; the response is written in one go).
+  struct HttpConn {
+    wire::Socket sock;
+    std::string request;
+
+    explicit HttpConn(wire::Socket s) : sock(std::move(s)) {}
+  };
+
   Status Bind();
   void Loop();
   void AcceptAll();
   // Returns false when the connection must be closed.
   bool ServiceConn(Conn& conn);
   void ServiceUdp(uint32_t port_index);
+  void AcceptMetrics();
+  // Returns false when the scrape connection is finished (always closed
+  // after one response — HTTP/1.0 semantics keep the loop stateless).
+  bool ServiceHttp(HttpConn& conn);
+  std::string RenderMetricsBody();
   // Drains pending RX through the device and replays TX over UDP.
   void PumpDataPlane();
 
@@ -104,13 +131,16 @@ class Switchd {
   std::unique_ptr<DeviceBackend> backend_;
 
   wire::Socket listen_;
+  wire::Socket metrics_listen_;
   std::vector<wire::Socket> udp_socks_;
   std::vector<std::optional<sockaddr_in>> udp_peers_;
   std::vector<uint16_t> udp_ports_;
   uint16_t control_port_ = 0;
+  uint16_t metrics_port_ = 0;
   int wake_pipe_[2] = {-1, -1};
 
   std::list<Conn> conns_;
+  std::list<HttpConn> http_conns_;
   SwitchdCounters counters_;
 
   std::thread thread_;

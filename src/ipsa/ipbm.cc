@@ -1,5 +1,7 @@
 #include "ipsa/ipbm.h"
 
+#include <chrono>
+
 #include "arch/ii_model.h"
 #include "arch/parse_engine.h"
 #include "pisa/executor.h"
@@ -142,25 +144,29 @@ Status IpbmSwitch::WriteTspTemplate(uint32_t tsp_id, TspRole role,
     }
   }
   // Drain through backpressure, then rewrite (paper §2.3).
-  pipeline_.Drain();
+  auto t0 = std::chrono::steady_clock::now();
+  telemetry_.OnDrainWindow(pipeline_.Drain());
   uint32_t words = pipeline_.tsp(tsp_id).WriteTemplate(std::move(programs));
   IPSA_RETURN_IF_ERROR(pipeline_.SetRole(tsp_id, role));
   IPSA_RETURN_IF_ERROR(RouteCrossbarFor(tsp_id));
   ChargeConfigWords(words + 1);  // template + selector word
   ++stats_.template_writes;
   ++config_epoch_;
+  RecordUpdateWindow(t0);
   return OkStatus();
 }
 
 Status IpbmSwitch::ClearTsp(uint32_t tsp_id) {
   if (tsp_id >= pipeline_.tsp_count()) return OutOfRange("bad TSP id");
-  pipeline_.Drain();
+  auto t0 = std::chrono::steady_clock::now();
+  telemetry_.OnDrainWindow(pipeline_.Drain());
   pipeline_.tsp(tsp_id).ClearTemplate();
   IPSA_RETURN_IF_ERROR(pipeline_.SetRole(tsp_id, TspRole::kBypass));
   xbar_.DisconnectProc(tsp_id);
   ChargeConfigWords(2);
   ++stats_.template_writes;
   ++config_epoch_;
+  RecordUpdateWindow(t0);
   return OkStatus();
 }
 
@@ -219,6 +225,14 @@ Status IpbmSwitch::LoadBaseDesign(const arch::DesignConfig& design,
   return OkStatus();
 }
 
+void IpbmSwitch::RecordUpdateWindow(
+    std::chrono::steady_clock::time_point start) {
+  telemetry_.OnUpdateWindow(
+      config_epoch_, std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+}
+
 IpbmSwitch::CompiledKey IpbmSwitch::CurrentKey() const {
   uint64_t pipeline_version = 0;
   for (uint32_t i = 0; i < pipeline_.tsp_count(); ++i) {
@@ -267,19 +281,31 @@ void IpbmSwitch::EnsureCompiled() {
   ingress_port_slot_ = metadata_proto_.SlotOf("ingress_port");
   scratch_ctx_.metadata() = metadata_proto_;
   compiled_key_ = key;
+
+  // Telemetry stage slots: the TSP programs flattened in id order. A TSP's
+  // programs occupy tsp_slot_base_[id] .. +size; an unchanged layout keeps
+  // its counters across recompiles (Collector::SetStages decides).
+  tsp_slot_base_.assign(pipeline_.tsp_count(), 0);
+  std::vector<telemetry::StageInfo> infos;
+  for (uint32_t id = 0; id < pipeline_.tsp_count(); ++id) {
+    tsp_slot_base_[id] = static_cast<uint32_t>(infos.size());
+    for (const CompiledProgram& cp : compiled_tsps_[id]) {
+      infos.push_back(telemetry::StageInfo{id, cp.source->name});
+    }
+  }
+  telemetry_.SetStages(std::move(infos));
 }
 
-Result<pisa::ProcessResult> IpbmSwitch::ProcessCore(net::Packet& packet,
-                                                    uint32_t in_port,
-                                                    arch::PacketContext& ctx,
-                                                    pisa::DeviceStats& stats,
-                                                    pisa::ProcessTrace* trace) {
+Result<telemetry::ProcessResult> IpbmSwitch::ProcessCore(
+    net::Packet& packet, uint32_t in_port, arch::PacketContext& ctx,
+    telemetry::DeviceStats& stats, telemetry::MetricsShard* tshard,
+    telemetry::ProcessTrace* trace) {
   ++stats.packets_in;
   ctx.Rebind(packet, registry_);
   ctx.metadata().Reset();
   ctx.metadata().SlotWriteUint(ingress_port_slot_, in_port);
 
-  pisa::ProcessResult result;
+  telemetry::ProcessResult result;
 
   // Bypassed TSPs are excluded from the physical pipeline entirely — no
   // latency, no power (§2.3). Each active TSP charges one extra cycle for
@@ -290,6 +316,7 @@ Result<pisa::ProcessResult> IpbmSwitch::ProcessCore(net::Packet& packet,
     ctx.ChargeCycles(1 + 1);  // stage traversal + template-parameter load
     uint64_t tsp_parse_bytes = 0;
     uint64_t tsp_access = 0;
+    uint32_t slot = tsp_slot_base_[id];
     for (const CompiledProgram& cp : compiled_tsps_[id]) {
       arch::StageRunStats run_stats;
       if (cp.compiled.has_value()) {
@@ -305,8 +332,12 @@ Result<pisa::ProcessResult> IpbmSwitch::ProcessCore(net::Packet& packet,
       }
       tsp_parse_bytes += run_stats.parse_bytes;
       tsp_access = std::max(tsp_access, run_stats.access_cycles);
+      if (tshard != nullptr) {
+        tshard->OnStage(slot, run_stats.table_applied, run_stats.hit);
+      }
+      ++slot;
       if (trace != nullptr) {
-        trace->steps.push_back(pisa::TraceStep{
+        trace->steps.push_back(telemetry::TraceStep{
             .unit = id,
             .stage = cp.source->name,
             .table = run_stats.applied_table,
@@ -349,25 +380,44 @@ Result<pisa::ProcessResult> IpbmSwitch::ProcessCore(net::Packet& packet,
     ++stats.packets_out;
   }
   if (result.marked) ++stats.packets_marked;
+  if (tshard != nullptr) tshard->OnResult(in_port, result);
   return result;
 }
 
-Result<pisa::ProcessResult> IpbmSwitch::Process(net::Packet& packet,
-                                                uint32_t in_port,
-                                                pisa::ProcessTrace* trace) {
-  EnsureCompiled();
-  return ProcessCore(packet, in_port, scratch_ctx_, stats_, trace);
+Result<telemetry::ProcessResult> IpbmSwitch::ProcessSampled(
+    net::Packet& packet, uint32_t in_port, arch::PacketContext& ctx,
+    telemetry::DeviceStats& stats, telemetry::MetricsShard* tshard,
+    telemetry::ProcessTrace* trace) {
+  if (trace == nullptr && telemetry_.ShouldTrace(in_port)) {
+    telemetry::ProcessTrace sampled;
+    auto result = ProcessCore(packet, in_port, ctx, stats, tshard, &sampled);
+    if (result.ok()) {
+      telemetry_.CommitTrace(config_epoch_, in_port, *result,
+                             std::move(sampled));
+    }
+    return result;
+  }
+  return ProcessCore(packet, in_port, ctx, stats, tshard, trace);
 }
 
-Result<std::vector<pisa::ProcessResult>> IpbmSwitch::ProcessBatch(
+Result<telemetry::ProcessResult> IpbmSwitch::Process(net::Packet& packet,
+                                                uint32_t in_port,
+                                                telemetry::ProcessTrace* trace) {
+  EnsureCompiled();
+  return ProcessSampled(packet, in_port, scratch_ctx_, stats_,
+                        telemetry_.shard(), trace);
+}
+
+Result<std::vector<telemetry::ProcessResult>> IpbmSwitch::ProcessBatch(
     std::span<net::Packet> packets, uint32_t in_port) {
   EnsureCompiled();
-  std::vector<pisa::ProcessResult> out;
+  telemetry::MetricsShard* tshard = telemetry_.shard();
+  std::vector<telemetry::ProcessResult> out;
   out.reserve(packets.size());
   for (net::Packet& packet : packets) {
-    IPSA_ASSIGN_OR_RETURN(
-        pisa::ProcessResult r,
-        ProcessCore(packet, in_port, scratch_ctx_, stats_, nullptr));
+    IPSA_ASSIGN_OR_RETURN(telemetry::ProcessResult r,
+                          ProcessSampled(packet, in_port, scratch_ctx_, stats_,
+                                         tshard, nullptr));
     out.push_back(r);
   }
   return out;
@@ -380,12 +430,13 @@ Result<uint32_t> IpbmSwitch::RunToCompletion(uint32_t workers) {
   // results stay identical to the serial drain.
   if (pipeline_uses_registers_) workers = 1;
   if (workers <= 1) {
+    telemetry::MetricsShard* tshard = telemetry_.shard();
     uint32_t processed = 0;
     for (uint32_t p = 0; p < ports_.count(); ++p) {
       while (auto packet = ports_.port(p).rx().Pop()) {
-        IPSA_ASSIGN_OR_RETURN(
-            pisa::ProcessResult r,
-            ProcessCore(*packet, p, scratch_ctx_, stats_, nullptr));
+        IPSA_ASSIGN_OR_RETURN(telemetry::ProcessResult r,
+                              ProcessSampled(*packet, p, scratch_ctx_, stats_,
+                                             tshard, nullptr));
         if (!r.dropped && r.egress_port < ports_.count()) {
           ports_.port(r.egress_port).tx().Push(std::move(*packet));
         }
@@ -396,17 +447,25 @@ Result<uint32_t> IpbmSwitch::RunToCompletion(uint32_t workers) {
   }
 
   std::vector<arch::PacketContext> ctxs(workers);
-  std::vector<pisa::DeviceStats> worker_stats(workers);
+  std::vector<telemetry::DeviceStats> worker_stats(workers);
+  // Telemetry shards mirror the DeviceStats pattern: worker-local, no
+  // atomics, merged after the join so totals equal a serial drain exactly.
+  std::vector<telemetry::MetricsShard> worker_shards;
+  if (telemetry_.enabled()) worker_shards = telemetry_.MakeWorkerShards(workers);
   for (arch::PacketContext& c : ctxs) c.metadata() = metadata_proto_;
   IPSA_ASSIGN_OR_RETURN(
       uint32_t processed,
       pisa::DrainPortsSharded(
           ports_, workers,
           [&](net::Packet& packet, uint32_t in_port, uint32_t worker) {
-            return ProcessCore(packet, in_port, ctxs[worker],
-                               worker_stats[worker], nullptr);
+            return ProcessSampled(packet, in_port, ctxs[worker],
+                                  worker_stats[worker],
+                                  worker_shards.empty() ? nullptr
+                                                        : &worker_shards[worker],
+                                  nullptr);
           }));
-  for (const pisa::DeviceStats& s : worker_stats) stats_.MergeFrom(s);
+  for (const telemetry::DeviceStats& s : worker_stats) stats_.MergeFrom(s);
+  telemetry_.MergeWorkerShards(worker_shards);
   return processed;
 }
 

@@ -15,6 +15,7 @@
 // while PISA reloads everything (Table 1).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -26,7 +27,8 @@
 #include "ipsa/elastic_pipeline.h"
 #include "mem/crossbar.h"
 #include "net/ports.h"
-#include "pisa/device_stats.h"
+#include "telemetry/collector.h"
+#include "telemetry/device_stats.h"
 #include "util/status.h"
 
 namespace ipsa::ipbm {
@@ -91,12 +93,12 @@ class IpbmSwitch {
 
   // --- CM / data plane -----------------------------------------------------
   // When `trace` is non-null, every stage execution is recorded into it.
-  Result<pisa::ProcessResult> Process(net::Packet& packet, uint32_t in_port,
-                                      pisa::ProcessTrace* trace = nullptr);
+  Result<telemetry::ProcessResult> Process(net::Packet& packet, uint32_t in_port,
+                                      telemetry::ProcessTrace* trace = nullptr);
   // Processes a batch of packets arriving on one port through the compiled
   // fast path, reusing one scratch context across the whole batch. Results
   // are identical to calling Process per packet in order.
-  Result<std::vector<pisa::ProcessResult>> ProcessBatch(
+  Result<std::vector<telemetry::ProcessResult>> ProcessBatch(
       std::span<net::Packet> packets, uint32_t in_port);
   net::PortSet& ports() { return ports_; }
   // Drains all RX queues; with workers > 1 ports are sharded across that
@@ -113,8 +115,19 @@ class IpbmSwitch {
   arch::HeaderRegistry& headers() { return registry_; }
   arch::RegisterFile& registers() { return regs_; }
   const arch::TableCatalog& catalog() const { return catalog_; }
-  pisa::DeviceStats& stats() { return stats_; }
-  const pisa::DeviceStats& stats() const { return stats_; }
+  telemetry::DeviceStats& stats() { return stats_; }
+  const telemetry::DeviceStats& stats() const { return stats_; }
+
+  // Telemetry: disabled by default (costs one branch per packet). Configure
+  // sizes per-port metrics to this device's port count.
+  void ConfigureTelemetry(const telemetry::TelemetryConfig& config) {
+    telemetry_.Configure(config, options_.port_count);
+  }
+  telemetry::Collector& telemetry() { return telemetry_; }
+  const telemetry::Collector& telemetry() const { return telemetry_; }
+  // Bumped on every CCM command; tags snapshots and sampled traces, so a
+  // scrape across an in-situ update shows the epoch advancing.
+  uint64_t config_epoch() const { return config_epoch_; }
 
   // Finds the TSP currently hosting a logical stage, or -1.
   int32_t TspOfStage(std::string_view stage_name) const;
@@ -151,10 +164,21 @@ class IpbmSwitch {
   // The per-packet pipeline walk. `ctx` is a reusable scratch context and
   // `stats` the counter shard to charge (worker-local when parallel).
   // EnsureCompiled() must have run since the last configuration change.
-  Result<pisa::ProcessResult> ProcessCore(net::Packet& packet, uint32_t in_port,
-                                          arch::PacketContext& ctx,
-                                          pisa::DeviceStats& stats,
-                                          pisa::ProcessTrace* trace);
+  Result<telemetry::ProcessResult> ProcessCore(net::Packet& packet,
+                                               uint32_t in_port,
+                                               arch::PacketContext& ctx,
+                                               telemetry::DeviceStats& stats,
+                                               telemetry::MetricsShard* tshard,
+                                               telemetry::ProcessTrace* trace);
+  // Runs one packet with `tshard` charged, sampling a trace when the
+  // collector's predicate fires (only consulted when `trace` is null).
+  Result<telemetry::ProcessResult> ProcessSampled(
+      net::Packet& packet, uint32_t in_port, arch::PacketContext& ctx,
+      telemetry::DeviceStats& stats, telemetry::MetricsShard* tshard,
+      telemetry::ProcessTrace* trace);
+  // Stopwatches one CCM mutation: charges the wall-clock window and, when
+  // the command drained the pipeline, the drain cycles.
+  void RecordUpdateWindow(std::chrono::steady_clock::time_point start);
 
   IpbmOptions options_;
   mem::Pool pool_;
@@ -166,12 +190,16 @@ class IpbmSwitch {
   arch::Metadata metadata_proto_;
   ElasticPipeline pipeline_;
   net::PortSet ports_;
-  pisa::DeviceStats stats_;
+  telemetry::DeviceStats stats_;
+  telemetry::Collector telemetry_;
 
   // Compiled fast-path state (rebuilt lazily by EnsureCompiled).
   uint64_t config_epoch_ = 1;
   CompiledKey compiled_key_;  // all-zero: never matches the first CurrentKey
   std::vector<std::vector<CompiledProgram>> compiled_tsps_;
+  // Flattened telemetry stage slots: TSP id -> first slot of its programs
+  // (rebuilt by EnsureCompiled alongside the stage layout).
+  std::vector<uint32_t> tsp_slot_base_;
   std::vector<uint32_t> ingress_ids_;
   std::vector<uint32_t> egress_ids_;
   bool pipeline_uses_registers_ = false;

@@ -25,7 +25,7 @@ Result<uint32_t> DrainPortsSharded(net::PortSet& ports, uint32_t workers,
 
   auto drain_port = [&](uint32_t p, uint32_t worker) {
     while (auto packet = ports.port(p).rx().Pop()) {
-      Result<ProcessResult> r = process(*packet, p, worker);
+      Result<telemetry::ProcessResult> r = process(*packet, p, worker);
       if (!r.ok()) {
         errors[p] = r.status();
         return;

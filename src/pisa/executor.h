@@ -14,7 +14,7 @@
 #include <functional>
 
 #include "net/ports.h"
-#include "pisa/device_stats.h"
+#include "telemetry/device_stats.h"
 #include "util/status.h"
 
 namespace ipsa::pisa {
@@ -22,9 +22,8 @@ namespace ipsa::pisa {
 // Processes one packet on behalf of worker `worker` (0-based, stable for the
 // whole drain). Implementations must touch only worker-local scratch state
 // (context, stats shard) and thread-safe shared state.
-using ProcessFn =
-    std::function<Result<ProcessResult>(net::Packet& packet, uint32_t in_port,
-                                        uint32_t worker)>;
+using ProcessFn = std::function<Result<telemetry::ProcessResult>(
+    net::Packet& packet, uint32_t in_port, uint32_t worker)>;
 
 // Drains every RX queue through `process` with `workers` threads and returns
 // the number of packets processed. With workers <= 1 everything runs on the

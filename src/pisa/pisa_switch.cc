@@ -1,5 +1,7 @@
 #include "pisa/pisa_switch.h"
 
+#include <chrono>
+
 #include "arch/ii_model.h"
 #include "arch/parse_engine.h"
 #include "pisa/executor.h"
@@ -55,6 +57,7 @@ void PisaSwitch::Reset() {
 }
 
 Status PisaSwitch::LoadDesign(const arch::DesignConfig& design) {
+  auto t0 = std::chrono::steady_clock::now();
   if (design.ingress_stages.size() > options_.physical_ingress_stages) {
     return ResourceExhausted(
         "design needs more ingress stages than the chip has");
@@ -116,6 +119,11 @@ Status PisaSwitch::LoadDesign(const arch::DesignConfig& design) {
   loaded_ = true;
   stats_.full_loads += 1;
   stats_.config_words_written += design.TotalConfigWords();
+  telemetry_.OnUpdateWindow(
+      config_epoch_,
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
   IPSA_LOG(kInfo) << "pbm: loaded design '" << design.name << "' ("
                   << design.TotalConfigWords() << " config words)";
   return OkStatus();
@@ -176,12 +184,29 @@ void PisaSwitch::EnsureCompiled() {
   ingress_port_slot_ = metadata_proto_.SlotOf("ingress_port");
   scratch_ctx_.metadata() = metadata_proto_;
   compiled_key_ = key;
+
+  // Publish the stage layout so telemetry slots carry logical names. One
+  // slot per physical stage position, ingress first (matching base_index).
+  std::vector<telemetry::StageInfo> infos;
+  infos.reserve(ingress_.size() + egress_.size());
+  for (size_t i = 0; i < ingress_.size(); ++i) {
+    infos.push_back(telemetry::StageInfo{
+        static_cast<uint32_t>(i),
+        ingress_[i].has_value() ? ingress_[i]->name : std::string()});
+  }
+  for (size_t i = 0; i < egress_.size(); ++i) {
+    infos.push_back(telemetry::StageInfo{
+        options_.physical_ingress_stages + static_cast<uint32_t>(i),
+        egress_[i].has_value() ? egress_[i]->name : std::string()});
+  }
+  telemetry_.SetStages(std::move(infos));
 }
 
 Result<ProcessResult> PisaSwitch::ProcessCore(net::Packet& packet,
                                               uint32_t in_port,
                                               arch::PacketContext& ctx,
                                               DeviceStats& stats,
+                                              telemetry::MetricsShard* tshard,
                                               ProcessTrace* trace) {
   if (!loaded_) return FailedPrecondition("pbm: no design loaded");
   ++stats.packets_in;
@@ -228,6 +253,10 @@ Result<ProcessResult> PisaSwitch::ProcessCore(net::Packet& packet,
                               RunStage(*side[i], ctx, catalog_, actions_,
                                        &regs_, /*jit_parse=*/false));
       }
+      if (tshard != nullptr) {
+        tshard->OnStage(base_index + static_cast<uint32_t>(i),
+                        run_stats.table_applied, run_stats.hit);
+      }
       if (trace != nullptr) {
         trace->steps.push_back(TraceStep{
             .unit = base_index + static_cast<uint32_t>(i),
@@ -258,25 +287,43 @@ Result<ProcessResult> PisaSwitch::ProcessCore(net::Packet& packet,
     ++stats.packets_out;
   }
   if (result.marked) ++stats.packets_marked;
+  if (tshard != nullptr) tshard->OnResult(in_port, result);
   return result;
+}
+
+Result<ProcessResult> PisaSwitch::ProcessSampled(
+    net::Packet& packet, uint32_t in_port, arch::PacketContext& ctx,
+    DeviceStats& stats, telemetry::MetricsShard* tshard, ProcessTrace* trace) {
+  if (trace == nullptr && telemetry_.ShouldTrace(in_port)) {
+    ProcessTrace sampled;
+    auto result = ProcessCore(packet, in_port, ctx, stats, tshard, &sampled);
+    if (result.ok()) {
+      telemetry_.CommitTrace(config_epoch_, in_port, *result,
+                             std::move(sampled));
+    }
+    return result;
+  }
+  return ProcessCore(packet, in_port, ctx, stats, tshard, trace);
 }
 
 Result<ProcessResult> PisaSwitch::Process(net::Packet& packet,
                                           uint32_t in_port,
                                           ProcessTrace* trace) {
   EnsureCompiled();
-  return ProcessCore(packet, in_port, scratch_ctx_, stats_, trace);
+  return ProcessSampled(packet, in_port, scratch_ctx_, stats_,
+                        telemetry_.shard(), trace);
 }
 
 Result<std::vector<ProcessResult>> PisaSwitch::ProcessBatch(
     std::span<net::Packet> packets, uint32_t in_port) {
   EnsureCompiled();
+  telemetry::MetricsShard* tshard = telemetry_.shard();
   std::vector<ProcessResult> out;
   out.reserve(packets.size());
   for (net::Packet& packet : packets) {
-    IPSA_ASSIGN_OR_RETURN(
-        ProcessResult r,
-        ProcessCore(packet, in_port, scratch_ctx_, stats_, nullptr));
+    IPSA_ASSIGN_OR_RETURN(ProcessResult r,
+                          ProcessSampled(packet, in_port, scratch_ctx_, stats_,
+                                         tshard, nullptr));
     out.push_back(r);
   }
   return out;
@@ -289,12 +336,13 @@ Result<uint32_t> PisaSwitch::RunToCompletion(uint32_t workers) {
   // to the serial drain.
   if (design_uses_registers_) workers = 1;
   if (workers <= 1) {
+    telemetry::MetricsShard* tshard = telemetry_.shard();
     uint32_t processed = 0;
     for (uint32_t p = 0; p < ports_.count(); ++p) {
       while (auto packet = ports_.port(p).rx().Pop()) {
-        IPSA_ASSIGN_OR_RETURN(
-            ProcessResult r,
-            ProcessCore(*packet, p, scratch_ctx_, stats_, nullptr));
+        IPSA_ASSIGN_OR_RETURN(ProcessResult r,
+                              ProcessSampled(*packet, p, scratch_ctx_, stats_,
+                                             tshard, nullptr));
         if (!r.dropped && r.egress_port < ports_.count()) {
           ports_.port(r.egress_port).tx().Push(std::move(*packet));
         }
@@ -306,16 +354,26 @@ Result<uint32_t> PisaSwitch::RunToCompletion(uint32_t workers) {
 
   std::vector<arch::PacketContext> ctxs(workers);
   std::vector<DeviceStats> worker_stats(workers);
+  // Telemetry shards mirror the DeviceStats pattern: each worker fills its
+  // own shard without atomics; the master absorbs them after the join, so
+  // the merged totals equal a serial drain exactly.
+  std::vector<telemetry::MetricsShard> worker_shards;
+  if (telemetry_.enabled()) worker_shards = telemetry_.MakeWorkerShards(workers);
   for (arch::PacketContext& c : ctxs) c.metadata() = metadata_proto_;
   IPSA_ASSIGN_OR_RETURN(
       uint32_t processed,
       DrainPortsSharded(ports_, workers,
                         [&](net::Packet& packet, uint32_t in_port,
                             uint32_t worker) {
-                          return ProcessCore(packet, in_port, ctxs[worker],
-                                             worker_stats[worker], nullptr);
+                          return ProcessSampled(
+                              packet, in_port, ctxs[worker],
+                              worker_stats[worker],
+                              worker_shards.empty() ? nullptr
+                                                    : &worker_shards[worker],
+                              nullptr);
                         }));
   for (const DeviceStats& s : worker_stats) stats_.MergeFrom(s);
+  telemetry_.MergeWorkerShards(worker_shards);
   return processed;
 }
 

@@ -22,6 +22,7 @@
 #include "arch/design.h"
 #include "net/ports.h"
 #include "pisa/device_stats.h"
+#include "telemetry/collector.h"
 #include "util/status.h"
 
 namespace ipsa::pisa {
@@ -79,6 +80,16 @@ class PisaSwitch {
   DeviceStats& stats() { return stats_; }
   const DeviceStats& stats() const { return stats_; }
 
+  // Telemetry: disabled by default (costs one branch per packet). Configure
+  // sizes per-port metrics to this device's port count.
+  void ConfigureTelemetry(const telemetry::TelemetryConfig& config) {
+    telemetry_.Configure(config, options_.port_count);
+  }
+  telemetry::Collector& telemetry() { return telemetry_; }
+  const telemetry::Collector& telemetry() const { return telemetry_; }
+  // Bumped on every functional change (LoadDesign); tags snapshots/traces.
+  uint64_t config_epoch() const { return config_epoch_; }
+
   arch::RegisterFile& registers() { return regs_; }
 
   const arch::TableCatalog& catalog() const { return catalog_; }
@@ -98,9 +109,19 @@ class PisaSwitch {
   void EnsureCompiled();
   // The per-packet pipeline walk; `ctx` is a reusable scratch context and
   // `stats` the counter shard to charge (worker-local when parallel).
+  // `tshard` is the telemetry shard (null when telemetry is disabled).
   Result<ProcessResult> ProcessCore(net::Packet& packet, uint32_t in_port,
                                     arch::PacketContext& ctx,
-                                    DeviceStats& stats, ProcessTrace* trace);
+                                    DeviceStats& stats,
+                                    telemetry::MetricsShard* tshard,
+                                    ProcessTrace* trace);
+  // Runs one packet with `tshard` charged, sampling a trace when the
+  // collector's predicate fires (only consulted when `trace` is null).
+  Result<ProcessResult> ProcessSampled(net::Packet& packet, uint32_t in_port,
+                                       arch::PacketContext& ctx,
+                                       DeviceStats& stats,
+                                       telemetry::MetricsShard* tshard,
+                                       ProcessTrace* trace);
 
   PisaOptions options_;
   mem::Pool pool_;
@@ -117,6 +138,7 @@ class PisaSwitch {
 
   net::PortSet ports_;
   DeviceStats stats_;
+  telemetry::Collector telemetry_;
 
   // Compiled fast-path state (rebuilt lazily by EnsureCompiled). A slot is
   // nullopt when the physical stage is empty or its program could not be

@@ -37,6 +37,19 @@ class Backend {
   // Drains all pending RX through the pipeline (quiesce); returns the
   // number of packets processed.
   virtual Result<uint32_t> Drain(uint32_t workers) = 0;
+
+  // Telemetry surface. Default-implemented so fakes and backends without a
+  // collector keep compiling; real device backends override all three.
+  virtual Result<MetricsResponse> QueryMetrics() {
+    return Unimplemented("backend has no telemetry");
+  }
+  virtual Result<TracesResponse> DrainTraces(uint32_t max) {
+    (void)max;
+    return Unimplemented("backend has no telemetry");
+  }
+  virtual Status ResetMetrics() {
+    return Unimplemented("backend has no telemetry");
+  }
 };
 
 }  // namespace ipsa::rpc

@@ -224,4 +224,26 @@ Result<DrainResponse> Client::Drain(uint32_t workers) {
   return DrainResponse::Decode(r);
 }
 
+Result<MetricsResponse> Client::QueryMetrics() {
+  IPSA_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
+                        Call(MsgType::kMetricsReq, {}));
+  wire::Reader r(body);
+  return MetricsResponse::Decode(r);
+}
+
+Result<TracesResponse> Client::QueryTraces(uint32_t max) {
+  TracesRequest req;
+  req.max = max;
+  wire::Writer w;
+  req.Encode(w);
+  IPSA_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
+                        Call(MsgType::kTracesReq, w.Take()));
+  wire::Reader r(body);
+  return TracesResponse::Decode(r);
+}
+
+Status Client::ResetMetrics() {
+  return Call(MsgType::kResetMetricsReq, {}).status();
+}
+
 }  // namespace ipsa::rpc

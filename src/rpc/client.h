@@ -58,6 +58,9 @@ class Client {
   Result<StatsResponse> QueryStats();
   Result<EpochResponse> QueryEpoch();
   Result<DrainResponse> Drain(uint32_t workers = 1);
+  Result<MetricsResponse> QueryMetrics();
+  Result<TracesResponse> QueryTraces(uint32_t max = 0);
+  Status ResetMetrics();
 
   // Test hook: severs the TCP connection without telling the client state
   // machine, so the next call exercises the transparent-reconnect path.

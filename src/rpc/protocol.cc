@@ -66,6 +66,18 @@ std::string_view MsgTypeName(uint16_t type) {
       return "DrainReq";
     case MsgType::kDrainResp:
       return "DrainResp";
+    case MsgType::kMetricsReq:
+      return "MetricsReq";
+    case MsgType::kMetricsResp:
+      return "MetricsResp";
+    case MsgType::kTracesReq:
+      return "TracesReq";
+    case MsgType::kTracesResp:
+      return "TracesResp";
+    case MsgType::kResetMetricsReq:
+      return "ResetMetricsReq";
+    case MsgType::kResetMetricsResp:
+      return "ResetMetricsResp";
   }
   return "?";
 }
@@ -336,6 +348,264 @@ void DrainResponse::Encode(wire::Writer& w) const { w.U32(processed); }
 Result<DrainResponse> DrainResponse::Decode(wire::Reader& r) {
   DrainResponse resp;
   IPSA_ASSIGN_OR_RETURN(resp.processed, r.U32());
+  return resp;
+}
+
+// --- telemetry ---------------------------------------------------------------
+
+namespace {
+
+constexpr uint32_t kMaxPortRows = 65536;
+constexpr uint32_t kMaxStageRows = 65536;
+constexpr uint32_t kMaxTraceSteps = 4096;
+constexpr uint32_t kMaxTraceHeaders = 1024;
+
+void PutHistogram(wire::Writer& w, const telemetry::Histogram& h) {
+  w.U32(telemetry::kHistogramBuckets);
+  for (uint64_t b : h.buckets) w.U64(b);
+  w.U64(h.count);
+  w.U64(h.sum);
+  w.U64(h.min);
+  w.U64(h.max);
+}
+
+Result<telemetry::Histogram> GetHistogram(wire::Reader& r) {
+  IPSA_ASSIGN_OR_RETURN(uint32_t buckets, r.U32());
+  if (buckets != telemetry::kHistogramBuckets) {
+    return InvalidArgument("histogram bucket count mismatch");
+  }
+  telemetry::Histogram h;
+  for (uint64_t& b : h.buckets) {
+    IPSA_ASSIGN_OR_RETURN(b, r.U64());
+  }
+  IPSA_ASSIGN_OR_RETURN(h.count, r.U64());
+  IPSA_ASSIGN_OR_RETURN(h.sum, r.U64());
+  IPSA_ASSIGN_OR_RETURN(h.min, r.U64());
+  IPSA_ASSIGN_OR_RETURN(h.max, r.U64());
+  return h;
+}
+
+void PutDeviceStats(wire::Writer& w, const telemetry::DeviceStats& d) {
+  w.U64(d.config_words_written);
+  w.U64(d.full_loads);
+  w.U64(d.template_writes);
+  w.U64(d.table_ops);
+  w.U64(d.packets_in);
+  w.U64(d.packets_out);
+  w.U64(d.packets_dropped);
+  w.U64(d.packets_marked);
+  w.U64(d.total_cycles);
+}
+
+Result<telemetry::DeviceStats> GetDeviceStats(wire::Reader& r) {
+  telemetry::DeviceStats d;
+  IPSA_ASSIGN_OR_RETURN(d.config_words_written, r.U64());
+  IPSA_ASSIGN_OR_RETURN(d.full_loads, r.U64());
+  IPSA_ASSIGN_OR_RETURN(d.template_writes, r.U64());
+  IPSA_ASSIGN_OR_RETURN(d.table_ops, r.U64());
+  IPSA_ASSIGN_OR_RETURN(d.packets_in, r.U64());
+  IPSA_ASSIGN_OR_RETURN(d.packets_out, r.U64());
+  IPSA_ASSIGN_OR_RETURN(d.packets_dropped, r.U64());
+  IPSA_ASSIGN_OR_RETURN(d.packets_marked, r.U64());
+  IPSA_ASSIGN_OR_RETURN(d.total_cycles, r.U64());
+  return d;
+}
+
+void PutProcessResult(wire::Writer& w, const telemetry::ProcessResult& p) {
+  w.Bool(p.dropped);
+  w.Bool(p.marked);
+  w.U32(p.egress_port);
+  w.U64(p.cycles);
+  w.U32(p.headers_parsed);
+  w.F64(p.pipeline_ii);
+}
+
+Result<telemetry::ProcessResult> GetProcessResult(wire::Reader& r) {
+  telemetry::ProcessResult p;
+  IPSA_ASSIGN_OR_RETURN(p.dropped, r.Bool());
+  IPSA_ASSIGN_OR_RETURN(p.marked, r.Bool());
+  IPSA_ASSIGN_OR_RETURN(p.egress_port, r.U32());
+  IPSA_ASSIGN_OR_RETURN(p.cycles, r.U64());
+  IPSA_ASSIGN_OR_RETURN(p.headers_parsed, r.U32());
+  IPSA_ASSIGN_OR_RETURN(p.pipeline_ii, r.F64());
+  return p;
+}
+
+}  // namespace
+
+void MetricsResponse::Encode(wire::Writer& w) const {
+  w.Str(arch);
+  w.Bool(snapshot.enabled);
+  w.U64(snapshot.seq);
+  w.U64(snapshot.config_epoch);
+  PutDeviceStats(w, snapshot.device);
+  w.U32(static_cast<uint32_t>(snapshot.ports.size()));
+  for (const telemetry::PortRow& row : snapshot.ports) {
+    w.U32(row.port);
+    w.U64(row.metrics.packets_in);
+    w.U64(row.metrics.packets_out);
+    w.U64(row.metrics.packets_dropped);
+    w.U64(row.metrics.packets_marked);
+    PutHistogram(w, row.metrics.cycles);
+  }
+  w.U32(static_cast<uint32_t>(snapshot.stages.size()));
+  for (const telemetry::StageRow& row : snapshot.stages) {
+    w.U32(row.unit);
+    w.Str(row.stage);
+    w.U64(row.metrics.executions);
+    w.U64(row.metrics.hits);
+    w.U64(row.metrics.misses);
+  }
+  w.U32(static_cast<uint32_t>(snapshot.tables.size()));
+  for (const telemetry::TableRow& row : snapshot.tables) {
+    w.Str(row.table);
+    w.U8(row.match_kind);
+    w.U32(row.entries);
+    w.U32(row.size);
+    w.U64(row.hits);
+    w.U64(row.misses);
+  }
+  w.U64(snapshot.updates);
+  w.U64(snapshot.last_update_epoch);
+  w.F64(snapshot.last_update_ms);
+  PutHistogram(w, snapshot.update_window_us);
+  PutHistogram(w, snapshot.drain_window_cycles);
+  w.U64(snapshot.traces_captured);
+  w.U64(snapshot.traces_dropped);
+  w.U32(snapshot.traces_pending);
+}
+
+Result<MetricsResponse> MetricsResponse::Decode(wire::Reader& r) {
+  MetricsResponse resp;
+  IPSA_ASSIGN_OR_RETURN(resp.arch, r.Str());
+  telemetry::MetricsSnapshot& s = resp.snapshot;
+  IPSA_ASSIGN_OR_RETURN(s.enabled, r.Bool());
+  IPSA_ASSIGN_OR_RETURN(s.seq, r.U64());
+  IPSA_ASSIGN_OR_RETURN(s.config_epoch, r.U64());
+  IPSA_ASSIGN_OR_RETURN(s.device, GetDeviceStats(r));
+  IPSA_ASSIGN_OR_RETURN(uint32_t port_count, r.U32());
+  if (port_count > kMaxPortRows) {
+    return InvalidArgument("metrics port row count out of bounds");
+  }
+  s.ports.reserve(port_count);
+  for (uint32_t i = 0; i < port_count; ++i) {
+    telemetry::PortRow row;
+    IPSA_ASSIGN_OR_RETURN(row.port, r.U32());
+    IPSA_ASSIGN_OR_RETURN(row.metrics.packets_in, r.U64());
+    IPSA_ASSIGN_OR_RETURN(row.metrics.packets_out, r.U64());
+    IPSA_ASSIGN_OR_RETURN(row.metrics.packets_dropped, r.U64());
+    IPSA_ASSIGN_OR_RETURN(row.metrics.packets_marked, r.U64());
+    IPSA_ASSIGN_OR_RETURN(row.metrics.cycles, GetHistogram(r));
+    s.ports.push_back(std::move(row));
+  }
+  IPSA_ASSIGN_OR_RETURN(uint32_t stage_count, r.U32());
+  if (stage_count > kMaxStageRows) {
+    return InvalidArgument("metrics stage row count out of bounds");
+  }
+  s.stages.reserve(stage_count);
+  for (uint32_t i = 0; i < stage_count; ++i) {
+    telemetry::StageRow row;
+    IPSA_ASSIGN_OR_RETURN(row.unit, r.U32());
+    IPSA_ASSIGN_OR_RETURN(row.stage, r.Str());
+    IPSA_ASSIGN_OR_RETURN(row.metrics.executions, r.U64());
+    IPSA_ASSIGN_OR_RETURN(row.metrics.hits, r.U64());
+    IPSA_ASSIGN_OR_RETURN(row.metrics.misses, r.U64());
+    s.stages.push_back(std::move(row));
+  }
+  IPSA_ASSIGN_OR_RETURN(uint32_t table_count, r.U32());
+  if (table_count > kMaxTables) {
+    return InvalidArgument("metrics table row count out of bounds");
+  }
+  s.tables.reserve(table_count);
+  for (uint32_t i = 0; i < table_count; ++i) {
+    telemetry::TableRow row;
+    IPSA_ASSIGN_OR_RETURN(row.table, r.Str());
+    IPSA_ASSIGN_OR_RETURN(row.match_kind, r.U8());
+    IPSA_ASSIGN_OR_RETURN(row.entries, r.U32());
+    IPSA_ASSIGN_OR_RETURN(row.size, r.U32());
+    IPSA_ASSIGN_OR_RETURN(row.hits, r.U64());
+    IPSA_ASSIGN_OR_RETURN(row.misses, r.U64());
+    s.tables.push_back(std::move(row));
+  }
+  IPSA_ASSIGN_OR_RETURN(s.updates, r.U64());
+  IPSA_ASSIGN_OR_RETURN(s.last_update_epoch, r.U64());
+  IPSA_ASSIGN_OR_RETURN(s.last_update_ms, r.F64());
+  IPSA_ASSIGN_OR_RETURN(s.update_window_us, GetHistogram(r));
+  IPSA_ASSIGN_OR_RETURN(s.drain_window_cycles, GetHistogram(r));
+  IPSA_ASSIGN_OR_RETURN(s.traces_captured, r.U64());
+  IPSA_ASSIGN_OR_RETURN(s.traces_dropped, r.U64());
+  IPSA_ASSIGN_OR_RETURN(s.traces_pending, r.U32());
+  return resp;
+}
+
+void TracesRequest::Encode(wire::Writer& w) const { w.U32(max); }
+
+Result<TracesRequest> TracesRequest::Decode(wire::Reader& r) {
+  TracesRequest req;
+  IPSA_ASSIGN_OR_RETURN(req.max, r.U32());
+  return req;
+}
+
+void TracesResponse::Encode(wire::Writer& w) const {
+  w.U32(static_cast<uint32_t>(traces.size()));
+  for (const telemetry::TraceRecord& t : traces) {
+    w.U64(t.seq);
+    w.U64(t.config_epoch);
+    w.U32(t.in_port);
+    PutProcessResult(w, t.result);
+    w.U32(static_cast<uint32_t>(t.trace.parsed_headers.size()));
+    for (const std::string& h : t.trace.parsed_headers) w.Str(h);
+    w.U32(static_cast<uint32_t>(t.trace.steps.size()));
+    for (const telemetry::TraceStep& step : t.trace.steps) {
+      w.U32(step.unit);
+      w.Str(step.stage);
+      w.Str(step.table);
+      w.Bool(step.hit);
+      w.Str(step.action);
+      w.U64(step.parse_bytes);
+    }
+  }
+}
+
+Result<TracesResponse> TracesResponse::Decode(wire::Reader& r) {
+  IPSA_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  if (count > kMaxTraceRecords) {
+    return InvalidArgument("trace record count out of bounds");
+  }
+  TracesResponse resp;
+  resp.traces.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    telemetry::TraceRecord t;
+    IPSA_ASSIGN_OR_RETURN(t.seq, r.U64());
+    IPSA_ASSIGN_OR_RETURN(t.config_epoch, r.U64());
+    IPSA_ASSIGN_OR_RETURN(t.in_port, r.U32());
+    IPSA_ASSIGN_OR_RETURN(t.result, GetProcessResult(r));
+    IPSA_ASSIGN_OR_RETURN(uint32_t headers, r.U32());
+    if (headers > kMaxTraceHeaders) {
+      return InvalidArgument("trace header count out of bounds");
+    }
+    t.trace.parsed_headers.reserve(headers);
+    for (uint32_t h = 0; h < headers; ++h) {
+      IPSA_ASSIGN_OR_RETURN(std::string name, r.Str());
+      t.trace.parsed_headers.push_back(std::move(name));
+    }
+    IPSA_ASSIGN_OR_RETURN(uint32_t steps, r.U32());
+    if (steps > kMaxTraceSteps) {
+      return InvalidArgument("trace step count out of bounds");
+    }
+    t.trace.steps.reserve(steps);
+    for (uint32_t sidx = 0; sidx < steps; ++sidx) {
+      telemetry::TraceStep step;
+      IPSA_ASSIGN_OR_RETURN(step.unit, r.U32());
+      IPSA_ASSIGN_OR_RETURN(step.stage, r.Str());
+      IPSA_ASSIGN_OR_RETURN(step.table, r.Str());
+      IPSA_ASSIGN_OR_RETURN(step.hit, r.Bool());
+      IPSA_ASSIGN_OR_RETURN(step.action, r.Str());
+      IPSA_ASSIGN_OR_RETURN(step.parse_bytes, r.U64());
+      t.trace.steps.push_back(std::move(step));
+    }
+    resp.traces.push_back(std::move(t));
+  }
   return resp;
 }
 

@@ -18,6 +18,8 @@
 
 #include "compiler/rp4fc.h"
 #include "table/table.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_ring.h"
 #include "util/status.h"
 #include "wire/wire.h"
 
@@ -42,6 +44,12 @@ enum class MsgType : uint16_t {
   kEpochResp = 14,
   kDrainReq = 15,
   kDrainResp = 16,
+  kMetricsReq = 17,
+  kMetricsResp = 18,
+  kTracesReq = 19,
+  kTracesResp = 20,
+  kResetMetricsReq = 21,
+  kResetMetricsResp = 22,
 };
 
 std::string_view MsgTypeName(uint16_t type);
@@ -191,5 +199,40 @@ struct DrainResponse {
   void Encode(wire::Writer& w) const;
   static Result<DrainResponse> Decode(wire::Reader& r);
 };
+
+// --- telemetry ---------------------------------------------------------------
+
+// GetMetrics: kMetricsReq carries no payload; the response is the device's
+// epoch-tagged telemetry snapshot (per-port/stage/table rows, update and
+// drain windows, trace-ring occupancy).
+struct MetricsResponse {
+  std::string arch;  // "pisa" | "ipsa"
+  telemetry::MetricsSnapshot snapshot;
+
+  void Encode(wire::Writer& w) const;
+  static Result<MetricsResponse> Decode(wire::Reader& r);
+};
+
+// GetTraces: pops up to `max` sampled packet traces (0 = all pending) from
+// the device's trace ring without stopping the data plane.
+struct TracesRequest {
+  uint32_t max = 0;
+
+  void Encode(wire::Writer& w) const;
+  static Result<TracesRequest> Decode(wire::Reader& r);
+};
+
+inline constexpr uint32_t kMaxTraceRecords = 4096;
+
+struct TracesResponse {
+  std::vector<telemetry::TraceRecord> traces;
+
+  void Encode(wire::Writer& w) const;
+  static Result<TracesResponse> Decode(wire::Reader& r);
+};
+
+// ResetMetrics: kResetMetricsReq and kResetMetricsResp carry no payload
+// beyond the response status; counters, histograms, and the trace ring are
+// cleared while the telemetry configuration stays.
 
 }  // namespace ipsa::rpc

@@ -6,7 +6,8 @@ namespace {
 
 bool IsRequestType(uint16_t type) {
   return type >= static_cast<uint16_t>(MsgType::kHelloReq) &&
-         type <= static_cast<uint16_t>(MsgType::kDrainReq) && (type % 2) == 1;
+         type <= static_cast<uint16_t>(MsgType::kResetMetricsReq) &&
+         (type % 2) == 1;
 }
 
 }  // namespace
@@ -122,6 +123,20 @@ Status Dispatcher::Dispatch(const wire::Frame& request, wire::Writer& body) {
       resp.Encode(body);
       return OkStatus();
     }
+    case MsgType::kMetricsReq: {
+      IPSA_ASSIGN_OR_RETURN(MetricsResponse resp, backend_->QueryMetrics());
+      resp.Encode(body);
+      return OkStatus();
+    }
+    case MsgType::kTracesReq: {
+      IPSA_ASSIGN_OR_RETURN(TracesRequest req, TracesRequest::Decode(r));
+      IPSA_ASSIGN_OR_RETURN(TracesResponse resp,
+                            backend_->DrainTraces(req.max));
+      resp.Encode(body);
+      return OkStatus();
+    }
+    case MsgType::kResetMetricsReq:
+      return backend_->ResetMetrics();
     default:
       return InvalidArgument("unhandled request tag " +
                              std::to_string(request.type));

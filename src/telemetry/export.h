@@ -1,0 +1,28 @@
+// Wire formats for a MetricsSnapshot: Prometheus text exposition (served by
+// switchd's metrics port) and a stable JSON schema (switchctl --json).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/collector.h"
+#include "util/json.h"
+
+namespace ipsa::telemetry {
+
+// Prometheus text exposition format 0.0.4. Metric names are prefixed
+// "ipsa_"; every sample carries an `arch` label so pbm and ipbm scrapes
+// stay distinguishable. Histograms export cumulative `_bucket{le=...}`
+// series plus `_sum` and `_count`, per convention.
+std::string RenderPrometheus(const MetricsSnapshot& snap,
+                             std::string_view arch);
+
+// Stable JSON schema (documented in docs/telemetry.md). Keys are
+// snake_case; histograms carry count/sum/min/max/p50/p90/p99 plus raw
+// buckets so scripts never have to re-derive percentiles.
+util::Json SnapshotToJson(const MetricsSnapshot& snap, std::string_view arch);
+
+// One trace record as JSON (switchctl trace --json).
+util::Json TraceRecordToJson(const TraceRecord& record);
+
+}  // namespace ipsa::telemetry

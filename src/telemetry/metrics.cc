@@ -1,0 +1,92 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+
+namespace ipsa::telemetry {
+
+namespace {
+
+// Bucket index for a value: smallest i with value <= 2^i, saturating into
+// the +inf bucket. A bit-width computation, no loop.
+uint32_t BucketIndex(uint64_t value) {
+  if (value <= 1) return 0;
+  uint32_t idx = static_cast<uint32_t>(std::bit_width(value - 1));
+  return idx < kHistogramBuckets ? idx : kHistogramBuckets - 1;
+}
+
+}  // namespace
+
+uint64_t Histogram::UpperBound(uint32_t i) {
+  if (i + 1 >= kHistogramBuckets) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return uint64_t{1} << i;
+}
+
+void Histogram::Observe(uint64_t value) {
+  ++buckets[BucketIndex(value)];
+  ++count;
+  sum += value;
+  if (value < min) min = value;
+  if (value > max) max = value;
+}
+
+void Histogram::MergeFrom(const Histogram& o) {
+  for (uint32_t i = 0; i < kHistogramBuckets; ++i) buckets[i] += o.buckets[i];
+  count += o.count;
+  sum += o.sum;
+  if (o.min < min) min = o.min;
+  if (o.max > max) max = o.max;
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation, 1-based.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      uint64_t bound = UpperBound(i);
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+void PortMetrics::MergeFrom(const PortMetrics& o) {
+  packets_in += o.packets_in;
+  packets_out += o.packets_out;
+  packets_dropped += o.packets_dropped;
+  packets_marked += o.packets_marked;
+  cycles.MergeFrom(o.cycles);
+}
+
+void MetricsShard::SizeTo(size_t port_count, size_t stage_count) {
+  ports.assign(port_count, PortMetrics{});
+  stages.assign(stage_count, StageMetrics{});
+}
+
+void MetricsShard::MergeFrom(const MetricsShard& o) {
+  if (ports.size() < o.ports.size()) ports.resize(o.ports.size());
+  if (stages.size() < o.stages.size()) stages.resize(o.stages.size());
+  for (size_t i = 0; i < o.ports.size(); ++i) ports[i].MergeFrom(o.ports[i]);
+  for (size_t i = 0; i < o.stages.size(); ++i) {
+    stages[i].MergeFrom(o.stages[i]);
+  }
+}
+
+void MetricsShard::Reset() {
+  for (PortMetrics& p : ports) p.Reset();
+  for (StageMetrics& s : stages) s.Reset();
+}
+
+bool MetricsShard::operator==(const MetricsShard& o) const {
+  return ports == o.ports && stages == o.stages;
+}
+
+}  // namespace ipsa::telemetry

@@ -1,0 +1,186 @@
+// Low-overhead metrics registry for the behavioral devices.
+//
+// Dimensions follow the paper's observability use cases (C2/C3: on-demand
+// INT and flow tracking): per-port packet counters and latency histograms,
+// per-logical-stage execution/hit counters, per-table hit/miss/occupancy
+// (snapshotted from the table catalog's own counters), plus the two windows
+// that make an in-situ update visible — the drain window (cycles) and the
+// template-write / full-load latency (microseconds).
+//
+// Design rules:
+//  * No atomics on the packet path. Counters live in plain MetricsShard
+//    structs; the parallel executors give every worker its own shard and
+//    merge after the join, exactly like DeviceStats. A serial run and a
+//    sharded run therefore produce bit-identical registries.
+//  * Disabled telemetry costs one pointer test per packet: the devices pass
+//    a null shard and skip everything.
+//  * Histograms use fixed power-of-two buckets so Observe() is a bit-width
+//    computation and merge is elementwise addition (shard-mergeable).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "telemetry/device_stats.h"
+
+namespace ipsa::telemetry {
+
+// Bucket i counts observations with value <= 2^i; the last bucket is +inf.
+inline constexpr uint32_t kHistogramBuckets = 28;
+
+struct Histogram {
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = std::numeric_limits<uint64_t>::max();
+  uint64_t max = 0;
+
+  void Observe(uint64_t value);
+  void MergeFrom(const Histogram& o);
+  void Reset() { *this = Histogram{}; }
+
+  bool empty() const { return count == 0; }
+  double Mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }
+  // Upper bound of the bucket holding the q-quantile observation (q in
+  // [0,1]), clamped to the observed max. Deterministic: no interpolation.
+  uint64_t Percentile(double q) const;
+
+  // Inclusive upper bound of bucket i (2^i; last bucket = uint64 max).
+  static uint64_t UpperBound(uint32_t i);
+};
+
+// Per-ingress-port counters + end-to-end pipeline latency histogram (in
+// device cycles, so serial and parallel runs agree exactly).
+struct PortMetrics {
+  uint64_t packets_in = 0;
+  uint64_t packets_out = 0;
+  uint64_t packets_dropped = 0;
+  uint64_t packets_marked = 0;
+  Histogram cycles;
+
+  void MergeFrom(const PortMetrics& o);
+  void Reset() { *this = PortMetrics{}; }
+};
+
+// Per-logical-stage counters. `executions` counts packets that traversed
+// the stage; hits/misses split the subset that applied a table.
+struct StageMetrics {
+  uint64_t executions = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  void MergeFrom(const StageMetrics& o) {
+    executions += o.executions;
+    hits += o.hits;
+    misses += o.misses;
+  }
+  void Reset() { *this = StageMetrics{}; }
+};
+
+// One worker's accumulator. Plain data, no locks — never shared between
+// threads while hot.
+struct MetricsShard {
+  std::vector<PortMetrics> ports;
+  std::vector<StageMetrics> stages;
+
+  void SizeTo(size_t port_count, size_t stage_count);
+  void MergeFrom(const MetricsShard& o);
+  void Reset();
+  bool operator==(const MetricsShard& o) const;
+
+  // Hot-path hooks. Out-of-range indices are counted nowhere (an injection
+  // port outside the device's port set, a stage slot from a stale layout).
+  void OnResult(uint32_t in_port, const ProcessResult& r) {
+    if (in_port >= ports.size()) return;
+    PortMetrics& p = ports[in_port];
+    ++p.packets_in;
+    if (r.dropped) {
+      ++p.packets_dropped;
+    } else {
+      ++p.packets_out;
+    }
+    if (r.marked) ++p.packets_marked;
+    p.cycles.Observe(r.cycles);
+  }
+  void OnStage(uint32_t slot, bool table_applied, bool hit) {
+    if (slot >= stages.size()) return;
+    StageMetrics& s = stages[slot];
+    ++s.executions;
+    if (table_applied) {
+      if (hit) {
+        ++s.hits;
+      } else {
+        ++s.misses;
+      }
+    }
+  }
+};
+
+inline bool operator==(const Histogram& a, const Histogram& b) {
+  return a.buckets == b.buckets && a.count == b.count && a.sum == b.sum &&
+         a.min == b.min && a.max == b.max;
+}
+inline bool operator==(const PortMetrics& a, const PortMetrics& b) {
+  return a.packets_in == b.packets_in && a.packets_out == b.packets_out &&
+         a.packets_dropped == b.packets_dropped &&
+         a.packets_marked == b.packets_marked && a.cycles == b.cycles;
+}
+inline bool operator==(const StageMetrics& a, const StageMetrics& b) {
+  return a.executions == b.executions && a.hits == b.hits &&
+         a.misses == b.misses;
+}
+
+// --- snapshot rows (what export/RPC consume) --------------------------------
+
+struct PortRow {
+  uint32_t port = 0;
+  PortMetrics metrics;
+};
+
+struct StageRow {
+  uint32_t unit = 0;   // physical stage index / TSP id
+  std::string stage;   // logical stage name ("" for an empty slot)
+  StageMetrics metrics;
+};
+
+// Same shape the stats RPC uses; filled from the table catalog's own
+// counters at snapshot time (tables already count hits/misses internally).
+struct TableRow {
+  std::string table;
+  uint8_t match_kind = 0;
+  uint32_t entries = 0;
+  uint32_t size = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+// An epoch-tagged, self-consistent copy of the registry. A scrape across an
+// in-situ update sees config_epoch advance and the update/drain windows the
+// reconfiguration cost — the paper's headline, observable.
+struct MetricsSnapshot {
+  bool enabled = false;
+  uint64_t seq = 0;           // snapshot sequence number (per collector)
+  uint64_t config_epoch = 0;  // device CCM epoch at snapshot time
+  DeviceStats device;         // aggregate device counters
+
+  std::vector<PortRow> ports;    // only ports with traffic
+  std::vector<StageRow> stages;  // current stage layout
+  std::vector<TableRow> tables;  // filled by the owner (catalog access)
+
+  // In-situ update visibility.
+  uint64_t updates = 0;             // template writes / full loads observed
+  uint64_t last_update_epoch = 0;   // device epoch after the last update
+  double last_update_ms = 0;        // wall latency of the last update
+  Histogram update_window_us;       // wall microseconds per update
+  Histogram drain_window_cycles;    // backpressure drain cost per update
+
+  // Trace ring occupancy travels with the metrics (cheap to include).
+  uint64_t traces_captured = 0;
+  uint64_t traces_dropped = 0;
+  uint32_t traces_pending = 0;
+};
+
+}  // namespace ipsa::telemetry

@@ -1,0 +1,64 @@
+#include "telemetry/trace_ring.h"
+
+namespace ipsa::telemetry {
+
+void TraceRing::Configure(const TraceConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  if (config_.capacity == 0) config_.capacity = 1;
+  while (ring_.size() > config_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  sample_counter_.store(0, std::memory_order_relaxed);
+}
+
+bool TraceRing::Commit(TraceRecord record) {
+  if (!config_.table.empty()) {
+    bool matched = false;
+    for (const TraceStep& step : record.trace.steps) {
+      if (step.table == config_.table) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  record.seq = next_seq_++;
+  if (ring_.size() >= config_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(record));
+  ++captured_;
+  return true;
+}
+
+std::vector<TraceRecord> TraceRing::Drain(uint32_t max) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t take = max == 0 ? ring_.size() : std::min<size_t>(max, ring_.size());
+  std::vector<TraceRecord> out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(ring_.front()));
+    ring_.pop_front();
+  }
+  return out;
+}
+
+uint32_t TraceRing::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<uint32_t>(ring_.size());
+}
+
+void TraceRing::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_seq_ = 1;
+  captured_ = 0;
+  dropped_ = 0;
+  sample_counter_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ipsa::telemetry

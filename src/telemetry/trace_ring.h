@@ -1,0 +1,80 @@
+// Sampled packet-trace ring buffer.
+//
+// Holds the last N ProcessTraces that matched the sampling predicate
+// (1-in-N, optional ingress-port filter, optional applied-table filter).
+// Bounded: when full, the oldest record is evicted and counted as dropped.
+// Drainable without stopping the device — the daemon's GetTraces RPC pops
+// records while packets keep flowing.
+//
+// Thread model: the sampling decision uses one relaxed atomic counter (only
+// touched when sampling is enabled), and commits serialize on a mutex —
+// contention is 1-in-N by construction, so the packet path stays cheap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/device_stats.h"
+
+namespace ipsa::telemetry {
+
+struct TraceConfig {
+  uint32_t sample_every = 0;  // 0 = tracing off; 1 = every packet; N = 1-in-N
+  int32_t port = -1;          // -1 = any ingress port
+  std::string table;          // "" = any; else only traces that applied it
+  uint32_t capacity = 256;    // ring depth
+};
+
+struct TraceRecord {
+  uint64_t seq = 0;           // monotonically increasing capture id
+  uint64_t config_epoch = 0;  // device epoch when the packet was processed
+  uint32_t in_port = 0;
+  ProcessResult result;
+  ProcessTrace trace;
+};
+
+class TraceRing {
+ public:
+  void Configure(const TraceConfig& config);
+  const TraceConfig& config() const { return config_; }
+
+  // Cheap sampling decision, callable from any worker. False when tracing
+  // is off, the port filter mismatches, or this packet loses the 1-in-N.
+  bool ShouldTrace(uint32_t in_port) {
+    uint32_t every = config_.sample_every;
+    if (every == 0) return false;
+    if (config_.port >= 0 && static_cast<uint32_t>(config_.port) != in_port) {
+      return false;
+    }
+    return sample_counter_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+  }
+
+  // Applies the table predicate and stores the record (evicting the oldest
+  // when full). Returns true when the record was kept.
+  bool Commit(TraceRecord record);
+
+  // Pops up to `max` records, oldest first (0 = all pending).
+  std::vector<TraceRecord> Drain(uint32_t max = 0);
+
+  uint32_t pending() const;
+  uint64_t captured() const { return captured_; }
+  uint64_t dropped() const { return dropped_; }
+
+  void Reset();
+
+ private:
+  TraceConfig config_;
+  std::atomic<uint64_t> sample_counter_{0};
+
+  mutable std::mutex mutex_;
+  std::deque<TraceRecord> ring_;
+  uint64_t next_seq_ = 1;
+  uint64_t captured_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace ipsa::telemetry

@@ -80,10 +80,12 @@ Result<std::vector<uint8_t>> RecvDatagram(const wire::Socket& sock,
 
 class SwitchdTest : public ::testing::Test {
  protected:
-  void StartDaemon(ArchKind arch = ArchKind::kIpsa) {
+  void StartDaemon(ArchKind arch = ArchKind::kIpsa,
+                   uint32_t trace_every = 0) {
     SwitchdOptions options;
     options.arch = arch;
     options.udp_ports = kUdpPorts;
+    options.trace_sample_every = trace_every;
     switchd_ = std::make_unique<Switchd>(options);
     ASSERT_TRUE(switchd_->Start().ok());
   }
@@ -203,6 +205,179 @@ TEST_F(SwitchdTest, LoopbackForwardingMatchesInProcessDevice) {
   EXPECT_EQ(stats->packets_in, 32u);
   EXPECT_GT(switchd_->counters().udp_rx, 0u);
   EXPECT_GT(switchd_->counters().udp_tx, 0u);
+}
+
+// --- telemetry over the wire -------------------------------------------------
+
+// One HTTP/1.0 scrape of the daemon's Prometheus endpoint.
+Result<std::string> Scrape(uint16_t port, const std::string& path) {
+  IPSA_ASSIGN_OR_RETURN(wire::Socket sock,
+                        wire::TcpConnect("127.0.0.1", port, 5000));
+  std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  IPSA_RETURN_IF_ERROR(wire::SendAll(
+      sock.fd(),
+      std::span(reinterpret_cast<const uint8_t*>(req.data()), req.size()),
+      5000));
+  std::string response;
+  std::vector<uint8_t> buf(64 * 1024);
+  for (;;) {
+    auto n = wire::RecvSome(sock.fd(), buf, 5000);
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;  // server closes after one response
+    response.append(reinterpret_cast<const char*>(buf.data()), *n);
+  }
+  return response;
+}
+
+// The acceptance-criteria scrape test: telemetry + sampling enabled, a live
+// in-situ update between two batches of traffic, forwarding bit-identical to
+// an untelemetered reference device throughout, and every export surface
+// (GetMetrics, GetTraces, the Prometheus endpoint) showing the epoch-tagged
+// story.
+TEST_F(SwitchdTest, TelemetryAcrossLiveUpdate) {
+  StartDaemon(ArchKind::kIpsa, /*trace_every=*/1);
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+
+  auto installed = client.Install(rpc::InstallKind::kBaseP4,
+                                  controller::designs::BaseP4());
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  auto api = client.FetchApi();
+  ASSERT_TRUE(api.ok());
+  std::vector<rpc::TableOp> ops =
+      CollectOps(*api, &controller::PopulateBaseline);
+  ASSERT_TRUE(client.ApplyBatch(ops).ok());
+
+  // Reference device with telemetry off — proves collection does not
+  // perturb forwarding.
+  IpsaBackend ref;
+  ASSERT_TRUE(
+      ref.Install(rpc::InstallKind::kBaseP4, controller::designs::BaseP4())
+          .ok());
+  for (const rpc::TableOp& op : ops) ASSERT_TRUE(ref.ApplyTableOp(op).ok());
+
+  RegisterPeers();
+  for (uint32_t i = 0; i < 8; ++i) {
+    AssertForwardsLikeReference(ref, i, static_cast<uint16_t>(6000 + i));
+  }
+
+  auto before = client.QueryMetrics();
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(before->arch, "ipsa");
+  EXPECT_TRUE(before->snapshot.enabled);
+  EXPECT_EQ(before->snapshot.device.packets_in, 8u);
+  EXPECT_FALSE(before->snapshot.ports.empty());
+  EXPECT_GT(before->snapshot.ports[0].metrics.cycles.count, 0u);
+  EXPECT_FALSE(before->snapshot.stages.empty());
+  uint64_t table_hits = 0;
+  for (const telemetry::TableRow& row : before->snapshot.tables) {
+    table_hits += row.hits;
+  }
+  EXPECT_GT(table_hits, 0u);
+
+  // Live in-situ update over the control channel.
+  auto script = client.Install(rpc::InstallKind::kScript,
+                               controller::designs::EcmpScript());
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  auto api2 = client.FetchApi();
+  ASSERT_TRUE(api2.ok());
+  std::vector<rpc::TableOp> ecmp_ops = CollectOps(*api2, &PopulateEcmpDefault);
+  ASSERT_TRUE(client.ApplyBatch(ecmp_ops).ok());
+
+  ASSERT_TRUE(
+      ref.Install(rpc::InstallKind::kScript, controller::designs::EcmpScript())
+          .ok());
+  for (const rpc::TableOp& op : ecmp_ops) {
+    ASSERT_TRUE(ref.ApplyTableOp(op).ok());
+  }
+
+  for (uint32_t i = 0; i < 8; ++i) {
+    AssertForwardsLikeReference(ref, i, static_cast<uint16_t>(7000 + i));
+  }
+
+  // The snapshot after the update tells the reconfiguration story: the
+  // config epoch advanced and the update-window histogram recorded it.
+  auto after = client.QueryMetrics();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->snapshot.config_epoch, before->snapshot.config_epoch);
+  EXPECT_GT(after->snapshot.updates, before->snapshot.updates);
+  EXPECT_GT(after->snapshot.update_window_us.count,
+            before->snapshot.update_window_us.count);
+  // Fine-grained CCM writes can bump the epoch after the last template
+  // window, so the tag trails the live epoch but postdates the old one.
+  EXPECT_LE(after->snapshot.last_update_epoch, after->snapshot.config_epoch);
+  EXPECT_GT(after->snapshot.last_update_epoch, before->snapshot.config_epoch);
+  EXPECT_EQ(after->snapshot.device.packets_in, 16u);
+  EXPECT_GT(after->snapshot.seq, before->snapshot.seq);
+
+  // Sampled traces: every packet was eligible (1-in-1), records carry the
+  // epoch they executed under and real per-stage steps.
+  auto traces = client.QueryTraces();
+  ASSERT_TRUE(traces.ok()) << traces.status().ToString();
+  ASSERT_FALSE(traces->traces.empty());
+  uint64_t last_seq = 0;
+  for (const telemetry::TraceRecord& rec : traces->traces) {
+    EXPECT_GT(rec.seq, last_seq) << "trace seq must be increasing";
+    last_seq = rec.seq;
+    EXPECT_LE(rec.config_epoch, after->snapshot.config_epoch);
+    EXPECT_FALSE(rec.trace.steps.empty());
+  }
+  // Some traces predate the update, some follow it.
+  EXPECT_LT(traces->traces.front().config_epoch,
+            traces->traces.back().config_epoch);
+
+  // Prometheus scrape straight off the metrics port.
+  auto scrape = Scrape(switchd_->metrics_port(), "/metrics");
+  ASSERT_TRUE(scrape.ok()) << scrape.status().ToString();
+  EXPECT_NE(scrape->find("200 OK"), std::string::npos);
+  EXPECT_NE(scrape->find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(scrape->find("ipsa_table_hits_total{arch=\"ipsa\",table="),
+            std::string::npos);
+  EXPECT_NE(scrape->find("ipsa_update_window_us_bucket"), std::string::npos);
+  EXPECT_NE(scrape->find("ipsa_config_epoch{arch=\"ipsa\"} " +
+                         std::to_string(after->snapshot.config_epoch)),
+            std::string::npos);
+  EXPECT_NE(scrape->find("ipsa_device_packets_in_total{arch=\"ipsa\"} 16"),
+            std::string::npos);
+  EXPECT_GT(switchd_->counters().metrics_scrapes, 0u);
+
+  // Unknown paths 404; the daemon keeps serving.
+  auto missing = Scrape(switchd_->metrics_port(), "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing->find("404"), std::string::npos);
+
+  // ResetMetrics clears the collector (ports, windows, traces) but leaves
+  // the device's own lifetime counters alone.
+  ASSERT_TRUE(client.ResetMetrics().ok());
+  auto reset = client.QueryMetrics();
+  ASSERT_TRUE(reset.ok());
+  EXPECT_TRUE(reset->snapshot.ports.empty());
+  EXPECT_EQ(reset->snapshot.updates, 0u);
+  EXPECT_EQ(reset->snapshot.traces_pending, 0u);
+  EXPECT_EQ(reset->snapshot.device.packets_in, 16u);
+}
+
+// Telemetry off: the RPCs still answer (empty snapshot, no traces), so
+// dashboards fail soft instead of erroring.
+TEST_F(SwitchdTest, MetricsWithTelemetryDisabled) {
+  SwitchdOptions options;
+  options.udp_ports = kUdpPorts;
+  options.telemetry = false;
+  switchd_ = std::make_unique<Switchd>(options);
+  ASSERT_TRUE(switchd_->Start().ok());
+
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  auto metrics = client.QueryMetrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_FALSE(metrics->snapshot.enabled);
+  EXPECT_TRUE(metrics->snapshot.ports.empty());
+  auto traces = client.QueryTraces();
+  ASSERT_TRUE(traces.ok());
+  EXPECT_TRUE(traces->traces.empty());
+
+  auto scrape = Scrape(switchd_->metrics_port(), "/metrics");
+  ASSERT_TRUE(scrape.ok());
+  EXPECT_NE(scrape->find("ipsa_telemetry_enabled{arch=\"ipsa\"} 0"),
+            std::string::npos);
 }
 
 // --- control-channel robustness ----------------------------------------------

@@ -21,6 +21,7 @@
 #include "bench/common.h"
 #include "ipsa/ipbm.h"
 #include "net/workload.h"
+#include "telemetry/collector.h"
 
 namespace ipsa {
 namespace {
@@ -239,6 +240,102 @@ TEST(FastPathDeterminism, PbmSerialVsParallel) {
     CheckSerialVsParallel(
         [](UseCase u, const net::Workload* w) { return MakePisaSetup(u, w); },
         uc);
+  }
+}
+
+// With telemetry enabled, a parallel drain accumulates into per-worker
+// shards merged after join. The merged registry must equal the serial
+// one exactly — same port histograms bucket-for-bucket, same per-stage
+// hit counters — and forwarding must stay bit-identical.
+template <typename MakeSetup>
+void CheckTelemetryShardMerge(MakeSetup make, UseCase uc) {
+  SCOPED_TRACE(UseCaseName(uc));
+  net::Workload populate_workload(WorkloadFor(uc));
+  auto serial = make(uc, &populate_workload);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  net::Workload populate_workload2(WorkloadFor(uc));
+  auto parallel = make(uc, &populate_workload2);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  telemetry::TelemetryConfig config;
+  config.enabled = true;
+  serial->device->ConfigureTelemetry(config);
+  parallel->device->ConfigureTelemetry(config);
+
+  std::vector<net::Packet> packets = MakeWorkloadPackets(uc);
+  uint32_t port_count = serial->device->ports().count();
+  for (size_t i = 0; i < packets.size(); ++i) {
+    uint32_t p = static_cast<uint32_t>(i) % port_count;
+    serial->device->ports().port(p).rx().Push(packets[i]);
+    parallel->device->ports().port(p).rx().Push(packets[i]);
+  }
+
+  ASSERT_TRUE(serial->device->RunToCompletion(1).ok());
+  ASSERT_TRUE(parallel->device->RunToCompletion(4).ok());
+
+  telemetry::MetricsShard* s = serial->device->telemetry().shard();
+  telemetry::MetricsShard* p = parallel->device->telemetry().shard();
+  ASSERT_NE(s, nullptr);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*s, *p) << "sharded merge diverged from serial accumulation";
+
+  for (uint32_t port = 0; port < port_count; ++port) {
+    auto& stx = serial->device->ports().port(port).tx();
+    auto& ptx = parallel->device->ports().port(port).tx();
+    ASSERT_EQ(stx.size(), ptx.size()) << "tx depth differs on port " << port;
+    while (auto sp = stx.Pop()) {
+      auto pp = ptx.Pop();
+      ASSERT_TRUE(pp.has_value());
+      EXPECT_TRUE(*sp == *pp) << "tx bytes differ on port " << port;
+    }
+  }
+}
+
+TEST(FastPathDeterminism, IpbmTelemetryShardMerge) {
+  for (UseCase uc : kAllUseCases) {
+    CheckTelemetryShardMerge(
+        [](UseCase u, const net::Workload* w) { return MakeRp4Setup(u, w); },
+        uc);
+  }
+}
+
+TEST(FastPathDeterminism, PbmTelemetryShardMerge) {
+  for (UseCase uc : kAllUseCases) {
+    CheckTelemetryShardMerge(
+        [](UseCase u, const net::Workload* w) { return MakePisaSetup(u, w); },
+        uc);
+  }
+}
+
+// Telemetry collection must not change what the device does to packets:
+// same results, same bytes, whether the collector is on or off.
+TEST(FastPathDeterminism, TelemetryOnOffBitIdentical) {
+  for (UseCase uc : kAllUseCases) {
+    SCOPED_TRACE(UseCaseName(uc));
+    net::Workload populate_workload(WorkloadFor(uc));
+    auto off = MakeRp4Setup(uc, &populate_workload);
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    net::Workload populate_workload2(WorkloadFor(uc));
+    auto on = MakeRp4Setup(uc, &populate_workload2);
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+    telemetry::TelemetryConfig config;
+    config.enabled = true;
+    config.trace.sample_every = 3;  // sampling active too
+    on->device->ConfigureTelemetry(config);
+
+    std::vector<net::Packet> off_pkts = MakeWorkloadPackets(uc);
+    std::vector<net::Packet> on_pkts = MakeWorkloadPackets(uc);
+    for (size_t i = 0; i < off_pkts.size(); ++i) {
+      auto r_off = off->device->Process(off_pkts[i], 1);
+      auto r_on = on->device->Process(on_pkts[i], 1);
+      ASSERT_TRUE(r_off.ok()) << r_off.status().ToString();
+      ASSERT_TRUE(r_on.ok()) << r_on.status().ToString();
+      ExpectSameResult(*r_off, *r_on, "packet " + std::to_string(i));
+      EXPECT_TRUE(off_pkts[i] == on_pkts[i])
+          << "packet bytes diverged at " << i;
+    }
+    EXPECT_GT(on->device->telemetry().DrainTraces().size(), 0u);
   }
 }
 

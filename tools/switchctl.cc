@@ -10,6 +10,8 @@
 //   $ switchctl --port 9090 script ecmp
 //   $ switchctl --port 9090 populate ecmp
 //   $ switchctl --port 9090 stats
+//   $ switchctl --port 9090 metrics --json
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +24,9 @@
 #include "controller/designs.h"
 #include "controller/runtime_api.h"
 #include "rpc/client.h"
+#include "table/table.h"
+#include "telemetry/export.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace ipsa::tools {
@@ -44,9 +49,18 @@ constexpr char kUsage[] =
     "                            ecmp, srv6\n"
     "  ops <file>                apply table ops from a script file, batched\n"
     "  stats                     device counters and per-table stats\n"
+    "  metrics                   telemetry snapshot: per-port latency\n"
+    "                            percentiles, per-stage hit counters,\n"
+    "                            update/drain windows, trace ring occupancy\n"
+    "  trace [n]                 drain up to n sampled packet traces\n"
+    "                            (default 0 = all pending, capped at 4096)\n"
+    "  reset-metrics             zero the telemetry registry and trace ring\n"
     "  epoch                     current design epoch\n"
     "  drain [workers]           run queued packets to completion\n"
     "  -h, --help                print this help and exit\n"
+    "\n"
+    "stats, metrics, and trace accept --json for machine-readable output\n"
+    "with a stable schema (docs/telemetry.md).\n"
     "\n"
     "ops file format (one op per line, '#' comments):\n"
     "  add|mod|del <table> <action> [key=V]... [arg=V]... \\\n"
@@ -241,8 +255,38 @@ Status DoOps(rpc::Client& client, const std::string& path) {
   return OkStatus();
 }
 
-Status DoStats(rpc::Client& client) {
+std::string MatchName(uint8_t kind) {
+  return std::string(
+      table::MatchKindName(static_cast<table::MatchKind>(kind)));
+}
+
+Status DoStats(rpc::Client& client, bool json) {
   IPSA_ASSIGN_OR_RETURN(rpc::StatsResponse st, client.QueryStats());
+  if (json) {
+    util::Json out = util::Json::Object();
+    out["packets_in"] = st.packets_in;
+    out["packets_out"] = st.packets_out;
+    out["packets_dropped"] = st.packets_dropped;
+    out["packets_marked"] = st.packets_marked;
+    out["config_words_written"] = st.config_words_written;
+    out["full_loads"] = st.full_loads;
+    out["template_writes"] = st.template_writes;
+    out["table_ops"] = st.table_ops;
+    util::Json tables = util::Json::Array();
+    for (const rpc::TableStatsRow& row : st.tables) {
+      util::Json t = util::Json::Object();
+      t["table"] = row.table;
+      t["match_kind"] = MatchName(row.match_kind);
+      t["entries"] = row.entries;
+      t["size"] = row.size;
+      t["hits"] = row.hits;
+      t["misses"] = row.misses;
+      tables.push_back(std::move(t));
+    }
+    out["tables"] = std::move(tables);
+    std::printf("%s\n", out.Dump(2).c_str());
+    return OkStatus();
+  }
   std::printf("packets in/out/drop: %llu/%llu/%llu  marked: %llu\n"
               "config words: %llu  full loads: %llu  template writes: %llu  "
               "table ops: %llu\n",
@@ -258,12 +302,114 @@ Status DoStats(rpc::Client& client) {
               "size", "hits", "misses");
   for (const rpc::TableStatsRow& row : st.tables) {
     std::printf("%-18s %-9s %8u %8u %8llu %8llu\n", row.table.c_str(),
-                std::string(table::MatchKindName(
-                                static_cast<table::MatchKind>(row.match_kind)))
-                    .c_str(),
-                row.entries, row.size, (unsigned long long)row.hits,
-                (unsigned long long)row.misses);
+                MatchName(row.match_kind).c_str(), row.entries, row.size,
+                (unsigned long long)row.hits, (unsigned long long)row.misses);
   }
+  return OkStatus();
+}
+
+void PrintHistogramLine(const char* label, const telemetry::Histogram& h) {
+  std::printf("%s: count %llu  p50 %llu  p90 %llu  p99 %llu  max %llu\n",
+              label, (unsigned long long)h.count,
+              (unsigned long long)h.Percentile(0.50),
+              (unsigned long long)h.Percentile(0.90),
+              (unsigned long long)h.Percentile(0.99),
+              (unsigned long long)(h.count ? h.max : 0));
+}
+
+Status DoMetrics(rpc::Client& client, bool json) {
+  IPSA_ASSIGN_OR_RETURN(rpc::MetricsResponse resp, client.QueryMetrics());
+  if (json) {
+    std::printf(
+        "%s\n",
+        telemetry::SnapshotToJson(resp.snapshot, resp.arch).Dump(2).c_str());
+    return OkStatus();
+  }
+  const telemetry::MetricsSnapshot& m = resp.snapshot;
+  std::printf("arch %s  telemetry %s  seq %llu  config epoch %llu\n",
+              resp.arch.c_str(), m.enabled ? "on" : "off",
+              (unsigned long long)m.seq, (unsigned long long)m.config_epoch);
+  std::printf("packets in/out/drop: %llu/%llu/%llu  marked: %llu  "
+              "cycles: %llu\n",
+              (unsigned long long)m.device.packets_in,
+              (unsigned long long)m.device.packets_out,
+              (unsigned long long)m.device.packets_dropped,
+              (unsigned long long)m.device.packets_marked,
+              (unsigned long long)m.device.total_cycles);
+  std::printf("updates: %llu  last epoch %llu  last window %.3f ms\n",
+              (unsigned long long)m.updates,
+              (unsigned long long)m.last_update_epoch, m.last_update_ms);
+  PrintHistogramLine("update window (us)", m.update_window_us);
+  PrintHistogramLine("drain window (cycles)", m.drain_window_cycles);
+  if (!m.ports.empty()) {
+    std::printf("%-5s %10s %10s %8s %8s %8s %8s %8s\n", "port", "in", "out",
+                "drop", "mark", "p50cyc", "p90cyc", "p99cyc");
+    for (const telemetry::PortRow& row : m.ports) {
+      std::printf("%-5u %10llu %10llu %8llu %8llu %8llu %8llu %8llu\n",
+                  row.port, (unsigned long long)row.metrics.packets_in,
+                  (unsigned long long)row.metrics.packets_out,
+                  (unsigned long long)row.metrics.packets_dropped,
+                  (unsigned long long)row.metrics.packets_marked,
+                  (unsigned long long)row.metrics.cycles.Percentile(0.50),
+                  (unsigned long long)row.metrics.cycles.Percentile(0.90),
+                  (unsigned long long)row.metrics.cycles.Percentile(0.99));
+    }
+  }
+  if (!m.stages.empty()) {
+    std::printf("%-5s %-18s %12s %10s %10s\n", "unit", "stage", "executions",
+                "hits", "misses");
+    for (const telemetry::StageRow& row : m.stages) {
+      std::printf("%-5u %-18s %12llu %10llu %10llu\n", row.unit,
+                  row.stage.empty() ? "-" : row.stage.c_str(),
+                  (unsigned long long)row.metrics.executions,
+                  (unsigned long long)row.metrics.hits,
+                  (unsigned long long)row.metrics.misses);
+    }
+  }
+  if (!m.tables.empty()) {
+    std::printf("%-18s %-9s %8s %8s %8s %8s\n", "table", "match", "entries",
+                "size", "hits", "misses");
+    for (const telemetry::TableRow& row : m.tables) {
+      std::printf("%-18s %-9s %8u %8u %8llu %8llu\n", row.table.c_str(),
+                  MatchName(row.match_kind).c_str(), row.entries, row.size,
+                  (unsigned long long)row.hits,
+                  (unsigned long long)row.misses);
+    }
+  }
+  std::printf("traces: captured %llu  dropped %llu  pending %u\n",
+              (unsigned long long)m.traces_captured,
+              (unsigned long long)m.traces_dropped, m.traces_pending);
+  return OkStatus();
+}
+
+Status DoTrace(rpc::Client& client, uint32_t max, bool json) {
+  IPSA_ASSIGN_OR_RETURN(rpc::TracesResponse resp, client.QueryTraces(max));
+  if (json) {
+    util::Json out = util::Json::Array();
+    for (const telemetry::TraceRecord& rec : resp.traces) {
+      out.push_back(telemetry::TraceRecordToJson(rec));
+    }
+    std::printf("%s\n", out.Dump(2).c_str());
+    return OkStatus();
+  }
+  for (const telemetry::TraceRecord& rec : resp.traces) {
+    std::printf("trace #%llu  epoch %llu  port %u -> %s  cycles %llu\n",
+                (unsigned long long)rec.seq,
+                (unsigned long long)rec.config_epoch, rec.in_port,
+                rec.result.dropped
+                    ? "drop"
+                    : ("port " + std::to_string(rec.result.egress_port))
+                          .c_str(),
+                (unsigned long long)rec.result.cycles);
+    for (const telemetry::TraceStep& step : rec.trace.steps) {
+      std::printf("  unit %-3u %-18s %-18s %-4s %s\n", step.unit,
+                  step.stage.c_str(),
+                  step.table.empty() ? "-" : step.table.c_str(),
+                  step.table.empty() ? "" : (step.hit ? "hit" : "miss"),
+                  step.action.c_str());
+    }
+  }
+  std::printf("%zu trace(s)\n", resp.traces.size());
   return OkStatus();
 }
 
@@ -302,6 +448,15 @@ int Main(int argc, char** argv) {
   }
   std::string cmd = argv[i++];
   std::vector<std::string> args(argv + i, argv + argc);
+  // --json may appear anywhere after the command (stats/metrics/trace).
+  bool json = false;
+  args.erase(std::remove_if(args.begin(), args.end(),
+                            [&json](const std::string& a) {
+                              if (a != "--json") return false;
+                              json = true;
+                              return true;
+                            }),
+             args.end());
 
   rpc::Client client(options);
   Status s = OkStatus();
@@ -331,7 +486,17 @@ int Main(int argc, char** argv) {
   } else if (cmd == "ops" && args.size() == 1) {
     s = DoOps(client, args[0]);
   } else if (cmd == "stats" && args.empty()) {
-    s = DoStats(client);
+    s = DoStats(client, json);
+  } else if (cmd == "metrics" && args.empty()) {
+    s = DoMetrics(client, json);
+  } else if (cmd == "trace" && args.size() <= 1) {
+    uint32_t max = args.empty()
+                       ? 0
+                       : static_cast<uint32_t>(std::atoi(args[0].c_str()));
+    s = DoTrace(client, max, json);
+  } else if (cmd == "reset-metrics" && args.empty()) {
+    s = client.ResetMetrics();
+    if (s.ok()) std::printf("metrics reset\n");
   } else if (cmd == "epoch" && args.empty()) {
     auto e = client.QueryEpoch();
     if (e.ok()) {

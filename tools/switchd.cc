@@ -38,13 +38,20 @@ constexpr char kUsage[] =
     "                       0 = ephemeral per port)\n"
     "  --ports N            device ports exposed over UDP (default 4)\n"
     "  --workers N          workers for the RX drain (default 1)\n"
+    "  --metrics-port N     Prometheus /metrics TCP port (default\n"
+    "                       0 = ephemeral)\n"
+    "  --no-telemetry       disable the telemetry collector (metrics port\n"
+    "                       still binds but reports an empty snapshot)\n"
+    "  --trace-every N      sample every Nth packet into the trace ring\n"
+    "                       (default 0 = tracing off)\n"
     "  --base               boot with the built-in base L2/L3 design\n"
     "                       installed (tables still need populating)\n"
     "  --verbose            log dropped sessions and drain failures\n"
     "  -h, --help           print this help and exit\n"
     "\n"
     "Bound ports are printed one per line ('control HOST:PORT', then\n"
-    "'udp port I PORT' per device port) before serving begins.\n";
+    "'metrics HOST:PORT', then 'udp port I PORT' per device port) before\n"
+    "serving begins.\n";
 
 std::atomic<daemon::Switchd*> g_switchd{nullptr};
 
@@ -127,6 +134,24 @@ int Main(int argc, char** argv) {
       } else {
         s = p.ok() ? InvalidArgument("--workers must be >= 1") : p.status();
       }
+    } else if (a == "--metrics-port") {
+      const char* v = value();
+      auto p = ParseUint(v ? v : "", "--metrics-port", 65535);
+      if (p.ok()) {
+        options.metrics_port = static_cast<uint16_t>(*p);
+      } else {
+        s = p.status();
+      }
+    } else if (a == "--no-telemetry") {
+      options.telemetry = false;
+    } else if (a == "--trace-every") {
+      const char* v = value();
+      auto p = ParseUint(v ? v : "", "--trace-every", 1u << 30);
+      if (p.ok()) {
+        options.trace_sample_every = *p;
+      } else {
+        s = p.status();
+      }
     } else if (a == "--base") {
       boot_base = true;
     } else if (a == "--verbose") {
@@ -163,6 +188,8 @@ int Main(int argc, char** argv) {
 
   std::printf("control %s:%u\n", options.bind.c_str(),
               switchd.control_port());
+  std::printf("metrics %s:%u\n", options.bind.c_str(),
+              switchd.metrics_port());
   for (uint32_t p = 0; p < options.udp_ports; ++p) {
     std::printf("udp port %u %u\n", p, switchd.udp_port(p));
   }
