@@ -15,6 +15,7 @@
 // (google-benchmark's JSON schema) for the evaluation scripts.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <span>
 #include <string>
 #include <string_view>
@@ -203,6 +204,22 @@ BENCHMARK(BM_IpbmDrain)->Apply(DrainArgs)->UseRealTime();
 // Custom main: besides the console table, always dump the JSON report to
 // BENCH_softswitch.json (overridable with an explicit --benchmark_out=).
 int main(int argc, char** argv) {
+#ifndef NDEBUG
+  fprintf(stderr,
+          "=====================================================\n"
+          "WARNING: bench_softswitch was built without NDEBUG (a\n"
+          "Debug build). Do NOT commit or compare these numbers;\n"
+          "configure with -DCMAKE_BUILD_TYPE=Release.\n"
+          "=====================================================\n");
+#endif
+  // The JSON context's "library_build_type" describes the *benchmark
+  // library*, not this tree; record our own build type so a committed
+  // report proves it came from a Release build.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ipsa_build_type", "release");
+#else
+  benchmark::AddCustomContext("ipsa_build_type", "debug");
+#endif
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

@@ -8,12 +8,9 @@ mem::BitString ConcatBits(const std::vector<mem::BitString>& values) {
   size_t total = 0;
   for (const auto& v : values) total += v.bit_width();
   mem::BitString out(total);
-  size_t offset = 0;
+  size_t cursor = 0;
   for (const auto& v : values) {
-    for (size_t i = 0; i < v.bit_width(); ++i) {
-      out.SetBit(offset + i, v.GetBit(i));
-    }
-    offset += v.bit_width();
+    out.AppendBits(v, 0, v.bit_width(), cursor);
   }
   return out;
 }
@@ -63,14 +60,29 @@ Result<const TableBinding*> TableCatalog::GetBinding(
 
 Result<mem::BitString> TableCatalog::BuildKey(std::string_view table,
                                               const PacketContext& ctx) const {
+  mem::BitString out;
+  IPSA_RETURN_IF_ERROR(BuildKeyInto(table, ctx, out));
+  return out;
+}
+
+Status TableCatalog::BuildKeyInto(std::string_view table,
+                                  const PacketContext& ctx,
+                                  mem::BitString& out) const {
   IPSA_ASSIGN_OR_RETURN(const TableBinding* binding, GetBinding(table));
-  std::vector<mem::BitString> parts;
-  parts.reserve(binding->key_fields.size());
+  // Two passes: sizing, then appending. Field reads return SBO BitStrings,
+  // so neither pass heap-allocates for the common field widths.
+  size_t total = 0;
   for (const FieldRef& ref : binding->key_fields) {
     IPSA_ASSIGN_OR_RETURN(mem::BitString v, ctx.ReadField(ref));
-    parts.push_back(std::move(v));
+    total += v.bit_width();
   }
-  return ConcatBits(parts);
+  out.Resize(total);
+  size_t cursor = 0;
+  for (const FieldRef& ref : binding->key_fields) {
+    IPSA_ASSIGN_OR_RETURN(mem::BitString v, ctx.ReadField(ref));
+    out.AppendBits(v, 0, v.bit_width(), cursor);
+  }
+  return OkStatus();
 }
 
 std::vector<std::string> TableCatalog::TableNames() const {

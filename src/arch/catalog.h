@@ -49,6 +49,10 @@ class TableCatalog {
   // Builds the lookup key for `table` from the packet context.
   Result<mem::BitString> BuildKey(std::string_view table,
                                   const PacketContext& ctx) const;
+  // In-place variant: assembles the key into `out`, reusing its capacity.
+  // The interpreter hot path pairs this with a per-worker scratch key.
+  Status BuildKeyInto(std::string_view table, const PacketContext& ctx,
+                      mem::BitString& out) const;
 
   // Sorted, for deterministic enumeration (serde, device reset).
   std::vector<std::string> TableNames() const;

@@ -532,12 +532,17 @@ Result<StageRunStats> RunCompiledStage(const CompiledStage& stage,
   }
 
   uint32_t tag = 0;
-  mem::BitString action_data;
   bool run_executor = false;
+  // Empty args for the no-table path; table lookups fill the per-worker
+  // scratch in place so the hot path never allocates.
+  static const mem::BitString kNoArgs;
+  const mem::BitString* action_data = &kNoArgs;
   if (chosen != nullptr) {
-    mem::BitString key(chosen->key_width_bits);
-    IPSA_RETURN_IF_ERROR(BuildCompiledKey(*chosen, ctx, key));
-    table::LookupResult result = chosen->table->Lookup(key);
+    table::LookupScratch& scratch = ctx.lookup_scratch();
+    scratch.key.Resize(chosen->key_width_bits);
+    IPSA_RETURN_IF_ERROR(BuildCompiledKey(*chosen, ctx, scratch.key));
+    table::LookupResult& result = scratch.result;
+    chosen->table->LookupInto(scratch.key, result);
     chosen->table->CountLookup(result.hit);
     ctx.ChargeCycles(result.access_cycles);
     stats.match_cycles += result.access_cycles;
@@ -546,7 +551,7 @@ Result<StageRunStats> RunCompiledStage(const CompiledStage& stage,
     if (fill_names) stats.applied_table = chosen->table->spec().name;
     stats.hit = result.hit;
     tag = result.action_id;
-    action_data = std::move(result.action_data);
+    action_data = &result.action_data;
     run_executor = true;
   }
 
@@ -560,7 +565,7 @@ Result<StageRunStats> RunCompiledStage(const CompiledStage& stage,
           it - stage.branch_tags.begin())];
     }
   }
-  env.args = &action_data;
+  env.args = action_data;
   uint64_t before = ctx.cycles();
   IPSA_RETURN_IF_ERROR(RunCompiledOps(action->body, env));
   stats.action_cycles = ctx.cycles() - before;

@@ -12,6 +12,7 @@
 #include "arch/phv.h"
 #include "mem/block.h"
 #include "net/packet.h"
+#include "table/table.h"
 #include "util/hash.h"
 #include "util/status.h"
 
@@ -107,6 +108,11 @@ class PacketContext {
   void ChargeCycles(uint64_t n) { cycles_ += n; }
   uint64_t cycles() const { return cycles_; }
 
+  // Reusable lookup key + result. Scratch contexts are per-worker, so one
+  // packet's lookups reuse the previous packet's buffers and the match
+  // path allocates nothing in steady state.
+  table::LookupScratch& lookup_scratch() { return lookup_scratch_; }
+
  private:
   Result<const HeaderInstance*> ValidInstance(std::string_view name) const;
 
@@ -115,6 +121,7 @@ class PacketContext {
   Phv phv_;
   Metadata metadata_;
   uint64_t cycles_ = 0;
+  table::LookupScratch lookup_scratch_;
 };
 
 // Wire <-> value conversion helpers (MSB-first bit ranges).

@@ -43,13 +43,18 @@ Result<StageRunStats> RunStage(const StageProgram& stage, PacketContext& ctx,
   }
 
   uint32_t tag = 0;
-  mem::BitString action_data;
   bool run_executor = false;
+  // Empty args for the no-table path; table lookups fill the per-worker
+  // scratch in place so the hot path never allocates.
+  static const mem::BitString kNoArgs;
+  const mem::BitString* action_data = &kNoArgs;
   if (chosen_table != nullptr) {
-    IPSA_ASSIGN_OR_RETURN(mem::BitString key,
-                          catalog.BuildKey(*chosen_table, ctx));
+    table::LookupScratch& scratch = ctx.lookup_scratch();
+    IPSA_RETURN_IF_ERROR(
+        catalog.BuildKeyInto(*chosen_table, ctx, scratch.key));
     IPSA_ASSIGN_OR_RETURN(table::MatchTable * tbl, catalog.Get(*chosen_table));
-    table::LookupResult result = tbl->Lookup(key);
+    table::LookupResult& result = scratch.result;
+    tbl->LookupInto(scratch.key, result);
     tbl->CountLookup(result.hit);
     ctx.ChargeCycles(result.access_cycles);
     stats.match_cycles += result.access_cycles;
@@ -58,7 +63,7 @@ Result<StageRunStats> RunStage(const StageProgram& stage, PacketContext& ctx,
     stats.applied_table = *chosen_table;
     stats.hit = result.hit;
     tag = result.action_id;
-    action_data = std::move(result.action_data);
+    action_data = &result.action_data;
     run_executor = true;
   }
 
@@ -73,7 +78,7 @@ Result<StageRunStats> RunStage(const StageProgram& stage, PacketContext& ctx,
   }
   IPSA_ASSIGN_OR_RETURN(const ActionDef* action, actions.Get(*action_name));
   uint64_t before = ctx.cycles();
-  IPSA_RETURN_IF_ERROR(ExecuteAction(*action, action_data, ctx, regs));
+  IPSA_RETURN_IF_ERROR(ExecuteAction(*action, *action_data, ctx, regs));
   stats.action_cycles = ctx.cycles() - before;
   stats.executed_action = *action_name;
   return stats;

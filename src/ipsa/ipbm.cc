@@ -149,6 +149,12 @@ Status IpbmSwitch::WriteTspTemplate(uint32_t tsp_id, TspRole role,
   uint32_t words = pipeline_.tsp(tsp_id).WriteTemplate(std::move(programs));
   IPSA_RETURN_IF_ERROR(pipeline_.SetRole(tsp_id, role));
   IPSA_RETURN_IF_ERROR(RouteCrossbarFor(tsp_id));
+  // Re-decode the software indexes of every table the rewritten TSP
+  // references: an in-situ update re-binds storage routes, and the decoded
+  // caches must never serve bits the pool no longer holds.
+  for (const std::string& table : pipeline_.tsp(tsp_id).ReferencedTables()) {
+    if (auto t = catalog_.Get(table); t.ok()) (*t)->RefreshCache();
+  }
   ChargeConfigWords(words + 1);  // template + selector word
   ++stats_.template_writes;
   ++config_epoch_;

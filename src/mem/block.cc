@@ -10,15 +10,55 @@ BitString::BitString(size_t bit_width, uint64_t value) : BitString(bit_width) {
   SetBits(0, bit_width < 64 ? bit_width : 64, value);
 }
 
+BitString& BitString::operator=(const BitString& other) {
+  if (this == &other) return *this;
+  Resize(other.bits_);
+  std::memcpy(data(), other.data(), other.byte_size());
+  return *this;
+}
+
+BitString::BitString(BitString&& other) noexcept
+    : bits_(other.bits_),
+      heap_capacity_(other.heap_capacity_),
+      heap_(std::move(other.heap_)) {
+  std::memcpy(inline_, other.inline_, kInlineBytes);
+  other.bits_ = 0;
+  other.heap_capacity_ = 0;
+}
+
+BitString& BitString::operator=(BitString&& other) noexcept {
+  if (this == &other) return *this;
+  bits_ = other.bits_;
+  if (other.heap_) {
+    heap_ = std::move(other.heap_);
+    heap_capacity_ = other.heap_capacity_;
+  }
+  std::memcpy(inline_, other.inline_, kInlineBytes);
+  other.bits_ = 0;
+  other.heap_capacity_ = 0;
+  other.heap_.reset();
+  return *this;
+}
+
+void BitString::Resize(size_t bit_width) {
+  size_t nbytes = (bit_width + 7) / 8;
+  if (nbytes > kInlineBytes && nbytes > heap_capacity_) {
+    heap_ = std::make_unique<uint8_t[]>(nbytes);
+    heap_capacity_ = nbytes;
+  }
+  bits_ = bit_width;
+  std::memset(data(), 0, nbytes);
+}
+
 BitString BitString::FromBytes(std::span<const uint8_t> bytes,
                                size_t bit_width) {
   BitString s(bit_width);
-  size_t n = std::min(bytes.size(), s.bytes_.size());
-  std::copy(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(n),
-            s.bytes_.begin());
+  size_t n = std::min(bytes.size(), s.byte_size());
+  if (n > 0) std::memcpy(s.data(), bytes.data(), n);
   // Clear any bits beyond bit_width in the last byte.
-  if (bit_width % 8 != 0 && !s.bytes_.empty()) {
-    s.bytes_.back() &= static_cast<uint8_t>((1u << (bit_width % 8)) - 1);
+  if (bit_width % 8 != 0 && s.byte_size() > 0) {
+    s.data()[s.byte_size() - 1] &=
+        static_cast<uint8_t>((1u << (bit_width % 8)) - 1);
   }
   return s;
 }
@@ -27,11 +67,12 @@ uint64_t BitString::GetBits(size_t offset, size_t width) const {
   if (width == 0 || offset >= bits_) return 0;
   // Accumulate the (at most 9) covered bytes LSB-first, then shift the
   // range into place. Bits beyond bit_width() read as zero.
+  const uint8_t* p = data();
   size_t first = offset / 8;
-  size_t last = std::min((offset + width - 1) / 8, bytes_.size() - 1);
+  size_t last = std::min((offset + width - 1) / 8, byte_size() - 1);
   unsigned __int128 acc = 0;
   for (size_t b = last + 1; b > first; --b) {
-    acc = (acc << 8) | bytes_[b - 1];
+    acc = (acc << 8) | p[b - 1];
   }
   uint64_t v = static_cast<uint64_t>(acc >> (offset % 8));
   return width >= 64 ? v : v & ((uint64_t{1} << width) - 1);
@@ -40,6 +81,7 @@ uint64_t BitString::GetBits(size_t offset, size_t width) const {
 void BitString::SetBits(size_t offset, size_t width, uint64_t value) {
   if (width == 0 || offset >= bits_) return;
   width = std::min(width, bits_ - offset);  // bits beyond bit_width() ignored
+  uint8_t* p = data();
   size_t first = offset / 8;
   size_t last = (offset + width - 1) / 8;
   size_t shift = offset % 8;
@@ -48,55 +90,86 @@ void BitString::SetBits(size_t offset, size_t width, uint64_t value) {
                                : (unsigned __int128){(uint64_t{1} << width) - 1};
   unsigned __int128 acc = 0;
   for (size_t b = last + 1; b > first; --b) {
-    acc = (acc << 8) | bytes_[b - 1];
+    acc = (acc << 8) | p[b - 1];
   }
   acc = (acc & ~(mask << shift)) |
         (((unsigned __int128){value} & mask) << shift);
   for (size_t b = first; b <= last; ++b) {
-    bytes_[b] = static_cast<uint8_t>(acc & 0xFF);
+    p[b] = static_cast<uint8_t>(acc & 0xFF);
     acc >>= 8;
   }
 }
 
+uint64_t BitString::Word(size_t i) const {
+  size_t off = i * 8;
+  size_t n = byte_size();
+  if (off >= n) return 0;
+  const uint8_t* p = data() + off;
+  size_t m = std::min<size_t>(8, n - off);
+  uint64_t w = 0;
+  for (size_t b = 0; b < m; ++b) w |= uint64_t{p[b]} << (8 * b);
+  return w;
+}
+
 BitString BitString::Slice(size_t offset, size_t width) const {
-  BitString out(width);
+  BitString out;
+  SliceInto(offset, width, out);
+  return out;
+}
+
+void BitString::SliceInto(size_t offset, size_t width, BitString& out) const {
+  out.Resize(width);
   for (size_t i = 0; i < width; i += 64) {
     size_t chunk = std::min<size_t>(64, width - i);
     out.SetBits(i, chunk, GetBits(offset + i, chunk));
   }
-  return out;
 }
 
-void BitString::Zero() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+void BitString::SetBitsFrom(size_t at, const BitString& src, size_t src_offset,
+                            size_t width) {
+  for (size_t i = 0; i < width; i += 64) {
+    size_t chunk = std::min<size_t>(64, width - i);
+    SetBits(at + i, chunk, src.GetBits(src_offset + i, chunk));
+  }
+}
+
+void BitString::Zero() { std::memset(data(), 0, byte_size()); }
 
 void BitString::Assign(const BitString& src) {
-  size_t n = std::min(src.bytes_.size(), bytes_.size());
-  std::copy(src.bytes_.begin(),
-            src.bytes_.begin() + static_cast<std::ptrdiff_t>(n),
-            bytes_.begin());
-  std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(n), bytes_.end(),
-            uint8_t{0});
-  if (bits_ % 8 != 0 && !bytes_.empty()) {
-    bytes_.back() &= static_cast<uint8_t>((1u << (bits_ % 8)) - 1);
+  size_t n = std::min(src.byte_size(), byte_size());
+  uint8_t* p = data();
+  if (n > 0) std::memcpy(p, src.data(), n);
+  std::memset(p + n, 0, byte_size() - n);
+  if (bits_ % 8 != 0 && byte_size() > 0) {
+    p[byte_size() - 1] &= static_cast<uint8_t>((1u << (bits_ % 8)) - 1);
   }
 }
 
 bool BitString::MatchesUnderMask(const BitString& other,
                                  const BitString& mask) const {
   size_t n = std::min({byte_size(), other.byte_size(), mask.byte_size()});
-  for (size_t i = 0; i < n; ++i) {
-    if ((bytes_[i] & mask.bytes()[i]) !=
-        (other.bytes()[i] & mask.bytes()[i])) {
-      return false;
-    }
+  const uint8_t* a = data();
+  const uint8_t* b = other.data();
+  const uint8_t* m = mask.data();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t wa, wb, wm;
+    std::memcpy(&wa, a + i, 8);
+    std::memcpy(&wb, b + i, 8);
+    std::memcpy(&wm, m + i, 8);
+    if ((wa ^ wb) & wm) return false;
+  }
+  for (; i < n; ++i) {
+    if (static_cast<uint8_t>(a[i] ^ b[i]) & m[i]) return false;
   }
   return true;
 }
 
 std::string BitString::ToHex() const {
   std::string out = "0x";
-  for (size_t i = bytes_.size(); i > 0; --i) {
-    out += util::Format("%02x", bytes_[i - 1]);
+  const uint8_t* p = data();
+  for (size_t i = byte_size(); i > 0; --i) {
+    out += util::Format("%02x", p[i - 1]);
   }
   return out;
 }
@@ -104,8 +177,8 @@ std::string BitString::ToHex() const {
 void Block::Release() {
   owner_ = kNoOwner;
   std::fill(valid_.begin(), valid_.end(), false);
-  for (auto& row : rows_) row = BitString(width_);
-  for (auto& mask : masks_) mask = BitString(width_);
+  for (auto& row : rows_) row.Zero();
+  for (auto& mask : masks_) mask.Zero();
 }
 
 Status Block::WriteRow(uint32_t row, const BitString& value) {
@@ -113,7 +186,7 @@ Status Block::WriteRow(uint32_t row, const BitString& value) {
   if (value.bit_width() > width_) {
     return InvalidArgument("row value wider than block");
   }
-  rows_[row] = BitString::FromBytes(value.bytes(), width_);
+  rows_[row].Assign(value);
   valid_[row] = true;
   ++writes_;
   return OkStatus();
@@ -124,7 +197,7 @@ Status Block::WriteMask(uint32_t row, const BitString& mask) {
     return FailedPrecondition("mask write on SRAM block");
   }
   if (row >= depth_) return OutOfRange("block row out of range");
-  masks_[row] = BitString::FromBytes(mask.bytes(), width_);
+  masks_[row].Assign(mask);
   ++writes_;
   return OkStatus();
 }

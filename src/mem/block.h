@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -19,26 +21,45 @@ enum class BlockKind { kSram, kTcam };
 
 // An arbitrary-width bit string stored LSB-first in bytes. Used for table
 // keys, masks, and entry payloads throughout the memory subsystem.
+//
+// Widths up to kInlineBits (128 — every key and action-data width in the
+// example designs) live in an inline buffer; wider strings spill to a heap
+// buffer whose capacity is kept across Resize/assignment, so a reused
+// BitString never allocates in steady state. This is what makes the
+// per-packet lookup path allocation-free.
 class BitString {
  public:
+  static constexpr size_t kInlineBytes = 16;
+  static constexpr size_t kInlineBits = kInlineBytes * 8;
+
   BitString() = default;
-  explicit BitString(size_t bit_width)
-      : bits_(bit_width), bytes_((bit_width + 7) / 8, 0) {}
+  explicit BitString(size_t bit_width) { Resize(bit_width); }
   BitString(size_t bit_width, uint64_t value);
   static BitString FromBytes(std::span<const uint8_t> bytes, size_t bit_width);
 
-  size_t bit_width() const { return bits_; }
-  size_t byte_size() const { return bytes_.size(); }
-  std::span<const uint8_t> bytes() const { return bytes_; }
-  std::span<uint8_t> bytes() { return bytes_; }
+  BitString(const BitString& other) { *this = other; }
+  BitString& operator=(const BitString& other);
+  BitString(BitString&& other) noexcept;
+  BitString& operator=(BitString&& other) noexcept;
+  ~BitString() = default;
 
-  bool GetBit(size_t i) const { return (bytes_[i / 8] >> (i % 8)) & 1; }
+  size_t bit_width() const { return bits_; }
+  size_t byte_size() const { return (bits_ + 7) / 8; }
+  std::span<const uint8_t> bytes() const { return {data(), byte_size()}; }
+  std::span<uint8_t> bytes() { return {data(), byte_size()}; }
+
+  // Sets the width and zeroes every bit. Capacity is never released;
+  // allocates only when growing past both the inline buffer and any heap
+  // buffer acquired earlier.
+  void Resize(size_t bit_width);
+
+  bool GetBit(size_t i) const { return (data()[i / 8] >> (i % 8)) & 1; }
   void SetBit(size_t i, bool v) {
     uint8_t mask = static_cast<uint8_t>(1u << (i % 8));
     if (v) {
-      bytes_[i / 8] |= mask;
+      data()[i / 8] |= mask;
     } else {
-      bytes_[i / 8] &= static_cast<uint8_t>(~mask);
+      data()[i / 8] &= static_cast<uint8_t>(~mask);
     }
   }
 
@@ -46,11 +67,34 @@ class BitString {
   uint64_t GetBits(size_t offset, size_t width) const;
   void SetBits(size_t offset, size_t width, uint64_t value);
 
+  // 64-bit word `i` of the LSB-first byte stream; bits beyond bit_width()
+  // read as zero. Lets table indexes compare keys word-wise.
+  uint64_t Word(size_t i) const;
+  size_t WordCount() const { return (byte_size() + 7) / 8; }
+
   // Low 64 bits as an integer (convenience for narrow values).
   uint64_t ToUint64() const { return GetBits(0, bits_ < 64 ? bits_ : 64); }
 
   // Returns a slice [offset, offset+width) as a new BitString.
   BitString Slice(size_t offset, size_t width) const;
+  // In-place Slice: resizes `out` to `width` (reusing its capacity) and
+  // copies the bits. `out` must not alias this string.
+  void SliceInto(size_t offset, size_t width, BitString& out) const;
+
+  // Copies `width` bits of `src` starting at `src_offset` into this string
+  // at bit `at`, 64 bits at a time. Bits outside this string's width are
+  // dropped. The in-place primitive behind key concatenation.
+  void SetBitsFrom(size_t at, const BitString& src, size_t src_offset,
+                   size_t width);
+
+  // Appends `width` bits of `src` at a caller-held cursor and advances it.
+  // With the destination pre-Resized to the final width, a sequence of
+  // AppendBits calls concatenates parts without any allocation.
+  void AppendBits(const BitString& src, size_t src_offset, size_t width,
+                  size_t& cursor) {
+    SetBitsFrom(cursor, src, src_offset, width);
+    cursor += width;
+  }
 
   // Zeroes every bit, keeping the width. No reallocation.
   void Zero();
@@ -62,14 +106,24 @@ class BitString {
   bool MatchesUnderMask(const BitString& other, const BitString& mask) const;
 
   bool operator==(const BitString& other) const {
-    return bits_ == other.bits_ && bytes_ == other.bytes_;
+    return bits_ == other.bits_ &&
+           std::memcmp(data(), other.data(), byte_size()) == 0;
   }
 
   std::string ToHex() const;
 
  private:
+  uint8_t* data() {
+    return byte_size() <= kInlineBytes ? inline_ : heap_.get();
+  }
+  const uint8_t* data() const {
+    return byte_size() <= kInlineBytes ? inline_ : heap_.get();
+  }
+
   size_t bits_ = 0;
-  std::vector<uint8_t> bytes_;
+  size_t heap_capacity_ = 0;  // bytes usable in heap_ (0 = none allocated)
+  uint8_t inline_[kInlineBytes] = {};
+  std::unique_ptr<uint8_t[]> heap_;
 };
 
 // One physical block.
@@ -100,6 +154,10 @@ class Block {
   Status WriteRow(uint32_t row, const BitString& value);
   Status WriteMask(uint32_t row, const BitString& mask);  // TCAM only
   Result<BitString> ReadRow(uint32_t row) const;
+  // Row bits without touching the read statistics — for software-index
+  // cache refreshes, which model index maintenance rather than a data-path
+  // memory access.
+  const BitString& PeekRow(uint32_t row) const { return rows_.at(row); }
   const BitString& mask(uint32_t row) const { return masks_.at(row); }
   bool row_valid(uint32_t row) const { return valid_.at(row); }
   void SetRowValid(uint32_t row, bool v) { valid_.at(row) = v; }

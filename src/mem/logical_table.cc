@@ -64,17 +64,29 @@ Status LogicalTable::WriteMask(Pool& pool, uint32_t row,
 }
 
 Result<BitString> LogicalTable::ReadRow(const Pool& pool, uint32_t row) const {
+  IPSA_RETURN_IF_ERROR(ChargeRead(pool, row));
+  return PeekRow(pool, row);
+}
+
+Status LogicalTable::ChargeRead(const Pool& pool, uint32_t row) const {
+  if (row >= depth_) return OutOfRange("logical row out of range");
+  RowLoc loc = Locate(row);
+  for (uint32_t c = 0; c < cols_; ++c) {
+    pool.block(BlockAt(loc.block_row, c)).CountRead();
+  }
+  return OkStatus();
+}
+
+Result<BitString> LogicalTable::PeekRow(const Pool& pool, uint32_t row) const {
   if (row >= depth_) return OutOfRange("logical row out of range");
   RowLoc loc = Locate(row);
   BitString out(width_);
   for (uint32_t c = 0; c < cols_; ++c) {
-    auto piece = pool.block(BlockAt(loc.block_row, c)).ReadRow(loc.local_row);
-    if (!piece.ok()) return piece.status();
+    const BitString& piece =
+        pool.block(BlockAt(loc.block_row, c)).PeekRow(loc.local_row);
     uint32_t lo = c * block_width_;
     uint32_t span = std::min(block_width_, width_ - lo);
-    for (uint32_t i = 0; i < span; ++i) {
-      out.SetBit(lo + i, piece->GetBit(i));
-    }
+    out.SetBitsFrom(lo, piece, 0, span);
   }
   return out;
 }
@@ -87,9 +99,7 @@ BitString LogicalTable::ReadMask(const Pool& pool, uint32_t row) const {
         pool.block(BlockAt(loc.block_row, c)).mask(loc.local_row);
     uint32_t lo = c * block_width_;
     uint32_t span = std::min(block_width_, width_ - lo);
-    for (uint32_t i = 0; i < span; ++i) {
-      out.SetBit(lo + i, piece.GetBit(i));
-    }
+    out.SetBitsFrom(lo, piece, 0, span);
   }
   return out;
 }

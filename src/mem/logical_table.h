@@ -36,6 +36,15 @@ class LogicalTable {
   Status WriteMask(Pool& pool, uint32_t row, const BitString& mask);
   Result<BitString> ReadRow(const Pool& pool, uint32_t row) const;
   BitString ReadMask(const Pool& pool, uint32_t row) const;
+  // Charges the read statistics of a row fetch (one read per grid column,
+  // exactly what ReadRow counts) without materializing the bits. Lets a
+  // software index answer lookups from its decoded cache while the hardware
+  // cost model still sees every data-path memory access.
+  Status ChargeRead(const Pool& pool, uint32_t row) const;
+  // Assembles a row's bits WITHOUT touching the read statistics — for index
+  // cache refreshes after control-plane writes, which model index
+  // maintenance rather than a data-path access.
+  Result<BitString> PeekRow(const Pool& pool, uint32_t row) const;
   bool RowValid(const Pool& pool, uint32_t row) const;
   Status InvalidateRow(Pool& pool, uint32_t row);
 

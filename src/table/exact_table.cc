@@ -17,7 +17,10 @@ Status ExactTable::Insert(const Entry& entry) {
   std::string_view k = KeyOf(entry.key);
   if (auto it = index_.find(k); it != index_.end()) {
     // Update in place (modify semantics).
-    return storage_.WriteRow(*pool_, it->second, PackRow(entry));
+    IPSA_RETURN_IF_ERROR(
+        storage_.WriteRow(*pool_, it->second.row, PackRow(entry)));
+    it->second.action = DecodeRow(it->second.row);
+    return OkStatus();
   }
   if (free_rows_.empty()) {
     return ResourceExhausted("exact table '" + spec_.name + "' is full");
@@ -25,7 +28,7 @@ Status ExactTable::Insert(const Entry& entry) {
   uint32_t row = free_rows_.back();
   IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
   free_rows_.pop_back();
-  index_.emplace(std::string(k), row);
+  index_.emplace(std::string(k), Slot{row, DecodeRow(row)});
   ++entry_count_;
   return OkStatus();
 }
@@ -35,25 +38,25 @@ Status ExactTable::Erase(const Entry& entry) {
   if (it == index_.end()) {
     return NotFound("exact table '" + spec_.name + "': key not present");
   }
-  IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, it->second));
-  free_rows_.push_back(it->second);
+  IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, it->second.row));
+  free_rows_.push_back(it->second.row);
   index_.erase(it);
   --entry_count_;
   return OkStatus();
 }
 
-LookupResult ExactTable::Lookup(const mem::BitString& key) const {
+void ExactTable::LookupInto(const mem::BitString& key,
+                            LookupResult& out) const {
   auto it = index_.find(KeyOf(key));
-  if (it == index_.end()) return Miss();
-  auto row = storage_.ReadRow(*pool_, it->second);
-  if (!row.ok()) return Miss();
-  Entry e = UnpackRow(*row);
-  LookupResult r;
-  r.hit = true;
-  r.action_id = e.action_id;
-  r.action_data = std::move(e.action_data);
-  r.access_cycles = storage_.AccessCycles(kBusWidthBits);
-  return r;
+  if (it == index_.end()) {
+    MissInto(out);
+    return;
+  }
+  HitInto(it->second.row, it->second.action, out);
+}
+
+void ExactTable::RefreshCache() {
+  for (auto& [key, slot] : index_) slot.action = DecodeRow(slot.row);
 }
 
 }  // namespace ipsa::table

@@ -21,7 +21,8 @@ class ExactTable : public MatchTable {
 
   Status Insert(const Entry& entry) override;
   Status Erase(const Entry& entry) override;
-  LookupResult Lookup(const mem::BitString& key) const override;
+  void LookupInto(const mem::BitString& key, LookupResult& out) const override;
+  void RefreshCache() override;
 
  private:
   // View over the key bytes; the index is probed transparently so the
@@ -31,8 +32,13 @@ class ExactTable : public MatchTable {
                             key.byte_size());
   }
 
-  // key bytes -> row
-  std::unordered_map<std::string, uint32_t, util::StringHash, std::equal_to<>>
+  struct Slot {
+    uint32_t row;
+    CachedAction action;
+  };
+
+  // key bytes -> row + decoded action
+  std::unordered_map<std::string, Slot, util::StringHash, std::equal_to<>>
       index_;
   std::vector<uint32_t> free_rows_;  // LIFO free list
 };

@@ -1,10 +1,13 @@
 #include "table/lpm_table.h"
 
+#include <algorithm>
+
 namespace ipsa::table {
 
 LpmTable::LpmTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage)
     : MatchTable(std::move(spec), pool, std::move(storage)),
-      root_(std::make_unique<Node>()) {
+      root_(std::make_unique<Node>()),
+      cache_(spec_.size) {
   free_rows_.reserve(spec_.size);
   for (uint32_t r = spec_.size; r > 0; --r) free_rows_.push_back(r - 1);
 }
@@ -40,8 +43,10 @@ Status LpmTable::Insert(const Entry& entry) {
   }
   if (node->row >= 0) {
     // Update in place.
-    return storage_.WriteRow(*pool_, static_cast<uint32_t>(node->row),
-                             PackRow(entry));
+    uint32_t row = static_cast<uint32_t>(node->row);
+    IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
+    cache_[row] = DecodeRow(row);
+    return OkStatus();
   }
   if (free_rows_.empty()) {
     return ResourceExhausted("lpm table '" + spec_.name + "' is full");
@@ -50,7 +55,9 @@ Status LpmTable::Insert(const Entry& entry) {
   IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
   free_rows_.pop_back();
   node->row = static_cast<int32_t>(row);
+  cache_[row] = DecodeRow(row);
   ++entry_count_;
+  RebuildStride();
   return OkStatus();
 }
 
@@ -67,26 +74,73 @@ Status LpmTable::Erase(const Entry& entry) {
   free_rows_.push_back(row);
   node->row = -1;
   --entry_count_;
+  RebuildStride();
   return OkStatus();
 }
 
-LookupResult LpmTable::Lookup(const mem::BitString& key) const {
-  const Node* node = root_.get();
-  int32_t best_row = node->row;
-  for (uint32_t i = 0; i < spec_.key_width_bits && node != nullptr; ++i) {
-    node = node->child[KeyBitMsb(key, i) ? 1 : 0].get();
-    if (node != nullptr && node->row >= 0) best_row = node->row;
+void LpmTable::RebuildStride() {
+  stride_nodes_.clear();
+  bool any = root_->row >= 0 || root_->child[0] || root_->child[1];
+  if (any && spec_.key_width_bits > 0) BuildStrideNode(root_.get(), 0);
+}
+
+// Expands the binary subtrie below `n` (at MSB depth `depth`) into one
+// stride node: for each of the 2^s values of the next s key bits, walk the
+// bit path and leaf-push the deepest row passed, remembering where the next
+// stride continues. Unused high values of a partial final stride stay at -1
+// and are never indexed by Lookup.
+int32_t LpmTable::BuildStrideNode(const Node* n, uint32_t depth) {
+  uint32_t s = std::min(kStrideBits, spec_.key_width_bits - depth);
+  int32_t self = static_cast<int32_t>(stride_nodes_.size());
+  stride_nodes_.emplace_back();
+  std::fill(std::begin(stride_nodes_[self].best),
+            std::end(stride_nodes_[self].best), -1);
+  std::fill(std::begin(stride_nodes_[self].child),
+            std::end(stride_nodes_[self].child), -1);
+  for (uint32_t v = 0; v < (1u << s); ++v) {
+    const Node* walk = n;
+    int32_t best = -1;
+    for (uint32_t j = 0; j < s && walk != nullptr; ++j) {
+      walk = walk->child[(v >> (s - 1 - j)) & 1].get();
+      if (walk != nullptr && walk->row >= 0) best = walk->row;
+    }
+    stride_nodes_[self].best[v] = best;
+    if (walk != nullptr && depth + s < spec_.key_width_bits &&
+        (walk->child[0] || walk->child[1])) {
+      int32_t child = BuildStrideNode(walk, depth + s);
+      // Recursion may grow stride_nodes_; re-index instead of holding a
+      // reference across the call.
+      stride_nodes_[self].child[v] = child;
+    }
   }
-  if (best_row < 0) return Miss();
-  auto row = storage_.ReadRow(*pool_, static_cast<uint32_t>(best_row));
-  if (!row.ok()) return Miss();
-  Entry e = UnpackRow(*row);
-  LookupResult r;
-  r.hit = true;
-  r.action_id = e.action_id;
-  r.action_data = std::move(e.action_data);
-  r.access_cycles = storage_.AccessCycles(kBusWidthBits);
-  return r;
+  return self;
+}
+
+void LpmTable::LookupInto(const mem::BitString& key, LookupResult& out) const {
+  int32_t best = root_->row;
+  uint32_t width = spec_.key_width_bits;
+  uint32_t consumed = 0;
+  int32_t node = stride_nodes_.empty() ? -1 : 0;
+  while (node >= 0 && consumed < width) {
+    uint32_t s = std::min(kStrideBits, width - consumed);
+    uint32_t v = static_cast<uint32_t>(key.GetBits(width - consumed - s, s));
+    const StrideNode& sn = stride_nodes_[static_cast<size_t>(node)];
+    if (sn.best[v] >= 0) best = sn.best[v];
+    node = sn.child[v];
+    consumed += s;
+  }
+  if (best < 0) {
+    MissInto(out);
+    return;
+  }
+  uint32_t row = static_cast<uint32_t>(best);
+  HitInto(row, cache_[row], out);
+}
+
+void LpmTable::RefreshCache() {
+  for (uint32_t row = 0; row < cache_.size(); ++row) {
+    if (storage_.RowValid(*pool_, row)) cache_[row] = DecodeRow(row);
+  }
 }
 
 }  // namespace ipsa::table

@@ -1,10 +1,13 @@
 // Longest-prefix-match table over pool-backed rows.
 //
-// Index: a binary trie keyed MSB-first over the prefix bits, as in
-// algorithmic LPM engines. Each populated trie node records the storage row
-// of its entry; lookup walks at most key_width levels and remembers the
-// deepest populated node. Storage rows additionally record the prefix length
-// so entries round-trip through the pool.
+// Two index structures share the rows. A binary trie keyed MSB-first over
+// the prefix bits is the canonical store that Insert/Erase mutate, exactly
+// as before. From it, every mutation rebuilds a multibit-stride table
+// (stride 4, controlled prefix expansion): each stride node resolves four
+// key bits per step with a 16-way child jump and a leaf-pushed "best row so
+// far" per nibble, so Lookup visits width/4 nodes instead of width trie
+// levels and never touches a per-bit accessor. Storage rows additionally
+// record the prefix length so entries round-trip through the pool.
 #pragma once
 
 #include <memory>
@@ -21,7 +24,8 @@ class LpmTable : public MatchTable {
 
   Status Insert(const Entry& entry) override;
   Status Erase(const Entry& entry) override;
-  LookupResult Lookup(const mem::BitString& key) const override;
+  void LookupInto(const mem::BitString& key, LookupResult& out) const override;
+  void RefreshCache() override;
 
  private:
   struct Node {
@@ -29,12 +33,31 @@ class LpmTable : public MatchTable {
     int32_t row = -1;  // storage row, -1 when no entry terminates here
   };
 
+  static constexpr uint32_t kStrideBits = 4;
+  static constexpr uint32_t kFanout = 1u << kStrideBits;
+
+  // One stride level: for nibble value v, best[v] is the row of the longest
+  // prefix ending strictly inside this stride along v's bit path, and
+  // child[v] indexes the next stride node (-1 = path dies here). Indexes
+  // into stride_nodes_ stay valid because the vector is only appended to
+  // during a rebuild.
+  struct StrideNode {
+    int32_t best[kFanout];
+    int32_t child[kFanout];
+  };
+
   // MSB-first bit `i` of a key (bit 0 = most significant bit of the key).
   bool KeyBitMsb(const mem::BitString& key, uint32_t i) const {
     return key.GetBit(spec_.key_width_bits - 1 - i);
   }
 
+  // Rebuilds stride_nodes_ from the binary trie (control-plane cost only).
+  void RebuildStride();
+  int32_t BuildStrideNode(const Node* n, uint32_t depth);
+
   std::unique_ptr<Node> root_;
+  std::vector<StrideNode> stride_nodes_;  // [0] = root level when non-empty
+  std::vector<CachedAction> cache_;       // indexed by storage row
   std::vector<uint32_t> free_rows_;
 };
 

@@ -8,7 +8,8 @@ namespace ipsa::table {
 
 SelectorTable::SelectorTable(TableSpec spec, mem::Pool& pool,
                              mem::LogicalTable storage)
-    : MatchTable(std::move(spec), pool, std::move(storage)) {}
+    : MatchTable(std::move(spec), pool, std::move(storage)),
+      cache_(spec_.size) {}
 
 Status SelectorTable::Insert(const Entry& entry) {
   uint64_t bucket = entry.key.ToUint64();
@@ -18,6 +19,7 @@ Status SelectorTable::Insert(const Entry& entry) {
   }
   uint32_t row = static_cast<uint32_t>(bucket);
   IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
+  cache_[row] = DecodeRow(row);
   auto it = std::lower_bound(populated_.begin(), populated_.end(), row);
   if (it == populated_.end() || *it != row) {
     populated_.insert(it, row);
@@ -39,19 +41,19 @@ Status SelectorTable::Erase(const Entry& entry) {
   return OkStatus();
 }
 
-LookupResult SelectorTable::Lookup(const mem::BitString& key) const {
-  if (populated_.empty()) return Miss();
+void SelectorTable::LookupInto(const mem::BitString& key,
+                               LookupResult& out) const {
+  if (populated_.empty()) {
+    MissInto(out);
+    return;
+  }
   uint32_t h = util::Crc32(key.bytes());
   uint32_t row = populated_[h % populated_.size()];
-  auto row_value = storage_.ReadRow(*pool_, row);
-  if (!row_value.ok()) return Miss();
-  Entry e = UnpackRow(*row_value);
-  LookupResult r;
-  r.hit = true;
-  r.action_id = e.action_id;
-  r.action_data = std::move(e.action_data);
-  r.access_cycles = storage_.AccessCycles(kBusWidthBits);
-  return r;
+  HitInto(row, cache_[row], out);
+}
+
+void SelectorTable::RefreshCache() {
+  for (uint32_t row : populated_) cache_[row] = DecodeRow(row);
 }
 
 }  // namespace ipsa::table

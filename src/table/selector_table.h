@@ -21,7 +21,8 @@ class SelectorTable : public MatchTable {
   Status Insert(const Entry& entry) override;
   Status Erase(const Entry& entry) override;
   // Hashes `key` over the populated buckets.
-  LookupResult Lookup(const mem::BitString& key) const override;
+  void LookupInto(const mem::BitString& key, LookupResult& out) const override;
+  void RefreshCache() override;
 
   uint32_t BucketCount() const {
     return static_cast<uint32_t>(populated_.size());
@@ -30,6 +31,7 @@ class SelectorTable : public MatchTable {
  private:
   // Rows that currently hold a member, in ascending bucket order.
   std::vector<uint32_t> populated_;
+  std::vector<CachedAction> cache_;  // indexed by storage row
 };
 
 }  // namespace ipsa::table

@@ -1,5 +1,7 @@
 #include "table/table.h"
 
+#include <algorithm>
+
 #include "table/exact_table.h"
 #include "table/lpm_table.h"
 #include "table/selector_table.h"
@@ -36,18 +38,25 @@ uint32_t MatchTable::RowWidthBits() const {
 
 mem::BitString MatchTable::PackRow(const Entry& e) const {
   mem::BitString row(RowWidthBits());
-  for (size_t i = 0; i < spec_.key_width_bits && i < e.key.bit_width(); ++i) {
-    row.SetBit(i, e.key.GetBit(i));
-  }
+  row.SetBitsFrom(0, e.key, 0,
+                  std::min<size_t>(spec_.key_width_bits, e.key.bit_width()));
   row.SetBits(spec_.key_width_bits, 8, e.prefix_len);
   row.SetBits(spec_.key_width_bits + 8, 16, e.action_id);
-  size_t base = spec_.key_width_bits + 8 + 16;
-  for (size_t i = 0;
-       i < spec_.action_data_width_bits && i < e.action_data.bit_width();
-       ++i) {
-    row.SetBit(base + i, e.action_data.GetBit(i));
-  }
+  row.SetBitsFrom(spec_.key_width_bits + 8 + 16, e.action_data, 0,
+                  std::min<size_t>(spec_.action_data_width_bits,
+                                   e.action_data.bit_width()));
   return row;
+}
+
+CachedAction MatchTable::DecodeRow(uint32_t row) const {
+  CachedAction a;
+  auto bits = storage_.PeekRow(*pool_, row);
+  if (!bits.ok()) return a;
+  a.action_id =
+      static_cast<uint32_t>(bits->GetBits(spec_.key_width_bits + 8, 16));
+  bits->SliceInto(spec_.key_width_bits + 8 + 16, spec_.action_data_width_bits,
+                  a.action_data);
+  return a;
 }
 
 Entry MatchTable::UnpackRow(const mem::BitString& row) const {

@@ -47,6 +47,22 @@ struct LookupResult {
   uint32_t access_cycles = 0;  // charged pool/bus cycles for this lookup
 };
 
+// Decoded action bits cached beside a software-index row, so hits are served
+// without re-reading and re-unpacking the pool row per packet. Refreshed on
+// every row write; the pool row stays the ground truth.
+struct CachedAction {
+  uint32_t action_id = 0;
+  mem::BitString action_data;
+};
+
+// Per-worker reusable lookup state: the key being built and the result being
+// filled. Holding these across packets is what makes the steady-state
+// match-action path allocation-free.
+struct LookupScratch {
+  mem::BitString key;
+  LookupResult result;
+};
+
 // A populated table entry as seen by the runtime API.
 struct Entry {
   mem::BitString key;
@@ -75,7 +91,21 @@ class MatchTable {
 
   virtual Status Insert(const Entry& entry) = 0;
   virtual Status Erase(const Entry& entry) = 0;
-  virtual LookupResult Lookup(const mem::BitString& key) const = 0;
+
+  // Fills `out` in place, reusing its BitString capacity — zero allocations
+  // in steady state. The hot-path entry point.
+  virtual void LookupInto(const mem::BitString& key, LookupResult& out)
+      const = 0;
+  LookupResult Lookup(const mem::BitString& key) const {
+    LookupResult out;
+    LookupInto(key, out);
+    return out;
+  }
+
+  // Re-decodes every cached action from the pool rows. Called after writes
+  // that bypass Insert/Erase (e.g. in-situ template updates re-binding
+  // storage) so the software index never serves stale bits.
+  virtual void RefreshCache() = 0;
 
   // Tears down pool storage; the table is unusable afterwards.
   void FreeStorage() { storage_.Free(*pool_); }
@@ -91,14 +121,29 @@ class MatchTable {
   MatchTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage)
       : spec_(std::move(spec)), pool_(&pool), storage_(std::move(storage)) {}
 
-  LookupResult Miss() const {
-    LookupResult r;
+  // Fills a miss result. Misses charge the bus cycles of the (parallel)
+  // search but no pool row fetch, matching the original Lookup paths.
+  void MissInto(LookupResult& r) const {
     r.hit = false;
     r.action_id = spec_.default_action_id;
-    r.action_data = spec_.default_action_data;
+    r.action_data = spec_.default_action_data;  // capacity-reusing copy
     r.access_cycles = storage_.AccessCycles(kBusWidthBits);
-    return r;
   }
+
+  // Fills a hit result from the decoded cache. The pool read statistics are
+  // still charged for `row` (one read per grid column, exactly what
+  // ReadRow counted), so the hardware throughput model is unchanged.
+  void HitInto(uint32_t row, const CachedAction& a, LookupResult& r) const {
+    (void)storage_.ChargeRead(*pool_, row);
+    r.hit = true;
+    r.action_id = a.action_id;
+    r.action_data = a.action_data;  // capacity-reusing copy
+    r.access_cycles = storage_.AccessCycles(kBusWidthBits);
+  }
+
+  // Decodes (action_id, action_data) from a pool row without touching the
+  // read statistics — index maintenance, not a data-path access.
+  CachedAction DecodeRow(uint32_t row) const;
 
   // Row layout: key [| mask] | action_id(16) | action_data.
   uint32_t RowWidthBits() const;

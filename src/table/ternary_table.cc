@@ -11,18 +11,37 @@ TernaryTable::TernaryTable(TableSpec spec, mem::Pool& pool,
   for (uint32_t r = spec_.size; r > 0; --r) free_rows_.push_back(r - 1);
 }
 
+std::vector<uint64_t> TernaryTable::Words(const mem::BitString& bits) {
+  std::vector<uint64_t> w(bits.WordCount());
+  for (size_t i = 0; i < w.size(); ++i) w[i] = bits.Word(i);
+  return w;
+}
+
+TernaryTable::MaskBucket* TernaryTable::FindBucket(
+    const mem::BitString& mask) {
+  for (MaskBucket& b : buckets_) {
+    if (b.mask == mask) return &b;
+  }
+  return nullptr;
+}
+
 Status TernaryTable::Insert(const Entry& entry) {
   if (entry.key.bit_width() != spec_.key_width_bits ||
       entry.mask.bit_width() != spec_.key_width_bits) {
     return InvalidArgument("ternary table '" + spec_.name +
                            "': key/mask width mismatch");
   }
-  // Same (key&mask, mask) identity updates in place.
-  for (IndexEntry& ie : index_) {
-    if (ie.mask == entry.mask &&
-        ie.key.MatchesUnderMask(entry.key, entry.mask)) {
-      IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, ie.row, PackRow(entry)));
-      return OkStatus();
+  MaskBucket* bucket = FindBucket(entry.mask);
+  if (bucket != nullptr) {
+    // Same (key&mask, mask) identity updates in place, keeping the entry's
+    // original priority and position.
+    for (IndexEntry& ie : bucket->entries) {
+      if (ie.key.MatchesUnderMask(entry.key, entry.mask)) {
+        IPSA_RETURN_IF_ERROR(
+            storage_.WriteRow(*pool_, ie.row, PackRow(entry)));
+        ie.action = DecodeRow(ie.row);
+        return OkStatus();
+      }
     }
   }
   if (free_rows_.empty()) {
@@ -32,52 +51,100 @@ Status TernaryTable::Insert(const Entry& entry) {
   IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
   // The mask plane covers the key bits only; aux/action bits are don't-care.
   mem::BitString full_mask(RowWidthBits());
-  for (uint32_t i = 0; i < spec_.key_width_bits; ++i) {
-    full_mask.SetBit(i, entry.mask.GetBit(i));
-  }
+  full_mask.SetBitsFrom(0, entry.mask, 0, spec_.key_width_bits);
   IPSA_RETURN_IF_ERROR(storage_.WriteMask(*pool_, row, full_mask));
   free_rows_.pop_back();
 
-  IndexEntry ie{entry.priority, row, entry.key, entry.mask};
+  if (bucket == nullptr) {
+    buckets_.emplace_back();
+    bucket = &buckets_.back();
+    bucket->mask = entry.mask;
+    bucket->mask_words = Words(entry.mask);
+  }
+
+  IndexEntry ie;
+  ie.priority = entry.priority;
+  ie.seq = next_seq_++;
+  ie.row = row;
+  ie.key = entry.key;
+  ie.masked_key.resize(bucket->mask_words.size());
+  for (size_t w = 0; w < ie.masked_key.size(); ++w) {
+    ie.masked_key[w] = entry.key.Word(w) & bucket->mask_words[w];
+  }
+  ie.action = DecodeRow(row);
   auto pos = std::upper_bound(
-      index_.begin(), index_.end(), ie,
+      bucket->entries.begin(), bucket->entries.end(), ie,
       [](const IndexEntry& a, const IndexEntry& b) {
-        return a.priority > b.priority;
+        return a.priority != b.priority ? a.priority > b.priority
+                                        : a.seq < b.seq;
       });
-  index_.insert(pos, std::move(ie));
+  bucket->entries.insert(pos, std::move(ie));
+  bucket->max_priority =
+      std::max(bucket->max_priority, entry.priority);
   ++entry_count_;
   return OkStatus();
 }
 
 Status TernaryTable::Erase(const Entry& entry) {
-  for (auto it = index_.begin(); it != index_.end(); ++it) {
-    if (it->mask == entry.mask &&
-        it->key.MatchesUnderMask(entry.key, entry.mask)) {
-      IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, it->row));
-      free_rows_.push_back(it->row);
-      index_.erase(it);
-      --entry_count_;
-      return OkStatus();
+  for (auto bit = buckets_.begin(); bit != buckets_.end(); ++bit) {
+    if (!(bit->mask == entry.mask)) continue;
+    for (auto it = bit->entries.begin(); it != bit->entries.end(); ++it) {
+      if (it->key.MatchesUnderMask(entry.key, entry.mask)) {
+        IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, it->row));
+        free_rows_.push_back(it->row);
+        bit->entries.erase(it);
+        --entry_count_;
+        if (bit->entries.empty()) {
+          buckets_.erase(bit);
+        } else {
+          // Entries are priority-sorted, so the front holds the max.
+          bit->max_priority = bit->entries.front().priority;
+        }
+        return OkStatus();
+      }
     }
   }
   return NotFound("ternary table '" + spec_.name + "': entry not present");
 }
 
-LookupResult TernaryTable::Lookup(const mem::BitString& key) const {
-  for (const IndexEntry& ie : index_) {
-    if (key.MatchesUnderMask(ie.key, ie.mask)) {
-      auto row = storage_.ReadRow(*pool_, ie.row);
-      if (!row.ok()) break;
-      Entry e = UnpackRow(*row);
-      LookupResult r;
-      r.hit = true;
-      r.action_id = e.action_id;
-      r.action_data = std::move(e.action_data);
-      r.access_cycles = storage_.AccessCycles(kBusWidthBits);
-      return r;
+void TernaryTable::LookupInto(const mem::BitString& key,
+                              LookupResult& out) const {
+  const IndexEntry* best = nullptr;
+  for (const MaskBucket& b : buckets_) {
+    if (best != nullptr && b.max_priority < best->priority) continue;
+    size_t words = b.mask_words.size();
+    for (const IndexEntry& ie : b.entries) {
+      // Sorted (priority desc, seq asc): once an entry cannot beat the
+      // current winner, nothing after it in this bucket can either.
+      if (best != nullptr &&
+          (ie.priority < best->priority ||
+           (ie.priority == best->priority && ie.seq > best->seq))) {
+        break;
+      }
+      bool match = true;
+      for (size_t w = 0; w < words; ++w) {
+        if ((key.Word(w) & b.mask_words[w]) != ie.masked_key[w]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        best = &ie;
+        break;
+      }
     }
   }
-  return Miss();
+  if (best == nullptr) {
+    MissInto(out);
+    return;
+  }
+  HitInto(best->row, best->action, out);
+}
+
+void TernaryTable::RefreshCache() {
+  for (MaskBucket& b : buckets_) {
+    for (IndexEntry& ie : b.entries) ie.action = DecodeRow(ie.row);
+  }
 }
 
 }  // namespace ipsa::table

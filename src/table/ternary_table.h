@@ -1,8 +1,14 @@
 // Ternary (TCAM) table with per-entry masks and priorities.
 //
 // Hardware searches all rows in parallel and a priority encoder picks the
-// winner; the behavioral model keeps entries sorted by descending priority
-// and takes the first match. Masks live in the TCAM blocks' mask planes.
+// winner. The behavioral model groups entries into buckets keyed by their
+// exact mask: each bucket precomputes its mask words and each entry its
+// masked-key words, so a probe is a handful of uint64 compares instead of a
+// byte-wise MatchesUnderMask over every entry. Buckets whose best priority
+// cannot beat the current winner are skipped whole. The winner is the same
+// entry the old flat priority-ordered scan would pick: highest priority,
+// ties broken by insertion order. Masks live in the TCAM blocks' mask
+// planes, as before.
 #pragma once
 
 #include <vector>
@@ -17,19 +23,33 @@ class TernaryTable : public MatchTable {
 
   Status Insert(const Entry& entry) override;
   Status Erase(const Entry& entry) override;
-  LookupResult Lookup(const mem::BitString& key) const override;
+  void LookupInto(const mem::BitString& key, LookupResult& out) const override;
+  void RefreshCache() override;
 
  private:
   struct IndexEntry {
     uint32_t priority;
+    uint64_t seq;  // global insertion order, for priority ties
     uint32_t row;
-    mem::BitString key;   // masked key bits for erase identity
-    mem::BitString mask;
+    mem::BitString key;  // original key bits, for erase identity
+    std::vector<uint64_t> masked_key;  // key & bucket mask, word-wise
+    CachedAction action;
   };
 
-  // Sorted by descending priority (ties: insertion order).
-  std::vector<IndexEntry> index_;
+  // All entries sharing one exact mask, sorted by (priority desc, seq asc).
+  struct MaskBucket {
+    mem::BitString mask;
+    std::vector<uint64_t> mask_words;
+    uint32_t max_priority = 0;  // of entries, for whole-bucket skips
+    std::vector<IndexEntry> entries;
+  };
+
+  MaskBucket* FindBucket(const mem::BitString& mask);
+  static std::vector<uint64_t> Words(const mem::BitString& bits);
+
+  std::vector<MaskBucket> buckets_;
   std::vector<uint32_t> free_rows_;
+  uint64_t next_seq_ = 0;
 };
 
 }  // namespace ipsa::table

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "mem/block.h"
 #include "mem/crossbar.h"
 #include "mem/logical_table.h"
 #include "mem/pool.h"
+#include "util/rng.h"
 
 namespace ipsa::mem {
 namespace {
@@ -57,6 +62,146 @@ TEST(BitStringTest, MatchesUnderMask) {
 
 TEST(BitStringTest, ToHex) {
   EXPECT_EQ(BitString(16, 0xAB).ToHex(), "0x00ab");
+}
+
+// --- BitString small-buffer / in-place operations --------------------------------
+
+// Shrinking a heap-resident string back under the inline threshold must not
+// leave stale bytes visible: Resize always zeroes the active buffer.
+TEST(BitStringTest, ResizeAcrossInlineHeapBoundaryZeroes) {
+  BitString s(200);
+  for (size_t i = 0; i < 200; ++i) s.SetBit(i, true);
+  s.Resize(100);  // back under kInlineBits
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(s.GetBit(i)) << i;
+  s.SetBits(60, 30, 0x2AAAAAAA);
+  EXPECT_EQ(s.GetBits(60, 30), 0x2AAAAAAAu);
+  s.Resize(300);  // grow past the earlier heap buffer
+  for (size_t i = 0; i < 300; ++i) EXPECT_FALSE(s.GetBit(i)) << i;
+}
+
+// A wide string resized down must compare equal (operator== is a memcmp) to
+// a freshly built string of the same value: no stale tail bits survive.
+TEST(BitStringTest, EqualityAfterCapacityReuse) {
+  BitString reused(500);
+  for (size_t i = 0; i < 500; ++i) reused.SetBit(i, true);
+  reused.Resize(70);
+  reused.SetBits(0, 60, 0x0123456789ABCDEFull);
+  BitString fresh(70);
+  fresh.SetBits(0, 60, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(reused == fresh);
+}
+
+TEST(BitStringTest, WordMatchesGetBitsAndReadsZeroBeyondWidth) {
+  util::Rng rng(11);
+  for (size_t width : {1u, 7u, 64u, 65u, 127u, 128u, 129u, 200u, 333u}) {
+    BitString s(width);
+    for (size_t i = 0; i < width; ++i) s.SetBit(i, rng.NextBool());
+    for (size_t w = 0; w < s.WordCount(); ++w) {
+      size_t off = w * 64;
+      size_t span = width > off ? std::min<size_t>(64, width - off) : 0;
+      uint64_t want = span == 0 ? 0 : s.GetBits(off, span);
+      EXPECT_EQ(s.Word(w), want) << "width=" << width << " word=" << w;
+    }
+  }
+}
+
+TEST(BitStringTest, SliceIntoMatchesSlice) {
+  util::Rng rng(12);
+  BitString src(300);
+  for (size_t i = 0; i < 300; ++i) src.SetBit(i, rng.NextBool());
+  BitString out;
+  for (int q = 0; q < 200; ++q) {
+    size_t offset = rng.NextBelow(300);
+    size_t width = rng.NextBelow(300 - offset + 1);
+    src.SliceInto(offset, width, out);
+    EXPECT_TRUE(out == src.Slice(offset, width))
+        << "offset=" << offset << " width=" << width;
+  }
+}
+
+// The key-concatenation primitive: appending parts into a pre-sized string
+// must equal the per-bit reference, across word and inline/heap boundaries.
+TEST(BitStringTest, AppendBitsConcatenates) {
+  util::Rng rng(13);
+  std::vector<BitString> parts;
+  size_t total = 0;
+  for (size_t width : {9u, 48u, 64u, 100u, 3u}) {
+    BitString p(width);
+    for (size_t i = 0; i < width; ++i) p.SetBit(i, rng.NextBool());
+    total += width;
+    parts.push_back(std::move(p));
+  }
+  BitString got(total);
+  size_t cursor = 0;
+  for (const BitString& p : parts) {
+    got.AppendBits(p, 0, p.bit_width(), cursor);
+  }
+  EXPECT_EQ(cursor, total);
+  BitString want(total);
+  size_t at = 0;
+  for (const BitString& p : parts) {
+    for (size_t i = 0; i < p.bit_width(); ++i) want.SetBit(at++, p.GetBit(i));
+  }
+  EXPECT_TRUE(got == want);
+}
+
+TEST(BitStringTest, CopyAndMoveAcrossInlineHeapBoundary) {
+  BitString small(40, 0xABCDEF01);
+  BitString wide(200);
+  wide.SetBits(150, 40, 0xFEEDF00Dull);
+
+  BitString copy_of_wide = wide;
+  EXPECT_TRUE(copy_of_wide == wide);
+  copy_of_wide = small;  // heap-capacity holder takes an inline-sized value
+  EXPECT_TRUE(copy_of_wide == small);
+
+  BitString moved = std::move(wide);
+  EXPECT_EQ(moved.GetBits(150, 40), 0xFEEDF00Dull);
+  // The moved-from string is reset and must be fully reusable.
+  EXPECT_EQ(wide.bit_width(), 0u);
+  wide.Resize(48);
+  wide.SetBits(0, 48, 0x123456789ABCull);
+  EXPECT_EQ(wide.GetBits(0, 48), 0x123456789ABCull);
+
+  BitString target(16, 0xFFFF);
+  target = std::move(moved);
+  EXPECT_EQ(target.bit_width(), 200u);
+  EXPECT_EQ(target.GetBits(150, 40), 0xFEEDF00Dull);
+  BitString self(64, 42);
+  BitString& self_alias = self;
+  self = self_alias;  // self-assignment is a no-op
+  EXPECT_EQ(self.ToUint64(), 42u);
+}
+
+TEST(BitStringTest, AssignTruncatesAndZeroExtends) {
+  BitString dst(96);
+  for (size_t i = 0; i < 96; ++i) dst.SetBit(i, true);
+  dst.Assign(BitString(16, 0xBEEF));
+  EXPECT_EQ(dst.bit_width(), 96u);
+  EXPECT_EQ(dst.GetBits(0, 16), 0xBEEFu);
+  EXPECT_EQ(dst.GetBits(16, 64), 0u);
+  BitString narrow(12);
+  narrow.Assign(BitString(64, 0xFFFFFFFFFFFFFFFFull));
+  EXPECT_EQ(narrow.ToUint64(), 0xFFFu);  // tail bits masked off
+}
+
+TEST(BitStringTest, MatchesUnderMaskWideMatchesBitReference) {
+  util::Rng rng(14);
+  for (int q = 0; q < 100; ++q) {
+    size_t width = 1 + rng.NextBelow(260);
+    BitString a(width), b(width), m(width);
+    for (size_t i = 0; i < width; ++i) {
+      a.SetBit(i, rng.NextBool());
+      // Bias b toward a so matches actually occur.
+      b.SetBit(i, rng.NextBool(0.1) ? !a.GetBit(i) : a.GetBit(i));
+      m.SetBit(i, rng.NextBool(0.8));
+    }
+    bool want = true;
+    for (size_t i = 0; i < width; ++i) {
+      if (m.GetBit(i) && a.GetBit(i) != b.GetBit(i)) want = false;
+    }
+    EXPECT_EQ(a.MatchesUnderMask(b, m), want) << "width=" << width;
+  }
 }
 
 // --- Block -----------------------------------------------------------------------
