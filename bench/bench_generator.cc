@@ -1,0 +1,88 @@
+// Supplementary: cost of the differential-fuzzing harness itself, so the
+// CI fuzz budget (`rp4fuzz --seconds=120`) can be translated into an
+// expected case count and the expensive stages are visible when tuning.
+//
+//   * Generate:   seeded spec + workload synthesis (pure, no compile).
+//   * Render:     + in-process p4lite -> rp4fc on both program versions and
+//                 snippet/script derivation (the dominant fixed cost).
+//   * RunCase:    one case through all five device configurations with the
+//                 full oracle (TX, counters, telemetry, epochs).
+//   * RoundTrip:  repro serialize + parse (the corpus replay overhead).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "testing/differential.h"
+#include "testing/generator.h"
+
+namespace ipsa::bench {
+namespace {
+
+void BM_GenerateCase(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    testing::GeneratedCase gen = testing::GenerateCase(seed++);
+    benchmark::DoNotOptimize(gen.ops.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GenerateCase);
+
+void BM_RenderCase(benchmark::State& state) {
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto cf = testing::RenderCase(testing::GenerateCase(seed++));
+    if (!cf.ok()) {
+      state.SkipWithError(cf.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(cf->p4_v1.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RenderCase);
+
+void BM_RunCase(benchmark::State& state) {
+  // A fixed case isolates differential-run cost from render cost; the seed
+  // is the benchmark argument so distinct program shapes are comparable.
+  auto cf = testing::RenderCase(
+      testing::GenerateCase(static_cast<uint64_t>(state.range(0))));
+  if (!cf.ok()) {
+    state.SkipWithError(cf.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto report = testing::RunCase(*cf);
+    if (!report.ok() || report->diverged) {
+      state.SkipWithError(report.ok() ? report->detail.c_str()
+                                      : report.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(report->diverged);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RunCase)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ReproRoundTrip(benchmark::State& state) {
+  auto cf = testing::RenderCase(testing::GenerateCase(1));
+  if (!cf.ok()) {
+    state.SkipWithError(cf.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto back = testing::ParseCaseFile(testing::SerializeCase(*cf));
+    if (!back.ok()) {
+      state.SkipWithError(back.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(back->ops.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReproRoundTrip);
+
+}  // namespace
+}  // namespace ipsa::bench
+
+BENCHMARK_MAIN();

@@ -462,6 +462,42 @@ bool OpsUseRegisters(const std::vector<ActionOp>& ops) {
 
 }  // namespace
 
+// Fault injection (see header). A plain global: the harness flips it before
+// constructing devices and the flag is only read at compile time, never on
+// the packet path.
+namespace {
+bool g_compiled_stage_fault = false;
+
+// Wraps the value of the first kAssign/kForward op found (depth-first) in a
+// "+ 1", making the compiled stage deliberately disagree with the
+// interpreter. Returns true once a perturbation was applied.
+bool PerturbFirstAssign(std::vector<CompiledOp>& ops) {
+  for (CompiledOp& op : ops) {
+    if ((op.kind == ActionOp::Kind::kAssign ||
+         op.kind == ActionOp::Kind::kForward) &&
+        op.value != nullptr) {
+      auto one = std::make_unique<CompiledExpr>();
+      one->kind = Expr::Kind::kConst;
+      one->constant = mem::BitString(64, 1);
+      auto sum = std::make_unique<CompiledExpr>();
+      sum->kind = Expr::Kind::kBinary;
+      sum->op = Expr::Op::kAdd;
+      sum->lhs = std::move(op.value);
+      sum->rhs = std::move(one);
+      op.value = std::move(sum);
+      return true;
+    }
+    if (PerturbFirstAssign(op.then_ops) || PerturbFirstAssign(op.else_ops)) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+void SetCompiledStageFault(bool enabled) { g_compiled_stage_fault = enabled; }
+bool CompiledStageFaultEnabled() { return g_compiled_stage_fault; }
+
 Result<CompiledStage> CompileStage(const StageProgram& stage,
                                    const TableCatalog& catalog,
                                    const ActionStore& actions,
@@ -499,6 +535,13 @@ Result<CompiledStage> CompileStage(const StageProgram& stage,
   IPSA_ASSIGN_OR_RETURN(out.miss, c.Action(stage.miss_action));
 
   out.uses_registers = c.uses_registers;
+
+  if (g_compiled_stage_fault) {
+    for (CompiledAction& a : out.branch_actions) {
+      if (PerturbFirstAssign(a.body)) return out;
+    }
+    PerturbFirstAssign(out.miss.body);
+  }
   return out;
 }
 

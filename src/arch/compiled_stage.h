@@ -131,4 +131,13 @@ Result<StageRunStats> RunCompiledStage(const CompiledStage& stage,
 // registers.
 bool StageMayUseRegisters(const StageProgram& stage, const ActionStore& actions);
 
+// Debug-only fault injection for the differential fuzzing harness
+// (tools/rp4fuzz --inject-fault): while enabled, CompileStage perturbs the
+// first assignment/forward it compiles (+1 on the written value), so compiled
+// configurations diverge from the interpreter on purpose. Proves the harness
+// actually detects, shrinks and replays a real divergence. Never enable
+// outside tests.
+void SetCompiledStageFault(bool enabled);
+bool CompiledStageFaultEnabled();
+
 }  // namespace ipsa::arch

@@ -261,6 +261,11 @@ void IpbmSwitch::EnsureCompiled() {
     for (const arch::StageProgram& program : pipeline_.tsp(id).programs()) {
       CompiledProgram cp;
       cp.source = &program;
+      if (force_interpreter_) {
+        cp.uses_registers = arch::StageMayUseRegisters(program, actions_);
+        compiled_tsps_[id].push_back(std::move(cp));
+        continue;
+      }
       auto compiled = arch::CompileStage(program, catalog_, actions_,
                                          registry_, metadata_proto_);
       if (compiled.ok()) {

@@ -129,6 +129,18 @@ class IpbmSwitch {
   // scrape across an in-situ update shows the epoch advancing.
   uint64_t config_epoch() const { return config_epoch_; }
 
+  // Pins every TSP program to the interpreter (RunStage) instead of the
+  // compiled fast path. The differential fuzzing harness uses this to
+  // cross-check the two execution paths on identical devices; flipping it
+  // invalidates the compiled state like any other config change.
+  void SetForceInterpreter(bool force) {
+    if (force_interpreter_ != force) {
+      force_interpreter_ = force;
+      ++config_epoch_;
+    }
+  }
+  bool force_interpreter() const { return force_interpreter_; }
+
   // Finds the TSP currently hosting a logical stage, or -1.
   int32_t TspOfStage(std::string_view stage_name) const;
 
@@ -195,6 +207,7 @@ class IpbmSwitch {
 
   // Compiled fast-path state (rebuilt lazily by EnsureCompiled).
   uint64_t config_epoch_ = 1;
+  bool force_interpreter_ = false;
   CompiledKey compiled_key_;  // all-zero: never matches the first CurrentKey
   std::vector<std::vector<CompiledProgram>> compiled_tsps_;
   // Flattened telemetry stage slots: TSP id -> first slot of its programs

@@ -44,6 +44,31 @@ class Parser {
   }
 
  private:
+  // Nesting caps: the grammar is recursive-descent, so unchecked nesting
+  // depth is unchecked C++ stack depth — adversarial input like thousands of
+  // nested parentheses must fail with a Status, not a stack overflow.
+  static constexpr int kMaxNesting = 64;
+  // Field widths outside [1, 4096] are rejected up front: width 0 has no
+  // packet representation, and a giant width would size device buffers (and
+  // keys, and action data) proportionally.
+  static constexpr uint64_t kMaxFieldWidth = 4096;
+
+  Result<uint32_t> CheckWidth(uint64_t width) {
+    if (width == 0 || width > kMaxFieldWidth) {
+      return Status(StatusCode::kInvalidArgument,
+                    "p4lite: field width " + std::to_string(width) +
+                        " outside [1, " + std::to_string(kMaxFieldWidth) +
+                        "]");
+    }
+    return static_cast<uint32_t>(width);
+  }
+
+  struct NestingGuard {
+    explicit NestingGuard(int& depth) : depth_(depth) { ++depth_; }
+    ~NestingGuard() { --depth_; }
+    int& depth_;
+  };
+
   Status ParseHeaderType() {
     cur_.Next();  // header
     IPSA_ASSIGN_OR_RETURN(std::string name, cur_.ExpectIdent());
@@ -69,11 +94,12 @@ class Parser {
       }
       IPSA_RETURN_IF_ERROR(cur_.Expect("bit"));
       IPSA_RETURN_IF_ERROR(cur_.Expect("<"));
-      IPSA_ASSIGN_OR_RETURN(uint64_t width, cur_.ExpectNumber());
+      IPSA_ASSIGN_OR_RETURN(uint64_t raw_width, cur_.ExpectNumber());
+      IPSA_ASSIGN_OR_RETURN(uint32_t width, CheckWidth(raw_width));
       IPSA_RETURN_IF_ERROR(cur_.Expect(">"));
       IPSA_ASSIGN_OR_RETURN(std::string fname, cur_.ExpectIdent());
       IPSA_RETURN_IF_ERROR(cur_.Expect(";"));
-      fields.push_back(FieldDef{fname, static_cast<uint32_t>(width)});
+      fields.push_back(FieldDef{fname, width});
     }
     arch::HeaderTypeDef def(name, std::move(fields));
     if (varsize.has_value()) def.SetVarSize(*varsize);
@@ -91,12 +117,13 @@ class Parser {
         // metadata member
         cur_.Next();
         IPSA_RETURN_IF_ERROR(cur_.Expect("<"));
-        IPSA_ASSIGN_OR_RETURN(uint64_t width, cur_.ExpectNumber());
+        IPSA_ASSIGN_OR_RETURN(uint64_t raw_width, cur_.ExpectNumber());
+        IPSA_ASSIGN_OR_RETURN(uint32_t width, CheckWidth(raw_width));
         IPSA_RETURN_IF_ERROR(cur_.Expect(">"));
         IPSA_ASSIGN_OR_RETURN(std::string fname, cur_.ExpectIdent());
         IPSA_RETURN_IF_ERROR(cur_.Expect(";"));
         if (!is_headers) {
-          hlir_.metadata.emplace_back(fname, static_cast<uint32_t>(width));
+          hlir_.metadata.emplace_back(fname, width);
         }
       } else {
         // header instance: <type> <instance>;
@@ -250,10 +277,11 @@ class Parser {
       while (true) {
         IPSA_RETURN_IF_ERROR(cur_.Expect("bit"));
         IPSA_RETURN_IF_ERROR(cur_.Expect("<"));
-        IPSA_ASSIGN_OR_RETURN(uint64_t width, cur_.ExpectNumber());
+        IPSA_ASSIGN_OR_RETURN(uint64_t raw_width, cur_.ExpectNumber());
+        IPSA_ASSIGN_OR_RETURN(uint32_t width, CheckWidth(raw_width));
         IPSA_RETURN_IF_ERROR(cur_.Expect(">"));
         IPSA_ASSIGN_OR_RETURN(std::string name, cur_.ExpectIdent());
-        def.params.push_back(ActionParam{name, static_cast<uint32_t>(width)});
+        def.params.push_back(ActionParam{name, width});
         param_names_.insert(name);
         if (cur_.TryConsume(")")) break;
         IPSA_RETURN_IF_ERROR(cur_.Expect(","));
@@ -317,6 +345,10 @@ class Parser {
   }
 
   Result<HlirApplyNode> ParseApplyStatement() {
+    if (stmt_depth_ >= kMaxNesting) {
+      return cur_.ErrorHere("apply-block nesting too deep");
+    }
+    NestingGuard guard(stmt_depth_);
     if (cur_.TryConsume("if")) {
       HlirApplyNode node;
       node.kind = HlirApplyNode::Kind::kIf;
@@ -371,6 +403,10 @@ class Parser {
   }
 
   Result<ActionOp> ParseStatement() {
+    if (stmt_depth_ >= kMaxNesting) {
+      return cur_.ErrorHere("statement nesting too deep");
+    }
+    NestingGuard guard(stmt_depth_);
     const Token& t = cur_.Peek();
     if (t.IsIdent("if")) {
       cur_.Next();
@@ -518,7 +554,13 @@ class Parser {
     return FinishFieldRef(first);
   }
 
-  Result<ExprPtr> ParseExpr() { return ParseBinary(0); }
+  Result<ExprPtr> ParseExpr() {
+    if (expr_depth_ >= kMaxNesting) {
+      return cur_.ErrorHere("expression nesting too deep");
+    }
+    NestingGuard guard(expr_depth_);
+    return ParseBinary(0);
+  }
 
   struct Level {
     std::string_view token;
@@ -642,6 +684,8 @@ class Parser {
 
   TokenCursor cur_;
   Hlir hlir_;
+  int expr_depth_ = 0;
+  int stmt_depth_ = 0;
   bool have_ingress_ = false;
   std::set<std::string> param_names_;
   std::set<std::string> register_names_;

@@ -166,6 +166,11 @@ void PisaSwitch::EnsureCompiled() {
         out.resize(side.size());
         for (size_t i = 0; i < side.size(); ++i) {
           if (!side[i].has_value()) continue;
+          if (force_interpreter_) {
+            design_uses_registers_ |=
+                arch::StageMayUseRegisters(*side[i], actions_);
+            continue;
+          }
           auto compiled = arch::CompileStage(*side[i], catalog_, actions_,
                                              design_.headers, metadata_proto_);
           if (compiled.ok()) {

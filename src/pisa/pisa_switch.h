@@ -90,6 +90,18 @@ class PisaSwitch {
   // Bumped on every functional change (LoadDesign); tags snapshots/traces.
   uint64_t config_epoch() const { return config_epoch_; }
 
+  // Pins every stage to the interpreter (RunStage) instead of the compiled
+  // fast path. The differential fuzzing harness uses this to cross-check the
+  // two execution paths on identical devices; flipping it invalidates the
+  // compiled state like any other config change.
+  void SetForceInterpreter(bool force) {
+    if (force_interpreter_ != force) {
+      force_interpreter_ = force;
+      ++config_epoch_;
+    }
+  }
+  bool force_interpreter() const { return force_interpreter_; }
+
   arch::RegisterFile& registers() { return regs_; }
 
   const arch::TableCatalog& catalog() const { return catalog_; }
@@ -150,6 +162,7 @@ class PisaSwitch {
     bool operator==(const CompiledKey&) const = default;
   };
   uint64_t config_epoch_ = 1;
+  bool force_interpreter_ = false;
   CompiledKey compiled_key_;  // all-zero: never matches the first key
   std::vector<std::optional<arch::CompiledStage>> compiled_ingress_;
   std::vector<std::optional<arch::CompiledStage>> compiled_egress_;

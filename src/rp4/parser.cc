@@ -65,6 +65,18 @@ class Parser {
   }
 
  private:
+  // Nesting caps (see p4lite/parser.cc): recursive-descent depth is C++
+  // stack depth, so adversarial nesting must fail with a Status, never a
+  // stack overflow. Width bounds match the p4lite front-end.
+  static constexpr int kMaxNesting = 64;
+  static constexpr uint64_t kMaxFieldWidth = 4096;
+
+  struct NestingGuard {
+    explicit NestingGuard(int& depth) : depth_(depth) { ++depth_; }
+    ~NestingGuard() { --depth_; }
+    int& depth_;
+  };
+
   // --- declarations --------------------------------------------------------
 
   Status ParseHeadersSection() {
@@ -128,6 +140,12 @@ class Parser {
     IPSA_RETURN_IF_ERROR(cur_.Expect("bit"));
     IPSA_RETURN_IF_ERROR(cur_.Expect("<"));
     IPSA_ASSIGN_OR_RETURN(uint64_t width, cur_.ExpectNumber());
+    if (width == 0 || width > kMaxFieldWidth) {
+      return Status(StatusCode::kInvalidArgument,
+                    "rp4: field width " + std::to_string(width) +
+                        " outside [1, " + std::to_string(kMaxFieldWidth) +
+                        "]");
+    }
     IPSA_RETURN_IF_ERROR(cur_.Expect(">"));
     Rp4FieldDecl field;
     field.width_bits = static_cast<uint32_t>(width);
@@ -411,6 +429,10 @@ class Parser {
   }
 
   Result<ActionOp> ParseStatement() {
+    if (stmt_depth_ >= kMaxNesting) {
+      return cur_.ErrorHere("statement nesting too deep");
+    }
+    NestingGuard guard(stmt_depth_);
     const Token& t = cur_.Peek();
     if (t.IsIdent("if")) {
       cur_.Next();
@@ -552,7 +574,13 @@ class Parser {
   }
 
   // Precedence-climbing expression parser.
-  Result<ExprPtr> ParseExpr() { return ParseBinary(0); }
+  Result<ExprPtr> ParseExpr() {
+    if (expr_depth_ >= kMaxNesting) {
+      return cur_.ErrorHere("expression nesting too deep");
+    }
+    NestingGuard guard(expr_depth_);
+    return ParseBinary(0);
+  }
 
   struct Level {
     std::string_view token;
@@ -659,6 +687,8 @@ class Parser {
 
   TokenCursor cur_;
   Rp4Program prog_;
+  int expr_depth_ = 0;
+  int stmt_depth_ = 0;
   bool snippet_ = false;
   std::set<std::string> param_names_;
   std::set<std::string> register_names_;

@@ -1,0 +1,807 @@
+#include "testing/generator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "compiler/rp4fc.h"
+#include "p4lite/parser.h"
+#include "rp4/printer.h"
+#include "testing/rng.h"
+
+namespace ipsa::testing {
+
+namespace {
+
+uint64_t WidthMask(uint32_t width) {
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+// Field widths are byte multiples so packet bytes assemble byte-at-a-time.
+constexpr uint32_t kFieldWidths[] = {8, 16, 32, 48, 64};
+
+// A readable reference inside action/guard expressions.
+struct RefPool {
+  std::vector<std::pair<std::string, uint32_t>> refs;  // P4 text, width
+};
+
+RefPool ReadableRefs(const ProgramSpec& spec, int scope) {
+  RefPool pool;
+  for (const FieldSpec& m : spec.metadata) {
+    pool.refs.push_back({"meta." + m.name, m.width_bits});
+  }
+  if (scope >= 0) {
+    const HeaderSpec& h = spec.headers[scope];
+    for (const FieldSpec& f : h.fields) {
+      pool.refs.push_back({"hdr." + h.instance + "." + f.name, f.width_bits});
+    }
+  }
+  return pool;
+}
+
+std::string GenExpr(Rng& rng, const RefPool& pool,
+                    const std::vector<FieldSpec>& params, int depth) {
+  if (depth <= 0 || rng.Chance(1, 2)) {
+    // Leaf: constant, parameter, or field reference.
+    uint64_t roll = rng.Below(10);
+    if (roll < 4 || (params.empty() && pool.refs.empty())) {
+      return std::to_string(rng.Below(1024));
+    }
+    if (roll < 6 && !params.empty()) {
+      return rng.Pick(params).name;
+    }
+    return rng.Pick(pool.refs).first;
+  }
+  static const char* kOps[] = {"+", "-", "&", "|", "^"};
+  return "(" + GenExpr(rng, pool, params, depth - 1) + " " +
+         kOps[rng.Below(5)] + " " + GenExpr(rng, pool, params, depth - 1) +
+         ")";
+}
+
+// One assignment statement (the only statement kind valid inside a
+// generated `if`): a meta or scope-header field gets an expression. The
+// trailing "sel" field is never a write target: parser transitions select on
+// it, and pbm (parse-all up front) would see the pre-rewrite value where
+// ipbm (JIT parse at first reference) sees the post-rewrite one — a genuine
+// divergence of the two parsing models, not a bug to find.
+std::string GenAssign(Rng& rng, const ProgramSpec& spec, int scope,
+                      const RefPool& pool,
+                      const std::vector<FieldSpec>& params) {
+  std::string dest;
+  if (scope >= 0 && rng.Chance(1, 2) && spec.headers[scope].fields.size() > 1) {
+    const HeaderSpec& h = spec.headers[scope];
+    dest = "hdr." + h.instance + "." +
+           h.fields[rng.Below(h.fields.size() - 1)].name;
+  } else {
+    dest = "meta." + rng.Pick(spec.metadata).name;
+  }
+  return dest + " = " + GenExpr(rng, pool, params, 2) + ";";
+}
+
+ActionSpec GenAction(Rng& rng, const ProgramSpec& spec, int scope,
+                     const std::string& name) {
+  ActionSpec a;
+  a.name = name;
+  uint64_t nparams = rng.Below(3);
+  static const uint32_t kParamWidths[] = {8, 16, 32};
+  for (uint64_t p = 0; p < nparams; ++p) {
+    a.params.push_back(
+        {"p" + std::to_string(p), kParamWidths[rng.Below(3)]});
+  }
+  RefPool pool = ReadableRefs(spec, scope);
+  uint64_t nstmts = rng.Range(1, 3);
+  for (uint64_t s = 0; s < nstmts; ++s) {
+    uint64_t roll = rng.Below(10);
+    if (roll < 5) {
+      a.stmts.push_back(GenAssign(rng, spec, scope, pool, a.params));
+    } else if (roll < 7) {
+      a.stmts.push_back("forward(" + std::to_string(rng.Below(20)) + ");");
+    } else if (roll < 8) {
+      a.stmts.push_back("mark();");
+    } else {
+      static const char* kCmps[] = {"==", "!=", "<", ">"};
+      std::string lhs = pool.refs.empty()
+                            ? std::to_string(rng.Below(16))
+                            : rng.Pick(pool.refs).first;
+      a.stmts.push_back("if (" + lhs + " " + kCmps[rng.Below(4)] + " " +
+                        std::to_string(rng.Below(256)) + ") { " +
+                        GenAssign(rng, spec, scope, pool, a.params) + " }");
+    }
+  }
+  if (rng.Chance(1, 20)) a.stmts.push_back("drop();");
+  return a;
+}
+
+TableSpec GenTable(Rng& rng, const ProgramSpec& spec, const std::string& name,
+                   int forced_scope) {
+  TableSpec t;
+  t.name = name;
+  t.scope = forced_scope;
+  uint64_t roll = rng.Below(100);
+  if (roll < 50) {
+    t.match_kind = "exact";
+  } else if (roll < 70) {
+    t.match_kind = "lpm";
+  } else if (roll < 85) {
+    t.match_kind = "ternary";
+  } else {
+    t.match_kind = "hash";
+  }
+  t.size = t.match_kind == "hash" ? 8 : 64;
+
+  // Key candidates: the scope header's fields; meta-only tables key on
+  // ingress_port (hits are predictable) or a user metadata field.
+  std::vector<std::pair<std::string, uint32_t>> candidates;
+  if (t.scope >= 0) {
+    const HeaderSpec& h = spec.headers[t.scope];
+    for (const FieldSpec& f : h.fields) {
+      candidates.push_back(
+          {"hdr." + h.instance + "." + f.name, f.width_bits});
+    }
+  } else {
+    candidates.push_back({"meta.ingress_port", 9});
+    for (const FieldSpec& m : spec.metadata) {
+      candidates.push_back({"meta." + m.name, m.width_bits});
+    }
+  }
+  uint64_t nkeys = t.match_kind == "lpm" ? 1 : rng.Range(1, 2);
+  nkeys = std::min<uint64_t>(nkeys, candidates.size());
+  std::set<size_t> used;
+  for (uint64_t k = 0; k < nkeys; ++k) {
+    size_t idx = rng.Below(candidates.size());
+    if (used.count(idx) > 0) continue;  // fewer keys, never duplicates
+    used.insert(idx);
+    t.key_refs.push_back(candidates[idx].first);
+    t.key_widths.push_back(candidates[idx].second);
+  }
+
+  uint64_t nactions = rng.Range(1, 2);
+  for (uint64_t a = 0; a < nactions; ++a) {
+    t.actions.push_back(
+        GenAction(rng, spec, t.scope, name + "_a" + std::to_string(a)));
+  }
+  return t;
+}
+
+void GenControl(Rng& rng, const ProgramSpec& spec, ControlSpec& control,
+                const std::string& prefix, uint64_t min_tables,
+                uint64_t max_tables) {
+  uint64_t ntables = rng.Range(min_tables, max_tables);
+  for (uint64_t i = 0; i < ntables; ++i) {
+    int scope = rng.Chance(1, 4)
+                    ? -1
+                    : static_cast<int>(rng.Below(spec.headers.size()));
+    control.tables.push_back(
+        GenTable(rng, spec, prefix + std::to_string(i), scope));
+  }
+  // Apply blocks: mostly one table each; occasionally an if/else-if chain of
+  // two tables scoped to distinct headers (the linearizer flattens those
+  // into a single stage with conjoined guards — exactly the path to fuzz).
+  for (size_t i = 0; i < control.tables.size();) {
+    if (i + 1 < control.tables.size() && control.tables[i].scope >= 0 &&
+        control.tables[i + 1].scope >= 0 &&
+        control.tables[i].scope != control.tables[i + 1].scope &&
+        rng.Chance(1, 3)) {
+      control.blocks.push_back(
+          {{static_cast<int>(i), static_cast<int>(i + 1)}});
+      i += 2;
+    } else {
+      control.blocks.push_back({{static_cast<int>(i)}});
+      i += 1;
+    }
+  }
+}
+
+// A packet's parse path with concrete field values (parallel to fields).
+struct PathHeader {
+  int header = 0;
+  std::vector<uint64_t> values;
+};
+
+std::vector<PathHeader> GenPath(Rng& rng, const ProgramSpec& spec,
+                                const std::vector<std::vector<int>>& children) {
+  std::vector<PathHeader> path;
+  int at = 0;
+  while (true) {
+    PathHeader ph;
+    ph.header = at;
+    const HeaderSpec& h = spec.headers[at];
+    for (const FieldSpec& f : h.fields) {
+      ph.values.push_back(rng.Next() & WidthMask(f.width_bits));
+    }
+    path.push_back(std::move(ph));
+    if (children[at].empty() || rng.Chance(1, 4)) {
+      // Stop here. A selecting header's sel must not accidentally hit a
+      // child tag (tags start at 1), or the parser would walk into payload.
+      if (!children[at].empty()) path.back().values.back() = 0;
+      break;
+    }
+    int next = children[at][rng.Below(children[at].size())];
+    path.back().values.back() = spec.headers[next].tag;
+    at = next;
+  }
+  return path;
+}
+
+std::vector<uint8_t> PathToBytes(Rng& rng, const ProgramSpec& spec,
+                                 const std::vector<PathHeader>& path) {
+  std::vector<uint8_t> bytes;
+  for (const PathHeader& ph : path) {
+    const HeaderSpec& h = spec.headers[ph.header];
+    for (size_t f = 0; f < h.fields.size(); ++f) {
+      uint32_t nbytes = h.fields[f].width_bits / 8;
+      for (uint32_t b = 0; b < nbytes; ++b) {
+        bytes.push_back(static_cast<uint8_t>(
+            ph.values[f] >> (8 * (nbytes - 1 - b))));
+      }
+    }
+  }
+  uint64_t payload = rng.Below(9);
+  for (uint64_t b = 0; b < payload; ++b) {
+    bytes.push_back(static_cast<uint8_t>(rng.Next()));
+  }
+  return bytes;
+}
+
+// Entry generation: keys sampled from the generated packets' field values
+// (likely hits) or random (likely misses).
+using SampleMap = std::map<std::string, std::vector<uint64_t>>;
+
+std::vector<EntryOp> GenEntries(Rng& rng, const TableSpec& t,
+                                const SampleMap& samples) {
+  std::vector<EntryOp> out;
+  auto pick_action = [&]() -> const ActionSpec& { return rng.Pick(t.actions); };
+  auto gen_args = [&](const ActionSpec& a) {
+    std::vector<uint64_t> args;
+    for (const FieldSpec& p : a.params) {
+      args.push_back(rng.Next() & WidthMask(p.width_bits));
+    }
+    return args;
+  };
+  if (t.match_kind == "hash") {
+    // Selector members: bucket 0 always populated so lookups always hit.
+    for (uint32_t b = 0; b < t.size; ++b) {
+      if (b != 0 && !rng.Chance(3, 5)) continue;
+      const ActionSpec& a = pick_action();
+      EntryOp e;
+      e.table = t.name;
+      e.action = a.name;
+      e.args = gen_args(a);
+      e.bucket = static_cast<int32_t>(b);
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+  auto sample_key = [&](size_t k) -> uint64_t {
+    auto it = samples.find(t.key_refs[k]);
+    if (it != samples.end() && !it->second.empty() && rng.Chance(7, 10)) {
+      return rng.Pick(it->second) & WidthMask(t.key_widths[k]);
+    }
+    return rng.Next() & WidthMask(t.key_widths[k]);
+  };
+  std::set<std::vector<uint64_t>> seen;
+  uint64_t n = rng.Range(1, 4);
+  for (uint64_t i = 0; i < n; ++i) {
+    EntryOp e;
+    e.table = t.name;
+    for (size_t k = 0; k < t.key_refs.size(); ++k) {
+      e.keys.push_back(sample_key(k));
+    }
+    if (seen.count(e.keys) > 0) continue;
+    seen.insert(e.keys);
+    const ActionSpec& a = pick_action();
+    e.action = a.name;
+    e.args = gen_args(a);
+    if (t.match_kind == "lpm") {
+      e.prefix_len = static_cast<uint32_t>(rng.Range(1, t.key_widths[0]));
+    } else if (t.match_kind == "ternary") {
+      e.priority = static_cast<uint32_t>(i + 1);
+      for (uint32_t w : t.key_widths) {
+        e.mask.push_back(rng.Chance(4, 5) ? WidthMask(w)
+                                          : (rng.Next() & WidthMask(w)));
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace
+
+GeneratedCase GenerateCase(uint64_t seed) {
+  Rng rng(seed);
+  GeneratedCase gen;
+  ProgramSpec& spec = gen.spec;
+  spec.seed = seed;
+
+  // Headers: a random parse tree. headers[0] is the entry; every later
+  // header hangs off an earlier one with a distinct select tag.
+  uint64_t nheaders = rng.Range(2, 5);
+  std::vector<uint64_t> child_count(nheaders, 0);
+  for (uint64_t i = 0; i < nheaders; ++i) {
+    HeaderSpec h;
+    h.instance = "h" + std::to_string(i);
+    uint64_t nfields = rng.Range(1, 3);
+    for (uint64_t f = 0; f < nfields; ++f) {
+      h.fields.push_back(
+          {"f" + std::to_string(f), kFieldWidths[rng.Below(5)]});
+    }
+    h.fields.push_back({"sel", 16});
+    if (i > 0) {
+      h.parent = static_cast<int>(rng.Below(i));
+      h.tag = ++child_count[h.parent];
+    }
+    spec.headers.push_back(std::move(h));
+  }
+
+  uint64_t nmeta = rng.Range(2, 4);
+  static const uint32_t kMetaWidths[] = {8, 16};
+  for (uint64_t m = 0; m < nmeta; ++m) {
+    spec.metadata.push_back(
+        {"m" + std::to_string(m), kMetaWidths[rng.Below(2)]});
+  }
+  spec.metadata.push_back({"ver", 16});
+
+  GenControl(rng, spec, spec.ingress, "ti", 2, 4);
+  GenControl(rng, spec, spec.egress, "te", 1, 2);
+  // The update target: v2 changes this action's version constant, so the
+  // in-situ snippet touches exactly one stage.
+  spec.ingress.tables[0].actions[0].versioned = true;
+
+  // Traffic first (entries sample from it so lookups actually hit).
+  std::vector<std::vector<int>> children(spec.headers.size());
+  for (size_t i = 1; i < spec.headers.size(); ++i) {
+    children[spec.headers[i].parent].push_back(static_cast<int>(i));
+  }
+  uint64_t npackets = rng.Range(6, 16);
+  std::vector<Op> packet_ops;
+  SampleMap samples;
+  for (uint64_t p = 0; p < npackets; ++p) {
+    std::vector<PathHeader> path = GenPath(rng, spec, children);
+    Op op;
+    op.kind = Op::Kind::kPacket;
+    op.packet.in_port = static_cast<uint32_t>(rng.Below(16));
+    op.packet.bytes = PathToBytes(rng, spec, path);
+    samples["meta.ingress_port"].push_back(op.packet.in_port);
+    for (const PathHeader& ph : path) {
+      const HeaderSpec& h = spec.headers[ph.header];
+      for (size_t f = 0; f < h.fields.size(); ++f) {
+        samples["hdr." + h.instance + "." + h.fields[f].name].push_back(
+            ph.values[f]);
+      }
+    }
+    packet_ops.push_back(std::move(op));
+  }
+
+  // Schedule: populate, first traffic segment, optional extra churn, the
+  // in-situ update, second segment.
+  for (const ControlSpec* c : {&spec.ingress, &spec.egress}) {
+    for (const TableSpec& t : c->tables) {
+      for (EntryOp& e : GenEntries(rng, t, samples)) {
+        Op op;
+        op.kind = Op::Kind::kEntry;
+        op.entry = std::move(e);
+        gen.ops.push_back(std::move(op));
+      }
+    }
+  }
+  size_t split = packet_ops.size() / 2;
+  for (size_t p = 0; p < split; ++p) gen.ops.push_back(packet_ops[p]);
+  if (rng.Chance(3, 10)) {
+    const ControlSpec& c = rng.Chance(1, 2) ? spec.ingress : spec.egress;
+    for (EntryOp& e : GenEntries(rng, rng.Pick(c.tables), samples)) {
+      Op op;
+      op.kind = Op::Kind::kEntry;
+      op.entry = std::move(e);
+      gen.ops.push_back(std::move(op));
+      break;  // one extra churn entry is enough
+    }
+  }
+  Op update;
+  update.kind = Op::Kind::kUpdate;
+  gen.ops.push_back(std::move(update));
+  for (size_t p = split; p < packet_ops.size(); ++p) {
+    gen.ops.push_back(packet_ops[p]);
+  }
+  return gen;
+}
+
+// --- rendering --------------------------------------------------------------
+
+namespace {
+
+void RenderControlP4(std::string& o, const ProgramSpec& spec,
+                     const ControlSpec& c, const std::string& name,
+                     uint32_t version) {
+  o += "control " + name + "(inout headers_t hdr, inout metadata_t meta) {\n";
+  for (const TableSpec& t : c.tables) {
+    for (const ActionSpec& a : t.actions) {
+      o += "  action " + a.name + "(";
+      for (size_t p = 0; p < a.params.size(); ++p) {
+        if (p > 0) o += ", ";
+        o += "bit<" + std::to_string(a.params[p].width_bits) + "> " +
+             a.params[p].name;
+      }
+      o += ") {\n";
+      for (const std::string& s : a.stmts) o += "    " + s + "\n";
+      if (a.versioned) {
+        o += "    meta.ver = " + std::to_string(1000 + version) + ";\n";
+      }
+      o += "  }\n";
+    }
+  }
+  for (const TableSpec& t : c.tables) {
+    o += "  table " + t.name + " {\n    key = {";
+    for (size_t k = 0; k < t.key_refs.size(); ++k) {
+      o += " " + t.key_refs[k] + ": " + t.match_kind + ";";
+    }
+    o += " }\n    actions = {";
+    for (const ActionSpec& a : t.actions) o += " " + a.name + ";";
+    o += " NoAction; }\n    size = " + std::to_string(t.size) + ";\n  }\n";
+  }
+  o += "  apply {\n";
+  for (const ApplyBlock& b : c.blocks) {
+    const TableSpec& first = c.tables[b.tables[0]];
+    if (b.tables.size() == 2) {
+      const TableSpec& second = c.tables[b.tables[1]];
+      o += "    if (hdr." + spec.headers[first.scope].instance +
+           ".isValid()) { " + first.name + ".apply(); }\n";
+      o += "    else if (hdr." + spec.headers[second.scope].instance +
+           ".isValid()) { " + second.name + ".apply(); }\n";
+    } else if (first.scope >= 0) {
+      o += "    if (hdr." + spec.headers[first.scope].instance +
+           ".isValid()) { " + first.name + ".apply(); }\n";
+    } else {
+      o += "    " + first.name + ".apply();\n";
+    }
+  }
+  o += "  }\n}\n";
+}
+
+}  // namespace
+
+std::string RenderP4(const ProgramSpec& spec, uint32_t version) {
+  std::string o;
+  for (const HeaderSpec& h : spec.headers) {
+    o += "header " + h.instance + "_t {\n";
+    for (const FieldSpec& f : h.fields) {
+      o += "  bit<" + std::to_string(f.width_bits) + "> " + f.name + ";\n";
+    }
+    o += "}\n";
+  }
+  o += "struct metadata_t {\n";
+  for (const FieldSpec& m : spec.metadata) {
+    o += "  bit<" + std::to_string(m.width_bits) + "> " + m.name + ";\n";
+  }
+  o += "}\n";
+  o += "struct headers_t {\n";
+  for (const HeaderSpec& h : spec.headers) {
+    o += "  " + h.instance + "_t " + h.instance + ";\n";
+  }
+  o += "}\n";
+
+  o += "parser MainParser(packet_in pkt, out headers_t hdr, "
+       "inout metadata_t meta) {\n";
+  std::vector<std::vector<int>> children(spec.headers.size());
+  for (size_t i = 1; i < spec.headers.size(); ++i) {
+    children[spec.headers[i].parent].push_back(static_cast<int>(i));
+  }
+  for (size_t i = 0; i < spec.headers.size(); ++i) {
+    const HeaderSpec& h = spec.headers[i];
+    o += "  state " +
+         (i == 0 ? std::string("start") : "parse_" + h.instance) + " {\n";
+    o += "    pkt.extract(hdr." + h.instance + ");\n";
+    if (children[i].empty()) {
+      o += "    transition accept;\n";
+    } else {
+      o += "    transition select(hdr." + h.instance + ".sel) {\n";
+      for (int c : children[i]) {
+        o += "      " + std::to_string(spec.headers[c].tag) + ": parse_" +
+             spec.headers[c].instance + ";\n";
+      }
+      o += "      default: accept;\n    }\n";
+    }
+    o += "  }\n";
+  }
+  o += "}\n";
+
+  RenderControlP4(o, spec, spec.ingress, "MainIngress", version);
+  RenderControlP4(o, spec, spec.egress, "MainEgress", version);
+  return o;
+}
+
+Result<CaseFile> RenderCase(const GeneratedCase& gen) {
+  CaseFile cf;
+  cf.seed = gen.spec.seed;
+  cf.p4_v1 = RenderP4(gen.spec, 1);
+  cf.ops = gen.ops;
+  bool has_update = false;
+  for (const Op& op : gen.ops) {
+    if (op.kind == Op::Kind::kUpdate) has_update = true;
+  }
+  if (!has_update) return cf;
+
+  cf.p4_v2 = RenderP4(gen.spec, 2);
+
+  // The snippet is rendered from rp4fc's own output on v2, so the update
+  // pushes exactly the stage triad the base load would have produced —
+  // divergence between the flows is then a device/runtime bug, never a
+  // harness transcription bug.
+  IPSA_ASSIGN_OR_RETURN(p4lite::Hlir hlir, p4lite::ParseP4(cf.p4_v2));
+  IPSA_ASSIGN_OR_RETURN(compiler::Rp4fcResult fc, compiler::RunRp4fc(hlir));
+
+  const ControlSpec& ig = gen.spec.ingress;
+  int vtable = -1;
+  std::string vaction;
+  for (size_t i = 0; i < ig.tables.size(); ++i) {
+    for (const ActionSpec& a : ig.tables[i].actions) {
+      if (a.versioned) {
+        vtable = static_cast<int>(i);
+        vaction = a.name;
+      }
+    }
+  }
+  if (vtable < 0) {
+    return InvalidArgument("case has an update op but no versioned action");
+  }
+  const ApplyBlock* block = nullptr;
+  for (const ApplyBlock& b : ig.blocks) {
+    for (int t : b.tables) {
+      if (t == vtable) block = &b;
+    }
+  }
+  if (block == nullptr) {
+    return InvalidArgument("versioned table is not applied by any block");
+  }
+  // Linearize names the stage after the first applied table of the chain.
+  const std::string stage_name = ig.tables[block->tables[0]].name;
+  const arch::StageProgram* stage = fc.program.FindStage(stage_name);
+  if (stage == nullptr) {
+    return InternalError("rp4fc output has no stage '" + stage_name + "'");
+  }
+  const arch::ActionDef* action = fc.program.FindAction(vaction);
+  if (action == nullptr) {
+    return InternalError("rp4fc output has no action '" + vaction + "'");
+  }
+  std::string snippet;
+  for (int t : block->tables) {
+    const rp4::Rp4TableDecl* decl = fc.program.FindTable(ig.tables[t].name);
+    if (decl == nullptr) {
+      return InternalError("rp4fc output has no table '" + ig.tables[t].name +
+                           "'");
+    }
+    snippet += rp4::PrintTable(*decl);
+  }
+  snippet += rp4::PrintActionDef(*action);
+  snippet += rp4::PrintStage(*stage);
+  cf.snippet = snippet;
+  cf.script = "update fuzz_v2.rp4 --func_name base\n";
+  return cf;
+}
+
+// --- repro file round-trip --------------------------------------------------
+
+namespace {
+
+std::string HexEncode(const std::vector<uint8_t>& bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> HexDecode(std::string_view text) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  if (text.size() % 2 != 0) return InvalidArgument("odd hex length");
+  std::vector<uint8_t> out;
+  out.reserve(text.size() / 2);
+  for (size_t i = 0; i < text.size(); i += 2) {
+    int hi = nibble(text[i]);
+    int lo = nibble(text[i + 1]);
+    if (hi < 0 || lo < 0) return InvalidArgument("bad hex digit");
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string JoinU64(const std::vector<uint64_t>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> SplitU64(std::string_view text) {
+  std::vector<uint64_t> out;
+  if (text.empty()) return out;
+  size_t at = 0;
+  while (at <= text.size()) {
+    size_t comma = text.find(',', at);
+    std::string tok(text.substr(
+        at, comma == std::string_view::npos ? std::string_view::npos
+                                            : comma - at));
+    if (tok.empty()) return InvalidArgument("empty number in list");
+    errno = 0;
+    char* end = nullptr;
+    uint64_t v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      return InvalidArgument("bad number '" + tok + "'");
+    }
+    out.push_back(v);
+    if (comma == std::string_view::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+void AppendSection(std::string& out, const std::string& name,
+                   const std::string& body) {
+  if (body.empty()) return;
+  out += "begin " + name + "\n";
+  out += body;
+  if (body.back() != '\n') out += "\n";
+  out += "end " + name + "\n";
+}
+
+}  // namespace
+
+std::string SerializeCase(const CaseFile& c) {
+  std::string out = "rp4fuzz-case v1\n";
+  out += "seed " + std::to_string(c.seed) + "\n";
+  AppendSection(out, "p4_v1", c.p4_v1);
+  AppendSection(out, "p4_v2", c.p4_v2);
+  AppendSection(out, "snippet", c.snippet);
+  AppendSection(out, "script", c.script);
+  for (const Op& op : c.ops) {
+    switch (op.kind) {
+      case Op::Kind::kPacket:
+        out += "op packet " + std::to_string(op.packet.in_port) + " " +
+               HexEncode(op.packet.bytes) + "\n";
+        break;
+      case Op::Kind::kEntry: {
+        const EntryOp& e = op.entry;
+        out += "op entry table=" + e.table + " action=" + e.action +
+               " keys=" + JoinU64(e.keys) + " args=" + JoinU64(e.args) +
+               " mask=" + JoinU64(e.mask) +
+               " prefix=" + std::to_string(e.prefix_len) +
+               " prio=" + std::to_string(e.priority) +
+               " bucket=" + std::to_string(e.bucket) + "\n";
+        break;
+      }
+      case Op::Kind::kUpdate:
+        out += "op update\n";
+        break;
+    }
+  }
+  return out;
+}
+
+Result<CaseFile> ParseCaseFile(std::string_view text) {
+  CaseFile cf;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "rp4fuzz-case v1") {
+    return InvalidArgument("not an rp4fuzz case file (bad magic)");
+  }
+  auto field = [](std::string_view tok,
+                  std::string_view key) -> Result<std::string> {
+    if (tok.substr(0, key.size()) != key) {
+      return InvalidArgument("expected '" + std::string(key) + "' in '" +
+                             std::string(tok) + "'");
+    }
+    return std::string(tok.substr(key.size()));
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("seed ", 0) == 0) {
+      IPSA_ASSIGN_OR_RETURN(std::vector<uint64_t> v,
+                            SplitU64(line.substr(5)));
+      if (v.size() != 1) return InvalidArgument("bad seed line");
+      cf.seed = v[0];
+      continue;
+    }
+    if (line.rfind("begin ", 0) == 0) {
+      std::string name = line.substr(6);
+      std::string body;
+      bool closed = false;
+      std::string end_marker = "end " + name;
+      while (std::getline(in, line)) {
+        if (line == end_marker) {
+          closed = true;
+          break;
+        }
+        body += line;
+        body += "\n";
+      }
+      if (!closed) return InvalidArgument("unterminated section " + name);
+      if (name == "p4_v1") {
+        cf.p4_v1 = body;
+      } else if (name == "p4_v2") {
+        cf.p4_v2 = body;
+      } else if (name == "snippet") {
+        cf.snippet = body;
+      } else if (name == "script") {
+        cf.script = body;
+      } else {
+        return InvalidArgument("unknown section " + name);
+      }
+      continue;
+    }
+    if (line.rfind("op packet ", 0) == 0) {
+      std::istringstream ls(line.substr(10));
+      std::string port_tok, hex_tok;
+      if (!(ls >> port_tok >> hex_tok)) {
+        return InvalidArgument("bad packet op: " + line);
+      }
+      Op op;
+      op.kind = Op::Kind::kPacket;
+      IPSA_ASSIGN_OR_RETURN(std::vector<uint64_t> port, SplitU64(port_tok));
+      if (port.size() != 1) return InvalidArgument("bad packet port");
+      op.packet.in_port = static_cast<uint32_t>(port[0]);
+      IPSA_ASSIGN_OR_RETURN(op.packet.bytes, HexDecode(hex_tok));
+      cf.ops.push_back(std::move(op));
+      continue;
+    }
+    if (line.rfind("op entry ", 0) == 0) {
+      std::istringstream ls(line.substr(9));
+      std::vector<std::string> toks;
+      std::string tok;
+      while (ls >> tok) toks.push_back(tok);
+      if (toks.size() != 8) return InvalidArgument("bad entry op: " + line);
+      Op op;
+      op.kind = Op::Kind::kEntry;
+      EntryOp& e = op.entry;
+      IPSA_ASSIGN_OR_RETURN(e.table, field(toks[0], "table="));
+      IPSA_ASSIGN_OR_RETURN(e.action, field(toks[1], "action="));
+      IPSA_ASSIGN_OR_RETURN(std::string keys, field(toks[2], "keys="));
+      IPSA_ASSIGN_OR_RETURN(e.keys, SplitU64(keys));
+      IPSA_ASSIGN_OR_RETURN(std::string args, field(toks[3], "args="));
+      IPSA_ASSIGN_OR_RETURN(e.args, SplitU64(args));
+      IPSA_ASSIGN_OR_RETURN(std::string mask, field(toks[4], "mask="));
+      IPSA_ASSIGN_OR_RETURN(e.mask, SplitU64(mask));
+      IPSA_ASSIGN_OR_RETURN(std::string prefix, field(toks[5], "prefix="));
+      IPSA_ASSIGN_OR_RETURN(std::vector<uint64_t> pv, SplitU64(prefix));
+      if (pv.size() != 1) return InvalidArgument("bad prefix");
+      e.prefix_len = static_cast<uint32_t>(pv[0]);
+      IPSA_ASSIGN_OR_RETURN(std::string prio, field(toks[6], "prio="));
+      IPSA_ASSIGN_OR_RETURN(std::vector<uint64_t> rv, SplitU64(prio));
+      if (rv.size() != 1) return InvalidArgument("bad prio");
+      e.priority = static_cast<uint32_t>(rv[0]);
+      IPSA_ASSIGN_OR_RETURN(std::string bucket, field(toks[7], "bucket="));
+      if (bucket == "-1") {
+        e.bucket = -1;
+      } else {
+        IPSA_ASSIGN_OR_RETURN(std::vector<uint64_t> bv, SplitU64(bucket));
+        if (bv.size() != 1) return InvalidArgument("bad bucket");
+        e.bucket = static_cast<int32_t>(bv[0]);
+      }
+      cf.ops.push_back(std::move(op));
+      continue;
+    }
+    if (line == "op update") {
+      Op op;
+      op.kind = Op::Kind::kUpdate;
+      cf.ops.push_back(std::move(op));
+      continue;
+    }
+    return InvalidArgument("unrecognized line: " + line);
+  }
+  if (cf.p4_v1.empty()) return InvalidArgument("case has no p4_v1 section");
+  return cf;
+}
+
+}  // namespace ipsa::testing

@@ -1,0 +1,40 @@
+// Deterministic RNG for the differential fuzzing harness.
+//
+// std::mt19937 + distributions are not guaranteed to produce the same
+// sequence across standard libraries, and a repro file must replay
+// identically everywhere. SplitMix64 is four lines, passes BigCrush, and is
+// trivially portable — every case is fully determined by its 64-bit seed.
+#pragma once
+
+#include <cstdint>
+
+namespace ipsa::testing {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n). n must be > 0; modulo bias is irrelevant here.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+  // Picks an element of a non-empty container by index.
+  template <typename T>
+  const typename T::value_type& Pick(const T& c) {
+    return c[Below(c.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ipsa::testing

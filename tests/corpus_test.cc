@@ -1,0 +1,71 @@
+// Replays every committed repro under tests/corpus/ through the full
+// five-configuration differential harness. These files are shrunk rp4fuzz
+// outputs from past fault-injection runs: with the fault switched off they
+// must execute cleanly and bit-identically everywhere, so any future
+// regression in either data plane, either compiler flow, or the harness
+// itself trips exactly the case that once found a bug.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/differential.h"
+#include "testing/generator.h"
+
+namespace ipsa::testing {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(IPSA_CORPUS_DIR)) {
+    if (entry.path().extension() == ".rp4fuzz") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFileOrDie(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CorpusTest, CorpusIsSeeded) {
+  EXPECT_GE(CorpusFiles().size(), 10u)
+      << "tests/corpus/ must keep at least ten committed repros";
+}
+
+TEST(CorpusTest, EveryReproReplaysClean) {
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    auto c = ParseCaseFile(ReadFileOrDie(path));
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    auto report = RunCase(*c);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_FALSE(report->diverged) << report->detail;
+  }
+}
+
+TEST(CorpusTest, SerializationIsStable) {
+  // Parse → serialize must be a fixpoint, or `rp4fuzz --replay` and the
+  // committed bytes would drift apart over time.
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    auto c = ParseCaseFile(ReadFileOrDie(path));
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    std::string once = SerializeCase(*c);
+    auto again = ParseCaseFile(once);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(once, SerializeCase(*again));
+  }
+}
+
+}  // namespace
+}  // namespace ipsa::testing

@@ -1,16 +1,46 @@
 #!/usr/bin/env bash
 # Configure, build and run the full test suite under ASan + UBSan.
 #
-# Usage: tools/run_sanitized.sh [ctest args...]
+# Usage: tools/run_sanitized.sh [--fuzz-seconds=N] [--fuzz-only] [ctest args...]
+#
+#   --fuzz-seconds=N  after the suite, run a bounded rp4fuzz round (N seconds
+#                     of cases) with the sanitized binary; repro files land
+#                     in fuzz-artifacts/.
+#   --fuzz-only       skip ctest (and only build rp4fuzz); use together with
+#                     --fuzz-seconds for the CI fuzz job's sanitized round.
+#
 # Uses a separate build tree (build-asan/) so the regular build stays fast.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+fuzz_seconds=0
+fuzz_only=0
+args=()
+for a in "$@"; do
+  case "$a" in
+    --fuzz-seconds=*) fuzz_seconds="${a#*=}" ;;
+    --fuzz-only) fuzz_only=1 ;;
+    *) args+=("$a") ;;
+  esac
+done
+
 cmake -B build-asan -DIPSA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j"$(nproc)"
+if [ "$fuzz_only" -eq 1 ]; then
+  cmake --build build-asan -j"$(nproc)" --target rp4fuzz
+else
+  cmake --build build-asan -j"$(nproc)"
+fi
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
 
-ctest --test-dir build-asan --output-on-failure "$@"
+if [ "$fuzz_only" -eq 0 ]; then
+  ctest --test-dir build-asan --output-on-failure ${args[@]+"${args[@]}"}
+fi
+
+if [ "$fuzz_seconds" -gt 0 ]; then
+  mkdir -p fuzz-artifacts
+  ./build-asan/tools/rp4fuzz --seconds="$fuzz_seconds" --seed-from-env \
+      --out-dir=fuzz-artifacts
+fi
