@@ -1,8 +1,11 @@
 // Control-channel performance: table-insert throughput over the wire,
-// single-call vs batched, plus UDP packet-in -> packet-out round-trip time
-// through a live switchd. The batched/single ratio is the headline number:
-// batching amortizes one TCP round-trip per kTableOpReq over thousands of
-// pre-packed entries in a single kTableBatchReq.
+// single-call vs batched, plus UDP packet-in -> packet-out through a live
+// switchd — both one packet at a time (round-trip latency) and in
+// sendmmsg/recvmmsg bursts (throughput; this is the daemon's batched
+// packet plane measured end to end). The batched/single ratio is the
+// headline number: batching amortizes one TCP round-trip per kTableOpReq
+// over thousands of pre-packed entries in a single kTableBatchReq, and one
+// syscall per datagram over a whole burst on the packet plane.
 //
 // Everything runs over loopback against an in-process daemon, so the
 // numbers measure the protocol stack (frame codec + dispatcher + event
@@ -12,9 +15,11 @@
 #include <benchmark/benchmark.h>
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +31,7 @@
 #include "net/packet_builder.h"
 #include "rpc/client.h"
 #include "wire/socket.h"
+#include "wire/udp_batch.h"
 
 namespace ipsa::bench {
 namespace {
@@ -126,13 +132,11 @@ BENCHMARK(BM_TableInsertBatched)
     ->Arg(1024)
     ->UseRealTime();
 
-// UDP packet-in -> packet-out round trip: inject on port 0, wait for the
-// forwarded frame on its egress port. Measures the full datapath hop:
-// socket in, RX push, run-to-completion, TX collect, socket out.
-void BM_PacketRtt(benchmark::State& state) {
-  ControlSetup& setup = ControlSetup::Get();
-
-  // The FIB must route the workload (idempotent across runs).
+// Routes the workload through the daemon's FIB (idempotent across runs)
+// and builds the canonical host-bound frame: dst 10.0.0.4 resolves to
+// nexthop 104 -> egress port 0, so a sender on port 0 gets its own frame
+// back.
+Result<std::vector<uint8_t>> RouteAndBuildFrame(ControlSetup& setup) {
   auto api = setup.api;
   std::vector<rpc::TableOp> ops;
   controller::AddEntryFn collect = [&ops](const std::string& table,
@@ -145,13 +149,9 @@ void BM_PacketRtt(benchmark::State& state) {
     return OkStatus();
   };
   controller::BaselineConfig config;
-  if (!controller::PopulateBaseline(api, collect, config).ok() ||
-      !setup.client->ApplyBatch(ops).ok()) {
-    state.SkipWithError("populate failed");
-    return;
-  }
+  IPSA_RETURN_IF_ERROR(controller::PopulateBaseline(api, collect, config));
+  IPSA_RETURN_IF_ERROR(setup.client->ApplyBatch(ops).status());
 
-  // dst 10.0.0.4 resolves to nexthop 104 -> egress port 0.
   net::Packet pkt = net::PacketBuilder()
                         .Ethernet(net::MacAddr::FromUint64(
                                       config.router_mac_base),
@@ -162,7 +162,20 @@ void BM_PacketRtt(benchmark::State& state) {
                         .Udp(4000, 80)
                         .Payload(32)
                         .Build();
-  std::vector<uint8_t> bytes(pkt.bytes().begin(), pkt.bytes().end());
+  return std::vector<uint8_t>(pkt.bytes().begin(), pkt.bytes().end());
+}
+
+// UDP packet-in -> packet-out round trip: inject on port 0, wait for the
+// forwarded frame on its egress port. Measures the full datapath hop:
+// socket in, RX push, run-to-completion, TX collect, socket out.
+void BM_PacketRtt(benchmark::State& state) {
+  ControlSetup& setup = ControlSetup::Get();
+  auto frame = RouteAndBuildFrame(setup);
+  if (!frame.ok()) {
+    state.SkipWithError("populate failed");
+    return;
+  }
+  std::vector<uint8_t>& bytes = *frame;
 
   auto sock = wire::UdpBind("127.0.0.1", 0);
   if (!sock.ok()) {
@@ -192,6 +205,63 @@ void BM_PacketRtt(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PacketRtt)->UseRealTime();
+
+// Burst packet-in -> packet-out: B frames queued through UdpBatchSender
+// and flushed with one sendmmsg, then all B packet-outs drained with
+// UdpBatchReceiver under a poll deadline. items/s is the daemon's batched
+// packet-plane throughput over loopback (one in-flight burst; deeper
+// pipelining would go faster still).
+void BM_PacketBurst(benchmark::State& state) {
+  ControlSetup& setup = ControlSetup::Get();
+  const uint32_t burst = static_cast<uint32_t>(state.range(0));
+  auto frame = RouteAndBuildFrame(setup);
+  if (!frame.ok()) {
+    state.SkipWithError("populate failed");
+    return;
+  }
+
+  auto sock = wire::UdpBind("127.0.0.1", 0);
+  if (!sock.ok() || !wire::SetNonBlocking(sock->fd(), true).ok()) {
+    state.SkipWithError("udp bind failed");
+    return;
+  }
+  sockaddr_in in_addr{};
+  in_addr.sin_family = AF_INET;
+  in_addr.sin_port = htons(setup.switchd->udp_port(0));
+  in_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  wire::UdpBatchSender sender(burst);
+  wire::UdpBatchReceiver receiver(burst);
+  int64_t items = 0;
+  for (auto _ : state) {
+    for (uint32_t i = 0; i < burst; ++i) {
+      sender.Add(std::span<const uint8_t>(*frame), in_addr);
+    }
+    auto sent = sender.Flush(sock->fd());
+    if (!sent.ok() || *sent != burst) {
+      state.SkipWithError("burst send failed");
+      return;
+    }
+    uint32_t got = 0;
+    while (got < burst) {
+      pollfd pfd{sock->fd(), POLLIN, 0};
+      int pr = ::poll(&pfd, 1, 5000);
+      if (pr <= 0) {
+        state.SkipWithError("burst packet-out timed out");
+        return;
+      }
+      auto n = receiver.Recv(sock->fd());
+      if (!n.ok()) {
+        state.SkipWithError(n.status().ToString().c_str());
+        return;
+      }
+      got += *n;
+    }
+    items += static_cast<int64_t>(burst);
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_PacketBurst)->Arg(32)->Arg(64)->Arg(256)->UseRealTime();
 
 }  // namespace
 }  // namespace ipsa::bench

@@ -4,23 +4,36 @@
 // plane); here we measure the data plane of the two behavioral models.
 //
 // Variants per device:
-//   * Forwarding:  one packet at a time through Process() (the compiled
-//                  fast path with a reused scratch context).
+//   * Forwarding:  one packet at a time through Process() (the default
+//                  epoch-specialized pipeline plan).
 //   * Batch:       ProcessBatch() over 256 packets on one port.
+//   * *Generic:    same, but pinned to the generic compiled-stage walk
+//                  (SetExecMode(kCompile)) — the pre-specialization path,
+//                  kept measurable so the plan's win stays visible.
 //   * Drain/N:     RunToCompletion(N) draining all RX queues with N worker
 //                  threads (N = 1, 2, 4, 8). Scaling needs a multi-core
 //                  host; register-touching designs serialize to one worker.
+//
+// `bench_softswitch --smoke` is the CI gate: it times the batched path on
+// the base design under the specialized plan and under the generic walk,
+// and exits nonzero when the specialized median is >10% slower — the plan
+// must never regress below the path it replaced. Like bench_tables, the
+// gate refuses to run on a Debug build.
 //
 // Besides the console table, results are written to BENCH_softswitch.json
 // (google-benchmark's JSON schema) for the evaluation scripts.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "arch/pipeline_plan.h"
 #include "bench/common.h"
 
 namespace ipsa::bench {
@@ -149,6 +162,54 @@ void BM_IpbmBatch(benchmark::State& state) {
   RunBatch(state, *setup, uc);
 }
 
+void BM_PbmForwardingGeneric(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  auto setup = MakePisaSetup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  setup->device->SetExecMode(arch::ExecMode::kCompile);
+  state.SetLabel(UseCaseName(uc));
+  RunPackets(state, *setup, uc);
+}
+
+void BM_IpbmForwardingGeneric(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  auto setup = MakeRp4Setup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  setup->device->SetExecMode(arch::ExecMode::kCompile);
+  state.SetLabel(UseCaseName(uc));
+  RunPackets(state, *setup, uc);
+}
+
+void BM_PbmBatchGeneric(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  auto setup = MakePisaSetup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  setup->device->SetExecMode(arch::ExecMode::kCompile);
+  state.SetLabel(UseCaseName(uc));
+  RunBatch(state, *setup, uc);
+}
+
+void BM_IpbmBatchGeneric(benchmark::State& state) {
+  UseCase uc = static_cast<UseCase>(state.range(0));
+  auto setup = MakeRp4Setup(uc);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  setup->device->SetExecMode(arch::ExecMode::kCompile);
+  state.SetLabel(UseCaseName(uc));
+  RunBatch(state, *setup, uc);
+}
+
 void BM_PbmDrain(benchmark::State& state) {
   UseCase uc = static_cast<UseCase>(state.range(0));
   uint32_t workers = static_cast<uint32_t>(state.range(1));
@@ -191,19 +252,121 @@ void DrainArgs(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_PbmForwarding)->Apply(UseCaseArgs);
 BENCHMARK(BM_IpbmForwarding)->Apply(UseCaseArgs);
+BENCHMARK(BM_PbmForwardingGeneric)->Apply(UseCaseArgs);
+BENCHMARK(BM_IpbmForwardingGeneric)->Apply(UseCaseArgs);
 BENCHMARK(BM_PbmBatch)->Apply(UseCaseArgs);
 BENCHMARK(BM_IpbmBatch)->Apply(UseCaseArgs);
+BENCHMARK(BM_PbmBatchGeneric)->Apply(UseCaseArgs);
+BENCHMARK(BM_IpbmBatchGeneric)->Apply(UseCaseArgs);
 // Wall-clock time: the workers run off the main thread, so CPU time of the
 // calling thread would under-count multi-worker runs.
 BENCHMARK(BM_PbmDrain)->Apply(DrainArgs)->UseRealTime();
 BENCHMARK(BM_IpbmDrain)->Apply(DrainArgs)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// --smoke: specialized-vs-generic batched-path gate (no google-benchmark).
+// ---------------------------------------------------------------------------
+
+// Median ns/packet for ProcessBatch on `uc` under `mode`. The first batch
+// outside the timed region absorbs the compile / plan build.
+template <typename Setup>
+Result<double> SmokeBatchNs(Setup& setup, arch::ExecMode mode, UseCase uc) {
+  setup.device->SetExecMode(mode);
+  std::vector<net::Packet> packets = MakePackets<Setup>(uc);
+  std::vector<net::Packet> scratch = packets;
+  IPSA_RETURN_IF_ERROR(
+      setup.device->ProcessBatch(std::span(scratch), 1).status());
+  constexpr int kRounds = 5;
+  constexpr int kIters = 40;
+  std::vector<double> rounds;
+  rounds.reserve(kRounds);
+  for (int r = 0; r < kRounds; ++r) {
+    double ns = 0;
+    int64_t pkts = 0;
+    for (int it = 0; it < kIters; ++it) {
+      scratch = packets;  // processing edits headers in place
+      auto t0 = std::chrono::steady_clock::now();
+      auto result = setup.device->ProcessBatch(std::span(scratch), 1);
+      auto t1 = std::chrono::steady_clock::now();
+      IPSA_RETURN_IF_ERROR(result.status());
+      ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+      pkts += static_cast<int64_t>(scratch.size());
+    }
+    rounds.push_back(ns / static_cast<double>(pkts));
+  }
+  std::sort(rounds.begin(), rounds.end());
+  return rounds[kRounds / 2];
+}
+
+int SmokeMain() {
+#ifndef NDEBUG
+  std::fprintf(stderr, "--smoke refuses to gate on a Debug build.\n");
+  return 1;
+#else
+  constexpr double kMaxRatio = 1.10;  // >10% regression fails
+  bool ok = true;
+  auto gate = [&](const char* device, double spec_ns, double generic_ns) {
+    double ratio = spec_ns / generic_ns;
+    std::printf(
+        "%-5s batch(base): specialized %7.1f ns/pkt (%6.2f Mpps)  "
+        "generic %7.1f ns/pkt (%6.2f Mpps)  ratio %.3f\n",
+        device, spec_ns, 1e3 / spec_ns, generic_ns, 1e3 / generic_ns, ratio);
+    if (ratio > kMaxRatio) {
+      std::fprintf(stderr,
+                   "FAIL: %s specialized batched path is %.1f%% slower than "
+                   "the generic walk (limit %.0f%%)\n",
+                   device, (ratio - 1.0) * 100.0, (kMaxRatio - 1.0) * 100.0);
+      ok = false;
+    }
+  };
+
+  auto pbm = MakePisaSetup(UseCase::kBase);
+  if (!pbm.ok()) {
+    std::fprintf(stderr, "pbm setup: %s\n", pbm.status().ToString().c_str());
+    return 1;
+  }
+  auto pbm_spec = SmokeBatchNs(*pbm, arch::ExecMode::kSpecialize,
+                               UseCase::kBase);
+  auto pbm_gen = SmokeBatchNs(*pbm, arch::ExecMode::kCompile, UseCase::kBase);
+  if (!pbm_spec.ok() || !pbm_gen.ok()) {
+    std::fprintf(stderr, "pbm smoke run failed\n");
+    return 1;
+  }
+  gate("pbm", *pbm_spec, *pbm_gen);
+
+  auto ipbm = MakeRp4Setup(UseCase::kBase);
+  if (!ipbm.ok()) {
+    std::fprintf(stderr, "ipbm setup: %s\n", ipbm.status().ToString().c_str());
+    return 1;
+  }
+  auto ipbm_spec = SmokeBatchNs(*ipbm, arch::ExecMode::kSpecialize,
+                                UseCase::kBase);
+  auto ipbm_gen = SmokeBatchNs(*ipbm, arch::ExecMode::kCompile,
+                               UseCase::kBase);
+  if (!ipbm_spec.ok() || !ipbm_gen.ok()) {
+    std::fprintf(stderr, "ipbm smoke run failed\n");
+    return 1;
+  }
+  gate("ipbm", *ipbm_spec, *ipbm_gen);
+
+  std::printf("smoke gate: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+#endif
+}
 
 }  // namespace
 }  // namespace ipsa::bench
 
 // Custom main: besides the console table, always dump the JSON report to
 // BENCH_softswitch.json (overridable with an explicit --benchmark_out=).
+// `--smoke` short-circuits into the CI gate before google-benchmark sees
+// the command line.
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return ipsa::bench::SmokeMain();
+    }
+  }
 #ifndef NDEBUG
   fprintf(stderr,
           "=====================================================\n"

@@ -159,7 +159,8 @@ Status ExecuteOne(const ActionOp& op, const EvalEnv& env) {
                                    .name = op.instance,
                                    .byte_offset = at,
                                    .size_bytes = size,
-                                   .valid = true});
+                                   .valid = true,
+                                   .def = type});
       return OkStatus();
     }
     case ActionOp::Kind::kPopHeader: {

@@ -56,15 +56,18 @@ struct Compiler {
     switch (e.kind()) {
       case Expr::Kind::kConst:
         out->constant = e.constant();
+        out->wide = out->constant.bit_width() > 64;
         break;
       case Expr::Kind::kField: {
         IPSA_ASSIGN_OR_RETURN(out->field, Field(e.field()));
+        out->wide = out->field.width_bits > 64;
         break;
       }
       case Expr::Kind::kRaw: {
         out->name = e.name();
         out->raw_width = e.raw_width();
         IPSA_ASSIGN_OR_RETURN(out->lhs, Compile(*e.lhs(), action));
+        out->wide = out->raw_width > 64 || out->lhs->wide;
         break;
       }
       case Expr::Kind::kParam: {
@@ -85,12 +88,14 @@ struct Compiler {
         if (!found) {
           return NotFound("action parameter '" + e.name() + "' not bound");
         }
+        out->wide = out->param_width > 64;
         break;
       }
       case Expr::Kind::kRegister: {
         uses_registers = true;
         out->name = e.name();
         IPSA_ASSIGN_OR_RETURN(out->lhs, Compile(*e.lhs(), action));
+        out->wide = out->lhs->wide;
         break;
       }
       case Expr::Kind::kIsValid:
@@ -98,11 +103,13 @@ struct Compiler {
         break;
       case Expr::Kind::kUnary: {
         IPSA_ASSIGN_OR_RETURN(out->lhs, Compile(*e.lhs(), action));
+        out->wide = out->lhs->wide;
         break;
       }
       case Expr::Kind::kBinary: {
         IPSA_ASSIGN_OR_RETURN(out->lhs, Compile(*e.lhs(), action));
         IPSA_ASSIGN_OR_RETURN(out->rhs, Compile(*e.rhs(), action));
+        out->wide = out->lhs->wide || out->rhs->wide;
         break;
       }
     }
@@ -206,7 +213,9 @@ Status InvalidInstance(const std::string& name) {
 
 Result<const HeaderInstance*> FindValid(PacketContext& ctx,
                                         const std::string& name) {
-  const HeaderInstance* h = ctx.phv().Find(name);
+  // `name` lives in the compiled stage (stable for the config epoch), so
+  // the per-context memo applies.
+  const HeaderInstance* h = ctx.FindInstanceFast(name);
   if (h == nullptr || !h->valid) return InvalidInstance(name);
   return h;
 }
@@ -232,6 +241,24 @@ Status WriteCompiledField(const CompiledField& f, PacketContext& ctx,
   WriteWireBits(ctx.packet().bytes(),
                 static_cast<size_t>(h->byte_offset) * 8 + f.offset_bits,
                 f.width_bits, v);
+  return OkStatus();
+}
+
+// Scalar-lane variant: `v` is masked to <= 64 bits and the destination is at
+// most 64 bits wide. Metadata writes zero the slot then set its low bits
+// (SlotWriteUint), which equals SlotWrite's truncate/zero-extend assignment;
+// wire writes mask the value at the field width, which equals WriteWireBits
+// reading missing high bits as zero.
+Status WriteCompiledFieldScalar(const CompiledField& f, PacketContext& ctx,
+                                uint64_t v) {
+  if (f.is_meta) {
+    ctx.metadata().SlotWriteUint(f.meta_slot, v);
+    return OkStatus();
+  }
+  IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, FindValid(ctx, f.instance));
+  WriteWire64(ctx.packet().bytes(),
+              static_cast<size_t>(h->byte_offset) * 8 + f.offset_bits,
+              f.width_bits, v);
   return OkStatus();
 }
 
@@ -276,8 +303,10 @@ Result<mem::BitString> EvalCompiled(const CompiledExpr& e,
           env.regs->Read(e.name, static_cast<size_t>(idx.ToUint64())));
       return mem::BitString(64, v);
     }
-    case Expr::Kind::kIsValid:
-      return MakeBool(env.ctx->phv().IsValid(e.name));
+    case Expr::Kind::kIsValid: {
+      const HeaderInstance* h = env.ctx->FindInstanceFast(e.name);
+      return MakeBool(h != nullptr && h->valid);
+    }
     case Expr::Kind::kUnary: {
       IPSA_ASSIGN_OR_RETURN(mem::BitString a, EvalCompiled(*e.lhs, env));
       return EvalUnaryKernel(e.op, a);
@@ -299,7 +328,161 @@ Result<mem::BitString> EvalCompiled(const CompiledExpr& e,
   return InternalError("bad expression kind");
 }
 
+// ---------------------------------------------------------------------------
+// Scalar lane
+// ---------------------------------------------------------------------------
+//
+// Expression subtrees whose every node fits in 64 bits (!wide, the common
+// case) evaluate on masked (value, width) pairs instead of BitString
+// temporaries. The invariant is that `v` always has zero bits above `width`,
+// which makes truthiness `v != 0`, makes CompareBits an unsigned integer
+// compare, and makes the arithmetic kernels' modular semantics plain 64-bit
+// wrap-around followed by a mask. Every error string matches the BitString
+// lane exactly so the two lanes are observably identical.
+
+struct Scalar {
+  uint64_t v = 0;
+  uint32_t width = 1;
+};
+
+constexpr uint64_t MaskOf(uint32_t width) {
+  return width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+}
+
+Scalar ScalarBool(bool b) { return {b ? uint64_t{1} : 0, 1}; }
+
+Result<Scalar> EvalScalar(const CompiledExpr& e, const CompiledEnv& env) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return Scalar{e.constant.ToUint64(),
+                    static_cast<uint32_t>(e.constant.bit_width())};
+    case Expr::Kind::kField: {
+      const CompiledField& f = e.field;
+      if (f.is_meta) {
+        return Scalar{env.ctx->metadata().SlotReadUint(f.meta_slot),
+                      f.width_bits};
+      }
+      IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h,
+                            FindValid(*env.ctx, f.instance));
+      return Scalar{
+          ReadWire64(env.ctx->packet().bytes(),
+                     static_cast<size_t>(h->byte_offset) * 8 + f.offset_bits,
+                     f.width_bits),
+          f.width_bits};
+    }
+    case Expr::Kind::kRaw: {
+      IPSA_ASSIGN_OR_RETURN(Scalar off, EvalScalar(*e.lhs, env));
+      PacketContext& ctx = *env.ctx;
+      IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h, FindValid(ctx, e.name));
+      size_t abs = static_cast<size_t>(h->byte_offset) * 8 +
+                   static_cast<uint32_t>(off.v);
+      if (abs + e.raw_width > ctx.packet().size() * 8) {
+        return OutOfRange("raw read beyond packet end");
+      }
+      return Scalar{ReadWire64(ctx.packet().bytes(), abs, e.raw_width),
+                    e.raw_width};
+    }
+    case Expr::Kind::kParam: {
+      if (env.args == nullptr) {
+        return FailedPrecondition("no action arguments bound");
+      }
+      if (e.param_offset + e.param_width <= env.args->bit_width()) {
+        return Scalar{env.args->GetBits(e.param_offset, e.param_width),
+                      e.param_width};
+      }
+      return Scalar{0, e.param_width};
+    }
+    case Expr::Kind::kRegister: {
+      if (env.regs == nullptr) {
+        return FailedPrecondition("no register file available");
+      }
+      IPSA_ASSIGN_OR_RETURN(Scalar idx, EvalScalar(*e.lhs, env));
+      IPSA_ASSIGN_OR_RETURN(uint64_t v,
+                            env.regs->Read(e.name, static_cast<size_t>(idx.v)));
+      return Scalar{v, 64};
+    }
+    case Expr::Kind::kIsValid: {
+      const HeaderInstance* h = env.ctx->FindInstanceFast(e.name);
+      return ScalarBool(h != nullptr && h->valid);
+    }
+    case Expr::Kind::kUnary: {
+      IPSA_ASSIGN_OR_RETURN(Scalar a, EvalScalar(*e.lhs, env));
+      if (e.op == Expr::Op::kNot) return ScalarBool(a.v == 0);
+      if (e.op == Expr::Op::kBitNot) {
+        return Scalar{~a.v & MaskOf(a.width), a.width};
+      }
+      return InternalError("bad unary op");
+    }
+    case Expr::Kind::kBinary: {
+      if (e.op == Expr::Op::kAnd || e.op == Expr::Op::kOr) {
+        IPSA_ASSIGN_OR_RETURN(Scalar a, EvalScalar(*e.lhs, env));
+        bool ta = a.v != 0;
+        if (e.op == Expr::Op::kAnd && !ta) return ScalarBool(false);
+        if (e.op == Expr::Op::kOr && ta) return ScalarBool(true);
+        IPSA_ASSIGN_OR_RETURN(Scalar b, EvalScalar(*e.rhs, env));
+        return ScalarBool(b.v != 0);
+      }
+      IPSA_ASSIGN_OR_RETURN(Scalar a, EvalScalar(*e.lhs, env));
+      IPSA_ASSIGN_OR_RETURN(Scalar b, EvalScalar(*e.rhs, env));
+      // Masked values compare as unsigned integers, identical to the
+      // byte-wise CompareBits on <=64-bit strings.
+      switch (e.op) {
+        case Expr::Op::kEq:
+          return ScalarBool(a.v == b.v);
+        case Expr::Op::kNe:
+          return ScalarBool(a.v != b.v);
+        case Expr::Op::kLt:
+          return ScalarBool(a.v < b.v);
+        case Expr::Op::kLe:
+          return ScalarBool(a.v <= b.v);
+        case Expr::Op::kGt:
+          return ScalarBool(a.v > b.v);
+        case Expr::Op::kGe:
+          return ScalarBool(a.v >= b.v);
+        default:
+          break;
+      }
+      uint32_t width = std::max(a.width, b.width);  // operand widths <= 64
+      uint64_t r = 0;
+      switch (e.op) {
+        case Expr::Op::kAdd:
+          r = a.v + b.v;
+          break;
+        case Expr::Op::kSub:
+          r = a.v - b.v;
+          break;
+        case Expr::Op::kMul:
+          r = a.v * b.v;
+          break;
+        case Expr::Op::kBitAnd:
+          r = a.v & b.v;
+          break;
+        case Expr::Op::kBitOr:
+          r = a.v | b.v;
+          break;
+        case Expr::Op::kBitXor:
+          r = a.v ^ b.v;
+          break;
+        case Expr::Op::kShl:
+          r = b.v >= 64 ? 0 : a.v << b.v;
+          break;
+        case Expr::Op::kShr:
+          r = b.v >= 64 ? 0 : a.v >> b.v;
+          break;
+        default:
+          return InternalError("bad binary op");
+      }
+      return Scalar{r & MaskOf(width), width};
+    }
+  }
+  return InternalError("bad expression kind");
+}
+
 Result<bool> EvalCompiledBool(const CompiledExpr& e, const CompiledEnv& env) {
+  if (!e.wide) {
+    IPSA_ASSIGN_OR_RETURN(Scalar v, EvalScalar(e, env));
+    return v.v != 0;
+  }
   IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(e, env));
   return BitsTruthy(v);
 }
@@ -314,14 +497,25 @@ Status RunCompiledOp(const CompiledOp& op, const CompiledEnv& env) {
     case ActionOp::Kind::kNoop:
       return OkStatus();
     case ActionOp::Kind::kAssign: {
+      if (!op.value->wide && op.dest.width_bits <= 64) {
+        IPSA_ASSIGN_OR_RETURN(Scalar v, EvalScalar(*op.value, env));
+        return WriteCompiledFieldScalar(op.dest, ctx, v.v);
+      }
       IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(*op.value, env));
       return WriteCompiledField(op.dest, ctx, v);
     }
     case ActionOp::Kind::kAssignRaw: {
-      IPSA_ASSIGN_OR_RETURN(mem::BitString off, EvalCompiled(*op.offset, env));
+      uint32_t off_v;
+      if (!op.offset->wide) {
+        IPSA_ASSIGN_OR_RETURN(Scalar off, EvalScalar(*op.offset, env));
+        off_v = static_cast<uint32_t>(off.v);
+      } else {
+        IPSA_ASSIGN_OR_RETURN(mem::BitString off,
+                              EvalCompiled(*op.offset, env));
+        off_v = static_cast<uint32_t>(off.ToUint64());
+      }
       IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(*op.value, env));
-      return ctx.WriteRaw(op.instance, static_cast<uint32_t>(off.ToUint64()),
-                          op.raw_width, v);
+      return ctx.WriteRaw(op.instance, off_v, op.raw_width, v);
     }
     case ActionOp::Kind::kPushHeader: {
       uint32_t size = op.push_fixed_size;
@@ -331,7 +525,7 @@ Status RunCompiledOp(const CompiledOp& op, const CompiledEnv& env) {
       }
       uint32_t at = 0;
       if (!op.after_instance.empty()) {
-        const HeaderInstance* after = ctx.phv().Find(op.after_instance);
+        const HeaderInstance* after = ctx.FindInstanceFast(op.after_instance);
         if (after == nullptr || !after->valid) {
           return FailedPrecondition("push after invalid instance '" +
                                     op.after_instance + "'");
@@ -348,7 +542,7 @@ Status RunCompiledOp(const CompiledOp& op, const CompiledEnv& env) {
       return OkStatus();
     }
     case ActionOp::Kind::kPopHeader: {
-      const HeaderInstance* h = ctx.phv().Find(op.instance);
+      const HeaderInstance* h = ctx.FindInstanceFast(op.instance);
       if (h == nullptr || !h->valid) {
         return FailedPrecondition("pop of invalid instance '" + op.instance +
                                   "'");
@@ -367,6 +561,11 @@ Status RunCompiledOp(const CompiledOp& op, const CompiledEnv& env) {
       ctx.metadata().SlotWriteUint(op.dest.meta_slot, 1);
       return OkStatus();
     case ActionOp::Kind::kForward: {
+      if (!op.value->wide) {
+        IPSA_ASSIGN_OR_RETURN(Scalar v, EvalScalar(*op.value, env));
+        ctx.metadata().SlotWriteUint(op.dest.meta_slot, v.v);
+        return OkStatus();
+      }
       IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(*op.value, env));
       ctx.metadata().SlotWriteUint(op.dest.meta_slot, v.ToUint64());
       return OkStatus();
@@ -374,6 +573,11 @@ Status RunCompiledOp(const CompiledOp& op, const CompiledEnv& env) {
     case ActionOp::Kind::kRegWrite: {
       if (env.regs == nullptr) {
         return FailedPrecondition("no register file for RegWrite");
+      }
+      if (!op.index->wide && !op.value->wide) {
+        IPSA_ASSIGN_OR_RETURN(Scalar idx, EvalScalar(*op.index, env));
+        IPSA_ASSIGN_OR_RETURN(Scalar v, EvalScalar(*op.value, env));
+        return env.regs->Write(op.reg, static_cast<size_t>(idx.v), v.v);
       }
       IPSA_ASSIGN_OR_RETURN(mem::BitString idx, EvalCompiled(*op.index, env));
       IPSA_ASSIGN_OR_RETURN(mem::BitString v, EvalCompiled(*op.value, env));
@@ -385,10 +589,16 @@ Status RunCompiledOp(const CompiledOp& op, const CompiledEnv& env) {
       return RunCompiledOps(taken ? op.then_ops : op.else_ops, env);
     }
     case ActionOp::Kind::kUpdateChecksum: {
-      const HeaderInstance* h = ctx.phv().Find(op.instance);
+      const HeaderInstance* h = ctx.FindInstanceFast(op.instance);
       if (h == nullptr || !h->valid) {
         return FailedPrecondition("update_checksum on invalid instance '" +
                                   op.instance + "'");
+      }
+      if (op.dest.width_bits <= 64) {
+        IPSA_RETURN_IF_ERROR(WriteCompiledFieldScalar(op.dest, ctx, 0));
+        uint16_t sum = net::InternetChecksum(
+            ctx.packet().bytes().subspan(h->byte_offset, h->size_bytes));
+        return WriteCompiledFieldScalar(op.dest, ctx, sum);
       }
       IPSA_RETURN_IF_ERROR(
           WriteCompiledField(op.dest, ctx, mem::BitString(16, 0)));
@@ -408,34 +618,90 @@ Status RunCompiledOps(const std::vector<CompiledOp>& ops,
   return OkStatus();
 }
 
-// Extracts the rule's lookup key into `key` (pre-sized to key_width_bits),
-// fields concatenated low-bits-first exactly like TableCatalog::BuildKey.
+// Extracts the rule's lookup key into `key` (pre-sized to key_width_bits)
+// through the fused segment plan: every referenced header instance is
+// resolved in the PHV once, then each segment slices one contiguous wire
+// (or metadata) run into place.
+constexpr size_t kMaxKeyInstances = 8;
+
 Status BuildCompiledKey(const CompiledRule& rule, PacketContext& ctx,
                         mem::BitString& key) {
-  size_t at = 0;
-  for (const CompiledField& f : rule.key) {
-    size_t w = f.width_bits;
-    if (f.is_meta) {
-      const mem::BitString& v = ctx.metadata().SlotRead(f.meta_slot);
-      for (size_t i = 0; i < w; i += 64) {
-        size_t c = std::min<size_t>(64, w - i);
-        key.SetBits(at + i, c, v.GetBits(i, c));
-      }
-    } else {
-      IPSA_ASSIGN_OR_RETURN(const HeaderInstance* h,
-                            FindValid(ctx, f.instance));
-      size_t base = static_cast<size_t>(h->byte_offset) * 8 + f.offset_bits;
-      // Wire bits land MSB-first within the field's value, so chunk i of the
-      // wire maps to value (= key) bits [w-i-c, w-i).
-      for (size_t i = 0; i < w; i += 64) {
-        size_t c = std::min<size_t>(64, w - i);
-        key.SetBits(at + w - i - c, c,
-                    ReadWire64(ctx.packet().bytes(), base + i, c));
-      }
+  // Instances are listed in first-use order, so the first unresolvable one
+  // matches the field order the interpreter fails in.
+  const HeaderInstance* instances[kMaxKeyInstances];
+  const size_t n = rule.key_instances.size();
+  if (n <= kMaxKeyInstances) {
+    for (size_t i = 0; i < n; ++i) {
+      IPSA_ASSIGN_OR_RETURN(instances[i],
+                            FindValid(ctx, rule.key_instances[i]));
     }
-    at += w;
+  }
+  for (const KeySegment& s : rule.key) {
+    size_t w = s.width_bits;
+    if (s.is_meta) {
+      const mem::BitString& v = ctx.metadata().SlotRead(s.meta_slot);
+      for (size_t i = 0; i < w; i += 64) {
+        size_t c = std::min<size_t>(64, w - i);
+        key.SetBits(s.dest_bits + i, c, v.GetBits(i, c));
+      }
+      continue;
+    }
+    const HeaderInstance* h;
+    if (n <= kMaxKeyInstances) {
+      h = instances[s.instance];
+    } else {
+      IPSA_ASSIGN_OR_RETURN(h, FindValid(ctx, rule.key_instances[s.instance]));
+    }
+    size_t base = static_cast<size_t>(h->byte_offset) * 8 + s.offset_bits;
+    // Wire bits land MSB-first within the segment's value, so chunk i of
+    // the wire maps to key bits [dest + w-i-c, dest + w-i).
+    for (size_t i = 0; i < w; i += 64) {
+      size_t c = std::min<size_t>(64, w - i);
+      key.SetBits(s.dest_bits + w - i - c, c,
+                  ReadWire64(ctx.packet().bytes(), base + i, c));
+    }
   }
   return OkStatus();
+}
+
+// Lowers a rule's per-field key plan into fused segments: deduplicates the
+// header instances and merges a field into the previous segment when the
+// pair reads one contiguous wire run in MSB-first order (because key
+// concatenation is low-bits-first while wire order is MSB-first, that is
+// exactly when the later field sits immediately *before* the earlier one on
+// the wire).
+void FuseKeyPlan(const std::vector<CompiledField>& fields, CompiledRule& out) {
+  uint32_t at = 0;
+  for (const CompiledField& f : fields) {
+    KeySegment seg;
+    seg.is_meta = f.is_meta;
+    seg.width_bits = f.width_bits;
+    seg.dest_bits = at;
+    at += f.width_bits;
+    if (f.is_meta) {
+      seg.meta_slot = f.meta_slot;
+      out.key.push_back(seg);
+      continue;
+    }
+    uint32_t idx = 0;
+    for (; idx < out.key_instances.size(); ++idx) {
+      if (out.key_instances[idx] == f.instance) break;
+    }
+    if (idx == out.key_instances.size()) out.key_instances.push_back(f.instance);
+    seg.instance = idx;
+    seg.offset_bits = f.offset_bits;
+    if (!out.key.empty()) {
+      KeySegment& prev = out.key.back();
+      if (!prev.is_meta && prev.instance == seg.instance &&
+          prev.offset_bits == seg.offset_bits + seg.width_bits) {
+        prev.offset_bits = seg.offset_bits;
+        prev.width_bits += seg.width_bits;
+        continue;
+      }
+    }
+    out.key.push_back(seg);
+  }
+  out.key_width_bits = at;
 }
 
 // Register scan over an uncompiled expression tree.
@@ -484,6 +750,7 @@ bool PerturbFirstAssign(std::vector<CompiledOp>& ops) {
       sum->op = Expr::Op::kAdd;
       sum->lhs = std::move(op.value);
       sum->rhs = std::move(one);
+      sum->wide = sum->lhs->wide;  // keep the lane choice consistent
       op.value = std::move(sum);
       return true;
     }
@@ -517,12 +784,13 @@ Result<CompiledStage> CompileStage(const StageProgram& stage,
       IPSA_ASSIGN_OR_RETURN(cr.table, catalog.Get(rule.table));
       IPSA_ASSIGN_OR_RETURN(const TableBinding* binding,
                             catalog.GetBinding(rule.table));
-      cr.key.reserve(binding->key_fields.size());
+      std::vector<CompiledField> fields;
+      fields.reserve(binding->key_fields.size());
       for (const FieldRef& ref : binding->key_fields) {
         IPSA_ASSIGN_OR_RETURN(CompiledField f, c.Field(ref));
-        cr.key.push_back(std::move(f));
-        cr.key_width_bits += cr.key.back().width_bits;
+        fields.push_back(std::move(f));
       }
+      FuseKeyPlan(fields, cr);
     }
     out.rules.push_back(std::move(cr));
   }

@@ -62,6 +62,12 @@ struct CompiledExpr {
   uint32_t param_width = 0;
   CompiledExprPtr lhs;        // kRaw offset / kRegister index / operands
   CompiledExprPtr rhs;
+  // True when some node in this subtree can produce a value wider than 64
+  // bits, which forces the BitString evaluator. Set once at compile time;
+  // narrow subtrees (the common case: every field, constant and parameter
+  // in the example designs) run on the scalar lane, which evaluates on
+  // masked (uint64, width) pairs and creates no BitString temporaries.
+  bool wide = false;
 };
 
 // An ActionOp with destinations and operands resolved.
@@ -88,11 +94,28 @@ struct CompiledAction {
   std::vector<CompiledOp> body;
 };
 
+// One slice of a rule's fused key-extraction plan. Key fields concatenate
+// low-bits-first (like TableCatalog::BuildKey); a segment copies one
+// contiguous run of wire (or metadata) bits into key bits
+// [dest_bits, dest_bits + width_bits). Header instances are deduplicated
+// into CompiledRule::key_instances so a lookup resolves each instance in
+// the PHV exactly once, no matter how many fields it contributes, and
+// wire-contiguous fields of one instance collapse into a single segment.
+struct KeySegment {
+  bool is_meta = false;
+  int meta_slot = -1;         // metadata slot (is_meta)
+  uint32_t instance = 0;      // index into key_instances (!is_meta)
+  uint32_t offset_bits = 0;   // bit offset within the header (!is_meta)
+  uint32_t width_bits = 0;
+  uint32_t dest_bits = 0;     // low-bit position within the key
+};
+
 struct CompiledRule {
   CompiledExprPtr guard;           // null = unconditional
   bool has_table = false;          // false = explicit "no table" branch
   table::MatchTable* table = nullptr;
-  std::vector<CompiledField> key;  // key extraction plan, low-bits-first
+  std::vector<std::string> key_instances;  // unique instances, first-use order
+  std::vector<KeySegment> key;     // fused extraction plan
   uint32_t key_width_bits = 0;
 };
 

@@ -69,9 +69,20 @@ class HeaderTypeDef {
   Result<FieldSpan> FieldSpanOf(std::string_view field) const;
 
   // Parser linkage.
-  void SetSelectorField(std::string field) { selector_field_ = std::move(field); }
+  void SetSelectorField(std::string field) {
+    selector_field_ = std::move(field);
+    auto it = spans_.find(*selector_field_);
+    selector_span_ =
+        it == spans_.end() ? std::nullopt : std::optional(it->second);
+  }
   const std::optional<std::string>& selector_field() const {
     return selector_field_;
+  }
+  // Bit range of the selector field, resolved once at SetSelectorField so
+  // the per-packet parse step never hashes the field name. Empty when no
+  // selector is set or the named field does not exist.
+  const std::optional<FieldSpan>& selector_span() const {
+    return selector_span_;
   }
   void SetLink(uint64_t tag, std::string next_header) {
     links_[tag] = std::move(next_header);
@@ -81,8 +92,18 @@ class HeaderTypeDef {
   const std::map<uint64_t, std::string>& links() const { return links_; }
 
   // Variable size.
-  void SetVarSize(VarSizeRule rule) { var_size_ = std::move(rule); }
+  void SetVarSize(VarSizeRule rule) {
+    var_size_ = std::move(rule);
+    auto it = spans_.find(var_size_->len_field);
+    var_len_span_ =
+        it == spans_.end() ? std::nullopt : std::optional(it->second);
+  }
   const std::optional<VarSizeRule>& var_size() const { return var_size_; }
+  // Length-field span resolved once at SetVarSize (same contract as
+  // selector_span()).
+  const std::optional<FieldSpan>& var_len_span() const {
+    return var_len_span_;
+  }
 
  private:
   std::string name_;
@@ -92,8 +113,10 @@ class HeaderTypeDef {
       spans_;
   uint32_t total_bits_ = 0;
   std::optional<std::string> selector_field_;
+  std::optional<FieldSpan> selector_span_;
   std::map<uint64_t, std::string> links_;
   std::optional<VarSizeRule> var_size_;
+  std::optional<FieldSpan> var_len_span_;
 };
 
 // Registry of header types for one device, plus the parse entry point.

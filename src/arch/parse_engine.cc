@@ -11,17 +11,38 @@ Result<uint32_t> HeaderSize(const PacketContext& ctx,
                             const HeaderTypeDef& type, uint32_t byte_offset) {
   if (!type.var_size().has_value()) return type.fixed_size_bytes();
   const VarSizeRule& rule = *type.var_size();
-  IPSA_ASSIGN_OR_RETURN(uint32_t field_off,
-                        type.FieldOffsetBits(rule.len_field));
-  IPSA_ASSIGN_OR_RETURN(uint32_t field_width,
-                        type.FieldWidthBits(rule.len_field));
-  size_t abs = static_cast<size_t>(byte_offset) * 8 + field_off;
-  if (abs + field_width > ctx.packet().size() * 8) {
+  HeaderTypeDef::FieldSpan span;
+  if (type.var_len_span().has_value()) {
+    span = *type.var_len_span();
+  } else {
+    // Length field was never resolvable; report the same error the
+    // name-based path would.
+    IPSA_ASSIGN_OR_RETURN(span.offset_bits,
+                          type.FieldOffsetBits(rule.len_field));
+    IPSA_ASSIGN_OR_RETURN(span.width_bits,
+                          type.FieldWidthBits(rule.len_field));
+  }
+  size_t abs = static_cast<size_t>(byte_offset) * 8 + span.offset_bits;
+  if (abs + span.width_bits > ctx.packet().size() * 8) {
     return OutOfRange("variable-size length field beyond packet end");
   }
-  mem::BitString len =
-      ReadWireBits(ctx.packet().bytes(), abs, field_width);
-  return static_cast<uint32_t>((len.ToUint64() + rule.add) * rule.multiplier);
+  uint64_t len = span.width_bits <= 64
+                     ? ReadWire64(ctx.packet().bytes(), abs, span.width_bits)
+                     : ReadWireBits(ctx.packet().bytes(), abs, span.width_bits)
+                           .ToUint64();
+  return static_cast<uint32_t>((len + rule.add) * rule.multiplier);
+}
+
+// The selector tag as an integer: the field's value truncated to its low 64
+// bits, exactly matching ReadField(...).ToUint64() on the same span.
+uint64_t ReadSelectorTag(const PacketContext& ctx, uint32_t byte_offset,
+                         HeaderTypeDef::FieldSpan span) {
+  size_t abs = static_cast<size_t>(byte_offset) * 8 + span.offset_bits;
+  if (span.width_bits <= 64) {
+    return ReadWire64(ctx.packet().bytes(), abs, span.width_bits);
+  }
+  // A >64-bit selector's low 64 value bits are the last 64 wire bits.
+  return ReadWire64(ctx.packet().bytes(), abs + span.width_bits - 64, 64);
 }
 
 }  // namespace
@@ -36,14 +57,25 @@ Result<bool> ParseEngine::ParseNext(PacketContext& ctx, ParseStats& stats) {
     next_type = reg.entry_type();
     next_offset = 0;
   } else {
-    IPSA_ASSIGN_OR_RETURN(const HeaderTypeDef* last_def,
-                          reg.Get(last->type_name));
+    const HeaderTypeDef* last_def = last->def;
+    if (last_def == nullptr) {
+      IPSA_ASSIGN_OR_RETURN(last_def, reg.Get(last->type_name));
+    }
     if (!last_def->selector_field().has_value()) return false;
-    IPSA_ASSIGN_OR_RETURN(
-        mem::BitString tag,
-        ctx.ReadField(FieldRef::Header(last->name,
-                                       *last_def->selector_field())));
-    auto next = last_def->NextFor(tag.ToUint64());
+    uint64_t tag_value;
+    if (last_def->selector_span().has_value()) {
+      tag_value = ReadSelectorTag(ctx, last->byte_offset,
+                                  *last_def->selector_span());
+    } else {
+      // Selector names a nonexistent field; take the name-based path so the
+      // error matches the interpreter's.
+      IPSA_ASSIGN_OR_RETURN(
+          mem::BitString tag,
+          ctx.ReadField(FieldRef::Header(last->name,
+                                         *last_def->selector_field())));
+      tag_value = tag.ToUint64();
+    }
+    auto next = last_def->NextFor(tag_value);
     if (!next.has_value()) return false;  // unknown tag: chain ends (payload)
     next_type = *next;
     next_offset = last->byte_offset + last->size_bytes;
@@ -62,7 +94,8 @@ Result<bool> ParseEngine::ParseNext(PacketContext& ctx, ParseStats& stats) {
                                .name = next_type,
                                .byte_offset = next_offset,
                                .size_bytes = size,
-                               .valid = true});
+                               .valid = true,
+                               .def = def});
   ++stats.headers_parsed;
   stats.bytes_parsed += size;
   stats.cycles += kCyclesPerHeader;
@@ -73,6 +106,8 @@ Result<bool> ParseEngine::ParseNext(PacketContext& ctx, ParseStats& stats) {
 Result<ParseStats> ParseEngine::ParseUntil(
     PacketContext& ctx, const std::vector<std::string>& wanted) {
   ParseStats stats;
+  // NOTE: no FindInstanceFast here — callers may pass temporary vectors
+  // (and the memo keys on string addresses, which temporaries reuse).
   auto all_present = [&] {
     return std::all_of(wanted.begin(), wanted.end(), [&](const auto& name) {
       return ctx.phv().IsValid(name);

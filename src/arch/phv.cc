@@ -31,6 +31,7 @@ Status Phv::RemoveInstance(std::string_view name) {
   for (auto it = instances_.begin(); it != instances_.end(); ++it) {
     if (it->name == name) {
       instances_.erase(it);
+      ++generation_;
       return OkStatus();
     }
   }
@@ -50,6 +51,13 @@ Status Metadata::Declare(const std::string& name, uint32_t width_bits) {
   values_.emplace_back(width_bits);
   names_.push_back(name);
   index_.emplace(name, slot);
+  if (name == "drop") {
+    drop_slot_ = slot;
+  } else if (name == "mark") {
+    mark_slot_ = slot;
+  } else if (name == "egress_spec") {
+    egress_spec_slot_ = slot;
+  }
   return OkStatus();
 }
 

@@ -25,22 +25,39 @@
 
 namespace ipsa::arch {
 
+class HeaderTypeDef;
+
 struct HeaderInstance {
   std::string type_name;   // header type in the registry
   std::string name;        // instance name (== type name in our programs)
   uint32_t byte_offset = 0;
   uint32_t size_bytes = 0;
   bool valid = false;
+  // Type definition resolved when the instance was created, so the parse
+  // chain never re-hashes type_name. May be null (e.g. pushed instances);
+  // consumers fall back to a registry lookup. Valid for the lifetime of the
+  // packet: registry mutations happen between packets and bump the config
+  // epoch, and the PHV is per-packet state.
+  const HeaderTypeDef* def = nullptr;
 };
 
 class Phv {
  public:
-  void Clear() { instances_.clear(); }
+  void Clear() {
+    instances_.clear();
+    ++generation_;
+  }
 
   // Appends a parsed instance (parse order == wire order).
   void Add(HeaderInstance instance) {
     instances_.push_back(std::move(instance));
+    ++generation_;
   }
+
+  // Bumped whenever the instance list changes (add/remove/clear), so
+  // resolved name->index entries can be cached and revalidated cheaply
+  // (PacketContext::FindInstanceFast).
+  uint32_t generation() const { return generation_; }
 
   const HeaderInstance* Find(std::string_view name) const;
   HeaderInstance* FindMutable(std::string_view name);
@@ -65,6 +82,7 @@ class Phv {
 
  private:
   std::vector<HeaderInstance> instances_;
+  uint32_t generation_ = 0;
 };
 
 // Named metadata fields with declared widths.
@@ -96,6 +114,11 @@ class Metadata {
     auto it = index_.find(name);
     return it == index_.end() ? kInvalidSlot : it->second;
   }
+  // The verdict fields every pipeline consults per packet, cached at
+  // declaration time so dropped()/marked()/egress_spec() never hash.
+  int drop_slot() const { return drop_slot_; }
+  int mark_slot() const { return mark_slot_; }
+  int egress_spec_slot() const { return egress_spec_slot_; }
   size_t slot_count() const { return values_.size(); }
   const mem::BitString& SlotRead(int slot) const {
     return values_[static_cast<size_t>(slot)];
@@ -123,6 +146,9 @@ class Metadata {
  private:
   std::vector<mem::BitString> values_;  // slot -> value
   std::vector<std::string> names_;      // slot -> name
+  int drop_slot_ = kInvalidSlot;
+  int mark_slot_ = kInvalidSlot;
+  int egress_spec_slot_ = kInvalidSlot;
   std::unordered_map<std::string, int, util::StringHash, std::equal_to<>>
       index_;
 };

@@ -1,0 +1,39 @@
+#include "arch/pipeline_plan.h"
+
+namespace ipsa::arch {
+
+std::string PipelinePlan::ToString() const {
+  std::string out;
+  auto side = [&out](const char* name, const std::vector<PlanGroup>& groups,
+                     uint32_t tail) {
+    out += name;
+    out += ":";
+    for (const PlanGroup& g : groups) {
+      out += " [unit ";
+      out += std::to_string(g.unit);
+      out += " +";
+      out += std::to_string(g.entry_cycles);
+      out += "cy";
+      for (const PlanProgram& p : g.programs) {
+        out += " ";
+        out += p.source != nullptr ? p.source->name : std::string("?");
+        out += p.compiled != nullptr ? "" : "(interp)";
+      }
+      out += "]";
+    }
+    if (tail > 0) {
+      out += " tail+";
+      out += std::to_string(tail);
+      out += "cy";
+    }
+    out += "\n";
+  };
+  side("ingress", ingress, ingress_tail_cycles);
+  side("egress", egress, egress_tail_cycles);
+  if (tm_cycles > 0) {
+    out += "tm+" + std::to_string(tm_cycles) + "cy\n";
+  }
+  return out;
+}
+
+}  // namespace ipsa::arch

@@ -1,0 +1,148 @@
+// Epoch-specialized pipeline execution plans.
+//
+// CompileStage (compiled_stage.h) removed the per-packet name resolution
+// inside one stage; the devices still walked a generic per-packet loop over
+// their physical structure — every empty PISA stage cost a branch, every
+// telemetry/trace hook a test, and the TSP/stage topology was re-derived
+// from vectors of optionals on each packet. A PipelinePlan lowers the whole
+// installed template into a straight-line walk at config-epoch commit:
+//
+//   * dead-stage elision — empty physical stages disappear from the walk;
+//     their mandatory traversal cycles are folded into the next active
+//     group's `entry_cycles` (or the side's `*_tail_cycles` when the
+//     pipeline ends in empties), so the cycle ledger stays bit-identical
+//     to the generic loop;
+//   * pre-resolved program pointers — each PlanProgram carries the compiled
+//     stage (or the interpreter source as fallback) plus its telemetry
+//     slot, so the packet path chases no optionals;
+//   * observer specialization — RunPlan is templated over an Observer
+//     policy; the null observer compiles the telemetry and trace hooks out
+//     of the loop entirely, the device instantiates the right variant once
+//     per batch.
+//
+// Like the compiled stages the plan dangles on any CCM mutation: the owning
+// switch rebuilds it in EnsureCompiled under the same epoch key, and any
+// packet processed between mutation and rebuild runs the generic
+// interpreter walk (ExecMode::kInterpret / kCompile).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "arch/compiled_stage.h"
+#include "arch/ii_model.h"
+#include "arch/stage.h"
+
+namespace ipsa::arch {
+
+// How a device executes its installed template. The differential fuzzing
+// harness pins devices to each mode and asserts bit-identical outputs.
+enum class ExecMode {
+  kInterpret,   // name-resolving interpreter (RunStage) for every program
+  kCompile,     // compiled stages, generic per-packet structure walk
+  kSpecialize,  // compiled stages driven by the flattened PipelinePlan
+};
+
+// One stage program inside a plan group. `compiled == nullptr` means the
+// program did not compile (unresolvable reference) and runs through the
+// interpreter; `source` is always set.
+struct PlanProgram {
+  const CompiledStage* compiled = nullptr;
+  const StageProgram* source = nullptr;
+  uint32_t slot = 0;  // telemetry stage slot (Collector::SetStages layout)
+};
+
+// One traversal unit: a physical PISA stage or an active IPSA TSP.
+struct PlanGroup {
+  uint32_t unit = 0;          // trace unit id (physical slot / TSP id)
+  uint32_t entry_cycles = 0;  // charged on entering the group (includes any
+                              // elided empty stages preceding it)
+  std::vector<PlanProgram> programs;
+};
+
+struct PipelinePlan {
+  std::vector<PlanGroup> ingress;
+  std::vector<PlanGroup> egress;
+  // Elided empty stages *after* the last active group of a side; charged
+  // only when the packet was not dropped (the generic loop's drop-break
+  // skips them too).
+  uint32_t ingress_tail_cycles = 0;
+  uint32_t egress_tail_cycles = 0;
+  // Traffic-manager cycles between the sides (IPSA charges 1, PISA 0).
+  uint32_t tm_cycles = 0;
+  // IPSA TSPs parse just-in-time per program; PISA parses up front.
+  bool jit_parse = false;
+  // IPSA computes a per-group initiation interval (IpsaTspIi); PISA's II is
+  // parser-bound and computed by the caller.
+  bool per_group_ii = false;
+
+  std::string ToString() const;  // debug / test introspection
+};
+
+struct PlanRunStats {
+  // max IpsaTspIi over the traversed groups when `per_group_ii`, else 1.0.
+  double worst_ii = 1.0;
+};
+
+// Observer with every hook compiled out: the hot path for untraced,
+// untelemetered batches.
+struct PlanNullObserver {
+  static constexpr bool kFillNames = false;
+  void OnProgram(const PlanGroup&, const PlanProgram&,
+                 const StageRunStats&) const {}
+};
+
+// Executes one packet through the plan. Cycle accounting, drop semantics
+// and per-stage side effects are bit-identical to the devices' generic
+// walks; the specialization regression tests pin this.
+template <typename Observer>
+Result<PlanRunStats> RunPlan(const PipelinePlan& plan, PacketContext& ctx,
+                             const TableCatalog& catalog,
+                             const ActionStore& actions, RegisterFile* regs,
+                             Observer&& observer) {
+  constexpr bool kFillNames = std::remove_reference_t<Observer>::kFillNames;
+  PlanRunStats out;
+  auto run_side = [&](const std::vector<PlanGroup>& groups,
+                      uint32_t tail_cycles) -> Status {
+    for (const PlanGroup& group : groups) {
+      ctx.ChargeCycles(group.entry_cycles);
+      uint64_t parse_bytes = 0;
+      uint64_t access = 0;
+      for (const PlanProgram& program : group.programs) {
+        StageRunStats run_stats;
+        if (program.compiled != nullptr) {
+          IPSA_ASSIGN_OR_RETURN(
+              run_stats, RunCompiledStage(*program.compiled, ctx, regs,
+                                          plan.jit_parse, kFillNames));
+        } else {
+          IPSA_ASSIGN_OR_RETURN(run_stats,
+                                RunStage(*program.source, ctx, catalog,
+                                         actions, regs, plan.jit_parse));
+        }
+        parse_bytes += run_stats.parse_bytes;
+        if (run_stats.access_cycles > access) access = run_stats.access_cycles;
+        observer.OnProgram(group, program, run_stats);
+        if (ctx.dropped()) break;
+      }
+      if (plan.per_group_ii) {
+        double ii = IpsaTspIi(parse_bytes, access);
+        if (ii > out.worst_ii) out.worst_ii = ii;
+      }
+      // A drop ends the side immediately; trailing elided stages are never
+      // reached (the generic loop breaks before charging them).
+      if (ctx.dropped()) return OkStatus();
+    }
+    ctx.ChargeCycles(tail_cycles);
+    return OkStatus();
+  };
+  IPSA_RETURN_IF_ERROR(run_side(plan.ingress, plan.ingress_tail_cycles));
+  if (!ctx.dropped()) {
+    ctx.ChargeCycles(plan.tm_cycles);
+    IPSA_RETURN_IF_ERROR(run_side(plan.egress, plan.egress_tail_cycles));
+  }
+  return out;
+}
+
+}  // namespace ipsa::arch

@@ -66,12 +66,16 @@ Result<ArchKind> ArchFromName(std::string_view name) {
 
 std::vector<TxPacket> CollectTx(net::PortSet& ports) {
   std::vector<TxPacket> out;
+  CollectTxInto(ports, out);
+  return out;
+}
+
+void CollectTxInto(net::PortSet& ports, std::vector<TxPacket>& out) {
   for (uint32_t p = 0; p < ports.count(); ++p) {
     while (auto pkt = ports.port(p).tx().Pop()) {
       out.push_back(TxPacket{p, std::move(*pkt)});
     }
   }
-  return out;
 }
 
 Result<std::vector<TxPacket>> InjectAndDrain(DeviceBackend& dev,

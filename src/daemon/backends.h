@@ -52,6 +52,10 @@ struct TxPacket {
 // loopback equivalence test relies on).
 std::vector<TxPacket> CollectTx(net::PortSet& ports);
 
+// Same drain, appending into a caller-owned vector so a steady-state pump
+// loop can reuse its capacity (clear() + CollectTxInto per iteration).
+void CollectTxInto(net::PortSet& ports, std::vector<TxPacket>& out);
+
 // The daemon's packet-injection path: push into `in_port`'s RX queue, drain
 // the device, collect everything that egressed. Shared with ipbm_sim.
 Result<std::vector<TxPacket>> InjectAndDrain(DeviceBackend& dev,

@@ -38,6 +38,20 @@ Switchd::~Switchd() {
 }
 
 Status Switchd::Bind() {
+  auto check_batch = [](const char* name, uint32_t v) -> Status {
+    if (v < wire::kMinUdpBatch || v > wire::kMaxUdpBatch) {
+      return InvalidArgument(std::string(name) + " must be in [" +
+                             std::to_string(wire::kMinUdpBatch) + ", " +
+                             std::to_string(wire::kMaxUdpBatch) + "], got " +
+                             std::to_string(v));
+    }
+    return OkStatus();
+  };
+  IPSA_RETURN_IF_ERROR(check_batch("rx_batch", options_.rx_batch));
+  IPSA_RETURN_IF_ERROR(check_batch("tx_batch", options_.tx_batch));
+  udp_batch_rx_.emplace(options_.rx_batch, kUdpBufBytes);
+  udp_batch_tx_.emplace(options_.tx_batch);
+
   IPSA_ASSIGN_OR_RETURN(listen_,
                         wire::TcpListen(options_.bind, options_.control_port));
   IPSA_ASSIGN_OR_RETURN(control_port_, wire::LocalPort(listen_));
@@ -147,25 +161,31 @@ bool Switchd::ServiceConn(Conn& conn) {
 }
 
 void Switchd::ServiceUdp(uint32_t port_index) {
-  uint8_t buf[kUdpBufBytes];
+  // Drain the socket until EAGAIN, a burst at a time: one recvmmsg pulls up
+  // to rx_batch datagrams (the portable fallback loops recvfrom to the same
+  // effect), so a flood costs ~1/rx_batch the syscalls it used to.
+  wire::UdpBatchReceiver& rx = *udp_batch_rx_;
   while (true) {
-    sockaddr_in from{};
-    socklen_t from_len = sizeof(from);
-    ssize_t n = ::recvfrom(udp_socks_[port_index].fd(), buf, sizeof(buf), 0,
-                           reinterpret_cast<sockaddr*>(&from), &from_len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN: drained
-    }
-    // Learn (or refresh) the port's packet-out peer from every datagram.
-    if (!udp_peers_[port_index].has_value() ||
-        !SameAddr(*udp_peers_[port_index], from)) {
-      udp_peers_[port_index] = from;
-    }
-    if (n == 0) continue;  // registration-only datagram
-    net::Packet packet(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
-    if (backend_->ports().port(port_index).rx().Push(std::move(packet))) {
-      ++counters_.udp_rx;
+    auto received = rx.Recv(udp_socks_[port_index].fd());
+    if (!received.ok() || *received == 0) return;
+    for (uint32_t i = 0; i < *received; ++i) {
+      // Learn (or refresh) the port's packet-out peer from every datagram.
+      const sockaddr_in& from = rx.from(i);
+      if (!udp_peers_[port_index].has_value() ||
+          !SameAddr(*udp_peers_[port_index], from)) {
+        udp_peers_[port_index] = from;
+      }
+      std::span<uint8_t> payload = rx.data(i);
+      if (payload.empty()) continue;  // registration-only datagram
+      net::Packet packet;
+      if (!pkt_pool_.empty()) {
+        packet = std::move(pkt_pool_.back());
+        pkt_pool_.pop_back();
+      }
+      packet.Assign(std::span<const uint8_t>(payload));
+      if (backend_->ports().port(port_index).rx().Push(std::move(packet))) {
+        ++counters_.udp_rx;
+      }
     }
   }
 }
@@ -233,24 +253,43 @@ void Switchd::PumpDataPlane() {
     std::fprintf(stderr, "switchd: drain failed: %s\n",
                  processed.status().ToString().c_str());
   }
-  for (TxPacket& tx : CollectTx(backend_->ports())) {
-    if (tx.port >= udp_socks_.size()) {
+  // CollectTx yields packets grouped by egress port; consecutive packets to
+  // one port (whose peer is one address) batch into a single sendmmsg of up
+  // to tx_batch datagrams. The TxPacket vector owns the payload bytes until
+  // after every flush.
+  tx_scratch_.clear();
+  CollectTxInto(backend_->ports(), tx_scratch_);
+  std::vector<TxPacket>& txs = tx_scratch_;
+  wire::UdpBatchSender& sender = *udp_batch_tx_;
+  size_t i = 0;
+  while (i < txs.size()) {
+    const uint32_t port = txs[i].port;
+    if (port >= udp_socks_.size()) {
       ++counters_.udp_unmapped;
+      ++i;
       continue;
     }
-    if (!udp_peers_[tx.port].has_value()) {
+    if (!udp_peers_[port].has_value()) {
       ++counters_.udp_no_peer;
+      ++i;
       continue;
     }
-    const sockaddr_in& peer = *udp_peers_[tx.port];
-    auto bytes = tx.packet.bytes();
-    ssize_t n = ::sendto(udp_socks_[tx.port].fd(), bytes.data(), bytes.size(),
-                         0, reinterpret_cast<const sockaddr*>(&peer),
-                         sizeof(peer));
-    if (n == static_cast<ssize_t>(bytes.size())) {
-      ++counters_.udp_tx;
+    const sockaddr_in& peer = *udp_peers_[port];
+    while (i < txs.size() && txs[i].port == port) {
+      if (!sender.Add(txs[i].packet.bytes(), peer)) break;
+      ++i;
     }
+    auto sent = sender.Flush(udp_socks_[port].fd());
+    if (sent.ok()) counters_.udp_tx += *sent;
   }
+  // Every datagram is flushed; recycle the sent buffers for the next RX
+  // burst. The cap bounds pool memory after a one-off flood.
+  constexpr size_t kPoolCap = 1024;
+  for (TxPacket& tx : txs) {
+    if (pkt_pool_.size() >= kPoolCap) break;
+    pkt_pool_.push_back(std::move(tx.packet));
+  }
+  txs.clear();
 }
 
 void Switchd::Loop() {

@@ -33,6 +33,7 @@
 #include "daemon/backends.h"
 #include "rpc/server.h"
 #include "wire/socket.h"
+#include "wire/udp_batch.h"
 #include "wire/wire.h"
 
 namespace ipsa::daemon {
@@ -51,6 +52,11 @@ struct SwitchdOptions {
   bool telemetry = true;
   uint32_t trace_sample_every = 0;  // 0 = packet tracing off; N = 1-in-N
   uint16_t metrics_port = 0;        // Prometheus endpoint; 0 = kernel-assigned
+  // Datagram burst sizes for the batched packet plane (recvmmsg/sendmmsg,
+  // or the portable drain loop). Start() rejects values outside
+  // [wire::kMinUdpBatch, wire::kMaxUdpBatch].
+  uint32_t rx_batch = 64;
+  uint32_t tx_batch = 64;
 };
 
 // Daemon-side counters (the device's own stats travel via the stats RPC).
@@ -133,7 +139,17 @@ class Switchd {
   wire::Socket listen_;
   wire::Socket metrics_listen_;
   std::vector<wire::Socket> udp_socks_;
+  // Shared across the per-port sockets: the loop thread services one socket
+  // at a time, so one burst's buffers can be reused for every port.
+  std::optional<wire::UdpBatchReceiver> udp_batch_rx_;
+  std::optional<wire::UdpBatchSender> udp_batch_tx_;
   std::vector<std::optional<sockaddr_in>> udp_peers_;
+  // Packet-buffer recycling: after a pump's TX flush, the sent packets'
+  // buffers return here and ServiceUdp refills them for the next burst
+  // (Packet::Assign), so the steady-state packet path mallocs nothing.
+  std::vector<net::Packet> pkt_pool_;
+  // Reused CollectTx output (cleared per pump, capacity kept).
+  std::vector<TxPacket> tx_scratch_;
   std::vector<uint16_t> udp_ports_;
   uint16_t control_port_ = 0;
   uint16_t metrics_port_ = 0;

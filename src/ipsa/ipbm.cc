@@ -5,6 +5,7 @@
 #include "arch/ii_model.h"
 #include "arch/parse_engine.h"
 #include "pisa/executor.h"
+#include "telemetry/plan_observers.h"
 #include "util/logging.h"
 
 namespace ipsa::ipbm {
@@ -261,7 +262,7 @@ void IpbmSwitch::EnsureCompiled() {
     for (const arch::StageProgram& program : pipeline_.tsp(id).programs()) {
       CompiledProgram cp;
       cp.source = &program;
-      if (force_interpreter_) {
+      if (exec_mode_ == arch::ExecMode::kInterpret) {
         cp.uses_registers = arch::StageMayUseRegisters(program, actions_);
         compiled_tsps_[id].push_back(std::move(cp));
         continue;
@@ -305,6 +306,35 @@ void IpbmSwitch::EnsureCompiled() {
     }
   }
   telemetry_.SetStages(std::move(infos));
+
+  // Lower the elastic pipeline into the straight-line plan: only the active
+  // TSPs of each side appear, in traversal order, each charging its fixed
+  // 2-cycle entry (stage traversal + template-parameter load).
+  plan_ = arch::PipelinePlan{};
+  plan_valid_ = exec_mode_ == arch::ExecMode::kSpecialize;
+  if (plan_valid_) {
+    auto plan_side = [this](const std::vector<uint32_t>& ids,
+                            std::vector<arch::PlanGroup>& groups) {
+      for (uint32_t id : ids) {
+        arch::PlanGroup group;
+        group.unit = id;
+        group.entry_cycles = 1 + 1;
+        uint32_t slot = tsp_slot_base_[id];
+        for (const CompiledProgram& cp : compiled_tsps_[id]) {
+          group.programs.push_back(arch::PlanProgram{
+              cp.compiled.has_value() ? &*cp.compiled : nullptr, cp.source,
+              slot});
+          ++slot;
+        }
+        groups.push_back(std::move(group));
+      }
+    };
+    plan_side(ingress_ids_, plan_.ingress);
+    plan_side(egress_ids_, plan_.egress);
+    plan_.tm_cycles = 1;      // traffic manager between the sides
+    plan_.jit_parse = true;   // TSPs parse just-in-time
+    plan_.per_group_ii = true;
+  }
 }
 
 Result<telemetry::ProcessResult> IpbmSwitch::ProcessCore(
@@ -318,63 +348,82 @@ Result<telemetry::ProcessResult> IpbmSwitch::ProcessCore(
 
   telemetry::ProcessResult result;
 
-  // Bypassed TSPs are excluded from the physical pipeline entirely — no
-  // latency, no power (§2.3). Each active TSP charges one extra cycle for
-  // loading its per-packet template parameters (§5 Throughput). The packet's
-  // pipeline II is the slowest TSP it traverses (arch/ii_model.h).
-  double worst_ii = 1.0;
-  auto run_tsp = [&](uint32_t id) -> Status {
-    ctx.ChargeCycles(1 + 1);  // stage traversal + template-parameter load
-    uint64_t tsp_parse_bytes = 0;
-    uint64_t tsp_access = 0;
-    uint32_t slot = tsp_slot_base_[id];
-    for (const CompiledProgram& cp : compiled_tsps_[id]) {
-      arch::StageRunStats run_stats;
-      if (cp.compiled.has_value()) {
-        IPSA_ASSIGN_OR_RETURN(
-            run_stats,
-            RunCompiledStage(*cp.compiled, ctx, &regs_, /*jit_parse=*/true,
-                             /*fill_names=*/trace != nullptr));
-      } else {
-        // Unresolvable references at compile time: interpreter fallback.
-        IPSA_ASSIGN_OR_RETURN(run_stats,
-                              RunStage(*cp.source, ctx, catalog_, actions_,
-                                       &regs_, /*jit_parse=*/true));
-      }
-      tsp_parse_bytes += run_stats.parse_bytes;
-      tsp_access = std::max(tsp_access, run_stats.access_cycles);
-      if (tshard != nullptr) {
-        tshard->OnStage(slot, run_stats.table_applied, run_stats.hit);
-      }
-      ++slot;
-      if (trace != nullptr) {
-        trace->steps.push_back(telemetry::TraceStep{
-            .unit = id,
-            .stage = cp.source->name,
-            .table = run_stats.applied_table,
-            .hit = run_stats.hit,
-            .action = run_stats.executed_action,
-            .parse_bytes = run_stats.parse_bytes});
-      }
-      if (ctx.dropped()) break;
+  if (plan_valid_) {
+    // Specialized walk: pick the observer instantiation once, so the
+    // telemetry/trace branches vanish from the per-stage loop.
+    Result<arch::PlanRunStats> ran = InternalError("unreachable");
+    if (trace != nullptr) {
+      ran = arch::RunPlan(plan_, ctx, catalog_, actions_, &regs_,
+                          telemetry::PlanTraceObserver{tshard, trace});
+    } else if (tshard != nullptr) {
+      ran = arch::RunPlan(plan_, ctx, catalog_, actions_, &regs_,
+                          telemetry::PlanShardObserver{tshard});
+    } else {
+      ran = arch::RunPlan(plan_, ctx, catalog_, actions_, &regs_,
+                          arch::PlanNullObserver{});
     }
-    worst_ii =
-        std::max(worst_ii, arch::IpsaTspIi(tsp_parse_bytes, tsp_access));
-    return OkStatus();
-  };
-  for (uint32_t id : ingress_ids_) {
-    IPSA_RETURN_IF_ERROR(run_tsp(id));
-    if (ctx.dropped()) break;
-  }
-  if (!ctx.dropped()) {
-    // Traffic manager: one cycle of queueing model.
-    ctx.ChargeCycles(1);
-    for (uint32_t id : egress_ids_) {
+    IPSA_RETURN_IF_ERROR(ran.status());
+    result.pipeline_ii = ran->worst_ii;
+  } else {
+    // Bypassed TSPs are excluded from the physical pipeline entirely — no
+    // latency, no power (§2.3). Each active TSP charges one extra cycle for
+    // loading its per-packet template parameters (§5 Throughput). The
+    // packet's pipeline II is the slowest TSP it traverses
+    // (arch/ii_model.h).
+    double worst_ii = 1.0;
+    auto run_tsp = [&](uint32_t id) -> Status {
+      ctx.ChargeCycles(1 + 1);  // stage traversal + template-parameter load
+      uint64_t tsp_parse_bytes = 0;
+      uint64_t tsp_access = 0;
+      uint32_t slot = tsp_slot_base_[id];
+      for (const CompiledProgram& cp : compiled_tsps_[id]) {
+        arch::StageRunStats run_stats;
+        if (cp.compiled.has_value()) {
+          IPSA_ASSIGN_OR_RETURN(
+              run_stats,
+              RunCompiledStage(*cp.compiled, ctx, &regs_, /*jit_parse=*/true,
+                               /*fill_names=*/trace != nullptr));
+        } else {
+          // Unresolvable references at compile time: interpreter fallback.
+          IPSA_ASSIGN_OR_RETURN(run_stats,
+                                RunStage(*cp.source, ctx, catalog_, actions_,
+                                         &regs_, /*jit_parse=*/true));
+        }
+        tsp_parse_bytes += run_stats.parse_bytes;
+        tsp_access = std::max(tsp_access, run_stats.access_cycles);
+        if (tshard != nullptr) {
+          tshard->OnStage(slot, run_stats.table_applied, run_stats.hit);
+        }
+        ++slot;
+        if (trace != nullptr) {
+          trace->steps.push_back(telemetry::TraceStep{
+              .unit = id,
+              .stage = cp.source->name,
+              .table = run_stats.applied_table,
+              .hit = run_stats.hit,
+              .action = run_stats.executed_action,
+              .parse_bytes = run_stats.parse_bytes});
+        }
+        if (ctx.dropped()) break;
+      }
+      worst_ii =
+          std::max(worst_ii, arch::IpsaTspIi(tsp_parse_bytes, tsp_access));
+      return OkStatus();
+    };
+    for (uint32_t id : ingress_ids_) {
       IPSA_RETURN_IF_ERROR(run_tsp(id));
       if (ctx.dropped()) break;
     }
+    if (!ctx.dropped()) {
+      // Traffic manager: one cycle of queueing model.
+      ctx.ChargeCycles(1);
+      for (uint32_t id : egress_ids_) {
+        IPSA_RETURN_IF_ERROR(run_tsp(id));
+        if (ctx.dropped()) break;
+      }
+    }
+    result.pipeline_ii = worst_ii;
   }
-  result.pipeline_ii = worst_ii;
 
   result.dropped = ctx.dropped();
   result.marked = ctx.marked();
@@ -478,6 +527,11 @@ Result<uint32_t> IpbmSwitch::RunToCompletion(uint32_t workers) {
   for (const telemetry::DeviceStats& s : worker_stats) stats_.MergeFrom(s);
   telemetry_.MergeWorkerShards(worker_shards);
   return processed;
+}
+
+std::string IpbmSwitch::PlanToString() {
+  EnsureCompiled();
+  return plan_valid_ ? plan_.ToString() : std::string();
 }
 
 int32_t IpbmSwitch::TspOfStage(std::string_view stage_name) const {

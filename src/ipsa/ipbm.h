@@ -24,6 +24,7 @@
 
 #include "arch/compiled_stage.h"
 #include "arch/design.h"
+#include "arch/pipeline_plan.h"
 #include "ipsa/elastic_pipeline.h"
 #include "mem/crossbar.h"
 #include "net/ports.h"
@@ -129,20 +130,33 @@ class IpbmSwitch {
   // scrape across an in-situ update shows the epoch advancing.
   uint64_t config_epoch() const { return config_epoch_; }
 
-  // Pins every TSP program to the interpreter (RunStage) instead of the
-  // compiled fast path. The differential fuzzing harness uses this to
-  // cross-check the two execution paths on identical devices; flipping it
+  // Pins the execution mode (default: the epoch-specialized pipeline plan).
+  // The differential fuzzing harness pins devices to each mode to
+  // cross-check the execution paths on identical devices; flipping it
   // invalidates the compiled state like any other config change.
-  void SetForceInterpreter(bool force) {
-    if (force_interpreter_ != force) {
-      force_interpreter_ = force;
+  void SetExecMode(arch::ExecMode mode) {
+    if (exec_mode_ != mode) {
+      exec_mode_ = mode;
       ++config_epoch_;
     }
   }
-  bool force_interpreter() const { return force_interpreter_; }
+  arch::ExecMode exec_mode() const { return exec_mode_; }
+  // Back-compat spelling: pins every TSP program to the interpreter.
+  void SetForceInterpreter(bool force) {
+    SetExecMode(force ? arch::ExecMode::kInterpret
+                      : arch::ExecMode::kSpecialize);
+  }
+  bool force_interpreter() const {
+    return exec_mode_ == arch::ExecMode::kInterpret;
+  }
 
   // Finds the TSP currently hosting a logical stage, or -1.
   int32_t TspOfStage(std::string_view stage_name) const;
+
+  // Debug/test introspection: the specialized plan for the current config
+  // state (forces the lazy rebuild). Empty unless exec_mode() is
+  // kSpecialize — the other modes run the generic walk with no plan.
+  std::string PlanToString();
 
  private:
   // One stage program of one TSP, pre-resolved where possible. A program
@@ -207,9 +221,13 @@ class IpbmSwitch {
 
   // Compiled fast-path state (rebuilt lazily by EnsureCompiled).
   uint64_t config_epoch_ = 1;
-  bool force_interpreter_ = false;
+  arch::ExecMode exec_mode_ = arch::ExecMode::kSpecialize;
   CompiledKey compiled_key_;  // all-zero: never matches the first CurrentKey
   std::vector<std::vector<CompiledProgram>> compiled_tsps_;
+  // Straight-line execution plan over the active TSPs (kSpecialize); points
+  // into compiled_tsps_/the pipeline templates and is rebuilt with them.
+  arch::PipelinePlan plan_;
+  bool plan_valid_ = false;
   // Flattened telemetry stage slots: TSP id -> first slot of its programs
   // (rebuilt by EnsureCompiled alongside the stage layout).
   std::vector<uint32_t> tsp_slot_base_;

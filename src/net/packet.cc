@@ -10,6 +10,12 @@ Packet::Packet(std::span<const uint8_t> bytes, size_t headroom)
   std::copy(bytes.begin(), bytes.end(), buffer_.begin() + offset_);
 }
 
+void Packet::Assign(std::span<const uint8_t> bytes, size_t headroom) {
+  buffer_.resize(headroom + bytes.size());
+  offset_ = headroom;
+  std::copy(bytes.begin(), bytes.end(), buffer_.begin() + offset_);
+}
+
 Status Packet::InsertBytes(size_t at, size_t count) {
   if (at > size()) {
     return OutOfRange("insert offset beyond packet end");

@@ -22,6 +22,12 @@ class Packet {
   explicit Packet(std::span<const uint8_t> bytes,
                   size_t headroom = kDefaultHeadroom);
 
+  // Refills this packet in place with new contents, reusing the buffer's
+  // capacity. A recycled packet (e.g. from a daemon TX->RX buffer pool)
+  // reaches steady state with no per-packet allocation.
+  void Assign(std::span<const uint8_t> bytes,
+              size_t headroom = kDefaultHeadroom);
+
   size_t size() const { return buffer_.size() - offset_; }
   bool empty() const { return size() == 0; }
   size_t headroom() const { return offset_; }

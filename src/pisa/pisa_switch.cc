@@ -5,6 +5,7 @@
 #include "arch/ii_model.h"
 #include "arch/parse_engine.h"
 #include "pisa/executor.h"
+#include "telemetry/plan_observers.h"
 #include "util/logging.h"
 
 namespace ipsa::pisa {
@@ -166,7 +167,7 @@ void PisaSwitch::EnsureCompiled() {
         out.resize(side.size());
         for (size_t i = 0; i < side.size(); ++i) {
           if (!side[i].has_value()) continue;
-          if (force_interpreter_) {
+          if (exec_mode_ == arch::ExecMode::kInterpret) {
             design_uses_registers_ |=
                 arch::StageMayUseRegisters(*side[i], actions_);
             continue;
@@ -185,6 +186,43 @@ void PisaSwitch::EnsureCompiled() {
       };
   compile_side(ingress_, compiled_ingress_);
   compile_side(egress_, compiled_egress_);
+
+  // Lower the physical stage array into the straight-line plan: active
+  // stages become groups (carrying any preceding empty stages' traversal
+  // cycles), trailing empties become the side's tail charge.
+  plan_ = arch::PipelinePlan{};
+  plan_valid_ = exec_mode_ == arch::ExecMode::kSpecialize;
+  if (plan_valid_) {
+    auto plan_side =
+        [](const std::vector<std::optional<arch::StageProgram>>& side,
+           const std::vector<std::optional<arch::CompiledStage>>& compiled,
+           uint32_t base_index, std::vector<arch::PlanGroup>& groups,
+           uint32_t& tail_cycles) {
+          uint32_t gap = 0;
+          for (size_t i = 0; i < side.size(); ++i) {
+            if (!side[i].has_value()) {
+              ++gap;
+              continue;
+            }
+            arch::PlanGroup group;
+            group.unit = base_index + static_cast<uint32_t>(i);
+            group.entry_cycles = 1 + gap;
+            gap = 0;
+            group.programs.push_back(arch::PlanProgram{
+                compiled[i].has_value() ? &*compiled[i] : nullptr,
+                &*side[i], group.unit});
+            groups.push_back(std::move(group));
+          }
+          tail_cycles = gap;
+        };
+    plan_side(ingress_, compiled_ingress_, 0, plan_.ingress,
+              plan_.ingress_tail_cycles);
+    plan_side(egress_, compiled_egress_, options_.physical_ingress_stages,
+              plan_.egress, plan_.egress_tail_cycles);
+    plan_.tm_cycles = 0;       // PISA's TM is free in the cycle model
+    plan_.jit_parse = false;   // the front parser ran before the walk
+    plan_.per_group_ii = false;
+  }
 
   ingress_port_slot_ = metadata_proto_.SlotOf("ingress_port");
   scratch_ctx_.metadata() = metadata_proto_;
@@ -236,6 +274,37 @@ Result<ProcessResult> PisaSwitch::ProcessCore(net::Packet& packet,
     for (const auto& h : ctx.phv().instances()) {
       if (h.valid) trace->parsed_headers.push_back(h.name);
     }
+  }
+
+  if (plan_valid_) {
+    // Specialized walk: pick the observer instantiation once, so the
+    // telemetry/trace branches vanish from the per-stage loop.
+    Result<arch::PlanRunStats> ran = InternalError("unreachable");
+    if (trace != nullptr) {
+      ran = arch::RunPlan(plan_, ctx, catalog_, actions_, &regs_,
+                          telemetry::PlanTraceObserver{tshard, trace});
+    } else if (tshard != nullptr) {
+      ran = arch::RunPlan(plan_, ctx, catalog_, actions_, &regs_,
+                          telemetry::PlanShardObserver{tshard});
+    } else {
+      ran = arch::RunPlan(plan_, ctx, catalog_, actions_, &regs_,
+                          arch::PlanNullObserver{});
+    }
+    IPSA_RETURN_IF_ERROR(ran.status());
+
+    result.dropped = ctx.dropped();
+    result.marked = ctx.marked();
+    result.egress_port = ctx.egress_spec();
+    result.cycles = ctx.cycles();
+    stats.total_cycles += ctx.cycles();
+    if (result.dropped) {
+      ++stats.packets_dropped;
+    } else {
+      ++stats.packets_out;
+    }
+    if (result.marked) ++stats.packets_marked;
+    if (tshard != nullptr) tshard->OnResult(in_port, result);
+    return result;
   }
 
   // All physical ingress stages are traversed in order whether or not they
@@ -380,6 +449,11 @@ Result<uint32_t> PisaSwitch::RunToCompletion(uint32_t workers) {
   for (const DeviceStats& s : worker_stats) stats_.MergeFrom(s);
   telemetry_.MergeWorkerShards(worker_shards);
   return processed;
+}
+
+std::string PisaSwitch::PlanToString() {
+  EnsureCompiled();
+  return plan_valid_ ? plan_.ToString() : std::string();
 }
 
 uint32_t PisaSwitch::ActiveIngressStages() const {

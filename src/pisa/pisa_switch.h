@@ -20,6 +20,7 @@
 
 #include "arch/compiled_stage.h"
 #include "arch/design.h"
+#include "arch/pipeline_plan.h"
 #include "net/ports.h"
 #include "pisa/device_stats.h"
 #include "telemetry/collector.h"
@@ -90,17 +91,25 @@ class PisaSwitch {
   // Bumped on every functional change (LoadDesign); tags snapshots/traces.
   uint64_t config_epoch() const { return config_epoch_; }
 
-  // Pins every stage to the interpreter (RunStage) instead of the compiled
-  // fast path. The differential fuzzing harness uses this to cross-check the
-  // two execution paths on identical devices; flipping it invalidates the
-  // compiled state like any other config change.
-  void SetForceInterpreter(bool force) {
-    if (force_interpreter_ != force) {
-      force_interpreter_ = force;
+  // Pins the execution mode (default: the epoch-specialized pipeline plan).
+  // The differential fuzzing harness pins devices to each mode to
+  // cross-check the execution paths on identical devices; flipping it
+  // invalidates the compiled state like any other config change.
+  void SetExecMode(arch::ExecMode mode) {
+    if (exec_mode_ != mode) {
+      exec_mode_ = mode;
       ++config_epoch_;
     }
   }
-  bool force_interpreter() const { return force_interpreter_; }
+  arch::ExecMode exec_mode() const { return exec_mode_; }
+  // Back-compat spelling: pins every stage to the interpreter (RunStage).
+  void SetForceInterpreter(bool force) {
+    SetExecMode(force ? arch::ExecMode::kInterpret
+                      : arch::ExecMode::kSpecialize);
+  }
+  bool force_interpreter() const {
+    return exec_mode_ == arch::ExecMode::kInterpret;
+  }
 
   arch::RegisterFile& registers() { return regs_; }
 
@@ -112,6 +121,11 @@ class PisaSwitch {
   // Number of physical stages with a program mapped.
   uint32_t ActiveIngressStages() const;
   uint32_t ActiveEgressStages() const;
+
+  // Debug/test introspection: the specialized plan for the current config
+  // state (forces the lazy rebuild). Empty unless exec_mode() is
+  // kSpecialize — the other modes run the generic walk with no plan.
+  std::string PlanToString();
 
  private:
   void Reset();
@@ -162,10 +176,14 @@ class PisaSwitch {
     bool operator==(const CompiledKey&) const = default;
   };
   uint64_t config_epoch_ = 1;
-  bool force_interpreter_ = false;
+  arch::ExecMode exec_mode_ = arch::ExecMode::kSpecialize;
   CompiledKey compiled_key_;  // all-zero: never matches the first key
   std::vector<std::optional<arch::CompiledStage>> compiled_ingress_;
   std::vector<std::optional<arch::CompiledStage>> compiled_egress_;
+  // Straight-line execution plan over the physical stages (kSpecialize);
+  // points into ingress_/egress_/compiled_* and is rebuilt with them.
+  arch::PipelinePlan plan_;
+  bool plan_valid_ = false;
   bool design_uses_registers_ = false;
   int ingress_port_slot_ = arch::Metadata::kInvalidSlot;
   arch::PacketContext scratch_ctx_;

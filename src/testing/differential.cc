@@ -135,13 +135,13 @@ PktResult ToPktResult(const telemetry::ProcessResult& r,
 
 class PbmHarness : public Harness {
  public:
-  explicit PbmHarness(bool interp) : ctl_(dev_, {}), interp_(interp) {}
+  explicit PbmHarness(arch::ExecMode mode) : ctl_(dev_, {}), mode_(mode) {}
 
   Status Load(const CaseFile& c) override {
     telemetry::TelemetryConfig tc;
     tc.enabled = true;
     dev_.ConfigureTelemetry(tc);
-    dev_.SetForceInterpreter(interp_);
+    dev_.SetExecMode(mode_);
     IPSA_ASSIGN_OR_RETURN(auto timing, ctl_.CompileAndLoad(c.p4_v1));
     (void)timing;
     return OkStatus();
@@ -182,7 +182,7 @@ class PbmHarness : public Harness {
  private:
   pisa::PisaSwitch dev_;
   controller::PisaFlowController ctl_;
-  bool interp_;
+  arch::ExecMode mode_;
 };
 
 class IpbmHarness : public Harness {
@@ -196,7 +196,20 @@ class IpbmHarness : public Harness {
     telemetry::TelemetryConfig tc;
     tc.enabled = true;
     dev_.ConfigureTelemetry(tc);
-    dev_.SetForceInterpreter(mode_ == Mode::kInterp);
+    // kParallel runs the default specialized plan through the batch
+    // executor; kCompiled pins the generic compiled-stage walk so both
+    // executor structures stay covered.
+    switch (mode_) {
+      case Mode::kInterp:
+        dev_.SetExecMode(arch::ExecMode::kInterpret);
+        break;
+      case Mode::kCompiled:
+        dev_.SetExecMode(arch::ExecMode::kCompile);
+        break;
+      case Mode::kParallel:
+        dev_.SetExecMode(arch::ExecMode::kSpecialize);
+        break;
+    }
     IPSA_ASSIGN_OR_RETURN(auto timing, ctl_.LoadBaseFromP4(c.p4_v1));
     (void)timing;
     return OkStatus();
@@ -492,16 +505,17 @@ Result<DiffReport> RunCase(const CaseFile& c, const DiffOptions& options) {
     bool prev;
   } guard(options.inject_fault);
 
-  PbmHarness pbm_i(/*interp=*/true);
-  PbmHarness pbm_c(/*interp=*/false);
+  PbmHarness pbm_i(arch::ExecMode::kInterpret);
+  PbmHarness pbm_c(arch::ExecMode::kCompile);
+  PbmHarness pbm_s(arch::ExecMode::kSpecialize);
   IpbmHarness ipbm_i(IpbmHarness::Mode::kInterp, options.parallel_workers);
   IpbmHarness ipbm_c(IpbmHarness::Mode::kCompiled, options.parallel_workers);
   IpbmHarness ipbm_p(IpbmHarness::Mode::kParallel, options.parallel_workers);
 
   std::vector<std::pair<Harness*, std::string>> configs = {
-      {&pbm_i, "pbm-interp"},     {&pbm_c, "pbm-compiled"},
-      {&ipbm_i, "ipbm-interp"},   {&ipbm_c, "ipbm-compiled"},
-      {&ipbm_p, "ipbm-parallel"},
+      {&pbm_i, "pbm-interp"},   {&pbm_c, "pbm-compiled"},
+      {&pbm_s, "pbm-spec"},     {&ipbm_i, "ipbm-interp"},
+      {&ipbm_c, "ipbm-compiled"}, {&ipbm_p, "ipbm-parallel"},
   };
 
   std::vector<ConfigRun> runs;
@@ -523,27 +537,33 @@ Result<DiffReport> RunCase(const CaseFile& c, const DiffOptions& options) {
     }
   };
 
-  // Per-packet results across the four per-packet configurations.
-  const size_t kPerPacket[] = {0, 1, 2, 3};
-  for (size_t i = 1; i < 4; ++i) {
+  // Per-packet results across the five per-packet configurations
+  // (ipbm-parallel reorders completion, so it is excluded here and held to
+  // the stream-level comparisons below).
+  const size_t kPerPacket[] = {0, 1, 2, 3, 4};
+  for (size_t i = 1; i < std::size(kPerPacket); ++i) {
     if (std::string d = ComparePackets(runs[kPerPacket[0]], runs[kPerPacket[i]]);
         !d.empty()) {
       fail(d);
       return report;
     }
   }
-  // Cycle counts must match within an architecture (the compiled fast path
-  // charges exactly the interpreter's cycle model).
+  // Cycle counts must match within an architecture (the compiled and
+  // specialized fast paths charge exactly the interpreter's cycle model).
   if (std::string d = CompareCycles(runs[0], runs[1]); !d.empty()) {
     fail(d);
     return report;
   }
-  if (std::string d = CompareCycles(runs[2], runs[3]); !d.empty()) {
+  if (std::string d = CompareCycles(runs[0], runs[2]); !d.empty()) {
+    fail(d);
+    return report;
+  }
+  if (std::string d = CompareCycles(runs[3], runs[4]); !d.empty()) {
     fail(d);
     return report;
   }
   // TX streams, per-segment table deltas, and aggregate packet counters
-  // across all five configurations.
+  // across all six configurations.
   for (size_t i = 1; i < runs.size(); ++i) {
     if (std::string d = CompareTx(runs[0], runs[i]); !d.empty()) {
       fail(d);
@@ -563,16 +583,20 @@ Result<DiffReport> RunCase(const CaseFile& c, const DiffOptions& options) {
     }
   }
   // Full telemetry shard equality (cycle histograms included) within an
-  // architecture: pbm pair, and all three ipbm configurations.
+  // architecture: all three pbm and all three ipbm configurations.
   if (!(runs[0].shard == runs[1].shard)) {
     fail("pbm telemetry shards differ between interpreter and compiled");
     return report;
   }
-  if (!(runs[2].shard == runs[3].shard)) {
+  if (!(runs[0].shard == runs[2].shard)) {
+    fail("pbm telemetry shards differ between interpreter and specialized");
+    return report;
+  }
+  if (!(runs[3].shard == runs[4].shard)) {
     fail("ipbm telemetry shards differ between interpreter and compiled");
     return report;
   }
-  if (!(runs[2].shard == runs[4].shard)) {
+  if (!(runs[3].shard == runs[5].shard)) {
     fail("ipbm telemetry shards differ between serial and parallel");
     return report;
   }
@@ -590,20 +614,21 @@ Result<DiffReport> RunCase(const CaseFile& c, const DiffOptions& options) {
       return report;
     }
   }
-  if (runs[0].saw_update && runs[0].epoch_delta != runs[1].epoch_delta) {
+  if (runs[0].saw_update && (runs[0].epoch_delta != runs[1].epoch_delta ||
+                             runs[0].epoch_delta != runs[2].epoch_delta)) {
     fail("pbm configs disagree on epoch advance across the update");
     return report;
   }
-  if (runs[2].saw_update && (runs[2].epoch_delta != runs[3].epoch_delta ||
-                             runs[2].epoch_delta != runs[4].epoch_delta)) {
+  if (runs[3].saw_update && (runs[3].epoch_delta != runs[4].epoch_delta ||
+                             runs[3].epoch_delta != runs[5].epoch_delta)) {
     fail("ipbm configs disagree on epoch advance across the update");
     return report;
   }
-  if (runs[0].updates != runs[1].updates) {
+  if (runs[0].updates != runs[1].updates || runs[0].updates != runs[2].updates) {
     fail("pbm configs disagree on telemetry update count");
     return report;
   }
-  if (runs[2].updates != runs[3].updates || runs[2].updates != runs[4].updates) {
+  if (runs[3].updates != runs[4].updates || runs[3].updates != runs[5].updates) {
     fail("ipbm configs disagree on telemetry update count");
     return report;
   }

@@ -1,12 +1,13 @@
 // Differential execution of one fuzz case over every execution path.
 //
-// Five configurations process the identical (program, traffic, churn)
+// Six configurations process the identical (program, traffic, churn)
 // schedule:
-//   pbm-interp    PISA device, compiled fast path disabled
-//   pbm-compiled  PISA device, compiled fast path
-//   ipbm-interp   IPSA device, compiled fast path disabled
-//   ipbm-compiled IPSA device, compiled fast path
-//   ipbm-parallel IPSA device, 4-worker run-to-completion batch executor
+//   pbm-interp    PISA device, interpreter only
+//   pbm-compiled  PISA device, generic compiled-stage walk
+//   pbm-spec      PISA device, epoch-specialized pipeline plan
+//   ipbm-interp   IPSA device, interpreter only
+//   ipbm-compiled IPSA device, generic compiled-stage walk
+//   ipbm-parallel IPSA device, specialized plan + 4-worker batch executor
 //
 // The PISA configurations full-reload v2 at the update op (entries restored
 // from the controller shadow); the IPSA configurations apply the in-situ
@@ -36,7 +37,7 @@ struct DiffReport {
   std::string detail;  // first divergence, human-readable
 };
 
-// Runs one case through all five configurations. A Status error means the
+// Runs one case through all six configurations. A Status error means the
 // case could not even execute (a front-end or harness defect — also a
 // failure for the fuzzer, just a different kind).
 Result<DiffReport> RunCase(const CaseFile& c, const DiffOptions& options = {});

@@ -1,0 +1,159 @@
+#include "wire/udp_batch.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+
+namespace ipsa::wire {
+
+namespace {
+
+Status Errno(const char* what) {
+  return InternalError(std::string(what) + ": " + ::strerror(errno));
+}
+
+bool WouldBlock() { return errno == EAGAIN || errno == EWOULDBLOCK; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UdpBatchReceiver
+// ---------------------------------------------------------------------------
+
+UdpBatchReceiver::UdpBatchReceiver(uint32_t batch, size_t buf_bytes)
+    : batch_(std::clamp(batch, kMinUdpBatch, kMaxUdpBatch)),
+      buf_bytes_(buf_bytes),
+      buffers_(static_cast<size_t>(batch_) * buf_bytes),
+      lens_(batch_, 0),
+      froms_(batch_) {
+#if defined(__linux__)
+  msgs_.resize(batch_);
+  iovs_.resize(batch_);
+  for (uint32_t i = 0; i < batch_; ++i) {
+    iovs_[i].iov_base = buffers_.data() + static_cast<size_t>(i) * buf_bytes_;
+    iovs_[i].iov_len = buf_bytes_;
+    msgs_[i] = mmsghdr{};
+    msgs_[i].msg_hdr.msg_iov = &iovs_[i];
+    msgs_[i].msg_hdr.msg_iovlen = 1;
+    msgs_[i].msg_hdr.msg_name = &froms_[i];
+    msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+  }
+#endif
+}
+
+Result<uint32_t> UdpBatchReceiver::Recv(int fd) {
+#if defined(__linux__)
+  if (!force_portable_) {
+    // The kernel rewrites msg_namelen / msg_flags per call; restore the
+    // address capacity before every batch.
+    for (uint32_t i = 0; i < batch_; ++i) {
+      msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    while (true) {
+      int n = ::recvmmsg(fd, msgs_.data(), batch_, 0, nullptr);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (WouldBlock()) return 0u;
+        return Errno("recvmmsg");
+      }
+      for (int i = 0; i < n; ++i) {
+        lens_[i] = std::min<size_t>(msgs_[i].msg_len, buf_bytes_);
+      }
+      return static_cast<uint32_t>(n);
+    }
+  }
+#endif
+  // Portable drain: one recvfrom per datagram until EAGAIN or batch full.
+  uint32_t filled = 0;
+  while (filled < batch_) {
+    socklen_t from_len = sizeof(sockaddr_in);
+    ssize_t n = ::recvfrom(
+        fd, buffers_.data() + static_cast<size_t>(filled) * buf_bytes_,
+        buf_bytes_, 0, reinterpret_cast<sockaddr*>(&froms_[filled]),
+        &from_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (WouldBlock()) break;
+      return Errno("recvfrom");
+    }
+    lens_[filled] = static_cast<size_t>(n);
+    ++filled;
+  }
+  return filled;
+}
+
+// ---------------------------------------------------------------------------
+// UdpBatchSender
+// ---------------------------------------------------------------------------
+
+UdpBatchSender::UdpBatchSender(uint32_t batch)
+    : batch_(std::clamp(batch, kMinUdpBatch, kMaxUdpBatch)),
+      payloads_(batch_),
+      tos_(batch_) {
+#if defined(__linux__)
+  msgs_.resize(batch_);
+  iovs_.resize(batch_);
+#endif
+}
+
+bool UdpBatchSender::Add(std::span<const uint8_t> payload,
+                         const sockaddr_in& to) {
+  if (count_ >= batch_) return false;
+  payloads_[count_] = payload;
+  tos_[count_] = to;
+  ++count_;
+  return true;
+}
+
+Result<uint32_t> UdpBatchSender::Flush(int fd) {
+  const size_t total = count_;
+  count_ = 0;
+  if (total == 0) return 0u;
+  uint32_t sent_ok = 0;
+#if defined(__linux__)
+  if (!force_portable_) {
+    for (size_t i = 0; i < total; ++i) {
+      iovs_[i].iov_base = const_cast<uint8_t*>(payloads_[i].data());
+      iovs_[i].iov_len = payloads_[i].size();
+      msgs_[i] = mmsghdr{};
+      msgs_[i].msg_hdr.msg_iov = &iovs_[i];
+      msgs_[i].msg_hdr.msg_iovlen = 1;
+      msgs_[i].msg_hdr.msg_name = &tos_[i];
+      msgs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    size_t off = 0;
+    while (off < total) {
+      int n = ::sendmmsg(fd, msgs_.data() + off,
+                         static_cast<unsigned int>(total - off), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        // Socket buffer full (or a transient error): the rest is dropped,
+        // exactly like the old per-packet sendto that ignored failures.
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        if (msgs_[off + static_cast<size_t>(i)].msg_len ==
+            payloads_[off + static_cast<size_t>(i)].size()) {
+          ++sent_ok;
+        }
+      }
+      off += static_cast<size_t>(n);
+    }
+    return sent_ok;
+  }
+#endif
+  for (size_t i = 0; i < total; ++i) {
+    ssize_t n;
+    do {
+      n = ::sendto(fd, payloads_[i].data(), payloads_[i].size(), 0,
+                   reinterpret_cast<const sockaddr*>(&tos_[i]),
+                   sizeof(sockaddr_in));
+    } while (n < 0 && errno == EINTR);
+    if (n == static_cast<ssize_t>(payloads_[i].size())) ++sent_ok;
+  }
+  return sent_ok;
+}
+
+}  // namespace ipsa::wire

@@ -1,0 +1,102 @@
+// Batched UDP datagram I/O for the switch daemon's packet plane.
+//
+// switchd originally paid one recvfrom/sendto syscall per datagram; at the
+// packet rates the soft switch now sustains that syscall is the dominant
+// per-packet cost. These helpers amortize it across bursts:
+//
+//   UdpBatchReceiver  one recvmmsg(2) pulls up to `batch` datagrams (with
+//                     their source addresses) into preallocated buffers;
+//   UdpBatchSender    queues up to `batch` datagrams and flushes them with
+//                     one sendmmsg(2).
+//
+// On non-Linux platforms — or when ForcePortable(true) is set, which the
+// tests use to cover both paths on one machine — the same API degrades to a
+// recvfrom/sendto loop with identical semantics: the receiver still drains
+// until EAGAIN or a full batch, the sender still reports per-datagram
+// completion. Sockets must be non-blocking; a return of 0 received means
+// the socket is drained.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ipsa::wire {
+
+// Batch size bounds shared with switchd's flag validation.
+inline constexpr uint32_t kMinUdpBatch = 1;
+inline constexpr uint32_t kMaxUdpBatch = 256;
+
+class UdpBatchReceiver {
+ public:
+  // `buf_bytes` is the per-datagram buffer capacity (a jumbo frame fits in
+  // the daemon's 64 KiB default); larger datagrams are truncated by the
+  // kernel exactly as with a short recvfrom buffer.
+  explicit UdpBatchReceiver(uint32_t batch, size_t buf_bytes = 64 * 1024);
+
+  uint32_t batch() const { return batch_; }
+
+  // Receives up to batch() datagrams from the non-blocking socket `fd` in
+  // one call. Returns the number filled; 0 means the socket is drained
+  // (EAGAIN). Zero-length datagrams count and surface with size 0.
+  Result<uint32_t> Recv(int fd);
+
+  // Datagram i of the last Recv (valid until the next Recv).
+  std::span<uint8_t> data(uint32_t i) {
+    return std::span<uint8_t>(buffers_.data() + i * buf_bytes_, lens_[i]);
+  }
+  const sockaddr_in& from(uint32_t i) const { return froms_[i]; }
+
+  // Test hook: route through the recvfrom loop even where recvmmsg exists.
+  void ForcePortable(bool portable) { force_portable_ = portable; }
+
+ private:
+  uint32_t batch_;
+  size_t buf_bytes_;
+  bool force_portable_ = false;
+  std::vector<uint8_t> buffers_;  // batch_ * buf_bytes_, contiguous
+  std::vector<size_t> lens_;
+  std::vector<sockaddr_in> froms_;
+#if defined(__linux__)
+  std::vector<mmsghdr> msgs_;
+  std::vector<iovec> iovs_;
+#endif
+};
+
+class UdpBatchSender {
+ public:
+  explicit UdpBatchSender(uint32_t batch);
+
+  uint32_t batch() const { return batch_; }
+  uint32_t pending() const { return static_cast<uint32_t>(count_); }
+
+  // Queues one datagram. The payload span must stay alive until Flush.
+  // Returns false when the batch is full (flush first).
+  bool Add(std::span<const uint8_t> payload, const sockaddr_in& to);
+
+  // Sends everything queued on the non-blocking socket `fd` with as few
+  // syscalls as possible and clears the queue. Returns how many datagrams
+  // were fully sent; a full socket buffer (EAGAIN) drops the remainder,
+  // matching the daemon's historical one-sendto-per-packet semantics.
+  Result<uint32_t> Flush(int fd);
+
+  // Test hook: route through the sendto loop even where sendmmsg exists.
+  void ForcePortable(bool portable) { force_portable_ = portable; }
+
+ private:
+  uint32_t batch_;
+  size_t count_ = 0;
+  bool force_portable_ = false;
+  std::vector<std::span<const uint8_t>> payloads_;
+  std::vector<sockaddr_in> tos_;
+#if defined(__linux__)
+  std::vector<mmsghdr> msgs_;
+  std::vector<iovec> iovs_;
+#endif
+};
+
+}  // namespace ipsa::wire

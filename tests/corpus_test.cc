@@ -1,5 +1,5 @@
 // Replays every committed repro under tests/corpus/ through the full
-// five-configuration differential harness. These files are shrunk rp4fuzz
+// six-configuration differential harness. These files are shrunk rp4fuzz
 // outputs from past fault-injection runs: with the fault switched off they
 // must execute cleanly and bit-identically everywhere, so any future
 // regression in either data plane, either compiler flow, or the harness

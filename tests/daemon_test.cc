@@ -15,6 +15,7 @@
 #include "net/packet_builder.h"
 #include "rpc/client.h"
 #include "wire/socket.h"
+#include "wire/udp_batch.h"
 
 namespace ipsa::daemon {
 namespace {
@@ -205,6 +206,85 @@ TEST_F(SwitchdTest, LoopbackForwardingMatchesInProcessDevice) {
   EXPECT_EQ(stats->packets_in, 32u);
   EXPECT_GT(switchd_->counters().udp_rx, 0u);
   EXPECT_GT(switchd_->counters().udp_tx, 0u);
+}
+
+// Batch sizes outside [kMinUdpBatch, kMaxUdpBatch] must fail Start()
+// cleanly — never bind a socket with a nonsense burst configuration.
+TEST(SwitchdOptionsValidation, RejectsBatchSizesOutsideBounds) {
+  struct Case {
+    uint32_t rx, tx;
+  };
+  const Case bad[] = {{0, 64}, {wire::kMaxUdpBatch + 1, 64},
+                      {64, 0}, {64, wire::kMaxUdpBatch + 1}};
+  for (const Case& c : bad) {
+    SwitchdOptions options;
+    options.udp_ports = 1;
+    options.rx_batch = c.rx;
+    options.tx_batch = c.tx;
+    Switchd daemon(options);
+    Status s = daemon.Start();
+    EXPECT_FALSE(s.ok()) << "rx=" << c.rx << " tx=" << c.tx;
+    EXPECT_FALSE(daemon.running());
+  }
+  // The boundary values themselves are valid configurations.
+  SwitchdOptions options;
+  options.udp_ports = 1;
+  options.rx_batch = wire::kMinUdpBatch;
+  options.tx_batch = wire::kMaxUdpBatch;
+  Switchd daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  daemon.Stop();
+}
+
+// A flood larger than one recvmmsg burst: the until-EAGAIN drain plus the
+// batched TX path must return every frame, bit-identical, in order. Also
+// exercises the TX->RX packet-buffer recycling pool in steady state.
+TEST_F(SwitchdTest, UdpBurstRoundTripReturnsEveryFrame) {
+  StartDaemon(ArchKind::kIpsa);
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  ASSERT_TRUE(client
+                  .Install(rpc::InstallKind::kBaseP4,
+                           controller::designs::BaseP4())
+                  .ok());
+  auto api = client.FetchApi();
+  ASSERT_TRUE(api.ok());
+  std::vector<rpc::TableOp> ops =
+      CollectOps(*api, &controller::PopulateBaseline);
+  ASSERT_TRUE(client.ApplyBatch(ops).ok());
+
+  // Reference output for the canonical frame.
+  IpsaBackend ref;
+  ASSERT_TRUE(
+      ref.Install(rpc::InstallKind::kBaseP4, controller::designs::BaseP4())
+          .ok());
+  for (const rpc::TableOp& op : ops) {
+    ASSERT_TRUE(ref.ApplyTableOp(op).ok());
+  }
+  net::Packet ref_pkt = V4Packet(4, 4000);
+  auto expected = InjectAndDrain(ref, std::move(ref_pkt), 0);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), 1u);
+  const uint32_t out_port = (*expected)[0].port;
+  std::vector<uint8_t> want((*expected)[0].packet.bytes().begin(),
+                            (*expected)[0].packet.bytes().end());
+
+  RegisterPeers();
+  net::Packet pkt = V4Packet(4, 4000);
+  std::vector<uint8_t> bytes(pkt.bytes().begin(), pkt.bytes().end());
+  // Larger than the default rx_batch (64), so the daemon needs several
+  // recvmmsg calls — and at least two pump iterations — to drain it.
+  constexpr uint32_t kBurst = 200;
+  for (uint32_t i = 0; i < kBurst; ++i) {
+    SendToPort(0, bytes);
+  }
+  for (uint32_t i = 0; i < kBurst; ++i) {
+    auto got = RecvDatagram(peers_[out_port], 10000);
+    ASSERT_TRUE(got.ok()) << "missing packet-out " << i << ": "
+                          << got.status().ToString();
+    ASSERT_EQ(*got, want) << "frame " << i << " diverged";
+  }
+  EXPECT_GE(switchd_->counters().udp_rx, static_cast<uint64_t>(kBurst));
+  EXPECT_GE(switchd_->counters().udp_tx, static_cast<uint64_t>(kBurst));
 }
 
 // --- telemetry over the wire -------------------------------------------------

@@ -391,5 +391,152 @@ TEST(FastPathDeterminism, IpbmRecompileAcrossTemplateWrite) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Execution-mode equivalence: interpreter / compiled walk / specialized plan
+// ---------------------------------------------------------------------------
+
+constexpr arch::ExecMode kAllModes[] = {arch::ExecMode::kInterpret,
+                                        arch::ExecMode::kCompile,
+                                        arch::ExecMode::kSpecialize};
+
+const char* ModeName(arch::ExecMode m) {
+  switch (m) {
+    case arch::ExecMode::kInterpret: return "interpret";
+    case arch::ExecMode::kCompile: return "compile";
+    case arch::ExecMode::kSpecialize: return "specialize";
+  }
+  return "?";
+}
+
+// Three identically-configured devices, one per execution mode, fed the
+// same workload: results, cycle ledgers and final packet bytes must be
+// bit-identical (the specialized plan promises exactly the interpreter's
+// semantics, dead-stage cycle folding included).
+template <typename MakeSetup>
+void CheckExecModeEquivalence(MakeSetup make, UseCase uc) {
+  SCOPED_TRACE(UseCaseName(uc));
+  std::vector<std::vector<pisa::ProcessResult>> results(3);
+  std::vector<std::vector<net::Packet>> pkts;
+  for (size_t m = 0; m < 3; ++m) {
+    net::Workload populate_workload(WorkloadFor(uc));
+    auto setup = make(uc, &populate_workload);
+    ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+    setup->device->SetExecMode(kAllModes[m]);
+    pkts.push_back(MakeWorkloadPackets(uc));
+    for (net::Packet& p : pkts.back()) {
+      auto r = setup->device->Process(p, 1);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      results[m].push_back(*r);
+    }
+  }
+  for (size_t m = 1; m < 3; ++m) {
+    ASSERT_EQ(results[0].size(), results[m].size());
+    for (size_t i = 0; i < results[0].size(); ++i) {
+      ExpectSameResult(results[0][i], results[m][i],
+                       std::string(ModeName(kAllModes[m])) + " packet " +
+                           std::to_string(i));
+      EXPECT_TRUE(pkts[0][i] == pkts[m][i])
+          << ModeName(kAllModes[m]) << " bytes diverged at " << i;
+    }
+  }
+}
+
+TEST(ExecModeEquivalence, Ipbm) {
+  for (UseCase uc : kAllUseCases) {
+    CheckExecModeEquivalence(
+        [](UseCase u, const net::Workload* w) { return MakeRp4Setup(u, w); },
+        uc);
+  }
+}
+
+TEST(ExecModeEquivalence, Pbm) {
+  for (UseCase uc : kAllUseCases) {
+    CheckExecModeEquivalence(
+        [](UseCase u, const net::Workload* w) { return MakePisaSetup(u, w); },
+        uc);
+  }
+}
+
+// Flipping the mode mid-stream (specialize -> interpret -> specialize) is a
+// config mutation: the plan is dropped, packets run the generic walk, and
+// the next specialize rebuilds the plan under the new epoch. Results must
+// stay identical to a device that never left the specialized path.
+TEST(ExecModeEquivalence, IpbmModeFlipMidStreamIsSeamless) {
+  for (UseCase uc : kAllUseCases) {
+    SCOPED_TRACE(UseCaseName(uc));
+    net::Workload populate_workload(WorkloadFor(uc));
+    auto steady = MakeRp4Setup(uc, &populate_workload);
+    ASSERT_TRUE(steady.ok()) << steady.status().ToString();
+    net::Workload populate_workload2(WorkloadFor(uc));
+    auto flipped = MakeRp4Setup(uc, &populate_workload2);
+    ASSERT_TRUE(flipped.ok()) << flipped.status().ToString();
+
+    std::vector<net::Packet> steady_pkts = MakeWorkloadPackets(uc);
+    std::vector<net::Packet> flip_pkts = MakeWorkloadPackets(uc);
+
+    std::vector<pisa::ProcessResult> steady_results;
+    std::vector<pisa::ProcessResult> flip_results;
+    auto process_range = [](auto& setup, std::vector<net::Packet>& pkts,
+                            size_t from, size_t to,
+                            std::vector<pisa::ProcessResult>& out) {
+      for (size_t i = from; i < to; ++i) {
+        auto r = setup->device->Process(pkts[i], 1);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        out.push_back(*r);
+      }
+    };
+
+    process_range(steady, steady_pkts, 0, steady_pkts.size(), steady_results);
+    size_t third = flip_pkts.size() / 3;
+    process_range(flipped, flip_pkts, 0, third, flip_results);
+    flipped->device->SetExecMode(arch::ExecMode::kInterpret);
+    process_range(flipped, flip_pkts, third, 2 * third, flip_results);
+    flipped->device->SetExecMode(arch::ExecMode::kSpecialize);
+    process_range(flipped, flip_pkts, 2 * third, flip_pkts.size(),
+                  flip_results);
+
+    ASSERT_EQ(steady_results.size(), flip_results.size());
+    for (size_t i = 0; i < steady_results.size(); ++i) {
+      ExpectSameResult(steady_results[i], flip_results[i],
+                       "packet " + std::to_string(i));
+      EXPECT_TRUE(steady_pkts[i] == flip_pkts[i])
+          << "packet bytes diverged at " << i;
+    }
+  }
+}
+
+// Structural check of dead-stage elision: the PISA plan has one group per
+// *mapped* physical stage (empty stages vanish from the walk), their
+// traversal cycles folded into successor entry charges or the side tails,
+// and the plan only exists in specialize mode.
+TEST(ExecModeEquivalence, PbmPlanElidesEmptyStages) {
+  net::Workload populate_workload(WorkloadFor(UseCase::kBase));
+  auto setup = MakePisaSetup(UseCase::kBase, &populate_workload);
+  ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+  pisa::PisaSwitch& dev = *setup->device;
+
+  std::string plan = dev.PlanToString();
+  ASSERT_FALSE(plan.empty());
+  size_t groups = 0;
+  for (size_t pos = plan.find("[unit"); pos != std::string::npos;
+       pos = plan.find("[unit", pos + 1)) {
+    ++groups;
+  }
+  EXPECT_EQ(groups, dev.ActiveIngressStages() + dev.ActiveEgressStages());
+  // The base design maps fewer programs than physical stages, so elision
+  // must actually fire: folded entry charges (+Ncy, N > 1) or tail charges.
+  ASSERT_LT(groups,
+            static_cast<size_t>(2 * dev.physical_ingress_stages()));
+  EXPECT_TRUE(plan.find("tail+") != std::string::npos ||
+              plan.find("+2cy") != std::string::npos ||
+              plan.find("+3cy") != std::string::npos)
+      << plan;
+
+  dev.SetExecMode(arch::ExecMode::kCompile);
+  EXPECT_EQ(dev.PlanToString(), "");
+  dev.SetExecMode(arch::ExecMode::kInterpret);
+  EXPECT_EQ(dev.PlanToString(), "");
+}
+
 }  // namespace
 }  // namespace ipsa

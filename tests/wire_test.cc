@@ -2,10 +2,17 @@
 // frame-stream corruption, and the dispatcher's never-crash guarantees.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <poll.h>
+
 #include <cstring>
+#include <span>
+#include <vector>
 
 #include "rpc/protocol.h"
 #include "rpc/server.h"
+#include "wire/socket.h"
+#include "wire/udp_batch.h"
 #include "wire/wire.h"
 
 namespace ipsa::wire {
@@ -190,6 +197,146 @@ TEST(FrameCodec, ResetClearsCorruption) {
   Frame f{.type = 2, .seq = 9, .payload = {7}};
   dec.Feed(EncodeFrame(f));
   EXPECT_EQ(**dec.Next(), f);
+}
+
+// ---------------------------------------------------------------------------
+// Batched UDP I/O. Every loopback test runs twice: once on the native
+// recvmmsg/sendmmsg path and once with ForcePortable(true), so the
+// portable fallback stays equivalent on the machine that has the fast
+// path.
+// ---------------------------------------------------------------------------
+
+struct BatchPair {
+  Socket a;
+  Socket b;
+  sockaddr_in to_b{};
+
+  static BatchPair Make() {
+    BatchPair p;
+    auto a = UdpBind("127.0.0.1", 0);
+    auto b = UdpBind("127.0.0.1", 0);
+    EXPECT_TRUE(a.ok() && b.ok());
+    p.a = std::move(*a);
+    p.b = std::move(*b);
+    EXPECT_TRUE(SetNonBlocking(p.a.fd(), true).ok());
+    EXPECT_TRUE(SetNonBlocking(p.b.fd(), true).ok());
+    auto b_port = LocalPort(p.b);
+    EXPECT_TRUE(b_port.ok());
+    p.to_b.sin_family = AF_INET;
+    p.to_b.sin_port = htons(*b_port);
+    p.to_b.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return p;
+  }
+};
+
+// Loopback delivery is reliable but not instant; poll for readability.
+void AwaitReadable(int fd) {
+  pollfd pfd{fd, POLLIN, 0};
+  ASSERT_GT(::poll(&pfd, 1, 5000), 0) << "datagrams never arrived";
+}
+
+void BurstRoundtrip(bool portable) {
+  BatchPair p = BatchPair::Make();
+  constexpr uint32_t kCount = 48;
+
+  UdpBatchSender sender(kCount);
+  sender.ForcePortable(portable);
+  std::vector<std::vector<uint8_t>> payloads;
+  for (uint32_t i = 0; i < kCount; ++i) {
+    payloads.push_back({static_cast<uint8_t>(i), 0xAB,
+                        static_cast<uint8_t>(i * 3)});
+  }
+  for (uint32_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(sender.Add(payloads[i], p.to_b));
+  }
+  EXPECT_EQ(sender.pending(), kCount);
+  auto sent = sender.Flush(p.a.fd());
+  ASSERT_TRUE(sent.ok()) << sent.status().ToString();
+  EXPECT_EQ(*sent, kCount);
+  EXPECT_EQ(sender.pending(), 0u);
+
+  UdpBatchReceiver receiver(/*batch=*/16);
+  receiver.ForcePortable(portable);
+  auto a_port = LocalPort(p.a);
+  ASSERT_TRUE(a_port.ok());
+  uint32_t got = 0;
+  while (got < kCount) {
+    AwaitReadable(p.b.fd());
+    auto n = receiver.Recv(p.b.fd());
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_GT(*n, 0u);
+    ASSERT_LE(*n, receiver.batch());
+    for (uint32_t i = 0; i < *n; ++i) {
+      std::span<uint8_t> data = receiver.data(i);
+      const std::vector<uint8_t>& want = payloads[got + i];
+      EXPECT_EQ(std::vector<uint8_t>(data.begin(), data.end()), want);
+      EXPECT_EQ(receiver.from(i).sin_port, htons(*a_port));
+      EXPECT_EQ(ntohl(receiver.from(i).sin_addr.s_addr), INADDR_LOOPBACK);
+    }
+    got += *n;
+  }
+  EXPECT_EQ(got, kCount);
+  // Socket drained: the next Recv reports 0 without blocking.
+  auto empty = receiver.Recv(p.b.fd());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0u);
+}
+
+TEST(UdpBatch, BurstRoundtripNative) { BurstRoundtrip(/*portable=*/false); }
+TEST(UdpBatch, BurstRoundtripPortable) { BurstRoundtrip(/*portable=*/true); }
+
+void ZeroLengthDatagram(bool portable) {
+  BatchPair p = BatchPair::Make();
+  UdpBatchSender sender(4);
+  sender.ForcePortable(portable);
+  ASSERT_TRUE(sender.Add(std::span<const uint8_t>(), p.to_b));
+  auto sent = sender.Flush(p.a.fd());
+  ASSERT_TRUE(sent.ok());
+  EXPECT_EQ(*sent, 1u);
+
+  UdpBatchReceiver receiver(4);
+  receiver.ForcePortable(portable);
+  AwaitReadable(p.b.fd());
+  auto n = receiver.Recv(p.b.fd());
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 1u);
+  EXPECT_TRUE(receiver.data(0).empty());
+}
+
+TEST(UdpBatch, ZeroLengthDatagramNative) {
+  ZeroLengthDatagram(/*portable=*/false);
+}
+TEST(UdpBatch, ZeroLengthDatagramPortable) {
+  ZeroLengthDatagram(/*portable=*/true);
+}
+
+TEST(UdpBatch, SenderRejectsWhenFull) {
+  UdpBatchSender sender(2);
+  std::vector<uint8_t> payload{1, 2, 3};
+  sockaddr_in to{};
+  EXPECT_TRUE(sender.Add(payload, to));
+  EXPECT_TRUE(sender.Add(payload, to));
+  EXPECT_FALSE(sender.Add(payload, to));
+  EXPECT_EQ(sender.pending(), 2u);
+}
+
+TEST(UdpBatch, ConstructorClampsBatchToBounds) {
+  EXPECT_EQ(UdpBatchReceiver(0).batch(), kMinUdpBatch);
+  EXPECT_EQ(UdpBatchReceiver(100000).batch(), kMaxUdpBatch);
+  EXPECT_EQ(UdpBatchSender(0).batch(), kMinUdpBatch);
+  EXPECT_EQ(UdpBatchSender(100000).batch(), kMaxUdpBatch);
+}
+
+TEST(UdpBatch, RecvOnDrainedSocketReturnsZero) {
+  BatchPair p = BatchPair::Make();
+  UdpBatchReceiver receiver(8);
+  auto n = receiver.Recv(p.b.fd());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  receiver.ForcePortable(true);
+  n = receiver.Recv(p.b.fd());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
 }
 
 }  // namespace

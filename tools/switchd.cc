@@ -20,6 +20,7 @@
 
 #include "controller/designs.h"
 #include "daemon/switchd.h"
+#include "wire/udp_batch.h"
 
 namespace ipsa::tools {
 namespace {
@@ -38,6 +39,10 @@ constexpr char kUsage[] =
     "                       0 = ephemeral per port)\n"
     "  --ports N            device ports exposed over UDP (default 4)\n"
     "  --workers N          workers for the RX drain (default 1)\n"
+    "  --rx-batch N         datagrams pulled per recvmmsg burst, 1-256\n"
+    "                       (default 64)\n"
+    "  --tx-batch N         datagrams pushed per sendmmsg burst, 1-256\n"
+    "                       (default 64)\n"
     "  --metrics-port N     Prometheus /metrics TCP port (default\n"
     "                       0 = ephemeral)\n"
     "  --no-telemetry       disable the telemetry collector (metrics port\n"
@@ -133,6 +138,24 @@ int Main(int argc, char** argv) {
         options.drain_workers = *p;
       } else {
         s = p.ok() ? InvalidArgument("--workers must be >= 1") : p.status();
+      }
+    } else if (a == "--rx-batch") {
+      const char* v = value();
+      auto p = ParseUint(v ? v : "", "--rx-batch", 1u << 20);
+      if (p.ok() && *p >= wire::kMinUdpBatch && *p <= wire::kMaxUdpBatch) {
+        options.rx_batch = *p;
+      } else {
+        s = p.ok() ? InvalidArgument("--rx-batch must be in [1, 256]")
+                   : p.status();
+      }
+    } else if (a == "--tx-batch") {
+      const char* v = value();
+      auto p = ParseUint(v ? v : "", "--tx-batch", 1u << 20);
+      if (p.ok() && *p >= wire::kMinUdpBatch && *p <= wire::kMaxUdpBatch) {
+        options.tx_batch = *p;
+      } else {
+        s = p.ok() ? InvalidArgument("--tx-batch must be in [1, 256]")
+                   : p.status();
       }
     } else if (a == "--metrics-port") {
       const char* v = value();
