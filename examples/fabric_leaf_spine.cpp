@@ -1,0 +1,135 @@
+// Multi-switch fabric walkthrough: a 2-spine x 2-leaf x 4-host leaf–spine
+// built from four in-process behavioral switches (src/fabric), each running
+// the paper's base L2/L3 design with the fab_ecmp selector stage loaded
+// in-situ on the leaves.
+//
+// The walkthrough covers the subsystem's three headline scenarios:
+//   1. all-pairs traffic sprayed over both spines, every packet accounted;
+//   2. a spine link failure — drops are counted, never silent — followed by
+//      control-plane reconvergence (withdraw the dead spine's ECMP buckets
+//      on every leaf) back to 100% delivery;
+//   3. a rolling in-situ upgrade: the fab_acl stage installed fabric-wide
+//      one switch at a time under live traffic, with zero blackholed
+//      packets, then a deny entry to prove the new stage is live.
+#include <cstdio>
+
+#include "controller/designs.h"
+#include "controller/runtime_api.h"
+#include "fabric/leaf_spine.h"
+#include "fabric/upgrade.h"
+
+using namespace ipsa;
+
+namespace {
+
+int Fail(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+bool Report(const char* name, const fabric::OracleReport& report) {
+  std::printf("  [%s] %s\n", name, report.ToString().c_str());
+  return report.ok();
+}
+
+}  // namespace
+
+int main() {
+  fabric::LeafSpineOptions options;  // 2 leaves x 2 spines x 4 hosts/leaf
+  options.fabric.shadow_oracle = true;
+  std::printf("Building a %u-leaf / %u-spine fabric (%u hosts)...\n",
+              options.leaves, options.spines,
+              options.leaves * options.hosts_per_leaf);
+  auto built = fabric::LeafSpine::Create(options);
+  if (!built.ok()) return Fail("build", built.status());
+  fabric::LeafSpine& fab = **built;
+
+  // --- 1. all-pairs delivery over ECMP --------------------------------------
+  std::printf("\n1. All-pairs traffic across the spines:\n");
+  if (Status s = fab.InjectAllPairs(/*packets_per_flow=*/2); !s.ok())
+    return Fail("inject", s);
+  auto report = fab.fabric().CheckOracle();
+  if (!report.ok()) return Fail("oracle", report.status());
+  if (!Report("baseline", *report)) return 1;
+  for (uint32_t s = 0; s < options.spines; ++s) {
+    auto stats = fab.fabric().node(fab.SpineNode(s)).QueryStats();
+    if (stats.ok())
+      std::printf("  spine%u carried %llu packets\n", s,
+                  static_cast<unsigned long long>(stats->packets_in));
+  }
+
+  // --- 2. link failure and reconvergence ------------------------------------
+  std::printf("\n2. Failing the leaf0<->spine0 link:\n");
+  auto link = fab.SpineLink(0, 0);
+  if (!link.ok()) return Fail("link", link.status());
+  if (Status s = fab.fabric().SetLinkUp(*link, false); !s.ok())
+    return Fail("link down", s);
+  if (Status s = fab.fabric().BeginWindow(); !s.ok()) return Fail("window", s);
+  if (Status s = fab.InjectAllPairs(2, /*seq_base=*/100); !s.ok())
+    return Fail("inject", s);
+  report = fab.fabric().CheckOracle();
+  if (!report.ok()) return Fail("oracle", report.status());
+  // Flows hashed onto the dead link drop *with a counter* — that is still a
+  // passing oracle; silent loss is the only failure.
+  if (!Report("during failure", *report)) return 1;
+
+  std::printf("   Reconverging: withdrawing spine0's buckets on every leaf\n");
+  if (Status s = fab.WithdrawSpine(0); !s.ok()) return Fail("withdraw", s);
+  if (Status s = fab.fabric().BeginWindow(); !s.ok()) return Fail("window", s);
+  if (Status s = fab.InjectAllPairs(2, 200); !s.ok()) return Fail("inject", s);
+  report = fab.fabric().CheckOracle();
+  if (!report.ok()) return Fail("oracle", report.status());
+  if (!Report("reconverged", *report)) return 1;
+  if (report->delivered != report->injected) {
+    std::fprintf(stderr, "reconvergence did not restore full delivery\n");
+    return 1;
+  }
+  if (Status s = fab.fabric().SetLinkUp(*link, true); !s.ok())
+    return Fail("link up", s);
+  if (Status s = fab.RestoreSpine(0); !s.ok()) return Fail("restore", s);
+
+  // --- 3. rolling in-situ upgrade --------------------------------------------
+  std::printf("\n3. Rolling fab_acl install across all %u switches:\n",
+              fab.fabric().node_count());
+  fabric::UpgradeSpec spec;
+  spec.source = controller::designs::FabricAclScript();
+  uint32_t seq = 300;
+  auto upgrade = fabric::RollingUpgrade(
+      fab.fabric(), spec,
+      [&fab, &seq](fabric::Fabric&) { return fab.InjectAllPairs(1, seq++); });
+  if (!upgrade.ok()) return Fail("upgrade", upgrade.status());
+  if (!Report("upgrade window", upgrade->oracle)) return 1;
+  std::printf("  %u switches upgraded in %.1f ms, epochs:",
+              upgrade->nodes_upgraded, upgrade->wall_ms);
+  for (uint64_t e : upgrade->epochs_after)
+    std::printf(" %llu", static_cast<unsigned long long>(e));
+  std::printf("\n");
+
+  // The upgraded stage is live: deny host (0,0)'s source address on leaf0
+  // and watch exactly its flows turn into device drops.
+  std::printf("   Proving the new stage: deny 10.1.1.1 on leaf0\n");
+  auto api = fab.fabric().node(fab.LeafNode(0)).Api();
+  if (!api.ok()) return Fail("api", api.status());
+  controller::EntryBuilder builder(*api);
+  auto deny = builder.Build(
+      "fab_acl_v4", "fab_deny",
+      {controller::Ipv4Bits(fabric::LeafSpine::HostIp(0, 0))}, {});
+  if (!deny.ok()) return Fail("deny entry", deny.status());
+  if (Status s = fab.fabric().ApplyTableOp(
+          fab.LeafNode(0), {.op = rpc::TableOpKind::kAdd,
+                            .table = "fab_acl_v4",
+                            .entry = *deny});
+      !s.ok())
+    return Fail("deny entry", s);
+  if (Status s = fab.fabric().BeginWindow(); !s.ok()) return Fail("window", s);
+  if (Status s = fab.InjectAllPairs(1, 400); !s.ok()) return Fail("inject", s);
+  report = fab.fabric().CheckOracle();
+  if (!report.ok()) return Fail("oracle", report.status());
+  if (!Report("with ACL", *report)) return 1;
+  std::printf("  %llu packets from the denied host dropped in-switch\n",
+              static_cast<unsigned long long>(report->device_drops));
+  if (report->device_drops == 0) return 1;
+
+  std::printf("\nEvery packet accounted in every phase.\n");
+  return 0;
+}

@@ -672,8 +672,94 @@ remove --func_name telemetry
   return kSource;
 }
 
+// --- fabric: leaf uplink ECMP + rolling-upgrade ACL --------------------------
+
+const std::string& FabricEcmpRp4Snippet() {
+  // Leaf-switch uplink selector (see src/fabric/leaf_spine.cc). Hashing
+  // src+dst (not meta.nexthop) pins one spine per flow regardless of which
+  // FIB entry produced the nexthop, so withdrawing a spine's buckets moves
+  // only the flows that hashed onto it.
+  static const std::string kSource = R"rp4(
+table fab_ecmp_v4 {
+  key = {
+    ipv4.src_addr: hash;
+    ipv4.dst_addr: hash;
+  }
+  size = 4096;
+}
+action fab_set_spine(bit<16> bd, bit<48> dmac) {
+  meta.bd = bd;
+  ethernet.dst_addr = dmac;
+}
+stage fab_ecmp {
+  parser { ipv4; }
+  matcher {
+    if (ipv4.isValid()) fab_ecmp_v4.apply();
+    else;
+  }
+  executor {
+    1: fab_set_spine;
+    default: NoAction;
+  }
+}
+)rp4";
+  return kSource;
+}
+
+const std::string& FabricEcmpScript() {
+  // Splice between the FIB and nexthop (keeping nexthop, unlike the stock
+  // C1 script which replaces it): uplink flows miss nexthop and keep the
+  // selector's spine choice; local flows hit it and get the host rewrite.
+  // The two add_links are ordering constraints in the pipeline graph —
+  // fab_ecmp lands after the v4 FIB and before nexthop.
+  static const std::string kSource = R"(
+load fab_ecmp.rp4 --func_name fab_ecmp
+add_link ipv4_lpm fab_ecmp
+add_link fab_ecmp nexthop
+)";
+  return kSource;
+}
+
+const std::string& FabricAclRp4Snippet() {
+  static const std::string kSource = R"rp4(
+table fab_acl_v4 {
+  key = {
+    ipv4.src_addr: exact;
+  }
+  size = 256;
+}
+action fab_deny() {
+  drop();
+}
+stage fab_acl {
+  parser { ipv4; }
+  matcher {
+    if (ipv4.isValid()) fab_acl_v4.apply();
+    else;
+  }
+  executor {
+    1: fab_deny;
+    default: NoAction;
+  }
+}
+)rp4";
+  return kSource;
+}
+
+const std::string& FabricAclScript() {
+  static const std::string kSource = R"(
+load fab_acl.rp4 --func_name fab_acl
+add_link l2_l3 fab_acl
+del_link l2_l3 ipv4_host
+add_link fab_acl ipv4_host
+)";
+  return kSource;
+}
+
 Result<std::string> ResolveSnippet(const std::string& file) {
   if (file == "ecmp.rp4") return EcmpRp4Snippet();
+  if (file == "fab_ecmp.rp4") return FabricEcmpRp4Snippet();
+  if (file == "fab_acl.rp4") return FabricAclRp4Snippet();
   if (file == "srv6.rp4") return Srv6Rp4Snippet();
   if (file == "probe.rp4") return ProbeRp4Snippet();
   if (file == "probe_v2.rp4") return ProbeV2Rp4Snippet();

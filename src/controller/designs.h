@@ -56,6 +56,24 @@ const std::string& TelemetryRemoveScript();
 const std::string& EcmpRemoveScript();
 const std::string& ProbeRemoveScript();
 
+// --- fabric: multi-switch leaf–spine composition (src/fabric) ----------------
+// Leaf uplink ECMP: a selector stage spliced between ipv4_lpm and nexthop.
+// The selector picks an egress bridge + spine router MAC for *every* IPv4
+// packet by hashing (src, dst); the downstream nexthop stage then overwrites
+// that choice on a hit (local hosts install real nexthop ids) and leaves it
+// standing on a miss (remote prefixes route to the reserved uplink nexthop
+// id, which has no nexthop entry on purpose). This keeps the splice free of
+// any new matcher syntax while giving leaves "local routes beat ECMP".
+const std::string& FabricEcmpRp4Snippet();
+const std::string& FabricEcmpScript();
+
+// Fabric-wide rolling-upgrade payload: a source-address ACL stage spliced
+// between the L2/L3 decision and the IPv4 FIB. Ships with an empty table, so
+// installing it mid-traffic must not change forwarding — the rolling upgrade
+// orchestrator asserts exactly that, switch by switch.
+const std::string& FabricAclRp4Snippet();
+const std::string& FabricAclScript();
+
 // Resolves the snippet file names used inside the scripts
 // (ecmp.rp4 / srv6.rp4 / probe.rp4).
 Result<std::string> ResolveSnippet(const std::string& file);

@@ -40,6 +40,11 @@ class DeviceBackend : public rpc::Backend {
   // startup unless --no-telemetry); a disabled collector costs one branch
   // per packet.
   virtual void ConfigureTelemetry(const telemetry::TelemetryConfig& config) = 0;
+  // Pins the hosted device to the name-resolving interpreter (the reference
+  // configuration every differential oracle compares against) or back to
+  // the default specialized plan. Flipping it invalidates compiled state
+  // like any other config change.
+  virtual void SetForceInterpreter(bool force) = 0;
 };
 
 // One packet leaving the device: which port it egressed and its bytes.
@@ -95,6 +100,9 @@ class IpsaBackend : public DeviceBackend {
   void ConfigureTelemetry(const telemetry::TelemetryConfig& config) override {
     device_.ConfigureTelemetry(config);
   }
+  void SetForceInterpreter(bool force) override {
+    device_.SetForceInterpreter(force);
+  }
 
   ipbm::IpbmSwitch& device() { return device_; }
   controller::Rp4FlowController& controller() { return controller_; }
@@ -135,6 +143,9 @@ class PisaBackend : public DeviceBackend {
   }
   void ConfigureTelemetry(const telemetry::TelemetryConfig& config) override {
     device_.ConfigureTelemetry(config);
+  }
+  void SetForceInterpreter(bool force) override {
+    device_.SetForceInterpreter(force);
   }
 
   pisa::PisaSwitch& device() { return device_; }

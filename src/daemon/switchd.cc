@@ -17,10 +17,6 @@ namespace {
 // A full-size Ethernet jumbo frame fits with room to spare.
 constexpr size_t kUdpBufBytes = 64 * 1024;
 
-bool SameAddr(const sockaddr_in& a, const sockaddr_in& b) {
-  return a.sin_addr.s_addr == b.sin_addr.s_addr && a.sin_port == b.sin_port;
-}
-
 }  // namespace
 
 Switchd::Switchd(SwitchdOptions options)
@@ -169,14 +165,23 @@ void Switchd::ServiceUdp(uint32_t port_index) {
     auto received = rx.Recv(udp_socks_[port_index].fd());
     if (!received.ok() || *received == 0) return;
     for (uint32_t i = 0; i < *received; ++i) {
-      // Learn (or refresh) the port's packet-out peer from every datagram.
+      // Peer lifecycle: a zero-length datagram is an explicit registration
+      // and atomically re-points the port's packet-out peer even when one
+      // is already registered (a restarted consumer re-homes the port with
+      // a single datagram; the poll loop serializes it against TX replay,
+      // so no packet is split between old and new peer). A non-empty
+      // datagram only *learns* the peer when none is registered yet — a
+      // data source can bootstrap a fresh port but cannot hijack
+      // packet-out from the registered peer mid-stream.
       const sockaddr_in& from = rx.from(i);
-      if (!udp_peers_[port_index].has_value() ||
-          !SameAddr(*udp_peers_[port_index], from)) {
+      std::span<uint8_t> payload = rx.data(i);
+      if (payload.empty()) {
+        udp_peers_[port_index] = from;  // registration datagram
+        continue;
+      }
+      if (!udp_peers_[port_index].has_value()) {
         udp_peers_[port_index] = from;
       }
-      std::span<uint8_t> payload = rx.data(i);
-      if (payload.empty()) continue;  // registration-only datagram
       net::Packet packet;
       if (!pkt_pool_.empty()) {
         packet = std::move(pkt_pool_.back());

@@ -5,9 +5,10 @@
 //    one dispatcher per connection so each session handshakes on its own);
 //  * one UDP socket per exposed device port for packet-in/packet-out: a
 //    datagram's payload is a raw Ethernet frame injected into that port's RX
-//    queue; after the pipeline drains, TX queues replay to each port's peer
-//    (the last address that sent to the port — a zero-length datagram
-//    registers the sender without injecting anything).
+//    queue; after the pipeline drains, TX queues replay to each port's peer.
+//    A zero-length datagram registers (or atomically re-points) the port's
+//    peer without injecting anything; a data datagram from an unknown source
+//    only becomes the peer when the port has none registered yet.
 //
 // Control and data plane share the loop thread, so CCM commands and packet
 // processing are serialized exactly like the in-process tests — no locks,

@@ -1,0 +1,176 @@
+// The fabric driver: wires a Topology into live switches and runs packets
+// across it with full conservation accounting.
+//
+// Execution is step-based and deterministic: each Step() first delivers the
+// in-flight link packets that are due, then drains every switch and routes
+// what egressed — host ports hand packets to the delivery oracle, linked
+// ports put them back in flight (after the link's up/loss/delay treatment),
+// unattached ports count as unmapped. A fabric is quiescent when no packet
+// is in flight and no switch has pending RX.
+//
+// The delivery oracle holds the subsystem's core invariant: every packet
+// injected since BeginWindow() is accounted for at CheckOracle() as
+// delivered at its expected egress host, dropped with a counter (device
+// drop, link down, link loss, queue overflow), or *lost* — and lost is
+// always a bug, either in the fabric or in the design under test.
+//
+// With FabricOptions::shadow_oracle every local node carries an
+// interpreter-pinned twin of the same arch that receives every install,
+// table op and packet the primary does; after each drain the two TX streams
+// must be bit-identical (the PR-5 differential contract, applied per switch
+// while the fabric runs — including mid-rolling-upgrade).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fabric/node.h"
+#include "fabric/topology.h"
+
+namespace ipsa::fabric {
+
+struct FabricOptions {
+  uint32_t drain_workers = 1;
+  // RunUntilQuiescent gives up after this many steps (a routing loop would
+  // otherwise run forever).
+  uint32_t max_steps = 1000;
+  bool shadow_oracle = false;
+  uint64_t loss_seed = 0x5EED5EEDull;  // lossy links reproduce exactly
+  int remote_io_timeout_ms = 5000;
+};
+
+// Window totals; conservation says injected equals the sum of everything
+// else plus `lost`.
+struct OracleReport {
+  uint64_t injected = 0;
+  uint64_t delivered = 0;       // at the expected host
+  uint64_t misdelivered = 0;    // at a host, but the wrong one / unknown flow
+  uint64_t untagged_tx = 0;     // host egress without a parseable flow tag
+  uint64_t unmapped_tx = 0;     // egress on a port with no link and no host
+  uint64_t device_drops = 0;    // per-switch packets_dropped deltas
+  uint64_t link_down_drops = 0;
+  uint64_t link_loss_drops = 0;
+  uint64_t rx_overflow = 0;     // bounded RX queue refused the packet
+  int64_t lost = 0;             // the unaccounted remainder — must be 0
+  uint64_t shadow_mismatches = 0;
+  uint32_t steps = 0;           // steps run inside this window
+
+  // The pass condition: nothing lost, nothing misrouted, shadows agree.
+  bool ok() const {
+    return lost == 0 && misdelivered == 0 && untagged_tx == 0 &&
+           unmapped_tx == 0 && shadow_mismatches == 0;
+  }
+  std::string ToString() const;
+};
+
+struct FlowCount {
+  uint32_t expected_host = 0;  // index into topology().hosts
+  uint64_t injected = 0;
+  uint64_t delivered = 0;
+};
+
+class Fabric {
+ public:
+  // Validates the topology, instantiates every node (LocalNode in-process,
+  // RemoteNode for switchd endpoints) and builds the port attachment map.
+  // Shadow twins cover local nodes only — a remote daemon's interpreter
+  // twin would have to live in its process.
+  static Result<std::unique_ptr<Fabric>> Build(Topology topo,
+                                               FabricOptions options = {});
+
+  const Topology& topology() const { return topo_; }
+  uint32_t node_count() const { return static_cast<uint32_t>(nodes_.size()); }
+  FabricNode& node(uint32_t i) { return *nodes_[i]; }
+  uint64_t current_step() const { return step_; }
+
+  // --- control plane (mirrored to the node's shadow twin) -----------------
+  Result<rpc::InstallOutcome> InstallOn(uint32_t node, rpc::InstallKind kind,
+                                        const std::string& source);
+  Status InstallAll(rpc::InstallKind kind, const std::string& source);
+  Status ApplyTableOp(uint32_t node, const rpc::TableOp& op);
+
+  // --- failure injection ---------------------------------------------------
+  Status SetLinkUp(uint32_t link_index, bool up);
+  // Finds the link joining two ports, in either orientation.
+  Result<uint32_t> FindLink(const PortRef& a, const PortRef& b) const;
+
+  // --- data plane ----------------------------------------------------------
+  // Injects at a host's attachment port. The packet must already carry a
+  // flow tag (flow_tag.h); the oracle expects the flow to egress at
+  // `expected_host` (an index into topology().hosts).
+  Status InjectAtHost(uint32_t host_index, const net::Packet& packet,
+                      uint32_t expected_host);
+  Status Step();
+  bool Quiescent();
+  // Steps until quiescent; fails after options.max_steps. Returns the
+  // number of steps taken.
+  Result<uint32_t> RunUntilQuiescent();
+
+  // --- delivery oracle -----------------------------------------------------
+  // Re-baselines the accounting window. The fabric must be quiescent.
+  Status BeginWindow();
+  // Closes the books on the window so far (fabric must be quiescent) and
+  // returns the totals. Does not reset the window.
+  Result<OracleReport> CheckOracle();
+  const std::map<uint32_t, FlowCount>& flows() const { return flows_; }
+  uint64_t shadow_mismatches() const { return shadow_mismatches_; }
+  // Human-readable description of the first shadow divergence, if any.
+  const std::string& first_shadow_diff() const { return first_shadow_diff_; }
+
+ private:
+  struct Attachment {
+    enum class Kind { kNone, kHost, kLink };
+    Kind kind = Kind::kNone;
+    uint32_t index = 0;  // hosts[] or links[] index
+  };
+  struct InFlight {
+    uint64_t due = 0;
+    PortRef dst;
+    net::Packet packet;
+  };
+
+  Fabric(Topology topo, FabricOptions options)
+      : topo_(std::move(topo)), options_(options), rng_(options.loss_seed) {}
+
+  // Pushes into a node's RX (and its shadow twin's) with overflow
+  // accounting.
+  Status DeliverTo(const PortRef& dst, const net::Packet& packet);
+  void RouteTx(uint32_t node, daemon::TxPacket& tx);
+  Status DrainNode(uint32_t node);
+  Status CompareShadow(uint32_t node);
+
+  Topology topo_;
+  FabricOptions options_;
+  std::vector<std::unique_ptr<FabricNode>> nodes_;
+  // shadow_[i] is the interpreter-pinned twin of local node i, or null.
+  std::vector<std::unique_ptr<daemon::DeviceBackend>> shadow_;
+  std::vector<std::vector<Attachment>> attach_;  // [node][port]
+  std::vector<InFlight> in_flight_;
+  std::mt19937_64 rng_;
+  uint64_t step_ = 0;
+  uint64_t window_start_step_ = 0;
+
+  // Window accounting.
+  std::map<uint32_t, FlowCount> flows_;  // flow id -> counts
+  uint64_t injected_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t misdelivered_ = 0;
+  uint64_t untagged_tx_ = 0;
+  uint64_t unmapped_tx_ = 0;
+  uint64_t link_down_drops_ = 0;
+  uint64_t link_loss_drops_ = 0;
+  uint64_t rx_overflow_ = 0;
+  uint64_t shadow_mismatches_ = 0;
+  std::string first_shadow_diff_;
+  std::vector<uint64_t> dropped_base_;  // per-node packets_dropped baseline
+
+  // Per-step scratch (reused capacity).
+  std::vector<daemon::TxPacket> tx_scratch_;
+  std::vector<daemon::TxPacket> shadow_tx_scratch_;
+};
+
+}  // namespace ipsa::fabric

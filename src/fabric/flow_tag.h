@@ -1,0 +1,58 @@
+// Flow accounting tag carried in the UDP payload of fabric test traffic.
+//
+// The end-to-end delivery oracle (fabric.h) must attribute every packet that
+// egresses at a host port to the flow that injected it, after any number of
+// hops rewrote the Ethernet and IP headers. The fabric therefore stamps a
+// 12-byte tag at a fixed offset into the UDP payload — the one region the
+// base design's pipeline never touches — and parses it back at the edge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/packet.h"
+
+namespace ipsa::fabric {
+
+inline constexpr uint32_t kFlowTagMagic = 0xFAB51D01u;
+// Ethernet (14) + IPv4 (20) + UDP (8): fabric flows are untagged v4/UDP.
+inline constexpr size_t kFlowTagOffset = 42;
+inline constexpr size_t kFlowTagBytes = 12;
+
+struct FlowTag {
+  uint32_t flow_id = 0;
+  uint32_t seq = 0;
+};
+
+// Stamps magic/flow/seq little-endian over the start of the UDP payload.
+// The packet must already carry at least kFlowTagBytes of payload.
+inline bool WriteFlowTag(net::Packet& packet, uint32_t flow_id,
+                         uint32_t seq) {
+  std::span<uint8_t> bytes = packet.bytes();
+  if (bytes.size() < kFlowTagOffset + kFlowTagBytes) return false;
+  uint8_t* p = bytes.data() + kFlowTagOffset;
+  const uint32_t words[3] = {kFlowTagMagic, flow_id, seq};
+  for (int w = 0; w < 3; ++w) {
+    for (int b = 0; b < 4; ++b) {
+      p[w * 4 + b] = static_cast<uint8_t>(words[w] >> (8 * b));
+    }
+  }
+  return true;
+}
+
+inline std::optional<FlowTag> ReadFlowTag(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kFlowTagOffset + kFlowTagBytes) return std::nullopt;
+  const uint8_t* p = bytes.data() + kFlowTagOffset;
+  uint32_t words[3];
+  for (int w = 0; w < 3; ++w) {
+    words[w] = static_cast<uint32_t>(p[w * 4]) |
+               static_cast<uint32_t>(p[w * 4 + 1]) << 8 |
+               static_cast<uint32_t>(p[w * 4 + 2]) << 16 |
+               static_cast<uint32_t>(p[w * 4 + 3]) << 24;
+  }
+  if (words[0] != kFlowTagMagic) return std::nullopt;
+  return FlowTag{.flow_id = words[1], .seq = words[2]};
+}
+
+}  // namespace ipsa::fabric

@@ -1,0 +1,307 @@
+#include "fabric/leaf_spine.h"
+
+#include <string>
+#include <utility>
+
+#include "controller/designs.h"
+#include "controller/runtime_api.h"
+#include "fabric/flow_tag.h"
+#include "net/headers.h"
+#include "net/packet_builder.h"
+
+namespace ipsa::fabric {
+
+namespace {
+
+constexpr uint16_t kL2Bd = 1;
+constexpr uint16_t kL3Bd = 2;
+// Cross-leaf routes resolve to this reserved nexthop id, which has no
+// nexthop-table entry — the miss preserves fab_set_spine's bd/DMAC choice
+// (local routes' real nexthops overwrite it). See designs.h.
+constexpr uint32_t kUplinkNexthop = 200;
+
+uint32_t LeafPrefix(uint32_t l) { return (10u << 24) | ((l + 1) << 16); }
+
+}  // namespace
+
+Topology MakeLeafSpineTopology(const LeafSpineOptions& options) {
+  Topology topo;
+  const uint32_t L = options.leaves, S = options.spines,
+                 H = options.hosts_per_leaf;
+  for (uint32_t l = 0; l < L; ++l) {
+    NodeSpec spec;
+    spec.name = "leaf" + std::to_string(l);
+    spec.arch = options.arch;
+    spec.port_count = H + S;
+    topo.nodes.push_back(std::move(spec));
+  }
+  for (uint32_t s = 0; s < S; ++s) {
+    NodeSpec spec;
+    spec.name = "spine" + std::to_string(s);
+    spec.arch = options.arch;
+    spec.port_count = L;
+    topo.nodes.push_back(std::move(spec));
+  }
+  for (uint32_t l = 0; l < L; ++l) {
+    for (uint32_t s = 0; s < S; ++s) {
+      LinkSpec link;
+      link.a = {l, H + s};
+      link.b = {L + s, l};
+      link.delay_steps = options.uplink_delay_steps;
+      link.loss = options.uplink_loss;
+      topo.links.push_back(link);
+    }
+  }
+  for (uint32_t l = 0; l < L; ++l) {
+    for (uint32_t h = 0; h < H; ++h) {
+      HostSpec host;
+      host.name = "h" + std::to_string(l) + "-" + std::to_string(h);
+      host.attach = {l, h};
+      host.ipv4 = LeafSpine::HostIp(l, h);
+      host.mac = LeafSpine::HostMac(l, h);
+      topo.hosts.push_back(std::move(host));
+    }
+  }
+  return topo;
+}
+
+Result<std::unique_ptr<LeafSpine>> LeafSpine::Create(
+    const LeafSpineOptions& options) {
+  std::unique_ptr<LeafSpine> ls(new LeafSpine(options));
+  IPSA_ASSIGN_OR_RETURN(
+      ls->fabric_,
+      Fabric::Build(MakeLeafSpineTopology(options), options.fabric));
+  IPSA_RETURN_IF_ERROR(ls->InstallAndPopulate());
+  return ls;
+}
+
+Result<uint32_t> LeafSpine::SpineLink(uint32_t l, uint32_t s) const {
+  return fabric_->FindLink({LeafNode(l), UplinkPort(s)}, {SpineNode(s), l});
+}
+
+Status LeafSpine::InstallAndPopulate() {
+  using controller::designs::BaseP4;
+  using controller::designs::FabricEcmpScript;
+  IPSA_RETURN_IF_ERROR(
+      fabric_->InstallAll(rpc::InstallKind::kBaseP4, BaseP4()));
+  for (uint32_t l = 0; l < options_.leaves; ++l) {
+    IPSA_RETURN_IF_ERROR(
+        fabric_->InstallOn(l, rpc::InstallKind::kScript, FabricEcmpScript())
+            .status());
+  }
+  for (uint32_t l = 0; l < options_.leaves; ++l) {
+    IPSA_RETURN_IF_ERROR(PopulateLeaf(l));
+  }
+  for (uint32_t s = 0; s < options_.spines; ++s) {
+    IPSA_RETURN_IF_ERROR(PopulateSpine(s));
+  }
+  return fabric_->BeginWindow();
+}
+
+namespace {
+
+// Entries every switch needs: port/interface mapping, bridge binding, the
+// switch's own router MAC routing, and the L3 SMAC rewrite.
+Status PopulateCommon(Fabric& fabric, uint32_t node, uint32_t port_count,
+                      uint64_t router_mac,
+                      const controller::EntryBuilder& builder) {
+  using controller::Bits;
+  using controller::KeyValue;
+  using controller::MacBits;
+  auto add = [&fabric, node](const std::string& table,
+                             Result<table::Entry> entry) -> Status {
+    IPSA_RETURN_IF_ERROR(entry.status());
+    return fabric.ApplyTableOp(
+        node, rpc::TableOp{.op = rpc::TableOpKind::kAdd,
+                           .table = table,
+                           .entry = std::move(entry).value()});
+  };
+  for (uint32_t p = 0; p < port_count; ++p) {
+    IPSA_RETURN_IF_ERROR(add(
+        "port_map", builder.Build("port_map", "set_if_index", {KeyValue(p)},
+                                  {Bits(16, p + 1)})));
+    IPSA_RETURN_IF_ERROR(
+        add("bridge_vrf",
+            builder.Build("bridge_vrf", "set_bd_vrf", {KeyValue(p + 1)},
+                          {Bits(16, kL2Bd), Bits(16, 1)})));
+  }
+  IPSA_RETURN_IF_ERROR(
+      add("l2_l3", builder.Build("l2_l3", "set_l3",
+                                 {KeyValue(MacBits(router_mac))}, {})));
+  IPSA_RETURN_IF_ERROR(
+      add("l2_l3_rewrite",
+          builder.Build("l2_l3_rewrite", "rewrite_v4", {KeyValue(kL3Bd)},
+                        {MacBits(router_mac)})));
+  return OkStatus();
+}
+
+}  // namespace
+
+Status LeafSpine::PopulateLeaf(uint32_t l) {
+  using controller::Bits;
+  using controller::Ipv4Bits;
+  using controller::KeyValue;
+  using controller::MacBits;
+  const uint32_t node = LeafNode(l);
+  IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api, fabric_->node(node).Api());
+  controller::EntryBuilder builder(api);
+  auto add = [this, node](const std::string& table,
+                          Result<table::Entry> entry) -> Status {
+    IPSA_RETURN_IF_ERROR(entry.status());
+    return fabric_->ApplyTableOp(
+        node, rpc::TableOp{.op = rpc::TableOpKind::kAdd,
+                           .table = table,
+                           .entry = std::move(entry).value()});
+  };
+  IPSA_RETURN_IF_ERROR(PopulateCommon(*fabric_, node,
+                                      options_.hosts_per_leaf + options_.spines,
+                                      LeafMac(l), builder));
+
+  // Local hosts: /32 route -> real nexthop -> host DMAC -> host port.
+  for (uint32_t h = 0; h < options_.hosts_per_leaf; ++h) {
+    IPSA_RETURN_IF_ERROR(
+        add("ipv4_lpm",
+            builder.Build("ipv4_lpm", "set_nexthop",
+                          {KeyValue(Ipv4Bits(HostIp(l, h)))},
+                          {Bits(16, 100 + h)}, /*prefix_len=*/32)));
+    IPSA_RETURN_IF_ERROR(
+        add("nexthop",
+            builder.Build("nexthop", "set_nh_bd_dmac", {KeyValue(100 + h)},
+                          {Bits(16, kL3Bd), MacBits(HostMac(l, h))})));
+    IPSA_RETURN_IF_ERROR(add(
+        "dmac", builder.Build("dmac", "set_port",
+                              {KeyValue(kL3Bd), KeyValue(MacBits(HostMac(l, h)))},
+                              {Bits(9, h)})));
+  }
+  // Remote leaves: /16 to the reserved uplink nexthop (resolved by ECMP).
+  for (uint32_t peer = 0; peer < options_.leaves; ++peer) {
+    if (peer == l) continue;
+    IPSA_RETURN_IF_ERROR(
+        add("ipv4_lpm",
+            builder.Build("ipv4_lpm", "set_nexthop",
+                          {KeyValue(Ipv4Bits(LeafPrefix(peer)))},
+                          {Bits(16, kUplinkNexthop)}, /*prefix_len=*/16)));
+  }
+  // ECMP buckets over the spines, and spine DMAC -> uplink port.
+  for (uint32_t s = 0; s < options_.spines; ++s) {
+    IPSA_RETURN_IF_ERROR(MutateSpineBuckets(l, s, /*add=*/true));
+    IPSA_RETURN_IF_ERROR(add(
+        "dmac", builder.Build("dmac", "set_port",
+                              {KeyValue(kL3Bd), KeyValue(MacBits(SpineMac(s)))},
+                              {Bits(9, UplinkPort(s))})));
+  }
+  return OkStatus();
+}
+
+Status LeafSpine::PopulateSpine(uint32_t s) {
+  using controller::Bits;
+  using controller::Ipv4Bits;
+  using controller::KeyValue;
+  using controller::MacBits;
+  const uint32_t node = SpineNode(s);
+  IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api, fabric_->node(node).Api());
+  controller::EntryBuilder builder(api);
+  auto add = [this, node](const std::string& table,
+                          Result<table::Entry> entry) -> Status {
+    IPSA_RETURN_IF_ERROR(entry.status());
+    return fabric_->ApplyTableOp(
+        node, rpc::TableOp{.op = rpc::TableOpKind::kAdd,
+                           .table = table,
+                           .entry = std::move(entry).value()});
+  };
+  IPSA_RETURN_IF_ERROR(
+      PopulateCommon(*fabric_, node, options_.leaves, SpineMac(s), builder));
+
+  // One /16 per leaf, straight down the matching port.
+  for (uint32_t l = 0; l < options_.leaves; ++l) {
+    IPSA_RETURN_IF_ERROR(
+        add("ipv4_lpm",
+            builder.Build("ipv4_lpm", "set_nexthop",
+                          {KeyValue(Ipv4Bits(LeafPrefix(l)))},
+                          {Bits(16, 100 + l)}, /*prefix_len=*/16)));
+    IPSA_RETURN_IF_ERROR(
+        add("nexthop",
+            builder.Build("nexthop", "set_nh_bd_dmac", {KeyValue(100 + l)},
+                          {Bits(16, kL3Bd), MacBits(LeafMac(l))})));
+    IPSA_RETURN_IF_ERROR(add(
+        "dmac", builder.Build("dmac", "set_port",
+                              {KeyValue(kL3Bd), KeyValue(MacBits(LeafMac(l)))},
+                              {Bits(9, l)})));
+  }
+  return OkStatus();
+}
+
+Status LeafSpine::MutateSpineBuckets(uint32_t l, uint32_t s, bool add) {
+  using controller::Bits;
+  using controller::MacBits;
+  const uint32_t node = LeafNode(l);
+  IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api, fabric_->node(node).Api());
+  controller::EntryBuilder builder(api);
+  for (uint32_t b = 0; b < options_.ecmp_buckets; ++b) {
+    if (b % options_.spines != s) continue;
+    IPSA_ASSIGN_OR_RETURN(
+        table::Entry entry,
+        builder.BuildSelectorMember("fab_ecmp_v4", b, "fab_set_spine",
+                                    {Bits(16, kL3Bd), MacBits(SpineMac(s))}));
+    IPSA_RETURN_IF_ERROR(fabric_->ApplyTableOp(
+        node,
+        rpc::TableOp{.op = add ? rpc::TableOpKind::kAdd
+                               : rpc::TableOpKind::kDelete,
+                     .table = "fab_ecmp_v4",
+                     .entry = std::move(entry)}));
+  }
+  return OkStatus();
+}
+
+Status LeafSpine::WithdrawSpine(uint32_t s) {
+  for (uint32_t l = 0; l < options_.leaves; ++l) {
+    IPSA_RETURN_IF_ERROR(MutateSpineBuckets(l, s, /*add=*/false));
+  }
+  return OkStatus();
+}
+
+Status LeafSpine::RestoreSpine(uint32_t s) {
+  for (uint32_t l = 0; l < options_.leaves; ++l) {
+    IPSA_RETURN_IF_ERROR(MutateSpineBuckets(l, s, /*add=*/true));
+  }
+  return OkStatus();
+}
+
+net::Packet LeafSpine::MakeFlowPacket(uint32_t sl, uint32_t sh, uint32_t dl,
+                                      uint32_t dh, uint32_t seq) const {
+  net::Packet packet =
+      net::PacketBuilder()
+          .Ethernet(net::MacAddr::FromUint64(LeafMac(sl)),
+                    net::MacAddr::FromUint64(HostMac(sl, sh)),
+                    net::kEtherTypeIpv4)
+          .Ipv4(net::Ipv4Addr{HostIp(sl, sh)}, net::Ipv4Addr{HostIp(dl, dh)},
+                net::kIpProtoUdp, /*ttl=*/64)
+          .Udp(static_cast<uint16_t>(40000 + sh * 251 + dh),
+               /*dst_port=*/9999)
+          .Payload(32)
+          .Build();
+  WriteFlowTag(packet, FlowId(sl, sh, dl, dh), seq);
+  return packet;
+}
+
+Status LeafSpine::InjectAllPairs(uint32_t packets_per_flow,
+                                 uint32_t seq_base) {
+  const uint32_t L = options_.leaves, H = options_.hosts_per_leaf;
+  for (uint32_t sl = 0; sl < L; ++sl) {
+    for (uint32_t sh = 0; sh < H; ++sh) {
+      for (uint32_t dl = 0; dl < L; ++dl) {
+        for (uint32_t dh = 0; dh < H; ++dh) {
+          if (sl == dl && sh == dh) continue;
+          for (uint32_t k = 0; k < packets_per_flow; ++k) {
+            net::Packet packet = MakeFlowPacket(sl, sh, dl, dh, seq_base + k);
+            IPSA_RETURN_IF_ERROR(fabric_->InjectAtHost(
+                HostIndex(sl, sh), packet, HostIndex(dl, dh)));
+          }
+        }
+      }
+    }
+  }
+  return fabric_->RunUntilQuiescent().status();
+}
+
+}  // namespace ipsa::fabric

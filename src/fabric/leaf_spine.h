@@ -1,0 +1,102 @@
+// The reference leaf–spine harness: L leaves × S spines × H hosts per leaf.
+//
+// Wiring: leaf l uses ports 0..H-1 for its hosts and port H+s as the uplink
+// to spine s; spine s uses port l for leaf l. Every switch runs the base
+// L2/L3 design; leaves additionally splice in the fab_ecmp selector stage
+// (designs.h) so cross-leaf traffic sprays over the spines by flow hash
+// while local routes keep priority via the nexthop overwrite.
+//
+// Addressing: host (l,h) is 10.(l+1).(h+1).1 with a derived MAC; leaf and
+// spine router MACs come from disjoint bases. Cross-leaf prefixes are /16
+// per leaf, so spines and remote leaves need one route per leaf only.
+//
+// Failure injection is a two-step story, as in a real fabric: a link goes
+// down (Fabric::SetLinkUp — in-flight traffic on it drops, with a counter),
+// then the control plane reconverges by withdrawing the dead spine's ECMP
+// buckets on every leaf (WithdrawSpine), after which the selector re-hashes
+// all flows over the survivors and delivery goes back to 100%.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fabric/fabric.h"
+#include "net/packet.h"
+
+namespace ipsa::fabric {
+
+struct LeafSpineOptions {
+  uint32_t leaves = 2;
+  uint32_t spines = 2;
+  uint32_t hosts_per_leaf = 4;
+  daemon::ArchKind arch = daemon::ArchKind::kIpsa;
+  // ECMP selector buckets per leaf (spread over the spines round-robin).
+  uint32_t ecmp_buckets = 8;
+  uint32_t uplink_delay_steps = 0;
+  double uplink_loss = 0.0;
+  FabricOptions fabric;
+};
+
+// The topology alone (all-local nodes), for callers that want to customize
+// before building a Fabric around it.
+Topology MakeLeafSpineTopology(const LeafSpineOptions& options);
+
+class LeafSpine {
+ public:
+  // Builds the fabric and installs base design + tables on every switch.
+  static Result<std::unique_ptr<LeafSpine>> Create(
+      const LeafSpineOptions& options);
+
+  Fabric& fabric() { return *fabric_; }
+  const LeafSpineOptions& options() const { return options_; }
+
+  // --- layout --------------------------------------------------------------
+  uint32_t LeafNode(uint32_t l) const { return l; }
+  uint32_t SpineNode(uint32_t s) const { return options_.leaves + s; }
+  uint32_t UplinkPort(uint32_t s) const { return options_.hosts_per_leaf + s; }
+  uint32_t HostIndex(uint32_t l, uint32_t h) const {
+    return l * options_.hosts_per_leaf + h;
+  }
+  // The link joining leaf l and spine s.
+  Result<uint32_t> SpineLink(uint32_t l, uint32_t s) const;
+
+  static uint64_t LeafMac(uint32_t l) { return 0x02F100000000ull + l + 1; }
+  static uint64_t SpineMac(uint32_t s) { return 0x02F200000000ull + s + 1; }
+  static uint64_t HostMac(uint32_t l, uint32_t h) {
+    return 0x02AB00000000ull | ((l + 1) << 16) | (h + 1);
+  }
+  static uint32_t HostIp(uint32_t l, uint32_t h) {
+    return (10u << 24) | ((l + 1) << 16) | ((h + 1) << 8) | 1u;
+  }
+  static uint32_t FlowId(uint32_t sl, uint32_t sh, uint32_t dl, uint32_t dh) {
+    return (sl << 24) | (sh << 16) | (dl << 8) | dh;
+  }
+
+  // --- traffic -------------------------------------------------------------
+  // A tagged UDP packet from host (sl,sh) to host (dl,dh).
+  net::Packet MakeFlowPacket(uint32_t sl, uint32_t sh, uint32_t dl,
+                             uint32_t dh, uint32_t seq) const;
+  // Injects `packets_per_flow` packets for every ordered host pair
+  // (src != dst) and runs the fabric to quiescence.
+  Status InjectAllPairs(uint32_t packets_per_flow = 1, uint32_t seq_base = 0);
+
+  // --- reconvergence -------------------------------------------------------
+  // Deletes spine s's ECMP buckets on every leaf; remaining flows re-hash
+  // over the surviving spines.
+  Status WithdrawSpine(uint32_t s);
+  Status RestoreSpine(uint32_t s);
+
+ private:
+  explicit LeafSpine(LeafSpineOptions options) : options_(options) {}
+
+  Status InstallAndPopulate();
+  Status PopulateLeaf(uint32_t l);
+  Status PopulateSpine(uint32_t s);
+  // Adds or deletes one leaf's selector members for spine s.
+  Status MutateSpineBuckets(uint32_t l, uint32_t s, bool add);
+
+  LeafSpineOptions options_;
+  std::unique_ptr<Fabric> fabric_;
+};
+
+}  // namespace ipsa::fabric

@@ -1,0 +1,224 @@
+#include "fabric/node.h"
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace ipsa::fabric {
+
+// --- LocalNode ---------------------------------------------------------------
+
+LocalNode::LocalNode(std::string name, daemon::ArchKind arch,
+                     uint32_t port_count, uint32_t drain_workers)
+    : FabricNode(std::move(name), arch, port_count),
+      backend_(daemon::MakeBackend(arch)),
+      drain_workers_(drain_workers) {}
+
+Result<rpc::InstallOutcome> LocalNode::Install(rpc::InstallKind kind,
+                                               const std::string& source) {
+  return backend_->Install(kind, source);
+}
+
+Status LocalNode::ApplyTableOp(const rpc::TableOp& op) {
+  return backend_->ApplyTableOp(op);
+}
+
+Result<compiler::ApiSpec> LocalNode::Api() { return backend_->Api(); }
+
+Result<rpc::StatsResponse> LocalNode::QueryStats() {
+  return backend_->QueryStats();
+}
+
+Result<rpc::MetricsResponse> LocalNode::QueryMetrics() {
+  return backend_->QueryMetrics();
+}
+
+Result<uint64_t> LocalNode::QueryEpoch() { return backend_->Info().epoch; }
+
+Result<bool> LocalNode::InjectRx(uint32_t port, const net::Packet& packet) {
+  if (port >= port_count_) {
+    return InvalidArgument("inject into '" + name_ + "': port " +
+                           std::to_string(port) + " out of range");
+  }
+  net::Packet copy(packet.bytes());
+  return backend_->ports().port(port).rx().Push(std::move(copy));
+}
+
+Status LocalNode::DrainAndCollect(std::vector<daemon::TxPacket>& tx) {
+  IPSA_RETURN_IF_ERROR(backend_->RunToCompletion(drain_workers_).status());
+  daemon::CollectTxInto(backend_->ports(), tx);
+  return OkStatus();
+}
+
+uint32_t LocalNode::PendingRx() {
+  return static_cast<uint32_t>(backend_->ports().PendingRx());
+}
+
+// --- RemoteNode --------------------------------------------------------------
+
+RemoteNode::RemoteNode(std::string name, daemon::ArchKind arch,
+                       uint32_t port_count, int io_timeout_ms)
+    : FabricNode(std::move(name), arch, port_count),
+      io_timeout_ms_(io_timeout_ms) {}
+
+Result<std::unique_ptr<RemoteNode>> RemoteNode::Connect(
+    std::string name, const std::string& host, uint16_t control_port,
+    std::vector<uint16_t> udp_ports, int io_timeout_ms) {
+  if (udp_ports.empty()) {
+    return InvalidArgument("remote node '" + name + "' needs UDP data ports");
+  }
+  rpc::ClientOptions copt;
+  copt.host = host;
+  copt.port = control_port;
+  copt.client_name = "fabric:" + name;
+  copt.call_timeout_ms = io_timeout_ms;
+  auto client = std::make_unique<rpc::Client>(std::move(copt));
+  IPSA_RETURN_IF_ERROR(client->Connect());
+  IPSA_ASSIGN_OR_RETURN(daemon::ArchKind arch,
+                        daemon::ArchFromName(client->server_info().arch));
+
+  std::unique_ptr<RemoteNode> node(new RemoteNode(
+      std::move(name), arch, static_cast<uint32_t>(udp_ports.size()),
+      io_timeout_ms));
+  node->client_ = std::move(client);
+  node->socks_.reserve(udp_ports.size());
+  node->daemon_addr_.reserve(udp_ports.size());
+  for (uint16_t udp_port : udp_ports) {
+    IPSA_ASSIGN_OR_RETURN(wire::Socket sock, wire::UdpBind("0.0.0.0", 0));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(udp_port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return InvalidArgument("bad remote host address: " + host);
+    }
+    node->socks_.push_back(std::move(sock));
+    node->daemon_addr_.push_back(addr);
+  }
+  // Register as each port's packet-out peer (zero-length datagram).
+  for (uint32_t p = 0; p < node->port_count_; ++p) {
+    IPSA_RETURN_IF_ERROR(node->SendTo(p, {}));
+  }
+  // Baseline the daemon's cumulative counters so deltas attribute only this
+  // node's traffic windows.
+  IPSA_ASSIGN_OR_RETURN(rpc::StatsResponse stats, node->client_->QueryStats());
+  node->last_packets_in_ = stats.packets_in;
+  node->last_packets_out_ = stats.packets_out;
+  return node;
+}
+
+Status RemoteNode::SendTo(uint32_t port, std::span<const uint8_t> bytes) {
+  ssize_t n = ::sendto(
+      socks_[port].fd(), bytes.data(), bytes.size(), 0,
+      reinterpret_cast<const sockaddr*>(&daemon_addr_[port]),
+      sizeof(sockaddr_in));
+  if (n < 0) {
+    return Unavailable("sendto(" + name_ + "): " + std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Result<rpc::InstallOutcome> RemoteNode::Install(rpc::InstallKind kind,
+                                                const std::string& source) {
+  IPSA_ASSIGN_OR_RETURN(rpc::InstallResponse resp,
+                        client_->Install(kind, source));
+  return rpc::InstallOutcome{.compile_ms = resp.compile_ms,
+                             .load_ms = resp.load_ms,
+                             .epoch = resp.epoch};
+}
+
+Status RemoteNode::ApplyTableOp(const rpc::TableOp& op) {
+  switch (op.op) {
+    case rpc::TableOpKind::kAdd:
+      return client_->AddEntry(op.table, op.entry);
+    case rpc::TableOpKind::kModify:
+      return client_->ModifyEntry(op.table, op.entry);
+    case rpc::TableOpKind::kDelete:
+      return client_->DeleteEntry(op.table, op.entry);
+  }
+  return InvalidArgument("unknown table op");
+}
+
+Result<compiler::ApiSpec> RemoteNode::Api() { return client_->FetchApi(); }
+
+Result<rpc::StatsResponse> RemoteNode::QueryStats() {
+  return client_->QueryStats();
+}
+
+Result<rpc::MetricsResponse> RemoteNode::QueryMetrics() {
+  return client_->QueryMetrics();
+}
+
+Result<uint64_t> RemoteNode::QueryEpoch() {
+  IPSA_ASSIGN_OR_RETURN(rpc::EpochResponse resp, client_->QueryEpoch());
+  return resp.epoch;
+}
+
+Result<bool> RemoteNode::InjectRx(uint32_t port, const net::Packet& packet) {
+  if (port >= port_count_) {
+    return InvalidArgument("inject into '" + name_ + "': port " +
+                           std::to_string(port) + " out of range");
+  }
+  if (packet.empty()) {
+    // A zero-length datagram is the peer-registration escape; refuse rather
+    // than silently re-register.
+    return InvalidArgument("cannot inject an empty packet over UDP");
+  }
+  IPSA_RETURN_IF_ERROR(SendTo(port, packet.bytes()));
+  ++pending_injected_;
+  return true;
+}
+
+Status RemoteNode::DrainAndCollect(std::vector<daemon::TxPacket>& tx) {
+  if (pending_injected_ == 0) return OkStatus();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(io_timeout_ms_);
+  // Wait until the daemon has consumed everything we injected. switchd
+  // pumps the device and flushes its TX datagrams before answering the next
+  // control frame, so a stats response showing our packets processed
+  // implies the corresponding packet-outs are already on the wire.
+  const uint64_t expected_in = last_packets_in_ + pending_injected_;
+  rpc::StatsResponse stats;
+  while (true) {
+    IPSA_ASSIGN_OR_RETURN(stats, client_->QueryStats());
+    if (stats.packets_in >= expected_in) break;
+    if (std::chrono::steady_clock::now() > deadline) {
+      return DeadlineExceeded(
+          "remote node '" + name_ + "' drain: daemon consumed " +
+          std::to_string(stats.packets_in - last_packets_in_) + " of " +
+          std::to_string(pending_injected_) + " injected packets");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  uint64_t expect_tx = stats.packets_out - last_packets_out_;
+  last_packets_in_ = stats.packets_in;
+  last_packets_out_ = stats.packets_out;
+  pending_injected_ = 0;
+
+  std::vector<uint8_t> buf(64 * 1024);
+  uint64_t got = 0;
+  while (got < expect_tx) {
+    bool any = false;
+    for (uint32_t p = 0; p < socks_.size() && got < expect_tx; ++p) {
+      Result<size_t> n = wire::RecvSome(socks_[p].fd(), buf, /*timeout_ms=*/2);
+      if (!n.ok()) continue;  // this port has nothing right now
+      net::Packet packet(std::span<const uint8_t>(buf.data(), *n));
+      tx.push_back(daemon::TxPacket{.port = p, .packet = std::move(packet)});
+      ++got;
+      any = true;
+    }
+    if (!any && std::chrono::steady_clock::now() > deadline) {
+      return DeadlineExceeded("remote node '" + name_ + "' drain: received " +
+                              std::to_string(got) + " of " +
+                              std::to_string(expect_tx) + " TX datagrams");
+    }
+  }
+  return OkStatus();
+}
+
+uint32_t RemoteNode::PendingRx() { return pending_injected_; }
+
+}  // namespace ipsa::fabric

@@ -1,0 +1,122 @@
+// Fabric node abstraction: one switch under fabric control.
+//
+// Both flavors expose the identical control surface (the rpc::Backend verbs
+// the controller already speaks) plus the three data-plane hooks the fabric
+// driver needs: inject into a port's RX, drain to quiescence, and collect
+// everything that egressed. LocalNode hosts a DeviceBackend in-process;
+// RemoteNode attaches to a running switchd over its TCP control channel and
+// per-port UDP packet plane — registering itself as every port's packet-out
+// peer with zero-length datagrams, exactly like any other switchd consumer.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/backends.h"
+#include "rpc/client.h"
+#include "wire/socket.h"
+
+namespace ipsa::fabric {
+
+class FabricNode {
+ public:
+  virtual ~FabricNode() = default;
+
+  const std::string& name() const { return name_; }
+  daemon::ArchKind arch() const { return arch_; }
+  uint32_t port_count() const { return port_count_; }
+
+  // --- control plane ------------------------------------------------------
+  virtual Result<rpc::InstallOutcome> Install(rpc::InstallKind kind,
+                                              const std::string& source) = 0;
+  virtual Status ApplyTableOp(const rpc::TableOp& op) = 0;
+  virtual Result<compiler::ApiSpec> Api() = 0;
+  virtual Result<rpc::StatsResponse> QueryStats() = 0;
+  virtual Result<rpc::MetricsResponse> QueryMetrics() = 0;
+  virtual Result<uint64_t> QueryEpoch() = 0;
+
+  // --- data plane ---------------------------------------------------------
+  // Queues a copy of `packet` into `port`'s RX. Returns false when the
+  // queue refused it (bounded-FIFO overflow) — an accounted drop.
+  virtual Result<bool> InjectRx(uint32_t port, const net::Packet& packet) = 0;
+  // Processes everything pending and appends all egressed packets to `tx`.
+  virtual Status DrainAndCollect(std::vector<daemon::TxPacket>& tx) = 0;
+  // Packets injected but not yet drained (0 after DrainAndCollect).
+  virtual uint32_t PendingRx() = 0;
+
+ protected:
+  FabricNode(std::string name, daemon::ArchKind arch, uint32_t port_count)
+      : name_(std::move(name)), arch_(arch), port_count_(port_count) {}
+
+  std::string name_;
+  daemon::ArchKind arch_;
+  uint32_t port_count_;
+};
+
+// An in-process behavioral switch (the same DeviceBackend switchd hosts).
+class LocalNode : public FabricNode {
+ public:
+  LocalNode(std::string name, daemon::ArchKind arch, uint32_t port_count,
+            uint32_t drain_workers = 1);
+
+  Result<rpc::InstallOutcome> Install(rpc::InstallKind kind,
+                                      const std::string& source) override;
+  Status ApplyTableOp(const rpc::TableOp& op) override;
+  Result<compiler::ApiSpec> Api() override;
+  Result<rpc::StatsResponse> QueryStats() override;
+  Result<rpc::MetricsResponse> QueryMetrics() override;
+  Result<uint64_t> QueryEpoch() override;
+
+  Result<bool> InjectRx(uint32_t port, const net::Packet& packet) override;
+  Status DrainAndCollect(std::vector<daemon::TxPacket>& tx) override;
+  uint32_t PendingRx() override;
+
+  daemon::DeviceBackend& backend() { return *backend_; }
+
+ private:
+  std::unique_ptr<daemon::DeviceBackend> backend_;
+  uint32_t drain_workers_;
+};
+
+// A node attached to a running switchd. Control goes over the blocking RPC
+// client; packets go over one UDP socket per device port. DrainAndCollect
+// waits (via the stats RPC) until the daemon has consumed everything this
+// node injected, then receives exactly the packets_out delta back.
+class RemoteNode : public FabricNode {
+ public:
+  // Connects and registers as packet-out peer of ports 0..udp_ports.size()-1.
+  static Result<std::unique_ptr<RemoteNode>> Connect(
+      std::string name, const std::string& host, uint16_t control_port,
+      std::vector<uint16_t> udp_ports, int io_timeout_ms = 5000);
+
+  Result<rpc::InstallOutcome> Install(rpc::InstallKind kind,
+                                      const std::string& source) override;
+  Status ApplyTableOp(const rpc::TableOp& op) override;
+  Result<compiler::ApiSpec> Api() override;
+  Result<rpc::StatsResponse> QueryStats() override;
+  Result<rpc::MetricsResponse> QueryMetrics() override;
+  Result<uint64_t> QueryEpoch() override;
+
+  Result<bool> InjectRx(uint32_t port, const net::Packet& packet) override;
+  Status DrainAndCollect(std::vector<daemon::TxPacket>& tx) override;
+  uint32_t PendingRx() override;
+
+ private:
+  RemoteNode(std::string name, daemon::ArchKind arch, uint32_t port_count,
+             int io_timeout_ms);
+
+  Status SendTo(uint32_t port, std::span<const uint8_t> bytes);
+
+  std::unique_ptr<rpc::Client> client_;
+  std::vector<wire::Socket> socks_;     // one per exposed device port
+  std::vector<sockaddr_in> daemon_addr_;
+  int io_timeout_ms_;
+  uint32_t pending_injected_ = 0;
+  uint64_t last_packets_in_ = 0;
+  uint64_t last_packets_out_ = 0;
+};
+
+}  // namespace ipsa::fabric

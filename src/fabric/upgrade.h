@@ -1,0 +1,45 @@
+// Rolling in-situ upgrade orchestrator (the paper's headline capability,
+// scaled out): install a new rP4 template across a running fabric one
+// switch at a time, keeping traffic flowing throughout.
+//
+// Between every per-switch install the orchestrator drives caller-supplied
+// traffic rounds and lets the delivery oracle account each one — so the
+// partial-deployment window (some switches upgraded, some not) is exactly
+// the state under test. The upgrade passes only if zero packets were lost
+// or blackholed across the whole window and, when the fabric runs with
+// shadow twins, every switch's TX stayed bit-identical to its
+// interpreter-pinned differential oracle.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.h"
+
+namespace ipsa::fabric {
+
+struct UpgradeSpec {
+  rpc::InstallKind kind = rpc::InstallKind::kScript;
+  std::string source;
+  // Traffic rounds driven after each switch's install (the
+  // partial-deployment probe) — each round must leave the fabric quiescent.
+  uint32_t traffic_rounds_per_step = 1;
+};
+
+struct UpgradeReport {
+  uint32_t nodes_upgraded = 0;
+  double wall_ms = 0;
+  OracleReport oracle;                 // the whole upgrade window
+  std::vector<uint64_t> epochs_after;  // per node, post-install
+};
+
+using TrafficRound = std::function<Status(Fabric&)>;
+
+// Upgrades every node in index order. Fails fast if any intermediate
+// oracle check reports loss — the report up to that point is lost, the
+// status message says which node's window broke.
+Result<UpgradeReport> RollingUpgrade(Fabric& fabric, const UpgradeSpec& spec,
+                                     const TrafficRound& traffic_round);
+
+}  // namespace ipsa::fabric

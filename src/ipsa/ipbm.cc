@@ -182,6 +182,7 @@ Status IpbmSwitch::AddEntry(const std::string& table,
   IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
   ++stats_.table_ops;
   ChargeConfigWords(1);
+  BumpEpochKeepingCompiledState();
   return t->Insert(entry);
 }
 
@@ -190,7 +191,18 @@ Status IpbmSwitch::EraseEntry(const std::string& table,
   IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
   ++stats_.table_ops;
   ChargeConfigWords(1);
+  BumpEpochKeepingCompiledState();
   return t->Erase(entry);
+}
+
+void IpbmSwitch::BumpEpochKeepingCompiledState() {
+  // Runtime entry ops are CCM commands like any other, so they advance the
+  // epoch (snapshots and traces across a group mutation must see it move).
+  // Unlike structural commands they cannot invalidate compiled programs —
+  // lookups read table content live — so a currently-valid compiled key is
+  // advanced in lockstep to keep the fast path from being rebuilt per op.
+  if (compiled_key_.epoch == config_epoch_) ++compiled_key_.epoch;
+  ++config_epoch_;
 }
 
 Status IpbmSwitch::LoadBaseDesign(const arch::DesignConfig& design,

@@ -184,6 +184,9 @@ class IpbmSwitch {
   void ChargeConfigWords(uint64_t words) {
     stats_.config_words_written += words;
   }
+  // Advances config_epoch_ for a runtime entry op without invalidating the
+  // compiled fast path (entry content is read live at lookup time).
+  void BumpEpochKeepingCompiledState();
   CompiledKey CurrentKey() const;
   // Recompiles every TSP's template if anything changed since the last call.
   void EnsureCompiled();

@@ -626,5 +626,117 @@ TEST_F(SwitchdTest, DrainAndEpochRpcs) {
   EXPECT_EQ(drained->processed, 0u);
 }
 
+// --- UDP peer registration lifecycle -----------------------------------------
+
+void SendVia(const wire::Socket& sock, uint16_t daemon_port,
+             std::span<const uint8_t> bytes) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon_port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_GE(::sendto(sock.fd(), bytes.data(), bytes.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+}
+
+// A fresh zero-length registration datagram atomically re-points a port's
+// packet-out peer — the restarted-consumer story: the old socket stops
+// receiving, the new one gets everything from the next packet on.
+TEST_F(SwitchdTest, UdpReRegistrationRepointsPacketOut) {
+  StartDaemon(ArchKind::kIpsa);
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  ASSERT_TRUE(client
+                  .Install(rpc::InstallKind::kBaseP4,
+                           controller::designs::BaseP4())
+                  .ok());
+  auto api = client.FetchApi();
+  ASSERT_TRUE(api.ok());
+  std::vector<rpc::TableOp> ops =
+      CollectOps(*api, &controller::PopulateBaseline);
+  ASSERT_TRUE(client.ApplyBatch(ops).ok());
+
+  // Reference run pins down the egress port and bytes.
+  IpsaBackend ref;
+  ASSERT_TRUE(
+      ref.Install(rpc::InstallKind::kBaseP4, controller::designs::BaseP4())
+          .ok());
+  for (const rpc::TableOp& op : ops) {
+    ASSERT_TRUE(ref.ApplyTableOp(op).ok());
+  }
+  net::Packet ref_pkt = V4Packet(4, 4000);
+  auto expected = InjectAndDrain(ref, std::move(ref_pkt), 0);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), 1u);
+  const uint32_t out_port = (*expected)[0].port;
+
+  RegisterPeers();
+  net::Packet pkt = V4Packet(4, 4000);
+  std::vector<uint8_t> bytes(pkt.bytes().begin(), pkt.bytes().end());
+
+  SendToPort(0, bytes);
+  ASSERT_TRUE(RecvDatagram(peers_[out_port], 10000).ok());
+
+  // The consumer restarts on a new socket and re-registers.
+  auto restarted = wire::UdpBind("127.0.0.1", 0);
+  ASSERT_TRUE(restarted.ok());
+  SendVia(*restarted, switchd_->udp_port(out_port), {});
+
+  SendToPort(0, bytes);
+  auto got_new = RecvDatagram(*restarted, 10000);
+  ASSERT_TRUE(got_new.ok()) << got_new.status().ToString();
+  EXPECT_EQ(got_new->size(), bytes.size());
+  // The replaced socket stays silent.
+  EXPECT_FALSE(RecvDatagram(peers_[out_port], 100).ok());
+}
+
+// A plain data datagram from a different source must NOT steal the peer
+// mapping mid-stream — only the explicit zero-length registration does.
+TEST_F(SwitchdTest, UdpDataSourceDoesNotHijackRegisteredPeer) {
+  StartDaemon(ArchKind::kIpsa);
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  ASSERT_TRUE(client
+                  .Install(rpc::InstallKind::kBaseP4,
+                           controller::designs::BaseP4())
+                  .ok());
+  auto api = client.FetchApi();
+  ASSERT_TRUE(api.ok());
+  std::vector<rpc::TableOp> ops =
+      CollectOps(*api, &controller::PopulateBaseline);
+  ASSERT_TRUE(client.ApplyBatch(ops).ok());
+
+  IpsaBackend ref;
+  ASSERT_TRUE(
+      ref.Install(rpc::InstallKind::kBaseP4, controller::designs::BaseP4())
+          .ok());
+  for (const rpc::TableOp& op : ops) {
+    ASSERT_TRUE(ref.ApplyTableOp(op).ok());
+  }
+  net::Packet ref_pkt = V4Packet(4, 4000);
+  auto expected = InjectAndDrain(ref, std::move(ref_pkt), 0);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(expected->size(), 1u);
+  const uint32_t out_port = (*expected)[0].port;
+
+  RegisterPeers();
+  net::Packet pkt = V4Packet(4, 4000);
+  std::vector<uint8_t> bytes(pkt.bytes().begin(), pkt.bytes().end());
+
+  // An interloper injects data into the egress port's socket. The packet is
+  // processed like any other RX, but the registered peer must survive.
+  auto interloper = wire::UdpBind("127.0.0.1", 0);
+  ASSERT_TRUE(interloper.ok());
+  SendVia(*interloper, switchd_->udp_port(out_port), bytes);
+  // (That frame ingresses on out_port; wherever it egresses, the peer map
+  // for out_port itself must still point at the original socket.)
+
+  SendToPort(0, bytes);
+  auto got = RecvDatagram(peers_[out_port], 10000);
+  ASSERT_TRUE(got.ok())
+      << "registered peer lost its packet-out after a data datagram "
+         "from another source: "
+      << got.status().ToString();
+  EXPECT_EQ(got->size(), bytes.size());
+}
+
 }  // namespace
 }  // namespace ipsa::daemon

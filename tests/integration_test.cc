@@ -566,5 +566,141 @@ TEST(EquivalenceTest, BothDevicesForwardIdentically) {
   }
 }
 
+TEST_F(Rp4FlowTest, EcmpMemberRemovalUnderLiveTraffic) {
+  // C1 installed and populated: 64 buckets over 8 nexthop members.
+  ASSERT_TRUE(controller_
+                  ->ApplyScript(controller::designs::EcmpScript(),
+                                ResolveSnippet)
+                  .ok());
+  auto add = [this](const std::string& table, const table::Entry& e) {
+    return controller_->AddEntry(table, e);
+  };
+  ASSERT_TRUE(controller::PopulateEcmp(controller_->api(), add, config_).ok());
+
+  // First half of the batch: record each flow's member choice.
+  const uint32_t kFlows = 48;
+  const uint32_t victim_nh = 103;
+  const uint64_t victim_dmac = config_.nh_dmac_base + victim_nh;
+  uint32_t hit_victim = 0;
+  for (uint32_t k = 0; k < kFlows; ++k) {
+    net::Packet p = MakeV4Packet(config_.v4_dst_base + k);
+    auto result = Send(p);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->dropped);
+    net::EthernetView eth(p.bytes());
+    if (eth.dst().ToUint64() == victim_dmac) ++hit_victim;
+  }
+  ASSERT_GT(hit_victim, 0u) << "test needs flows on the victim member";
+
+  // Mid-batch group mutation: erase every bucket hosting the victim
+  // member. Each erase is a CCM command, so the epoch must advance.
+  uint64_t epoch_before = device_->config_epoch();
+  controller::EntryBuilder builder(controller_->api());
+  for (uint32_t b = 0; b < 64; ++b) {
+    if (100 + b % config_.nexthop_count != victim_nh) continue;
+    for (const char* table : {"ecmp_ipv4", "ecmp_ipv6"}) {
+      auto member = builder.BuildSelectorMember(
+          table, b, "set_bd_dmac",
+          {controller::Bits(16, config_.l3_bd),
+           controller::MacBits(victim_dmac)});
+      ASSERT_TRUE(member.ok()) << member.status().ToString();
+      ASSERT_TRUE(device_->EraseEntry(table, *member).ok());
+    }
+  }
+  EXPECT_GT(device_->config_epoch(), epoch_before);
+
+  // Second half: every flow still forwards and none maps to the removed
+  // member — the selector re-hashes over the surviving buckets only.
+  for (uint32_t k = 0; k < kFlows; ++k) {
+    net::Packet p = MakeV4Packet(config_.v4_dst_base + k);
+    auto result = Send(p);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->dropped);
+    net::EthernetView eth(p.bytes());
+    uint64_t dmac = eth.dst().ToUint64();
+    EXPECT_NE(dmac, victim_dmac) << "flow " << k << " maps to erased member";
+    EXPECT_GE(dmac, config_.nh_dmac_base + 100);
+    EXPECT_LT(dmac, config_.nh_dmac_base + 100 + config_.nexthop_count);
+  }
+}
+
+TEST_F(Rp4FlowTest, FabricEcmpSpliceKeepsLocalRoutePriority) {
+  // The fabric leaf program: fab_ecmp spliced between the FIB and nexthop.
+  // Local routes (real nexthop ids) must win over the selector's spine
+  // choice; uplink routes (reserved id 200, no nexthop entry) must keep it.
+  ASSERT_TRUE(controller_
+                  ->ApplyScript(controller::designs::FabricEcmpScript(),
+                                ResolveSnippet)
+                  .ok());
+  ASSERT_GE(device_->TspOfStage("fab_ecmp"), 0);
+  ASSERT_GE(device_->TspOfStage("nexthop"), 0);  // kept, unlike stock C1
+
+  const uint64_t kSpineMacBase = 0x02F100000000ull;
+  const uint32_t kSpines = 2;
+  const uint32_t kUplinkPortBase = 8;
+  controller::EntryBuilder builder(controller_->api());
+  for (uint32_t b = 0; b < 8; ++b) {
+    auto member = builder.BuildSelectorMember(
+        "fab_ecmp_v4", b, "fab_set_spine",
+        {controller::Bits(16, config_.l3_bd),
+         controller::MacBits(kSpineMacBase + 1 + b % kSpines)});
+    ASSERT_TRUE(member.ok()) << member.status().ToString();
+    ASSERT_TRUE(controller_->AddEntry("fab_ecmp_v4", *member).ok());
+  }
+  for (uint32_t s = 0; s < kSpines; ++s) {
+    auto e = builder.Build(
+        "dmac", "set_port",
+        {controller::KeyValue(config_.l3_bd),
+         controller::KeyValue(controller::MacBits(kSpineMacBase + 1 + s))},
+        {controller::Bits(9, kUplinkPortBase + s)});
+    ASSERT_TRUE(e.ok()) << e.status().ToString();
+    ASSERT_TRUE(controller_->AddEntry("dmac", *e).ok());
+  }
+  // Uplink prefix 10.99.0.0/16 -> reserved nexthop id 200 (no entry).
+  auto uplink = builder.Build(
+      "ipv4_lpm", "set_nexthop",
+      {controller::KeyValue(controller::Ipv4Bits(0x0A630000))},
+      {controller::Bits(16, 200)}, /*prefix_len=*/16);
+  ASSERT_TRUE(uplink.ok()) << uplink.status().ToString();
+  ASSERT_TRUE(controller_->AddEntry("ipv4_lpm", *uplink).ok());
+
+  // Local destination: the nexthop hit overwrites the selector's choice.
+  {
+    net::Packet p = MakeV4Packet(config_.v4_dst_base + 7);
+    auto result = Send(p);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->dropped);
+    uint32_t nh = config_.NexthopOf(7);
+    EXPECT_EQ(result->egress_port, config_.PortOfNexthop(nh));
+    net::EthernetView eth(p.bytes());
+    EXPECT_EQ(eth.dst().ToUint64(), config_.nh_dmac_base + nh);
+  }
+  // Uplink destinations: the selector's spine MAC survives the nexthop
+  // miss and steers the packet to a spine-facing port, flow-stably.
+  uint32_t spine_hits[kSpines] = {0, 0};
+  for (uint32_t k = 0; k < 16; ++k) {
+    uint32_t first_port = 0;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      net::Packet p = MakeV4Packet(0x0A630000 + 0x100 * k + 1);
+      auto result = Send(p);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_FALSE(result->dropped);
+      ASSERT_GE(result->egress_port, kUplinkPortBase);
+      ASSERT_LT(result->egress_port, kUplinkPortBase + kSpines);
+      net::EthernetView eth(p.bytes());
+      EXPECT_EQ(eth.dst().ToUint64(),
+                kSpineMacBase + 1 + (result->egress_port - kUplinkPortBase));
+      if (repeat == 0) {
+        first_port = result->egress_port;
+        ++spine_hits[result->egress_port - kUplinkPortBase];
+      } else {
+        EXPECT_EQ(result->egress_port, first_port) << "ECMP must be stable";
+      }
+    }
+  }
+  EXPECT_GT(spine_hits[0], 0u) << "ECMP never picked spine 0";
+  EXPECT_GT(spine_hits[1], 0u) << "ECMP never picked spine 1";
+}
+
 }  // namespace
 }  // namespace ipsa

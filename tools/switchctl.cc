@@ -33,7 +33,12 @@ namespace ipsa::tools {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: switchctl [--host H] [--port P] [--timeout MS] <command> [args]\n"
+    "usage: switchctl [--host H] [--port P] [--timeout MS]\n"
+    "                 [--connect H:P[,H:P...]] <command> [args]\n"
+    "\n"
+    "--connect fans the command out to every listed daemon in order (a\n"
+    "fabric-wide stats sweep or rolling install); with --json the output is\n"
+    "one object per endpoint, each tagged with its \"endpoint\" address.\n"
     "\n"
     "commands:\n"
     "  info                      server architecture, ports, epoch\n"
@@ -260,10 +265,11 @@ std::string MatchName(uint8_t kind) {
       table::MatchKindName(static_cast<table::MatchKind>(kind)));
 }
 
-Status DoStats(rpc::Client& client, bool json) {
+Status DoStats(rpc::Client& client, bool json, const std::string& endpoint) {
   IPSA_ASSIGN_OR_RETURN(rpc::StatsResponse st, client.QueryStats());
   if (json) {
     util::Json out = util::Json::Object();
+    if (!endpoint.empty()) out["endpoint"] = endpoint;
     out["packets_in"] = st.packets_in;
     out["packets_out"] = st.packets_out;
     out["packets_dropped"] = st.packets_dropped;
@@ -317,12 +323,12 @@ void PrintHistogramLine(const char* label, const telemetry::Histogram& h) {
               (unsigned long long)(h.count ? h.max : 0));
 }
 
-Status DoMetrics(rpc::Client& client, bool json) {
+Status DoMetrics(rpc::Client& client, bool json, const std::string& endpoint) {
   IPSA_ASSIGN_OR_RETURN(rpc::MetricsResponse resp, client.QueryMetrics());
   if (json) {
-    std::printf(
-        "%s\n",
-        telemetry::SnapshotToJson(resp.snapshot, resp.arch).Dump(2).c_str());
+    util::Json out = telemetry::SnapshotToJson(resp.snapshot, resp.arch);
+    if (!endpoint.empty()) out["endpoint"] = endpoint;
+    std::printf("%s\n", out.Dump(2).c_str());
     return OkStatus();
   }
   const telemetry::MetricsSnapshot& m = resp.snapshot;
@@ -413,9 +419,37 @@ Status DoTrace(rpc::Client& client, uint32_t max, bool json) {
   return OkStatus();
 }
 
+// Parses "host:port[,host:port...]" into per-endpoint client options.
+Result<std::vector<rpc::ClientOptions>> ParseConnectList(
+    const std::string& list, const rpc::ClientOptions& base) {
+  std::vector<rpc::ClientOptions> endpoints;
+  std::istringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= item.size()) {
+      return InvalidArgument("--connect: expected host:port, got '" + item +
+                             "'");
+    }
+    char* end = nullptr;
+    unsigned long port = std::strtoul(item.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || port == 0 || port > 65535) {
+      return InvalidArgument("--connect: bad port in '" + item + "'");
+    }
+    rpc::ClientOptions opt = base;
+    opt.host = item.substr(0, colon);
+    opt.port = static_cast<uint16_t>(port);
+    endpoints.push_back(std::move(opt));
+  }
+  if (endpoints.empty()) return InvalidArgument("--connect: empty list");
+  return endpoints;
+}
+
 int Main(int argc, char** argv) {
   rpc::ClientOptions options;
   options.client_name = "switchctl";
+  std::string connect_list;
 
   int i = 1;
   for (; i < argc; ++i) {
@@ -430,6 +464,8 @@ int Main(int argc, char** argv) {
       options.port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (a == "--timeout" && i + 1 < argc) {
       options.call_timeout_ms = std::atoi(argv[++i]);
+    } else if (a == "--connect" && i + 1 < argc) {
+      connect_list = argv[++i];
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "switchctl: unknown option '%s'\n\n%s", a.c_str(),
                    kUsage);
@@ -442,9 +478,21 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "switchctl: missing command\n\n%s", kUsage);
     return 2;
   }
-  if (options.port == 0) {
-    std::fprintf(stderr, "switchctl: --port is required\n");
-    return 2;
+  std::vector<rpc::ClientOptions> endpoints;
+  if (!connect_list.empty()) {
+    auto parsed = ParseConnectList(connect_list, options);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "switchctl: %s\n",
+                   parsed.status().message().c_str());
+      return 2;
+    }
+    endpoints = std::move(*parsed);
+  } else {
+    if (options.port == 0) {
+      std::fprintf(stderr, "switchctl: --port or --connect is required\n");
+      return 2;
+    }
+    endpoints.push_back(options);
   }
   std::string cmd = argv[i++];
   std::vector<std::string> args(argv + i, argv + argc);
@@ -458,73 +506,83 @@ int Main(int argc, char** argv) {
                             }),
              args.end());
 
-  rpc::Client client(options);
-  Status s = OkStatus();
-  if (cmd == "info") {
-    s = client.Connect();
-    if (s.ok()) {
-      const rpc::HelloResponse& info = client.server_info();
-      std::printf("arch %s  ports %u  epoch %llu  design %s\n",
-                  info.arch.c_str(), info.port_count,
-                  (unsigned long long)info.epoch,
-                  info.has_design ? "installed" : "none");
-    }
-  } else if (cmd == "install-p4" && args.size() == 1) {
-    auto src = ResolveP4(args[0]);
-    s = src.ok() ? DoInstall(client, rpc::InstallKind::kBaseP4, *src)
-                 : src.status();
-  } else if (cmd == "install-rp4" && args.size() == 1) {
-    auto src = ReadFile(args[0]);
-    s = src.ok() ? DoInstall(client, rpc::InstallKind::kBaseRp4, *src)
-                 : src.status();
-  } else if (cmd == "script" && args.size() == 1) {
-    auto src = ResolveScript(args[0]);
-    s = src.ok() ? DoInstall(client, rpc::InstallKind::kScript, *src)
-                 : src.status();
-  } else if (cmd == "populate" && args.size() <= 1) {
-    s = DoPopulate(client, args.empty() ? "" : args[0]);
-  } else if (cmd == "ops" && args.size() == 1) {
-    s = DoOps(client, args[0]);
-  } else if (cmd == "stats" && args.empty()) {
-    s = DoStats(client, json);
-  } else if (cmd == "metrics" && args.empty()) {
-    s = DoMetrics(client, json);
-  } else if (cmd == "trace" && args.size() <= 1) {
-    uint32_t max = args.empty()
-                       ? 0
-                       : static_cast<uint32_t>(std::atoi(args[0].c_str()));
-    s = DoTrace(client, max, json);
-  } else if (cmd == "reset-metrics" && args.empty()) {
-    s = client.ResetMetrics();
-    if (s.ok()) std::printf("metrics reset\n");
-  } else if (cmd == "epoch" && args.empty()) {
-    auto e = client.QueryEpoch();
-    if (e.ok()) {
-      std::printf("arch %s  epoch %llu  design %s\n", e->arch.c_str(),
-                  (unsigned long long)e->epoch,
-                  e->has_design ? "installed" : "none");
-    }
-    s = e.status();
-  } else if (cmd == "drain" && args.size() <= 1) {
-    uint32_t workers = args.empty()
-                           ? 1
-                           : static_cast<uint32_t>(std::atoi(args[0].c_str()));
-    auto d = client.Drain(workers);
-    if (d.ok()) {
-      std::printf("drained %u packet(s)\n", d->processed);
-    }
-    s = d.status();
-  } else {
-    std::fprintf(stderr, "switchctl: unknown command '%s'\n\n%s", cmd.c_str(),
-                 kUsage);
-    return 2;
-  }
+  const bool fanout = !connect_list.empty();
+  int exit_code = 0;
+  for (const rpc::ClientOptions& eopt : endpoints) {
+    const std::string label =
+        fanout ? eopt.host + ":" + std::to_string(eopt.port) : std::string();
+    if (fanout && !json) std::printf("== %s ==\n", label.c_str());
 
-  if (!s.ok()) {
-    std::fprintf(stderr, "switchctl: %s\n", s.ToString().c_str());
-    return 1;
+    rpc::Client client(eopt);
+    Status s = OkStatus();
+    if (cmd == "info") {
+      s = client.Connect();
+      if (s.ok()) {
+        const rpc::HelloResponse& info = client.server_info();
+        std::printf("arch %s  ports %u  epoch %llu  design %s\n",
+                    info.arch.c_str(), info.port_count,
+                    (unsigned long long)info.epoch,
+                    info.has_design ? "installed" : "none");
+      }
+    } else if (cmd == "install-p4" && args.size() == 1) {
+      auto src = ResolveP4(args[0]);
+      s = src.ok() ? DoInstall(client, rpc::InstallKind::kBaseP4, *src)
+                   : src.status();
+    } else if (cmd == "install-rp4" && args.size() == 1) {
+      auto src = ReadFile(args[0]);
+      s = src.ok() ? DoInstall(client, rpc::InstallKind::kBaseRp4, *src)
+                   : src.status();
+    } else if (cmd == "script" && args.size() == 1) {
+      auto src = ResolveScript(args[0]);
+      s = src.ok() ? DoInstall(client, rpc::InstallKind::kScript, *src)
+                   : src.status();
+    } else if (cmd == "populate" && args.size() <= 1) {
+      s = DoPopulate(client, args.empty() ? "" : args[0]);
+    } else if (cmd == "ops" && args.size() == 1) {
+      s = DoOps(client, args[0]);
+    } else if (cmd == "stats" && args.empty()) {
+      s = DoStats(client, json, label);
+    } else if (cmd == "metrics" && args.empty()) {
+      s = DoMetrics(client, json, label);
+    } else if (cmd == "trace" && args.size() <= 1) {
+      uint32_t max = args.empty()
+                         ? 0
+                         : static_cast<uint32_t>(std::atoi(args[0].c_str()));
+      s = DoTrace(client, max, json);
+    } else if (cmd == "reset-metrics" && args.empty()) {
+      s = client.ResetMetrics();
+      if (s.ok()) std::printf("metrics reset\n");
+    } else if (cmd == "epoch" && args.empty()) {
+      auto e = client.QueryEpoch();
+      if (e.ok()) {
+        std::printf("arch %s  epoch %llu  design %s\n", e->arch.c_str(),
+                    (unsigned long long)e->epoch,
+                    e->has_design ? "installed" : "none");
+      }
+      s = e.status();
+    } else if (cmd == "drain" && args.size() <= 1) {
+      uint32_t workers =
+          args.empty() ? 1
+                       : static_cast<uint32_t>(std::atoi(args[0].c_str()));
+      auto d = client.Drain(workers);
+      if (d.ok()) {
+        std::printf("drained %u packet(s)\n", d->processed);
+      }
+      s = d.status();
+    } else {
+      std::fprintf(stderr, "switchctl: unknown command '%s'\n\n%s",
+                   cmd.c_str(), kUsage);
+      return 2;
+    }
+
+    if (!s.ok()) {
+      std::fprintf(stderr, "switchctl: %s%s\n",
+                   fanout ? (label + ": ").c_str() : "",
+                   s.ToString().c_str());
+      exit_code = 1;  // keep sweeping the remaining endpoints
+    }
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace
