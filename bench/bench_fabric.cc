@@ -75,6 +75,15 @@ int Main(int argc, char** argv) {
       return 2;
     }
   }
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "WARNING: bench_fabric built without NDEBUG; figures are "
+               "not comparable.\n");
+  if (smoke) {
+    std::fprintf(stderr, "--smoke refuses to gate on a Debug build.\n");
+    return 1;
+  }
+#endif
   const uint32_t packets_per_flow = smoke ? 4 : 16;
   const int rounds = smoke ? 3 : 8;
 

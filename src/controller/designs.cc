@@ -756,10 +756,62 @@ add_link fab_acl ipv4_host
   return kSource;
 }
 
+const std::string& FabricProbeRp4Snippet() {
+  // Mark-on-miss: with the table empty every IPv4 packet takes the default
+  // executor row and gets mark()ed, which telemetry counts per ingress port
+  // as packets_marked. Forwarding metadata is untouched, so splicing or
+  // removing the stage mid-traffic cannot change delivery — the fabric
+  // conservation oracle and the shadow twins both hold across a toggle.
+  static const std::string kSource = R"rp4(
+table fab_probe_flows {
+  key = { ipv4.src_addr: exact; ipv4.dst_addr: exact; }
+  size = 512;
+}
+action fab_probe_mark() {
+  mark();
+}
+stage fab_probe {
+  parser { ipv4; }
+  matcher {
+    if (ipv4.isValid()) fab_probe_flows.apply();
+    else;
+  }
+  executor {
+    1: NoAction;
+    default: fab_probe_mark;
+  }
+}
+)rp4";
+  return kSource;
+}
+
+const std::string& FabricProbeScript() {
+  // Egress splice, same seam the telemetry stage uses: after the L3 rewrite,
+  // before the DMAC lookup. Keeping it at egress means it composes with the
+  // ingress splices (fab_ecmp, fab_acl) without touching their edges.
+  static const std::string kSource = R"(
+load fab_probe.rp4 --func_name fab_probe
+add_link l2_l3_rewrite fab_probe
+add_link fab_probe dmac
+del_link l2_l3_rewrite dmac
+)";
+  return kSource;
+}
+
+const std::string& FabricProbeRemoveScript() {
+  // remove bridges predecessors to successors, restoring
+  // l2_l3_rewrite -> dmac.
+  static const std::string kSource = R"(
+remove --func_name fab_probe
+)";
+  return kSource;
+}
+
 Result<std::string> ResolveSnippet(const std::string& file) {
   if (file == "ecmp.rp4") return EcmpRp4Snippet();
   if (file == "fab_ecmp.rp4") return FabricEcmpRp4Snippet();
   if (file == "fab_acl.rp4") return FabricAclRp4Snippet();
+  if (file == "fab_probe.rp4") return FabricProbeRp4Snippet();
   if (file == "srv6.rp4") return Srv6Rp4Snippet();
   if (file == "probe.rp4") return ProbeRp4Snippet();
   if (file == "probe_v2.rp4") return ProbeV2Rp4Snippet();

@@ -74,6 +74,16 @@ const std::string& FabricEcmpScript();
 const std::string& FabricAclRp4Snippet();
 const std::string& FabricAclScript();
 
+// On-demand heavy-hitter probe: a stage spliced at egress (between the L3
+// rewrite and the DMAC lookup) whose table starts empty and whose *miss*
+// action marks the packet, so while the stage is resident every IPv4 packet
+// shows up in packets_marked without changing forwarding. Entries can later
+// pin known-heavy flows to NoAction to narrow the probe. The reactor toggles
+// this stage in-situ on demand (docs/reactor.md).
+const std::string& FabricProbeRp4Snippet();
+const std::string& FabricProbeScript();
+const std::string& FabricProbeRemoveScript();
+
 // Resolves the snippet file names used inside the scripts
 // (ecmp.rp4 / srv6.rp4 / probe.rp4).
 Result<std::string> ResolveSnippet(const std::string& file);

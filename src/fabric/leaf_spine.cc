@@ -13,8 +13,8 @@ namespace ipsa::fabric {
 
 namespace {
 
-constexpr uint16_t kL2Bd = 1;
-constexpr uint16_t kL3Bd = 2;
+constexpr uint16_t kL2Bd = LeafSpine::kL2Bd;
+constexpr uint16_t kL3Bd = LeafSpine::kL3Bd;
 // Cross-leaf routes resolve to this reserved nexthop id, which has no
 // nexthop-table entry — the miss preserves fab_set_spine's bd/DMAC choice
 // (local routes' real nexthops overwrite it). See designs.h.

@@ -60,6 +60,11 @@ class LeafSpine {
   // The link joining leaf l and spine s.
   Result<uint32_t> SpineLink(uint32_t l, uint32_t s) const;
 
+  // Bridge domains the populated design uses (flood vs routed); reaction
+  // plans that rebuild fab_ecmp_v4 members need the routed one.
+  static constexpr uint16_t kL2Bd = 1;
+  static constexpr uint16_t kL3Bd = 2;
+
   static uint64_t LeafMac(uint32_t l) { return 0x02F100000000ull + l + 1; }
   static uint64_t SpineMac(uint32_t s) { return 0x02F200000000ull + s + 1; }
   static uint64_t HostMac(uint32_t l, uint32_t h) {

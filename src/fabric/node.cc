@@ -39,6 +39,13 @@ Result<rpc::MetricsResponse> LocalNode::QueryMetrics() {
 
 Result<uint64_t> LocalNode::QueryEpoch() { return backend_->Info().epoch; }
 
+Status LocalNode::EnableTelemetry() {
+  telemetry::TelemetryConfig config;
+  config.enabled = true;
+  backend_->ConfigureTelemetry(config);
+  return OkStatus();
+}
+
 Result<bool> LocalNode::InjectRx(uint32_t port, const net::Packet& packet) {
   if (port >= port_count_) {
     return InvalidArgument("inject into '" + name_ + "': port " +
@@ -155,6 +162,18 @@ Result<rpc::MetricsResponse> RemoteNode::QueryMetrics() {
 Result<uint64_t> RemoteNode::QueryEpoch() {
   IPSA_ASSIGN_OR_RETURN(rpc::EpochResponse resp, client_->QueryEpoch());
   return resp.epoch;
+}
+
+Status RemoteNode::EnableTelemetry() {
+  // The daemon owns its collector config (on by default; --no-telemetry
+  // turns it off). All we can do from here is check it is actually on.
+  IPSA_ASSIGN_OR_RETURN(rpc::MetricsResponse resp, client_->QueryMetrics());
+  if (!resp.snapshot.enabled) {
+    return FailedPrecondition("node '" + name_ +
+                              "': switchd is running with telemetry "
+                              "disabled; restart it without --no-telemetry");
+  }
+  return OkStatus();
 }
 
 Result<bool> RemoteNode::InjectRx(uint32_t port, const net::Packet& packet) {

@@ -37,6 +37,11 @@ class FabricNode {
   virtual Result<rpc::StatsResponse> QueryStats() = 0;
   virtual Result<rpc::MetricsResponse> QueryMetrics() = 0;
   virtual Result<uint64_t> QueryEpoch() = 0;
+  // Turns the node's metric collection on (closed-loop control needs the
+  // per-port counters). Local nodes configure the collector directly; a
+  // remote switchd owns its own config, so the remote flavor just verifies
+  // the daemon is already collecting.
+  virtual Status EnableTelemetry() = 0;
 
   // --- data plane ---------------------------------------------------------
   // Queues a copy of `packet` into `port`'s RX. Returns false when the
@@ -69,6 +74,7 @@ class LocalNode : public FabricNode {
   Result<rpc::StatsResponse> QueryStats() override;
   Result<rpc::MetricsResponse> QueryMetrics() override;
   Result<uint64_t> QueryEpoch() override;
+  Status EnableTelemetry() override;
 
   Result<bool> InjectRx(uint32_t port, const net::Packet& packet) override;
   Status DrainAndCollect(std::vector<daemon::TxPacket>& tx) override;
@@ -99,6 +105,7 @@ class RemoteNode : public FabricNode {
   Result<rpc::StatsResponse> QueryStats() override;
   Result<rpc::MetricsResponse> QueryMetrics() override;
   Result<uint64_t> QueryEpoch() override;
+  Status EnableTelemetry() override;
 
   Result<bool> InjectRx(uint32_t port, const net::Packet& packet) override;
   Status DrainAndCollect(std::vector<daemon::TxPacket>& tx) override;

@@ -1,0 +1,119 @@
+#include "reactor/delta.h"
+
+namespace ipsa::reactor {
+
+uint64_t DeltaCount(const telemetry::Histogram& cur,
+                    const telemetry::Histogram& prev) {
+  return cur.count >= prev.count ? cur.count - prev.count : cur.count;
+}
+
+uint64_t DeltaPercentile(const telemetry::Histogram& cur,
+                         const telemetry::Histogram& prev, double q) {
+  // Counter reset between the two snapshots: the window is just `cur`.
+  if (cur.count < prev.count) return cur.Percentile(q);
+  uint64_t total = cur.count - prev.count;
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < telemetry::kHistogramBuckets; ++i) {
+    uint64_t d = cur.buckets[i] - prev.buckets[i];
+    seen += d;
+    if (seen > rank) {
+      uint64_t bound = telemetry::Histogram::UpperBound(i);
+      // Clamp to the cumulative max: the window's true max is unknown but
+      // can't exceed it (mirrors Histogram::Percentile's clamp).
+      return bound < cur.max ? bound : cur.max;
+    }
+  }
+  return cur.max;
+}
+
+uint64_t SourceWindow::Push(const telemetry::MetricsSnapshot& snap) {
+  if (!has_cur_ || snap.seq < cur_.seq) {
+    // First snapshot, or the collector restarted: reseed.
+    cur_ = snap;
+    has_cur_ = true;
+    ready_ = false;
+    fresh_ = false;
+    ports_.clear();
+    tables_.clear();
+    return 0;
+  }
+  if (snap.seq == cur_.seq) {
+    fresh_ = false;
+    return 0;
+  }
+  uint64_t advance = snap.seq - cur_.seq;
+  if (advance > 1) missed_ += advance - 1;
+  prev_ = std::move(cur_);
+  cur_ = snap;
+  ready_ = true;
+  fresh_ = true;
+  Rebuild();
+  return advance;
+}
+
+void SourceWindow::Rebuild() {
+  ports_.clear();
+  tables_.clear();
+  // Counters are cumulative; a port/table present only in `cur` contributes
+  // its full value, one present only in `prev` went quiet (delta 0). A
+  // ResetMetrics between the snapshots makes cur < prev — treat cur as the
+  // whole window rather than wrapping around.
+  std::map<uint32_t, const telemetry::PortMetrics*> prev_ports;
+  for (const auto& row : prev_.ports) prev_ports[row.port] = &row.metrics;
+  auto sub = [](uint64_t c, uint64_t p) { return c >= p ? c - p : c; };
+  for (const auto& row : cur_.ports) {
+    PortWindow w;
+    const telemetry::PortMetrics* p = nullptr;
+    auto it = prev_ports.find(row.port);
+    if (it != prev_ports.end()) p = it->second;
+    w.packets_in = sub(row.metrics.packets_in, p ? p->packets_in : 0);
+    w.packets_out = sub(row.metrics.packets_out, p ? p->packets_out : 0);
+    w.packets_dropped =
+        sub(row.metrics.packets_dropped, p ? p->packets_dropped : 0);
+    w.packets_marked =
+        sub(row.metrics.packets_marked, p ? p->packets_marked : 0);
+    w.cycles_cur = row.metrics.cycles;
+    if (p != nullptr && row.metrics.cycles.count >= p->cycles.count) {
+      w.cycles_prev = p->cycles;
+    }
+    ports_[row.port] = std::move(w);
+  }
+  std::map<std::string, const telemetry::TableRow*> prev_tables;
+  for (const auto& row : prev_.tables) prev_tables[row.table] = &row;
+  for (const auto& row : cur_.tables) {
+    TableWindow w;
+    const telemetry::TableRow* p = nullptr;
+    auto it = prev_tables.find(row.table);
+    if (it != prev_tables.end()) p = it->second;
+    w.hits = sub(row.hits, p ? p->hits : 0);
+    w.misses = sub(row.misses, p ? p->misses : 0);
+    w.entries = row.entries;
+    tables_[row.table] = w;
+  }
+}
+
+const PortWindow* SourceWindow::port(uint32_t port) const {
+  auto it = ports_.find(port);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+const TableWindow* SourceWindow::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+uint64_t SourceWindow::PortIn(uint32_t p) const {
+  const PortWindow* w = port(p);
+  return w == nullptr ? 0 : w->packets_in;
+}
+
+uint64_t SourceWindow::PortOut(uint32_t p) const {
+  const PortWindow* w = port(p);
+  return w == nullptr ? 0 : w->packets_out;
+}
+
+}  // namespace ipsa::reactor

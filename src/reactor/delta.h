@@ -1,0 +1,98 @@
+// Windowed deltas between consecutive telemetry snapshots.
+//
+// Policies react to *rates*, not lifetime totals: "this port stopped
+// receiving", "that uplink carries 3x its sibling". A SourceWindow keeps the
+// two most recent snapshots from one metric source and exposes the
+// difference — per-port packet deltas, per-table hit/miss deltas, and
+// windowed latency percentiles computed by elementwise histogram
+// subtraction (the power-of-two buckets that make shard merge an addition
+// make window extraction a subtraction).
+//
+// Staleness is first-class: every snapshot carries the collector's monotonic
+// `seq`, so a window knows whether the latest poll actually advanced it
+// (fresh), returned the same snapshot again (stale — conditions must not
+// re-fire on it), or skipped snapshots entirely (missed, counted).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace ipsa::reactor {
+
+// Observations recorded in `cur` but not yet in `prev` (prev must be an
+// earlier copy of the same histogram; counters are monotonic between
+// resets).
+uint64_t DeltaCount(const telemetry::Histogram& cur,
+                    const telemetry::Histogram& prev);
+
+// Upper bound of the bucket holding the q-quantile (q in [0,1]) of the
+// delta observations, i.e. the windowed percentile. 0 when the window is
+// empty. Deterministic, like Histogram::Percentile.
+uint64_t DeltaPercentile(const telemetry::Histogram& cur,
+                         const telemetry::Histogram& prev, double q);
+
+// Per-port activity over one window.
+struct PortWindow {
+  uint64_t packets_in = 0;
+  uint64_t packets_out = 0;
+  uint64_t packets_dropped = 0;
+  uint64_t packets_marked = 0;
+  telemetry::Histogram cycles_cur;   // cumulative at window end
+  telemetry::Histogram cycles_prev;  // cumulative at window start
+
+  uint64_t CyclesCount() const { return DeltaCount(cycles_cur, cycles_prev); }
+  uint64_t CyclesPercentile(double q) const {
+    return DeltaPercentile(cycles_cur, cycles_prev, q);
+  }
+};
+
+// Per-table activity over one window (entries is the end-of-window count).
+struct TableWindow {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint32_t entries = 0;
+};
+
+class SourceWindow {
+ public:
+  // Feeds the next snapshot. Returns the seq advance: 0 when the poll
+  // returned an already-seen snapshot (window unchanged, not fresh), 1 for a
+  // consecutive snapshot, >1 when snapshots were missed between polls. A seq
+  // that went *backwards* (collector restarted) reseeds the window.
+  uint64_t Push(const telemetry::MetricsSnapshot& snap);
+
+  // A failed poll: the window keeps its data but is no longer fresh, so
+  // conditions over it hold fire until the source recovers.
+  void MarkStale() { fresh_ = false; }
+
+  bool ready() const { return ready_; }  // two distinct snapshots seen
+  bool fresh() const { return fresh_; }  // last Push advanced the window
+  uint64_t seq() const { return cur_.seq; }
+  uint64_t config_epoch() const { return cur_.config_epoch; }
+  uint64_t missed() const { return missed_; }
+
+  // Null when the port/table had no row in either snapshot.
+  const PortWindow* port(uint32_t port) const;
+  const TableWindow* table(const std::string& name) const;
+
+  // Zero-default accessors, for conditions over possibly-idle ports.
+  uint64_t PortIn(uint32_t p) const;
+  uint64_t PortOut(uint32_t p) const;
+
+ private:
+  telemetry::MetricsSnapshot prev_;
+  telemetry::MetricsSnapshot cur_;
+  std::map<uint32_t, PortWindow> ports_;
+  std::map<std::string, TableWindow> tables_;
+  bool has_cur_ = false;
+  bool ready_ = false;
+  bool fresh_ = false;
+  uint64_t missed_ = 0;
+
+  void Rebuild();
+};
+
+}  // namespace ipsa::reactor

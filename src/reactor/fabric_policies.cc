@@ -1,0 +1,156 @@
+#include "reactor/fabric_policies.h"
+
+#include "controller/designs.h"
+#include "controller/runtime_api.h"
+
+namespace ipsa::reactor {
+
+using controller::Bits;
+using controller::MacBits;
+using fabric::LeafSpine;
+
+Status FabricSink::ApplyOps(const CompiledPlan& plan) {
+  for (const rpc::TableOp& op : plan.ops) {
+    IPSA_RETURN_IF_ERROR(fabric_->ApplyTableOp(node_, op));
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> FabricSink::Install(const CompiledPlan::Install& install) {
+  IPSA_ASSIGN_OR_RETURN(
+      rpc::InstallOutcome outcome,
+      fabric_->InstallOn(node_, rpc::InstallKind::kScript, install.source));
+  return outcome.epoch;
+}
+
+Result<std::unique_ptr<LeafSpineReactor>> MakeLeafSpineReactor(
+    fabric::LeafSpine& ls) {
+  auto lsr = std::make_unique<LeafSpineReactor>();
+  fabric::Fabric& fab = ls.fabric();
+  for (uint32_t i = 0; i < fab.node_count(); ++i) {
+    fabric::FabricNode* node = &fab.node(i);
+    IPSA_RETURN_IF_ERROR(node->EnableTelemetry());
+    IPSA_RETURN_IF_ERROR(lsr->reactor.AddSource(MetricSource{
+        node->name(), [node] { return node->QueryMetrics(); }}));
+    lsr->sinks.push_back(std::make_shared<FabricSink>(fab, i));
+  }
+  return lsr;
+}
+
+namespace {
+
+std::string LeafName(const LeafSpine& ls, fabric::Fabric& fab, uint32_t l) {
+  return fab.node(ls.LeafNode(l)).name();
+}
+
+// One leaf's pre-packed member op for every bucket owned by `spine`.
+Result<CompiledPlan> SpineBucketsPlan(LeafSpine& ls, uint32_t l,
+                                      uint32_t spine, rpc::TableOpKind op,
+                                      const Malleable& malleable,
+                                      const std::string& name) {
+  IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api,
+                        ls.fabric().node(ls.LeafNode(l)).Api());
+  PlanBuilder pb(name, api, malleable);
+  const uint32_t spines = ls.options().spines;
+  for (uint32_t b = 0; b < ls.options().ecmp_buckets; ++b) {
+    if (b % spines != spine) continue;
+    pb.SelectorMember(
+        op, "fab_ecmp_v4", b, "fab_set_spine",
+        {Bits(16, LeafSpine::kL3Bd), MacBits(LeafSpine::SpineMac(spine))});
+  }
+  return pb.Compile();
+}
+
+}  // namespace
+
+Result<Policy> SpineFailoverPolicy(LeafSpine& ls, LeafSpineReactor& lsr,
+                                   uint32_t watch_leaf, uint32_t spine,
+                                   uint64_t guard_min) {
+  fabric::Fabric& fab = ls.fabric();
+  Policy p;
+  p.name = "failover-spine" + std::to_string(spine);
+  // Port metrics count ingress: the spine's port `watch_leaf` going quiet
+  // while the leaf's first host port keeps receiving means the leaf still
+  // has traffic to send but none of it arrives — the link (or the spine)
+  // is dead, not idle.
+  p.trigger = PortRateStall(fab.node(ls.SpineNode(spine)).name(), watch_leaf,
+                            LeafName(ls, fab, watch_leaf), /*guard_port=*/0,
+                            guard_min);
+  Malleable malleable;
+  malleable.tables.insert("fab_ecmp_v4");
+  for (uint32_t l = 0; l < ls.options().leaves; ++l) {
+    IPSA_ASSIGN_OR_RETURN(
+        CompiledPlan plan,
+        SpineBucketsPlan(ls, l, spine, rpc::TableOpKind::kDelete, malleable,
+                         "withdraw-spine" + std::to_string(spine) + "@" +
+                             LeafName(ls, fab, l)));
+    p.fire.push_back(PlanBinding{lsr.sinks[ls.LeafNode(l)], std::move(plan)});
+  }
+  p.cooldown_ticks = 1;
+  return p;
+}
+
+Result<Policy> EcmpRebalancePolicy(LeafSpine& ls, LeafSpineReactor& lsr,
+                                   uint32_t l, uint32_t hot_spine,
+                                   uint32_t cold_spine,
+                                   const std::vector<uint32_t>& buckets,
+                                   double ratio, uint64_t min_count) {
+  fabric::Fabric& fab = ls.fabric();
+  Policy p;
+  p.name = "rebalance-" + LeafName(ls, fab, l);
+  // The leaf's upstream ECMP split is observed at the receiving ends: each
+  // spine's port `l` counts what arrived from leaf l (ingress attribution),
+  // so hot/cold compare the same leaf-facing port across the two spines.
+  p.trigger = PortRateRatioAbove(fab.node(ls.SpineNode(hot_spine)).name(), l,
+                                 fab.node(ls.SpineNode(cold_spine)).name(), l,
+                                 ratio, min_count);
+  Malleable malleable;
+  malleable.tables.insert("fab_ecmp_v4");
+  IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api,
+                        fab.node(ls.LeafNode(l)).Api());
+  PlanBuilder pb(p.name + "-restore", api, malleable);
+  const uint32_t spines = ls.options().spines;
+  for (uint32_t b : buckets) {
+    uint32_t owner = b % spines;
+    pb.SelectorMember(
+        rpc::TableOpKind::kAdd, "fab_ecmp_v4", b, "fab_set_spine",
+        {Bits(16, LeafSpine::kL3Bd), MacBits(LeafSpine::SpineMac(owner))});
+  }
+  IPSA_ASSIGN_OR_RETURN(CompiledPlan plan, pb.Compile());
+  p.fire.push_back(PlanBinding{lsr.sinks[ls.LeafNode(l)], std::move(plan)});
+  p.cooldown_ticks = 1;
+  return p;
+}
+
+Result<Policy> ProbeTogglePolicy(LeafSpine& ls, LeafSpineReactor& lsr,
+                                 uint32_t l, uint32_t host_port,
+                                 uint64_t on_threshold,
+                                 uint64_t off_threshold) {
+  fabric::Fabric& fab = ls.fabric();
+  Policy p;
+  p.name = "probe-" + LeafName(ls, fab, l);
+  p.trigger = PortRateAbove(LeafName(ls, fab, l), host_port, on_threshold);
+  p.clear = PortRateBelow(LeafName(ls, fab, l), host_port, off_threshold);
+  Malleable malleable;
+  malleable.functions.insert("fab_probe");
+  IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api,
+                        fab.node(ls.LeafNode(l)).Api());
+  {
+    PlanBuilder pb(p.name + "-splice", api, malleable);
+    pb.Script(controller::designs::FabricProbeScript(),
+              controller::designs::ResolveSnippet);
+    IPSA_ASSIGN_OR_RETURN(CompiledPlan plan, pb.Compile());
+    p.fire.push_back(PlanBinding{lsr.sinks[ls.LeafNode(l)], std::move(plan)});
+  }
+  {
+    PlanBuilder pb(p.name + "-remove", api, malleable);
+    pb.Script(controller::designs::FabricProbeRemoveScript(),
+              controller::designs::ResolveSnippet);
+    IPSA_ASSIGN_OR_RETURN(CompiledPlan plan, pb.Compile());
+    p.unfire.push_back(
+        PlanBinding{lsr.sinks[ls.LeafNode(l)], std::move(plan)});
+  }
+  return p;
+}
+
+}  // namespace ipsa::reactor

@@ -1,0 +1,83 @@
+// Reference closed-loop policies for the leaf–spine fabric harness.
+//
+// MakeLeafSpineReactor wires one metric source per fabric node (named after
+// the node: "leaf0", "spine1", ...) and one fabric-routed sink per node —
+// updates go through Fabric::ApplyTableOp / InstallOn so the conservation
+// oracle's shadow twins stay in sync with everything a policy does.
+//
+// The three reference policies (docs/reactor.md):
+//  * SpineFailoverPolicy — a spine's leaf-facing port stopped receiving
+//    while the leaf's uplink kept transmitting into it: the link is dead.
+//    Fires pre-packed bucket withdrawals on every leaf (the same
+//    reconvergence WithdrawSpine does by hand, under a latency budget).
+//  * EcmpRebalancePolicy — one uplink carries more than `ratio`× its
+//    sibling: overwrite the skewed buckets back to their round-robin
+//    owners. Selector inserts overwrite by bucket index, so re-weighting is
+//    a plain pre-packed batch.
+//  * ProbeTogglePolicy — a host port ran hot: splice the fab_probe stage
+//    in-situ (mark-on-miss; shows up as packets_marked); when the burst
+//    subsides, remove it. The toggle's malleable set is the fab_probe
+//    function only — it cannot touch any table.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "fabric/leaf_spine.h"
+#include "reactor/reactor.h"
+
+namespace ipsa::reactor {
+
+// Routes a plan through the fabric driver, which mirrors every op and
+// install to the node's shadow twin.
+class FabricSink : public UpdateSink {
+ public:
+  FabricSink(fabric::Fabric& fabric, uint32_t node)
+      : fabric_(&fabric), node_(node) {}
+  Status ApplyOps(const CompiledPlan& plan) override;
+  Result<uint64_t> Install(const CompiledPlan::Install& install) override;
+
+ private:
+  fabric::Fabric* fabric_;
+  uint32_t node_;
+};
+
+struct LeafSpineReactor {
+  Reactor reactor;
+  // One fabric-routed sink per node, indexed like Fabric::node().
+  std::vector<std::shared_ptr<UpdateSink>> sinks;
+};
+
+// Sources + sinks for every node; no policies yet.
+Result<std::unique_ptr<LeafSpineReactor>> MakeLeafSpineReactor(
+    fabric::LeafSpine& ls);
+
+// Watches the (watch_leaf, spine) link: the spine's leaf-facing port went
+// quiet while the leaf's host port 0 kept receiving (ports count ingress).
+// Fires bucket withdrawals for `spine` on every leaf. guard_min is the
+// minimum host-port RX per window that distinguishes a dead link from an
+// idle fabric.
+Result<Policy> SpineFailoverPolicy(fabric::LeafSpine& ls,
+                                   LeafSpineReactor& lsr, uint32_t watch_leaf,
+                                   uint32_t spine, uint64_t guard_min = 4);
+
+// Watches leaf `l`'s upstream split from the receiving ends (each spine's
+// port `l` counts what arrived from leaf l); fires overwrites restoring
+// every bucket in `buckets` to its round-robin owner (b % S).
+Result<Policy> EcmpRebalancePolicy(fabric::LeafSpine& ls,
+                                   LeafSpineReactor& lsr, uint32_t l,
+                                   uint32_t hot_spine, uint32_t cold_spine,
+                                   const std::vector<uint32_t>& buckets,
+                                   double ratio, uint64_t min_count = 8);
+
+// Toggles the fab_probe stage on leaf `l` when host port `host_port`
+// receives >= on_threshold packets per window; removes it again below
+// off_threshold.
+Result<Policy> ProbeTogglePolicy(fabric::LeafSpine& ls, LeafSpineReactor& lsr,
+                                 uint32_t l, uint32_t host_port,
+                                 uint64_t on_threshold,
+                                 uint64_t off_threshold);
+
+}  // namespace ipsa::reactor

@@ -1,0 +1,232 @@
+#include "reactor/reactor.h"
+
+#include "util/clock.h"
+
+namespace ipsa::reactor {
+
+MetricSource SourceFromBackend(std::string name, rpc::Backend& backend) {
+  rpc::Backend* b = &backend;
+  return MetricSource{std::move(name), [b] { return b->QueryMetrics(); }};
+}
+
+MetricSource SourceFromClient(std::string name, rpc::Client& client) {
+  rpc::Client* c = &client;
+  return MetricSource{std::move(name), [c] { return c->QueryMetrics(); }};
+}
+
+Status BackendSink::ApplyOps(const CompiledPlan& plan) {
+  for (const rpc::TableOp& op : plan.ops) {
+    IPSA_RETURN_IF_ERROR(backend_->ApplyTableOp(op));
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> BackendSink::Install(const CompiledPlan::Install& install) {
+  IPSA_ASSIGN_OR_RETURN(
+      rpc::InstallOutcome outcome,
+      backend_->Install(rpc::InstallKind::kScript, install.source));
+  return outcome.epoch;
+}
+
+Status ClientSink::ApplyOps(const CompiledPlan& plan) {
+  if (plan.ops.empty()) return OkStatus();
+  // One buffer copy of the pre-encoded payload (Call takes ownership); no
+  // per-op encoding happens here.
+  IPSA_ASSIGN_OR_RETURN(rpc::TableBatchResponse resp,
+                        client_->ApplyBatchPrepacked(plan.wire_batch));
+  if (resp.applied != plan.ops.size()) {
+    return InternalError("batch applied " + std::to_string(resp.applied) +
+                         " of " + std::to_string(plan.ops.size()) + " ops");
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> ClientSink::Install(const CompiledPlan::Install& install) {
+  IPSA_ASSIGN_OR_RETURN(
+      rpc::InstallResponse resp,
+      client_->Install(rpc::InstallKind::kScript, install.source));
+  return resp.epoch;
+}
+
+Status Reactor::AddSource(MetricSource source) {
+  if (source.name.empty()) return InvalidArgument("source needs a name");
+  if (!source.poll) return InvalidArgument("source needs a poll function");
+  if (windows_.count(source.name) > 0) {
+    return AlreadyExists("duplicate source '" + source.name + "'");
+  }
+  windows_[source.name];  // default-construct the window
+  sources_.push_back(std::move(source));
+  return OkStatus();
+}
+
+Status Reactor::AddPolicy(Policy policy) {
+  if (policy.name.empty()) return InvalidArgument("policy needs a name");
+  auto check = [this, &policy](const Condition& c) -> Status {
+    if (windows_.count(c.source) == 0) {
+      return InvalidArgument("policy '" + policy.name +
+                             "' references unknown source '" + c.source + "'");
+    }
+    if (!c.guard_source.empty() && windows_.count(c.guard_source) == 0) {
+      return InvalidArgument("policy '" + policy.name +
+                             "' references unknown guard source '" +
+                             c.guard_source + "'");
+    }
+    return OkStatus();
+  };
+  IPSA_RETURN_IF_ERROR(check(policy.trigger));
+  if (policy.clear.has_value()) IPSA_RETURN_IF_ERROR(check(*policy.clear));
+  for (const auto& st : policies_) {
+    if (st.policy.name == policy.name) {
+      return AlreadyExists("duplicate policy '" + policy.name + "'");
+    }
+  }
+  PolicyState st;
+  st.policy = std::move(policy);
+  policies_.push_back(std::move(st));
+  return OkStatus();
+}
+
+void Reactor::FireBindings(const std::vector<PlanBinding>& bindings,
+                           PolicyState& st, TickReport& report) {
+  // The detect→applied clock: starts the instant the condition evaluated
+  // true (our caller invokes us immediately), stops when the last sink has
+  // acknowledged every op and install.
+  util::Stopwatch sw;
+  for (const PlanBinding& b : bindings) {
+    Status s = b.sink->ApplyOps(b.plan);
+    if (s.ok()) {
+      for (const CompiledPlan::Install& inst : b.plan.installs) {
+        Result<uint64_t> epoch = b.sink->Install(inst);
+        if (!epoch.ok()) {
+          s = epoch.status();
+          break;
+        }
+        st.status.last_applied_epoch = epoch.value();
+      }
+    }
+    if (!s.ok()) {
+      ++st.status.apply_errors;
+      ++report.apply_errors;
+      st.status.last_error = "plan '" + b.plan.name + "': " + s.ToString();
+      return;  // don't keep mutating through a failing reaction
+    }
+  }
+  double us = sw.ElapsedMicros();
+  st.status.last_detect_to_applied_us = us;
+  st.status.detect_to_applied_ns.Observe(static_cast<uint64_t>(us * 1e3));
+}
+
+Result<TickReport> Reactor::Tick() {
+  TickReport report;
+  report.tick = ++ticks_;
+  for (const MetricSource& src : sources_) {
+    Result<rpc::MetricsResponse> resp = src.poll();
+    SourceWindow& w = windows_[src.name];
+    if (!resp.ok()) {
+      ++report.poll_errors;
+      w.MarkStale();
+      continue;
+    }
+    ++report.polled;
+    if (w.Push(resp.value().snapshot) == 0) ++report.stale;
+  }
+  for (PolicyState& st : policies_) {
+    if (st.cooldown > 0) {
+      --st.cooldown;
+      continue;
+    }
+    switch (st.status.state) {
+      case PolicyStatus::State::kArmed:
+        if (Evaluate(st.policy.trigger, windows_)) {
+          FireBindings(st.policy.fire, st, report);
+          ++st.status.fires;
+          ++report.fired;
+          st.cooldown = st.policy.cooldown_ticks;
+          if (st.policy.clear.has_value()) {
+            st.status.state = PolicyStatus::State::kFired;
+          } else if (st.policy.max_fires > 0 &&
+                     st.status.fires >= st.policy.max_fires) {
+            st.status.state = PolicyStatus::State::kExhausted;
+          }
+        }
+        break;
+      case PolicyStatus::State::kFired:
+        if (Evaluate(*st.policy.clear, windows_)) {
+          FireBindings(st.policy.unfire, st, report);
+          ++st.status.clears;
+          ++report.cleared;
+          st.cooldown = st.policy.cooldown_ticks;
+          st.status.state = (st.policy.max_fires > 0 &&
+                             st.status.fires >= st.policy.max_fires)
+                                ? PolicyStatus::State::kExhausted
+                                : PolicyStatus::State::kArmed;
+        }
+        break;
+      case PolicyStatus::State::kExhausted:
+        break;
+    }
+  }
+  return report;
+}
+
+uint64_t Reactor::missed_snapshots() const {
+  uint64_t total = 0;
+  for (const auto& [name, w] : windows_) total += w.missed();
+  return total;
+}
+
+const SourceWindow* Reactor::window(const std::string& source) const {
+  auto it = windows_.find(source);
+  return it == windows_.end() ? nullptr : &it->second;
+}
+
+const PolicyStatus* Reactor::status(const std::string& policy) const {
+  for (const auto& st : policies_) {
+    if (st.policy.name == policy) return &st.status;
+  }
+  return nullptr;
+}
+
+util::Json Reactor::ReportJson() const {
+  util::Json j = util::Json::Object();
+  j["ticks"] = ticks_;
+  util::Json sources = util::Json::Object();
+  for (const auto& [name, w] : windows_) {
+    util::Json s = util::Json::Object();
+    s["seq"] = w.seq();
+    s["ready"] = w.ready();
+    s["fresh"] = w.fresh();
+    s["missed"] = w.missed();
+    sources[name] = std::move(s);
+  }
+  j["sources"] = std::move(sources);
+  util::Json policies = util::Json::Object();
+  for (const auto& st : policies_) {
+    util::Json p = util::Json::Object();
+    switch (st.status.state) {
+      case PolicyStatus::State::kArmed: p["state"] = "armed"; break;
+      case PolicyStatus::State::kFired: p["state"] = "fired"; break;
+      case PolicyStatus::State::kExhausted: p["state"] = "exhausted"; break;
+    }
+    p["trigger"] = st.policy.trigger.ToString();
+    p["fires"] = st.status.fires;
+    p["clears"] = st.status.clears;
+    p["apply_errors"] = st.status.apply_errors;
+    p["last_applied_epoch"] = st.status.last_applied_epoch;
+    p["last_detect_to_applied_us"] = st.status.last_detect_to_applied_us;
+    if (!st.status.detect_to_applied_ns.empty()) {
+      p["detect_to_applied_p50_us"] =
+          static_cast<double>(st.status.detect_to_applied_ns.Percentile(0.5)) /
+          1e3;
+      p["detect_to_applied_p99_us"] =
+          static_cast<double>(st.status.detect_to_applied_ns.Percentile(0.99)) /
+          1e3;
+    }
+    if (!st.status.last_error.empty()) p["last_error"] = st.status.last_error;
+    policies[st.policy.name] = std::move(p);
+  }
+  j["policies"] = std::move(policies);
+  return j;
+}
+
+}  // namespace ipsa::reactor

@@ -1,0 +1,161 @@
+// The closed-loop engine: poll metric sources, evaluate policies, fire
+// pre-packed plans.
+//
+// One Tick() is one control-loop iteration: every source is polled into its
+// SourceWindow, then every policy's state machine advances. A policy is
+// *armed* until its trigger condition holds over fresh windows; firing
+// applies each bound plan through its sink — pre-packed table ops first,
+// then in-situ installs — and records the detect→applied latency (the clock
+// starts when the condition evaluates true and stops when the last sink
+// acknowledged; for toggles, when the data plane runs the new epoch). A
+// policy with a clear condition then waits *fired* until the clear holds and
+// its unfire plans run; one without re-arms immediately, subject to
+// cooldown_ticks and max_fires.
+//
+// Sinks abstract where updates land: an in-process rpc::Backend, a live
+// switchd over the control channel (using the plan's pre-encoded batch
+// payload), or a fabric node (keeping the fabric's shadow twins in sync —
+// see fabric_policies.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reactor/plan.h"
+#include "reactor/policy.h"
+#include "rpc/backend.h"
+#include "rpc/client.h"
+#include "telemetry/metrics.h"
+#include "util/json.h"
+
+namespace ipsa::reactor {
+
+// One switch's telemetry feed, by name. The poll function must return the
+// device's current snapshot (GetMetrics semantics).
+struct MetricSource {
+  std::string name;
+  std::function<Result<rpc::MetricsResponse>()> poll;
+};
+
+MetricSource SourceFromBackend(std::string name, rpc::Backend& backend);
+MetricSource SourceFromClient(std::string name, rpc::Client& client);
+
+// Where a fired plan's updates land.
+class UpdateSink {
+ public:
+  virtual ~UpdateSink() = default;
+  // Applies the plan's table ops as one batch.
+  virtual Status ApplyOps(const CompiledPlan& plan) = 0;
+  // Applies one in-situ install; returns the new config epoch.
+  virtual Result<uint64_t> Install(const CompiledPlan::Install& install) = 0;
+};
+
+// In-process device backend: ops loop over the pre-packed entries (no
+// encode/decode at all), installs go through the backend's script path.
+class BackendSink : public UpdateSink {
+ public:
+  explicit BackendSink(rpc::Backend& backend) : backend_(&backend) {}
+  Status ApplyOps(const CompiledPlan& plan) override;
+  Result<uint64_t> Install(const CompiledPlan::Install& install) override;
+
+ private:
+  rpc::Backend* backend_;
+};
+
+// Live switchd over the control channel: ops are sent as the plan's
+// pre-encoded batch payload (ApplyBatchPrepacked), installs as kScript.
+class ClientSink : public UpdateSink {
+ public:
+  explicit ClientSink(rpc::Client& client) : client_(&client) {}
+  Status ApplyOps(const CompiledPlan& plan) override;
+  Result<uint64_t> Install(const CompiledPlan::Install& install) override;
+
+ private:
+  rpc::Client* client_;
+};
+
+// A plan aimed at a sink. One policy can carry several (e.g. withdraw a
+// spine's buckets on every leaf).
+struct PlanBinding {
+  std::shared_ptr<UpdateSink> sink;
+  CompiledPlan plan;
+};
+
+struct Policy {
+  std::string name;
+  Condition trigger;
+  std::vector<PlanBinding> fire;  // applied in order when trigger holds
+
+  // Toggle support: with `clear` set, the policy waits in the fired state
+  // until `clear` holds, then applies `unfire` and re-arms.
+  std::optional<Condition> clear;
+  std::vector<PlanBinding> unfire;
+
+  uint32_t cooldown_ticks = 0;  // quiet ticks after any transition
+  uint64_t max_fires = 0;       // 0 = unlimited
+};
+
+struct PolicyStatus {
+  enum class State : uint8_t { kArmed, kFired, kExhausted };
+  State state = State::kArmed;
+  uint64_t fires = 0;
+  uint64_t clears = 0;
+  uint64_t apply_errors = 0;
+  uint64_t last_applied_epoch = 0;     // epoch of the last install ack (0 if
+                                       // the plans carry no installs)
+  double last_detect_to_applied_us = 0;
+  telemetry::Histogram detect_to_applied_ns;
+  std::string last_error;
+};
+
+struct TickReport {
+  uint64_t tick = 0;
+  uint32_t polled = 0;
+  uint32_t poll_errors = 0;
+  uint32_t stale = 0;  // sources whose poll did not advance the window
+  uint32_t fired = 0;
+  uint32_t cleared = 0;
+  uint32_t apply_errors = 0;
+};
+
+class Reactor {
+ public:
+  Status AddSource(MetricSource source);
+  // Validates that every condition references a known source.
+  Status AddPolicy(Policy policy);
+
+  // One control-loop iteration. Apply failures are recorded per policy (and
+  // in the report), not returned: a reactor outlives a flapping sink.
+  Result<TickReport> Tick();
+
+  uint64_t ticks() const { return ticks_; }
+  uint64_t missed_snapshots() const;
+  const SourceWindow* window(const std::string& source) const;
+  const PolicyStatus* status(const std::string& policy) const;
+
+  // Compact per-policy/per-source state, for reactord --json and tests.
+  util::Json ReportJson() const;
+
+ private:
+  struct PolicyState {
+    Policy policy;
+    PolicyStatus status;
+    uint32_t cooldown = 0;
+  };
+
+  // Applies all bindings; observes latency into `st` on success.
+  void FireBindings(const std::vector<PlanBinding>& bindings, PolicyState& st,
+                    TickReport& report);
+
+  std::vector<MetricSource> sources_;
+  std::map<std::string, SourceWindow> windows_;
+  std::vector<PolicyState> policies_;
+  uint64_t ticks_ = 0;
+};
+
+}  // namespace ipsa::reactor

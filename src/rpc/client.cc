@@ -192,6 +192,14 @@ Result<TableBatchResponse> Client::ApplyBatch(const std::vector<TableOp>& ops) {
   return TableBatchResponse::Decode(r);
 }
 
+Result<TableBatchResponse> Client::ApplyBatchPrepacked(
+    std::vector<uint8_t> payload) {
+  IPSA_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
+                        Call(MsgType::kTableBatchReq, std::move(payload)));
+  wire::Reader r(body);
+  return TableBatchResponse::Decode(r);
+}
+
 Result<compiler::ApiSpec> Client::FetchApi() {
   IPSA_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
                         Call(MsgType::kApiReq, {}));

@@ -54,6 +54,10 @@ class Client {
   Status ModifyEntry(const std::string& table, const table::Entry& entry);
   Status DeleteEntry(const std::string& table, const table::Entry& entry);
   Result<TableBatchResponse> ApplyBatch(const std::vector<TableOp>& ops);
+  // Sends an already-encoded TableBatchRequest payload verbatim. The RBFRT
+  // move: callers that react under a latency budget encode the batch once at
+  // plan-compile time and the send path just frames bytes (src/reactor).
+  Result<TableBatchResponse> ApplyBatchPrepacked(std::vector<uint8_t> payload);
   Result<compiler::ApiSpec> FetchApi();
   Result<StatsResponse> QueryStats();
   Result<EpochResponse> QueryEpoch();

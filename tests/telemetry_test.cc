@@ -271,6 +271,26 @@ TEST(Collector, ResetClearsDataKeepsConfig) {
   EXPECT_TRUE(c.ShouldTrace(0)) << "sampling config must survive Reset";
 }
 
+// Subscribers (src/reactor) detect missed or stale snapshots by the seq gap,
+// so the sequence must keep climbing across ResetMetrics — a reset clears
+// counters, not the subscription stream.
+TEST(Collector, SnapshotSeqMonotonicAcrossReset) {
+  Collector c;
+  c.Configure(EnabledConfig(), 2);
+  uint64_t last = 0;
+  for (int round = 0; round < 3; ++round) {
+    c.shard()->OnResult(0, MakeResult(5));
+    MetricsSnapshot before = c.Snapshot(1, DeviceStats{});
+    EXPECT_GT(before.seq, last);
+    last = before.seq;
+    c.Reset();
+    MetricsSnapshot after = c.Snapshot(1, DeviceStats{});
+    EXPECT_GT(after.seq, last) << "Reset must not rewind the sequence";
+    EXPECT_TRUE(after.ports.empty());
+    last = after.seq;
+  }
+}
+
 TEST(Collector, WorkerShardMergeMatchesMaster) {
   Collector serial, parallel;
   serial.Configure(EnabledConfig(), 4);

@@ -19,6 +19,7 @@
 #include "controller/designs.h"
 #include "fabric/leaf_spine.h"
 #include "fabric/upgrade.h"
+#include "reactor/fabric_policies.h"
 #include "util/json.h"
 
 namespace ipsa::tools {
@@ -40,6 +41,10 @@ constexpr char kUsage[] =
     "  --fail-link L:S   after the first phase, fail the leaf L - spine S\n"
     "                    link, show the accounted drops, then withdraw the\n"
     "                    spine fabric-wide and show reconvergence\n"
+    "  --react           close the loop instead: a reactor policy watches\n"
+    "                    the spine's telemetry and fires the pre-packed\n"
+    "                    withdrawal itself, reporting detect->applied\n"
+    "                    latency (requires --fail-link)\n"
     "  --upgrade         finish with a rolling fab_acl install across every\n"
     "                    switch, traffic probing each partial deployment\n"
     "  --json            machine-readable phase reports\n"
@@ -50,6 +55,7 @@ struct Args {
   uint32_t rounds = 3;
   uint32_t packets = 1;
   bool fail_link = false;
+  bool react = false;
   uint32_t fail_leaf = 0;
   uint32_t fail_spine = 0;
   bool upgrade = false;
@@ -114,7 +120,65 @@ int Run(const Args& args) {
     return 1;
   }
 
-  if (args.fail_link) {
+  if (args.fail_link && args.react) {
+    // Closed loop: the reactor detects the stall from the spine's own
+    // telemetry and fires the pre-packed withdrawal; nobody calls
+    // WithdrawSpine by hand.
+    auto lsr = reactor::MakeLeafSpineReactor(fab);
+    auto policy = lsr.ok() ? reactor::SpineFailoverPolicy(
+                                 fab, **lsr, args.fail_leaf, args.fail_spine,
+                                 /*guard_min=*/1)
+                           : Result<reactor::Policy>(lsr.status());
+    if (!policy.ok() ||
+        !(*lsr)->reactor.AddPolicy(std::move(*policy)).ok()) {
+      std::fprintf(stderr, "fabsim: reactor setup failed: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    reactor::Reactor& rx = (*lsr)->reactor;
+    // Seed the window while the fabric is healthy, then fail the link and
+    // tick traffic rounds until the policy fires.
+    auto seed = run_phase("react-baseline", args.rounds);
+    if (!seed.ok() || !rx.Tick().ok()) return 1;
+    auto link = fab.SpineLink(args.fail_leaf, args.fail_spine);
+    if (!link.ok() || !fab.fabric().SetLinkUp(*link, false).ok()) {
+      std::fprintf(stderr, "fabsim: no leaf%u<->spine%u link\n",
+                   args.fail_leaf, args.fail_spine);
+      return 1;
+    }
+    const std::string pname =
+        "failover-spine" + std::to_string(args.fail_spine);
+    bool fired = false;
+    if (!fab.fabric().BeginWindow().ok()) return 1;
+    for (uint32_t r = 0; r < args.rounds + 2 && !fired; ++r) {
+      if (!fab.InjectAllPairs(args.packets, seq).ok()) return 1;
+      seq += args.packets;
+      auto tick = rx.Tick();
+      if (!tick.ok()) return 1;
+      fired = tick->fired > 0;
+    }
+    auto mid = fab.fabric().CheckOracle();
+    if (!mid.ok()) return 1;
+    ReportPhase(args, phases, "react-failure", *mid);
+    all_ok = all_ok && mid->ok() && fired;
+    const reactor::PolicyStatus* st = rx.status(pname);
+    if (!args.json && st != nullptr) {
+      std::printf("[react] %s: fires %llu  detect->applied %.1f us\n",
+                  pname.c_str(), (unsigned long long)st->fires,
+                  st->last_detect_to_applied_us);
+    }
+    if (args.json && st != nullptr) {
+      util::Json p = util::Json::Object();
+      p["phase"] = "react-policy";
+      p["policy"] = pname;
+      p["fires"] = st->fires;
+      p["detect_to_applied_us"] = st->last_detect_to_applied_us;
+      phases.push_back(std::move(p));
+    }
+    auto reconverged = run_phase("react-reconverged", args.rounds);
+    if (!reconverged.ok()) return 1;
+    all_ok = all_ok && reconverged->delivered == reconverged->injected;
+  } else if (args.fail_link) {
     auto link = fab.SpineLink(args.fail_leaf, args.fail_spine);
     if (!link.ok() || !fab.fabric().SetLinkUp(*link, false).ok()) {
       std::fprintf(stderr, "fabsim: no leaf%u<->spine%u link\n",
@@ -203,6 +267,8 @@ int Main(int argc, char** argv) {
       args.fail_link = true;
       args.fail_leaf = l;
       args.fail_spine = s;
+    } else if (a == "--react") {
+      args.react = true;
     } else if (a == "--upgrade") {
       args.upgrade = true;
     } else if (a == "--json") {
@@ -217,6 +283,10 @@ int Main(int argc, char** argv) {
       args.options.hosts_per_leaf == 0 || args.rounds == 0 ||
       args.packets == 0) {
     std::fprintf(stderr, "fabsim: sizes and rounds must be positive\n");
+    return 2;
+  }
+  if (args.react && !args.fail_link) {
+    std::fprintf(stderr, "fabsim: --react requires --fail-link\n");
     return 2;
   }
   if (args.options.uplink_loss > 0) {

@@ -1,0 +1,278 @@
+// reactord — closed-loop reactive controller for running switchds.
+//
+// Attaches to one or more daemons over the control channel, polls their
+// telemetry snapshots on a fixed interval, and runs declarative policies
+// whose update plans were pre-packed at startup (src/reactor): by the time
+// a condition trips, the reaction is a framed batch of bytes and a
+// validated in-situ script — no parsing, no allocation, no name resolution
+// on the detect→applied path.
+//
+// The built-in policy is the paper's heavy-hitter toggle: when a watched
+// port's per-window RX crosses the on-threshold, the probe stage is spliced
+// into the live pipeline in-situ; when traffic falls below the
+// off-threshold it is removed again.
+//
+//   $ reactord --port 9090 --probe-toggle 0:64:8
+//   $ reactord --connect h1:9090,h2:9090 --interval 100 --ticks 50 --json
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "controller/designs.h"
+#include "reactor/reactor.h"
+#include "rpc/client.h"
+#include "util/json.h"
+
+namespace ipsa::tools {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: reactord [--host H] [--port P] [--connect H:P[,H:P...]]\n"
+    "                [options]\n"
+    "\n"
+    "Watches the telemetry of every connected switchd and fires pre-packed\n"
+    "update plans when policy conditions trip (docs/reactor.md).\n"
+    "\n"
+    "options:\n"
+    "  --interval MS          polling interval in milliseconds (default 200)\n"
+    "  --ticks N              stop after N control-loop ticks (default 0:\n"
+    "                         run until interrupted)\n"
+    "  --probe-toggle P:ON:OFF\n"
+    "                         on every endpoint: splice the heavy-hitter\n"
+    "                         probe stage in-situ when port P receives >= ON\n"
+    "                         packets in one window, remove it again when\n"
+    "                         the window falls below OFF (ipsa arch only)\n"
+    "  --timeout MS           per-call RPC timeout (default 5000)\n"
+    "  --json                 one compact JSON report line per tick, plus a\n"
+    "                         final reactor report object\n"
+    "  -h, --help             this help\n";
+
+struct ProbeToggle {
+  uint32_t port = 0;
+  uint64_t on = 0;
+  uint64_t off = 0;
+};
+
+struct Args {
+  rpc::ClientOptions base;
+  std::string connect_list;
+  uint32_t interval_ms = 200;
+  uint64_t ticks = 0;
+  bool json = false;
+  bool probe_toggle = false;
+  ProbeToggle toggle;
+};
+
+Result<std::vector<rpc::ClientOptions>> Endpoints(const Args& args) {
+  std::vector<rpc::ClientOptions> out;
+  if (args.connect_list.empty()) {
+    if (args.base.port == 0) {
+      return InvalidArgument("--port or --connect is required");
+    }
+    out.push_back(args.base);
+    return out;
+  }
+  std::stringstream ss(args.connect_list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return InvalidArgument("--connect: expected host:port, got '" + item +
+                             "'");
+    }
+    unsigned long port = std::strtoul(item.c_str() + colon + 1, nullptr, 10);
+    if (port == 0 || port > 65535) {
+      return InvalidArgument("--connect: bad port in '" + item + "'");
+    }
+    rpc::ClientOptions opt = args.base;
+    opt.host = item.substr(0, colon);
+    opt.port = static_cast<uint16_t>(port);
+    out.push_back(std::move(opt));
+  }
+  if (out.empty()) return InvalidArgument("--connect: empty list");
+  return out;
+}
+
+std::string Label(const rpc::ClientOptions& opt) {
+  return opt.host + ":" + std::to_string(opt.port);
+}
+
+int Run(const Args& args) {
+  auto endpoints = Endpoints(args);
+  if (!endpoints.ok()) {
+    std::fprintf(stderr, "reactord: %s\n",
+                 endpoints.status().message().c_str());
+    return 2;
+  }
+
+  std::vector<std::unique_ptr<rpc::Client>> clients;
+  reactor::Reactor reactor;
+  for (const rpc::ClientOptions& eopt : endpoints.value()) {
+    auto client = std::make_unique<rpc::Client>(eopt);
+    Status s = client->Connect();
+    if (!s.ok()) {
+      std::fprintf(stderr, "reactord: %s: %s\n", Label(eopt).c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    s = reactor.AddSource(
+        reactor::SourceFromClient(Label(eopt), *client));
+    if (!s.ok()) {
+      std::fprintf(stderr, "reactord: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    clients.push_back(std::move(client));
+  }
+
+  if (args.probe_toggle) {
+    for (size_t e = 0; e < clients.size(); ++e) {
+      const std::string label = Label(endpoints.value()[e]);
+      auto api = clients[e]->FetchApi();
+      if (!api.ok()) {
+        std::fprintf(stderr, "reactord: %s: %s\n", label.c_str(),
+                     api.status().ToString().c_str());
+        return 1;
+      }
+      reactor::Malleable malleable;
+      malleable.functions.insert("probe");
+      auto sink = std::make_shared<reactor::ClientSink>(*clients[e]);
+      reactor::Policy p;
+      p.name = "probe-toggle@" + label;
+      p.trigger =
+          reactor::PortRateAbove(label, args.toggle.port, args.toggle.on);
+      p.clear =
+          reactor::PortRateBelow(label, args.toggle.port, args.toggle.off);
+      {
+        auto plan = reactor::PlanBuilder(p.name + "-splice", *api, malleable)
+                        .Script(controller::designs::ProbeScript(),
+                                controller::designs::ResolveSnippet)
+                        .Compile();
+        if (!plan.ok()) {
+          std::fprintf(stderr, "reactord: %s\n",
+                       plan.status().ToString().c_str());
+          return 1;
+        }
+        p.fire.push_back(reactor::PlanBinding{sink, std::move(*plan)});
+      }
+      {
+        auto plan = reactor::PlanBuilder(p.name + "-remove", *api, malleable)
+                        .Script(controller::designs::ProbeRemoveScript(),
+                                controller::designs::ResolveSnippet)
+                        .Compile();
+        if (!plan.ok()) {
+          std::fprintf(stderr, "reactord: %s\n",
+                       plan.status().ToString().c_str());
+          return 1;
+        }
+        p.unfire.push_back(reactor::PlanBinding{sink, std::move(*plan)});
+      }
+      Status s = reactor.AddPolicy(std::move(p));
+      if (!s.ok()) {
+        std::fprintf(stderr, "reactord: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  int exit_code = 0;
+  for (uint64_t tick = 0; args.ticks == 0 || tick < args.ticks; ++tick) {
+    if (tick != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(args.interval_ms));
+    }
+    auto report = reactor.Tick();
+    if (!report.ok()) {
+      std::fprintf(stderr, "reactord: tick failed: %s\n",
+                   report.status().ToString().c_str());
+      exit_code = 1;
+      continue;
+    }
+    if (report->apply_errors > 0) exit_code = 1;
+    if (args.json) {
+      util::Json line = util::Json::Object();
+      line["tick"] = report->tick;
+      line["polled"] = report->polled;
+      line["poll_errors"] = report->poll_errors;
+      line["stale"] = report->stale;
+      line["fired"] = report->fired;
+      line["cleared"] = report->cleared;
+      line["apply_errors"] = report->apply_errors;
+      std::printf("%s\n", line.Dump(0).c_str());
+    } else if (report->fired + report->cleared + report->poll_errors +
+                   report->apply_errors >
+               0) {
+      std::printf("tick %llu: fired %u cleared %u poll_errors %u "
+                  "apply_errors %u\n",
+                  (unsigned long long)report->tick, report->fired,
+                  report->cleared, report->poll_errors,
+                  report->apply_errors);
+    }
+    std::fflush(stdout);
+  }
+
+  if (args.json) {
+    std::printf("%s\n", reactor.ReportJson().Dump(2).c_str());
+  }
+  return exit_code;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  args.base.client_name = "reactord";
+  args.base.call_timeout_ms = 5000;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "-h" || a == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (a == "--host") {
+      args.base.host = next() ?: "";
+    } else if (a == "--port") {
+      args.base.port = static_cast<uint16_t>(std::atoi(next() ?: "0"));
+    } else if (a == "--connect") {
+      args.connect_list = next() ?: "";
+    } else if (a == "--interval") {
+      args.interval_ms = std::atoi(next() ?: "0");
+    } else if (a == "--ticks") {
+      args.ticks = std::strtoull(next() ?: "0", nullptr, 10);
+    } else if (a == "--timeout") {
+      args.base.call_timeout_ms = std::atoi(next() ?: "0");
+    } else if (a == "--json") {
+      args.json = true;
+    } else if (a == "--probe-toggle") {
+      const char* v = next();
+      unsigned p = 0;
+      unsigned long long on = 0, off = 0;
+      if (!v || std::sscanf(v, "%u:%llu:%llu", &p, &on, &off) != 3) {
+        std::fprintf(stderr, "reactord: --probe-toggle expects P:ON:OFF\n");
+        return 2;
+      }
+      args.probe_toggle = true;
+      args.toggle = ProbeToggle{p, on, off};
+    } else {
+      std::fprintf(stderr, "reactord: unknown option '%s'\n\n%s", a.c_str(),
+                   kUsage);
+      return 2;
+    }
+  }
+  if (args.interval_ms == 0) {
+    std::fprintf(stderr, "reactord: --interval must be positive\n");
+    return 2;
+  }
+  return Run(args);
+}
+
+}  // namespace
+}  // namespace ipsa::tools
+
+int main(int argc, char** argv) { return ipsa::tools::Main(argc, argv); }

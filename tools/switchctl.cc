@@ -12,12 +12,15 @@
 //   $ switchctl --port 9090 stats
 //   $ switchctl --port 9090 metrics --json
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "controller/baseline.h"
@@ -57,6 +60,10 @@ constexpr char kUsage[] =
     "  metrics                   telemetry snapshot: per-port latency\n"
     "                            percentiles, per-stage hit counters,\n"
     "                            update/drain windows, trace ring occupancy\n"
+    "  metrics --watch <ms>      poll every <ms> milliseconds; with --json\n"
+    "                            each snapshot is one compact line (NDJSON);\n"
+    "                            --count N stops after N rounds (default:\n"
+    "                            forever); fans out across --connect\n"
     "  trace [n]                 drain up to n sampled packet traces\n"
     "                            (default 0 = all pending, capped at 4096)\n"
     "  reset-metrics             zero the telemetry registry and trace ring\n"
@@ -388,6 +395,67 @@ Status DoMetrics(rpc::Client& client, bool json, const std::string& endpoint) {
   return OkStatus();
 }
 
+// One watch round against one endpoint: a compact NDJSON object (--json) or
+// a one-line counter summary, both tagged with the endpoint when fanning
+// out. The caller owns pacing and the client connection (kept across
+// rounds, so a watch is one session, not N reconnects).
+Status DoMetricsWatchRound(rpc::Client& client, bool json,
+                           const std::string& endpoint) {
+  IPSA_ASSIGN_OR_RETURN(rpc::MetricsResponse resp, client.QueryMetrics());
+  if (json) {
+    util::Json out = telemetry::SnapshotToJson(resp.snapshot, resp.arch);
+    if (!endpoint.empty()) out["endpoint"] = endpoint;
+    std::printf("%s\n", out.Dump(0).c_str());
+  } else {
+    const telemetry::MetricsSnapshot& m = resp.snapshot;
+    std::printf("%s%sseq %llu  epoch %llu  in %llu  out %llu  drop %llu  "
+                "marked %llu  updates %llu  traces %u\n",
+                endpoint.c_str(), endpoint.empty() ? "" : "  ",
+                (unsigned long long)m.seq,
+                (unsigned long long)m.config_epoch,
+                (unsigned long long)m.device.packets_in,
+                (unsigned long long)m.device.packets_out,
+                (unsigned long long)m.device.packets_dropped,
+                (unsigned long long)m.device.packets_marked,
+                (unsigned long long)m.updates, m.traces_pending);
+  }
+  std::fflush(stdout);
+  return OkStatus();
+}
+
+// The watch loop: polls every endpoint each round, sleeping `watch_ms`
+// between rounds. `count` 0 runs until interrupted. A failed poll is
+// reported and the loop keeps going (a daemon mid-restart recovers); the
+// exit code remembers that something failed.
+int RunMetricsWatch(const std::vector<rpc::ClientOptions>& endpoints,
+                    bool fanout, bool json, uint32_t watch_ms,
+                    uint64_t count) {
+  std::vector<std::unique_ptr<rpc::Client>> clients;
+  clients.reserve(endpoints.size());
+  for (const rpc::ClientOptions& eopt : endpoints) {
+    clients.push_back(std::make_unique<rpc::Client>(eopt));
+  }
+  int exit_code = 0;
+  for (uint64_t round = 0; count == 0 || round < count; ++round) {
+    if (round != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(watch_ms));
+    }
+    for (size_t e = 0; e < clients.size(); ++e) {
+      const std::string label =
+          fanout ? endpoints[e].host + ":" + std::to_string(endpoints[e].port)
+                 : std::string();
+      Status s = DoMetricsWatchRound(*clients[e], json, label);
+      if (!s.ok()) {
+        std::fprintf(stderr, "switchctl: %s%s\n",
+                     fanout ? (label + ": ").c_str() : "",
+                     s.ToString().c_str());
+        exit_code = 1;
+      }
+    }
+  }
+  return exit_code;
+}
+
 Status DoTrace(rpc::Client& client, uint32_t max, bool json) {
   IPSA_ASSIGN_OR_RETURN(rpc::TracesResponse resp, client.QueryTraces(max));
   if (json) {
@@ -496,17 +564,34 @@ int Main(int argc, char** argv) {
   }
   std::string cmd = argv[i++];
   std::vector<std::string> args(argv + i, argv + argc);
-  // --json may appear anywhere after the command (stats/metrics/trace).
+  // --json may appear anywhere after the command (stats/metrics/trace), as
+  // may --watch <ms> and --count <n> (metrics only).
   bool json = false;
-  args.erase(std::remove_if(args.begin(), args.end(),
-                            [&json](const std::string& a) {
-                              if (a != "--json") return false;
-                              json = true;
-                              return true;
-                            }),
-             args.end());
+  uint32_t watch_ms = 0;
+  uint64_t watch_count = 0;
+  for (size_t a = 0; a < args.size();) {
+    if (args[a] == "--json") {
+      json = true;
+      args.erase(args.begin() + a);
+    } else if (args[a] == "--watch" && a + 1 < args.size()) {
+      watch_ms = static_cast<uint32_t>(std::atoi(args[a + 1].c_str()));
+      args.erase(args.begin() + a, args.begin() + a + 2);
+    } else if (args[a] == "--count" && a + 1 < args.size()) {
+      watch_count = std::strtoull(args[a + 1].c_str(), nullptr, 10);
+      args.erase(args.begin() + a, args.begin() + a + 2);
+    } else {
+      ++a;
+    }
+  }
+  if (watch_ms > 0 && cmd != "metrics") {
+    std::fprintf(stderr, "switchctl: --watch only applies to metrics\n");
+    return 2;
+  }
 
   const bool fanout = !connect_list.empty();
+  if (cmd == "metrics" && watch_ms > 0 && args.empty()) {
+    return RunMetricsWatch(endpoints, fanout, json, watch_ms, watch_count);
+  }
   int exit_code = 0;
   for (const rpc::ClientOptions& eopt : endpoints) {
     const std::string label =
