@@ -83,8 +83,8 @@ Result<FlowTiming> Rp4FlowController::ApplyScript(
 }
 
 Status Rp4FlowController::AddEntry(const std::string& table,
-                                   const table::Entry& entry) {
-  return device_->AddEntry(table, entry);
+                                   const table::Entry& entry, bool upsert) {
+  return device_->AddEntry(table, entry, upsert);
 }
 
 Result<table::Entry> Rp4FlowController::BuildEntry(
@@ -133,8 +133,8 @@ Result<FlowTiming> PisaFlowController::CompileAndLoad(
 }
 
 Status PisaFlowController::AddEntry(const std::string& table,
-                                    const table::Entry& entry) {
-  IPSA_RETURN_IF_ERROR(device_->AddEntry(table, entry));
+                                    const table::Entry& entry, bool upsert) {
+  IPSA_RETURN_IF_ERROR(device_->AddEntry(table, entry, upsert));
   shadow_[table].push_back(entry);
   return OkStatus();
 }

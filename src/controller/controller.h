@@ -48,8 +48,10 @@ class Rp4FlowController {
   Result<FlowTiming> ApplyScript(const std::string& script_text,
                                  const SnippetResolver& resolver);
 
-  // Runtime table API.
-  Status AddEntry(const std::string& table, const table::Entry& entry);
+  // Runtime table API. upsert=false: strict add, duplicates fail with
+  // kAlreadyExists (bulk RPC semantics).
+  Status AddEntry(const std::string& table, const table::Entry& entry,
+                  bool upsert = true);
   Result<table::Entry> BuildEntry(
       std::string_view table, std::string_view action,
       const std::vector<KeyValue>& key_values,
@@ -85,8 +87,10 @@ class PisaFlowController {
   Result<FlowTiming> CompileAndLoad(const std::string& p4_source);
 
   // Runtime table API: writes the device AND the shadow store so entries
-  // survive the next full reload.
-  Status AddEntry(const std::string& table, const table::Entry& entry);
+  // survive the next full reload. upsert=false: strict add, duplicates fail
+  // with kAlreadyExists and never reach the shadow.
+  Status AddEntry(const std::string& table, const table::Entry& entry,
+                  bool upsert = true);
   Result<table::Entry> BuildEntry(
       std::string_view table, std::string_view action,
       const std::vector<KeyValue>& key_values,

@@ -51,6 +51,45 @@ void FillTableRows(const arch::TableCatalog& catalog,
   }
 }
 
+// Applies one bulk frame with per-table batched publication: every table
+// the frame touches defers its index republish to EndEntryBatch, so the
+// frame's entries become visible to lookups in one swap per table instead
+// of one per op. Failures are collected per-op — the frame (and stream)
+// never aborts, and publication still happens for the ops that succeeded.
+template <typename Device, typename Fn>
+rpc::TableBulkResponse ApplyBulkFrame(Device& device,
+                                      const rpc::TableBulkRequest& req,
+                                      Fn&& apply_one) {
+  // Distinct tables in first-seen order. Frames touch one or two tables in
+  // practice, so a linear scan beats a hash set here. A table that fails
+  // BeginEntryBatch (unknown name) is left out; its ops fail individually.
+  std::vector<const std::string*> batched;
+  for (const rpc::TableOp& op : req.ops) {
+    bool seen = false;
+    for (const std::string* t : batched) {
+      if (*t == op.table) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && device.BeginEntryBatch(op.table).ok()) {
+      batched.push_back(&op.table);
+    }
+  }
+  rpc::TableBulkResponse resp;
+  for (uint32_t i = 0; i < req.ops.size(); ++i) {
+    Status s = apply_one(req.ops[i]);
+    if (s.ok()) {
+      ++resp.applied;
+    } else {
+      resp.failures.push_back(
+          rpc::BulkFailure{i, static_cast<uint16_t>(s.code()), s.message()});
+    }
+  }
+  for (const std::string* t : batched) (void)device.EndEntryBatch(*t);
+  return resp;
+}
+
 }  // namespace
 
 std::string_view ArchName(ArchKind arch) {
@@ -140,9 +179,13 @@ Result<rpc::InstallOutcome> IpsaBackend::Install(rpc::InstallKind kind,
 
 Status IpsaBackend::ApplyTableOp(const rpc::TableOp& op) {
   if (!has_design_) return FailedPrecondition("no design installed");
+  return ApplyOne(op, /*strict_add=*/false);
+}
+
+Status IpsaBackend::ApplyOne(const rpc::TableOp& op, bool strict_add) {
   switch (op.op) {
     case rpc::TableOpKind::kAdd:
-      return controller_.AddEntry(op.table, op.entry);
+      return controller_.AddEntry(op.table, op.entry, /*upsert=*/!strict_add);
     case rpc::TableOpKind::kModify: {
       Status erased = device_.EraseEntry(op.table, op.entry);
       if (!erased.ok() && erased.code() != StatusCode::kNotFound) {
@@ -154,6 +197,14 @@ Status IpsaBackend::ApplyTableOp(const rpc::TableOp& op) {
       return device_.EraseEntry(op.table, op.entry);
   }
   return InvalidArgument("bad table op");
+}
+
+Result<rpc::TableBulkResponse> IpsaBackend::ApplyTableBulk(
+    const rpc::TableBulkRequest& req) {
+  if (!has_design_) return FailedPrecondition("no design installed");
+  return ApplyBulkFrame(device_, req, [this](const rpc::TableOp& op) {
+    return ApplyOne(op, /*strict_add=*/true);
+  });
 }
 
 Result<compiler::ApiSpec> IpsaBackend::Api() {
@@ -227,11 +278,15 @@ Result<rpc::InstallOutcome> PisaBackend::Install(rpc::InstallKind kind,
 
 Status PisaBackend::ApplyTableOp(const rpc::TableOp& op) {
   if (!has_design_) return FailedPrecondition("no design installed");
+  return ApplyOne(op, /*strict_add=*/false);
+}
+
+Status PisaBackend::ApplyOne(const rpc::TableOp& op, bool strict_add) {
   switch (op.op) {
     case rpc::TableOpKind::kAdd:
       // Goes through the flow controller so the shadow store keeps a copy
       // for repopulation after the next full reload.
-      return controller_.AddEntry(op.table, op.entry);
+      return controller_.AddEntry(op.table, op.entry, /*upsert=*/!strict_add);
     case rpc::TableOpKind::kModify: {
       Status erased = device_.EraseEntry(op.table, op.entry);
       if (!erased.ok() && erased.code() != StatusCode::kNotFound) {
@@ -246,6 +301,14 @@ Status PisaBackend::ApplyTableOp(const rpc::TableOp& op) {
       return device_.EraseEntry(op.table, op.entry);
   }
   return InvalidArgument("bad table op");
+}
+
+Result<rpc::TableBulkResponse> PisaBackend::ApplyTableBulk(
+    const rpc::TableBulkRequest& req) {
+  if (!has_design_) return FailedPrecondition("no design installed");
+  return ApplyBulkFrame(device_, req, [this](const rpc::TableOp& op) {
+    return ApplyOne(op, /*strict_add=*/true);
+  });
 }
 
 Result<compiler::ApiSpec> PisaBackend::Api() {
@@ -282,9 +345,51 @@ Status PisaBackend::ResetMetrics() {
   return OkStatus();
 }
 
-std::unique_ptr<DeviceBackend> MakeBackend(ArchKind arch) {
-  if (arch == ArchKind::kPisa) return std::make_unique<PisaBackend>();
-  return std::make_unique<IpsaBackend>();
+std::unique_ptr<DeviceBackend> MakeBackend(ArchKind arch,
+                                           const PoolTuning& tuning) {
+  // The compiler's allocation solver models the same pool geometry the
+  // device constructs; both must see the tuning or the solver would reject
+  // tables the deepened pool could actually hold.
+  if (arch == ArchKind::kPisa) {
+    pisa::PisaOptions opt;
+    compiler::PisaBackendOptions copt;
+    if (tuning.sram_blocks) {
+      opt.sram_blocks_per_stage = tuning.sram_blocks;
+      copt.sram_blocks_per_stage = tuning.sram_blocks;
+    }
+    if (tuning.sram_depth) {
+      opt.sram_depth = tuning.sram_depth;
+      copt.sram_depth = tuning.sram_depth;
+    }
+    if (tuning.tcam_blocks) {
+      opt.tcam_blocks_per_stage = tuning.tcam_blocks;
+      copt.tcam_blocks_per_stage = tuning.tcam_blocks;
+    }
+    if (tuning.tcam_depth) {
+      opt.tcam_depth = tuning.tcam_depth;
+      copt.tcam_depth = tuning.tcam_depth;
+    }
+    return std::make_unique<PisaBackend>(opt, copt);
+  }
+  ipbm::IpbmOptions opt;
+  compiler::Rp4bcOptions copt;
+  if (tuning.sram_blocks) {
+    opt.sram_blocks = tuning.sram_blocks;
+    copt.sram_blocks = tuning.sram_blocks;
+  }
+  if (tuning.sram_depth) {
+    opt.sram_depth = tuning.sram_depth;
+    copt.sram_depth = tuning.sram_depth;
+  }
+  if (tuning.tcam_blocks) {
+    opt.tcam_blocks = tuning.tcam_blocks;
+    copt.tcam_blocks = tuning.tcam_blocks;
+  }
+  if (tuning.tcam_depth) {
+    opt.tcam_depth = tuning.tcam_depth;
+    copt.tcam_depth = tuning.tcam_depth;
+  }
+  return std::make_unique<IpsaBackend>(opt, copt);
 }
 
 }  // namespace ipsa::daemon

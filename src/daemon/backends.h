@@ -78,6 +78,8 @@ class IpsaBackend : public DeviceBackend {
   Result<rpc::InstallOutcome> Install(rpc::InstallKind kind,
                                       const std::string& source) override;
   Status ApplyTableOp(const rpc::TableOp& op) override;
+  Result<rpc::TableBulkResponse> ApplyTableBulk(
+      const rpc::TableBulkRequest& req) override;
   Result<compiler::ApiSpec> Api() override;
   Result<rpc::StatsResponse> QueryStats() override;
   Result<uint32_t> Drain(uint32_t workers) override;
@@ -108,6 +110,7 @@ class IpsaBackend : public DeviceBackend {
   controller::Rp4FlowController& controller() { return controller_; }
 
  private:
+  Status ApplyOne(const rpc::TableOp& op, bool strict_add);
   ipbm::IpbmSwitch device_;
   controller::Rp4FlowController controller_;
   uint64_t epoch_ = 0;
@@ -123,6 +126,8 @@ class PisaBackend : public DeviceBackend {
   Result<rpc::InstallOutcome> Install(rpc::InstallKind kind,
                                       const std::string& source) override;
   Status ApplyTableOp(const rpc::TableOp& op) override;
+  Result<rpc::TableBulkResponse> ApplyTableBulk(
+      const rpc::TableBulkRequest& req) override;
   Result<compiler::ApiSpec> Api() override;
   Result<rpc::StatsResponse> QueryStats() override;
   Result<uint32_t> Drain(uint32_t workers) override;
@@ -152,12 +157,26 @@ class PisaBackend : public DeviceBackend {
   controller::PisaFlowController& controller() { return controller_; }
 
  private:
+  Status ApplyOne(const rpc::TableOp& op, bool strict_add);
   pisa::PisaSwitch device_;
   controller::PisaFlowController controller_;
   uint64_t epoch_ = 0;
   bool has_design_ = false;
 };
 
-std::unique_ptr<DeviceBackend> MakeBackend(ArchKind arch);
+// Optional pool sizing overrides (0 = keep the arch default). Million-entry
+// tables need far deeper pools than the defaults; the daemon exposes these
+// as --sram-depth / --sram-blocks flags. For PISA, block counts apply
+// per stage (its memory is prorated, which is exactly the contrast the
+// paper draws).
+struct PoolTuning {
+  uint32_t sram_blocks = 0;
+  uint32_t sram_depth = 0;
+  uint32_t tcam_blocks = 0;
+  uint32_t tcam_depth = 0;
+};
+
+std::unique_ptr<DeviceBackend> MakeBackend(ArchKind arch,
+                                           const PoolTuning& tuning = {});
 
 }  // namespace ipsa::daemon

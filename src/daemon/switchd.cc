@@ -20,7 +20,8 @@ constexpr size_t kUdpBufBytes = 64 * 1024;
 }  // namespace
 
 Switchd::Switchd(SwitchdOptions options)
-    : options_(std::move(options)), backend_(MakeBackend(options_.arch)) {
+    : options_(std::move(options)),
+      backend_(MakeBackend(options_.arch, options_.pool)) {
   telemetry::TelemetryConfig tcfg;
   tcfg.enabled = options_.telemetry;
   tcfg.trace.sample_every = options_.trace_sample_every;

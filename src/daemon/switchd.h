@@ -58,6 +58,9 @@ struct SwitchdOptions {
   // [wire::kMinUdpBatch, wire::kMaxUdpBatch].
   uint32_t rx_batch = 64;
   uint32_t tx_batch = 64;
+  // Pool sizing overrides (0 = arch default) — million-entry tables need a
+  // deeper pool than the defaults provide.
+  PoolTuning pool;
 };
 
 // Daemon-side counters (the device's own stats travel via the stats RPC).

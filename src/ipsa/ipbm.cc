@@ -38,14 +38,14 @@ IpbmSwitch::IpbmSwitch(const IpbmOptions& options)
 Status IpbmSwitch::AddHeaderType(const arch::HeaderTypeDef& def) {
   IPSA_RETURN_IF_ERROR(registry_.Add(def));
   ChargeConfigWords(2 + def.fields().size() + def.links().size());
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
 Status IpbmSwitch::RemoveHeaderType(const std::string& name) {
   IPSA_RETURN_IF_ERROR(registry_.Remove(name));
   ChargeConfigWords(1);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
@@ -53,14 +53,14 @@ Status IpbmSwitch::LinkHeader(const std::string& pre, const std::string& next,
                               uint64_t tag) {
   IPSA_RETURN_IF_ERROR(registry_.LinkHeader(pre, next, tag));
   ChargeConfigWords(1);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
 Status IpbmSwitch::UnlinkHeader(const std::string& pre, uint64_t tag) {
   IPSA_RETURN_IF_ERROR(registry_.UnlinkHeader(pre, tag));
   ChargeConfigWords(1);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
@@ -68,42 +68,42 @@ Status IpbmSwitch::DeclareMetadata(const std::string& name,
                                    uint32_t width_bits) {
   IPSA_RETURN_IF_ERROR(metadata_proto_.Declare(name, width_bits));
   ChargeConfigWords(1);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
 Status IpbmSwitch::AddAction(const arch::ActionDef& def) {
   IPSA_RETURN_IF_ERROR(actions_.Add(def));
   ChargeConfigWords(2 + def.params.size() + def.body.size() * 2);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
 Status IpbmSwitch::RemoveAction(const std::string& name) {
   IPSA_RETURN_IF_ERROR(actions_.Remove(name));
   ChargeConfigWords(1);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
 Status IpbmSwitch::CreateRegister(const std::string& name, uint32_t size) {
   IPSA_RETURN_IF_ERROR(regs_.Create(name, size));
   ChargeConfigWords(1);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
 Status IpbmSwitch::DestroyRegister(const std::string& name) {
   IPSA_RETURN_IF_ERROR(regs_.Destroy(name));
   ChargeConfigWords(1);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
 Status IpbmSwitch::CreateTable(const arch::TableDecl& decl) {
   IPSA_RETURN_IF_ERROR(catalog_.CreateTable(decl.spec, decl.binding));
   ChargeConfigWords(4);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
@@ -113,7 +113,7 @@ Status IpbmSwitch::DestroyTable(const std::string& name) {
   // affected TSPs.
   IPSA_RETURN_IF_ERROR(catalog_.DestroyTable(name));
   ChargeConfigWords(1);
-  ++config_epoch_;
+  BumpStructuralEpoch();
   return OkStatus();
 }
 
@@ -158,7 +158,7 @@ Status IpbmSwitch::WriteTspTemplate(uint32_t tsp_id, TspRole role,
   }
   ChargeConfigWords(words + 1);  // template + selector word
   ++stats_.template_writes;
-  ++config_epoch_;
+  BumpStructuralEpoch();
   RecordUpdateWindow(t0);
   return OkStatus();
 }
@@ -172,18 +172,24 @@ Status IpbmSwitch::ClearTsp(uint32_t tsp_id) {
   xbar_.DisconnectProc(tsp_id);
   ChargeConfigWords(2);
   ++stats_.template_writes;
-  ++config_epoch_;
+  BumpStructuralEpoch();
   RecordUpdateWindow(t0);
   return OkStatus();
 }
 
+// Runtime entry ops are CCM commands like any other, so they advance
+// config_epoch_ (snapshots and traces across a group mutation must see it
+// move). Unlike structural commands they leave structural_epoch_ — and thus
+// the compiled fast path — untouched: lookups read table content live
+// through the RCU-published indexes, so entry churn may run concurrently
+// with packet workers.
 Status IpbmSwitch::AddEntry(const std::string& table,
-                            const table::Entry& entry) {
+                            const table::Entry& entry, bool upsert) {
   IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
   ++stats_.table_ops;
   ChargeConfigWords(1);
-  BumpEpochKeepingCompiledState();
-  return t->Insert(entry);
+  config_epoch_.fetch_add(1, std::memory_order_relaxed);
+  return upsert ? t->Insert(entry) : t->InsertUnique(entry);
 }
 
 Status IpbmSwitch::EraseEntry(const std::string& table,
@@ -191,18 +197,20 @@ Status IpbmSwitch::EraseEntry(const std::string& table,
   IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
   ++stats_.table_ops;
   ChargeConfigWords(1);
-  BumpEpochKeepingCompiledState();
+  config_epoch_.fetch_add(1, std::memory_order_relaxed);
   return t->Erase(entry);
 }
 
-void IpbmSwitch::BumpEpochKeepingCompiledState() {
-  // Runtime entry ops are CCM commands like any other, so they advance the
-  // epoch (snapshots and traces across a group mutation must see it move).
-  // Unlike structural commands they cannot invalidate compiled programs —
-  // lookups read table content live — so a currently-valid compiled key is
-  // advanced in lockstep to keep the fast path from being rebuilt per op.
-  if (compiled_key_.epoch == config_epoch_) ++compiled_key_.epoch;
-  ++config_epoch_;
+Status IpbmSwitch::BeginEntryBatch(const std::string& table) {
+  IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
+  t->BeginBatch();
+  return OkStatus();
+}
+
+Status IpbmSwitch::EndEntryBatch(const std::string& table) {
+  IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
+  t->EndBatch();
+  return OkStatus();
 }
 
 Status IpbmSwitch::LoadBaseDesign(const arch::DesignConfig& design,
@@ -247,7 +255,7 @@ Status IpbmSwitch::LoadBaseDesign(const arch::DesignConfig& design,
 void IpbmSwitch::RecordUpdateWindow(
     std::chrono::steady_clock::time_point start) {
   telemetry_.OnUpdateWindow(
-      config_epoch_, std::chrono::duration<double, std::micro>(
+      config_epoch(), std::chrono::duration<double, std::micro>(
                          std::chrono::steady_clock::now() - start)
                          .count());
 }
@@ -257,7 +265,7 @@ IpbmSwitch::CompiledKey IpbmSwitch::CurrentKey() const {
   for (uint32_t i = 0; i < pipeline_.tsp_count(); ++i) {
     pipeline_version += pipeline_.tsp(i).config_version();
   }
-  return CompiledKey{.epoch = config_epoch_,
+  return CompiledKey{.epoch = structural_epoch_,
                      .registry = registry_.version(),
                      .catalog = catalog_.version(),
                      .actions = actions_.version(),
@@ -464,7 +472,7 @@ Result<telemetry::ProcessResult> IpbmSwitch::ProcessSampled(
     telemetry::ProcessTrace sampled;
     auto result = ProcessCore(packet, in_port, ctx, stats, tshard, &sampled);
     if (result.ok()) {
-      telemetry_.CommitTrace(config_epoch_, in_port, *result,
+      telemetry_.CommitTrace(config_epoch(), in_port, *result,
                              std::move(sampled));
     }
     return result;

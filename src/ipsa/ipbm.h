@@ -84,8 +84,16 @@ class IpbmSwitch {
   Status ClearTsp(uint32_t tsp_id);
 
   // --- CCM: runtime table API ---------------------------------------------
-  Status AddEntry(const std::string& table, const table::Entry& entry);
+  // upsert=false is the strict bulk-RPC semantics: a duplicate identity
+  // fails with kAlreadyExists instead of updating in place.
+  Status AddEntry(const std::string& table, const table::Entry& entry,
+                  bool upsert = true);
   Status EraseEntry(const std::string& table, const table::Entry& entry);
+  // Brackets a bulk frame of entry ops on one table: publication of the
+  // table's lookup views is deferred to EndEntryBatch, so the frame becomes
+  // visible with one atomic swap + one grace period.
+  Status BeginEntryBatch(const std::string& table);
+  Status EndEntryBatch(const std::string& table);
 
   // Applies a full base design through the incremental commands above.
   // `assignments` is rp4bc's stage->TSP layout.
@@ -127,8 +135,11 @@ class IpbmSwitch {
   telemetry::Collector& telemetry() { return telemetry_; }
   const telemetry::Collector& telemetry() const { return telemetry_; }
   // Bumped on every CCM command; tags snapshots and sampled traces, so a
-  // scrape across an in-situ update shows the epoch advancing.
-  uint64_t config_epoch() const { return config_epoch_; }
+  // scrape across an in-situ update shows the epoch advancing. Atomic:
+  // runtime entry ops bump it while data-plane workers stamp traces.
+  uint64_t config_epoch() const {
+    return config_epoch_.load(std::memory_order_relaxed);
+  }
 
   // Pins the execution mode (default: the epoch-specialized pipeline plan).
   // The differential fuzzing harness pins devices to each mode to
@@ -137,7 +148,7 @@ class IpbmSwitch {
   void SetExecMode(arch::ExecMode mode) {
     if (exec_mode_ != mode) {
       exec_mode_ = mode;
-      ++config_epoch_;
+      BumpStructuralEpoch();
     }
   }
   arch::ExecMode exec_mode() const { return exec_mode_; }
@@ -167,10 +178,12 @@ class IpbmSwitch {
     std::optional<arch::CompiledStage> compiled;
     bool uses_registers = false;
   };
-  // Everything the compiled state depends on. The epoch covers CCM commands
-  // (including metadata declarations, which have no own version counter);
-  // the component versions cover direct mutations through the mutable
-  // headers()/pipeline() accessors.
+  // Everything the compiled state depends on. The structural epoch covers
+  // structural CCM commands (including metadata declarations, which have no
+  // own version counter); the component versions cover direct mutations
+  // through the mutable headers()/pipeline() accessors. Runtime entry ops
+  // deliberately stay out of the key: lookups read table content live, so
+  // churn never invalidates (or races with) the compiled fast path.
   struct CompiledKey {
     uint64_t epoch = 0;
     uint64_t registry = 0;
@@ -184,9 +197,12 @@ class IpbmSwitch {
   void ChargeConfigWords(uint64_t words) {
     stats_.config_words_written += words;
   }
-  // Advances config_epoch_ for a runtime entry op without invalidating the
-  // compiled fast path (entry content is read live at lookup time).
-  void BumpEpochKeepingCompiledState();
+  // A structural CCM command: advances both epochs. Only runs quiesced
+  // relative to the data plane (callers drain first or own the device).
+  void BumpStructuralEpoch() {
+    ++structural_epoch_;
+    config_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
   CompiledKey CurrentKey() const;
   // Recompiles every TSP's template if anything changed since the last call.
   void EnsureCompiled();
@@ -223,7 +239,12 @@ class IpbmSwitch {
   telemetry::Collector telemetry_;
 
   // Compiled fast-path state (rebuilt lazily by EnsureCompiled).
-  uint64_t config_epoch_ = 1;
+  // config_epoch_ counts every CCM command including runtime entry ops
+  // (telemetry-visible); structural_epoch_ counts only the quiesced
+  // structural commands and feeds CompiledKey, so entry churn concurrent
+  // with packet workers neither rebuilds nor races the compiled state.
+  std::atomic<uint64_t> config_epoch_{1};
+  uint64_t structural_epoch_ = 1;
   arch::ExecMode exec_mode_ = arch::ExecMode::kSpecialize;
   CompiledKey compiled_key_;  // all-zero: never matches the first CurrentKey
   std::vector<std::vector<CompiledProgram>> compiled_tsps_;

@@ -138,11 +138,11 @@ Status PisaSwitch::LoadDesignJson(std::string_view json_text) {
 }
 
 Status PisaSwitch::AddEntry(const std::string& table,
-                            const table::Entry& entry) {
+                            const table::Entry& entry, bool upsert) {
   IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
   ++stats_.table_ops;
   ++stats_.config_words_written;  // one control-channel write per entry op
-  return t->Insert(entry);
+  return upsert ? t->Insert(entry) : t->InsertUnique(entry);
 }
 
 Status PisaSwitch::EraseEntry(const std::string& table,
@@ -151,6 +151,18 @@ Status PisaSwitch::EraseEntry(const std::string& table,
   ++stats_.table_ops;
   ++stats_.config_words_written;
   return t->Erase(entry);
+}
+
+Status PisaSwitch::BeginEntryBatch(const std::string& table) {
+  IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
+  t->BeginBatch();
+  return OkStatus();
+}
+
+Status PisaSwitch::EndEntryBatch(const std::string& table) {
+  IPSA_ASSIGN_OR_RETURN(table::MatchTable * t, catalog_.Get(table));
+  t->EndBatch();
+  return OkStatus();
 }
 
 void PisaSwitch::EnsureCompiled() {

@@ -57,8 +57,15 @@ class PisaSwitch {
   const arch::DesignConfig& design() const { return design_; }
 
   // Runtime table API (valid between loads; cleared by LoadDesign).
-  Status AddEntry(const std::string& table, const table::Entry& entry);
+  // upsert=false is the strict bulk-RPC semantics: a duplicate identity
+  // fails with kAlreadyExists instead of updating in place.
+  Status AddEntry(const std::string& table, const table::Entry& entry,
+                  bool upsert = true);
   Status EraseEntry(const std::string& table, const table::Entry& entry);
+  // Brackets a bulk frame of entry ops on one table: the table's lookup
+  // views are republished once, at EndEntryBatch.
+  Status BeginEntryBatch(const std::string& table);
+  Status EndEntryBatch(const std::string& table);
 
   // Processes one packet through parser -> ingress -> TM -> egress.
   // When `trace` is non-null, every stage execution is recorded into it.

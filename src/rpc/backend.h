@@ -32,6 +32,25 @@ class Backend {
   virtual Result<InstallOutcome> Install(InstallKind kind,
                                          const std::string& source) = 0;
   virtual Status ApplyTableOp(const TableOp& op) = 0;
+  // One frame of a pipelined bulk stream: applies every op, collecting
+  // per-op failures (strict kAdd — duplicates fail, they don't upsert).
+  // Device backends override to batch index publication per table; the
+  // default serves fakes by looping ApplyTableOp (kAdd stays upsert there,
+  // close enough for backends without real tables).
+  virtual Result<TableBulkResponse> ApplyTableBulk(
+      const TableBulkRequest& req) {
+    TableBulkResponse resp;
+    for (uint32_t i = 0; i < req.ops.size(); ++i) {
+      Status s = ApplyTableOp(req.ops[i]);
+      if (s.ok()) {
+        ++resp.applied;
+      } else {
+        resp.failures.push_back(BulkFailure{
+            i, static_cast<uint16_t>(s.code()), s.message()});
+      }
+    }
+    return resp;
+  }
   virtual Result<compiler::ApiSpec> Api() = 0;
   virtual Result<StatsResponse> QueryStats() = 0;
   // Drains all pending RX through the pipeline (quiesce); returns the

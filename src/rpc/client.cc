@@ -1,6 +1,8 @@
 #include "rpc/client.h"
 
+#include <algorithm>
 #include <chrono>
+#include <deque>
 #include <thread>
 
 namespace ipsa::rpc {
@@ -141,6 +143,126 @@ Result<std::vector<uint8_t>> Client::Call(MsgType type,
     }
     decoder_.Feed(std::span<const uint8_t>(buf, *n));
   }
+}
+
+Result<wire::Frame> Client::RecvResponse(uint16_t want_type, uint32_t want_seq,
+                                         int64_t deadline_ms) {
+  if (!sock_.valid()) return Unavailable("not connected");
+  uint8_t buf[64 * 1024];
+  while (true) {
+    // Drain any frames already buffered before touching the socket.
+    while (true) {
+      auto next = decoder_.Next();
+      if (!next.ok()) {
+        Close();
+        return next.status();
+      }
+      if (!next->has_value()) break;
+      wire::Frame frame = std::move(**next);
+      if (frame.type == want_type && frame.seq == want_seq) return frame;
+      // Stale frame for an abandoned call — drop, not fatal (responses are
+      // in-order, so anything else can only be older than what we want).
+    }
+    int64_t left = deadline_ms - NowMs();
+    if (left <= 0) {
+      Close();
+      return DeadlineExceeded(std::string(MsgTypeName(want_type)) +
+                              " timed out");
+    }
+    auto n = wire::RecvSome(sock_.fd(), buf, static_cast<int>(left));
+    if (!n.ok()) {
+      Close();
+      return n.status();
+    }
+    if (*n == 0) {
+      Close();
+      return Unavailable("server closed the connection");
+    }
+    decoder_.Feed(std::span<const uint8_t>(buf, *n));
+  }
+}
+
+Result<BulkResult> Client::ApplyBulk(
+    const std::vector<TableOp>& ops, const BulkOptions& bulk,
+    const std::function<void(const BulkProgress&)>& progress) {
+  const uint32_t per_frame =
+      std::clamp<uint32_t>(bulk.ops_per_frame, 1, kMaxBatchOps);
+  const uint32_t window = std::max<uint32_t>(1, bulk.window);
+  IPSA_RETURN_IF_ERROR(EnsureConnected());
+
+  struct Pending {
+    uint32_t seq = 0;
+    uint64_t first_index = 0;  // global index of this frame's first op
+    uint32_t op_count = 0;
+  };
+  std::deque<Pending> pending;
+  BulkResult result;
+  BulkProgress prog;
+  prog.frames_total = (ops.size() + per_frame - 1) / per_frame;
+
+  // Blocks on the oldest in-flight frame's ack, folding its per-op outcome
+  // into the running result (failure indexes rebased to the global list).
+  // A frame-level error (bad status prefix: no design installed, decode
+  // failure) aborts the stream — per-op failures do not.
+  auto await_oldest = [&]() -> Status {
+    const Pending p = pending.front();
+    pending.pop_front();
+    IPSA_ASSIGN_OR_RETURN(
+        wire::Frame frame,
+        RecvResponse(static_cast<uint16_t>(MsgType::kTableBulkResp), p.seq,
+                     NowMs() + options_.call_timeout_ms));
+    wire::Reader r(frame.payload);
+    Status remote = OkStatus();
+    Status prefix = GetStatus(r, remote);
+    if (!prefix.ok()) {
+      Close();
+      return prefix;
+    }
+    if (!remote.ok()) {
+      Close();
+      return remote;
+    }
+    auto resp = TableBulkResponse::Decode(r);
+    if (!resp.ok()) {
+      Close();
+      return resp.status();
+    }
+    result.applied += resp->applied;
+    for (BulkFailure& f : resp->failures) {
+      f.index = static_cast<uint32_t>(p.first_index + f.index);
+      result.failures.push_back(std::move(f));
+    }
+    ++prog.frames_acked;
+    prog.ops_acked += p.op_count;
+    prog.applied = result.applied;
+    prog.failed = result.failures.size();
+    if (progress) progress(prog);
+    return OkStatus();
+  };
+
+  for (uint64_t start = 0; start < ops.size(); start += per_frame) {
+    const uint32_t count =
+        static_cast<uint32_t>(std::min<uint64_t>(per_frame, ops.size() - start));
+    wire::Writer w;
+    w.U32(count);
+    for (uint32_t i = 0; i < count; ++i) ops[start + i].Encode(w);
+    wire::Frame req;
+    req.type = static_cast<uint16_t>(MsgType::kTableBulkReq);
+    req.seq = next_seq_++;
+    req.payload = w.Take();
+    // The pipelining core: only block once the window is full, so up to
+    // `window` frames ride the wire while the server works.
+    if (pending.size() >= window) IPSA_RETURN_IF_ERROR(await_oldest());
+    Status sent = wire::SendAll(sock_.fd(), wire::EncodeFrame(req),
+                                options_.call_timeout_ms);
+    if (!sent.ok()) {
+      Close();
+      return sent;
+    }
+    pending.push_back(Pending{req.seq, start, count});
+  }
+  while (!pending.empty()) IPSA_RETURN_IF_ERROR(await_oldest());
+  return result;
 }
 
 Result<InstallResponse> Client::Install(InstallKind kind,

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,32 @@ struct ClientOptions {
   int max_connect_attempts = 4;
   int backoff_initial_ms = 20;
   int backoff_max_ms = 1000;
+};
+
+// Pipelined bulk-insert stream (see docs/control_plane.md). The client cuts
+// the op list into kTableBulkReq frames of `ops_per_frame` and keeps up to
+// `window` frames on the wire before blocking on the oldest ack, so the
+// server applies frame N while frames N+1..N+window-1 are in flight — one
+// RTT is paid once, not per frame.
+struct BulkOptions {
+  uint32_t window = 8;
+  uint32_t ops_per_frame = 1024;
+};
+
+// Snapshot handed to the progress callback after each window ack.
+struct BulkProgress {
+  uint64_t frames_acked = 0;
+  uint64_t frames_total = 0;
+  uint64_t ops_acked = 0;  // ops covered by acked frames (applied + failed)
+  uint64_t applied = 0;
+  uint64_t failed = 0;
+};
+
+struct BulkResult {
+  uint64_t applied = 0;
+  // Failure indexes are rebased to the caller's op list (global, not
+  // per-frame).
+  std::vector<BulkFailure> failures;
 };
 
 class Client {
@@ -58,6 +85,13 @@ class Client {
   // move: callers that react under a latency budget encode the batch once at
   // plan-compile time and the send path just frames bytes (src/reactor).
   Result<TableBatchResponse> ApplyBatchPrepacked(std::vector<uint8_t> payload);
+  // Streams `ops` as pipelined kTableBulkReq frames (strict kAdd, per-op
+  // failures — a duplicate degrades one entry, not the stream). `progress`
+  // (optional) fires after every acked frame. Any transport failure drops
+  // the connection and fails the call: the applied count so far is unknown.
+  Result<BulkResult> ApplyBulk(
+      const std::vector<TableOp>& ops, const BulkOptions& bulk = {},
+      const std::function<void(const BulkProgress&)>& progress = nullptr);
   Result<compiler::ApiSpec> FetchApi();
   Result<StatsResponse> QueryStats();
   Result<EpochResponse> QueryEpoch();
@@ -77,6 +111,12 @@ class Client {
                                     std::vector<uint8_t> payload);
   Status EnsureConnected();
   Status DialOnce();
+  // Receives the next frame off the connection (feeding the decoder as
+  // needed) until `deadline_ms` (absolute, steady clock). Drops stale
+  // frames whose seq precedes `want_seq`; fails on anything else
+  // unexpected. Closes the connection on any failure.
+  Result<wire::Frame> RecvResponse(uint16_t want_type, uint32_t want_seq,
+                                   int64_t deadline_ms);
   Status TableCall(TableOpKind op, const std::string& table,
                    const table::Entry& entry);
 

@@ -78,6 +78,10 @@ std::string_view MsgTypeName(uint16_t type) {
       return "ResetMetricsReq";
     case MsgType::kResetMetricsResp:
       return "ResetMetricsResp";
+    case MsgType::kTableBulkReq:
+      return "TableBulkReq";
+    case MsgType::kTableBulkResp:
+      return "TableBulkResp";
   }
   return "?";
 }
@@ -202,6 +206,56 @@ void TableBatchResponse::Encode(wire::Writer& w) const { w.U32(applied); }
 Result<TableBatchResponse> TableBatchResponse::Decode(wire::Reader& r) {
   TableBatchResponse resp;
   IPSA_ASSIGN_OR_RETURN(resp.applied, r.U32());
+  return resp;
+}
+
+void TableBulkRequest::Encode(wire::Writer& w) const {
+  w.U32(static_cast<uint32_t>(ops.size()));
+  for (const TableOp& op : ops) op.Encode(w);
+}
+
+Result<TableBulkRequest> TableBulkRequest::Decode(wire::Reader& r) {
+  IPSA_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  if (count > kMaxBatchOps) {
+    return InvalidArgument("bulk frame of " + std::to_string(count) +
+                           " ops exceeds the " + std::to_string(kMaxBatchOps) +
+                           " op bound");
+  }
+  TableBulkRequest req;
+  req.ops.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    IPSA_ASSIGN_OR_RETURN(TableOp op, TableOp::Decode(r));
+    req.ops.push_back(std::move(op));
+  }
+  return req;
+}
+
+void TableBulkResponse::Encode(wire::Writer& w) const {
+  w.U32(applied);
+  w.U32(static_cast<uint32_t>(failures.size()));
+  for (const BulkFailure& f : failures) {
+    w.U32(f.index);
+    w.U16(f.code);
+    w.Str(f.message);
+  }
+}
+
+Result<TableBulkResponse> TableBulkResponse::Decode(wire::Reader& r) {
+  TableBulkResponse resp;
+  IPSA_ASSIGN_OR_RETURN(resp.applied, r.U32());
+  IPSA_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  if (count > kMaxBatchOps) {
+    return InvalidArgument("bulk response reports " + std::to_string(count) +
+                           " failures, exceeding the op bound");
+  }
+  resp.failures.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    BulkFailure f;
+    IPSA_ASSIGN_OR_RETURN(f.index, r.U32());
+    IPSA_ASSIGN_OR_RETURN(f.code, r.U16());
+    IPSA_ASSIGN_OR_RETURN(f.message, r.Str());
+    resp.failures.push_back(std::move(f));
+  }
   return resp;
 }
 

@@ -50,6 +50,8 @@ enum class MsgType : uint16_t {
   kTracesResp = 20,
   kResetMetricsReq = 21,
   kResetMetricsResp = 22,
+  kTableBulkReq = 23,
+  kTableBulkResp = 24,
 };
 
 std::string_view MsgTypeName(uint16_t type);
@@ -141,6 +143,38 @@ struct TableBatchResponse {
 
   void Encode(wire::Writer& w) const;
   static Result<TableBatchResponse> Decode(wire::Reader& r);
+};
+
+// --- streamed bulk inserts ----------------------------------------------------
+//
+// One frame of a pipelined bulk stream. Unlike kTableBatchReq, (a) the
+// server applies EVERY op, collecting per-op failures instead of aborting
+// at the first one, so a duplicate key mid-window degrades one entry, not
+// the stream; (b) kAdd is strict — a duplicate identity fails with
+// kAlreadyExists rather than upserting (use kModify for upserts); (c) each
+// distinct table's index publication is batched across the frame, so the
+// frame becomes visible to lookups atomically. Clients keep a window of
+// these frames in flight before the first ack (see Client::ApplyBulk).
+
+struct TableBulkRequest {
+  std::vector<TableOp> ops;
+
+  void Encode(wire::Writer& w) const;
+  static Result<TableBulkRequest> Decode(wire::Reader& r);
+};
+
+struct BulkFailure {
+  uint32_t index = 0;  // op index within this frame
+  uint16_t code = 0;   // StatusCode of the failure
+  std::string message;
+};
+
+struct TableBulkResponse {
+  uint32_t applied = 0;  // ops that succeeded in this frame
+  std::vector<BulkFailure> failures;
+
+  void Encode(wire::Writer& w) const;
+  static Result<TableBulkResponse> Decode(wire::Reader& r);
 };
 
 // --- runtime API spec ---------------------------------------------------------

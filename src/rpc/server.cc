@@ -6,7 +6,7 @@ namespace {
 
 bool IsRequestType(uint16_t type) {
   return type >= static_cast<uint16_t>(MsgType::kHelloReq) &&
-         type <= static_cast<uint16_t>(MsgType::kResetMetricsReq) &&
+         type <= static_cast<uint16_t>(MsgType::kTableBulkReq) &&
          (type % 2) == 1;
 }
 
@@ -93,6 +93,15 @@ Status Dispatcher::Dispatch(const wire::Frame& request, wire::Writer& body) {
         }
         ++resp.applied;
       }
+      resp.Encode(body);
+      return OkStatus();
+    }
+    case MsgType::kTableBulkReq: {
+      IPSA_ASSIGN_OR_RETURN(TableBulkRequest req, TableBulkRequest::Decode(r));
+      // Bulk frames never abort the stream: per-op failures travel in the
+      // response body and the remaining ops still apply.
+      IPSA_ASSIGN_OR_RETURN(TableBulkResponse resp,
+                            backend_->ApplyTableBulk(req));
       resp.Encode(body);
       return OkStatus();
     }

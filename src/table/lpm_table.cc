@@ -6,13 +6,24 @@ namespace ipsa::table {
 
 LpmTable::LpmTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage)
     : MatchTable(std::move(spec), pool, std::move(storage)),
-      root_(std::make_unique<Node>()),
-      cache_(spec_.size) {
+      root_(std::make_unique<Node>()) {
   free_rows_.reserve(spec_.size);
   for (uint32_t r = spec_.size; r > 0; --r) free_rows_.push_back(r - 1);
+  // Partition on the top R bits, targeting ~64 entries per shard so a shard
+  // rebuild stays small while slot fan-out stays bounded (<= 4096 slots).
+  uint32_t bits = 0;
+  while ((1u << (bits + 1)) <= spec_.size) ++bits;
+  root_bits_ = std::min(
+      {bits > 6 ? bits - 6 : 0, 12u, spec_.key_width_bits});
+  dirty_slots_.assign(size_t{1} << root_bits_, false);
+  Root* initial = new Root;
+  initial->root_bits = root_bits_;
+  initial->slots.resize(size_t{1} << root_bits_);
+  published_.store(initial, std::memory_order_release);
 }
 
 LpmTable::~LpmTable() {
+  delete published_.load(std::memory_order_relaxed);
   // Free the trie iteratively; recursive destruction of a deep chain of
   // unique_ptrs can overflow the stack for adversarial prefix sets.
   std::vector<std::unique_ptr<Node>> stack;
@@ -26,7 +37,22 @@ LpmTable::~LpmTable() {
   }
 }
 
-Status LpmTable::Insert(const Entry& entry) {
+void LpmTable::MarkDirty(const Entry& entry) {
+  any_dirty_ = true;
+  if (entry.prefix_len <= root_bits_) {
+    // Short prefixes live in the per-slot leaf array, rebuilt wholesale.
+    short_dirty_ = true;
+    return;
+  }
+  // prefix_len > R: the top R bits are fully specified — exactly one shard.
+  uint32_t v = root_bits_ != 0
+                   ? static_cast<uint32_t>(entry.key.GetBits(
+                         spec_.key_width_bits - root_bits_, root_bits_))
+                   : 0;
+  dirty_slots_[v] = true;
+}
+
+Status LpmTable::InsertOp(const Entry& entry, bool upsert) {
   if (entry.key.bit_width() != spec_.key_width_bits) {
     return InvalidArgument("lpm table '" + spec_.name +
                            "': key width mismatch");
@@ -42,10 +68,14 @@ Status LpmTable::Insert(const Entry& entry) {
     node = node->child[b].get();
   }
   if (node->row >= 0) {
-    // Update in place.
+    if (!upsert) {
+      return AlreadyExists("lpm table '" + spec_.name +
+                           "': duplicate prefix");
+    }
     uint32_t row = static_cast<uint32_t>(node->row);
     IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
-    cache_[row] = DecodeRow(row);
+    MarkDirty(entry);
+    MaybePublish();
     return OkStatus();
   }
   if (free_rows_.empty()) {
@@ -55,9 +85,9 @@ Status LpmTable::Insert(const Entry& entry) {
   IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
   free_rows_.pop_back();
   node->row = static_cast<int32_t>(row);
-  cache_[row] = DecodeRow(row);
-  ++entry_count_;
-  RebuildStride();
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
+  MarkDirty(entry);
+  MaybePublish();
   return OkStatus();
 }
 
@@ -73,15 +103,73 @@ Status LpmTable::Erase(const Entry& entry) {
   IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, row));
   free_rows_.push_back(row);
   node->row = -1;
-  --entry_count_;
-  RebuildStride();
+  entry_count_.fetch_sub(1, std::memory_order_relaxed);
+  MarkDirty(entry);
+  MaybePublish();
   return OkStatus();
 }
 
-void LpmTable::RebuildStride() {
-  stride_nodes_.clear();
-  bool any = root_->row >= 0 || root_->child[0] || root_->child[1];
-  if (any && spec_.key_width_bits > 0) BuildStrideNode(root_.get(), 0);
+void LpmTable::MaybePublish() {
+  if (!in_batch_) Publish();
+}
+
+void LpmTable::EndBatch() {
+  in_batch_ = false;
+  Publish();
+}
+
+void LpmTable::Publish() {
+  if (!any_dirty_) return;
+  const Root* old = published_.load(std::memory_order_relaxed);
+  Root* next = new Root;
+  next->root_bits = root_bits_;
+  size_t slot_count = size_t{1} << root_bits_;
+  next->slots.resize(slot_count);
+  if (!short_dirty_) next->short_leaves = old->short_leaves;
+  // Scratch row -> leaf-index map, reset per shard by walking its leaves so
+  // one allocation serves every dirty shard in this publish.
+  std::vector<int32_t> row_leaf(spec_.size, -1);
+  for (size_t v = 0; v < slot_count; ++v) {
+    SlotRef& slot = next->slots[v];
+    if (!short_dirty_ && !dirty_slots_[v]) {
+      slot = old->slots[v];  // clean: share the shard, keep the leaf
+      continue;
+    }
+    // Walk the top R bits of this slot, leaf-pushing the deepest short
+    // prefix; the node reached at depth R anchors the slot's shard.
+    const Node* walk = root_.get();
+    int32_t best_row = root_->row;
+    for (uint32_t j = 0; j < root_bits_ && walk != nullptr; ++j) {
+      walk = walk->child[(v >> (root_bits_ - 1 - j)) & 1].get();
+      if (walk != nullptr && walk->row >= 0) best_row = walk->row;
+    }
+    if (short_dirty_) {
+      if (best_row >= 0) {
+        slot.short_leaf = static_cast<int32_t>(next->short_leaves.size());
+        next->short_leaves.push_back(
+            Leaf{static_cast<uint32_t>(best_row), DecodeRow(best_row)});
+      }
+    } else {
+      slot.short_leaf = old->slots[v].short_leaf;
+    }
+    slot.shard =
+        dirty_slots_[v] ? BuildShard(walk, row_leaf) : old->slots[v].shard;
+  }
+  published_.store(next, std::memory_order_release);
+  rcu::Domain::Global().Retire(const_cast<Root*>(old));
+  std::fill(dirty_slots_.begin(), dirty_slots_.end(), false);
+  short_dirty_ = false;
+  any_dirty_ = false;
+  rcu::Domain::Global().Synchronize();
+}
+
+std::shared_ptr<const LpmTable::ShardView> LpmTable::BuildShard(
+    const Node* base, std::vector<int32_t>& row_leaf) const {
+  if (base == nullptr || (!base->child[0] && !base->child[1])) return nullptr;
+  auto view = std::make_shared<ShardView>();
+  BuildStrideNode(base, root_bits_, *view, row_leaf);
+  for (const Leaf& l : view->leaves) row_leaf[l.row] = -1;
+  return view;
 }
 
 // Expands the binary subtrie below `n` (at MSB depth `depth`) into one
@@ -89,58 +177,83 @@ void LpmTable::RebuildStride() {
 // bit path and leaf-push the deepest row passed, remembering where the next
 // stride continues. Unused high values of a partial final stride stay at -1
 // and are never indexed by Lookup.
-int32_t LpmTable::BuildStrideNode(const Node* n, uint32_t depth) {
+int32_t LpmTable::BuildStrideNode(const Node* n, uint32_t depth,
+                                  ShardView& view,
+                                  std::vector<int32_t>& row_leaf) const {
   uint32_t s = std::min(kStrideBits, spec_.key_width_bits - depth);
-  int32_t self = static_cast<int32_t>(stride_nodes_.size());
-  stride_nodes_.emplace_back();
-  std::fill(std::begin(stride_nodes_[self].best),
-            std::end(stride_nodes_[self].best), -1);
-  std::fill(std::begin(stride_nodes_[self].child),
-            std::end(stride_nodes_[self].child), -1);
+  int32_t self = static_cast<int32_t>(view.nodes.size());
+  view.nodes.emplace_back();
+  std::fill(std::begin(view.nodes[self].best),
+            std::end(view.nodes[self].best), -1);
+  std::fill(std::begin(view.nodes[self].child),
+            std::end(view.nodes[self].child), -1);
   for (uint32_t v = 0; v < (1u << s); ++v) {
     const Node* walk = n;
     int32_t best = -1;
     for (uint32_t j = 0; j < s && walk != nullptr; ++j) {
       walk = walk->child[(v >> (s - 1 - j)) & 1].get();
-      if (walk != nullptr && walk->row >= 0) best = walk->row;
+      if (walk != nullptr && walk->row >= 0) {
+        int32_t& leaf = row_leaf[walk->row];
+        if (leaf < 0) {
+          leaf = static_cast<int32_t>(view.leaves.size());
+          view.leaves.push_back(Leaf{static_cast<uint32_t>(walk->row),
+                                     DecodeRow(walk->row)});
+        }
+        best = leaf;
+      }
     }
-    stride_nodes_[self].best[v] = best;
+    view.nodes[self].best[v] = best;
     if (walk != nullptr && depth + s < spec_.key_width_bits &&
         (walk->child[0] || walk->child[1])) {
-      int32_t child = BuildStrideNode(walk, depth + s);
-      // Recursion may grow stride_nodes_; re-index instead of holding a
+      int32_t child = BuildStrideNode(walk, depth + s, view, row_leaf);
+      // Recursion may grow view.nodes; re-index instead of holding a
       // reference across the call.
-      stride_nodes_[self].child[v] = child;
+      view.nodes[self].child[v] = child;
     }
   }
   return self;
 }
 
 void LpmTable::LookupInto(const mem::BitString& key, LookupResult& out) const {
-  int32_t best = root_->row;
+  rcu::Domain::ReadGuard guard(rcu::Domain::Global());
+  const Root* root = published_.load(std::memory_order_acquire);
   uint32_t width = spec_.key_width_bits;
-  uint32_t consumed = 0;
-  int32_t node = stride_nodes_.empty() ? -1 : 0;
-  while (node >= 0 && consumed < width) {
-    uint32_t s = std::min(kStrideBits, width - consumed);
-    uint32_t v = static_cast<uint32_t>(key.GetBits(width - consumed - s, s));
-    const StrideNode& sn = stride_nodes_[static_cast<size_t>(node)];
-    if (sn.best[v] >= 0) best = sn.best[v];
-    node = sn.child[v];
-    consumed += s;
+  uint32_t rb = root->root_bits;
+  uint32_t top =
+      rb != 0 ? static_cast<uint32_t>(key.GetBits(width - rb, rb)) : 0;
+  const SlotRef& slot = root->slots[top];
+  const Leaf* best = slot.short_leaf >= 0
+                         ? &root->short_leaves[slot.short_leaf]
+                         : nullptr;
+  // Reading through the shared_ptr without copying it is safe: the Root is
+  // immutable and epoch-protected, and it holds the shard alive.
+  const ShardView* shard = slot.shard.get();
+  if (shard != nullptr && !shard->nodes.empty()) {
+    uint32_t consumed = rb;
+    int32_t node = 0;
+    while (node >= 0 && consumed < width) {
+      uint32_t s = std::min(kStrideBits, width - consumed);
+      uint32_t v =
+          static_cast<uint32_t>(key.GetBits(width - consumed - s, s));
+      const StrideNode& sn = shard->nodes[static_cast<size_t>(node)];
+      if (sn.best[v] >= 0) best = &shard->leaves[sn.best[v]];
+      node = sn.child[v];
+      consumed += s;
+    }
   }
-  if (best < 0) {
+  if (best == nullptr) {
     MissInto(out);
     return;
   }
-  uint32_t row = static_cast<uint32_t>(best);
-  HitInto(row, cache_[row], out);
+  HitInto(best->row, best->action, out);
 }
 
 void LpmTable::RefreshCache() {
-  for (uint32_t row = 0; row < cache_.size(); ++row) {
-    if (storage_.RowValid(*pool_, row)) cache_[row] = DecodeRow(row);
-  }
+  // Pool rows were rewritten underneath us: re-decode everything.
+  std::fill(dirty_slots_.begin(), dirty_slots_.end(), true);
+  short_dirty_ = true;
+  any_dirty_ = true;
+  Publish();
 }
 
 }  // namespace ipsa::table

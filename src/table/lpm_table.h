@@ -1,18 +1,29 @@
 // Longest-prefix-match table over pool-backed rows.
 //
-// Two index structures share the rows. A binary trie keyed MSB-first over
-// the prefix bits is the canonical store that Insert/Erase mutate, exactly
-// as before. From it, every mutation rebuilds a multibit-stride table
-// (stride 4, controlled prefix expansion): each stride node resolves four
-// key bits per step with a 16-way child jump and a leaf-pushed "best row so
-// far" per nibble, so Lookup visits width/4 nodes instead of width trie
-// levels and never touches a per-bit accessor. Storage rows additionally
-// record the prefix length so entries round-trip through the pool.
+// The writer keeps a binary trie keyed MSB-first over the prefix bits as the
+// canonical store, exactly as before. What lookups consume is a published,
+// immutable Root: the key's top R bits index a slot array whose entries
+// carry (a) the best "short" prefix (length <= R) covering that slot,
+// leaf-pushed by controlled prefix expansion, and (b) a shared_ptr to a
+// per-slot shard — a stride-4 multibit trie over the remaining key bits for
+// the prefixes longer than R that start with those top bits. R grows with
+// the table size, so a million-entry table fans out across ~4096 shards and
+// a mutation republishes one shard (~size/4096 entries) instead of
+// rebuilding one giant stride table per op.
+//
+// Publication is RCU: mutations mark shards dirty; Publish() rebuilds only
+// the dirty shards, shares the untouched ones by reference, swaps the Root
+// pointer atomically and retires the old Root. Between BeginBatch/EndBatch
+// the publish is deferred, so a bulk frame costs one swap + one grace
+// period. Lookups pin an epoch, walk one slot + one shard, and never take a
+// lock or observe a torn view.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "table/rcu.h"
 #include "table/table.h"
 
 namespace ipsa::table {
@@ -22,12 +33,19 @@ class LpmTable : public MatchTable {
   LpmTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage);
   ~LpmTable() override;
 
-  Status Insert(const Entry& entry) override;
   Status Erase(const Entry& entry) override;
   void LookupInto(const mem::BitString& key, LookupResult& out) const override;
   void RefreshCache() override;
+  void BeginBatch() override { in_batch_ = true; }
+  void EndBatch() override;
+
+  uint32_t shard_count() const { return 1u << root_bits_; }
+
+ protected:
+  Status InsertOp(const Entry& entry, bool upsert) override;
 
  private:
+  // Canonical writer-side trie node.
   struct Node {
     std::unique_ptr<Node> child[2];
     int32_t row = -1;  // storage row, -1 when no entry terminates here
@@ -36,14 +54,39 @@ class LpmTable : public MatchTable {
   static constexpr uint32_t kStrideBits = 4;
   static constexpr uint32_t kFanout = 1u << kStrideBits;
 
-  // One stride level: for nibble value v, best[v] is the row of the longest
-  // prefix ending strictly inside this stride along v's bit path, and
-  // child[v] indexes the next stride node (-1 = path dies here). Indexes
-  // into stride_nodes_ stay valid because the vector is only appended to
-  // during a rebuild.
+  // A resolved entry inside a published view: the storage row plus the
+  // decoded action, so a hit never touches writer-side state.
+  struct Leaf {
+    uint32_t row = 0;
+    CachedAction action;
+  };
+
+  // One stride level of a shard: for nibble value v, best[v] indexes the
+  // leaf of the longest prefix ending strictly inside this stride along v's
+  // bit path, child[v] the next stride node (-1 = path dies here).
   struct StrideNode {
     int32_t best[kFanout];
     int32_t child[kFanout];
+  };
+
+  // Immutable stride trie over the key bits below the root partition, for
+  // one slot's long prefixes. Shared between successive Roots while clean.
+  struct ShardView {
+    std::vector<StrideNode> nodes;  // [0] = root level when non-empty
+    std::vector<Leaf> leaves;
+  };
+
+  struct SlotRef {
+    int32_t short_leaf = -1;  // Root::short_leaves index, -1 = none
+    std::shared_ptr<const ShardView> shard;  // null = no long prefixes
+  };
+
+  // The published view. Immutable after the atomic swap; reclaimed through
+  // the rcu::Domain once every in-flight lookup has moved on.
+  struct Root {
+    uint32_t root_bits = 0;
+    std::vector<SlotRef> slots;  // size 1 << root_bits
+    std::vector<Leaf> short_leaves;
   };
 
   // MSB-first bit `i` of a key (bit 0 = most significant bit of the key).
@@ -51,14 +94,25 @@ class LpmTable : public MatchTable {
     return key.GetBit(spec_.key_width_bits - 1 - i);
   }
 
-  // Rebuilds stride_nodes_ from the binary trie (control-plane cost only).
-  void RebuildStride();
-  int32_t BuildStrideNode(const Node* n, uint32_t depth);
+  // Rebuilds dirty shards / short leaves into a fresh Root, swaps it in and
+  // retires the old one.
+  void Publish();
+  void MaybePublish();
+  std::shared_ptr<const ShardView> BuildShard(
+      const Node* base, std::vector<int32_t>& row_leaf) const;
+  int32_t BuildStrideNode(const Node* n, uint32_t depth, ShardView& view,
+                          std::vector<int32_t>& row_leaf) const;
+  void MarkDirty(const Entry& entry);
 
   std::unique_ptr<Node> root_;
-  std::vector<StrideNode> stride_nodes_;  // [0] = root level when non-empty
-  std::vector<CachedAction> cache_;       // indexed by storage row
   std::vector<uint32_t> free_rows_;
+
+  uint32_t root_bits_ = 0;
+  std::atomic<const Root*> published_{nullptr};
+  std::vector<bool> dirty_slots_;  // writer-side, slot index = top R bits
+  bool short_dirty_ = false;       // a prefix of length <= R changed
+  bool any_dirty_ = false;
+  bool in_batch_ = false;
 };
 
 }  // namespace ipsa::table

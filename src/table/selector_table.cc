@@ -8,23 +8,57 @@ namespace ipsa::table {
 
 SelectorTable::SelectorTable(TableSpec spec, mem::Pool& pool,
                              mem::LogicalTable storage)
-    : MatchTable(std::move(spec), pool, std::move(storage)),
-      cache_(spec_.size) {}
+    : MatchTable(std::move(spec), pool, std::move(storage)) {
+  published_.store(new View, std::memory_order_release);
+}
 
-Status SelectorTable::Insert(const Entry& entry) {
+SelectorTable::~SelectorTable() {
+  delete published_.load(std::memory_order_relaxed);
+}
+
+void SelectorTable::Publish() {
+  if (!dirty_) return;
+  const View* old = published_.load(std::memory_order_relaxed);
+  View* next = new View;
+  next->members.reserve(populated_.size());
+  for (uint32_t row : populated_) {
+    next->members.push_back(Member{row, DecodeRow(row)});
+  }
+  published_.store(next, std::memory_order_release);
+  rcu::Domain::Global().Retire(const_cast<View*>(old));
+  dirty_ = false;
+  rcu::Domain::Global().Synchronize();
+}
+
+void SelectorTable::MaybePublish() {
+  if (!in_batch_) Publish();
+}
+
+void SelectorTable::EndBatch() {
+  in_batch_ = false;
+  Publish();
+}
+
+Status SelectorTable::InsertOp(const Entry& entry, bool upsert) {
   uint64_t bucket = entry.key.ToUint64();
   if (bucket >= spec_.size) {
     return OutOfRange("selector table '" + spec_.name +
                       "': bucket index beyond table size");
   }
   uint32_t row = static_cast<uint32_t>(bucket);
-  IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
-  cache_[row] = DecodeRow(row);
   auto it = std::lower_bound(populated_.begin(), populated_.end(), row);
-  if (it == populated_.end() || *it != row) {
-    populated_.insert(it, row);
-    ++entry_count_;
+  bool present = it != populated_.end() && *it == row;
+  if (present && !upsert) {
+    return AlreadyExists("selector table '" + spec_.name +
+                         "': bucket already populated");
   }
+  IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
+  if (!present) {
+    populated_.insert(it, row);
+    entry_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  dirty_ = true;
+  MaybePublish();
   return OkStatus();
 }
 
@@ -37,23 +71,28 @@ Status SelectorTable::Erase(const Entry& entry) {
   }
   IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, row));
   populated_.erase(it);
-  --entry_count_;
+  entry_count_.fetch_sub(1, std::memory_order_relaxed);
+  dirty_ = true;
+  MaybePublish();
   return OkStatus();
 }
 
 void SelectorTable::LookupInto(const mem::BitString& key,
                                LookupResult& out) const {
-  if (populated_.empty()) {
+  rcu::Domain::ReadGuard guard(rcu::Domain::Global());
+  const View* view = published_.load(std::memory_order_acquire);
+  if (view->members.empty()) {
     MissInto(out);
     return;
   }
   uint32_t h = util::Crc32(key.bytes());
-  uint32_t row = populated_[h % populated_.size()];
-  HitInto(row, cache_[row], out);
+  const Member& m = view->members[h % view->members.size()];
+  HitInto(m.row, m.action, out);
 }
 
 void SelectorTable::RefreshCache() {
-  for (uint32_t row : populated_) cache_[row] = DecodeRow(row);
+  dirty_ = true;
+  Publish();
 }
 
 }  // namespace ipsa::table

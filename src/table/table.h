@@ -79,7 +79,9 @@ class MatchTable {
 
   const TableSpec& spec() const { return spec_; }
   const mem::LogicalTable& storage() const { return storage_; }
-  uint32_t entry_count() const { return entry_count_; }
+  uint32_t entry_count() const {
+    return entry_count_.load(std::memory_order_relaxed);
+  }
 
   // Lookup statistics (read by the controller for visibility). Atomic so
   // parallel run-to-completion workers can count concurrently.
@@ -89,8 +91,23 @@ class MatchTable {
     (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
   }
 
-  virtual Status Insert(const Entry& entry) = 0;
+  // Upsert: a duplicate identity (key / prefix / masked key) updates the
+  // existing entry in place, the historical behavior every caller relies on.
+  Status Insert(const Entry& entry) { return InsertOp(entry, true); }
+  // Strict add: a duplicate identity fails with kAlreadyExists and mutates
+  // nothing. The streamed bulk-insert RPC uses this so a duplicate key
+  // mid-window surfaces as a per-entry status instead of a silent upsert.
+  Status InsertUnique(const Entry& entry) { return InsertOp(entry, false); }
   virtual Status Erase(const Entry& entry) = 0;
+
+  // Batched publication: between BeginBatch and EndBatch, mutations update
+  // the writer-side index but may defer publishing new lookup views until
+  // EndBatch — one atomic swap (and one RCU grace period) amortized over
+  // the whole batch instead of per op. Lookups keep serving the last
+  // published view meanwhile: a bulk frame becomes visible atomically.
+  // Calls never nest; EndBatch without a pending batch is a no-op.
+  virtual void BeginBatch() {}
+  virtual void EndBatch() {}
 
   // Fills `out` in place, reusing its BitString capacity — zero allocations
   // in steady state. The hot-path entry point.
@@ -115,9 +132,10 @@ class MatchTable {
   }
 
   // Total rows the runtime API can still fill.
-  uint32_t FreeRows() const { return spec_.size - entry_count_; }
+  uint32_t FreeRows() const { return spec_.size - entry_count(); }
 
  protected:
+  virtual Status InsertOp(const Entry& entry, bool upsert) = 0;
   MatchTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage)
       : spec_(std::move(spec)), pool_(&pool), storage_(std::move(storage)) {}
 
@@ -157,7 +175,9 @@ class MatchTable {
   TableSpec spec_;
   mem::Pool* pool_;
   mem::LogicalTable storage_;
-  uint32_t entry_count_ = 0;
+  // Relaxed atomic: mutated by the (single) writer, read by stats scrapes
+  // and FreeRows checks while churn is in flight.
+  std::atomic<uint32_t> entry_count_{0};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
 };

@@ -9,6 +9,11 @@ TernaryTable::TernaryTable(TableSpec spec, mem::Pool& pool,
     : MatchTable(std::move(spec), pool, std::move(storage)) {
   free_rows_.reserve(spec_.size);
   for (uint32_t r = spec_.size; r > 0; --r) free_rows_.push_back(r - 1);
+  published_.store(new View, std::memory_order_release);
+}
+
+TernaryTable::~TernaryTable() {
+  delete published_.load(std::memory_order_relaxed);
 }
 
 std::vector<uint64_t> TernaryTable::Words(const mem::BitString& bits) {
@@ -17,31 +22,65 @@ std::vector<uint64_t> TernaryTable::Words(const mem::BitString& bits) {
   return w;
 }
 
-TernaryTable::MaskBucket* TernaryTable::FindBucket(
-    const mem::BitString& mask) {
-  for (MaskBucket& b : buckets_) {
-    if (b.mask == mask) return &b;
+int TernaryTable::FindBucket(const mem::BitString& mask) const {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i]->mask == mask) return static_cast<int>(i);
   }
-  return nullptr;
+  return -1;
 }
 
-Status TernaryTable::Insert(const Entry& entry) {
+TernaryTable::MaskBucket* TernaryTable::MutableBucket(size_t idx) {
+  std::shared_ptr<MaskBucket>& b = buckets_[idx];
+  if (b.use_count() > 1) b = std::make_shared<MaskBucket>(*b);
+  return b.get();
+}
+
+void TernaryTable::Publish() {
+  if (!dirty_) return;
+  const View* old = published_.load(std::memory_order_relaxed);
+  View* next = new View;
+  next->buckets.assign(buckets_.begin(), buckets_.end());
+  published_.store(next, std::memory_order_release);
+  rcu::Domain::Global().Retire(const_cast<View*>(old));
+  dirty_ = false;
+  rcu::Domain::Global().Synchronize();
+}
+
+void TernaryTable::MaybePublish() {
+  if (!in_batch_) Publish();
+}
+
+void TernaryTable::EndBatch() {
+  in_batch_ = false;
+  Publish();
+}
+
+Status TernaryTable::InsertOp(const Entry& entry, bool upsert) {
   if (entry.key.bit_width() != spec_.key_width_bits ||
       entry.mask.bit_width() != spec_.key_width_bits) {
     return InvalidArgument("ternary table '" + spec_.name +
                            "': key/mask width mismatch");
   }
-  MaskBucket* bucket = FindBucket(entry.mask);
-  if (bucket != nullptr) {
-    // Same (key&mask, mask) identity updates in place, keeping the entry's
-    // original priority and position.
-    for (IndexEntry& ie : bucket->entries) {
-      if (ie.key.MatchesUnderMask(entry.key, entry.mask)) {
-        IPSA_RETURN_IF_ERROR(
-            storage_.WriteRow(*pool_, ie.row, PackRow(entry)));
-        ie.action = DecodeRow(ie.row);
-        return OkStatus();
+  int bucket_idx = FindBucket(entry.mask);
+  if (bucket_idx >= 0) {
+    const MaskBucket& peek = *buckets_[static_cast<size_t>(bucket_idx)];
+    for (size_t e = 0; e < peek.entries.size(); ++e) {
+      if (!peek.entries[e].key.MatchesUnderMask(entry.key, entry.mask)) {
+        continue;
       }
+      // Same (key&mask, mask) identity updates in place, keeping the
+      // entry's original priority and position.
+      if (!upsert) {
+        return AlreadyExists("ternary table '" + spec_.name +
+                             "': duplicate masked key");
+      }
+      uint32_t row = peek.entries[e].row;
+      IPSA_RETURN_IF_ERROR(storage_.WriteRow(*pool_, row, PackRow(entry)));
+      MaskBucket* bucket = MutableBucket(static_cast<size_t>(bucket_idx));
+      bucket->entries[e].action = DecodeRow(row);
+      dirty_ = true;
+      MaybePublish();
+      return OkStatus();
     }
   }
   if (free_rows_.empty()) {
@@ -55,11 +94,14 @@ Status TernaryTable::Insert(const Entry& entry) {
   IPSA_RETURN_IF_ERROR(storage_.WriteMask(*pool_, row, full_mask));
   free_rows_.pop_back();
 
-  if (bucket == nullptr) {
-    buckets_.emplace_back();
-    bucket = &buckets_.back();
+  MaskBucket* bucket;
+  if (bucket_idx < 0) {
+    buckets_.push_back(std::make_shared<MaskBucket>());
+    bucket = buckets_.back().get();
     bucket->mask = entry.mask;
     bucket->mask_words = Words(entry.mask);
+  } else {
+    bucket = MutableBucket(static_cast<size_t>(bucket_idx));
   }
 
   IndexEntry ie;
@@ -79,29 +121,36 @@ Status TernaryTable::Insert(const Entry& entry) {
                                         : a.seq < b.seq;
       });
   bucket->entries.insert(pos, std::move(ie));
-  bucket->max_priority =
-      std::max(bucket->max_priority, entry.priority);
-  ++entry_count_;
+  bucket->max_priority = std::max(bucket->max_priority, entry.priority);
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
+  dirty_ = true;
+  MaybePublish();
   return OkStatus();
 }
 
 Status TernaryTable::Erase(const Entry& entry) {
-  for (auto bit = buckets_.begin(); bit != buckets_.end(); ++bit) {
-    if (!(bit->mask == entry.mask)) continue;
-    for (auto it = bit->entries.begin(); it != bit->entries.end(); ++it) {
-      if (it->key.MatchesUnderMask(entry.key, entry.mask)) {
-        IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, it->row));
-        free_rows_.push_back(it->row);
-        bit->entries.erase(it);
-        --entry_count_;
-        if (bit->entries.empty()) {
-          buckets_.erase(bit);
-        } else {
-          // Entries are priority-sorted, so the front holds the max.
-          bit->max_priority = bit->entries.front().priority;
-        }
-        return OkStatus();
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (!(buckets_[i]->mask == entry.mask)) continue;
+    const MaskBucket& peek = *buckets_[i];
+    for (size_t e = 0; e < peek.entries.size(); ++e) {
+      if (!peek.entries[e].key.MatchesUnderMask(entry.key, entry.mask)) {
+        continue;
       }
+      IPSA_RETURN_IF_ERROR(storage_.InvalidateRow(*pool_, peek.entries[e].row));
+      free_rows_.push_back(peek.entries[e].row);
+      if (peek.entries.size() == 1) {
+        buckets_.erase(buckets_.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        MaskBucket* bucket = MutableBucket(i);
+        bucket->entries.erase(bucket->entries.begin() +
+                              static_cast<ptrdiff_t>(e));
+        // Entries are priority-sorted, so the front holds the max.
+        bucket->max_priority = bucket->entries.front().priority;
+      }
+      entry_count_.fetch_sub(1, std::memory_order_relaxed);
+      dirty_ = true;
+      MaybePublish();
+      return OkStatus();
     }
   }
   return NotFound("ternary table '" + spec_.name + "': entry not present");
@@ -109,8 +158,11 @@ Status TernaryTable::Erase(const Entry& entry) {
 
 void TernaryTable::LookupInto(const mem::BitString& key,
                               LookupResult& out) const {
+  rcu::Domain::ReadGuard guard(rcu::Domain::Global());
+  const View* view = published_.load(std::memory_order_acquire);
   const IndexEntry* best = nullptr;
-  for (const MaskBucket& b : buckets_) {
+  for (const auto& bptr : view->buckets) {
+    const MaskBucket& b = *bptr;
     if (best != nullptr && b.max_priority < best->priority) continue;
     size_t words = b.mask_words.size();
     for (const IndexEntry& ie : b.entries) {
@@ -142,9 +194,12 @@ void TernaryTable::LookupInto(const mem::BitString& key,
 }
 
 void TernaryTable::RefreshCache() {
-  for (MaskBucket& b : buckets_) {
-    for (IndexEntry& ie : b.entries) ie.action = DecodeRow(ie.row);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    MaskBucket* bucket = MutableBucket(i);
+    for (IndexEntry& ie : bucket->entries) ie.action = DecodeRow(ie.row);
   }
+  dirty_ = true;
+  Publish();
 }
 
 }  // namespace ipsa::table

@@ -9,10 +9,20 @@
 // entry the old flat priority-ordered scan would pick: highest priority,
 // ties broken by insertion order. Masks live in the TCAM blocks' mask
 // planes, as before.
+//
+// Concurrency: lookups read an immutable published View (a snapshot of
+// shared_ptr'd buckets) under an RCU epoch pin. The writer mutates a bucket
+// copy-on-write — cloning it only while a published view still references
+// it — and republishes the View with one atomic swap. Between
+// BeginBatch/EndBatch publication is deferred so a bulk frame becomes
+// visible (and pays its grace period) once.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <vector>
 
+#include "table/rcu.h"
 #include "table/table.h"
 
 namespace ipsa::table {
@@ -20,11 +30,16 @@ namespace ipsa::table {
 class TernaryTable : public MatchTable {
  public:
   TernaryTable(TableSpec spec, mem::Pool& pool, mem::LogicalTable storage);
+  ~TernaryTable() override;
 
-  Status Insert(const Entry& entry) override;
   Status Erase(const Entry& entry) override;
   void LookupInto(const mem::BitString& key, LookupResult& out) const override;
   void RefreshCache() override;
+  void BeginBatch() override { in_batch_ = true; }
+  void EndBatch() override;
+
+ protected:
+  Status InsertOp(const Entry& entry, bool upsert) override;
 
  private:
   struct IndexEntry {
@@ -44,12 +59,27 @@ class TernaryTable : public MatchTable {
     std::vector<IndexEntry> entries;
   };
 
-  MaskBucket* FindBucket(const mem::BitString& mask);
+  // Immutable lookup snapshot; reclaimed via the rcu::Domain. Buckets are
+  // shared with the writer list until the writer needs to mutate one.
+  struct View {
+    std::vector<std::shared_ptr<const MaskBucket>> buckets;
+  };
+
+  int FindBucket(const mem::BitString& mask) const;
+  // The writer-side bucket at `idx`, cloned first if any published view
+  // still shares it (use_count observed > 1 is a safe over-approximation;
+  // an undercount only happens once the old view's grace period elapsed).
+  MaskBucket* MutableBucket(size_t idx);
+  void Publish();
+  void MaybePublish();
   static std::vector<uint64_t> Words(const mem::BitString& bits);
 
-  std::vector<MaskBucket> buckets_;
+  std::vector<std::shared_ptr<MaskBucket>> buckets_;  // writer-side
+  std::atomic<const View*> published_{nullptr};
   std::vector<uint32_t> free_rows_;
   uint64_t next_seq_ = 0;
+  bool dirty_ = false;
+  bool in_batch_ = false;
 };
 
 }  // namespace ipsa::table

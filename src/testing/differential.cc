@@ -135,7 +135,10 @@ PktResult ToPktResult(const telemetry::ProcessResult& r,
 
 class PbmHarness : public Harness {
  public:
-  explicit PbmHarness(arch::ExecMode mode) : ctl_(dev_, {}), mode_(mode) {}
+  explicit PbmHarness(arch::ExecMode mode,
+                      const pisa::PisaOptions& options = {},
+                      const compiler::PisaBackendOptions& compiler_options = {})
+      : dev_(options), ctl_(dev_, compiler_options), mode_(mode) {}
 
   Status Load(const CaseFile& c) override {
     telemetry::TelemetryConfig tc;
@@ -189,8 +192,11 @@ class IpbmHarness : public Harness {
  public:
   enum class Mode { kInterp, kCompiled, kParallel };
 
-  IpbmHarness(Mode mode, uint32_t workers)
-      : ctl_(dev_, {}), mode_(mode), workers_(workers) {}
+  IpbmHarness(Mode mode, uint32_t workers,
+              const ipbm::IpbmOptions& options = {},
+              const compiler::Rp4bcOptions& compiler_options = {})
+      : dev_(options), ctl_(dev_, compiler_options), mode_(mode),
+        workers_(workers) {}
 
   Status Load(const CaseFile& c) override {
     telemetry::TelemetryConfig tc;
@@ -492,6 +498,29 @@ std::string CompareDeviceCounters(const ConfigRun& a, const ConfigRun& b) {
   return out.str();
 }
 
+// Largest `size = N;` declared in the case's programs. The rendered text is
+// scanned (rather than threading GeneratedCase through) so replayed corpus
+// files get the same pool sizing as freshly generated cases.
+uint32_t MaxDeclaredTableSize(const CaseFile& c) {
+  uint32_t max_size = 0;
+  for (const std::string* text : {&c.p4_v1, &c.p4_v2}) {
+    size_t at = 0;
+    while ((at = text->find("size = ", at)) != std::string::npos) {
+      at += 7;
+      uint64_t v = 0;
+      while (at < text->size() && (*text)[at] >= '0' && (*text)[at] <= '9' &&
+             v < (1ull << 32)) {
+        v = v * 10 + static_cast<uint64_t>((*text)[at] - '0');
+        ++at;
+      }
+      max_size = std::max(
+          max_size,
+          static_cast<uint32_t>(std::min<uint64_t>(v, (1ull << 32) - 1)));
+    }
+  }
+  return max_size;
+}
+
 }  // namespace
 
 Result<DiffReport> RunCase(const CaseFile& c, const DiffOptions& options) {
@@ -505,12 +534,44 @@ Result<DiffReport> RunCase(const CaseFile& c, const DiffOptions& options) {
     bool prev;
   } guard(options.inject_fault);
 
-  PbmHarness pbm_i(arch::ExecMode::kInterpret);
-  PbmHarness pbm_c(arch::ExecMode::kCompile);
-  PbmHarness pbm_s(arch::ExecMode::kSpecialize);
-  IpbmHarness ipbm_i(IpbmHarness::Mode::kInterp, options.parallel_workers);
-  IpbmHarness ipbm_c(IpbmHarness::Mode::kCompiled, options.parallel_workers);
-  IpbmHarness ipbm_p(IpbmHarness::Mode::kParallel, options.parallel_workers);
+  // Devices run at their default sizes unless the case declares a table too
+  // big for the default pools (the million-entry sweep). Then the pools are
+  // deepened to fit: ipbm grows its one shared pool by roughly the table's
+  // footprint, while pbm must give EVERY stage cluster a full-size slice —
+  // its memory is prorated per stage and the table's placement is the
+  // compiler's choice, which is exactly the proration cost the paper
+  // contrasts against. Stage counts drop to what generated programs can
+  // need (4 ingress / 2 egress apply blocks, plus slack) to bound the
+  // eager pool allocation.
+  const uint32_t max_size = MaxDeclaredTableSize(c);
+  pisa::PisaOptions pbm_options;
+  compiler::PisaBackendOptions pbm_compiler;
+  ipbm::IpbmOptions ipbm_options;
+  compiler::Rp4bcOptions ipbm_compiler;
+  if (max_size > 65536) {
+    ipbm_options.sram_depth = 8192;
+    ipbm_options.sram_blocks = max_size / 8192 + 32;
+    ipbm_compiler.sram_depth = ipbm_options.sram_depth;
+    ipbm_compiler.sram_blocks = ipbm_options.sram_blocks;
+    pbm_options.physical_ingress_stages = 5;
+    pbm_options.physical_egress_stages = 3;
+    pbm_options.sram_depth = 16384;
+    pbm_options.sram_blocks_per_stage = max_size / 16384 + 8;
+    pbm_compiler.physical_ingress_stages = pbm_options.physical_ingress_stages;
+    pbm_compiler.physical_egress_stages = pbm_options.physical_egress_stages;
+    pbm_compiler.sram_depth = pbm_options.sram_depth;
+    pbm_compiler.sram_blocks_per_stage = pbm_options.sram_blocks_per_stage;
+  }
+
+  PbmHarness pbm_i(arch::ExecMode::kInterpret, pbm_options, pbm_compiler);
+  PbmHarness pbm_c(arch::ExecMode::kCompile, pbm_options, pbm_compiler);
+  PbmHarness pbm_s(arch::ExecMode::kSpecialize, pbm_options, pbm_compiler);
+  IpbmHarness ipbm_i(IpbmHarness::Mode::kInterp, options.parallel_workers,
+                     ipbm_options, ipbm_compiler);
+  IpbmHarness ipbm_c(IpbmHarness::Mode::kCompiled, options.parallel_workers,
+                     ipbm_options, ipbm_compiler);
+  IpbmHarness ipbm_p(IpbmHarness::Mode::kParallel, options.parallel_workers,
+                     ipbm_options, ipbm_compiler);
 
   std::vector<std::pair<Harness*, std::string>> configs = {
       {&pbm_i, "pbm-interp"},   {&pbm_c, "pbm-compiled"},
@@ -766,6 +827,24 @@ Result<CaseFile> ShrinkCase(const GeneratedCase& gen,
   bool changed = true;
   while (changed) {
     changed = false;
+
+    // 0. Declared table sizes: a repro that fails with a 64-entry table is
+    // far cheaper to replay than one needing million-entry pools, and doing
+    // this first makes every later shrink trial cheap too.
+    for (bool egress : {false, true}) {
+      size_t ntables =
+          (egress ? cur.spec.egress : cur.spec.ingress).tables.size();
+      for (size_t t = 0; t < ntables; ++t) {
+        ControlSpec& ctl = egress ? cur.spec.egress : cur.spec.ingress;
+        if (ctl.tables[t].size <= 64) continue;
+        GeneratedCase trial = cur;
+        (egress ? trial.spec.egress : trial.spec.ingress).tables[t].size = 64;
+        if (StillFails(trial, options)) {
+          cur = std::move(trial);
+          changed = true;
+        }
+      }
+    }
 
     // 1. The update op (with its whole snippet machinery).
     if (HasUpdateOp(cur)) {

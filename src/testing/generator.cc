@@ -130,7 +130,20 @@ TableSpec GenTable(Rng& rng, const ProgramSpec& spec, const std::string& name,
   } else {
     t.match_kind = "hash";
   }
-  t.size = t.match_kind == "hash" ? 8 : 64;
+  // Size sweep: mostly small tables, sometimes mid-size ones (deeper shard
+  // indexes, more pool blocks per claim). Million-entry specs are promoted
+  // later in GenerateCase — at most one per program, so a case's pool
+  // footprint stays bounded.
+  if (t.match_kind == "hash") {
+    t.size = 8;
+  } else if (t.match_kind == "ternary") {
+    // TCAM is the scarcest resource (PISA prorates 2 blocks x 512 rows per
+    // stage), so ternary tables stay small.
+    t.size = 64;
+  } else {
+    uint64_t size_roll = rng.Below(10);
+    t.size = size_roll < 7 ? 64 : (size_roll < 9 ? 256 : 4096);
+  }
 
   // Key candidates: the scope header's fields; meta-only tables key on
   // ingress_port (hits are predictable) or a user metadata field.
@@ -347,6 +360,23 @@ GeneratedCase GenerateCase(uint64_t seed) {
 
   GenControl(rng, spec, spec.ingress, "ti", 2, 4);
   GenControl(rng, spec, spec.egress, "te", 1, 2);
+  // Million-entry sweep: occasionally one SRAM-backed table declares a
+  // million-entry footprint. At most one per program — the differential
+  // harnesses size their pools from the largest declared table, and two
+  // such claims would not fit a PISA stage cluster.
+  if (rng.Chance(1, 12)) {
+    std::vector<TableSpec*> sweepable;
+    for (ControlSpec* c : {&spec.ingress, &spec.egress}) {
+      for (TableSpec& t : c->tables) {
+        if (t.match_kind == "exact" || t.match_kind == "lpm") {
+          sweepable.push_back(&t);
+        }
+      }
+    }
+    if (!sweepable.empty()) {
+      sweepable[rng.Below(sweepable.size())]->size = 1u << 20;
+    }
+  }
   // The update target: v2 changes this action's version constant, so the
   // in-situ snippet touches exactly one stage.
   spec.ingress.tables[0].actions[0].versioned = true;

@@ -208,6 +208,80 @@ TEST_F(SwitchdTest, LoopbackForwardingMatchesInProcessDevice) {
   EXPECT_GT(switchd_->counters().udp_tx, 0u);
 }
 
+// The pipelined bulk stream over loopback, with a duplicate key injected
+// mid-stream: the duplicate must surface as one per-entry failure in its
+// frame's ack (strict kAdd), while the stream keeps going, every other op
+// lands, and the device state matches a reference populated per-op.
+TEST_F(SwitchdTest, BulkStreamReportsPartialFailureWithoutAborting) {
+  StartDaemon(ArchKind::kIpsa);
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+
+  auto installed = client.Install(rpc::InstallKind::kBaseP4,
+                                  controller::designs::BaseP4());
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  auto api = client.FetchApi();
+  ASSERT_TRUE(api.ok());
+  std::vector<rpc::TableOp> ops =
+      CollectOps(*api, &controller::PopulateBaseline);
+  ASSERT_GT(ops.size(), 8u);
+
+  // A duplicate of the first op, planted mid-stream. With 4-op frames and a
+  // 2-frame window it lands while later frames are already on the wire.
+  const size_t dup_at = ops.size() / 2;
+  ops.insert(ops.begin() + dup_at, ops.front());
+
+  rpc::BulkOptions bulk;
+  bulk.window = 2;
+  bulk.ops_per_frame = 4;
+  const uint64_t want_frames = (ops.size() + 3) / 4;
+  uint64_t acks = 0;
+  auto res = client.ApplyBulk(ops, bulk, [&](const rpc::BulkProgress& p) {
+    acks = p.frames_acked;
+    EXPECT_EQ(p.frames_total, want_frames);
+  });
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(acks, want_frames);
+  EXPECT_EQ(res->applied, ops.size() - 1);
+  ASSERT_EQ(res->failures.size(), 1u);
+  // The failure's index is rebased to the caller's op list, and its code
+  // survives the wire round-trip.
+  EXPECT_EQ(res->failures[0].index, dup_at);
+  EXPECT_EQ(res->failures[0].code,
+            static_cast<uint16_t>(StatusCode::kAlreadyExists));
+
+  // The session survived the partial failure.
+  auto epoch = client.QueryEpoch();
+  ASSERT_TRUE(epoch.ok());
+
+  // Forwarding equivalence against a per-op populated reference proves the
+  // batched per-frame publication converged to the same table state.
+  IpsaBackend ref;
+  ASSERT_TRUE(
+      ref.Install(rpc::InstallKind::kBaseP4, controller::designs::BaseP4())
+          .ok());
+  for (size_t k = 0; k < ops.size(); ++k) {
+    if (k == dup_at) continue;
+    ASSERT_TRUE(ref.ApplyTableOp(ops[k]).ok());
+  }
+  RegisterPeers();
+  for (uint32_t i = 0; i < 8; ++i) {
+    AssertForwardsLikeReference(ref, i, static_cast<uint16_t>(6000 + i));
+  }
+}
+
+// A bulk frame before any design is installed fails at frame level (status
+// prefix), which aborts the stream — distinct from per-op failures.
+TEST_F(SwitchdTest, BulkStreamWithoutDesignFailsFrameLevel) {
+  StartDaemon(ArchKind::kIpsa);
+  rpc::Client client(MakeClientOptions(switchd_->control_port()));
+  rpc::TableOp op;
+  op.op = rpc::TableOpKind::kAdd;
+  op.table = "nope";
+  auto res = client.ApplyBulk({op});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kFailedPrecondition);
+}
+
 // Batch sizes outside [kMinUdpBatch, kMaxUdpBatch] must fail Start()
 // cleanly — never bind a socket with a nonsense burst configuration.
 TEST(SwitchdOptionsValidation, RejectsBatchSizesOutsideBounds) {

@@ -60,6 +60,25 @@ TEST(FuzzTest, GeneratedCasesRunCleanAcrossAllConfigurations) {
   }
 }
 
+// The million-entry size sweep end to end: find a generated case declaring
+// a 2^20-entry table, then run the full differential matrix over it. The
+// harnesses must size their pools from the declared maximum (the default
+// pools hold ~256k rows) and all six configurations must stay equivalent.
+TEST(FuzzTest, MillionEntrySpecRunsCleanAcrossAllConfigurations) {
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    auto cf = RenderCase(GenerateCase(seed));
+    ASSERT_TRUE(cf.ok()) << "seed " << seed << ": " << cf.status().ToString();
+    if (cf->p4_v1.find("size = 1048576") == std::string::npos) continue;
+    auto report = RunCase(*cf);
+    ASSERT_TRUE(report.ok()) << "seed " << seed << ": "
+                             << report.status().ToString();
+    EXPECT_FALSE(report->diverged) << "seed " << seed << ": "
+                                   << report->detail;
+    return;
+  }
+  FAIL() << "no seed in [1,100] produced a million-entry table spec";
+}
+
 // The full failure workflow on an intentionally broken compiled path: the
 // injected fault must be detected, the shrunk repro must survive a
 // serialize/parse round trip, and the repro must replay to failure with the

@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
-# Configure, build and run the full test suite under ASan + UBSan.
+# Configure, build and run the full test suite under a sanitizer.
 #
-# Usage: tools/run_sanitized.sh [--fuzz-seconds=N] [--fuzz-only] [ctest args...]
+# Usage: [IPSA_SANITIZE=mode] tools/run_sanitized.sh \
+#            [--fuzz-seconds=N] [--fuzz-only] [ctest args...]
 #
+#   IPSA_SANITIZE     address (default): ASan + UBSan in build-asan/.
+#                     thread: TSan in build-tsan/ — the gate for the RCU
+#                     entry-publication paths; point it at the churn suite
+#                     with `-R ipsa_churn_test` for a quick data-race check.
 #   --fuzz-seconds=N  after the suite, run a bounded rp4fuzz round (N seconds
 #                     of cases) with the sanitized binary; repro files land
 #                     in fuzz-artifacts/.
 #   --fuzz-only       skip ctest (and only build rp4fuzz); use together with
 #                     --fuzz-seconds for the CI fuzz job's sanitized round.
 #
-# Uses a separate build tree (build-asan/) so the regular build stays fast.
+# Uses separate build trees so the regular build stays fast.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+mode="${IPSA_SANITIZE:-address}"
+case "$mode" in
+  address|ON|on) mode=address ;;
+  thread) ;;
+  *) echo "unknown IPSA_SANITIZE mode: $mode (want address or thread)" >&2
+     exit 2 ;;
+esac
+build_dir="build-asan"
+if [ "$mode" = thread ]; then
+  build_dir="build-tsan"
+fi
 
 fuzz_seconds=0
 fuzz_only=0
@@ -25,22 +42,26 @@ for a in "$@"; do
   esac
 done
 
-cmake -B build-asan -DIPSA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake -B "$build_dir" -DIPSA_SANITIZE="$mode" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 if [ "$fuzz_only" -eq 1 ]; then
-  cmake --build build-asan -j"$(nproc)" --target rp4fuzz
+  cmake --build "$build_dir" -j"$(nproc)" --target rp4fuzz
 else
-  cmake --build build-asan -j"$(nproc)"
+  cmake --build "$build_dir" -j"$(nproc)"
 fi
 
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+if [ "$mode" = thread ]; then
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+else
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+fi
 
 if [ "$fuzz_only" -eq 0 ]; then
-  ctest --test-dir build-asan --output-on-failure ${args[@]+"${args[@]}"}
+  ctest --test-dir "$build_dir" --output-on-failure ${args[@]+"${args[@]}"}
 fi
 
 if [ "$fuzz_seconds" -gt 0 ]; then
   mkdir -p fuzz-artifacts
-  ./build-asan/tools/rp4fuzz --seconds="$fuzz_seconds" --seed-from-env \
+  ./"$build_dir"/tools/rp4fuzz --seconds="$fuzz_seconds" --seed-from-env \
       --out-dir=fuzz-artifacts
 fi

@@ -55,6 +55,13 @@ constexpr char kUsage[] =
     "                            probe-remove, telemetry, telemetry-remove\n"
     "  populate [which]          batch-install entries: base (default),\n"
     "                            ecmp, srv6\n"
+    "    --stream                use the pipelined bulk stream instead of\n"
+    "                            one batch frame: strict adds, per-entry\n"
+    "                            failures, windowed acks; with --json each\n"
+    "                            window ack is one NDJSON progress line\n"
+    "                            followed by a final summary object\n"
+    "    --window N              bulk frames in flight before blocking on\n"
+    "                            the oldest ack (default 8)\n"
     "  ops <file>                apply table ops from a script file, batched\n"
     "  stats                     device counters and per-table stats\n"
     "  metrics                   telemetry snapshot: per-port latency\n"
@@ -149,7 +156,8 @@ Status DoInstall(rpc::Client& client, rpc::InstallKind kind,
   return OkStatus();
 }
 
-Status DoPopulate(rpc::Client& client, const std::string& which) {
+Status DoPopulate(rpc::Client& client, const std::string& which, bool stream,
+                  uint32_t window, bool json) {
   IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api, client.FetchApi());
   std::vector<rpc::TableOp> ops;
   controller::AddEntryFn collect = [&ops](const std::string& table,
@@ -172,10 +180,57 @@ Status DoPopulate(rpc::Client& client, const std::string& which) {
     return InvalidArgument("populate: unknown set '" + which +
                            "' (expected base|ecmp|srv6)");
   }
-  IPSA_ASSIGN_OR_RETURN(rpc::TableBatchResponse resp,
-                        client.ApplyBatch(ops));
-  std::printf("populated %s: %u entries installed\n",
-              which.empty() ? "base" : which.c_str(), resp.applied);
+  const char* label = which.empty() ? "base" : which.c_str();
+  if (!stream) {
+    IPSA_ASSIGN_OR_RETURN(rpc::TableBatchResponse resp,
+                          client.ApplyBatch(ops));
+    std::printf("populated %s: %u entries installed\n", label, resp.applied);
+    return OkStatus();
+  }
+
+  rpc::BulkOptions bulk;
+  if (window > 0) bulk.window = window;
+  auto progress = [json](const rpc::BulkProgress& p) {
+    if (json) {
+      util::Json j = util::Json::Object();
+      j["frames_acked"] = p.frames_acked;
+      j["frames_total"] = p.frames_total;
+      j["ops_acked"] = p.ops_acked;
+      j["applied"] = p.applied;
+      j["failed"] = p.failed;
+      std::printf("%s\n", j.Dump(0).c_str());
+    } else {
+      std::printf("frame %llu/%llu: %llu applied, %llu failed\n",
+                  (unsigned long long)p.frames_acked,
+                  (unsigned long long)p.frames_total,
+                  (unsigned long long)p.applied,
+                  (unsigned long long)p.failed);
+    }
+    std::fflush(stdout);
+  };
+  IPSA_ASSIGN_OR_RETURN(rpc::BulkResult res,
+                        client.ApplyBulk(ops, bulk, progress));
+  if (json) {
+    util::Json out = util::Json::Object();
+    out["populated"] = std::string(label);
+    out["applied"] = res.applied;
+    util::Json fails = util::Json::Array();
+    for (const rpc::BulkFailure& f : res.failures) {
+      util::Json jf = util::Json::Object();
+      jf["index"] = f.index;
+      jf["code"] = f.code;
+      jf["message"] = f.message;
+      fails.push_back(std::move(jf));
+    }
+    out["failures"] = std::move(fails);
+    std::printf("%s\n", out.Dump(0).c_str());
+    return OkStatus();
+  }
+  std::printf("populated %s (streamed): %llu entries installed, %zu failed\n",
+              label, (unsigned long long)res.applied, res.failures.size());
+  for (const rpc::BulkFailure& f : res.failures) {
+    std::printf("  op %u: [%u] %s\n", f.index, f.code, f.message.c_str());
+  }
   return OkStatus();
 }
 
@@ -567,12 +622,20 @@ int Main(int argc, char** argv) {
   // --json may appear anywhere after the command (stats/metrics/trace), as
   // may --watch <ms> and --count <n> (metrics only).
   bool json = false;
+  bool stream = false;
+  uint32_t stream_window = 0;
   uint32_t watch_ms = 0;
   uint64_t watch_count = 0;
   for (size_t a = 0; a < args.size();) {
     if (args[a] == "--json") {
       json = true;
       args.erase(args.begin() + a);
+    } else if (args[a] == "--stream") {
+      stream = true;
+      args.erase(args.begin() + a);
+    } else if (args[a] == "--window" && a + 1 < args.size()) {
+      stream_window = static_cast<uint32_t>(std::atoi(args[a + 1].c_str()));
+      args.erase(args.begin() + a, args.begin() + a + 2);
     } else if (args[a] == "--watch" && a + 1 < args.size()) {
       watch_ms = static_cast<uint32_t>(std::atoi(args[a + 1].c_str()));
       args.erase(args.begin() + a, args.begin() + a + 2);
@@ -585,6 +648,11 @@ int Main(int argc, char** argv) {
   }
   if (watch_ms > 0 && cmd != "metrics") {
     std::fprintf(stderr, "switchctl: --watch only applies to metrics\n");
+    return 2;
+  }
+  if ((stream || stream_window > 0) && cmd != "populate") {
+    std::fprintf(stderr,
+                 "switchctl: --stream/--window only apply to populate\n");
     return 2;
   }
 
@@ -622,7 +690,8 @@ int Main(int argc, char** argv) {
       s = src.ok() ? DoInstall(client, rpc::InstallKind::kScript, *src)
                    : src.status();
     } else if (cmd == "populate" && args.size() <= 1) {
-      s = DoPopulate(client, args.empty() ? "" : args[0]);
+      s = DoPopulate(client, args.empty() ? "" : args[0], stream,
+                     stream_window, json);
     } else if (cmd == "ops" && args.size() == 1) {
       s = DoOps(client, args[0]);
     } else if (cmd == "stats" && args.empty()) {

@@ -45,6 +45,13 @@ constexpr char kUsage[] =
     "                       (default 64)\n"
     "  --metrics-port N     Prometheus /metrics TCP port (default\n"
     "                       0 = ephemeral)\n"
+    "  --sram-blocks N      SRAM pool blocks (per stage on pisa; default\n"
+    "                       0 = arch default)\n"
+    "  --sram-depth N       rows per SRAM block (default 0 = arch default);\n"
+    "                       million-entry tables need a deeper pool\n"
+    "  --tcam-blocks N      TCAM pool blocks (per stage on pisa; default\n"
+    "                       0 = arch default)\n"
+    "  --tcam-depth N       rows per TCAM block (default 0 = arch default)\n"
     "  --no-telemetry       disable the telemetry collector (metrics port\n"
     "                       still binds but reports an empty snapshot)\n"
     "  --trace-every N      sample every Nth packet into the trace ring\n"
@@ -162,6 +169,18 @@ int Main(int argc, char** argv) {
       auto p = ParseUint(v ? v : "", "--metrics-port", 65535);
       if (p.ok()) {
         options.metrics_port = static_cast<uint16_t>(*p);
+      } else {
+        s = p.status();
+      }
+    } else if (a == "--sram-blocks" || a == "--sram-depth" ||
+               a == "--tcam-blocks" || a == "--tcam-depth") {
+      const char* v = value();
+      auto p = ParseUint(v ? v : "", a.c_str(), 1u << 24);
+      if (p.ok()) {
+        if (a == "--sram-blocks") options.pool.sram_blocks = *p;
+        if (a == "--sram-depth") options.pool.sram_depth = *p;
+        if (a == "--tcam-blocks") options.pool.tcam_blocks = *p;
+        if (a == "--tcam-depth") options.pool.tcam_depth = *p;
       } else {
         s = p.status();
       }
