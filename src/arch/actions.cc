@@ -239,4 +239,26 @@ const ActionDef& NoAction() {
   return kNoAction;
 }
 
+namespace {
+
+bool OpsUseExternOps(const std::vector<ActionOp>& ops) {
+  for (const ActionOp& op : ops) {
+    if (ExprUsesExternOp(op.value) || ExprUsesExternOp(op.raw_offset) ||
+        ExprUsesExternOp(op.index) || ExprUsesExternOp(op.cond) ||
+        ExprUsesExternOp(op.push_size_bytes)) {
+      return true;
+    }
+    if (OpsUseExternOps(op.then_ops) || OpsUseExternOps(op.else_ops)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ActionUsesExternOps(const ActionDef& action) {
+  return OpsUseExternOps(action.body);
+}
+
 }  // namespace ipsa::arch

@@ -103,4 +103,9 @@ Status ExecuteOps(const std::vector<ActionOp>& ops, const EvalEnv& env);
 // The canonical no-op action (action_id 0 by convention).
 const ActionDef& NoAction();
 
+// True if any expression in the action body uses a fixed-point extern op
+// (kSatAdd/kFxpQuantize/kFxpDequantize) — the hw model's unit of pricing
+// for the extern ALU.
+bool ActionUsesExternOps(const ActionDef& action);
+
 }  // namespace ipsa::arch

@@ -469,6 +469,34 @@ Result<Scalar> EvalScalar(const CompiledExpr& e, const CompiledEnv& env) {
         case Expr::Op::kShr:
           r = b.v >= 64 ? 0 : a.v >> b.v;
           break;
+        case Expr::Op::kSatAdd: {
+          uint64_t m = MaskOf(width);
+          uint64_t sum = a.v + b.v;
+          r = (sum < a.v || sum > m) ? m : sum;
+          break;
+        }
+        case Expr::Op::kFxpQuantize: {
+          uint64_t m = MaskOf(width);
+          if (a.v == 0) {
+            r = 0;
+          } else if (b.v >= width) {
+            r = m;
+          } else {
+            r = a.v > (m >> b.v) ? m : (a.v << b.v);
+          }
+          break;
+        }
+        case Expr::Op::kFxpDequantize: {
+          if (b.v == 0) {
+            r = a.v;
+          } else if (b.v > 64) {
+            r = 0;
+          } else {
+            uint64_t q = b.v == 64 ? 0 : a.v >> b.v;
+            r = q + ((a.v >> (b.v - 1)) & 1);
+          }
+          break;
+        }
         default:
           return InternalError("bad binary op");
       }

@@ -168,6 +168,34 @@ Result<mem::BitString> EvalBinaryKernel(Expr::Op op, const mem::BitString& a,
     case Expr::Op::kShr:
       r = vb >= 64 ? 0 : va >> vb;
       break;
+    case Expr::Op::kSatAdd: {
+      uint64_t m = width >= 64 ? ~0ull : ((1ull << width) - 1);
+      uint64_t sum = va + vb;
+      r = (sum < va || sum > m) ? m : sum;
+      break;
+    }
+    case Expr::Op::kFxpQuantize: {
+      uint64_t m = width >= 64 ? ~0ull : ((1ull << width) - 1);
+      if (va == 0) {
+        r = 0;
+      } else if (vb >= width) {
+        r = m;
+      } else {
+        r = va > (m >> vb) ? m : (va << vb);
+      }
+      break;
+    }
+    case Expr::Op::kFxpDequantize: {
+      if (vb == 0) {
+        r = va;
+      } else if (vb > 64) {
+        r = 0;
+      } else {
+        uint64_t q = vb == 64 ? 0 : va >> vb;
+        r = q + ((va >> (vb - 1)) & 1);
+      }
+      break;
+    }
     default:
       return InternalError("bad binary op");
   }
@@ -313,6 +341,12 @@ std::string_view OpName(Expr::Op op) {
       return "<<";
     case Expr::Op::kShr:
       return ">>";
+    case Expr::Op::kSatAdd:
+      return "sat_add";
+    case Expr::Op::kFxpQuantize:
+      return "fxp_quantize";
+    case Expr::Op::kFxpDequantize:
+      return "fxp_dequantize";
   }
   return "?";
 }
@@ -335,10 +369,20 @@ std::string Expr::ToString() const {
     case Kind::kUnary:
       return std::string(OpName(op_)) + "(" + lhs_->ToString() + ")";
     case Kind::kBinary:
+      if (IsExternOp(op_)) {
+        return std::string(OpName(op_)) + "(" + lhs_->ToString() + ", " +
+               rhs_->ToString() + ")";
+      }
       return "(" + lhs_->ToString() + " " + std::string(OpName(op_)) + " " +
              rhs_->ToString() + ")";
   }
   return "?";
+}
+
+bool ExprUsesExternOp(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (Expr::IsExternOp(e->op())) return true;
+  return ExprUsesExternOp(e->lhs()) || ExprUsesExternOp(e->rhs());
 }
 
 }  // namespace ipsa::arch

@@ -76,7 +76,18 @@ class Expr {
     kBitXor,
     kShl,
     kShr,
+    // fixed-point externs (call syntax in both front ends; see
+    // docs/compute.md for the exact semantics)
+    kSatAdd,        // sat_add(a, b): add clamped to the result width
+    kFxpQuantize,   // fxp_quantize(x, s): saturating left shift by s
+    kFxpDequantize, // fxp_dequantize(x, s): right shift by s, round-to-nearest
   };
+
+  // True for ops that print/parse as `name(a, b)` calls rather than infix.
+  static bool IsExternOp(Op op) {
+    return op == Op::kSatAdd || op == Op::kFxpQuantize ||
+           op == Op::kFxpDequantize;
+  }
 
   static ExprPtr Const(mem::BitString v);
   static ExprPtr ConstU(uint64_t v, uint32_t width_bits = 64);
@@ -122,6 +133,10 @@ class Expr {
 };
 
 std::string_view OpName(Expr::Op op);
+
+// True if the tree contains any extern op (sat_add/fxp_*). The hw cost
+// model prices the extern ALU per stage processor that carries one.
+bool ExprUsesExternOp(const ExprPtr& e);
 
 // Operator kernels shared by the interpreter (Expr::Eval) and the compiled
 // stage, so the two paths cannot drift semantically. kAnd/kOr are NOT

@@ -66,6 +66,9 @@ constexpr OpNamePair kOps[] = {
     {Expr::Op::kMul, "*", false},     {Expr::Op::kBitAnd, "&", false},
     {Expr::Op::kBitOr, "|", false},   {Expr::Op::kBitXor, "^", false},
     {Expr::Op::kShl, "<<", false},    {Expr::Op::kShr, ">>", false},
+    {Expr::Op::kSatAdd, "sat_add", false},
+    {Expr::Op::kFxpQuantize, "fxp_quantize", false},
+    {Expr::Op::kFxpDequantize, "fxp_dequantize", false},
 };
 
 Result<OpNamePair> OpFromName(std::string_view name) {

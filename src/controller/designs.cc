@@ -807,6 +807,124 @@ remove --func_name fab_probe
   return kSource;
 }
 
+// --- C5: in-network compute — allreduce --------------------------------------
+
+namespace {
+
+// Shared between v1 and v2 so the in-place update demonstrably keeps the
+// aggregation semantics (and therefore the register state) intact. 256 slots;
+// the slot index is masked so a hostile slot value cannot run off the
+// register file. The worker bitmap register gives exactly-once accumulation
+// under retransmits; `full` (the all-workers mask) arrives as action data so
+// the controller picks the job size at entry-install time.
+std::string AllreduceSnippetSource(bool v2) {
+  std::string dup_track = v2 ? "    alr_dups[(alr.slot & 255)] = "
+                               "(alr_dups[(alr.slot & 255)] + 1);\n"
+                             : "";
+  std::string regs = std::string("register<bit<64>> alr_val0[256];\n") +
+                     "register<bit<64>> alr_val1[256];\n" +
+                     "register<bit<64>> alr_seen[256];\n" +
+                     (v2 ? "register<bit<64>> alr_dups[256];\n" : "");
+  return regs + R"rp4(header alr {
+  bit<16> op;
+  bit<16> slot;
+  bit<16> worker;
+  bit<16> shift;
+  bit<32> tag_magic;
+  bit<32> tag_flow;
+  bit<32> tag_seq;
+  bit<64> v0;
+  bit<64> v1;
+  implicit parser(op) { }
+}
+table alr_ctl {
+  key = { alr.op: exact; }
+  size = 4;
+}
+action alr_contribute(bit<64> full) {
+  if ((((alr_seen[(alr.slot & 255)] >> alr.worker) & 1) == 1)) {
+)rp4" + dup_track +
+         R"rp4(    if ((alr_seen[(alr.slot & 255)] == full)) {
+      alr.op = 2;
+      alr.v0 = fxp_dequantize(alr_val0[(alr.slot & 255)], alr.shift);
+      alr.v1 = fxp_dequantize(alr_val1[(alr.slot & 255)], alr.shift);
+    } else {
+      drop();
+    }
+  } else {
+    alr_val0[(alr.slot & 255)] = sat_add(alr_val0[(alr.slot & 255)], fxp_quantize(alr.v0, alr.shift));
+    alr_val1[(alr.slot & 255)] = sat_add(alr_val1[(alr.slot & 255)], fxp_quantize(alr.v1, alr.shift));
+    alr_seen[(alr.slot & 255)] = (alr_seen[(alr.slot & 255)] | (1 << alr.worker));
+    if ((alr_seen[(alr.slot & 255)] == full)) {
+      alr.op = 2;
+      alr.v0 = fxp_dequantize(alr_val0[(alr.slot & 255)], alr.shift);
+      alr.v1 = fxp_dequantize(alr_val1[(alr.slot & 255)], alr.shift);
+    } else {
+      drop();
+    }
+  }
+}
+stage alr_agg {
+  parser { ipv4; alr; }
+  matcher {
+    if (alr.isValid() && alr.op == 1) alr_ctl.apply();
+    else;
+  }
+  executor {
+    1: alr_contribute;
+    default: NoAction;
+  }
+}
+)rp4";
+}
+
+}  // namespace
+
+const std::string& AllreduceRp4Snippet() {
+  static const std::string kSource = AllreduceSnippetSource(/*v2=*/false);
+  return kSource;
+}
+
+const std::string& AllreduceV2Rp4Snippet() {
+  static const std::string kSource = AllreduceSnippetSource(/*v2=*/true);
+  return kSource;
+}
+
+const std::string& AllreduceScript() {
+  // Contributions are routed packets (dst = collector), so the stage sits
+  // on the routed path: between the FIB and the nexthop resolution. The
+  // new header hangs off IPv4 protocol 153 (experimentation, RFC 3692).
+  static const std::string kSource = R"(
+load alr.rp4 --func_name alr
+link_header --pre ipv4 --next alr --tag 153
+add_link ipv4_lpm alr_agg
+add_link alr_agg nexthop
+del_link ipv4_lpm nexthop
+)";
+  return kSource;
+}
+
+const std::string& FabricAllreduceScript() {
+  // On a leaf the fab_ecmp selector already owns the ipv4_lpm -> nexthop
+  // edge; aggregation splices after it. Local-destined results still work:
+  // the nexthop stage overwrites fab_set_spine's choice for local routes.
+  static const std::string kSource = R"(
+load alr.rp4 --func_name alr
+link_header --pre ipv4 --next alr --tag 153
+add_link fab_ecmp alr_agg
+add_link alr_agg nexthop
+del_link fab_ecmp nexthop
+)";
+  return kSource;
+}
+
+const std::string& AllreduceUpdateScript() {
+  static const std::string kSource = R"(
+update alr_v2.rp4 --func_name alr
+)";
+  return kSource;
+}
+
 Result<std::string> ResolveSnippet(const std::string& file) {
   if (file == "ecmp.rp4") return EcmpRp4Snippet();
   if (file == "fab_ecmp.rp4") return FabricEcmpRp4Snippet();
@@ -816,6 +934,8 @@ Result<std::string> ResolveSnippet(const std::string& file) {
   if (file == "probe.rp4") return ProbeRp4Snippet();
   if (file == "probe_v2.rp4") return ProbeV2Rp4Snippet();
   if (file == "telemetry.rp4") return TelemetryRp4Snippet();
+  if (file == "alr.rp4") return AllreduceRp4Snippet();
+  if (file == "alr_v2.rp4") return AllreduceV2Rp4Snippet();
   return NotFound("unknown snippet file '" + file + "'");
 }
 

@@ -84,8 +84,29 @@ const std::string& FabricProbeRp4Snippet();
 const std::string& FabricProbeScript();
 const std::string& FabricProbeRemoveScript();
 
+// --- C5: in-network compute — SwitchML-style allreduce -----------------------
+// A chunked aggregation stage (docs/compute.md): contributions arrive as
+// IPv4 protocol-153 packets carrying an `alr` header (slot, worker id,
+// fixed-point scale shift, two 64-bit values). Per-slot registers accumulate
+// sat_add(acc, fxp_quantize(v, shift)); a per-slot worker bitmap register
+// makes retransmitted contributions exactly-once. The contribution that
+// completes a slot is rewritten into the result (op=2, dequantized
+// aggregates) and forwarded on to the collector; non-final contributions
+// drop at the device. A duplicate arriving after completion re-emits the
+// result, so a lost result packet is repaired by any retransmit.
+const std::string& AllreduceRp4Snippet();
+// Splices alr_agg between ipv4_lpm and nexthop on a plain base design.
+const std::string& AllreduceScript();
+// Same splice on a leaf that already carries the fab_ecmp selector stage
+// (src/fabric/leaf_spine.cc): alr_agg goes between fab_ecmp and nexthop.
+const std::string& FabricAllreduceScript();
+// In-place v2: identical aggregation semantics plus a duplicate-counting
+// register — aggregation state survives the in-situ update.
+const std::string& AllreduceV2Rp4Snippet();
+const std::string& AllreduceUpdateScript();
+
 // Resolves the snippet file names used inside the scripts
-// (ecmp.rp4 / srv6.rp4 / probe.rp4).
+// (ecmp.rp4 / srv6.rp4 / probe.rp4 / alr.rp4 / ...).
 Result<std::string> ResolveSnippet(const std::string& file);
 
 }  // namespace ipsa::controller::designs

@@ -1,0 +1,217 @@
+#include "fabric/allreduce.h"
+
+#include <string>
+#include <utility>
+
+#include "controller/designs.h"
+#include "controller/runtime_api.h"
+#include "fabric/flow_tag.h"
+#include "net/headers.h"
+#include "net/packet_builder.h"
+
+namespace ipsa::fabric {
+
+namespace {
+
+void PutBe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+void PutBe64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (56 - 8 * i));
+}
+uint16_t GetBe16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] << 8 | p[1]);
+}
+uint64_t GetBe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | p[i];
+  return v;
+}
+
+// Flow ids must be unique per (worker, slot) and disjoint from the ids
+// LeafSpine::MakeFlowPacket mints.
+uint32_t AlrFlowId(uint32_t worker, uint32_t slot) {
+  return 0xA1700000u | (worker << 12) | slot;
+}
+
+}  // namespace
+
+std::optional<AlrFields> ParseAlrPacket(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kAlrPacketBytes) return std::nullopt;
+  if (GetBe16(bytes.data() + 12) != net::kEtherTypeIpv4) return std::nullopt;
+  if (bytes[23] != kAlrIpProto) return std::nullopt;
+  const uint8_t* alr = bytes.data() + kAlrHeaderOffset;
+  AlrFields f;
+  f.op = GetBe16(alr + 0);
+  f.slot = GetBe16(alr + 2);
+  f.worker = GetBe16(alr + 4);
+  f.shift = GetBe16(alr + 6);
+  f.v0 = GetBe64(alr + 20);
+  f.v1 = GetBe64(alr + 28);
+  return f;
+}
+
+AllreduceJob::AllreduceJob(LeafSpine& ls, AllreduceOptions options)
+    : ls_(ls), options_(options) {
+  const auto& o = ls_.options();
+  collector_index_ =
+      ls_.HostIndex(options_.collector_leaf, options_.collector_host);
+  for (uint32_t l = 0; l < o.leaves; ++l) {
+    for (uint32_t h = 0; h < o.hosts_per_leaf; ++h) {
+      if (l == options_.collector_leaf && h == options_.collector_host) {
+        continue;
+      }
+      workers_.push_back({l, h});
+    }
+  }
+}
+
+uint32_t AllreduceJob::aggregation_node() const {
+  return ls_.LeafNode(options_.collector_leaf);
+}
+
+Status AllreduceJob::InstallAggregation() {
+  if (workers_.empty() || workers_.size() > 64) {
+    return InvalidArgument("allreduce needs 1..64 workers, got " +
+                           std::to_string(workers_.size()));
+  }
+  if (options_.slots == 0 || options_.slots > kAlrMaxSlots) {
+    return InvalidArgument("allreduce slots out of range");
+  }
+  const uint32_t node = aggregation_node();
+  IPSA_RETURN_IF_ERROR(
+      ls_.fabric()
+          .InstallOn(node, rpc::InstallKind::kScript,
+                     controller::designs::FabricAllreduceScript())
+          .status());
+  const uint64_t full = workers_.size() == 64
+                            ? ~0ull
+                            : (1ull << workers_.size()) - 1;
+  IPSA_ASSIGN_OR_RETURN(compiler::ApiSpec api, ls_.fabric().node(node).Api());
+  controller::EntryBuilder builder(api);
+  IPSA_ASSIGN_OR_RETURN(
+      table::Entry entry,
+      builder.Build("alr_ctl", "alr_contribute",
+                    {controller::KeyValue(kAlrOpContribute)},
+                    {controller::Bits(64, full)}));
+  return ls_.fabric().ApplyTableOp(
+      node, rpc::TableOp{.op = rpc::TableOpKind::kAdd,
+                         .table = "alr_ctl",
+                         .entry = std::move(entry)});
+}
+
+Status AllreduceJob::SpliceV2() {
+  return ls_.fabric()
+      .InstallOn(aggregation_node(), rpc::InstallKind::kScript,
+                 controller::designs::AllreduceUpdateScript())
+      .status();
+}
+
+uint64_t AllreduceJob::ContributionValue(uint32_t worker, uint32_t slot,
+                                         uint32_t lane) {
+  // splitmix64 over the coordinates; every ~5th value gets its top nibble
+  // forced so per-slot sums saturate the 64-bit accumulator now and then.
+  uint64_t z = (static_cast<uint64_t>(worker) << 40) ^
+               (static_cast<uint64_t>(slot) << 16) ^ lane ^
+               0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  if (z % 5 == 0) z |= 0xF000000000000000ull;
+  return z;
+}
+
+net::Packet AllreduceJob::MakeContribution(uint32_t worker, uint32_t slot,
+                                           uint32_t seq) const {
+  const Worker& w = workers_[worker];
+  uint8_t alr[kAlrHeaderBytes] = {};
+  PutBe16(alr + 0, kAlrOpContribute);
+  PutBe16(alr + 2, static_cast<uint16_t>(slot));
+  PutBe16(alr + 4, static_cast<uint16_t>(worker));
+  PutBe16(alr + 6, static_cast<uint16_t>(options_.shift));
+  PutBe64(alr + 20, ContributionValue(worker, slot, 0));
+  PutBe64(alr + 28, ContributionValue(worker, slot, 1));
+  net::Packet packet =
+      net::PacketBuilder()
+          .Ethernet(net::MacAddr::FromUint64(LeafSpine::LeafMac(w.leaf)),
+                    net::MacAddr::FromUint64(LeafSpine::HostMac(w.leaf, w.host)),
+                    net::kEtherTypeIpv4)
+          .Ipv4(net::Ipv4Addr{LeafSpine::HostIp(w.leaf, w.host)},
+                net::Ipv4Addr{LeafSpine::HostIp(options_.collector_leaf,
+                                                options_.collector_host)},
+                kAlrIpProto, /*ttl=*/64)
+          .RawBytes(alr)
+          .Build();
+  WriteFlowTag(packet, AlrFlowId(worker, slot), seq);
+  return packet;
+}
+
+Status AllreduceJob::InjectContribution(uint32_t worker, uint32_t slot,
+                                        uint32_t seq) {
+  if (worker >= workers_.size()) return InvalidArgument("bad worker index");
+  const Worker& w = workers_[worker];
+  return ls_.fabric().InjectAtHost(ls_.HostIndex(w.leaf, w.host),
+                                   MakeContribution(worker, slot, seq),
+                                   collector_index_);
+}
+
+Status AllreduceJob::CollectResults() {
+  for (net::Packet& packet : ls_.fabric().TakeHostRx(collector_index_)) {
+    std::optional<AlrFields> f = ParseAlrPacket(packet.bytes());
+    if (!f.has_value() || f->op != kAlrOpResult) continue;
+    AlrResult& r = results_[f->slot];
+    if (r.copies > 0 && (r.v0 != f->v0 || r.v1 != f->v1)) {
+      return InternalError("slot " + std::to_string(f->slot) +
+                           " delivered diverging result copies");
+    }
+    r.v0 = f->v0;
+    r.v1 = f->v1;
+    ++r.copies;
+  }
+  return OkStatus();
+}
+
+uint64_t AllreduceJob::GoldenValue(uint32_t slot, uint32_t lane) const {
+  uint64_t acc = 0;
+  for (uint32_t w = 0; w < workers_.size(); ++w) {
+    acc = SatAdd64(acc,
+                   FxpQuantize64(ContributionValue(w, slot, lane),
+                                 options_.shift));
+  }
+  return FxpDequantize64(acc, options_.shift);
+}
+
+Result<AllreduceRunStats> AllreduceJob::RunRange(uint32_t slot_begin,
+                                                 uint32_t slot_end) {
+  if (slot_end > options_.slots || slot_begin > slot_end) {
+    return InvalidArgument("bad slot range");
+  }
+  AllreduceRunStats stats;
+  for (uint32_t round = 0; round < options_.max_rounds; ++round) {
+    bool injected_any = false;
+    for (uint32_t slot = slot_begin; slot < slot_end; ++slot) {
+      if (results_.count(slot) > 0) continue;
+      for (uint32_t w = 0; w < workers_.size(); ++w) {
+        IPSA_RETURN_IF_ERROR(InjectContribution(w, slot, round));
+        ++stats.contributions;
+        injected_any = true;
+      }
+    }
+    if (!injected_any) break;
+    ++stats.rounds;
+    IPSA_RETURN_IF_ERROR(ls_.fabric().RunUntilQuiescent().status());
+    IPSA_RETURN_IF_ERROR(CollectResults());
+  }
+  for (uint32_t slot = slot_begin; slot < slot_end; ++slot) {
+    if (results_.count(slot) == 0) {
+      return DeadlineExceeded("allreduce slot " + std::to_string(slot) +
+                              " incomplete after " +
+                              std::to_string(stats.rounds) + " rounds");
+    }
+    stats.results += results_[slot].copies;
+  }
+  return stats;
+}
+
+}  // namespace ipsa::fabric

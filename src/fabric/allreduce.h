@@ -1,0 +1,156 @@
+// SwitchML-style in-network allreduce over the fabric harness.
+//
+// Workers are fabric hosts; one switch (the collector's leaf) carries the
+// in-situ-spliced aggregation stage (controller::designs::AllreduceRp4Snippet,
+// docs/compute.md). Every worker sends one contribution packet per chunk
+// slot, addressed to the collector host; the aggregation stage accumulates
+// sat_add(acc, fxp_quantize(v, shift)) into per-slot registers, tracks a
+// per-slot worker bitmap for exactly-once handling of retransmits, and
+// rewrites the slot-completing contribution into the result packet
+// (op = 2, dequantized aggregates), which the base design then delivers to
+// the collector. Non-final contributions drop at the device, so the fabric
+// conservation oracle still balances; a duplicate arriving after completion
+// re-emits the result, which is what makes a lost result packet repairable
+// by retransmit.
+//
+// The wire format rides IPv4 protocol 153: eth(14) + ipv4(20) + alr(36).
+// The alr header embeds the fabric flow tag (flow_tag.h) at packet offset
+// 42 — exactly where the oracle looks — in fields the pipeline never
+// touches, so contributions and results stay accountable end to end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fabric/leaf_spine.h"
+
+namespace ipsa::fabric {
+
+// --- wire format -------------------------------------------------------------
+
+inline constexpr uint8_t kAlrIpProto = 153;  // RFC 3692 experimentation
+inline constexpr uint16_t kAlrOpContribute = 1;
+inline constexpr uint16_t kAlrOpResult = 2;
+inline constexpr size_t kAlrHeaderOffset = 34;  // eth + ipv4
+inline constexpr size_t kAlrHeaderBytes = 36;
+inline constexpr size_t kAlrPacketBytes = kAlrHeaderOffset + kAlrHeaderBytes;
+inline constexpr uint32_t kAlrMaxSlots = 256;  // register depth in the snippet
+
+struct AlrFields {
+  uint16_t op = 0;
+  uint16_t slot = 0;
+  uint16_t worker = 0;
+  uint16_t shift = 0;
+  uint64_t v0 = 0;
+  uint64_t v1 = 0;
+};
+
+// Parses an allreduce packet (any op). Returns nullopt unless the frame is
+// IPv4 proto 153 and long enough. The embedded flow-tag words are skipped.
+std::optional<AlrFields> ParseAlrPacket(std::span<const uint8_t> bytes);
+
+// --- host-side golden arithmetic ---------------------------------------------
+// Bit-exact mirrors of the width-64 extern semantics (src/arch/expr.cc);
+// tests and benches reduce with these and demand equality with the switch.
+
+inline uint64_t SatAdd64(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  return s < a ? ~0ull : s;
+}
+inline uint64_t FxpQuantize64(uint64_t x, uint64_t s) {
+  if (x == 0) return 0;
+  if (s >= 64) return ~0ull;
+  return x > (~0ull >> s) ? ~0ull : (x << s);
+}
+inline uint64_t FxpDequantize64(uint64_t x, uint64_t s) {
+  if (s == 0) return x;
+  if (s > 64) return 0;
+  uint64_t q = s == 64 ? 0 : x >> s;
+  return q + ((x >> (s - 1)) & 1);
+}
+
+// --- job driver --------------------------------------------------------------
+
+struct AllreduceOptions {
+  uint32_t slots = 8;    // <= kAlrMaxSlots (one register slot per chunk slot)
+  uint32_t shift = 0;    // fixed-point scale shift carried by every packet
+  uint32_t collector_leaf = 0;
+  uint32_t collector_host = 0;
+  uint32_t max_rounds = 64;  // retransmit rounds before giving up
+};
+
+struct AlrResult {
+  uint64_t v0 = 0;
+  uint64_t v1 = 0;
+  uint32_t copies = 0;  // result deliveries seen (dups re-emit the result)
+};
+
+struct AllreduceRunStats {
+  uint32_t rounds = 0;         // injection rounds (1 == lossless)
+  uint64_t contributions = 0;  // packets injected, retransmits included
+  uint64_t results = 0;        // result packets delivered at the collector
+};
+
+// Drives one allreduce job over an existing LeafSpine (whose FabricOptions
+// must have capture_host_rx set so results can be read back). Workers are
+// every host except the collector, densely numbered in (leaf, host) order;
+// at most 64 of them (the bitmap register is 64 bits wide).
+class AllreduceJob {
+ public:
+  AllreduceJob(LeafSpine& ls, AllreduceOptions options);
+
+  // Splices the aggregation stage into the collector's leaf (script install,
+  // no reload) and installs the alr_ctl entry carrying the full-worker mask.
+  Status InstallAggregation();
+  // Mid-job in-situ update to the v2 template (duplicate counting); the
+  // aggregation registers survive.
+  Status SpliceV2();
+
+  uint32_t worker_count() const { return static_cast<uint32_t>(workers_.size()); }
+  uint32_t aggregation_node() const;
+
+  // Deterministic per-(worker, slot, lane) contribution value; mixes in
+  // high-magnitude values so saturation actually fires.
+  static uint64_t ContributionValue(uint32_t worker, uint32_t slot,
+                                    uint32_t lane);
+
+  // Injects worker's contribution for `slot` (seq distinguishes retransmits
+  // of the same contribution — the values are identical by construction).
+  Status InjectContribution(uint32_t worker, uint32_t slot, uint32_t seq);
+
+  // Drains the collector's captured RX and folds any op=2 packets into the
+  // result map. Fails if two result copies for one slot disagree.
+  Status CollectResults();
+  const std::map<uint32_t, AlrResult>& results() const { return results_; }
+
+  // Golden host-side reduction for one slot, same arithmetic as the switch.
+  uint64_t GoldenValue(uint32_t slot, uint32_t lane) const;
+
+  // Runs slots [slot_begin, slot_end): every worker contributes to every
+  // slot, lost contributions/results are repaired by retransmitting
+  // incomplete slots, until every slot's result arrived or max_rounds is
+  // hit. Call in pieces to interleave control-plane work (e.g. SpliceV2)
+  // mid-job.
+  Result<AllreduceRunStats> RunRange(uint32_t slot_begin, uint32_t slot_end);
+  // The whole job in one call.
+  Result<AllreduceRunStats> Run() { return RunRange(0, options_.slots); }
+
+ private:
+  net::Packet MakeContribution(uint32_t worker, uint32_t slot,
+                               uint32_t seq) const;
+
+  LeafSpine& ls_;
+  AllreduceOptions options_;
+  struct Worker {
+    uint32_t leaf = 0;
+    uint32_t host = 0;
+  };
+  std::vector<Worker> workers_;
+  uint32_t collector_index_ = 0;
+  std::map<uint32_t, AlrResult> results_;
+};
+
+}  // namespace ipsa::fabric

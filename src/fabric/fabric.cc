@@ -61,6 +61,7 @@ Result<std::unique_ptr<Fabric>> Fabric::Build(Topology topo,
   }
 
   fab->dropped_base_.assign(fab->nodes_.size(), 0);
+  fab->host_rx_.resize(fab->topo_.hosts.size());
   IPSA_RETURN_IF_ERROR(fab->BeginWindow());
   return fab;
 }
@@ -155,6 +156,9 @@ void Fabric::RouteTx(uint32_t node, daemon::TxPacket& tx) {
   const Attachment& at = attach_[node][tx.port];
   switch (at.kind) {
     case Attachment::Kind::kHost: {
+      if (options_.capture_host_rx) {
+        host_rx_[at.index].push_back(tx.packet);
+      }
       std::optional<FlowTag> tag = ReadFlowTag(tx.packet.bytes());
       if (!tag.has_value()) {
         ++untagged_tx_;
@@ -315,6 +319,13 @@ Result<OracleReport> Fabric::CheckOracle() {
                                      report.link_loss_drops +
                                      report.rx_overflow);
   return report;
+}
+
+std::vector<net::Packet> Fabric::TakeHostRx(uint32_t host_index) {
+  if (host_index >= host_rx_.size()) return {};
+  std::vector<net::Packet> out = std::move(host_rx_[host_index]);
+  host_rx_[host_index].clear();
+  return out;
 }
 
 }  // namespace ipsa::fabric

@@ -41,6 +41,10 @@ struct FabricOptions {
   bool shadow_oracle = false;
   uint64_t loss_seed = 0x5EED5EEDull;  // lossy links reproduce exactly
   int remote_io_timeout_ms = 5000;
+  // Keep a copy of every packet that egresses at a host attachment so a
+  // harness can inspect payloads (e.g. allreduce aggregates), not just
+  // counts. Off by default — benches don't want the copies.
+  bool capture_host_rx = false;
 };
 
 // Window totals; conservation says injected equals the sum of everything
@@ -117,6 +121,9 @@ class Fabric {
   // returns the totals. Does not reset the window.
   Result<OracleReport> CheckOracle();
   const std::map<uint32_t, FlowCount>& flows() const { return flows_; }
+  // Drains the captured packets delivered at `host_index` (empty unless
+  // FabricOptions::capture_host_rx is set).
+  std::vector<net::Packet> TakeHostRx(uint32_t host_index);
   uint64_t shadow_mismatches() const { return shadow_mismatches_; }
   // Human-readable description of the first shadow divergence, if any.
   const std::string& first_shadow_diff() const { return first_shadow_diff_; }
@@ -166,6 +173,7 @@ class Fabric {
   uint64_t rx_overflow_ = 0;
   uint64_t shadow_mismatches_ = 0;
   std::string first_shadow_diff_;
+  std::vector<std::vector<net::Packet>> host_rx_;  // [host] captured egress
   std::vector<uint64_t> dropped_base_;  // per-node packets_dropped baseline
 
   // Per-step scratch (reused capacity).

@@ -44,12 +44,23 @@ struct Calibration {
   double xbar_lut_pct_per_port = 0.16125;
   double xbar_ff_pct_per_port = 0.00875;
 
+  // Fixed-point extern ALU (sat_add + quantize/dequantize barrel shifter),
+  // instantiated per stage processor whose loaded template uses the
+  // externs. Sized from a 64-bit saturating adder + 64-bit shifter pair on
+  // the U280 fabric (~450 LUTs, ~150 FFs): small next to a MAU, but real —
+  // in-network compute is not free on the die.
+  double fxp_alu_lut_pct = 0.035;
+  double fxp_alu_ff_pct = 0.012;
+
   // --- power, Watt ----------------------------------------------------------
   double static_power_w = 0.77;
   double pisa_parser_power_w = 0.10;
   double mau_dynamic_w = 0.2275;  // 8 stages -> 1.82 W dynamic, 2.69 W total
   double tsp_dynamic_w = 0.2590;  // ~10% more than PISA at 8 active stages
   double xbar_power_w = 0.11;
+  // Dynamic power of one active extern ALU (scaled from its LUT share of a
+  // TSP's dynamic budget).
+  double fxp_alu_dynamic_w = 0.012;
 
   // --- config-plane latency (Table 1's t_L hardware rows) -------------------
   // One 32-bit config-word transaction over the control channel, including

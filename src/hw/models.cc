@@ -51,6 +51,18 @@ ResourceReport IpsaResources(const IpsaHwConfig& config,
   return r;
 }
 
+ResourceRow ExternAluResources(uint32_t stages_with_externs,
+                               const Calibration& cal) {
+  ResourceRow r;
+  r.lut_pct = cal.fxp_alu_lut_pct * stages_with_externs;
+  r.ff_pct = cal.fxp_alu_ff_pct * stages_with_externs;
+  return r;
+}
+
+double ExternAluPowerW(uint32_t stages_with_externs, const Calibration& cal) {
+  return cal.fxp_alu_dynamic_w * stages_with_externs;
+}
+
 PowerReport PisaPower(uint32_t physical_stages, uint32_t effective_stages,
                       const Calibration& cal) {
   (void)effective_stages;  // non-functional stages stay powered (§2.3)

@@ -42,6 +42,20 @@ ResourceReport PisaResources(const PisaHwConfig& config,
 ResourceReport IpsaResources(const IpsaHwConfig& config,
                              const Calibration& cal = DefaultCalibration());
 
+// --- fixed-point extern ALU (in-network compute) -----------------------------
+
+// Incremental cost of the sat_add/fxp_* extern ALUs: one per stage
+// processor whose loaded template uses the externs (count them with
+// arch::ActionUsesExternOps over the stages' bound actions). Reported
+// separately so Table 2 stays calibrated; add to a ResourceReport's total
+// when the deployed program does in-network compute.
+ResourceRow ExternAluResources(uint32_t stages_with_externs,
+                               const Calibration& cal = DefaultCalibration());
+// Dynamic power of the active extern ALUs, Watt (adds onto IpsaPower /
+// PisaPower dynamic_w).
+double ExternAluPowerW(uint32_t stages_with_externs,
+                       const Calibration& cal = DefaultCalibration());
+
 // --- power (Table 3, Fig. 6) ---------------------------------------------------
 
 struct PowerReport {

@@ -662,6 +662,18 @@ class Parser {
       return Expr::Raw(std::move(instance), std::move(offset),
                        static_cast<uint32_t>(width));
     }
+    if (first == "sat_add" || first == "fxp_quantize" ||
+        first == "fxp_dequantize") {
+      Expr::Op op = first == "sat_add"        ? Expr::Op::kSatAdd
+                    : first == "fxp_quantize" ? Expr::Op::kFxpQuantize
+                                              : Expr::Op::kFxpDequantize;
+      IPSA_RETURN_IF_ERROR(cur_.Expect("("));
+      IPSA_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+      IPSA_RETURN_IF_ERROR(cur_.Expect(","));
+      IPSA_ASSIGN_OR_RETURN(ExprPtr b, ParseExpr());
+      IPSA_RETURN_IF_ERROR(cur_.Expect(")"));
+      return Expr::Binary(op, std::move(a), std::move(b));
+    }
     if (cur_.TryConsume(".")) {
       IPSA_ASSIGN_OR_RETURN(std::string second, cur_.ExpectIdent());
       if (second == "isValid") {

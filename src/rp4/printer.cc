@@ -92,6 +92,10 @@ std::string PrintExpr(const arch::ExprPtr& expr) {
       return std::string(OpName(expr->op())) + "(" + PrintExpr(expr->lhs()) +
              ")";
     case Expr::Kind::kBinary:
+      if (Expr::IsExternOp(expr->op())) {
+        return std::string(OpName(expr->op())) + "(" + PrintExpr(expr->lhs()) +
+               ", " + PrintExpr(expr->rhs()) + ")";
+      }
       return "(" + PrintExpr(expr->lhs()) + " " +
              std::string(OpName(expr->op())) + " " + PrintExpr(expr->rhs()) +
              ")";

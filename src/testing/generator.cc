@@ -26,6 +26,7 @@ constexpr uint32_t kFieldWidths[] = {8, 16, 32, 48, 64};
 // A readable reference inside action/guard expressions.
 struct RefPool {
   std::vector<std::pair<std::string, uint32_t>> refs;  // P4 text, width
+  const std::vector<RegisterSpec>* regs = nullptr;     // readable registers
 };
 
 RefPool ReadableRefs(const ProgramSpec& spec, int scope) {
@@ -39,13 +40,22 @@ RefPool ReadableRefs(const ProgramSpec& spec, int scope) {
       pool.refs.push_back({"hdr." + h.instance + "." + f.name, f.width_bits});
     }
   }
+  if (!spec.registers.empty()) pool.regs = &spec.registers;
   return pool;
+}
+
+// An in-range register slot reference: the index masks a metadata field (or
+// a constant) down to the register's power-of-two size.
+std::string GenRegRef(Rng& rng, const RefPool& pool, const RegisterSpec& r) {
+  std::string idx = pool.refs.empty() ? std::to_string(rng.Below(r.size))
+                                      : rng.Pick(pool.refs).first;
+  return r.name + "[(" + idx + " & " + std::to_string(r.size - 1) + ")]";
 }
 
 std::string GenExpr(Rng& rng, const RefPool& pool,
                     const std::vector<FieldSpec>& params, int depth) {
   if (depth <= 0 || rng.Chance(1, 2)) {
-    // Leaf: constant, parameter, or field reference.
+    // Leaf: constant, parameter, field reference, or register read.
     uint64_t roll = rng.Below(10);
     if (roll < 4 || (params.empty() && pool.refs.empty())) {
       return std::to_string(rng.Below(1024));
@@ -53,7 +63,22 @@ std::string GenExpr(Rng& rng, const RefPool& pool,
     if (roll < 6 && !params.empty()) {
       return rng.Pick(params).name;
     }
+    if (roll == 9 && pool.regs != nullptr) {
+      return GenRegRef(rng, pool, rng.Pick(*pool.regs));
+    }
     return rng.Pick(pool.refs).first;
+  }
+  if (rng.Chance(1, 4)) {
+    // Fixed-point extern call. The shift operand stays a small constant so
+    // quantize does not saturate everything it touches (huge shifts are
+    // still well-defined, just uninteresting — the kernel tests pin those).
+    static const char* kExterns[] = {"sat_add", "fxp_quantize",
+                                     "fxp_dequantize"};
+    const char* name = kExterns[rng.Below(3)];
+    std::string a = GenExpr(rng, pool, params, depth - 1);
+    std::string b = name[0] == 's' ? GenExpr(rng, pool, params, depth - 1)
+                                   : std::to_string(rng.Below(9));
+    return std::string(name) + "(" + a + ", " + b + ")";
   }
   static const char* kOps[] = {"+", "-", "&", "|", "^"};
   return "(" + GenExpr(rng, pool, params, depth - 1) + " " +
@@ -94,6 +119,26 @@ ActionSpec GenAction(Rng& rng, const ProgramSpec& spec, int scope,
   RefPool pool = ReadableRefs(spec, scope);
   uint64_t nstmts = rng.Range(1, 3);
   for (uint64_t s = 0; s < nstmts; ++s) {
+    if (pool.regs != nullptr && rng.Chance(1, 3)) {
+      // Stateful accumulate: read-modify-write one register slot, the same
+      // shape the in-network aggregation designs use. The slot reference is
+      // generated once so both sides of the statement name the same slot.
+      const RegisterSpec& r = rng.Pick(*pool.regs);
+      std::string slot = GenRegRef(rng, pool, r);
+      uint64_t kind = rng.Below(3);
+      if (kind == 0) {
+        a.stmts.push_back(slot + " = sat_add(" + slot + ", " +
+                          GenExpr(rng, pool, a.params, 1) + ");");
+      } else if (kind == 1) {
+        a.stmts.push_back(slot + " = (" + slot + " + fxp_quantize(" +
+                          GenExpr(rng, pool, a.params, 1) + ", " +
+                          std::to_string(rng.Below(9)) + "));");
+      } else {
+        a.stmts.push_back(slot + " = (" + slot + " | " +
+                          GenExpr(rng, pool, a.params, 1) + ");");
+      }
+      continue;
+    }
     uint64_t roll = rng.Below(10);
     if (roll < 5) {
       a.stmts.push_back(GenAssign(rng, spec, scope, pool, a.params));
@@ -358,6 +403,21 @@ GeneratedCase GenerateCase(uint64_t seed) {
   }
   spec.metadata.push_back({"ver", 16});
 
+  // Stateful sweep: about a third of the cases carry array registers whose
+  // slots actions accumulate into (sat_add / fxp_quantize read-modify-write).
+  // Those cases omit the update op below — across a PISA full reload the
+  // register file resets while an IPSA in-situ update keeps it, a genuine
+  // model divergence the oracle must not be pointed at.
+  const bool stateful = rng.Chance(1, 3);
+  if (stateful) {
+    static const uint32_t kRegSizes[] = {4, 8, 16};
+    uint64_t nregs = rng.Range(1, 2);
+    for (uint64_t r = 0; r < nregs; ++r) {
+      spec.registers.push_back(
+          {"r" + std::to_string(r), kRegSizes[rng.Below(3)]});
+    }
+  }
+
   GenControl(rng, spec, spec.ingress, "ti", 2, 4);
   GenControl(rng, spec, spec.egress, "te", 1, 2);
   // Million-entry sweep: occasionally one SRAM-backed table declares a
@@ -430,9 +490,11 @@ GeneratedCase GenerateCase(uint64_t seed) {
       break;  // one extra churn entry is enough
     }
   }
-  Op update;
-  update.kind = Op::Kind::kUpdate;
-  gen.ops.push_back(std::move(update));
+  if (!stateful) {
+    Op update;
+    update.kind = Op::Kind::kUpdate;
+    gen.ops.push_back(std::move(update));
+  }
   for (size_t p = split; p < packet_ops.size(); ++p) {
     gen.ops.push_back(packet_ops[p]);
   }
@@ -512,6 +574,10 @@ std::string RenderP4(const ProgramSpec& spec, uint32_t version) {
     o += "  " + h.instance + "_t " + h.instance + ";\n";
   }
   o += "}\n";
+  for (const RegisterSpec& r : spec.registers) {
+    o += "register<bit<64>> " + r.name + "[" + std::to_string(r.size) +
+         "];\n";
+  }
 
   o += "parser MainParser(packet_in pkt, out headers_t hdr, "
        "inout metadata_t meta) {\n";

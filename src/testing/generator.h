@@ -8,9 +8,14 @@
 // drift from the linearizer's stage semantics).
 //
 // Generated programs deliberately stay inside the intersection of behaviors
-// the two architectures define identically: no registers (a PISA reload
-// resets them, an IPSA update keeps them — a real divergence of the models,
-// not a bug) and no entry erases (the PISA shadow store has no erase).
+// the two architectures define identically: no entry erases (the PISA
+// shadow store has no erase), and register-using cases omit the update op
+// (a PISA reload resets registers, an IPSA update keeps them — a real
+// divergence of the models, not a bug). Stateful cases exercise the
+// register-accumulate path — including the fixed-point externs sat_add /
+// fxp_quantize / fxp_dequantize — across all six configurations; stateless
+// cases may still use the externs in pure expressions, in which case the
+// in-situ update snippet carries them through the rp4 printer/parser too.
 #pragma once
 
 #include <cstdint>
@@ -68,10 +73,20 @@ struct ControlSpec {
   std::vector<ApplyBlock> blocks;
 };
 
+// An array register (rendered as `register<bit<64>> name[size];`). Sizes are
+// powers of two so generated index expressions can mask into range.
+struct RegisterSpec {
+  std::string name;
+  uint32_t size = 8;
+};
+
 struct ProgramSpec {
   uint64_t seed = 0;
   std::vector<HeaderSpec> headers;
   std::vector<FieldSpec> metadata;  // user fields; "ver" is always present
+  // Non-empty makes the case stateful: actions may accumulate into these,
+  // and GenerateCase omits the update op (see the header comment).
+  std::vector<RegisterSpec> registers;
   ControlSpec ingress;
   ControlSpec egress;
 };

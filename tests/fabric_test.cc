@@ -7,6 +7,7 @@
 #include "controller/designs.h"
 #include "controller/runtime_api.h"
 #include "daemon/switchd.h"
+#include "fabric/allreduce.h"
 #include "fabric/fabric.h"
 #include "fabric/flow_tag.h"
 #include "fabric/leaf_spine.h"
@@ -306,6 +307,67 @@ TEST(RemoteNodeTest, SingleSwitchdDeliversBetweenHosts) {
   EXPECT_EQ(report->delivered, 8u);
 
   switchd.Stop();
+}
+
+// End-to-end in-network compute: a full allreduce job over lossy uplinks,
+// with a mid-job in-situ splice of the aggregation template (v1 -> v2, no
+// reload). Every slot — before and after the splice — must come out
+// bit-exact against the host-side golden reduction, and the conservation
+// oracle must balance with zero wrong aggregates.
+TEST(AllreduceE2eTest, LossyFabricWithMidJobSplice) {
+  LeafSpineOptions options = SmallFabric();
+  options.uplink_loss = 0.2;
+  options.fabric.loss_seed = 77;
+  options.fabric.capture_host_rx = true;
+  auto ls = LeafSpine::Create(options);
+  ASSERT_TRUE(ls.ok()) << ls.status().ToString();
+
+  AllreduceOptions opts;
+  opts.slots = 6;
+  opts.shift = 2;
+  AllreduceJob job(**ls, opts);
+  ASSERT_EQ(job.worker_count(), 7u);
+  ASSERT_TRUE(job.InstallAggregation().ok());
+
+  // First half of the job on the v1 aggregation template.
+  auto first = job.RunRange(0, 3);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // In-situ splice to v2 (duplicate counting) while the job is live. The
+  // per-slot value/bitmap registers must survive the update.
+  ASSERT_TRUE(job.SpliceV2().ok());
+
+  // Second half runs on the v2 template.
+  auto second = job.RunRange(3, 6);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+
+  for (uint32_t slot = 0; slot < opts.slots; ++slot) {
+    const AlrResult& r = job.results().at(slot);
+    EXPECT_EQ(r.v0, job.GoldenValue(slot, 0)) << "slot " << slot;
+    EXPECT_EQ(r.v1, job.GoldenValue(slot, 1)) << "slot " << slot;
+  }
+
+  // Register-survival probe: a duplicate contribution for a slot completed
+  // BEFORE the splice must re-emit the identical pre-splice aggregate from
+  // the carried-over registers (CollectResults fails on any divergence).
+  const uint32_t pre_copies = job.results().at(0).copies;
+  for (uint32_t w = 0; w < job.worker_count(); ++w) {
+    ASSERT_TRUE(job.InjectContribution(w, 0, 1000 + w).ok());
+  }
+  ASSERT_TRUE((*ls)->fabric().RunUntilQuiescent().ok());
+  ASSERT_TRUE(job.CollectResults().ok());
+  EXPECT_GT(job.results().at(0).copies, pre_copies);
+  EXPECT_EQ(job.results().at(0).v0, job.GoldenValue(0, 0));
+  EXPECT_EQ(job.results().at(0).v1, job.GoldenValue(0, 1));
+
+  auto report = (*ls)->fabric().CheckOracle();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToString();
+  // The lossy uplinks really did drop traffic, and the retransmit loop
+  // repaired it (cross-leaf contributions traverse one lossy hop each).
+  EXPECT_GT(report->link_loss_drops, 0u);
+  EXPECT_GT(report->device_drops, 0u);  // absorbed contributions
+  EXPECT_GE(first->rounds + second->rounds, 2u);
 }
 
 }  // namespace

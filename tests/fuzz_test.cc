@@ -60,6 +60,43 @@ TEST(FuzzTest, GeneratedCasesRunCleanAcrossAllConfigurations) {
   }
 }
 
+// The stateful/extern sweep: the generator must actually emit register-
+// accumulating programs (which omit the update op — register state is a
+// genuine reload-vs-in-situ model divergence) and extern-using programs
+// whose update snippet round-trips sat_add/fxp_* through the rp4
+// printer/parser, and all of them must hold across the six-config oracle.
+TEST(FuzzTest, ExternAndRegisterCasesRunCleanAcrossAllConfigurations) {
+  int stateful_seen = 0;
+  int extern_update_seen = 0;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    GeneratedCase gen = GenerateCase(seed);
+    auto cf = RenderCase(gen);
+    ASSERT_TRUE(cf.ok()) << "seed " << seed << ": " << cf.status().ToString();
+    const bool stateful = !gen.spec.registers.empty();
+    const bool uses_externs = cf->p4_v1.find("sat_add(") != std::string::npos ||
+                              cf->p4_v1.find("fxp_") != std::string::npos;
+    if (stateful) {
+      ASSERT_NE(cf->p4_v1.find("register<bit<64>>"), std::string::npos);
+      ASSERT_TRUE(cf->p4_v2.empty())
+          << "seed " << seed << ": stateful case must not carry an update";
+    }
+    if (!stateful && !uses_externs) continue;
+    if (!stateful && uses_externs && !cf->snippet.empty()) {
+      ++extern_update_seen;
+    }
+    stateful_seen += stateful ? 1 : 0;
+    auto report = RunCase(*cf);
+    ASSERT_TRUE(report.ok()) << "seed " << seed << ": "
+                             << report.status().ToString();
+    EXPECT_FALSE(report->diverged) << "seed " << seed << ": "
+                                   << report->detail;
+  }
+  // Both flavors must actually occur in the sweep, or the oracle is not
+  // covering what this test claims it covers.
+  EXPECT_GE(stateful_seen, 3);
+  EXPECT_GE(extern_update_seen, 1);
+}
+
 // The million-entry size sweep end to end: find a generated case declaring
 // a 2^20-entry table, then run the full differential matrix over it. The
 // harnesses must size their pools from the declared maximum (the default

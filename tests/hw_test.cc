@@ -101,6 +101,27 @@ TEST(ThroughputModelTest, EmptyReportsSafe) {
   EXPECT_EQ(r.packets, 0u);
 }
 
+// --- extern ALU ------------------------------------------------------------------
+
+TEST(ResourceModelTest, ExternAluScalesPerStageAndStaysSmall) {
+  ResourceRow none = ExternAluResources(0);
+  EXPECT_EQ(none.lut_pct, 0.0);
+  EXPECT_EQ(none.ff_pct, 0.0);
+  EXPECT_EQ(ExternAluPowerW(0), 0.0);
+
+  ResourceRow one = ExternAluResources(1);
+  ResourceRow eight = ExternAluResources(8);
+  EXPECT_NEAR(eight.lut_pct, one.lut_pct * 8, 1e-12);
+  EXPECT_NEAR(eight.ff_pct, one.ff_pct * 8, 1e-12);
+  EXPECT_NEAR(ExternAluPowerW(8), ExternAluPowerW(1) * 8, 1e-12);
+
+  // The ALU must stay a small fraction of the TSP it rides in — in-network
+  // compute costs something, but nowhere near another processor.
+  const Calibration& cal = DefaultCalibration();
+  EXPECT_LT(one.lut_pct, 0.1 * (cal.mau_lut_pct + cal.tsp_extra_lut_pct));
+  EXPECT_LT(ExternAluPowerW(1), 0.1 * cal.tsp_dynamic_w);
+}
+
 // --- load time -------------------------------------------------------------------
 
 TEST(LoadModelTest, ScalesWithConfigWords) {
